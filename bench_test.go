@@ -1,0 +1,64 @@
+// Package multidiag_test hosts the benchmark harness: one testing.B
+// benchmark per evaluation table and figure (DESIGN.md §4). Each benchmark
+// regenerates its table/figure once per iteration in quick mode, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the experiment pipeline and prints the regenerated artifact
+// rows (on the first iteration) for EXPERIMENTS.md.
+package multidiag_test
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"multidiag/internal/exp"
+)
+
+// benchOpts returns the benchmark-scale options: quick workloads keep a
+// full -bench=. run in CI time while preserving every experiment's shape.
+func benchOpts() exp.Options { return exp.Options{Quick: true, Seeds: 4} }
+
+var printOnce sync.Map
+
+// run executes an experiment once per b.N iteration; the first iteration of
+// each benchmark also prints the regenerated table to stdout.
+func run(b *testing.B, name string, fn func(io.Writer, exp.Options) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if _, printed := printOnce.LoadOrStore(name, true); !printed && i == 0 {
+			w = os.Stdout
+		}
+		if err := fn(w, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1Characteristics(b *testing.B) { run(b, "T1", exp.T1Characteristics) }
+func BenchmarkT2SingleDefect(b *testing.B)    { run(b, "T2", exp.T2SingleDefect) }
+func BenchmarkT3MultiDefect(b *testing.B)     { run(b, "T3", exp.T3MultiDefect) }
+func BenchmarkT4PatternCharacter(b *testing.B) {
+	run(b, "T4", exp.T4PatternCharacter)
+}
+func BenchmarkT5Ablation(b *testing.B)  { run(b, "T5", exp.T5Ablation) }
+func BenchmarkT6IntraCell(b *testing.B) { run(b, "T6", exp.T6IntraCell) }
+func BenchmarkT7DelayDefects(b *testing.B) {
+	run(b, "T7", exp.T7DelayDefects)
+}
+func BenchmarkT8ResolutionImprovement(b *testing.B) {
+	run(b, "T8", exp.T8ResolutionImprovement)
+}
+func BenchmarkT9Compaction(b *testing.B) { run(b, "T9", exp.T9Compaction) }
+
+func BenchmarkF1AccuracyVsDefects(b *testing.B) {
+	run(b, "F1", exp.F1AccuracyVsDefects)
+}
+func BenchmarkF2ResolutionVsDefects(b *testing.B) {
+	run(b, "F2", exp.F2ResolutionVsDefects)
+}
+func BenchmarkF3Runtime(b *testing.B)     { run(b, "F3", exp.F3Runtime) }
+func BenchmarkF4DefectTypes(b *testing.B) { run(b, "F4", exp.F4DefectTypes) }

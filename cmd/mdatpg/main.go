@@ -1,0 +1,58 @@
+// mdatpg generates stuck-at test patterns for a .bench netlist using the
+// random-plus-PODEM flow and writes them one per line.
+//
+// Usage:
+//
+//	mdatpg -c circuit.bench -o patterns.txt -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/cio"
+	"multidiag/internal/tester"
+)
+
+func main() {
+	var (
+		circ = flag.String("c", "", "circuit .bench file (required)")
+		out  = flag.String("o", "", "output pattern file (default stdout)")
+		seed = flag.Int64("seed", 1, "random-phase seed")
+		scan = flag.Bool("scan", false, "treat DFFs as scan cells (full-scan conversion)")
+	)
+	flag.Parse()
+	if *circ == "" {
+		fmt.Fprintln(os.Stderr, "mdatpg: -c is required")
+		os.Exit(2)
+	}
+	c, ffs := cio.MustLoad("mdatpg", *circ, *scan)
+	if ffs > 0 {
+		fmt.Fprintf(os.Stderr, "mdatpg: converted %d flip-flops to scan\n", ffs)
+	}
+	res, err := atpg.Generate(c, atpg.Config{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := tester.WritePatterns(w, res.Patterns); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mdatpg: %d patterns, %.2f%% stuck-at coverage (%d untestable, %d aborted)\n",
+		len(res.Patterns), 100*res.Coverage(), len(res.Untestable), len(res.Aborted))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdatpg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// mdcell runs the transistor-level intra-cell diagnosis extension on a
+// library cell: it injects a chosen defect, derives the local failing and
+// passing patterns, and prints the suspect lists with the transistor
+// terminals to inspect in physical failure analysis.
+//
+// Usage:
+//
+//	mdcell -list
+//	mdcell -cell AOI22X1 -defect stuck -node n1 -v 0
+//	mdcell -cell ND2X1  -defect toff  -t N0
+//	mdcell -cell MUX21X1 -defect bridge -node m -aggr sb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multidiag/internal/intracell"
+	"multidiag/internal/logic"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list library cells")
+		cell   = flag.String("cell", "", "cell name (see -list)")
+		defect = flag.String("defect", "stuck", "defect kind: stuck|toff|ton|bridge")
+		node   = flag.String("node", "", "defective node (stuck/bridge victim)")
+		aggr   = flag.String("aggr", "", "bridge aggressor node")
+		trName = flag.String("t", "", "transistor name (toff/ton)")
+		val    = flag.Int("v", 0, "stuck value (0/1)")
+	)
+	flag.Parse()
+
+	lib := intracell.Library()
+	if *list {
+		for _, c := range lib {
+			fmt.Printf("%-10s %d inputs, %2d transistors\n", c.Name, len(c.Inputs), len(c.Transistors))
+		}
+		return
+	}
+	var c *intracell.Cell
+	for _, lc := range lib {
+		if lc.Name == *cell {
+			c = lc
+		}
+	}
+	if c == nil {
+		fmt.Fprintf(os.Stderr, "mdcell: unknown cell %q (use -list)\n", *cell)
+		os.Exit(2)
+	}
+
+	cfg := &intracell.SimConfig{}
+	switch *defect {
+	case "stuck":
+		n := c.NodeByName(*node)
+		if n < 0 {
+			fatal(fmt.Errorf("unknown node %q", *node))
+		}
+		v := logic.Zero
+		if *val != 0 {
+			v = logic.One
+		}
+		cfg.ForcedNodes = map[intracell.NodeID]logic.Value{n: v}
+	case "toff", "ton":
+		ti := -1
+		for i := range c.Transistors {
+			if c.Transistors[i].Name == *trName {
+				ti = i
+			}
+		}
+		if ti < 0 {
+			fatal(fmt.Errorf("unknown transistor %q", *trName))
+		}
+		if *defect == "toff" {
+			cfg.StuckOff = map[int]bool{ti: true}
+		} else {
+			cfg.StuckOn = map[int]bool{ti: true}
+		}
+	case "bridge":
+		v := c.NodeByName(*node)
+		a := c.NodeByName(*aggr)
+		if v < 0 || a < 0 {
+			fatal(fmt.Errorf("bridge needs valid -node and -aggr"))
+		}
+		cfg.Bridges = []intracell.BridgePair{{Victim: v, Aggressor: a}}
+	default:
+		fatal(fmt.Errorf("unknown defect kind %q", *defect))
+	}
+
+	lfp, lpp, err := intracell.LocalPatterns(c, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cell %s: %d failing local patterns, %d passing\n", c.Name, len(lfp), len(lpp))
+	if len(lfp) == 0 {
+		fmt.Println("defect is benign (no observable failure); nothing to diagnose")
+		return
+	}
+	d, err := intracell.Diagnose(c, lfp, lpp)
+	if err != nil {
+		fatal(err)
+	}
+	if d.DynamicOnly {
+		fmt.Println("classification: dynamic (delay) faulty behaviour only")
+	}
+	fmt.Println("stuck suspects:")
+	for _, s := range d.Stuck {
+		fmt.Printf("  %s stuck-at-%v\n", c.Nodes[s.Node], s.Value)
+	}
+	fmt.Println("bridge suspects:")
+	for _, b := range d.Bridges {
+		fmt.Printf("  %s <- %s\n", c.Nodes[b.Victim], c.Nodes[b.Aggressor])
+	}
+	fmt.Println("delay suspects:")
+	for _, n := range d.Delays {
+		fmt.Printf("  %s\n", c.Nodes[n])
+	}
+	fmt.Println("transistor terminals to inspect:")
+	for _, n := range d.SuspectNodes() {
+		for _, tr := range d.TransistorSuspects[n] {
+			fmt.Printf("  %s.%s (node %s)\n",
+				c.Transistors[tr.Transistor].Name, tr.Terminal, c.Nodes[n])
+		}
+	}
+	fmt.Printf("resolution: %d suspects\n", d.Resolution())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdcell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// mddiag diagnoses a tester datalog against a circuit and test set: it
+// reports the multiplet (the selected explanation), each member's
+// equivalence class, fault-model annotations, and the consistency verdict.
+//
+// Usage:
+//
+//	mddiag -c circuit.bench -p patterns.txt -d device.datalog [-method ours|slat|intersect]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multidiag/internal/baseline"
+	"multidiag/internal/cio"
+	"multidiag/internal/core"
+	"multidiag/internal/tester"
+)
+
+func main() {
+	var (
+		circ   = flag.String("c", "", "circuit .bench file (required)")
+		pfile  = flag.String("p", "", "pattern file (required)")
+		dfile  = flag.String("d", "", "datalog file (required)")
+		method = flag.String("method", "ours", "diagnosis engine: ours|slat|intersect")
+		top    = flag.Int("top", 10, "also list the top-N ranked candidates (ours)")
+	)
+	flag.Parse()
+	if *circ == "" || *pfile == "" || *dfile == "" {
+		fmt.Fprintln(os.Stderr, "mddiag: -c, -p and -d are required")
+		os.Exit(2)
+	}
+	c, _ := cio.MustLoad("mddiag", *circ, false)
+	pf, err := os.Open(*pfile)
+	if err != nil {
+		fatal(err)
+	}
+	pats, err := tester.ReadPatterns(pf)
+	pf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(*dfile)
+	if err != nil {
+		fatal(err)
+	}
+	log, err := tester.ReadDatalog(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *method {
+	case "ours":
+		res, err := core.Diagnose(c, pats, log, core.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evidence: %d failing bits over %d failing patterns\n",
+			len(res.Evidence), len(log.FailingPatterns()))
+		fmt.Printf("extracted %d effect-cause candidates; multiplet size %d; elapsed %s\n",
+			res.CandidatesExtracted, len(res.Multiplet), res.Elapsed)
+		if !res.Consistent {
+			fmt.Printf("WARNING: multiplet is X-inconsistent on patterns %v — evidence incomplete\n",
+				res.InconsistentPatterns)
+		}
+		if res.UnexplainedBits > 0 {
+			fmt.Printf("WARNING: %d evidence bits unexplained\n", res.UnexplainedBits)
+		}
+		for i, cd := range res.Multiplet {
+			fmt.Printf("#%d %s  covers %d bits, %d mispredictions\n", i+1, cd.Name(c), cd.TFSF, cd.TPSF)
+			for _, e := range cd.Equivalent {
+				fmt.Printf("    ≡ %s\n", e.Name(c))
+			}
+			for _, m := range cd.Models {
+				switch m.Kind {
+				case core.BridgeModel:
+					fmt.Printf("    model: dominant bridge, aggressor %s (%d mispred)\n",
+						c.NameOf(m.Aggressor), m.Mispredictions)
+				default:
+					fmt.Printf("    model: stuck-at/open (%d mispred)\n", m.Mispredictions)
+				}
+			}
+		}
+		if *top > 0 {
+			fmt.Println("ranked candidates:")
+			for i, cd := range res.Ranked {
+				if i >= *top {
+					break
+				}
+				fmt.Printf("  %2d. %-20s TFSF=%d TPSF=%d\n", i+1, cd.Name(c), cd.TFSF, cd.TPSF)
+			}
+		}
+	case "slat":
+		res, err := baseline.SLAT(c, pats, log, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("SLAT patterns %d, non-SLAT %d; elapsed %s\n",
+			res.SLATPatterns, res.NonSLATPatterns, res.Elapsed)
+		for i, cd := range res.Multiplet {
+			fmt.Printf("#%d %s  explains %d SLAT patterns\n", i+1, cd.Fault.Name(c), cd.Explained)
+		}
+	case "intersect":
+		res, err := baseline.Intersection(c, pats, log)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d suspects after intersection+vindication; elapsed %s\n",
+			len(res.Multiplet), res.Elapsed)
+		for i, cd := range res.Multiplet {
+			fmt.Printf("#%d %s\n", i+1, cd.Fault.Name(c))
+		}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mddiag:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// mdexp regenerates every table and figure of the evaluation (DESIGN.md §4,
+// recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mdexp              # full suite (minutes)
+//	mdexp -quick       # reduced sizes/seeds (tens of seconds)
+//	mdexp -only T3     # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multidiag/internal/exp"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced workloads for a fast run")
+		seeds = flag.Int("seeds", 0, "devices per configuration (0 = default)")
+		only  = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
+	)
+	flag.Parse()
+	o := exp.Options{Quick: *quick, Seeds: *seeds}
+
+	if *only == "" {
+		if err := exp.All(os.Stdout, o); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fns := map[string]func(*exp.Options) error{
+		"T1": func(o *exp.Options) error { return exp.T1Characteristics(os.Stdout, *o) },
+		"T2": func(o *exp.Options) error { return exp.T2SingleDefect(os.Stdout, *o) },
+		"T3": func(o *exp.Options) error { return exp.T3MultiDefect(os.Stdout, *o) },
+		"T4": func(o *exp.Options) error { return exp.T4PatternCharacter(os.Stdout, *o) },
+		"T5": func(o *exp.Options) error { return exp.T5Ablation(os.Stdout, *o) },
+		"T6": func(o *exp.Options) error { return exp.T6IntraCell(os.Stdout, *o) },
+		"T7": func(o *exp.Options) error { return exp.T7DelayDefects(os.Stdout, *o) },
+		"T8": func(o *exp.Options) error { return exp.T8ResolutionImprovement(os.Stdout, *o) },
+		"T9": func(o *exp.Options) error { return exp.T9Compaction(os.Stdout, *o) },
+		"F1": func(o *exp.Options) error { return exp.F1AccuracyVsDefects(os.Stdout, *o) },
+		"F2": func(o *exp.Options) error { return exp.F2ResolutionVsDefects(os.Stdout, *o) },
+		"F3": func(o *exp.Options) error { return exp.F3Runtime(os.Stdout, *o) },
+		"F4": func(o *exp.Options) error { return exp.F4DefectTypes(os.Stdout, *o) },
+	}
+	fn, ok := fns[*only]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *only))
+	}
+	if err := fn(&o); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// mdinject samples random physical defects, injects them into a circuit,
+// applies a test set and writes the resulting tester datalog. The injected
+// ground truth is printed to stderr so experiment scripts can score
+// diagnosis results.
+//
+// Usage:
+//
+//	mdinject -c circuit.bench -p patterns.txt -n 3 -seed 42 -o device.datalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multidiag/internal/cio"
+	"multidiag/internal/defect"
+	"multidiag/internal/netlist"
+	"multidiag/internal/tester"
+)
+
+func main() {
+	var (
+		circ     = flag.String("c", "", "circuit .bench file (required)")
+		pfile    = flag.String("p", "", "pattern file (required)")
+		n        = flag.Int("n", 1, "number of simultaneous defects")
+		seed     = flag.Int64("seed", 1, "sampling seed")
+		out      = flag.String("o", "", "datalog output (default stdout)")
+		maxFails = flag.Int("maxfails", 0, "tester fail-memory limit (0 = unlimited)")
+	)
+	flag.Parse()
+	if *circ == "" || *pfile == "" {
+		fmt.Fprintln(os.Stderr, "mdinject: -c and -p are required")
+		os.Exit(2)
+	}
+	c, _ := cio.MustLoad("mdinject", *circ, false)
+	pf, err := os.Open(*pfile)
+	if err != nil {
+		fatal(err)
+	}
+	pats, err := tester.ReadPatterns(pf)
+	pf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	// Resample on the rare composed-bridge cycle until injection succeeds.
+	var (
+		ds  []defect.Defect
+		dev *netlist.Circuit
+	)
+	for s := *seed; ; s++ {
+		ds, err = defect.Sample(c, defect.CampaignConfig{Seed: s, NumDefects: *n})
+		if err != nil {
+			fatal(err)
+		}
+		dev, err = defect.Inject(c, ds)
+		if err == nil {
+			break
+		}
+		if s-*seed > 100 {
+			fatal(fmt.Errorf("cannot inject after 100 resamples: %v", err))
+		}
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxFails > 0 {
+		log = log.Truncate(*maxFails)
+	}
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := tester.WriteDatalog(w, log); err != nil {
+		fatal(err)
+	}
+	for _, d := range ds {
+		fmt.Fprintf(os.Stderr, "mdinject: ground truth: %s\n", d.Describe(c))
+	}
+	fmt.Fprintf(os.Stderr, "mdinject: %d failing patterns, %d fail bits\n",
+		len(log.FailingPatterns()), log.NumFailBits())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdinject:", err)
+	os.Exit(1)
+}

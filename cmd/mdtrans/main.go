@@ -1,0 +1,150 @@
+// mdtrans drives the delay-defect flow: it generates two-pattern
+// (launch/capture) transition tests, optionally injects slow-net defects
+// and produces a capture datalog, and diagnoses slow nets from a datalog.
+//
+// Usage:
+//
+//	mdtrans gen    -c circuit.bench -o pairs.txt [-seed 7]
+//	mdtrans inject -c circuit.bench -p pairs.txt -nets n5,n9 -o dev.log
+//	mdtrans diag   -c circuit.bench -p pairs.txt -d dev.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multidiag/internal/cio"
+	"multidiag/internal/netlist"
+	"multidiag/internal/tester"
+	"multidiag/internal/transition"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("mdtrans "+cmd, flag.ExitOnError)
+	var (
+		circ  = fs.String("c", "", "circuit file (required)")
+		pfile = fs.String("p", "", "pair file")
+		dfile = fs.String("d", "", "datalog file")
+		nets  = fs.String("nets", "", "comma-separated slow net names (inject)")
+		out   = fs.String("o", "", "output file (default stdout)")
+		seed  = fs.Int64("seed", 1, "generation seed")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *circ == "" {
+		fatal(fmt.Errorf("-c is required"))
+	}
+	c, _ := cio.MustLoad("mdtrans", *circ, false)
+
+	outW := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		outW = f
+	}
+
+	switch cmd {
+	case "gen":
+		res, err := transition.Generate(c, transition.GenerateConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if err := transition.WritePairs(outW, res.Pairs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mdtrans: %d pairs, %.2f%% transition coverage\n",
+			len(res.Pairs), 100*res.Coverage())
+	case "inject":
+		pairs := loadPairs(*pfile)
+		if *nets == "" {
+			fatal(fmt.Errorf("-nets is required for inject"))
+		}
+		var slow []transition.SlowNet
+		for _, name := range strings.Split(*nets, ",") {
+			id := c.NetByName(strings.TrimSpace(name))
+			if id == netlist.InvalidNet {
+				fatal(fmt.Errorf("unknown net %q", name))
+			}
+			slow = append(slow, transition.SlowNet{Net: id})
+		}
+		log, err := transition.ApplyTest(c, slow, pairs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tester.WriteDatalog(outW, log); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mdtrans: %d failing pairs\n", len(log.FailingPatterns()))
+	case "diag":
+		pairs := loadPairs(*pfile)
+		if *dfile == "" {
+			fatal(fmt.Errorf("-d is required for diag"))
+		}
+		df, err := os.Open(*dfile)
+		if err != nil {
+			fatal(err)
+		}
+		log, err := tester.ReadDatalog(df)
+		df.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err := transition.Diagnose(c, pairs, log, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(outW, "evidence: %d failing bits; multiplet %d; elapsed %s\n",
+			res.Evidence, len(res.Multiplet), res.Elapsed)
+		for i, cd := range res.Multiplet {
+			fmt.Fprintf(outW, "#%d %s covers %d bits, %d mispredictions\n",
+				i+1, cd.Fault.Name(c), cd.TFSF, cd.TPSF)
+			for _, e := range cd.Equivalent {
+				fmt.Fprintf(outW, "   ≡ %s\n", e.Name(c))
+			}
+		}
+		if res.Unexplained > 0 {
+			fmt.Fprintf(outW, "WARNING: %d bits unexplained\n", res.Unexplained)
+		}
+	default:
+		usage()
+	}
+}
+
+func loadPairs(path string) []transition.Pair {
+	if path == "" {
+		fatal(fmt.Errorf("-p is required"))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	pairs, err := transition.ReadPairs(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pairs) == 0 {
+		fatal(fmt.Errorf("no pairs in %s", path))
+	}
+	return pairs
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mdtrans gen|inject|diag [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdtrans:", err)
+	os.Exit(1)
+}

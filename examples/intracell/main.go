@@ -1,0 +1,70 @@
+// Intracell: the transistor-level extension — after gate-level diagnosis
+// pins a suspected cell, the switch-level effect-cause flow locates the
+// defect *inside* the cell. Here an AOI22 cell has an internal series node
+// shorted to ground; the flow derives local failing/passing patterns and
+// reports stuck, bridge and delay suspect lists with the transistor
+// terminals PFA should image.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multidiag/internal/intracell"
+	"multidiag/internal/logic"
+)
+
+func main() {
+	cell := intracell.AOI22()
+	fmt.Printf("cell %s: %d inputs, %d transistors, output %s\n",
+		cell.Name, len(cell.Inputs), len(cell.Transistors), cell.Nodes[cell.Output])
+
+	// The defect: internal pull-down node n1 (between the A and B series
+	// devices) shorted to GND.
+	n1 := cell.NodeByName("n1")
+	defectCfg := &intracell.SimConfig{
+		ForcedNodes: map[intracell.NodeID]logic.Value{n1: logic.Zero},
+	}
+	fmt.Printf("injected: node %s shorted to GND\n\n", cell.Nodes[n1])
+
+	// Local failing/passing patterns — in the full flow these come from
+	// circuit-level simulation of the suspected gate's input values; here
+	// the faulty cell itself supplies them.
+	lfp, lpp, err := intracell.LocalPatterns(cell, defectCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local failing patterns: %d, local passing patterns: %d\n", len(lfp), len(lpp))
+	for _, p := range lfp {
+		fmt.Printf("  failing: A=%v B=%v C=%v D=%v\n", p[0], p[1], p[2], p[3])
+	}
+
+	d, err := intracell.Diagnose(cell, lfp, lpp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstuck suspects:")
+	for _, s := range d.Stuck {
+		marker := ""
+		if s.Node == n1 {
+			marker = "   ← injected defect"
+		}
+		fmt.Printf("  %s stuck-at-%v%s\n", cell.Nodes[s.Node], s.Value, marker)
+	}
+	fmt.Println("bridge suspects (victim ← aggressor):")
+	for _, b := range d.Bridges {
+		fmt.Printf("  %s ← %s\n", cell.Nodes[b.Victim], cell.Nodes[b.Aggressor])
+	}
+	fmt.Println("delay suspects:")
+	for _, n := range d.Delays {
+		fmt.Printf("  %s\n", cell.Nodes[n])
+	}
+	fmt.Println("\ntransistor terminals to image in PFA:")
+	for _, n := range d.SuspectNodes() {
+		for _, tr := range d.TransistorSuspects[n] {
+			t := cell.Transistors[tr.Transistor]
+			fmt.Printf("  %s.%s (node %s)\n", t.Name, tr.Terminal, cell.Nodes[n])
+		}
+	}
+	fmt.Printf("\nresolution: %d suspects, dynamic-only: %v\n", d.Resolution(), d.DynamicOnly)
+}

@@ -1,0 +1,86 @@
+// Multidefect: the headline scenario of the method — a 2000-gate circuit
+// with four simultaneous defects of mixed mechanisms, diagnosed by the
+// no-assumption engine and by the SLAT baseline side by side, scored
+// against the injected ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/baseline"
+	"multidiag/internal/circuits"
+	"multidiag/internal/core"
+	"multidiag/internal/defect"
+	"multidiag/internal/metrics"
+	"multidiag/internal/tester"
+)
+
+func main() {
+	// A synthetic 2000-gate design, reproducible from its seed.
+	c, err := circuits.Generate(circuits.GenConfig{
+		Name: "demo2k", Seed: 2026, NumPIs: 32, NumGates: 2000, NumPOs: 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d gates, %d patterns, %.1f%% coverage\n",
+		c.Name, c.NumLogicGates(), len(tests.Patterns), 100*tests.Coverage())
+
+	// Four simultaneous defects, mixed mechanisms.
+	ds, err := defect.Sample(c, defect.CampaignConfig{Seed: 99, NumDefects: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	device, err := defect.Inject(c, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("injected ground truth:")
+	for _, d := range ds {
+		fmt.Printf("  %s\n", d.Describe(c))
+	}
+	datalog, err := tester.ApplyTest(c, device, tests.Patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("datalog: %d failing patterns, %d fail bits\n\n",
+		len(datalog.FailingPatterns()), datalog.NumFailBits())
+
+	// Ours.
+	res, err := core.Diagnose(c, tests.Patterns, datalog, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ourCands []metrics.Candidate
+	fmt.Println("no-assumption diagnosis multiplet:")
+	for i, cd := range res.Multiplet {
+		fmt.Printf("  #%d %s (covers %d bits, %d mispred, %d equivalents)\n",
+			i+1, cd.Name(c), cd.TFSF, cd.TPSF, len(cd.Equivalent))
+		ourCands = append(ourCands, metrics.Candidate{Nets: cd.Nets()})
+	}
+	ours := metrics.EvaluateRegion(c, ds, ourCands, 1)
+	fmt.Printf("  → localized %d/%d injected defects (elapsed %s)\n\n",
+		ours.Hits, ours.InjectedDefects, res.Elapsed)
+
+	// SLAT baseline on the same datalog.
+	slatRes, err := baseline.SLAT(c, tests.Patterns, datalog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var slatCands []metrics.Candidate
+	fmt.Printf("SLAT baseline (%d SLAT / %d non-SLAT failing patterns):\n",
+		slatRes.SLATPatterns, slatRes.NonSLATPatterns)
+	for i, nets := range slatRes.Nets() {
+		fmt.Printf("  #%d %s (explains %d SLAT patterns)\n",
+			i+1, slatRes.Multiplet[i].Fault.Name(c), slatRes.Multiplet[i].Explained)
+		slatCands = append(slatCands, metrics.Candidate{Nets: nets})
+	}
+	slat := metrics.EvaluateRegion(c, ds, slatCands, 1)
+	fmt.Printf("  → localized %d/%d injected defects\n", slat.Hits, slat.InjectedDefects)
+}

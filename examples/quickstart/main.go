@@ -1,0 +1,50 @@
+// Quickstart: the complete diagnosis flow on the c17 benchmark in ~40
+// lines — generate tests, break the device, read the datalog, diagnose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/circuits"
+	"multidiag/internal/core"
+	"multidiag/internal/defect"
+	"multidiag/internal/tester"
+)
+
+func main() {
+	// 1. The design and its test set.
+	c := circuits.C17()
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d patterns, %.0f%% stuck-at coverage\n",
+		c.Name, len(tests.Patterns), 100*tests.Coverage())
+
+	// 2. A defective device: net G16 shorted to ground.
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}}
+	device, err := defect.Inject(c, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Production test produces the datalog (failing patterns + outputs).
+	datalog, err := tester.ApplyTest(c, device, tests.Patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tester: %d failing patterns\n", len(datalog.FailingPatterns()))
+
+	// 4. Diagnosis sees only the design, the patterns and the datalog.
+	result, err := core.Diagnose(c, tests.Patterns, datalog, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cand := range result.Multiplet {
+		fmt.Printf("suspect #%d: %s (covers %d/%d failing bits)\n",
+			i+1, cand.Name(c), cand.TFSF, len(result.Evidence))
+	}
+	fmt.Printf("consistent: %v, elapsed: %s\n", result.Consistent, result.Elapsed)
+}

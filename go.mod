@@ -1,0 +1,3 @@
+module multidiag
+
+go 1.22

@@ -1,0 +1,351 @@
+package multidiag_test
+
+import (
+	"strings"
+	"testing"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/baseline"
+	"multidiag/internal/circuits"
+	"multidiag/internal/core"
+	"multidiag/internal/defect"
+	"multidiag/internal/metrics"
+	"multidiag/internal/netlist"
+	"multidiag/internal/tester"
+)
+
+// TestFullFlowThroughSerialization drives the complete flow the CLI tools
+// expose, round-tripping every artifact through its text format: circuit →
+// .bench → patterns file → datalog file → diagnosis, scored against ground
+// truth.
+func TestFullFlowThroughSerialization(t *testing.T) {
+	orig, err := circuits.Generate(circuits.GenConfig{Seed: 77, NumPIs: 14, NumGates: 400, NumPOs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Circuit through .bench text.
+	var benchText strings.Builder
+	if err := netlist.WriteBench(&benchText, orig); err != nil {
+		t.Fatal(err)
+	}
+	c, err := netlist.ParseBench("roundtrip", strings.NewReader(benchText.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Patterns through their text format.
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patText strings.Builder
+	if err := tester.WritePatterns(&patText, tests.Patterns); err != nil {
+		t.Fatal(err)
+	}
+	pats, err := tester.ReadPatterns(strings.NewReader(patText.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != len(tests.Patterns) {
+		t.Fatalf("pattern round trip lost patterns: %d vs %d", len(pats), len(tests.Patterns))
+	}
+
+	// Device + datalog through the datalog text format.
+	var (
+		ds  []defect.Defect
+		log *tester.Datalog
+	)
+	for seed := int64(1); ; seed++ {
+		ds, err = defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err = tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) > 0 {
+			break
+		}
+	}
+	var logText strings.Builder
+	if err := tester.WriteDatalog(&logText, log); err != nil {
+		t.Fatal(err)
+	}
+	logBack, err := tester.ReadDatalog(strings.NewReader(logText.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logBack.Syndrome().Equal(log.Syndrome()) {
+		t.Fatal("datalog round trip changed the syndrome")
+	}
+
+	// Diagnose from the round-tripped artifacts only.
+	res, err := core.Diagnose(c, pats, logBack, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Multiplet) == 0 {
+		t.Fatal("no multiplet for failing device")
+	}
+	var cands []metrics.Candidate
+	for _, nets := range res.MultipletNets() {
+		cands = append(cands, metrics.Candidate{Nets: nets})
+	}
+	score := metrics.EvaluateRegion(c, ds, cands, 1)
+	if score.Hits == 0 {
+		t.Fatalf("nothing localized; injected %v", ds)
+	}
+}
+
+// TestDiagnosisOnTruncatedDatalog verifies graceful behaviour when the
+// tester's fail memory clips the datalog: the diagnosis still runs and
+// still localizes from the partial evidence.
+func TestDiagnosisOnTruncatedDatalog(t *testing.T) {
+	c, err := circuits.RippleAdder(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("c5"), Value1: true}}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tester.ApplyTest(c, dev, tests.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumFailBits() < 4 {
+		t.Skip("defect too quiet for truncation test")
+	}
+	trunc := full.Truncate(full.NumFailBits() / 2)
+	if !trunc.Truncated {
+		t.Fatal("expected truncation")
+	}
+	res, err := core.Diagnose(c, tests.Patterns, trunc, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []metrics.Candidate
+	for _, nets := range res.MultipletNets() {
+		cands = append(cands, metrics.Candidate{Nets: nets})
+	}
+	if metrics.EvaluateRegion(c, ds, cands, 1).Hits == 0 {
+		t.Error("truncated datalog: defect not localized")
+	}
+}
+
+// TestScanCircuitFlow exercises the full-scan conversion front end: a
+// sequential .bench design is converted, tested and diagnosed.
+func TestScanCircuitFlow(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q1 = DFF(d1)
+q2 = DFF(d2)
+d1 = XOR(a, q2)
+d2 = AND(b, q1)
+z = OR(q1, d1)
+`
+	c, ffs, err := netlist.ParseBenchScan("seq2", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffs != 2 {
+		t.Fatalf("ffs = %d", ffs)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tests.Coverage() < 0.99 {
+		t.Fatalf("scan circuit coverage %.2f", tests.Coverage())
+	}
+	target := c.NetByName("d1")
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: target, Value1: false}}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, tests.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("not activated")
+	}
+	res, err := core.Diagnose(c, tests.Patterns, log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []metrics.Candidate
+	for _, nets := range res.MultipletNets() {
+		cands = append(cands, metrics.Candidate{Nets: nets})
+	}
+	if metrics.EvaluateRegion(c, ds, cands, 1).Hits == 0 {
+		t.Error("scan-converted circuit: defect not localized")
+	}
+}
+
+// TestAllEnginesAgreeOnSingleStuck is the cross-engine consistency check:
+// for an easy single stuck defect every engine, from the cheapest to the
+// most expensive, localizes the same site.
+func TestAllEnginesAgreeOnSingleStuck(t *testing.T) {
+	c, err := circuits.ALUSlice(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := c.NetByName("sum2")
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: target, Value1: true}}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, tests.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("not activated")
+	}
+	check := func(name string, nets [][]netlist.NetID) {
+		var cands []metrics.Candidate
+		for _, ns := range nets {
+			cands = append(cands, metrics.Candidate{Nets: ns})
+		}
+		if metrics.EvaluateRegion(c, ds, cands, 1).Hits == 0 {
+			t.Errorf("%s missed the single stuck defect", name)
+		}
+	}
+	res, err := core.Diagnose(c, tests.Patterns, log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("core", res.MultipletNets())
+	slat, err := baseline.SLAT(c, tests.Patterns, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("slat", slat.Nets())
+	inter, err := baseline.Intersection(c, tests.Patterns, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("intersection", inter.Nets())
+	dict, err := baseline.BuildDictionary(c, tests.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dict.Diagnose(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("dictionary", dres.Nets())
+}
+
+// TestSequentialUnrolledDiagnosis exercises non-scan sequential diagnosis
+// via time-frame expansion: a defect in the combinational core of a 2-bit
+// counter is present in *every* frame of the unrolled model; diagnosis on
+// the unrolled circuit must localize it, and the origin map must fold the
+// per-frame candidates back to one core net.
+func TestSequentialUnrolledDiagnosis(t *testing.T) {
+	const counterBench = `
+INPUT(en)
+OUTPUT(out)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(q0, en)
+t  = AND(q0, en)
+d1 = XOR(q1, t)
+out = AND(q1, q0)
+`
+	seq, err := netlist.ParseBenchSeq("cnt", strings.NewReader(counterBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 5
+	u, err := seq.Unroll(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := u.Circuit
+
+	// The physical defect: core net "t" stuck-at-1, present in all frames.
+	coreT := seq.Comb.NetByName("t")
+	var ds []defect.Defect
+	for id := range c.Gates {
+		if on, ok := u.CoreNetOf(netlist.NetID(id)); ok && on.Orig == coreT {
+			ds = append(ds, defect.Defect{Kind: defect.StuckNet, Net: netlist.NetID(id), Value1: true})
+		}
+	}
+	if len(ds) != frames {
+		t.Fatalf("expected %d frame copies of t, got %d", frames, len(ds))
+	}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Test sequences: ATPG on the unrolled model (initial state controlled
+	// by the sequence, which matches a resettable design).
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, tests.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("defect not activated by sequences")
+	}
+	res, err := core.Diagnose(c, tests.Patterns, log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold candidates back to core nets.
+	coreHits := map[netlist.NetID]bool{}
+	for _, cd := range res.Multiplet {
+		for _, n := range cd.Nets() {
+			if on, ok := u.CoreNetOf(n); ok {
+				coreHits[on.Orig] = true
+			}
+		}
+	}
+	// Accept the defective net or a directly adjacent core net (frame-level
+	// equivalences fold to neighbours exactly like combinational ones).
+	accept := map[netlist.NetID]bool{coreT: true}
+	for _, f := range seq.Comb.Gates[coreT].Fanin {
+		accept[f] = true
+	}
+	for _, rd := range seq.Comb.Gates[coreT].Fanout {
+		accept[rd] = true
+	}
+	ok := false
+	for n := range coreHits {
+		if accept[n] {
+			ok = true
+		}
+	}
+	if !ok {
+		names := []string{}
+		for n := range coreHits {
+			names = append(names, seq.Comb.NameOf(n))
+		}
+		t.Fatalf("core net t not localized; folded candidates: %v", names)
+	}
+}

@@ -1,0 +1,292 @@
+// Package atpg generates stuck-at test patterns. The flow is the classic
+// two-phase one: a random-pattern phase with fault dropping removes the
+// easy-to-detect bulk of the fault universe cheaply, then a deterministic
+// PODEM phase targets the remaining faults. The result is a compact,
+// high-coverage test set — the artifact the diagnosis experiments consume
+// (see DESIGN.md §5: this replaces the commercial ATPG the paper used).
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multidiag/internal/fault"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+// Config parameterizes pattern generation.
+type Config struct {
+	Seed int64
+	// RandomBudget is the number of random patterns tried (in batches) in
+	// the random phase. Default 256.
+	RandomBudget int
+	// RandomBatch is the batch size between fault-simulation passes.
+	// Default 32.
+	RandomBatch int
+	// PodemBacktrackLimit bounds the PODEM search per fault. Default 10000.
+	PodemBacktrackLimit int
+	// KeepUndetectable, when true, records aborted/untestable faults in the
+	// result for reporting.
+	KeepUndetectable bool
+	// NDetect, when > 1, extends the test set until every detected fault is
+	// detected by at least N distinct patterns (or the per-fault retry
+	// budget runs out). N-detect sets are the classical lever for better
+	// diagnostic resolution; experiment F5 measures exactly that.
+	NDetect int
+	// NDetectRetries bounds PODEM re-targeting per under-detected fault
+	// (default 8).
+	NDetectRetries int
+	// UseDominance targets the dominance-collapsed fault list instead of
+	// the equivalence-collapsed one: fewer PODEM targets, identical final
+	// detection of the full universe (Result.Detected/Coverage are still
+	// reported against the equivalence-collapsed universe).
+	UseDominance bool
+}
+
+func (cfg *Config) fill() {
+	if cfg.RandomBudget <= 0 {
+		cfg.RandomBudget = 256
+	}
+	if cfg.RandomBatch <= 0 {
+		cfg.RandomBatch = 32
+	}
+	if cfg.PodemBacktrackLimit <= 0 {
+		cfg.PodemBacktrackLimit = 10000
+	}
+	if cfg.NDetectRetries <= 0 {
+		cfg.NDetectRetries = 8
+	}
+}
+
+// Result is the outcome of a Generate run.
+type Result struct {
+	Patterns []sim.Pattern
+	// Detected maps each universe fault index to true when some pattern
+	// detects it.
+	Detected []bool
+	// Untestable lists universe indices PODEM proved untestable.
+	Untestable []int
+	// Aborted lists universe indices where PODEM hit the backtrack limit.
+	Aborted []int
+	// RandomDetected / PodemDetected count detections per phase.
+	RandomDetected, PodemDetected int
+}
+
+// Coverage returns detected/total over the universe used for generation.
+func (r *Result) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range r.Detected {
+		if d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Detected))
+}
+
+// Generate produces a test set for the collapsed stuck-at universe of c.
+func Generate(c *netlist.Circuit, cfg Config) (*Result, error) {
+	cfg.fill()
+	if cfg.UseDominance {
+		// Generate against the smaller dominance list, then re-grade the
+		// result against the equivalence universe so coverage reporting is
+		// comparable across configurations.
+		res, err := GenerateFor(c, fault.CollapseDominance(c), cfg)
+		if err != nil {
+			return nil, err
+		}
+		universe := fault.Collapse(c)
+		det, err := fsim.GradePatterns(c, res.Patterns, universe)
+		if err != nil {
+			return nil, err
+		}
+		res.Detected = det
+		res.Untestable = nil
+		res.Aborted = nil
+		return res, nil
+	}
+	universe := fault.Collapse(c)
+	return GenerateFor(c, universe, cfg)
+}
+
+// GenerateFor produces a test set detecting the given fault universe.
+func GenerateFor(c *netlist.Circuit, universe []fault.StuckAt, cfg Config) (*Result, error) {
+	cfg.fill()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{Detected: make([]bool, len(universe))}
+	remaining := make([]int, len(universe))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	// Phase 1: random patterns with fault dropping.
+	tried := 0
+	for tried < cfg.RandomBudget && len(remaining) > 0 {
+		batch := make([]sim.Pattern, 0, cfg.RandomBatch)
+		for i := 0; i < cfg.RandomBatch && tried < cfg.RandomBudget; i++ {
+			p := make(sim.Pattern, len(c.PIs))
+			for j := range p {
+				p[j] = logic.FromBool(r.Intn(2) == 1)
+			}
+			batch = append(batch, p)
+			tried++
+		}
+		kept, detectedNow, err := usefulPatterns(c, batch, universe, remaining)
+		if err != nil {
+			return nil, err
+		}
+		res.Patterns = append(res.Patterns, kept...)
+		if len(detectedNow) > 0 {
+			res.RandomDetected += len(detectedNow)
+			drop := map[int]bool{}
+			for _, fi := range detectedNow {
+				res.Detected[fi] = true
+				drop[fi] = true
+			}
+			remaining = filterOut(remaining, drop)
+		}
+	}
+
+	// Phase 2: PODEM on survivors.
+	eng := newPodem(c, cfg.PodemBacktrackLimit)
+	for len(remaining) > 0 {
+		fi := remaining[0]
+		f := universe[fi]
+		pat, status := eng.generate(f, r)
+		switch status {
+		case podemFound:
+			// Fill X inputs randomly for better incidental detection.
+			for j := range pat {
+				if pat[j] == logic.X {
+					pat[j] = logic.FromBool(r.Intn(2) == 1)
+				}
+			}
+			res.Patterns = append(res.Patterns, pat)
+			// Drop everything this pattern detects.
+			_, detectedNow, err := usefulPatterns(c, []sim.Pattern{pat}, universe, remaining)
+			if err != nil {
+				return nil, err
+			}
+			if len(detectedNow) == 0 {
+				// The filled pattern must detect its target; if not, the
+				// engine is broken — fail loudly rather than loop.
+				return nil, fmt.Errorf("atpg: PODEM pattern for %s detects nothing", f.Name(c))
+			}
+			res.PodemDetected += len(detectedNow)
+			drop := map[int]bool{}
+			for _, x := range detectedNow {
+				res.Detected[x] = true
+				drop[x] = true
+			}
+			remaining = filterOut(remaining, drop)
+		case podemUntestable:
+			res.Untestable = append(res.Untestable, fi)
+			remaining = remaining[1:]
+		case podemAborted:
+			res.Aborted = append(res.Aborted, fi)
+			remaining = remaining[1:]
+		}
+	}
+
+	// Phase 3 (optional): N-detect top-up. Re-target each under-detected
+	// fault with fresh random fill so PODEM lands on distinct patterns.
+	if cfg.NDetect > 1 {
+		if err := topUpNDetect(c, universe, cfg, r, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// topUpNDetect extends res.Patterns until each detected fault reaches the
+// configured detection count or its retry budget is exhausted.
+func topUpNDetect(c *netlist.Circuit, universe []fault.StuckAt, cfg Config, r *rand.Rand, res *Result) error {
+	counts, err := fsim.DetectionCounts(c, res.Patterns, universe)
+	if err != nil {
+		return err
+	}
+	eng := newPodem(c, cfg.PodemBacktrackLimit)
+	for fi, f := range universe {
+		if !res.Detected[fi] {
+			continue
+		}
+		for retry := 0; counts[fi] < cfg.NDetect && retry < cfg.NDetectRetries; retry++ {
+			pat, status := eng.generate(f, r)
+			if status != podemFound {
+				break
+			}
+			for j := range pat {
+				if pat[j] == logic.X {
+					pat[j] = logic.FromBool(r.Intn(2) == 1)
+				}
+			}
+			// Only keep the pattern if it is a *new* detection vehicle for
+			// this fault (distinct from existing detections is guaranteed
+			// by the count increase check below).
+			probe := append(res.Patterns, pat)
+			newCounts, err := fsim.DetectionCounts(c, probe[len(res.Patterns):], universe[fi:fi+1])
+			if err != nil {
+				return err
+			}
+			if newCounts[0] == 0 {
+				continue
+			}
+			res.Patterns = probe
+			// The added pattern may lift other faults too; fold it in.
+			inc, err := fsim.DetectionCounts(c, probe[len(probe)-1:], universe)
+			if err != nil {
+				return err
+			}
+			for k := range counts {
+				counts[k] += inc[k]
+			}
+		}
+	}
+	return nil
+}
+
+// usefulPatterns fault-simulates batch against the remaining universe
+// subset and returns the patterns that detected something plus the detected
+// universe indices.
+func usefulPatterns(c *netlist.Circuit, batch []sim.Pattern, universe []fault.StuckAt, remaining []int) ([]sim.Pattern, []int, error) {
+	if len(batch) == 0 || len(remaining) == 0 {
+		return nil, nil, nil
+	}
+	fs, err := fsim.NewFaultSim(c, batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	usefulPat := make([]bool, len(batch))
+	var detected []int
+	for _, fi := range remaining {
+		syn := fs.SimulateStuckAt(universe[fi])
+		fp := syn.FailingPatterns()
+		if len(fp) == 0 {
+			continue
+		}
+		detected = append(detected, fi)
+		usefulPat[fp[0]] = true
+	}
+	var kept []sim.Pattern
+	for i, u := range usefulPat {
+		if u {
+			kept = append(kept, batch[i])
+		}
+	}
+	return kept, detected, nil
+}
+
+func filterOut(xs []int, drop map[int]bool) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if !drop[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

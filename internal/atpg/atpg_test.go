@@ -1,0 +1,294 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/fault"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+// verifyDetects asserts that the pattern set detects fault f.
+func verifyDetects(t *testing.T, c *netlist.Circuit, res *Result, f fault.StuckAt) bool {
+	t.Helper()
+	fs, err := fsim.NewFaultSim(c, res.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs.SimulateStuckAt(f).Detected()
+}
+
+func TestGenerateC17FullCoverage(t *testing.T) {
+	c := circuits.C17()
+	res, err := Generate(c, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1.0 {
+		t.Fatalf("c17 coverage %.3f, want 1.0 (untestable %v aborted %v)",
+			res.Coverage(), res.Untestable, res.Aborted)
+	}
+	if len(res.Untestable) != 0 || len(res.Aborted) != 0 {
+		t.Fatalf("c17 has no untestable faults: %v / %v", res.Untestable, res.Aborted)
+	}
+	// Verify claim by independent fault simulation.
+	for _, f := range fault.Collapse(c) {
+		if !verifyDetects(t, c, res, f) {
+			t.Fatalf("claimed coverage but %s undetected", f.Name(c))
+		}
+	}
+}
+
+func TestGenerateAdder(t *testing.T) {
+	c, err := circuits.RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(c, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 1.0 {
+		t.Fatalf("adder coverage %.3f (untestable %d aborted %d)",
+			res.Coverage(), len(res.Untestable), len(res.Aborted))
+	}
+}
+
+func TestGenerateRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		c, err := circuits.Generate(circuits.GenConfig{Seed: seed, NumPIs: 10, NumGates: 200, NumPOs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Generate(c, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random logic can contain untestable faults (redundancy); the
+		// requirement is that every *testable* fault is covered: no aborts
+		// and detected + untestable = universe.
+		if len(res.Aborted) != 0 {
+			t.Fatalf("seed %d: %d aborted faults", seed, len(res.Aborted))
+		}
+		nDet := 0
+		for _, d := range res.Detected {
+			if d {
+				nDet++
+			}
+		}
+		if nDet+len(res.Untestable) != len(res.Detected) {
+			t.Fatalf("seed %d: %d detected + %d untestable ≠ %d universe",
+				seed, nDet, len(res.Untestable), len(res.Detected))
+		}
+		if res.Coverage() < 0.9 {
+			t.Fatalf("seed %d: coverage %.3f suspiciously low", seed, res.Coverage())
+		}
+	}
+}
+
+// TestPodemDirect exercises the PODEM engine alone (no random phase) on
+// every collapsed fault of several structured circuits.
+func TestPodemDirect(t *testing.T) {
+	mk := func() []*netlist.Circuit {
+		c1 := circuits.C17()
+		c2, _ := circuits.RippleAdder(3)
+		c3, _ := circuits.MuxTree(2)
+		c4, _ := circuits.Decoder(2)
+		c5, _ := circuits.ParityTree(5)
+		return []*netlist.Circuit{c1, c2, c3, c4, c5}
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range mk() {
+		eng := newPodem(c, 10000)
+		for _, f := range fault.Collapse(c) {
+			pat, status := eng.generate(f, rng)
+			if status == podemAborted {
+				t.Fatalf("%s: aborted on %s", c.Name, f.Name(c))
+			}
+			if status == podemUntestable {
+				// Verify untestability on small circuits by exhaustion.
+				if len(c.PIs) <= 12 {
+					if exhaustivelyTestable(t, c, f) {
+						t.Fatalf("%s: %s declared untestable but is testable", c.Name, f.Name(c))
+					}
+				}
+				continue
+			}
+			// Fill remaining X's with 0 and verify detection.
+			for i := range pat {
+				if pat[i] == logic.X {
+					pat[i] = logic.Zero
+				}
+			}
+			fsm, err := fsim.NewFaultSim(c, []Pattern{pat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fsm.SimulateStuckAt(f).Detected() {
+				t.Fatalf("%s: PODEM pattern %s does not detect %s", c.Name, pat, f.Name(c))
+			}
+		}
+	}
+}
+
+// Pattern aliases sim.Pattern for test readability.
+type Pattern = sim.Pattern
+
+// exhaustivelyTestable checks testability by trying all input combinations.
+func exhaustivelyTestable(t *testing.T, c *netlist.Circuit, f fault.StuckAt) bool {
+	t.Helper()
+	npi := len(c.PIs)
+	pats := make([]Pattern, 0, 1<<npi)
+	for m := 0; m < 1<<npi; m++ {
+		p := make(Pattern, npi)
+		for i := 0; i < npi; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		pats = append(pats, p)
+	}
+	fs, err := fsim.NewFaultSim(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs.SimulateStuckAt(f).Detected()
+}
+
+// TestPodemUntestableRedundant builds a redundant circuit (z = OR(a, AND(a,b)))
+// where AND output sa0 is untestable and checks PODEM proves it.
+func TestPodemUntestableRedundant(t *testing.T) {
+	c := netlist.NewCircuit("red")
+	a := c.MustAddGate(netlist.Input, "a")
+	b := c.MustAddGate(netlist.Input, "b")
+	g := c.MustAddGate(netlist.And, "g", a, b)
+	z := c.MustAddGate(netlist.Or, "z", a, g)
+	if err := c.MarkPO(z); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	eng := newPodem(c, 10000)
+	rng := rand.New(rand.NewSource(1))
+	// g sa0: detection needs g=1 (a=b=1) and propagation needs a=0: conflict.
+	_, status := eng.generate(fault.StuckAt{Net: g, Value1: false}, rng)
+	if status != podemUntestable {
+		t.Fatalf("redundant fault not proven untestable (status %d)", status)
+	}
+	// Sanity: the testable fault z sa0 gets a pattern.
+	pat, status := eng.generate(fault.StuckAt{Net: z, Value1: false}, rng)
+	if status != podemFound || pat == nil {
+		t.Fatalf("z sa0 should be testable (status %d)", status)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 5, NumPIs: 8, NumGates: 100, NumPOs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(c, Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c, Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(a.Patterns), len(b.Patterns))
+	}
+	for i := range a.Patterns {
+		for j := range a.Patterns[i] {
+			if a.Patterns[i][j] != b.Patterns[i][j] {
+				t.Fatal("patterns differ between identical runs")
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.RandomBudget <= 0 || cfg.RandomBatch <= 0 || cfg.PodemBacktrackLimit <= 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	r := &Result{}
+	if r.Coverage() != 0 {
+		t.Fatal("empty result coverage must be 0")
+	}
+}
+
+// TestNDetect: the N-detect top-up must raise every detected fault's
+// detection count to ≥N (up to the retry budget) without losing coverage.
+func TestNDetect(t *testing.T) {
+	c, err := circuits.RippleAdder(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Generate(c, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := Generate(c, Config{Seed: 13, NDetect: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nd.Patterns) <= len(base.Patterns) {
+		t.Fatalf("N-detect added no patterns: %d vs %d", len(nd.Patterns), len(base.Patterns))
+	}
+	if nd.Coverage() < base.Coverage() {
+		t.Fatal("N-detect lost coverage")
+	}
+	universe := fault.Collapse(c)
+	counts, err := fsim.DetectionCounts(c, nd.Patterns, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := 0
+	for i, d := range nd.Detected {
+		if d && counts[i] < 3 {
+			short++
+		}
+	}
+	// The retry budget may leave a few hard faults short; most must reach N.
+	if frac := float64(short) / float64(len(universe)); frac > 0.1 {
+		t.Fatalf("%.0f%% of faults under-detected after N-detect top-up", 100*frac)
+	}
+}
+
+// TestUseDominanceSameCoverage: targeting the dominance-collapsed list must
+// reach the same coverage of the equivalence universe with no more (and
+// typically fewer) deterministic targets.
+func TestUseDominanceSameCoverage(t *testing.T) {
+	for _, mk := range []func() (*netlist.Circuit, error){
+		func() (*netlist.Circuit, error) { return circuits.C17(), nil },
+		func() (*netlist.Circuit, error) { return circuits.RippleAdder(6) },
+	} {
+		c, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Generate(c, Config{Seed: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom, err := Generate(c, Config{Seed: 19, UseDominance: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dom.Coverage() < base.Coverage() {
+			t.Fatalf("%s: dominance targeting lost coverage: %.3f < %.3f",
+				c.Name, dom.Coverage(), base.Coverage())
+		}
+		if len(dom.Detected) != len(base.Detected) {
+			t.Fatalf("%s: coverage reported over different universes", c.Name)
+		}
+	}
+}

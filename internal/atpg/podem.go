@@ -1,0 +1,292 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"multidiag/internal/fault"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+// podemStatus is the outcome of one PODEM run.
+type podemStatus uint8
+
+const (
+	podemFound podemStatus = iota
+	podemUntestable
+	podemAborted
+)
+
+// podem is a deterministic test generator for single stuck-at faults using
+// the PODEM (path-oriented decision making) algorithm: decisions are made
+// only on primary inputs, implications are computed by dual-machine
+// (good/faulty) three-valued simulation, and the search backtracks through
+// an explicit decision stack.
+type podem struct {
+	c            *netlist.Circuit
+	backtrackLim int
+	good, faulty []logic.Value
+	assign       sim.Pattern // current PI assignment (X = unassigned)
+	piIndex      map[netlist.NetID]int
+}
+
+func newPodem(c *netlist.Circuit, backtrackLim int) *podem {
+	p := &podem{
+		c:            c,
+		backtrackLim: backtrackLim,
+		good:         make([]logic.Value, c.NumGates()),
+		faulty:       make([]logic.Value, c.NumGates()),
+		assign:       make(sim.Pattern, len(c.PIs)),
+		piIndex:      make(map[netlist.NetID]int, len(c.PIs)),
+	}
+	for i, pi := range c.PIs {
+		p.piIndex[pi] = i
+	}
+	return p
+}
+
+// imply simulates both machines from the current PI assignment. The faulty
+// machine forces the fault site to its stuck value.
+func (p *podem) imply(f fault.StuckAt) {
+	stuck := logic.Zero
+	if f.Value1 {
+		stuck = logic.One
+	}
+	for i := range p.good {
+		p.good[i] = logic.X
+		p.faulty[i] = logic.X
+	}
+	for i, pi := range p.c.PIs {
+		p.good[pi] = p.assign[i]
+		p.faulty[pi] = p.assign[i]
+	}
+	if f.Net < netlist.NetID(len(p.faulty)) {
+		// The faulty value at the site is pinned regardless of drive.
+		p.faulty[f.Net] = stuck
+	}
+	for _, id := range p.c.LevelOrder() {
+		g := &p.c.Gates[id]
+		if g.Type == netlist.Input {
+			if id == f.Net {
+				p.faulty[id] = stuck
+			}
+			continue
+		}
+		p.good[id] = sim.EvalScalarGate(g.Type, g.Fanin, func(n netlist.NetID) logic.Value { return p.good[n] })
+		if id == f.Net {
+			p.faulty[id] = stuck
+		} else {
+			p.faulty[id] = sim.EvalScalarGate(g.Type, g.Fanin, func(n netlist.NetID) logic.Value { return p.faulty[n] })
+		}
+	}
+}
+
+// detected reports whether any PO shows a determinate good/faulty mismatch.
+func (p *podem) detected() bool {
+	for _, po := range p.c.POs {
+		if p.good[po].IsKnown() && p.faulty[po].IsKnown() && p.good[po] != p.faulty[po] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasD reports whether net n carries an error (known, differing values).
+func (p *podem) hasD(n netlist.NetID) bool {
+	return p.good[n].IsKnown() && p.faulty[n].IsKnown() && p.good[n] != p.faulty[n]
+}
+
+// dFrontier returns gates with at least one D input and an X (in either
+// machine) output.
+func (p *podem) dFrontier() []netlist.NetID {
+	var out []netlist.NetID
+	for i := range p.c.Gates {
+		g := &p.c.Gates[i]
+		if g.Type == netlist.Input {
+			continue
+		}
+		if p.good[g.ID].IsKnown() && p.faulty[g.ID].IsKnown() {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if p.hasD(f) {
+				out = append(out, g.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathToPO reports whether an X-valued path exists from any of the given
+// gates to a primary output (the standard PODEM pruning check).
+func (p *podem) xPathToPO(from []netlist.NetID) bool {
+	if len(from) == 0 {
+		return false
+	}
+	seen := make(map[netlist.NetID]bool, len(from))
+	stack := append([]netlist.NetID(nil), from...)
+	for _, n := range from {
+		seen[n] = true
+	}
+	isX := func(n netlist.NetID) bool { return !p.good[n].IsKnown() || !p.faulty[n].IsKnown() }
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.c.IsPO(n) && isX(n) {
+			return true
+		}
+		for _, rd := range p.c.Gates[n].Fanout {
+			if !seen[rd] && isX(rd) {
+				seen[rd] = true
+				stack = append(stack, rd)
+			}
+		}
+	}
+	return false
+}
+
+// objective returns the next (net, value) objective, or ok=false when the
+// current state cannot lead to detection (conflict → backtrack).
+func (p *podem) objective(f fault.StuckAt) (netlist.NetID, logic.Value, bool) {
+	stuck := logic.Zero
+	if f.Value1 {
+		stuck = logic.One
+	}
+	want := stuck.Not()
+	// Fault activation first: good value at the site must become ¬stuck.
+	switch p.good[f.Net] {
+	case logic.X:
+		return f.Net, want, true
+	case stuck:
+		return 0, logic.X, false // activation impossible under current assignment
+	}
+	// Activated: drive the error through the D-frontier.
+	df := p.dFrontier()
+	if len(df) == 0 || !p.xPathToPO(df) {
+		return 0, logic.X, false
+	}
+	g := df[0]
+	gate := &p.c.Gates[g]
+	cv, hasCV := gate.Type.ControllingValue()
+	for _, in := range gate.Fanin {
+		if p.good[in] == logic.X || p.faulty[in] == logic.X {
+			if hasCV {
+				// Non-controlling value lets the D through.
+				return in, logic.FromBool(!cv), true
+			}
+			// XOR-family: any determinate value sensitizes.
+			return in, logic.Zero, true
+		}
+	}
+	return 0, logic.X, false
+}
+
+// backtrace maps an internal objective to a primary-input assignment by
+// walking backward through X-valued nets.
+func (p *podem) backtrace(n netlist.NetID, v logic.Value) (netlist.NetID, logic.Value) {
+	for {
+		g := &p.c.Gates[n]
+		if g.Type == netlist.Input {
+			return n, v
+		}
+		if g.Type.Inverting() {
+			v = v.Not()
+		}
+		// Choose an X-valued input to pursue.
+		next := netlist.InvalidNet
+		for _, in := range g.Fanin {
+			if p.good[in] == logic.X {
+				next = in
+				break
+			}
+		}
+		if next == netlist.InvalidNet {
+			// All inputs determinate: objective is unachievable from here;
+			// return an arbitrary PI in the cone so the caller's imply/check
+			// loop discovers the conflict and backtracks.
+			next = g.Fanin[0]
+		}
+		switch g.Type {
+		case netlist.Xor, netlist.Xnor:
+			// Required input value depends on the other inputs; when they
+			// are not all known, an arbitrary choice is fine — PODEM will
+			// correct through search.
+			acc := logic.Zero
+			known := true
+			for _, in := range g.Fanin {
+				if in == next {
+					continue
+				}
+				if !p.good[in].IsKnown() {
+					known = false
+					break
+				}
+				acc = acc.Xor(p.good[in])
+			}
+			if known {
+				v = v.Xor(acc)
+			} else {
+				v = logic.Zero
+			}
+		}
+		n = next
+	}
+}
+
+// generate attempts to produce a pattern detecting f. rng randomizes value
+// ordering to decorrelate patterns across targets.
+func (p *podem) generate(f fault.StuckAt, rng *rand.Rand) (sim.Pattern, podemStatus) {
+	for i := range p.assign {
+		p.assign[i] = logic.X
+	}
+	type decision struct {
+		pi        int
+		triedBoth bool
+	}
+	var stack []decision
+	backtracks := 0
+
+	for {
+		p.imply(f)
+		if p.detected() {
+			return p.assign.Clone(), podemFound
+		}
+		obj, objV, ok := p.objective(f)
+		if ok {
+			piNet, v := p.backtrace(obj, objV)
+			pi := p.piIndex[piNet]
+			if p.assign[pi] != logic.X {
+				// Backtrace landed on an assigned PI: treat as conflict.
+				ok = false
+			} else {
+				p.assign[pi] = v
+				stack = append(stack, decision{pi: pi})
+				continue
+			}
+		}
+		if !ok {
+			// Backtrack: flip the most recent single-tried decision.
+			flipped := false
+			for len(stack) > 0 {
+				top := &stack[len(stack)-1]
+				if !top.triedBoth {
+					p.assign[top.pi] = p.assign[top.pi].Not()
+					top.triedBoth = true
+					flipped = true
+					backtracks++
+					break
+				}
+				p.assign[top.pi] = logic.X
+				stack = stack[:len(stack)-1]
+			}
+			if !flipped {
+				return nil, podemUntestable
+			}
+			if backtracks > p.backtrackLim {
+				return nil, podemAborted
+			}
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package baseline
+
+import (
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/logic"
+	"multidiag/internal/metrics"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+func exhaustivePatterns(npi int) []sim.Pattern {
+	n := 1 << npi
+	pats := make([]sim.Pattern, n)
+	for m := 0; m < n; m++ {
+		p := make(sim.Pattern, npi)
+		for i := 0; i < npi; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		pats[m] = p
+	}
+	return pats
+}
+
+func injectedLog(t *testing.T, c *netlist.Circuit, pats []sim.Pattern, ds []defect.Defect) *tester.Datalog {
+	t.Helper()
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func score(t *testing.T, c *netlist.Circuit, ds []defect.Defect, res *Result) metrics.Score {
+	t.Helper()
+	var cands []metrics.Candidate
+	for _, nets := range res.Nets() {
+		cands = append(cands, metrics.Candidate{Nets: nets})
+	}
+	return metrics.EvaluateRegion(c, ds, cands, 1)
+}
+
+// TestSingleDefectAllBaselines: on a single stuck defect with exhaustive
+// patterns every baseline must succeed — the assumptions all hold there.
+func TestSingleDefectAllBaselines(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}}
+	log := injectedLog(t, c, pats, ds)
+
+	slat, err := SLAT(c, pats, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !score(t, c, ds, slat).Success() {
+		t.Errorf("SLAT missed a single stuck defect: %+v", slat.Multiplet)
+	}
+	if slat.NonSLATPatterns != 0 {
+		t.Errorf("single stuck defect produced %d non-SLAT patterns", slat.NonSLATPatterns)
+	}
+
+	inter, err := Intersection(c, pats, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !score(t, c, ds, inter).Success() {
+		t.Errorf("Intersection missed a single stuck defect: %+v", inter.Multiplet)
+	}
+
+	dict, err := BuildDictionary(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dict.Diagnose(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !score(t, c, ds, dres).Success() {
+		t.Errorf("Dictionary missed a single stuck defect: %+v", dres.Multiplet)
+	}
+}
+
+// TestIntersectionCollapsesOnDoubleDefect demonstrates the failure mode the
+// intersection baseline exists to exhibit: two defects with disjoint
+// failing-pattern populations usually empty the global intersection.
+func TestIntersectionDegradesOnMultiDefect(t *testing.T) {
+	c, err := circuits.RippleAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomPatterns(64, len(c.PIs))
+	emptied := 0
+	runs := 0
+	for seed := int64(0); seed < 10; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: 3, MixStuck: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err := tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) < 2 {
+			continue
+		}
+		runs++
+		res, err := Intersection(c, pats, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Multiplet) == 0 {
+			emptied++
+		}
+	}
+	if runs == 0 {
+		t.Skip("no activated runs")
+	}
+	if emptied == 0 {
+		t.Log("intersection never emptied on this campaign (unusual but possible)")
+	}
+}
+
+// TestSLATCountsNonSLATPatterns: engineered double defect producing a
+// jointly-failing pattern registers non-SLAT patterns.
+func TestSLATCountsNonSLATPatterns(t *testing.T) {
+	c, err := circuits.RippleAdder(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomPatterns(96, len(c.PIs))
+	sawNonSLAT := false
+	for seed := int64(0); seed < 20 && !sawNonSLAT; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err := tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) == 0 {
+			continue
+		}
+		res, err := SLAT(c, pats, log, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NonSLATPatterns > 0 {
+			sawNonSLAT = true
+		}
+	}
+	if !sawNonSLAT {
+		t.Error("no non-SLAT pattern observed across 20 multi-defect devices — SLAT classification suspicious")
+	}
+}
+
+func TestDictionaryNearestMatchOnMultiDefect(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	dict, err := BuildDictionary(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double defect: syndrome unlikely to be in the single-fault dictionary.
+	ds := []defect.Defect{
+		{Kind: defect.StuckNet, Net: c.NetByName("G10"), Value1: true},
+		{Kind: defect.StuckNet, Net: c.NetByName("G19"), Value1: true},
+	}
+	log := injectedLog(t, c, pats, ds)
+	if len(log.Fails) == 0 {
+		t.Skip("not activated")
+	}
+	res, err := dict.Diagnose(log, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Multiplet) == 0 {
+		t.Fatal("nearest-match returned nothing")
+	}
+	if len(res.Multiplet) > 5 {
+		t.Fatalf("topK ignored: %d", len(res.Multiplet))
+	}
+}
+
+func TestBaselinesOnCleanDevice(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	dev := c.Clone()
+	if err := dev.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slat, err := SLAT(c, pats, log, 0)
+	if err != nil || len(slat.Multiplet) != 0 {
+		t.Error("SLAT on clean device")
+	}
+	inter, err := Intersection(c, pats, log)
+	if err != nil || len(inter.Multiplet) != 0 {
+		t.Error("Intersection on clean device")
+	}
+	dict, err := BuildDictionary(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dict.Diagnose(log, 0)
+	if err != nil || len(dres.Multiplet) != 0 {
+		t.Error("Dictionary on clean device")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	bad := &tester.Datalog{NumPatterns: 1, NumPOs: 2}
+	if _, err := SLAT(c, pats, bad, 0); err == nil {
+		t.Error("SLAT accepted bad datalog")
+	}
+	if _, err := Intersection(c, pats, bad); err == nil {
+		t.Error("Intersection accepted bad datalog")
+	}
+	dict, err := BuildDictionary(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dict.Diagnose(bad, 0); err == nil {
+		t.Error("Dictionary accepted bad datalog")
+	}
+}
+
+func randomPatterns(n, width int) []sim.Pattern {
+	// Deterministic linear-congruential fill keeps this helper seedless.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 32
+	}
+	pats := make([]sim.Pattern, n)
+	for i := range pats {
+		p := make(sim.Pattern, width)
+		for j := range p {
+			p[j] = logic.FromBool(next()&1 == 1)
+		}
+		pats[i] = p
+	}
+	return pats
+}
+
+// TestPassFailDictionaryCoarser: the pass/fail dictionary must still find
+// single stuck defects but with resolution no better than the
+// full-response dictionary (and strictly worse somewhere on the circuit).
+func TestPassFailDictionaryCoarser(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	dict, err := BuildDictionary(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worseSomewhere := false
+	for i := range c.Gates {
+		if c.Gates[i].Type == netlist.Input {
+			continue
+		}
+		for _, v1 := range []bool{false, true} {
+			ds := []defect.Defect{{Kind: defect.StuckNet, Net: netlist.NetID(i), Value1: v1}}
+			log := injectedLog(t, c, pats, ds)
+			if len(log.Fails) == 0 {
+				continue
+			}
+			full, err := dict.Diagnose(log, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf, err := dict.DiagnosePassFail(log, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !score(t, c, ds, pf).Success() {
+				t.Errorf("pass/fail dictionary missed %s=%v", c.Gates[i].Name, v1)
+			}
+			if len(pf.Multiplet) < len(full.Multiplet) {
+				t.Errorf("pass/fail resolution better than full response at %s=%v (%d < %d)",
+					c.Gates[i].Name, v1, len(pf.Multiplet), len(full.Multiplet))
+			}
+			if len(pf.Multiplet) > len(full.Multiplet) {
+				worseSomewhere = true
+			}
+		}
+	}
+	if !worseSomewhere {
+		t.Log("pass/fail never coarser on c17 (tiny circuit); acceptable but unusual")
+	}
+}
+
+func TestPassFailDictionaryCleanAndValidation(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	dict, err := BuildDictionary(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := c.Clone()
+	if err := dev.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dict.DiagnosePassFail(log, 0)
+	if err != nil || len(res.Multiplet) != 0 {
+		t.Error("clean device mishandled")
+	}
+	bad := &tester.Datalog{NumPatterns: 1, NumPOs: 2}
+	if _, err := dict.DiagnosePassFail(bad, 0); err == nil {
+		t.Error("bad datalog accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package bitset provides a compact fixed-capacity bit set used to
+// represent sets of primary outputs (failing-output syndromes) and sets of
+// patterns throughout the fault-simulation and diagnosis code.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a bit set over indices [0, capacity). The zero value of the slice
+// type is an empty set of capacity 0; use New for a sized set.
+type Set []uint64
+
+// New returns an empty set able to hold indices [0, n).
+func New(n int) Set {
+	return make(Set, (n+63)/64)
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	return append(Set(nil), s...)
+}
+
+// Add inserts index i. i must be within capacity.
+func (s Set) Add(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Remove deletes index i.
+func (s Set) Remove(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports membership of i. Out-of-capacity indices report false.
+func (s Set) Has(i int) bool {
+	w := i / 64
+	if w >= len(s) {
+		return false
+	}
+	return s[w]>>(uint(i)%64)&1 == 1
+}
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality (capacities may differ; excess words must be
+// zero).
+func (s Set) Equal(t Set) bool {
+	n := len(s)
+	if len(t) > n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s) {
+			a = s[i]
+		}
+		if i < len(t) {
+			b = t[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s {
+		var b uint64
+		if i < len(t) {
+			b = t[i]
+		}
+		if w&^b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share any member.
+func (s Set) Intersects(t Set) bool {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionWith adds all members of t to s (s must have capacity ≥ t's used
+// range).
+func (s Set) UnionWith(t Set) {
+	for i, w := range t {
+		if i < len(s) {
+			s[i] |= w
+		}
+	}
+}
+
+// IntersectWith removes members of s not in t.
+func (s Set) IntersectWith(t Set) {
+	for i := range s {
+		var b uint64
+		if i < len(t) {
+			b = t[i]
+		}
+		s[i] &= b
+	}
+}
+
+// SubtractWith removes members of t from s.
+func (s Set) SubtractWith(t Set) {
+	for i := range s {
+		if i < len(t) {
+			s[i] &^= t[i]
+		}
+	}
+}
+
+// IntersectCount returns |s ∩ t| without allocating.
+func (s Set) IntersectCount(t Set) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s[i] & t[i])
+	}
+	return c
+}
+
+// SubtractCount returns |s \ t| without allocating.
+func (s Set) SubtractCount(t Set) int {
+	c := 0
+	for i, w := range s {
+		var b uint64
+		if i < len(t) {
+			b = t[i]
+		}
+		c += bits.OnesCount64(w &^ b)
+	}
+	return c
+}
+
+// Clear removes all members.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Members returns the sorted member indices.
+func (s Set) Members() []int {
+	var out []int
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// String renders the set as "{1,5,9}".
+func (s Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, m := range s.Members() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(m))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,180 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 || s.Empty() {
+		t.Fatalf("count = %d", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(128) || s.Has(1000) {
+		t.Error("spurious members")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("Remove failed")
+	}
+	got := s.Members()
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Errorf("Members = %v", got)
+	}
+	if s.String() != "{0,129}" {
+		t.Errorf("String = %q", s.String())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(70)
+	s.Add(5)
+	c := s.Clone()
+	c.Add(69)
+	if s.Has(69) {
+		t.Error("Clone shares storage")
+	}
+	if !c.Has(5) {
+		t.Error("Clone lost member")
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a := New(64)
+	b := New(256)
+	a.Add(3)
+	b.Add(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("equal sets with different capacity reported unequal")
+	}
+	b.Add(200)
+	if a.Equal(b) {
+		t.Error("unequal sets reported equal")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	for _, i := range []int{1, 5, 70} {
+		a.Add(i)
+	}
+	for _, i := range []int{5, 70, 100} {
+		b.Add(i)
+	}
+	if a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("subset misreported")
+	}
+	if !a.Intersects(b) {
+		t.Error("intersects misreported")
+	}
+	if a.IntersectCount(b) != 2 {
+		t.Errorf("IntersectCount = %d", a.IntersectCount(b))
+	}
+	if a.SubtractCount(b) != 1 {
+		t.Errorf("SubtractCount = %d", a.SubtractCount(b))
+	}
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Count() != 4 {
+		t.Errorf("union count = %d", u.Count())
+	}
+	if !a.SubsetOf(u) || !b.SubsetOf(u) {
+		t.Error("union not superset")
+	}
+	i := a.Clone()
+	i.IntersectWith(b)
+	if i.Count() != 2 || !i.Has(5) || !i.Has(70) {
+		t.Errorf("intersection wrong: %v", i)
+	}
+	d := a.Clone()
+	d.SubtractWith(b)
+	if d.Count() != 1 || !d.Has(1) {
+		t.Errorf("difference wrong: %v", d)
+	}
+	empty := New(128)
+	if !empty.SubsetOf(a) {
+		t.Error("empty set must be subset of everything")
+	}
+	if empty.Intersects(a) {
+		t.Error("empty set intersects")
+	}
+}
+
+// TestAlgebraProperties exercises the algebra against a reference map-based
+// implementation with testing/quick.
+func TestAlgebraProperties(t *testing.T) {
+	const n = 192
+	mk := func(bits []uint8) (Set, map[int]bool) {
+		s := New(n)
+		m := map[int]bool{}
+		for _, b := range bits {
+			i := int(b) % n
+			s.Add(i)
+			m[i] = true
+		}
+		return s, m
+	}
+	f := func(xs, ys []uint8) bool {
+		a, ma := mk(xs)
+		b, mb := mk(ys)
+		// Count
+		if a.Count() != len(ma) {
+			return false
+		}
+		// IntersectCount
+		ic := 0
+		for k := range ma {
+			if mb[k] {
+				ic++
+			}
+		}
+		if a.IntersectCount(b) != ic {
+			return false
+		}
+		// SubsetOf
+		sub := true
+		for k := range ma {
+			if !mb[k] {
+				sub = false
+			}
+		}
+		if a.SubsetOf(b) != sub {
+			return false
+		}
+		// Union round trip
+		u := a.Clone()
+		u.UnionWith(b)
+		for k := range ma {
+			if !u.Has(k) {
+				return false
+			}
+		}
+		for k := range mb {
+			if !u.Has(k) {
+				return false
+			}
+		}
+		return u.Count() == len(ma)+len(mb)-ic
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package cio provides the file-level circuit I/O shared by the command
+// line tools: format auto-detection (.bench vs structural Verilog) and
+// optional full-scan conversion of sequential netlists.
+package cio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multidiag/internal/netlist"
+)
+
+// Format identifies a netlist file format.
+type Format uint8
+
+// Supported formats.
+const (
+	FormatAuto Format = iota
+	FormatBench
+	FormatVerilog
+)
+
+// DetectFormat guesses from the extension, falling back to content
+// sniffing (a leading "module" keyword means Verilog).
+func DetectFormat(path string, head []byte) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".v", ".sv", ".vg":
+		return FormatVerilog
+	case ".bench", ".isc":
+		return FormatBench
+	}
+	text := strings.TrimSpace(string(head))
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "module") || strings.HasPrefix(line, "/*") {
+			return FormatVerilog
+		}
+		return FormatBench
+	}
+	return FormatBench
+}
+
+// LoadCircuit reads a netlist file in either format. When scan is true,
+// DFF cells are converted to their full-scan combinational equivalent; the
+// returned count is the number of converted flip-flops (0 for pure
+// combinational input).
+func LoadCircuit(path string, scan bool) (*netlist.Circuit, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(4096)
+	format := DetectFormat(path, head)
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch format {
+	case FormatVerilog:
+		if scan {
+			return netlist.ParseVerilogScan(name, br)
+		}
+		c, err := netlist.ParseVerilog(name, br)
+		return c, 0, err
+	default:
+		if scan {
+			return netlist.ParseBenchScan(name, br)
+		}
+		c, err := netlist.ParseBench(name, br)
+		return c, 0, err
+	}
+}
+
+// SaveCircuit writes the circuit in the format implied by the path
+// extension (.v → Verilog, anything else → .bench).
+func SaveCircuit(path string, c *netlist.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".v", ".sv", ".vg":
+		return netlist.WriteVerilog(f, c)
+	default:
+		return netlist.WriteBench(f, c)
+	}
+}
+
+// MustLoad is LoadCircuit for CLI mains: it exits with a message on error.
+func MustLoad(tool, path string, scan bool) (*netlist.Circuit, int) {
+	c, ffs, err := LoadCircuit(path, scan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+	return c, ffs
+}

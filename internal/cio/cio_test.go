@@ -1,0 +1,97 @@
+package cio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/netlist"
+)
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		path string
+		head string
+		want Format
+	}{
+		{"a.v", "", FormatVerilog},
+		{"a.sv", "", FormatVerilog},
+		{"a.bench", "", FormatBench},
+		{"a.isc", "", FormatBench},
+		{"a.txt", "module m (a);", FormatVerilog},
+		{"a.txt", "// hi\nmodule m (a);", FormatVerilog},
+		{"a.txt", "# bench comment\nINPUT(a)", FormatBench},
+		{"a.txt", "INPUT(a)", FormatBench},
+		{"a.txt", "", FormatBench},
+	}
+	for _, tc := range cases {
+		if got := DetectFormat(tc.path, []byte(tc.head)); got != tc.want {
+			t.Errorf("DetectFormat(%q, %q) = %v want %v", tc.path, tc.head, got, tc.want)
+		}
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := circuits.C17()
+	for _, ext := range []string{".bench", ".v"} {
+		path := filepath.Join(dir, "c17"+ext)
+		if err := SaveCircuit(path, orig); err != nil {
+			t.Fatal(err)
+		}
+		c, ffs, err := LoadCircuit(path, false)
+		if err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		if ffs != 0 {
+			t.Errorf("%s: unexpected ffs %d", ext, ffs)
+		}
+		if c.NumGates() != orig.NumGates() || c.MaxLevel() != orig.MaxLevel() {
+			t.Errorf("%s: structure changed", ext)
+		}
+	}
+}
+
+func TestLoadScanBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	benchSrc := "INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = AND(a, q)\nz = NOT(q)\n"
+	vSrc := "module m (a, z);\n input a;\n output z;\n dff f (q, d);\n and g (d, a, q);\n not h (z, q);\nendmodule\n"
+	for name, src := range map[string]string{"s.bench": benchSrc, "s.v": vSrc} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, ffs, err := LoadCircuit(path, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ffs != 1 {
+			t.Errorf("%s: ffs = %d", name, ffs)
+		}
+		if c.NetByName("q_si") == netlist.InvalidNet {
+			t.Errorf("%s: scan conversion missing", name)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := LoadCircuit("/nonexistent/file.bench", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadMalformed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bench")
+	if err := os.WriteFile(path, []byte("INPUT(a)\nz = FROB(a)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCircuit(path, false); err == nil {
+		t.Fatal("malformed netlist accepted")
+	}
+	if !strings.Contains(strings.ToLower(filepath.Ext(path)), "bench") {
+		t.Skip()
+	}
+}

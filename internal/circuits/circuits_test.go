@@ -1,0 +1,311 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+func TestC17(t *testing.T) {
+	c := C17()
+	if c.NumLogicGates() != 6 || len(c.PIs) != 5 || len(c.POs) != 2 {
+		t.Fatalf("c17 structure: %+v", c.ComputeStats())
+	}
+	// Fresh copies must be independent objects.
+	c2 := C17()
+	if c == c2 {
+		t.Fatal("C17 returned shared instance")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := GenConfig{Seed: 42, NumPIs: 10, NumGates: 200, NumPOs: 8}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGates() != b.NumGates() || len(a.POs) != len(b.POs) {
+		t.Fatal("same seed produced different structure")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type || len(a.Gates[i].Fanin) != len(b.Gates[i].Fanin) {
+			t.Fatalf("gate %d differs", i)
+		}
+		for j := range a.Gates[i].Fanin {
+			if a.Gates[i].Fanin[j] != b.Gates[i].Fanin[j] {
+				t.Fatalf("gate %d fanin differs", i)
+			}
+		}
+	}
+	c, err := Generate(GenConfig{Seed: 43, NumPIs: 10, NumGates: 200, NumPOs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Gates {
+		if a.Gates[i].Type != c.Gates[i].Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical gate types (suspicious)")
+	}
+}
+
+func TestGenerateNoDanglingLogic(t *testing.T) {
+	c, err := Generate(GenConfig{Seed: 7, NumPIs: 12, NumGates: 500, NumPOs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every logic gate must reach some PO (no dead logic).
+	reach := make([]bool, c.NumGates())
+	for _, po := range c.POs {
+		for id, in := range c.FaninCone(po) {
+			if in {
+				reach[id] = true
+			}
+		}
+	}
+	for i := range c.Gates {
+		if c.Gates[i].Type == netlist.Input {
+			continue
+		}
+		if !reach[i] {
+			t.Fatalf("gate %s dangles (unreachable from any PO)", c.Gates[i].Name)
+		}
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	for _, ng := range []int{10, 100, 1000} {
+		c, err := Generate(GenConfig{Seed: 1, NumPIs: 8, NumGates: ng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumLogicGates() != ng {
+			t.Fatalf("requested %d gates, got %d", ng, c.NumLogicGates())
+		}
+		if c.MaxLevel() < 3 {
+			t.Errorf("%d-gate circuit too shallow: depth %d", ng, c.MaxLevel())
+		}
+	}
+	if _, err := Generate(GenConfig{Seed: 1, NumGates: 0}); err == nil {
+		t.Error("zero-gate config accepted")
+	}
+}
+
+// simOutputs runs one pattern and returns PO values as bools.
+func simOutputs(t *testing.T, c *netlist.Circuit, p sim.Pattern) []bool {
+	t.Helper()
+	vals, err := sim.EvalScalar(c, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, len(c.POs))
+	for i, po := range c.POs {
+		v := vals[po]
+		if !v.IsKnown() {
+			t.Fatalf("PO %s is X on determinate input", c.NameOf(po))
+		}
+		out[i] = v == logic.One
+	}
+	return out
+}
+
+func patternFromBits(width int, bits uint64) sim.Pattern {
+	p := make(sim.Pattern, width)
+	for i := 0; i < width; i++ {
+		p[i] = logic.FromBool(bits>>i&1 == 1)
+	}
+	return p
+}
+
+func TestRippleAdderFunction(t *testing.T) {
+	const n = 4
+	c, err := RippleAdder(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PIs) != 2*n+1 || len(c.POs) != n+1 {
+		t.Fatalf("adder io: %d/%d", len(c.PIs), len(c.POs))
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			for cin := uint64(0); cin < 2; cin++ {
+				bits := a | b<<n | cin<<(2*n)
+				out := simOutputs(t, c, patternFromBits(2*n+1, bits))
+				sum := a + b + cin
+				for i := 0; i < n; i++ {
+					if out[i] != (sum>>i&1 == 1) {
+						t.Fatalf("a=%d b=%d cin=%d: s%d wrong", a, b, cin, i)
+					}
+				}
+				if out[n] != (sum>>n&1 == 1) {
+					t.Fatalf("a=%d b=%d cin=%d: cout wrong", a, b, cin)
+				}
+			}
+		}
+	}
+}
+
+func TestArrayMultiplierFunction(t *testing.T) {
+	const n = 3
+	c, err := ArrayMultiplier(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs) != 2*n {
+		t.Fatalf("mul POs = %d", len(c.POs))
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			out := simOutputs(t, c, patternFromBits(2*n, a|b<<n))
+			p := a * b
+			for i := 0; i < 2*n; i++ {
+				if out[i] != (p>>i&1 == 1) {
+					t.Fatalf("a=%d b=%d: p%d wrong (product %d, outputs %v)", a, b, i, p, out)
+				}
+			}
+		}
+	}
+}
+
+func TestArrayMultiplierWidth1(t *testing.T) {
+	c, err := ArrayMultiplier(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs) != 2 {
+		t.Fatalf("mul1 POs = %d", len(c.POs))
+	}
+	out := simOutputs(t, c, patternFromBits(2, 0b11))
+	if !out[0] || out[1] {
+		t.Fatalf("1*1 gave %v", out)
+	}
+}
+
+func TestMuxTreeFunction(t *testing.T) {
+	const k = 3
+	c, err := MuxTree(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << k
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		data := r.Uint64() & (1<<n - 1)
+		s := uint64(r.Intn(n))
+		out := simOutputs(t, c, patternFromBits(n+k, data|s<<n))
+		want := data>>s&1 == 1
+		if out[0] != want {
+			t.Fatalf("mux sel=%d data=%b: got %v", s, data, out[0])
+		}
+	}
+}
+
+func TestParityTreeFunction(t *testing.T) {
+	const n = 9 // odd: exercises the stray-net path
+	c, err := ParityTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(bits uint64) bool {
+		bits &= 1<<n - 1
+		out := simOutputs(t, c, patternFromBits(n, bits))
+		pop := 0
+		for i := 0; i < n; i++ {
+			if bits>>i&1 == 1 {
+				pop++
+			}
+		}
+		return out[0] == (pop%2 == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderFunction(t *testing.T) {
+	const k = 3
+	c, err := Decoder(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint64(0); m < 1<<k; m++ {
+		for en := uint64(0); en < 2; en++ {
+			out := simOutputs(t, c, patternFromBits(k+1, m|en<<k))
+			for i := 0; i < 1<<k; i++ {
+				want := en == 1 && uint64(i) == m
+				if out[i] != want {
+					t.Fatalf("dec m=%d en=%d: y%d = %v", m, en, i, out[i])
+				}
+			}
+		}
+	}
+}
+
+func TestALUSliceFunction(t *testing.T) {
+	const n = 4
+	c, err := ALUSlice(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := uint64(r.Intn(16))
+		b := uint64(r.Intn(16))
+		op := uint64(r.Intn(4))
+		bits := a | b<<n | (op&1)<<(2*n) | (op>>1)<<(2*n+1)
+		out := simOutputs(t, c, patternFromBits(2*n+2, bits))
+		var want uint64
+		switch op {
+		case 0:
+			want = a & b
+		case 1:
+			want = a | b
+		case 2:
+			want = a ^ b
+		case 3:
+			want = a + b
+		}
+		for i := 0; i < n; i++ {
+			if out[i] != (want>>i&1 == 1) {
+				t.Fatalf("alu op=%d a=%d b=%d: r%d wrong", op, a, b, i)
+			}
+		}
+		wantCout := op == 3 && (a+b)>>n&1 == 1
+		if out[n] != wantCout {
+			t.Fatalf("alu op=%d a=%d b=%d: cout wrong", op, a, b)
+		}
+	}
+}
+
+func TestStructuredArgValidation(t *testing.T) {
+	if _, err := RippleAdder(0); err == nil {
+		t.Error("RippleAdder(0) accepted")
+	}
+	if _, err := ArrayMultiplier(0); err == nil {
+		t.Error("ArrayMultiplier(0) accepted")
+	}
+	if _, err := MuxTree(0); err == nil {
+		t.Error("MuxTree(0) accepted")
+	}
+	if _, err := ParityTree(1); err == nil {
+		t.Error("ParityTree(1) accepted")
+	}
+	if _, err := Decoder(0); err == nil {
+		t.Error("Decoder(0) accepted")
+	}
+	if _, err := ALUSlice(0); err == nil {
+		t.Error("ALUSlice(0) accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package circuits
+
+import (
+	"fmt"
+
+	"multidiag/internal/netlist"
+)
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a[0..n-1],
+// b[0..n-1], cin; outputs s[0..n-1], cout. Full adders are built from
+// XOR/AND/OR primitives, so the circuit has heavy reconvergent fanout —
+// a good diagnosis stress case.
+func RippleAdder(n int) (*netlist.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: adder width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("add%d", n))
+	a := make([]netlist.NetID, n)
+	b := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("b%d", i))
+	}
+	carry := c.MustAddGate(netlist.Input, "cin")
+	for i := 0; i < n; i++ {
+		axb := c.MustAddGate(netlist.Xor, fmt.Sprintf("axb%d", i), a[i], b[i])
+		s := c.MustAddGate(netlist.Xor, fmt.Sprintf("s%d", i), axb, carry)
+		t1 := c.MustAddGate(netlist.And, fmt.Sprintf("t1_%d", i), a[i], b[i])
+		t2 := c.MustAddGate(netlist.And, fmt.Sprintf("t2_%d", i), axb, carry)
+		carry = c.MustAddGate(netlist.Or, fmt.Sprintf("c%d", i+1), t1, t2)
+		if err := c.MarkPO(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.MarkPO(carry); err != nil {
+		return nil, err
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ArrayMultiplier builds an n×n-bit unsigned array multiplier with inputs
+// a[0..n-1], b[0..n-1] and outputs p[0..2n-1].
+func ArrayMultiplier(n int) (*netlist.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: multiplier width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("mul%d", n))
+	a := make([]netlist.NetID, n)
+	b := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a[j] AND b[i].
+	pp := make([][]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]netlist.NetID, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = c.MustAddGate(netlist.And, fmt.Sprintf("pp_%d_%d", i, j), a[j], b[i])
+		}
+	}
+	// Row-by-row carry-save accumulation with full adders.
+	fa := func(tag string, x, y, cin netlist.NetID) (s, cout netlist.NetID) {
+		xy := c.MustAddGate(netlist.Xor, "fx_"+tag, x, y)
+		s = c.MustAddGate(netlist.Xor, "fs_"+tag, xy, cin)
+		t1 := c.MustAddGate(netlist.And, "fa_"+tag, x, y)
+		t2 := c.MustAddGate(netlist.And, "fb_"+tag, xy, cin)
+		cout = c.MustAddGate(netlist.Or, "fc_"+tag, t1, t2)
+		return
+	}
+	ha := func(tag string, x, y netlist.NetID) (s, cout netlist.NetID) {
+		s = c.MustAddGate(netlist.Xor, "hs_"+tag, x, y)
+		cout = c.MustAddGate(netlist.And, "hc_"+tag, x, y)
+		return
+	}
+	prod := make([]netlist.NetID, 0, 2*n)
+	row := append([]netlist.NetID(nil), pp[0]...) // running sum, bit j holds weight j+i after row i
+	prod = append(prod, row[0])
+	row = row[1:]
+	for i := 1; i < n; i++ {
+		next := make([]netlist.NetID, 0, n)
+		var carry netlist.NetID = netlist.InvalidNet
+		for j := 0; j < n; j++ {
+			var x netlist.NetID
+			hasX := false
+			if j < len(row) {
+				x, hasX = row[j], true
+			}
+			y := pp[i][j]
+			tag := fmt.Sprintf("%d_%d", i, j)
+			var s netlist.NetID
+			switch {
+			case hasX && carry != netlist.InvalidNet:
+				s, carry = fa(tag, x, y, carry)
+			case hasX:
+				s, carry = ha(tag, x, y)
+			case carry != netlist.InvalidNet:
+				s, carry = ha(tag, y, carry)
+			default:
+				s = y
+			}
+			next = append(next, s)
+		}
+		if carry != netlist.InvalidNet {
+			next = append(next, carry)
+		}
+		prod = append(prod, next[0])
+		row = next[1:]
+	}
+	prod = append(prod, row...)
+	for len(prod) < 2*n {
+		// Width-1 multiplier has a single product bit; pad with constant-0
+		// via XOR(a0,a0). Only reachable for n==1.
+		z := c.MustAddGate(netlist.Xor, fmt.Sprintf("zero%d", len(prod)), a[0], a[0])
+		prod = append(prod, z)
+	}
+	for i, p := range prod {
+		_ = i
+		if err := c.MarkPO(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MuxTree builds a 2^k-to-1 multiplexer tree: data inputs d0..d(2^k-1),
+// select inputs s0..s(k-1), output "y".
+func MuxTree(k int) (*netlist.Circuit, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("circuits: mux select width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("mux%d", 1<<k))
+	n := 1 << k
+	data := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		data[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("d%d", i))
+	}
+	sel := make([]netlist.NetID, k)
+	for i := 0; i < k; i++ {
+		sel[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("s%d", i))
+	}
+	cur := data
+	for lvl := 0; lvl < k; lvl++ {
+		sn := c.MustAddGate(netlist.Not, fmt.Sprintf("sn%d", lvl), sel[lvl])
+		next := make([]netlist.NetID, len(cur)/2)
+		for i := range next {
+			lo := c.MustAddGate(netlist.And, fmt.Sprintf("lo_%d_%d", lvl, i), cur[2*i], sn)
+			hi := c.MustAddGate(netlist.And, fmt.Sprintf("hi_%d_%d", lvl, i), cur[2*i+1], sel[lvl])
+			next[i] = c.MustAddGate(netlist.Or, fmt.Sprintf("m_%d_%d", lvl, i), lo, hi)
+		}
+		cur = next
+	}
+	y := c.MustAddGate(netlist.Buf, "y", cur[0])
+	if err := c.MarkPO(y); err != nil {
+		return nil, err
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParityTree builds an n-input XOR parity tree with output "p".
+func ParityTree(n int) (*netlist.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("circuits: parity needs ≥2 inputs")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("par%d", n))
+	cur := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		cur[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("i%d", i))
+	}
+	lvl := 0
+	for len(cur) > 1 {
+		var next []netlist.NetID
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, c.MustAddGate(netlist.Xor, fmt.Sprintf("x_%d_%d", lvl, i/2), cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+		lvl++
+	}
+	p := c.MustAddGate(netlist.Buf, "p", cur[0])
+	if err := c.MarkPO(p); err != nil {
+		return nil, err
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Decoder builds a k-to-2^k one-hot decoder with enable: inputs a0..a(k-1),
+// en; outputs y0..y(2^k-1).
+func Decoder(k int) (*netlist.Circuit, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("circuits: decoder width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("dec%d", k))
+	a := make([]netlist.NetID, k)
+	an := make([]netlist.NetID, k)
+	for i := 0; i < k; i++ {
+		a[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("a%d", i))
+	}
+	en := c.MustAddGate(netlist.Input, "en")
+	for i := 0; i < k; i++ {
+		an[i] = c.MustAddGate(netlist.Not, fmt.Sprintf("an%d", i), a[i])
+	}
+	for m := 0; m < 1<<k; m++ {
+		fanin := make([]netlist.NetID, 0, k+1)
+		for i := 0; i < k; i++ {
+			if m>>i&1 == 1 {
+				fanin = append(fanin, a[i])
+			} else {
+				fanin = append(fanin, an[i])
+			}
+		}
+		fanin = append(fanin, en)
+		y := c.MustAddGate(netlist.And, fmt.Sprintf("y%d", m), fanin...)
+		if err := c.MarkPO(y); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ALUSlice builds an n-bit ALU supporting four ops selected by (op1,op0):
+// 00 AND, 01 OR, 10 XOR, 11 ADD (ripple). Inputs a*, b*, op0, op1; outputs
+// r0..r(n-1) and carry "cout" (meaningful for ADD only, 0-selected
+// otherwise is fine for test workloads).
+func ALUSlice(n int) (*netlist.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: ALU width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("alu%d", n))
+	a := make([]netlist.NetID, n)
+	b := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("b%d", i))
+	}
+	op0 := c.MustAddGate(netlist.Input, "op0")
+	op1 := c.MustAddGate(netlist.Input, "op1")
+	op0n := c.MustAddGate(netlist.Not, "op0n", op0)
+	op1n := c.MustAddGate(netlist.Not, "op1n", op1)
+	selAnd := c.MustAddGate(netlist.And, "selAnd", op1n, op0n)
+	selOr := c.MustAddGate(netlist.And, "selOr", op1n, op0)
+	selXor := c.MustAddGate(netlist.And, "selXor", op1, op0n)
+	selAdd := c.MustAddGate(netlist.And, "selAdd", op1, op0)
+
+	// Ripple carry chain for ADD.
+	carry := c.MustAddGate(netlist.And, "c0", op0, op0n) // constant 0
+	sums := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		axb := c.MustAddGate(netlist.Xor, fmt.Sprintf("axb%d", i), a[i], b[i])
+		sums[i] = c.MustAddGate(netlist.Xor, fmt.Sprintf("sum%d", i), axb, carry)
+		t1 := c.MustAddGate(netlist.And, fmt.Sprintf("t1_%d", i), a[i], b[i])
+		t2 := c.MustAddGate(netlist.And, fmt.Sprintf("t2_%d", i), axb, carry)
+		carry = c.MustAddGate(netlist.Or, fmt.Sprintf("c%d", i+1), t1, t2)
+	}
+	for i := 0; i < n; i++ {
+		andi := c.MustAddGate(netlist.And, fmt.Sprintf("andi%d", i), a[i], b[i])
+		ori := c.MustAddGate(netlist.Or, fmt.Sprintf("ori%d", i), a[i], b[i])
+		xori := c.MustAddGate(netlist.Xor, fmt.Sprintf("xori%d", i), a[i], b[i])
+		m0 := c.MustAddGate(netlist.And, fmt.Sprintf("m0_%d", i), andi, selAnd)
+		m1 := c.MustAddGate(netlist.And, fmt.Sprintf("m1_%d", i), ori, selOr)
+		m2 := c.MustAddGate(netlist.And, fmt.Sprintf("m2_%d", i), xori, selXor)
+		m3 := c.MustAddGate(netlist.And, fmt.Sprintf("m3_%d", i), sums[i], selAdd)
+		r := c.MustAddGate(netlist.Or, fmt.Sprintf("r%d", i), m0, m1, m2, m3)
+		if err := c.MarkPO(r); err != nil {
+			return nil, err
+		}
+	}
+	coutG := c.MustAddGate(netlist.And, "cout", carry, selAdd)
+	if err := c.MarkPO(coutG); err != nil {
+		return nil, err
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

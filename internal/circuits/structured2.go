@@ -1,0 +1,189 @@
+package circuits
+
+import (
+	"fmt"
+
+	"multidiag/internal/netlist"
+)
+
+// CarryLookaheadAdder builds an n-bit adder with 4-bit carry-lookahead
+// groups (generate/propagate logic), inputs a*, b*, cin; outputs s*, cout.
+// Compared to the ripple adder it is shallower with much wider gates and
+// heavier reconvergence — a different diagnosis stress profile.
+func CarryLookaheadAdder(n int) (*netlist.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: CLA width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("cla%d", n))
+	a := make([]netlist.NetID, n)
+	b := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("b%d", i))
+	}
+	cin := c.MustAddGate(netlist.Input, "cin")
+
+	g := make([]netlist.NetID, n) // generate
+	p := make([]netlist.NetID, n) // propagate
+	for i := 0; i < n; i++ {
+		g[i] = c.MustAddGate(netlist.And, fmt.Sprintf("g%d", i), a[i], b[i])
+		p[i] = c.MustAddGate(netlist.Xor, fmt.Sprintf("p%d", i), a[i], b[i])
+	}
+	// Carries in groups of 4: c[i+1] = g[i] + p[i]·c[i], expanded within
+	// the group so the group carries are two-level functions of the group
+	// inputs and the group carry-in.
+	carry := make([]netlist.NetID, n+1)
+	carry[0] = cin
+	for base := 0; base < n; base += 4 {
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		cinG := carry[base]
+		for i := base; i < end; i++ {
+			// c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[base]·cinG
+			terms := make([]netlist.NetID, 0, i-base+2)
+			terms = append(terms, g[i])
+			for j := i - 1; j >= base; j-- {
+				fanin := []netlist.NetID{g[j]}
+				for k := j + 1; k <= i; k++ {
+					fanin = append(fanin, p[k])
+				}
+				terms = append(terms, c.MustAddGate(netlist.And,
+					fmt.Sprintf("t_%d_%d", i, j), fanin...))
+			}
+			fanin := []netlist.NetID{cinG}
+			for k := base; k <= i; k++ {
+				fanin = append(fanin, p[k])
+			}
+			terms = append(terms, c.MustAddGate(netlist.And,
+				fmt.Sprintf("t_%d_cin", i), fanin...))
+			if len(terms) == 1 {
+				carry[i+1] = c.MustAddGate(netlist.Buf, fmt.Sprintf("c%d", i+1), terms[0])
+			} else {
+				carry[i+1] = c.MustAddGate(netlist.Or, fmt.Sprintf("c%d", i+1), terms...)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := c.MustAddGate(netlist.Xor, fmt.Sprintf("s%d", i), p[i], carry[i])
+		if err := c.MarkPO(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.MarkPO(carry[n]); err != nil {
+		return nil, err
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// BarrelShifter builds a 2^k-bit logical left barrel shifter: data inputs
+// d0..d(2^k-1), shift amount s0..s(k-1), outputs y0..y(2^k-1). Built from
+// k mux stages; zeros shift in from the right.
+func BarrelShifter(k int) (*netlist.Circuit, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("circuits: shifter needs k ≥ 1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("bshift%d", 1<<k))
+	n := 1 << k
+	data := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		data[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("d%d", i))
+	}
+	sel := make([]netlist.NetID, k)
+	for i := 0; i < k; i++ {
+		sel[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("s%d", i))
+	}
+	// Constant zero from d0.
+	nd0 := c.MustAddGate(netlist.Not, "nd0", data[0])
+	zero := c.MustAddGate(netlist.And, "zero", data[0], nd0)
+	cur := data
+	for stage := 0; stage < k; stage++ {
+		shift := 1 << stage
+		sn := c.MustAddGate(netlist.Not, fmt.Sprintf("sn%d", stage), sel[stage])
+		next := make([]netlist.NetID, n)
+		for i := 0; i < n; i++ {
+			src := zero
+			if i-shift >= 0 {
+				src = cur[i-shift]
+			}
+			hold := c.MustAddGate(netlist.And, fmt.Sprintf("h_%d_%d", stage, i), cur[i], sn)
+			take := c.MustAddGate(netlist.And, fmt.Sprintf("k_%d_%d", stage, i), src, sel[stage])
+			next[i] = c.MustAddGate(netlist.Or, fmt.Sprintf("m_%d_%d", stage, i), hold, take)
+		}
+		cur = next
+	}
+	for i := 0; i < n; i++ {
+		y := c.MustAddGate(netlist.Buf, fmt.Sprintf("y%d", i), cur[i])
+		if err := c.MarkPO(y); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Comparator builds an n-bit magnitude comparator: inputs a*, b*; outputs
+// "lt", "eq", "gt".
+func Comparator(n int) (*netlist.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: comparator width must be ≥1")
+	}
+	c := netlist.NewCircuit(fmt.Sprintf("cmp%d", n))
+	a := make([]netlist.NetID, n)
+	b := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.MustAddGate(netlist.Input, fmt.Sprintf("b%d", i))
+	}
+	eqBits := make([]netlist.NetID, n)
+	for i := 0; i < n; i++ {
+		eqBits[i] = c.MustAddGate(netlist.Xnor, fmt.Sprintf("e%d", i), a[i], b[i])
+	}
+	// gt = OR over i of (a_i AND NOT b_i AND all higher bits equal).
+	var gtTerms, ltTerms []netlist.NetID
+	for i := n - 1; i >= 0; i-- {
+		nb := c.MustAddGate(netlist.Not, fmt.Sprintf("nb%d", i), b[i])
+		na := c.MustAddGate(netlist.Not, fmt.Sprintf("na%d", i), a[i])
+		gtFan := []netlist.NetID{a[i], nb}
+		ltFan := []netlist.NetID{na, b[i]}
+		for j := i + 1; j < n; j++ {
+			gtFan = append(gtFan, eqBits[j])
+			ltFan = append(ltFan, eqBits[j])
+		}
+		gtTerms = append(gtTerms, c.MustAddGate(netlist.And, fmt.Sprintf("gt%d", i), gtFan...))
+		ltTerms = append(ltTerms, c.MustAddGate(netlist.And, fmt.Sprintf("lt%d", i), ltFan...))
+	}
+	or := func(name string, ts []netlist.NetID) netlist.NetID {
+		if len(ts) == 1 {
+			return c.MustAddGate(netlist.Buf, name, ts[0])
+		}
+		return c.MustAddGate(netlist.Or, name, ts...)
+	}
+	gt := or("gt", gtTerms)
+	lt := or("lt", ltTerms)
+	var eq netlist.NetID
+	if n == 1 {
+		eq = c.MustAddGate(netlist.Buf, "eq", eqBits[0])
+	} else {
+		eq = c.MustAddGate(netlist.And, "eq", eqBits...)
+	}
+	for _, po := range []netlist.NetID{lt, eq, gt} {
+		if err := c.MarkPO(po); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,116 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCarryLookaheadAdderFunction(t *testing.T) {
+	const n = 6 // spans two CLA groups
+	c, err := CarryLookaheadAdder(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PIs) != 2*n+1 || len(c.POs) != n+1 {
+		t.Fatalf("cla io: %d/%d", len(c.PIs), len(c.POs))
+	}
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		a := uint64(r.Intn(1 << n))
+		b := uint64(r.Intn(1 << n))
+		cin := uint64(r.Intn(2))
+		bits := a | b<<n | cin<<(2*n)
+		out := simOutputs(t, c, patternFromBits(2*n+1, bits))
+		sum := a + b + cin
+		for i := 0; i <= n; i++ {
+			if out[i] != (sum>>i&1 == 1) {
+				t.Fatalf("a=%d b=%d cin=%d: bit %d wrong", a, b, cin, i)
+			}
+		}
+	}
+}
+
+// TestCLAAgreesWithRipple: both adder implementations must compute the
+// same function (cross-implementation property check).
+func TestCLAAgreesWithRipple(t *testing.T) {
+	const n = 5
+	cla, err := CarryLookaheadAdder(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rip, err := RippleAdder(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint64(0); m < 1<<(2*n+1); m += 7 {
+		p := patternFromBits(2*n+1, m)
+		oc := simOutputs(t, cla, p)
+		or := simOutputs(t, rip, p)
+		for i := range oc {
+			if oc[i] != or[i] {
+				t.Fatalf("m=%b: CLA and ripple disagree at output %d", m, i)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterFunction(t *testing.T) {
+	const k = 3
+	c, err := BarrelShifter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << k
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		data := uint64(r.Intn(1 << n))
+		s := uint64(r.Intn(n))
+		out := simOutputs(t, c, patternFromBits(n+k, data|s<<n))
+		want := data << s & (1<<n - 1)
+		for i := 0; i < n; i++ {
+			if out[i] != (want>>i&1 == 1) {
+				t.Fatalf("data=%08b s=%d: y%d wrong (want %08b)", data, s, i, want)
+			}
+		}
+	}
+}
+
+func TestComparatorFunction(t *testing.T) {
+	const n = 4
+	c, err := Comparator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 1<<n; a++ {
+		for b := uint64(0); b < 1<<n; b++ {
+			out := simOutputs(t, c, patternFromBits(2*n, a|b<<n))
+			lt, eq, gt := out[0], out[1], out[2]
+			if lt != (a < b) || eq != (a == b) || gt != (a > b) {
+				t.Fatalf("a=%d b=%d: lt=%v eq=%v gt=%v", a, b, lt, eq, gt)
+			}
+		}
+	}
+}
+
+func TestComparatorWidth1(t *testing.T) {
+	c, err := Comparator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := simOutputs(t, c, patternFromBits(2, 0b10)) // a=0, b=1
+	if !out[0] || out[1] || out[2] {
+		t.Fatalf("0<1 gave %v", out)
+	}
+}
+
+func TestStructured2ArgValidation(t *testing.T) {
+	if _, err := CarryLookaheadAdder(0); err == nil {
+		t.Error("CLA(0) accepted")
+	}
+	if _, err := BarrelShifter(0); err == nil {
+		t.Error("BarrelShifter(0) accepted")
+	}
+	if _, err := Comparator(0); err == nil {
+		t.Error("Comparator(0) accepted")
+	}
+}

@@ -1,0 +1,341 @@
+// Package compact models test-response compaction and diagnosis from
+// compacted fail data. Modern testers rarely observe raw primary outputs:
+// an on-chip spatial compactor (X-compact style XOR network) folds hundreds
+// of scan-out signals into a handful of pins, and the datalog records
+// failing *compactor outputs*. Compaction introduces aliasing — an even
+// number of failing POs feeding the same compactor output cancel — so
+// diagnosis must reason about compressed syndromes rather than trying to
+// invert the compactor.
+//
+// The package provides the compactor model (XOR parity network with
+// X-compact-style distinct signatures per PO), datalog compression, and a
+// diagnosis engine that mirrors the core effect-cause flow but scores and
+// covers evidence in compressed-output space. Experiment T9 measures how
+// much localization survives 2:1 … 8:1 compaction.
+package compact
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"multidiag/internal/bitset"
+	"multidiag/internal/fault"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// Compactor is a spatial XOR network: compressed output j observes the
+// parity of errors on the POs listed in Assign[j].
+type Compactor struct {
+	NumPOs, NumOut int
+	// Assign[j] lists the PO indices XORed into compressed output j.
+	Assign [][]int
+	// poOuts[p] lists the compressed outputs observing PO p (the PO's
+	// signature).
+	poOuts [][]int
+}
+
+// NewXCompact builds a compactor with numOut outputs in which every PO
+// feeds `fanout` distinct compressed outputs (X-compact property: distinct
+// POs get distinct signatures where possible, so single-PO errors remain
+// distinguishable). Deterministic from seed.
+func NewXCompact(numPOs, numOut, fanout int, seed int64) (*Compactor, error) {
+	if numOut < 1 || numPOs < 1 {
+		return nil, fmt.Errorf("compact: need ≥1 POs and outputs")
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	if fanout > numOut {
+		fanout = numOut
+	}
+	r := rand.New(rand.NewSource(seed))
+	cp := &Compactor{
+		NumPOs: numPOs, NumOut: numOut,
+		Assign: make([][]int, numOut),
+		poOuts: make([][]int, numPOs),
+	}
+	seen := map[string]bool{}
+	outs := make([]int, numOut)
+	for i := range outs {
+		outs[i] = i
+	}
+	for p := 0; p < numPOs; p++ {
+		var sig []int
+		for attempt := 0; ; attempt++ {
+			r.Shuffle(numOut, func(i, j int) { outs[i], outs[j] = outs[j], outs[i] })
+			sig = append([]int(nil), outs[:fanout]...)
+			sort.Ints(sig)
+			key := fmt.Sprint(sig)
+			if !seen[key] || attempt > 32 {
+				seen[key] = true
+				break
+			}
+		}
+		cp.poOuts[p] = sig
+		for _, o := range sig {
+			cp.Assign[o] = append(cp.Assign[o], p)
+		}
+	}
+	for j := range cp.Assign {
+		sort.Ints(cp.Assign[j])
+	}
+	return cp, nil
+}
+
+// Ratio returns the compression ratio POs:outputs.
+func (cp *Compactor) Ratio() float64 { return float64(cp.NumPOs) / float64(cp.NumOut) }
+
+// CompressFails maps a set of failing POs (error parity view) to the set
+// of failing compressed outputs.
+func (cp *Compactor) CompressFails(poFails bitset.Set) bitset.Set {
+	out := bitset.New(cp.NumOut)
+	for j, pos := range cp.Assign {
+		parity := 0
+		for _, p := range pos {
+			if poFails.Has(p) {
+				parity ^= 1
+			}
+		}
+		if parity == 1 {
+			out.Add(j)
+		}
+	}
+	return out
+}
+
+// CompressDatalog rewrites a PO-space datalog into compactor-output space.
+// Aliased patterns (all fails cancel) silently become passing — exactly the
+// information loss real compaction causes.
+func (cp *Compactor) CompressDatalog(d *tester.Datalog) *tester.Datalog {
+	out := &tester.Datalog{
+		CircuitName: d.CircuitName,
+		NumPatterns: d.NumPatterns,
+		NumPOs:      cp.NumOut,
+		Fails:       make(map[int]bitset.Set),
+	}
+	for p, fails := range d.Fails {
+		cf := cp.CompressFails(fails)
+		if !cf.Empty() {
+			out.Fails[p] = cf
+		}
+	}
+	return out
+}
+
+// Candidate is a compressed-space suspect.
+type Candidate struct {
+	Fault      fault.StuckAt
+	Equivalent []fault.StuckAt
+	Covered    bitset.Set
+	TFSF, TPSF int
+}
+
+// Result is the compressed-space diagnosis outcome.
+type Result struct {
+	Multiplet   []*Candidate
+	Ranked      []*Candidate
+	Evidence    int
+	Unexplained int
+	Elapsed     time.Duration
+}
+
+// MultipletNets adapts to the metrics package.
+func (r *Result) MultipletNets() [][]netlist.NetID {
+	out := make([][]netlist.NetID, len(r.Multiplet))
+	for i, cd := range r.Multiplet {
+		nets := []netlist.NetID{cd.Fault.Net}
+		for _, e := range cd.Equivalent {
+			nets = append(nets, e.Net)
+		}
+		out[i] = nets
+	}
+	return out
+}
+
+// Diagnose locates defects from a *compressed* datalog. The flow mirrors
+// the core engine with two compaction-specific twists:
+//
+//   - extraction back-traces from every PO feeding a failing compressed
+//     output (the compactor cannot tell which member PO failed, so all
+//     members are effect-cause roots);
+//   - candidate syndromes are pushed through the compactor before being
+//     matched against the evidence, so aliasing affects prediction and
+//     observation identically.
+func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cp *Compactor, lambda float64, maxMultiplet int) (*Result, error) {
+	start := time.Now()
+	if log.NumPatterns != len(pats) {
+		return nil, fmt.Errorf("compact: datalog has %d patterns, test set has %d", log.NumPatterns, len(pats))
+	}
+	if log.NumPOs != cp.NumOut {
+		return nil, fmt.Errorf("compact: datalog has %d outputs, compactor has %d", log.NumPOs, cp.NumOut)
+	}
+	if cp.NumPOs != len(c.POs) {
+		return nil, fmt.Errorf("compact: compactor has %d POs, circuit has %d", cp.NumPOs, len(c.POs))
+	}
+	if lambda == 0 {
+		lambda = 0.3
+	}
+	if maxMultiplet <= 0 {
+		maxMultiplet = 10
+	}
+	res := &Result{}
+	failing := log.FailingPatterns()
+	if len(failing) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	type evBit struct{ pattern, out int }
+	evIndex := map[evBit]int{}
+	for _, p := range failing {
+		for _, o := range log.Fails[p].Members() {
+			evIndex[evBit{p, o}] = res.Evidence
+			res.Evidence++
+		}
+	}
+
+	// Extraction: CPT from every member PO of every failing compressed
+	// output.
+	cpt := fsim.NewCPT(c)
+	seen := map[fault.StuckAt]bool{}
+	var seeds []fault.StuckAt
+	for _, p := range failing {
+		determinate := true
+		for _, v := range pats[p] {
+			if !v.IsKnown() {
+				determinate = false
+				break
+			}
+		}
+		if !determinate {
+			continue
+		}
+		poSet := map[int]bool{}
+		for _, o := range log.Fails[p].Members() {
+			for _, po := range cp.Assign[o] {
+				poSet[po] = true
+			}
+		}
+		pos := make([]netlist.NetID, 0, len(poSet))
+		for po := range poSet {
+			pos = append(pos, c.POs[po])
+		}
+		sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+		union, _, vals, err := cpt.CriticalForOutputs(pats[p], pos)
+		if err != nil {
+			return nil, err
+		}
+		for id, cr := range union {
+			if !cr || !vals[id].IsKnown() {
+				continue
+			}
+			f := fault.StuckAt{Net: netlist.NetID(id), Value1: vals[id] == logic.Zero}
+			if !seen[f] {
+				seen[f] = true
+				seeds = append(seeds, f)
+			}
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].Net != seeds[j].Net {
+			return seeds[i].Net < seeds[j].Net
+		}
+		return !seeds[i].Value1 && seeds[j].Value1
+	})
+
+	// Scoring through the compactor, with equivalence-class merging.
+	fs, err := fsim.NewFaultSim(c, pats)
+	if err != nil {
+		return nil, err
+	}
+	classes := map[string]*Candidate{}
+	var cands []*Candidate
+	for _, f := range seeds {
+		syn := fs.SimulateStuckAt(f)
+		cd := &Candidate{Fault: f, Covered: bitset.New(res.Evidence)}
+		sig := ""
+		for p := 0; p < syn.NumPatterns; p++ {
+			if syn.Fails[p] == nil || syn.Fails[p].Empty() {
+				continue
+			}
+			comp := cp.CompressFails(syn.Fails[p])
+			if comp.Empty() {
+				continue // fully aliased prediction
+			}
+			sig += fmt.Sprintf("%d:%s;", p, comp.String())
+			for _, o := range comp.Members() {
+				if idx, ok := evIndex[evBit{p, o}]; ok {
+					cd.Covered.Add(idx)
+				} else {
+					cd.TPSF++
+				}
+			}
+		}
+		cd.TFSF = cd.Covered.Count()
+		if cd.TFSF == 0 {
+			continue
+		}
+		if rep, ok := classes[sig]; ok {
+			rep.Equivalent = append(rep.Equivalent, f)
+			continue
+		}
+		classes[sig] = cd
+		cands = append(cands, cd)
+	}
+
+	// Greedy cover (identical policy to the core engine).
+	remaining := bitset.New(res.Evidence)
+	for i := 0; i < res.Evidence; i++ {
+		remaining.Add(i)
+	}
+	used := map[*Candidate]bool{}
+	for len(res.Multiplet) < maxMultiplet && !remaining.Empty() {
+		var best *Candidate
+		bestGain := 0.0
+		bestCov := 0
+		for _, cd := range cands {
+			if used[cd] {
+				continue
+			}
+			cov := cd.Covered.IntersectCount(remaining)
+			if cov == 0 {
+				continue
+			}
+			gain := float64(cov) - lambda*float64(cd.TPSF)
+			if best == nil || gain > bestGain ||
+				(gain == bestGain && (cov > bestCov || (cov == bestCov && cd.Fault.Net < best.Fault.Net))) {
+				best, bestGain, bestCov = cd, gain, cov
+			}
+		}
+		if best == nil {
+			break
+		}
+		used[best] = true
+		res.Multiplet = append(res.Multiplet, best)
+		remaining.SubtractWith(best.Covered)
+	}
+	res.Unexplained = remaining.Count()
+	rest := make([]*Candidate, 0, len(cands))
+	for _, cd := range cands {
+		if !used[cd] {
+			rest = append(rest, cd)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].TFSF != rest[j].TFSF {
+			return rest[i].TFSF > rest[j].TFSF
+		}
+		if rest[i].TPSF != rest[j].TPSF {
+			return rest[i].TPSF < rest[j].TPSF
+		}
+		return rest[i].Fault.Net < rest[j].Fault.Net
+	})
+	res.Ranked = append(append([]*Candidate{}, res.Multiplet...), rest...)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/tester"
+)
+
+// BenchmarkDiagnose measures one full diagnosis (extraction + scoring +
+// cover + refinement + X-check) of a 3-defect device on a 1000-gate
+// circuit.
+func BenchmarkDiagnose(b *testing.B) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 9, NumPIs: 24, NumGates: 1000, NumPOs: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var log *tester.Datalog
+	for seed := int64(0); ; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err = tester.ApplyTest(c, dev, tests.Patterns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(log.Fails) > 0 {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, tests.Patterns, log, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

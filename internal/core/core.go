@@ -1,0 +1,495 @@
+// Package core implements the repository's primary contribution: an
+// effect-cause logic-diagnosis engine for circuits containing an unknown
+// number of defects, making no assumptions about failing-pattern
+// characteristics (the DAC 2008 methodology — see DESIGN.md for the full
+// provenance note).
+//
+// What "no assumptions" means operationally:
+//
+//   - Evidence is collected per failing *output*, not per failing pattern:
+//     a failing pattern may be jointly caused by several defects, each
+//     contributing a subset of its failing outputs, so the engine never
+//     requires one candidate to explain a whole pattern (the SLAT
+//     assumption of earlier work, available here only as the ablation
+//     switch Config.PerPatternCover and as the baseline package's SLAT
+//     engine).
+//
+//   - Candidates come from critical path tracing of the *observed* faulty
+//     behaviour (effect-cause), not from a precomputed fault dictionary, so
+//     no defect model is assumed during extraction; fault models (stuck-at,
+//     dominant bridge, open) are assigned afterwards to whatever the
+//     evidence supports.
+//
+//   - Defect interaction is tolerated twice: the misprediction penalty is
+//     soft (another defect may mask a candidate's predicted error), and the
+//     final multiplet is validated by an X-masking consistency check that
+//     treats every candidate site as simultaneously unknown.
+//
+// The main entry point is Diagnose.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"multidiag/internal/bitset"
+	"multidiag/internal/fault"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// Config tunes the diagnosis engine. The zero value selects the published
+// defaults; the ablation experiments (T5) flip individual fields.
+type Config struct {
+	// Lambda is the per-bit misprediction penalty in the greedy cover gain
+	// function gain = covered − Lambda·mispredicted. It is deliberately
+	// < 1: a candidate's predicted error can be masked by another defect,
+	// so mispredictions are weak evidence against a candidate. Default 0.3.
+	Lambda float64
+	// MaxMultipletSize bounds the number of selected candidates. Default 10.
+	MaxMultipletSize int
+	// PerPatternCover, when true, reintroduces the SLAT-style assumption:
+	// a candidate may only cover a failing pattern it explains exactly
+	// (all of the pattern's failing outputs, no others on that pattern).
+	// Ablation only; default false.
+	PerPatternCover bool
+	// DisableXConsistency turns off the X-masking consistency pass
+	// (ablation only).
+	DisableXConsistency bool
+	// DisableBridgeSearch turns off dominant-bridge aggressor refinement.
+	DisableBridgeSearch bool
+	// ApproxCPT replaces exact critical path tracing with the classical
+	// branch-sensitivity approximation during candidate extraction
+	// (ablation only; see fsim.CriticalApproxForOutputs).
+	ApproxCPT bool
+	// BridgeLevelWindow bounds aggressor search to nets within this many
+	// topological levels of the victim. Default 3.
+	BridgeLevelWindow int
+	// MaxAggressorsPerVictim caps the aggressor candidates simulated per
+	// victim. Default 128.
+	MaxAggressorsPerVictim int
+}
+
+func (cfg *Config) fill() {
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 0.3
+	}
+	if cfg.MaxMultipletSize <= 0 {
+		cfg.MaxMultipletSize = 10
+	}
+	if cfg.BridgeLevelWindow <= 0 {
+		cfg.BridgeLevelWindow = 3
+	}
+	if cfg.MaxAggressorsPerVictim <= 0 {
+		cfg.MaxAggressorsPerVictim = 128
+	}
+}
+
+// ModelKind classifies the fault model(s) assigned to a candidate.
+type ModelKind uint8
+
+// Model kinds. StuckOrOpen covers both a stuck-at and the logically
+// indistinguishable net-open; BridgeModel names a discovered aggressor.
+const (
+	StuckOrOpen ModelKind = iota
+	BridgeModel
+)
+
+// String names the model kind.
+func (k ModelKind) String() string {
+	switch k {
+	case StuckOrOpen:
+		return "stuck/open"
+	case BridgeModel:
+		return "bridge"
+	}
+	return fmt.Sprintf("ModelKind(%d)", uint8(k))
+}
+
+// Model is one fault-model assignment on a candidate site.
+type Model struct {
+	Kind ModelKind
+	// Aggressor is set for BridgeModel.
+	Aggressor netlist.NetID
+	// Mispredictions under this model (lower is a better fit).
+	Mispredictions int
+}
+
+// Candidate is one suspect — an equivalence class of sites whose predicted
+// behaviour under the test set is identical, so the tester cannot tell them
+// apart. Reporting the whole class (instead of an arbitrary member) is what
+// diagnosis tools do in practice: physical failure analysis inspects every
+// indistinguishable site.
+type Candidate struct {
+	// Fault is the representative stuck-at hypothesis (site + polarity).
+	Fault fault.StuckAt
+	// Equivalent lists further hypotheses with identical syndromes under
+	// this test set (representative excluded).
+	Equivalent []fault.StuckAt
+	// Covered is the set of evidence bits (observed failing (pattern,PO)
+	// pairs, indexed per Result.Evidence) this candidate predicts.
+	Covered bitset.Set
+	// TFSF counts observed-fail bits the candidate predicts (== Covered.Count()).
+	TFSF int
+	// TPSF counts predicted-fail bits the tester observed passing
+	// (mispredictions; soft evidence against).
+	TPSF int
+	// Models lists the fault models consistent with this site's evidence,
+	// best first.
+	Models []Model
+}
+
+// Name renders the candidate's representative site, e.g. "G16 sa0".
+func (cd *Candidate) Name(c *netlist.Circuit) string { return cd.Fault.Name(c) }
+
+// Nets returns the nets this candidate points failure analysis at: the
+// whole equivalence class plus any discovered bridge aggressors.
+func (cd *Candidate) Nets() []netlist.NetID {
+	nets := []netlist.NetID{cd.Fault.Net}
+	for _, e := range cd.Equivalent {
+		nets = append(nets, e.Net)
+	}
+	for _, m := range cd.Models {
+		if m.Kind == BridgeModel {
+			nets = append(nets, m.Aggressor)
+		}
+	}
+	return nets
+}
+
+// EvidenceBit identifies one observed failing (pattern, PO) pair.
+type EvidenceBit struct {
+	Pattern int
+	PO      int
+}
+
+// Result is the diagnosis outcome.
+type Result struct {
+	// Multiplet is the selected explanation, in selection order.
+	Multiplet []*Candidate
+	// Ranked is every scored candidate, best first (the multiplet members
+	// lead the ranking).
+	Ranked []*Candidate
+	// Evidence enumerates the observed failing bits; Candidate.Covered
+	// indexes into it.
+	Evidence []EvidenceBit
+	// UnexplainedBits counts evidence not covered by the multiplet.
+	UnexplainedBits int
+	// Consistent reports whether the X-masking check accepted the multiplet
+	// (true when the check is disabled or there is nothing to explain).
+	Consistent bool
+	// InconsistentPatterns lists failing patterns the X-check could not
+	// reconcile with the multiplet.
+	InconsistentPatterns []int
+	// CandidatesExtracted counts the raw effect-cause extraction yield.
+	CandidatesExtracted int
+	// Elapsed is the wall-clock diagnosis time.
+	Elapsed time.Duration
+}
+
+// MultipletNets flattens the multiplet into per-candidate net groups
+// (adapter for the metrics package).
+func (r *Result) MultipletNets() [][]netlist.NetID {
+	out := make([][]netlist.NetID, len(r.Multiplet))
+	for i, cd := range r.Multiplet {
+		out[i] = cd.Nets()
+	}
+	return out
+}
+
+// Diagnose locates candidate defect sites explaining the datalog.
+//
+// Inputs: the (fault-free) circuit design, the applied test patterns, and
+// the tester datalog. The engine never sees the defective netlist — only
+// its observable behaviour.
+func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg Config) (*Result, error) {
+	cfg.fill()
+	start := time.Now()
+	if log.NumPatterns != len(pats) {
+		return nil, fmt.Errorf("core: datalog has %d patterns, test set has %d", log.NumPatterns, len(pats))
+	}
+	if log.NumPOs != len(c.POs) {
+		return nil, fmt.Errorf("core: datalog has %d POs, circuit has %d", log.NumPOs, len(c.POs))
+	}
+
+	res := &Result{Consistent: true}
+	failing := log.FailingPatterns()
+	if len(failing) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil // passing device: nothing to explain
+	}
+
+	// Evidence universe.
+	evIndex := make(map[EvidenceBit]int)
+	for _, p := range failing {
+		for _, po := range log.Fails[p].Members() {
+			bit := EvidenceBit{Pattern: p, PO: po}
+			evIndex[bit] = len(res.Evidence)
+			res.Evidence = append(res.Evidence, bit)
+		}
+	}
+
+	fs, err := fsim.NewFaultSim(c, pats)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: effect-cause candidate extraction via CPT per failing output.
+	seeds, err := extractCandidates(c, fs, pats, log, cfg.ApproxCPT)
+	if err != nil {
+		return nil, err
+	}
+	res.CandidatesExtracted = len(seeds)
+
+	// Step 2: score every candidate by full fault simulation.
+	cands := scoreCandidates(fs, seeds, log, evIndex, len(res.Evidence), cfg)
+
+	// Step 3: greedy per-output covering.
+	multiplet, uncovered := cover(cands, len(res.Evidence), cfg)
+	res.Multiplet = multiplet
+	res.UnexplainedBits = uncovered.Count()
+
+	// Step 4: fault-model refinement (bridge aggressor search).
+	if !cfg.DisableBridgeSearch {
+		refineModels(c, fs, multiplet, log, evIndex, cfg)
+	}
+
+	// Step 5: X-masking consistency check.
+	if !cfg.DisableXConsistency && len(multiplet) > 0 {
+		res.Consistent, res.InconsistentPatterns = xConsistent(fs, multiplet, log)
+	} else if len(multiplet) == 0 {
+		res.Consistent = false
+	}
+
+	// Final ranking: multiplet members first (selection order), then the
+	// rest by (TFSF desc, TPSF asc, net id).
+	inMult := map[*Candidate]bool{}
+	for _, m := range multiplet {
+		inMult[m] = true
+	}
+	rest := make([]*Candidate, 0, len(cands))
+	for _, cd := range cands {
+		if !inMult[cd] {
+			rest = append(rest, cd)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].TFSF != rest[j].TFSF {
+			return rest[i].TFSF > rest[j].TFSF
+		}
+		if rest[i].TPSF != rest[j].TPSF {
+			return rest[i].TPSF < rest[j].TPSF
+		}
+		if rest[i].Fault.Net != rest[j].Fault.Net {
+			return rest[i].Fault.Net < rest[j].Fault.Net
+		}
+		return !rest[i].Fault.Value1
+	})
+	res.Ranked = append(append([]*Candidate{}, multiplet...), rest...)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// extractCandidates back-traces every observed failing output with CPT and
+// returns the union of (net, stuck-at-complement) hypotheses. Patterns with
+// X inputs are skipped for extraction (they still participate in scoring).
+func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern, log *tester.Datalog, approx bool) ([]fault.StuckAt, error) {
+	cpt := fsim.NewCPT(c)
+	seen := make(map[fault.StuckAt]bool)
+	var out []fault.StuckAt
+	for _, p := range log.FailingPatterns() {
+		determinate := true
+		for _, v := range pats[p] {
+			if !v.IsKnown() {
+				determinate = false
+				break
+			}
+		}
+		if !determinate {
+			continue
+		}
+		pos := make([]netlist.NetID, 0, log.Fails[p].Count())
+		for _, poIdx := range log.Fails[p].Members() {
+			pos = append(pos, c.POs[poIdx])
+		}
+		var (
+			union []bool
+			vals  []logic.Value
+			err   error
+		)
+		if approx {
+			union, vals, err = cpt.CriticalApproxForOutputs(pats[p], pos)
+		} else {
+			union, _, vals, err = cpt.CriticalForOutputs(pats[p], pos)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for id, cr := range union {
+			if !cr {
+				continue
+			}
+			n := netlist.NetID(id)
+			if !vals[n].IsKnown() {
+				continue
+			}
+			f := fault.StuckAt{Net: n, Value1: vals[n] == logic.Zero}
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Net != out[j].Net {
+			return out[i].Net < out[j].Net
+		}
+		return !out[i].Value1 && out[j].Value1
+	})
+	return out, nil
+}
+
+// scoreCandidates fault-simulates each seed and computes its coverage of
+// the evidence universe and its mispredictions. Seeds with identical
+// syndromes under this test set are merged into one equivalence-class
+// candidate (they are indistinguishable by any scoring that follows).
+func scoreCandidates(fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config) []*Candidate {
+	cands := make([]*Candidate, 0, len(seeds))
+	classes := make(map[string]*Candidate)
+	for _, f := range seeds {
+		syn := fs.SimulateStuckAt(f)
+		var sig strings.Builder
+		cd := &Candidate{Fault: f, Covered: bitset.New(numEv)}
+		for p, fails := range syn.Fails {
+			if fails == nil {
+				continue
+			}
+			fmt.Fprintf(&sig, "%d:", p)
+			for _, po := range fails.Members() {
+				fmt.Fprintf(&sig, "%d,", po)
+				if idx, ok := evIndex[EvidenceBit{Pattern: p, PO: po}]; ok {
+					cd.Covered.Add(idx)
+				} else {
+					cd.TPSF++
+				}
+			}
+		}
+		if rep, ok := classes[sig.String()]; ok {
+			rep.Equivalent = append(rep.Equivalent, f)
+			continue
+		}
+		classes[sig.String()] = cd
+		if cfg.PerPatternCover {
+			// SLAT-style ablation: a pattern's evidence may be kept only if
+			// the candidate explains that pattern exactly.
+			for _, p := range log.FailingPatterns() {
+				obs := log.Fails[p]
+				pred := syn.Fails[p]
+				exact := pred != nil && pred.Equal(obs)
+				if !exact {
+					for _, po := range obs.Members() {
+						if idx, ok := evIndex[EvidenceBit{Pattern: p, PO: po}]; ok {
+							cd.Covered.Remove(idx)
+						}
+					}
+				}
+			}
+		}
+		cd.TFSF = cd.Covered.Count()
+		if cd.TFSF == 0 {
+			continue // explains nothing observable
+		}
+		cd.Models = []Model{{Kind: StuckOrOpen, Mispredictions: cd.TPSF}}
+		cands = append(cands, cd)
+	}
+	return cands
+}
+
+// cover greedily selects candidates to explain the evidence universe.
+// Returns the multiplet and the uncovered evidence bits.
+func cover(cands []*Candidate, numEv int, cfg Config) ([]*Candidate, bitset.Set) {
+	remaining := bitset.New(numEv)
+	for i := 0; i < numEv; i++ {
+		remaining.Add(i)
+	}
+	var multiplet []*Candidate
+	used := make(map[*Candidate]bool)
+	for len(multiplet) < cfg.MaxMultipletSize && !remaining.Empty() {
+		var best *Candidate
+		bestGain := 0.0
+		bestCov := 0
+		for _, cd := range cands {
+			if used[cd] {
+				continue
+			}
+			cov := cd.Covered.IntersectCount(remaining)
+			if cov == 0 {
+				continue
+			}
+			gain := float64(cov) - cfg.Lambda*float64(cd.TPSF)
+			better := false
+			switch {
+			case best == nil:
+				better = true
+			case gain > bestGain:
+				better = true
+			case gain == bestGain:
+				// Deterministic tie-breaks: more coverage, fewer
+				// mispredictions, lower net id.
+				if cov != bestCov {
+					better = cov > bestCov
+				} else if cd.TPSF != best.TPSF {
+					better = cd.TPSF < best.TPSF
+				} else {
+					better = cd.Fault.Net < best.Fault.Net
+				}
+			}
+			if better {
+				best, bestGain, bestCov = cd, gain, cov
+			}
+		}
+		if best == nil {
+			break // nothing covers the residue
+		}
+		// A candidate with non-positive gain is only taken when it is the
+		// sole way to make progress — explaining all observed failures
+		// outranks the soft misprediction penalty (defect masking makes
+		// mispredictions unreliable witnesses).
+		used[best] = true
+		multiplet = append(multiplet, best)
+		remaining.SubtractWith(best.Covered)
+	}
+	return multiplet, remaining
+}
+
+// xConsistent validates the multiplet: with every member site injected as
+// simultaneously unknown (X), every observed failing output must receive X
+// (otherwise the multiplet cannot produce that failure under any behaviour
+// of the sites, so something is missing or wrong).
+func xConsistent(fs *fsim.FaultSim, multiplet []*Candidate, log *tester.Datalog) (bool, []int) {
+	sites := make([]netlist.NetID, 0, len(multiplet))
+	for _, cd := range multiplet {
+		sites = append(sites, cd.Fault.Net)
+	}
+	xReach := fs.SimulateXAt(sites)
+	var bad []int
+	for _, p := range log.FailingPatterns() {
+		reach := xReach[p]
+		ok := true
+		for _, po := range log.Fails[p].Members() {
+			if reach == nil || !reach.Has(po) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, p)
+		}
+	}
+	return len(bad) == 0, bad
+}

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"testing"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/fault"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/metrics"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// diagnoseInjected is the end-to-end helper: inject defects into c, apply
+// the test set, diagnose from the datalog alone, and score the result
+// (exact-site and region-radius-1 scores).
+func diagnoseInjected(t *testing.T, c *netlist.Circuit, pats []sim.Pattern, ds []defect.Defect, cfg Config) (*Result, metrics.Score, metrics.Score) {
+	t.Helper()
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(c, pats, log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []metrics.Candidate
+	for _, nets := range res.MultipletNets() {
+		cands = append(cands, metrics.Candidate{Nets: nets})
+	}
+	return res, metrics.Evaluate(ds, cands), metrics.EvaluateRegion(c, ds, cands, 1)
+}
+
+func exhaustivePatterns(npi int) []sim.Pattern {
+	n := 1 << npi
+	pats := make([]sim.Pattern, n)
+	for m := 0; m < n; m++ {
+		p := make(sim.Pattern, npi)
+		for i := 0; i < npi; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		pats[m] = p
+	}
+	return pats
+}
+
+func atpgPatterns(t *testing.T, c *netlist.Circuit, seed int64) []sim.Pattern {
+	t.Helper()
+	res, err := atpg.Generate(c, atpg.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Patterns
+}
+
+func TestDiagnoseCleanDevice(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	dev := c.Clone()
+	if err := dev.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	dlog, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(c, pats, dlog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Multiplet) != 0 || len(res.Evidence) != 0 {
+		t.Fatal("clean device produced candidates")
+	}
+	if !res.Consistent {
+		t.Fatal("clean device must be consistent")
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	bad := &tester.Datalog{NumPatterns: 3, NumPOs: 2}
+	if _, err := Diagnose(c, pats, bad, Config{}); err == nil {
+		t.Error("pattern-count mismatch accepted")
+	}
+	bad2 := &tester.Datalog{NumPatterns: 32, NumPOs: 9}
+	if _, err := Diagnose(c, pats, bad2, Config{}); err == nil {
+		t.Error("PO-count mismatch accepted")
+	}
+}
+
+// TestSingleStuckC17Exhaustive: every single stuck-at defect on c17 under
+// exhaustive patterns must be localized.
+func TestSingleStuckC17Exhaustive(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	for i := range c.Gates {
+		if c.Gates[i].Type == netlist.Input {
+			continue
+		}
+		for _, v1 := range []bool{false, true} {
+			ds := []defect.Defect{{Kind: defect.StuckNet, Net: netlist.NetID(i), Value1: v1}}
+			res, score, _ := diagnoseInjected(t, c, pats, ds, Config{})
+			if len(res.Evidence) == 0 {
+				continue // undetected (possible for redundant sites)
+			}
+			if !score.Success() {
+				t.Errorf("stuck %s=%v not localized (multiplet %v)",
+					c.Gates[i].Name, v1, describeMultiplet(c, res))
+			}
+			if res.UnexplainedBits != 0 {
+				t.Errorf("stuck %s=%v left %d bits unexplained", c.Gates[i].Name, v1, res.UnexplainedBits)
+			}
+			if !res.Consistent {
+				t.Errorf("stuck %s=%v multiplet inconsistent", c.Gates[i].Name, v1)
+			}
+		}
+	}
+}
+
+func describeMultiplet(c *netlist.Circuit, res *Result) []string {
+	var out []string
+	for _, cd := range res.Multiplet {
+		out = append(out, cd.Name(c))
+	}
+	return out
+}
+
+// TestSingleDefectPerfectExplanation: for a single stuck defect the top
+// multiplet member's syndrome should explain all evidence with zero
+// mispredictions.
+func TestSingleDefectPerfectExplanation(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}}
+	res, score, _ := diagnoseInjected(t, c, pats, ds, Config{})
+	if !score.Success() {
+		t.Fatal("G16 sa0 not found")
+	}
+	if len(res.Multiplet) != 1 {
+		t.Fatalf("expected single-member multiplet, got %d", len(res.Multiplet))
+	}
+	m := res.Multiplet[0]
+	if m.TPSF != 0 {
+		t.Fatalf("perfect defect has %d mispredictions", m.TPSF)
+	}
+	if m.TFSF != len(res.Evidence) {
+		t.Fatalf("covered %d of %d", m.TFSF, len(res.Evidence))
+	}
+}
+
+// TestDoubleStuckC17: all pairs of stuck defects on distinct nets.
+func TestDoubleStuckC17(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	nets := []string{"G10", "G11", "G16", "G19", "G22", "G23"}
+	total, found := 0, 0
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			for _, v1 := range []bool{false, true} {
+				for _, v2 := range []bool{false, true} {
+					ds := []defect.Defect{
+						{Kind: defect.StuckNet, Net: c.NetByName(nets[i]), Value1: v1},
+						{Kind: defect.StuckNet, Net: c.NetByName(nets[j]), Value1: v2},
+					}
+					res, _, region := diagnoseInjected(t, c, pats, ds, Config{})
+					if len(res.Evidence) == 0 {
+						continue
+					}
+					// c17 is tiny: a double defect is frequently logically
+					// equivalent to a single fault one gate away (measured
+					// and documented in DESIGN.md), so success is scored at
+					// region radius 1, and even then a fully masked defect
+					// is legitimately unfindable — require ≥1 hit always.
+					total++
+					if region.Success() {
+						found++
+					} else if region.Hits == 0 {
+						t.Errorf("%s=%v + %s=%v: nothing found near either site (multiplet %v)",
+							nets[i], v1, nets[j], v2, describeMultiplet(c, res))
+					}
+				}
+			}
+		}
+	}
+	if frac := float64(found) / float64(total); frac < 0.75 {
+		t.Errorf("double-defect full-success rate %.2f (<0.75) on c17", frac)
+	}
+}
+
+// TestBridgeDefectC17: a dominant bridge must be localized and the bridge
+// model discovered with the true aggressor.
+func TestBridgeDefectC17(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	v, a := c.NetByName("G10"), c.NetByName("G19")
+	ds := []defect.Defect{{Kind: defect.BridgeDefect, Net: v, Aggressor: a, BridgeKind: fault.DominantBridge}}
+	res, score, _ := diagnoseInjected(t, c, pats, ds, Config{})
+	if len(res.Evidence) == 0 {
+		t.Skip("bridge not activated by test set")
+	}
+	if !score.Success() {
+		t.Fatalf("bridge not localized: %v", describeMultiplet(c, res))
+	}
+	// The victim-site candidate should carry a bridge model naming the true
+	// aggressor among its alternatives.
+	foundAggr := false
+	for _, cd := range res.Multiplet {
+		if cd.Fault.Net != v {
+			continue
+		}
+		for _, m := range cd.Models {
+			if m.Kind == BridgeModel && m.Aggressor == a {
+				foundAggr = true
+			}
+		}
+	}
+	if !foundAggr {
+		t.Log("true aggressor not in bridge models (acceptable if stuck fit was already perfect); multiplet:")
+		for _, cd := range res.Multiplet {
+			t.Logf("  %s models %v", cd.Name(c), cd.Models)
+		}
+	}
+}
+
+// TestMultiDefectAdder: 1..4 defects on the 8-bit ripple adder with ATPG
+// patterns; accuracy must stay high (the paper's headline property).
+func TestMultiDefectAdder(t *testing.T) {
+	c, err := circuits.RippleAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := atpgPatterns(t, c, 1)
+	for n := 1; n <= 4; n++ {
+		var agg metrics.Aggregate
+		for seed := int64(0); seed < 8; seed++ {
+			ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed*100 + int64(n), NumDefects: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := defect.Inject(c, ds)
+			if err != nil {
+				continue // rare: composed bridge cycle; skip sample
+			}
+			log, err := tester.ApplyTest(c, dev, pats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(log.Fails) == 0 {
+				continue
+			}
+			res, err := Diagnose(c, pats, log, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cands []metrics.Candidate
+			for _, nets := range res.MultipletNets() {
+				cands = append(cands, metrics.Candidate{Nets: nets})
+			}
+			agg.Add(metrics.EvaluateRegion(c, ds, cands, 1))
+		}
+		if agg.Runs == 0 {
+			t.Fatalf("n=%d: no activated samples", n)
+		}
+		if acc := agg.MeanAccuracy(); acc < 0.6 {
+			t.Errorf("n=%d: mean region accuracy %.2f < 0.6 over %d runs", n, acc, agg.Runs)
+		}
+	}
+}
+
+// TestUnexplainedEvidenceIsRare: on random circuits with 3 defects the
+// multiplet must cover all evidence (cover loop only stops early when no
+// candidate covers the residue).
+func TestCoverageOfEvidence(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 21, NumPIs: 12, NumGates: 400, NumPOs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := atpgPatterns(t, c, 2)
+	covered, totalRuns := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err := tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) == 0 {
+			continue
+		}
+		res, err := Diagnose(c, pats, log, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRuns++
+		if res.UnexplainedBits == 0 {
+			covered++
+		}
+	}
+	if totalRuns == 0 {
+		t.Skip("no activated runs")
+	}
+	if float64(covered)/float64(totalRuns) < 0.5 {
+		t.Errorf("full evidence coverage in only %d/%d runs", covered, totalRuns)
+	}
+}
+
+// TestPerPatternAblationWeaker: the SLAT-style per-pattern restriction must
+// not outperform the per-output default on multi-defect devices (this is
+// the paper's core claim, checked as an inequality over a small campaign).
+func TestPerPatternAblationWeaker(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 33, NumPIs: 12, NumGates: 300, NumPOs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := atpgPatterns(t, c, 3)
+	var full, slat metrics.Aggregate
+	for seed := int64(0); seed < 10; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: 1000 + seed, NumDefects: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err := tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) == 0 {
+			continue
+		}
+		score := func(cfg Config) metrics.Score {
+			res, err := Diagnose(c, pats, log, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cands []metrics.Candidate
+			for _, nets := range res.MultipletNets() {
+				cands = append(cands, metrics.Candidate{Nets: nets})
+			}
+			return metrics.EvaluateRegion(c, ds, cands, 1)
+		}
+		full.Add(score(Config{}))
+		slat.Add(score(Config{PerPatternCover: true}))
+	}
+	if full.Runs == 0 {
+		t.Skip("no activated runs")
+	}
+	if full.MeanAccuracy() < slat.MeanAccuracy()-1e-9 {
+		t.Errorf("per-output accuracy %.3f < per-pattern %.3f — core claim violated",
+			full.MeanAccuracy(), slat.MeanAccuracy())
+	}
+}
+
+// TestXConsistencyFlagsMissingDefect: when we hand the checker a multiplet
+// that cannot explain the datalog, it must say so.
+func TestXConsistencyDetectsIncompleteness(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	// Device: G10 stuck-at-1 (fails only PO G22's cone).
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G10"), Value1: true}}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("not activated")
+	}
+	res, err := Diagnose(c, pats, log, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("correct multiplet flagged inconsistent")
+	}
+	// Now corrupt the datalog: claim PO 1 (G23) also failed on the first
+	// failing pattern even though G10 cannot reach it. The multiplet built
+	// from G22 evidence cannot explain it → inconsistent or a second
+	// candidate appears on G23's cone.
+	p0 := log.FailingPatterns()[0]
+	log.Fails[p0].Add(1)
+	res2, err := Diagnose(c, pats, log, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := !res2.Consistent || res2.UnexplainedBits > 0 || len(res2.Multiplet) > 1
+	if !ok {
+		t.Fatal("corrupted datalog fully 'explained' by single G10-cone candidate")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Lambda != 0.3 || cfg.MaxMultipletSize != 10 ||
+		cfg.BridgeLevelWindow != 3 || cfg.MaxAggressorsPerVictim != 128 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if StuckOrOpen.String() == "" || BridgeModel.String() == "" || ModelKind(9).String() == "" {
+		t.Fatal("empty model kind names")
+	}
+}
+
+func TestEvidenceSet(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}}
+	dev, _ := defect.Inject(c, ds)
+	log, _ := tester.ApplyTest(c, dev, pats)
+	bits, all := EvidenceSet(log)
+	if len(bits) != log.NumFailBits() {
+		t.Fatalf("evidence bits %d, datalog bits %d", len(bits), log.NumFailBits())
+	}
+	if all.Count() != len(bits) {
+		t.Fatal("universe set wrong size")
+	}
+}
+
+// TestDiagnoseWithXPatterns: patterns containing X inputs are skipped for
+// candidate extraction but the engine still diagnoses from the determinate
+// evidence.
+func TestDiagnoseWithXPatterns(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	// Replace a handful of patterns with X-laden variants.
+	for _, i := range []int{3, 9, 27} {
+		p := pats[i].Clone()
+		p[2] = logic.X
+		pats[i] = p
+	}
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}}
+	res, score, _ := diagnoseInjected(t, c, pats, ds, Config{})
+	if len(res.Evidence) == 0 {
+		t.Skip("not activated")
+	}
+	if !score.Success() {
+		t.Fatalf("X-laden test set broke diagnosis: %v", describeMultiplet(c, res))
+	}
+}
+
+// TestMaxMultipletSizeRespected: the cover loop must stop at the bound.
+func TestMaxMultipletSizeRespected(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 55, NumPIs: 12, NumGates: 300, NumPOs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := atpgPatterns(t, c, 9)
+	ds, err := defect.Sample(c, defect.CampaignConfig{Seed: 77, NumDefects: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Skip("sample not injectable")
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("not activated")
+	}
+	res, err := Diagnose(c, pats, log, Config{MaxMultipletSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Multiplet) > 2 {
+		t.Fatalf("multiplet size %d exceeds bound 2", len(res.Multiplet))
+	}
+}
+
+// TestRankedOrderingInvariants: ranked list leads with the multiplet and is
+// sorted by (TFSF desc, TPSF asc) afterwards.
+func TestRankedOrderingInvariants(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	ds := []defect.Defect{
+		{Kind: defect.StuckNet, Net: c.NetByName("G10"), Value1: true},
+		{Kind: defect.StuckNet, Net: c.NetByName("G19"), Value1: true},
+	}
+	res, _, _ := diagnoseInjected(t, c, pats, ds, Config{})
+	if len(res.Ranked) < len(res.Multiplet) {
+		t.Fatal("ranked shorter than multiplet")
+	}
+	for i, cd := range res.Multiplet {
+		if res.Ranked[i] != cd {
+			t.Fatal("ranked does not lead with the multiplet")
+		}
+	}
+	rest := res.Ranked[len(res.Multiplet):]
+	for i := 1; i < len(rest); i++ {
+		a, b := rest[i-1], rest[i]
+		if a.TFSF < b.TFSF {
+			t.Fatalf("rank %d: TFSF order violated (%d < %d)", i, a.TFSF, b.TFSF)
+		}
+		if a.TFSF == b.TFSF && a.TPSF > b.TPSF {
+			t.Fatalf("rank %d: TPSF tiebreak violated", i)
+		}
+	}
+}
+
+// TestEquivalenceClassesShareSyndrome: every equivalent of a multiplet
+// member must have the identical syndrome under the test set.
+func TestEquivalenceClassesShareSyndrome(t *testing.T) {
+	c, err := circuits.RippleAdder(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := atpgPatterns(t, c, 14)
+	ds := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("t1_3"), Value1: true}}
+	dev, err := defect.Inject(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("not activated")
+	}
+	res, err := Diagnose(c, pats, log, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fsim.NewFaultSim(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cd := range res.Multiplet {
+		ref := fs.SimulateStuckAt(cd.Fault)
+		for _, e := range cd.Equivalent {
+			if !fs.SimulateStuckAt(e).Equal(ref) {
+				t.Fatalf("equivalent %s has a different syndrome than %s", e.Name(c), cd.Fault.Name(c))
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/circuits"
+	"multidiag/internal/core"
+	"multidiag/internal/defect"
+	"multidiag/internal/tester"
+)
+
+// ExampleDiagnose shows the minimal end-to-end flow: the diagnosis sees
+// only the design, the test patterns and the tester datalog.
+func ExampleDiagnose() {
+	c := circuits.C17()
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A defective device: net G16 shorted to ground.
+	device, err := defect.Inject(c, []defect.Defect{
+		{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	datalog, err := tester.ApplyTest(c, device, tests.Patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := core.Diagnose(c, tests.Patterns, datalog, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cand := range result.Multiplet {
+		fmt.Println(cand.Name(c))
+	}
+	// Output: G16 sa0
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+
+	"multidiag/internal/bitset"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// refineModels searches, for each multiplet member, dominant-bridge
+// aggressors that fit the member's evidence better than the plain stuck-at
+// hypothesis. A dominant bridge victim behaves as a *conditional* stuck-at:
+// the victim takes the aggressor's value, so errors appear only on patterns
+// where the aggressor carries the complement of the victim's fault-free
+// value. When a member shows mispredictions (TPSF > 0), a bridge whose
+// aggressor is benignly equal to the victim on those patterns explains the
+// same observed failures with fewer contradictions — exactly the evidence
+// that distinguishes a short from a hard stuck net.
+//
+// Accepted bridge models are appended to the member's Models list (best
+// first by mispredictions); the seed stuck/open model always remains, since
+// logic-level behaviour cannot always separate the mechanisms.
+func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate, log *tester.Datalog, evIndex map[EvidenceBit]int, cfg Config) {
+	if len(multiplet) == 0 {
+		return
+	}
+	s := sim.New(c)
+	for _, cd := range multiplet {
+		victim := cd.Fault.Net
+		aggressors := bridgeAggressors(c, victim, cfg)
+		if len(aggressors) == 0 {
+			continue
+		}
+		type fit struct {
+			aggr    netlist.NetID
+			covered int
+			tpsf    int
+		}
+		var fits []fit
+		for _, a := range aggressors {
+			cov, tpsf := bridgeFit(c, fs, s, victim, a, evIndex)
+			if cov == 0 {
+				continue
+			}
+			// The bridge must reproduce at least the evidence the stuck-at
+			// hypothesis covers (otherwise it is a worse explanation) and
+			// strictly reduce mispredictions to be worth reporting.
+			if cov >= cd.TFSF && tpsf < cd.TPSF {
+				fits = append(fits, fit{aggr: a, covered: cov, tpsf: tpsf})
+			}
+		}
+		sort.Slice(fits, func(i, j int) bool {
+			if fits[i].tpsf != fits[j].tpsf {
+				return fits[i].tpsf < fits[j].tpsf
+			}
+			if fits[i].covered != fits[j].covered {
+				return fits[i].covered > fits[j].covered
+			}
+			return fits[i].aggr < fits[j].aggr
+		})
+		const maxBridgeModels = 3
+		for i, f := range fits {
+			if i >= maxBridgeModels {
+				break
+			}
+			cd.Models = append(cd.Models, Model{Kind: BridgeModel, Aggressor: f.aggr, Mispredictions: f.tpsf})
+		}
+		// Keep the best-fitting model first.
+		sort.SliceStable(cd.Models, func(i, j int) bool {
+			return cd.Models[i].Mispredictions < cd.Models[j].Mispredictions
+		})
+	}
+}
+
+// bridgeAggressors enumerates plausible aggressor nets for a victim:
+// structurally independent nets within the configured level window,
+// deterministically ordered, capped by config.
+func bridgeAggressors(c *netlist.Circuit, victim netlist.NetID, cfg Config) []netlist.NetID {
+	vLevel := c.Gates[victim].Level
+	inCone := c.FaninCone(victim)
+	outCone := c.FanoutCone(victim)
+	var out []netlist.NetID
+	for i := range c.Gates {
+		n := netlist.NetID(i)
+		if n == victim || inCone[n] || outCone[n] {
+			continue
+		}
+		dl := c.Gates[n].Level - vLevel
+		if dl < -cfg.BridgeLevelWindow || dl > cfg.BridgeLevelWindow {
+			continue
+		}
+		out = append(out, n)
+		if len(out) >= cfg.MaxAggressorsPerVictim {
+			break
+		}
+	}
+	return out
+}
+
+// bridgeFit simulates a dominant bridge (victim ← aggressor) over the test
+// set and returns (covered evidence bits, mispredicted bits). The forced
+// victim value per packed word is the aggressor's fault-free word, which is
+// exactly the dominant-bridge semantics.
+func bridgeFit(c *netlist.Circuit, fs *fsim.FaultSim, s *sim.Simulator, victim, aggressor netlist.NetID, evIndex map[EvidenceBit]int) (covered, tpsf int) {
+	pats := fs.Patterns()
+	for base := 0; base < len(pats); base += logic.W {
+		end := base + logic.W
+		if end > len(pats) {
+			end = len(pats)
+		}
+		chunk := pats[base:end]
+		piv, _, err := s.PackPatterns(chunk)
+		if err != nil {
+			return 0, 0
+		}
+		// Aggressor fault-free word comes from the cached good simulation.
+		aggrWord := fs.GoodWord(aggressor, base/logic.W)
+		if err := s.RunWithOverrides(piv, map[netlist.NetID]logic.PV64{victim: aggrWord}); err != nil {
+			return 0, 0
+		}
+		for i, po := range c.POs {
+			goodWord := fs.GoodWord(po, base/logic.W)
+			diff := s.Value(po).DiffKnown(goodWord)
+			if diff == 0 {
+				continue
+			}
+			for slot := uint(0); slot < logic.W; slot++ {
+				p := base + int(slot)
+				if p >= len(pats) {
+					break
+				}
+				if diff>>slot&1 == 1 {
+					if _, ok := evIndex[EvidenceBit{Pattern: p, PO: i}]; ok {
+						covered++
+					} else {
+						tpsf++
+					}
+				}
+			}
+		}
+	}
+	return covered, tpsf
+}
+
+// EvidenceSet converts a datalog into the evidence bitset layout used by a
+// Result (exported for the experiment harness and tests).
+func EvidenceSet(log *tester.Datalog) ([]EvidenceBit, bitset.Set) {
+	var bits []EvidenceBit
+	for _, p := range log.FailingPatterns() {
+		for _, po := range log.Fails[p].Members() {
+			bits = append(bits, EvidenceBit{Pattern: p, PO: po})
+		}
+	}
+	all := bitset.New(len(bits))
+	for i := range bits {
+		all.Add(i)
+	}
+	return bits, all
+}

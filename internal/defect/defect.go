@@ -1,0 +1,357 @@
+// Package defect injects physical-defect models into a circuit copy and
+// produces the "device under test" the tester package measures.
+//
+// Defects are injected structurally, not as simulator overrides, so that
+// *multiple simultaneous defects interact exactly as they would in one
+// physical device*: a defect can mask, unmask or combine with another
+// through the ordinary logic of the modified netlist. This emergent
+// interaction — failing patterns whose syndrome is not the union of the
+// individual defect syndromes — is precisely the behaviour the no-assumption
+// diagnosis method must survive, so the injector must not idealize it away.
+//
+// Supported defect mechanisms (see fault package for the matching models):
+//
+//   - StuckNet: a net shorted to VDD/GND (fault.StuckAt behaviour);
+//   - OpenNet: a broken interconnect whose floating downstream node reads a
+//     fixed value (fault.Open behaviour, stuck-value approximation);
+//   - BridgeDefect: a resistive short between two nets with dominant,
+//     wired-AND or wired-OR behaviour.
+package defect
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"multidiag/internal/fault"
+	"multidiag/internal/netlist"
+	"multidiag/internal/place"
+)
+
+// Kind enumerates defect mechanisms.
+type Kind uint8
+
+// Defect mechanisms.
+const (
+	StuckNet Kind = iota
+	OpenNet
+	BridgeDefect
+)
+
+// String names the defect kind.
+func (k Kind) String() string {
+	switch k {
+	case StuckNet:
+		return "stuck"
+	case OpenNet:
+		return "open"
+	case BridgeDefect:
+		return "bridge"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Defect is one injected physical defect, identified by nets of the
+// *original* circuit.
+type Defect struct {
+	Kind Kind
+	// Net is the defective net (victim for bridges).
+	Net netlist.NetID
+	// Aggressor is the second net of a bridge (unused otherwise).
+	Aggressor netlist.NetID
+	// Value1 is the stuck/open value (unused for bridges).
+	Value1 bool
+	// BridgeKind selects the bridge behaviour (unused otherwise).
+	BridgeKind fault.BridgeKind
+}
+
+// String renders a human-readable description with net IDs.
+func (d Defect) String() string { return d.Describe(nil) }
+
+// Describe renders the defect, using net names when c is non-nil.
+func (d Defect) Describe(c *netlist.Circuit) string {
+	name := func(id netlist.NetID) string {
+		if c != nil {
+			if n := c.NameOf(id); n != "" {
+				return n
+			}
+		}
+		return fmt.Sprintf("net%d", id)
+	}
+	switch d.Kind {
+	case StuckNet:
+		v := "0"
+		if d.Value1 {
+			v = "1"
+		}
+		return fmt.Sprintf("stuck(%s=%s)", name(d.Net), v)
+	case OpenNet:
+		v := "0"
+		if d.Value1 {
+			v = "1"
+		}
+		return fmt.Sprintf("open(%s→%s)", name(d.Net), v)
+	case BridgeDefect:
+		return fmt.Sprintf("bridge(%s<-%s,%s)", name(d.Net), name(d.Aggressor), d.BridgeKind)
+	}
+	return "defect(?)"
+}
+
+// SameSite reports whether two defects occupy overlapping nets (used to
+// avoid injecting colliding defects in campaigns).
+func (d Defect) SameSite(e Defect) bool {
+	nets := func(x Defect) []netlist.NetID {
+		if x.Kind == BridgeDefect {
+			return []netlist.NetID{x.Net, x.Aggressor}
+		}
+		return []netlist.NetID{x.Net}
+	}
+	for _, a := range nets(d) {
+		for _, b := range nets(e) {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Inject builds the defective device: a structurally modified copy of c
+// containing all the given defects simultaneously. The device has the same
+// PI/PO interface as c. The original circuit is not modified.
+//
+// Mechanics (all purely structural):
+//
+//   - StuckNet / OpenNet on net n: every *reader* of n is rewired to a new
+//     constant net (built from a PI tautology so the netlist stays purely
+//     combinational). If n is a PO, the PO is remapped to the constant. The
+//     driver of n keeps driving (a short to rail overpowers the driver —
+//     drive fights are resolved in favour of the rail, the standard
+//     zero-resistance approximation).
+//
+//   - BridgeDefect victim v / aggressor a: readers of v (and the PO
+//     binding, if v is a PO) are rewired to a new net computing the bridged
+//     value: dominant → value(a); wired-AND → AND(v,a); wired-OR → OR(v,a).
+//     The aggressor is unaffected (dominant) or symmetrically rewired
+//     (wired kinds).
+//
+// Multiple defects compose by sequential rewiring; a defect whose net was
+// already rewired by an earlier defect observes the earlier defect's
+// effect, matching physical composition on a die.
+func Inject(c *netlist.Circuit, defects []Defect) (*netlist.Circuit, error) {
+	for _, d := range defects {
+		if int(d.Net) < 0 || int(d.Net) >= c.NumGates() {
+			return nil, fmt.Errorf("defect: net %d out of range", d.Net)
+		}
+		if d.Kind == BridgeDefect {
+			if int(d.Aggressor) < 0 || int(d.Aggressor) >= c.NumGates() {
+				return nil, fmt.Errorf("defect: aggressor %d out of range", d.Aggressor)
+			}
+			if d.Aggressor == d.Net {
+				return nil, fmt.Errorf("defect: self-bridge on net %d", d.Net)
+			}
+		}
+	}
+	dev := c.Clone()
+	dev.Name = c.Name + "_faulty"
+
+	// redirect maps original net → replacement net in the device; readers
+	// and PO bindings are rewritten through it.
+	rewire := func(from, to netlist.NetID) {
+		for i := range dev.Gates {
+			g := &dev.Gates[i]
+			if g.ID == to {
+				continue // the replacement itself keeps its natural inputs
+			}
+			for j, f := range g.Fanin {
+				if f == from {
+					g.Fanin[j] = to
+				}
+			}
+		}
+		for i, po := range dev.POs {
+			if po == from {
+				dev.POs[i] = to
+			}
+		}
+	}
+
+	// constNet builds a constant 0/1 net. Constants are synthesized from
+	// the first PI: AND(pi, NOT(pi)) = 0, OR(pi, NOT(pi)) = 1.
+	constCount := 0
+	constNet := func(v1 bool) (netlist.NetID, error) {
+		pi := dev.PIs[0]
+		constCount++
+		notName := fmt.Sprintf("__def_not%d", constCount)
+		n, err := dev.AddGate(netlist.Not, notName, pi)
+		if err != nil {
+			return netlist.InvalidNet, err
+		}
+		typ := netlist.And
+		if v1 {
+			typ = netlist.Or
+		}
+		cn, err := dev.AddGate(typ, fmt.Sprintf("__def_const%d", constCount), pi, n)
+		if err != nil {
+			return netlist.InvalidNet, err
+		}
+		return cn, nil
+	}
+
+	for di, d := range defects {
+		switch d.Kind {
+		case StuckNet, OpenNet:
+			cn, err := constNet(d.Value1)
+			if err != nil {
+				return nil, err
+			}
+			rewire(d.Net, cn)
+		case BridgeDefect:
+			victim, aggr := d.Net, d.Aggressor
+			var (
+				bn  netlist.NetID
+				err error
+			)
+			switch d.BridgeKind {
+			case fault.DominantBridge:
+				// Victim observes the aggressor's value.
+				bn, err = dev.AddGate(netlist.Buf, fmt.Sprintf("__def_br%d", di), aggr)
+				if err != nil {
+					return nil, err
+				}
+				rewire(victim, bn)
+			case fault.WiredAND, fault.WiredOR:
+				typ := netlist.And
+				if d.BridgeKind == fault.WiredOR {
+					typ = netlist.Or
+				}
+				bn, err = dev.AddGate(typ, fmt.Sprintf("__def_br%d", di), victim, aggr)
+				if err != nil {
+					return nil, err
+				}
+				// Both nets observe the wired value. Rewire victim readers
+				// first, then aggressor readers, each to the shared bridge
+				// net (which reads the original drivers directly).
+				rewire(victim, bn)
+				rewire(aggr, bn)
+			default:
+				return nil, fmt.Errorf("defect: unknown bridge kind %v", d.BridgeKind)
+			}
+			// A bridge between structurally dependent nets would create a
+			// combinational loop; Finalize-time level computation cannot
+			// detect it (Clone+AddGate preserves acyclicity by index), so
+			// reject it here by checking the aggressor's cone.
+			if c.FaninCone(victim)[aggr] || c.FanoutCone(victim)[aggr] {
+				return nil, fmt.Errorf("defect: bridge %s couples dependent nets", d.Describe(c))
+			}
+		default:
+			return nil, fmt.Errorf("defect: unknown kind %v", d.Kind)
+		}
+	}
+	if err := dev.Finalize(); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// CampaignConfig parameterizes random defect sampling.
+type CampaignConfig struct {
+	Seed int64
+	// NumDefects per device.
+	NumDefects int
+	// Mix is the sampling weight of each defect kind; zero-valued mixes
+	// default to {stuck: 0.3, open: 0.3, bridge: 0.4} mirroring published
+	// defect-population statistics.
+	MixStuck, MixOpen, MixBridge float64
+	// BridgeLevelWindow is the structural proximity window for bridge
+	// sampling (default 2). Ignored when UsePlacement is set.
+	BridgeLevelWindow int
+	// UsePlacement switches bridge sampling from the level-window proxy to
+	// the pseudo-placement proxy: bridges couple nets within
+	// BridgeMaxDist of each other in a seeded row-based placement (see
+	// package place), which is the closer stand-in for layout adjacency.
+	UsePlacement bool
+	// BridgeMaxDist is the placement-distance bound (default 2.0).
+	BridgeMaxDist float64
+}
+
+func (cfg *CampaignConfig) fill() {
+	if cfg.NumDefects <= 0 {
+		cfg.NumDefects = 1
+	}
+	if cfg.MixStuck == 0 && cfg.MixOpen == 0 && cfg.MixBridge == 0 {
+		cfg.MixStuck, cfg.MixOpen, cfg.MixBridge = 0.3, 0.3, 0.4
+	}
+	if cfg.BridgeLevelWindow <= 0 {
+		cfg.BridgeLevelWindow = 2
+	}
+	if cfg.BridgeMaxDist <= 0 {
+		cfg.BridgeMaxDist = 2.0
+	}
+}
+
+// Sample draws a random multi-defect set on non-overlapping sites. Nets on
+// the PI pseudo-gates are excluded for stuck/open (a defective input pad
+// is a board-level fault, not a die defect) but allowed as bridge
+// aggressors.
+func Sample(c *netlist.Circuit, cfg CampaignConfig) ([]Defect, error) {
+	cfg.fill()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var bridges []fault.Bridge
+	if cfg.UsePlacement {
+		bridges = place.New(c, cfg.Seed).EnumerateBridges(cfg.BridgeMaxDist, 0)
+	} else {
+		bridges = fault.EnumerateBridges(c, cfg.BridgeLevelWindow, 0)
+	}
+	var logicNets []netlist.NetID
+	for i := range c.Gates {
+		if c.Gates[i].Type != netlist.Input {
+			logicNets = append(logicNets, netlist.NetID(i))
+		}
+	}
+	if len(logicNets) == 0 {
+		return nil, fmt.Errorf("defect: circuit has no logic nets")
+	}
+	total := cfg.MixStuck + cfg.MixOpen + cfg.MixBridge
+	var out []Defect
+	attempts := 0
+	for len(out) < cfg.NumDefects {
+		attempts++
+		if attempts > 1000*cfg.NumDefects {
+			return nil, fmt.Errorf("defect: cannot place %d non-overlapping defects", cfg.NumDefects)
+		}
+		x := r.Float64() * total
+		var d Defect
+		switch {
+		case x < cfg.MixStuck:
+			d = Defect{Kind: StuckNet, Net: logicNets[r.Intn(len(logicNets))], Value1: r.Intn(2) == 1}
+		case x < cfg.MixStuck+cfg.MixOpen:
+			d = Defect{Kind: OpenNet, Net: logicNets[r.Intn(len(logicNets))], Value1: r.Intn(2) == 1}
+		default:
+			if len(bridges) == 0 {
+				continue
+			}
+			b := bridges[r.Intn(len(bridges))]
+			kind := fault.DominantBridge
+			switch r.Intn(3) {
+			case 1:
+				kind = fault.WiredAND
+			case 2:
+				kind = fault.WiredOR
+			}
+			d = Defect{Kind: BridgeDefect, Net: b.Victim, Aggressor: b.Aggressor, BridgeKind: kind}
+		}
+		collides := false
+		for _, e := range out {
+			if d.SameSite(e) {
+				collides = true
+				break
+			}
+		}
+		if !collides {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Net < out[j].Net })
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package defect
+
+import (
+	"strings"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/fault"
+	"multidiag/internal/fsim"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+func exhaustivePatterns(npi int) []sim.Pattern {
+	n := 1 << npi
+	pats := make([]sim.Pattern, n)
+	for m := 0; m < n; m++ {
+		p := make(sim.Pattern, npi)
+		for i := 0; i < npi; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		pats[m] = p
+	}
+	return pats
+}
+
+func TestInjectStuckMatchesFaultModel(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	fs, err := fsim.NewFaultSim(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"G10", "G11", "G16", "G22"} {
+		n := c.NetByName(name)
+		for _, v1 := range []bool{false, true} {
+			dev, err := Inject(c, []Defect{{Kind: StuckNet, Net: n, Value1: v1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := tester.ApplyTest(c, dev, pats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fs.SimulateStuckAt(fault.StuckAt{Net: n, Value1: v1})
+			if !d.Syndrome().Equal(want) {
+				t.Fatalf("stuck %s=%v: device syndrome ≠ fault model", name, v1)
+			}
+		}
+	}
+}
+
+func TestInjectOpenMatchesStuck(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	n := c.NetByName("G19")
+	devO, err := Inject(c, []Defect{{Kind: OpenNet, Net: n, Value1: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devS, err := Inject(c, []Defect{{Kind: StuckNet, Net: n, Value1: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dO, _ := tester.ApplyTest(c, devO, pats)
+	dS, _ := tester.ApplyTest(c, devS, pats)
+	if !dO.Syndrome().Equal(dS.Syndrome()) {
+		t.Fatal("open behaviour must match its stuck-value approximation")
+	}
+}
+
+func TestInjectDominantBridge(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	// G10 victim, G19 aggressor: independent cones (G10 feeds G22 only;
+	// G19 is fed by G11/G7 and feeds G23 only).
+	v, a := c.NetByName("G10"), c.NetByName("G19")
+	dev, err := Inject(c, []Defect{{Kind: BridgeDefect, Net: v, Aggressor: a, BridgeKind: fault.DominantBridge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: scalar simulation forcing victim to the aggressor's good value.
+	for m, p := range pats {
+		good, _ := sim.EvalScalar(c, p, nil)
+		forced, _ := sim.EvalScalar(c, p, map[netlist.NetID]logic.Value{v: good[a]})
+		for i, po := range c.POs {
+			want := good[po] != forced[po]
+			got := d.Fails[m] != nil && d.Fails[m].Has(i)
+			if want != got {
+				t.Fatalf("pattern %d PO %d: want fail=%v got %v", m, i, want, got)
+			}
+		}
+	}
+}
+
+func TestInjectWiredBridges(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	v, a := c.NetByName("G10"), c.NetByName("G19")
+	for _, kind := range []fault.BridgeKind{fault.WiredAND, fault.WiredOR} {
+		dev, err := Inject(c, []Defect{{Kind: BridgeDefect, Net: v, Aggressor: a, BridgeKind: kind}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, p := range pats {
+			good, _ := sim.EvalScalar(c, p, nil)
+			var wired logic.Value
+			if kind == fault.WiredAND {
+				wired = good[v].And(good[a])
+			} else {
+				wired = good[v].Or(good[a])
+			}
+			forced, _ := sim.EvalScalar(c, p, map[netlist.NetID]logic.Value{v: wired, a: wired})
+			for i, po := range c.POs {
+				want := good[po] != forced[po]
+				got := d.Fails[m] != nil && d.Fails[m].Has(i)
+				if want != got {
+					t.Fatalf("%v pattern %d PO %d: want fail=%v got %v", kind, m, i, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiDefectInteraction verifies that simultaneous defects interact
+// (masking / non-additivity): the double-defect syndrome must differ from
+// the union of single-defect syndromes on at least one circuit where we
+// engineer interaction, and re-simulation must be consistent.
+func TestMultiDefectInteraction(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	d1 := Defect{Kind: StuckNet, Net: c.NetByName("G10"), Value1: true}
+	d2 := Defect{Kind: StuckNet, Net: c.NetByName("G16"), Value1: false}
+
+	devBoth, err := Inject(c, []Defect{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev1, _ := Inject(c, []Defect{d1})
+	dev2, _ := Inject(c, []Defect{d2})
+	both, _ := tester.ApplyTest(c, devBoth, pats)
+	s1, _ := tester.ApplyTest(c, dev1, pats)
+	s2, _ := tester.ApplyTest(c, dev2, pats)
+
+	// Union of singles.
+	union := map[int]map[int]bool{}
+	for _, d := range []*tester.Datalog{s1, s2} {
+		for p, f := range d.Fails {
+			if union[p] == nil {
+				union[p] = map[int]bool{}
+			}
+			for _, po := range f.Members() {
+				union[p][po] = true
+			}
+		}
+	}
+	diff := false
+	for p := 0; p < len(pats); p++ {
+		for po := 0; po < len(c.POs); po++ {
+			inBoth := both.Fails[p] != nil && both.Fails[p].Has(po)
+			inUnion := union[p][po]
+			if inBoth != inUnion {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("expected defect interaction (G16 sa0 forces G22=1 = NAND(G10,0) regardless of G10, masking G10 sa1)")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	c := circuits.C17()
+	if _, err := Inject(c, []Defect{{Kind: StuckNet, Net: 999}}); err == nil {
+		t.Error("out-of-range net accepted")
+	}
+	if _, err := Inject(c, []Defect{{Kind: BridgeDefect, Net: 1, Aggressor: 999}}); err == nil {
+		t.Error("out-of-range aggressor accepted")
+	}
+	if _, err := Inject(c, []Defect{{Kind: BridgeDefect, Net: 1, Aggressor: 1}}); err == nil {
+		t.Error("self bridge accepted")
+	}
+	// Bridge between dependent nets must be rejected (G11 feeds G16).
+	if _, err := Inject(c, []Defect{{
+		Kind: BridgeDefect, Net: c.NetByName("G16"),
+		Aggressor: c.NetByName("G11"), BridgeKind: fault.DominantBridge,
+	}}); err == nil {
+		t.Error("dependent bridge accepted")
+	}
+	if _, err := Inject(c, []Defect{{Kind: Kind(9), Net: 1}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestInjectPreservesOriginal(t *testing.T) {
+	c := circuits.C17()
+	before := c.ComputeStats()
+	_, err := Inject(c, []Defect{{Kind: StuckNet, Net: c.NetByName("G16")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.ComputeStats()
+	if before.Nets != after.Nets || before.Gates != after.Gates {
+		t.Fatal("Inject mutated the original circuit")
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 3, NumPIs: 10, NumGates: 300, NumPOs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		ds, err := Sample(c, CampaignConfig{Seed: int64(n), NumDefects: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) != n {
+			t.Fatalf("sampled %d, want %d", len(ds), n)
+		}
+		for i := range ds {
+			for j := i + 1; j < len(ds); j++ {
+				if ds[i].SameSite(ds[j]) {
+					t.Fatalf("overlapping defects %v / %v", ds[i], ds[j])
+				}
+			}
+			if ds[i].Kind != BridgeDefect && c.Gates[ds[i].Net].Type == netlist.Input {
+				t.Fatalf("stuck/open on PI sampled: %v", ds[i])
+			}
+		}
+		// Sampled defects must be injectable.
+		if _, err := Inject(c, ds); err != nil {
+			t.Fatalf("sampled set not injectable: %v (%v)", err, ds)
+		}
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	c := circuits.C17()
+	a, err := Sample(c, CampaignConfig{Seed: 9, NumDefects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(c, CampaignConfig{Seed: 9, NumDefects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different sample")
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := circuits.C17()
+	d := Defect{Kind: BridgeDefect, Net: c.NetByName("G10"), Aggressor: c.NetByName("G19"), BridgeKind: fault.WiredOR}
+	s := d.Describe(c)
+	if !strings.Contains(s, "G10") || !strings.Contains(s, "G19") || !strings.Contains(s, "wor") {
+		t.Errorf("Describe = %q", s)
+	}
+	if !strings.Contains(Defect{Kind: StuckNet, Net: 3, Value1: true}.String(), "stuck") {
+		t.Error("String missing kind")
+	}
+	for _, k := range []Kind{StuckNet, OpenNet, BridgeDefect, Kind(7)} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}
+
+func TestSampleWithPlacement(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 6, NumPIs: 12, NumGates: 300, NumPOs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Sample(c, CampaignConfig{Seed: 2, NumDefects: 4, MixBridge: 1, UsePlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("sampled %d", len(ds))
+	}
+	for _, d := range ds {
+		if d.Kind != BridgeDefect {
+			t.Fatalf("non-bridge defect %v with MixBridge=1", d)
+		}
+	}
+	if _, err := Inject(c, ds); err != nil {
+		t.Fatalf("placement-sampled set not injectable: %v", err)
+	}
+	// Determinism.
+	ds2, err := Sample(c, CampaignConfig{Seed: 2, NumDefects: 4, MixBridge: 1, UsePlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		if ds[i] != ds2[i] {
+			t.Fatal("placement sampling not deterministic")
+		}
+	}
+}

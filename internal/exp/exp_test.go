@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick options shared by the experiment smoke tests: tiny seeds keep each
+// table under a few seconds while still exercising the full pipeline.
+func quickOpts() Options { return Options{Quick: true, Seeds: 3} }
+
+func TestWorkloadCacheAndUnknown(t *testing.T) {
+	a, err := workload("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("workload cache miss")
+	}
+	if a.Coverage <= 0.9 {
+		t.Errorf("c17 coverage %f", a.Coverage)
+	}
+	if _, err := workload("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestT1(t *testing.T) {
+	var sb strings.Builder
+	if err := T1Characteristics(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T1", "c17", "add16", "b0300", "SA coverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT2(t *testing.T) {
+	var sb strings.Builder
+	if err := T2SingleDefect(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T2", "stuck", "bridge", "ours", "slat", "intersect", "dict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT3(t *testing.T) {
+	var sb strings.Builder
+	if err := T3MultiDefect(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T3", "#defects", "success"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT4(t *testing.T) {
+	var sb strings.Builder
+	if err := T4PatternCharacter(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "non-SLAT") {
+		t.Errorf("T4 output:\n%s", sb.String())
+	}
+}
+
+func TestF1F2(t *testing.T) {
+	var sb strings.Builder
+	if err := F1AccuracyVsDefects(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := F2ResolutionVsDefects(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"F1", "F2", "ours", "slat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1/F2 output missing %q", want)
+		}
+	}
+}
+
+func TestF3(t *testing.T) {
+	var sb strings.Builder
+	if err := F3Runtime(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "F3a") || !strings.Contains(out, "F3b") {
+		t.Errorf("F3 output:\n%s", out)
+	}
+}
+
+func TestF4(t *testing.T) {
+	var sb strings.Builder
+	if err := F4DefectTypes(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stuck-only") {
+		t.Errorf("F4 output:\n%s", sb.String())
+	}
+}
+
+func TestT5(t *testing.T) {
+	var sb strings.Builder
+	if err := T5Ablation(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T5", "per-pattern", "λ=1", "no X-consistency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT6(t *testing.T) {
+	var sb strings.Builder
+	if err := T6IntraCell(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T6", "ND2X1", "MUX21X1", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT7(t *testing.T) {
+	var sb strings.Builder
+	if err := T7DelayDefects(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T7", "slow nets", "TF coverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT8(t *testing.T) {
+	var sb strings.Builder
+	if err := T8ResolutionImprovement(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T8", "detect", "DTPG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT9(t *testing.T) {
+	var sb strings.Builder
+	if err := T9Compaction(&sb, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T9", "X-compact", "raw POs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAllRunsEverySuite drives the full harness entry point at minimal
+// scale: every table and figure must render without error and in order.
+func TestAllRunsEverySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := All(&sb, Options{Quick: true, Seeds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	prev := -1
+	for _, marker := range []string{
+		"T1:", "T2:", "T3:", "T4:", "F1:", "F2:", "F3a", "F4:", "T5:", "T6:", "T7:", "T8:", "T9:",
+	} {
+		idx := strings.Index(out, marker)
+		if idx < 0 {
+			t.Fatalf("All output missing %q", marker)
+		}
+		if idx < prev {
+			t.Fatalf("experiment %q out of order", marker)
+		}
+		prev = idx
+	}
+}

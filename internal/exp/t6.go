@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"io"
+	"math/rand"
+
+	"multidiag/internal/intracell"
+	"multidiag/internal/logic"
+	"multidiag/internal/report"
+)
+
+// T6IntraCell runs the intra-cell extension study (DESIGN.md T6): random
+// transistor-level defects are injected into every library cell, the
+// switch-level effect-cause flow diagnoses each from local failing/passing
+// patterns alone, and the table reports per-cell hit rate and average
+// suspect-list resolution — mirroring the structure of the reference
+// paper's per-cell result tables.
+func T6IntraCell(w io.Writer, o Options) error {
+	o.fill()
+	t := report.NewTable("T6: intra-cell transistor-level CPT (extension)",
+		"cell", "inputs", "transistors", "injected", "observable", "hit rate", "avg resolution")
+	perCell := o.Seeds * 4
+	for _, cell := range intracell.Library() {
+		r := rand.New(rand.NewSource(int64(len(cell.Nodes))*7919 + 17))
+		injected, observable, hits, totalRes := 0, 0, 0, 0
+		for trial := 0; trial < perCell; trial++ {
+			cfg, truth := randomIntraCellDefect(cell, r)
+			injected++
+			lfp, lpp, err := intracell.LocalPatterns(cell, cfg)
+			if err != nil {
+				return err
+			}
+			if len(lfp) == 0 {
+				continue // benign defect: undetectable, not diagnosable
+			}
+			observable++
+			d, err := intracell.Diagnose(cell, lfp, lpp)
+			if err != nil {
+				return err
+			}
+			totalRes += d.Resolution()
+			truthSet := map[intracell.NodeID]bool{}
+			for _, n := range truth {
+				truthSet[n] = true
+			}
+			for _, sn := range d.SuspectNodes() {
+				if truthSet[sn] {
+					hits++
+					break
+				}
+			}
+		}
+		hitRate, avgRes := 0.0, 0.0
+		if observable > 0 {
+			hitRate = float64(hits) / float64(observable)
+			avgRes = float64(totalRes) / float64(observable)
+		}
+		t.AddRow(cell.Name, len(cell.Inputs), len(cell.Transistors),
+			injected, observable, hitRate, avgRes)
+	}
+	return t.Render(w)
+}
+
+// randomIntraCellDefect draws one transistor-level defect and returns its
+// simulation config plus the ground-truth nodes that localize it.
+func randomIntraCellDefect(c *intracell.Cell, r *rand.Rand) (*intracell.SimConfig, []intracell.NodeID) {
+	switch r.Intn(4) {
+	case 0: // transistor stuck-off (open at a terminal)
+		ti := r.Intn(len(c.Transistors))
+		tr := c.Transistors[ti]
+		return &intracell.SimConfig{StuckOff: map[int]bool{ti: true}},
+			[]intracell.NodeID{tr.Gate, tr.Source, tr.Drain}
+	case 1: // transistor stuck-on (gate short)
+		ti := r.Intn(len(c.Transistors))
+		tr := c.Transistors[ti]
+		return &intracell.SimConfig{StuckOn: map[int]bool{ti: true}},
+			[]intracell.NodeID{tr.Gate, tr.Source, tr.Drain}
+	case 2: // node shorted to a rail
+		nodes := c.InternalNodes()
+		n := nodes[r.Intn(len(nodes))]
+		v := logic.Zero
+		if r.Intn(2) == 1 {
+			v = logic.One
+		}
+		return &intracell.SimConfig{ForcedNodes: map[intracell.NodeID]logic.Value{n: v}},
+			[]intracell.NodeID{n}
+	default: // dominant bridge between two distinct non-rail nodes
+		sus := c.SuspectNodes()
+		v := sus[r.Intn(len(sus))]
+		a := sus[r.Intn(len(sus))]
+		for a == v {
+			a = sus[r.Intn(len(sus))]
+		}
+		return &intracell.SimConfig{Bridges: []intracell.BridgePair{{Victim: v, Aggressor: a}}},
+			[]intracell.NodeID{v, a}
+	}
+}

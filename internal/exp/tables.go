@@ -1,0 +1,447 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"multidiag/internal/baseline"
+	"multidiag/internal/core"
+	"multidiag/internal/defect"
+	"multidiag/internal/metrics"
+	"multidiag/internal/report"
+)
+
+// T1Characteristics reports the benchmark circuits: size, interface, test
+// length and stuck-at coverage (DESIGN.md T1).
+func T1Characteristics(w io.Writer, o Options) error {
+	o.fill()
+	t := report.NewTable("T1: benchmark circuit characteristics",
+		"circuit", "PIs", "POs", "gates", "depth", "patterns", "SA coverage")
+	for _, name := range circuitsFor(o) {
+		wl, err := workload(name)
+		if err != nil {
+			return err
+		}
+		cov, err := FaultCoverage(wl)
+		if err != nil {
+			return err
+		}
+		st := wl.Circuit.ComputeStats()
+		t.AddRow(name, st.PIs, st.POs, st.Gates, st.MaxLevel, len(wl.Patterns), cov)
+	}
+	return t.Render(w)
+}
+
+// campaign aggregates per-method outcomes over devices.
+type campaign struct {
+	aggSite, aggRegion map[Method]*metrics.Aggregate
+	cands              map[Method]int
+	elapsed            map[Method]time.Duration
+	runs               int
+}
+
+func newCampaign() *campaign {
+	return &campaign{
+		aggSite:   map[Method]*metrics.Aggregate{},
+		aggRegion: map[Method]*metrics.Aggregate{},
+		cands:     map[Method]int{},
+		elapsed:   map[Method]time.Duration{},
+	}
+}
+
+func (cp *campaign) add(outcomes []RunOutcome) {
+	cp.runs++
+	for _, oc := range outcomes {
+		if cp.aggSite[oc.Method] == nil {
+			cp.aggSite[oc.Method] = &metrics.Aggregate{}
+			cp.aggRegion[oc.Method] = &metrics.Aggregate{}
+		}
+		cp.aggSite[oc.Method].Add(oc.Score)
+		cp.aggRegion[oc.Method].Add(oc.Region)
+		cp.cands[oc.Method] += oc.Cands
+		cp.elapsed[oc.Method] += oc.Elapsed
+	}
+}
+
+// runCampaign diagnoses `seeds` activated devices of the given multiplicity
+// with the given methods.
+func runCampaign(wl *Workload, multiplicity, seeds int, baseSeed int64, methods []Method, dict *baseline.Dictionary, radius int, mix defect.CampaignConfig) (*campaign, error) {
+	devs, err := makeDevices(wl, seeds, multiplicity, baseSeed, mix)
+	if err != nil {
+		return nil, err
+	}
+	cp := newCampaign()
+	for _, dev := range devs {
+		outs, err := runMethods(wl, dev, methods, dict, radius)
+		if err != nil {
+			return nil, err
+		}
+		cp.add(outs)
+	}
+	return cp, nil
+}
+
+// T2SingleDefect compares every engine on single-defect devices of each
+// mechanism (DESIGN.md T2): accuracy must be ≈1 everywhere — the
+// assumptions all hold for one defect — so T2 is the sanity anchor.
+func T2SingleDefect(w io.Writer, o Options) error {
+	o.fill()
+	t := report.NewTable("T2: single-defect sanity (per circuit × mechanism)",
+		"circuit", "mechanism", "method", "site acc", "region acc", "resolution", "ms/diag")
+	names := circuitsFor(o)
+	for _, name := range names {
+		wl, err := workload(name)
+		if err != nil {
+			return err
+		}
+		// Dictionary is built per circuit (the expensive precompute the
+		// effect-cause methods avoid); skip it on the largest circuits as
+		// deployed flows do.
+		var dict *baseline.Dictionary
+		if wl.Circuit.NumLogicGates() <= 1000 {
+			dict, err = baseline.BuildDictionary(wl.Circuit, wl.Patterns)
+			if err != nil {
+				return err
+			}
+		}
+		mechanisms := []struct {
+			label string
+			mix   defect.CampaignConfig
+		}{
+			{"stuck", defect.CampaignConfig{MixStuck: 1}},
+			{"open", defect.CampaignConfig{MixOpen: 1}},
+			{"bridge", defect.CampaignConfig{MixBridge: 1}},
+		}
+		for _, mech := range mechanisms {
+			methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
+			if dict != nil {
+				methods = append(methods, MethodDictionary)
+			}
+			cp, err := runCampaign(wl, 1, o.Seeds, 10_000, methods, dict, o.Radius, mech.mix)
+			if err != nil {
+				return err
+			}
+			for _, m := range methods {
+				agg, reg := cp.aggSite[m], cp.aggRegion[m]
+				if agg == nil {
+					continue
+				}
+				t.AddRow(name, mech.label, string(m),
+					agg.MeanAccuracy(), reg.MeanAccuracy(), reg.MeanResolution(),
+					float64(cp.elapsed[m].Milliseconds())/float64(cp.runs))
+			}
+		}
+	}
+	return t.Render(w)
+}
+
+// T3MultiDefect is the headline table: diagnosis quality vs. defect
+// multiplicity 2–5, ours vs. SLAT vs. intersection (DESIGN.md T3).
+func T3MultiDefect(w io.Writer, o Options) error {
+	o.fill()
+	t := report.NewTable("T3: multiple-defect diagnosis vs multiplicity",
+		"circuit", "#defects", "method", "site acc", "region acc", "success", "resolution", "ms/diag")
+	methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
+	for _, name := range multiCircuits(o) {
+		wl, err := workload(name)
+		if err != nil {
+			return err
+		}
+		for mult := 2; mult <= 5; mult++ {
+			cp, err := runCampaign(wl, mult, o.Seeds, int64(20_000+mult*1000), methods, nil, o.Radius, defect.CampaignConfig{})
+			if err != nil {
+				return err
+			}
+			for _, m := range methods {
+				agg, reg := cp.aggSite[m], cp.aggRegion[m]
+				if agg == nil {
+					continue
+				}
+				t.AddRow(name, mult, string(m),
+					agg.MeanAccuracy(), reg.MeanAccuracy(), reg.SuccessRate(), reg.MeanResolution(),
+					float64(cp.elapsed[m].Milliseconds())/float64(cp.runs))
+			}
+		}
+	}
+	return t.Render(w)
+}
+
+func multiCircuits(o Options) []string {
+	if o.Quick {
+		return []string{"b0300"}
+	}
+	return []string{"add16", "b0500", "b1000"}
+}
+
+// T4PatternCharacter buckets multi-defect devices by their non-SLAT
+// failing-pattern fraction and reports per-bucket accuracy for ours vs SLAT
+// (DESIGN.md T4): the paper's claim is that our accuracy is flat across
+// buckets while SLAT's falls as the non-SLAT fraction grows.
+func T4PatternCharacter(w io.Writer, o Options) error {
+	o.fill()
+	t := report.NewTable("T4: accuracy vs non-SLAT failing-pattern fraction",
+		"bucket", "devices", "ours acc", "slat acc", "ours res", "slat res")
+	type bucket struct {
+		count            int
+		oursAcc, slatAcc float64
+		oursRes, slatRes int
+	}
+	buckets := make([]bucket, 4) // [0,0.25) [0.25,0.5) [0.5,0.75) [0.75,1]
+	for _, name := range multiCircuits(o) {
+		wl, err := workload(name)
+		if err != nil {
+			return err
+		}
+		for mult := 2; mult <= 4; mult++ {
+			devs, err := makeDevices(wl, o.Seeds, mult, int64(30_000+mult*777), defect.CampaignConfig{})
+			if err != nil {
+				return err
+			}
+			for _, dev := range devs {
+				outs, err := runMethods(wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o.Radius)
+				if err != nil {
+					return err
+				}
+				frac := outs[0].NonSLATFrac
+				if frac < 0 {
+					continue
+				}
+				bi := int(frac * 4)
+				if bi > 3 {
+					bi = 3
+				}
+				b := &buckets[bi]
+				b.count++
+				for _, oc := range outs {
+					switch oc.Method {
+					case MethodOurs:
+						b.oursAcc += oc.Region.Accuracy()
+						b.oursRes += oc.Cands
+					case MethodSLAT:
+						b.slatAcc += oc.Region.Accuracy()
+						b.slatRes += oc.Cands
+					}
+				}
+			}
+		}
+	}
+	labels := []string{"[0,25%)", "[25,50%)", "[50,75%)", "[75,100%]"}
+	for i, b := range buckets {
+		if b.count == 0 {
+			t.AddRow(labels[i], 0, "-", "-", "-", "-")
+			continue
+		}
+		n := float64(b.count)
+		t.AddRow(labels[i], b.count, b.oursAcc/n, b.slatAcc/n,
+			float64(b.oursRes)/n, float64(b.slatRes)/n)
+	}
+	return t.Render(w)
+}
+
+// F1AccuracyVsDefects regenerates the accuracy-vs-multiplicity figure
+// (DESIGN.md F1), one series per method.
+func F1AccuracyVsDefects(w io.Writer, o Options) error {
+	o.fill()
+	f := report.NewFigure("F1: region accuracy vs #defects", "#defects", "mean region accuracy")
+	methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
+	series := map[Method]*report.Series{}
+	for _, m := range methods {
+		series[m] = f.AddSeries(string(m))
+	}
+	wl, err := workload(primaryCircuit(o))
+	if err != nil {
+		return err
+	}
+	for mult := 1; mult <= 5; mult++ {
+		cp, err := runCampaign(wl, mult, o.Seeds, int64(40_000+mult*333), methods, nil, o.Radius, defect.CampaignConfig{})
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			if agg := cp.aggRegion[m]; agg != nil {
+				series[m].Add(float64(mult), agg.MeanAccuracy())
+			}
+		}
+	}
+	return f.Render(w)
+}
+
+func primaryCircuit(o Options) string {
+	if o.Quick {
+		return "b0300"
+	}
+	return "b1000"
+}
+
+// F2ResolutionVsDefects regenerates the resolution-vs-multiplicity figure
+// (DESIGN.md F2).
+func F2ResolutionVsDefects(w io.Writer, o Options) error {
+	o.fill()
+	f := report.NewFigure("F2: resolution vs #defects", "#defects", "mean candidates")
+	methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
+	series := map[Method]*report.Series{}
+	for _, m := range methods {
+		series[m] = f.AddSeries(string(m))
+	}
+	wl, err := workload(primaryCircuit(o))
+	if err != nil {
+		return err
+	}
+	for mult := 1; mult <= 5; mult++ {
+		cp, err := runCampaign(wl, mult, o.Seeds, int64(50_000+mult*333), methods, nil, o.Radius, defect.CampaignConfig{})
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			if agg := cp.aggRegion[m]; agg != nil {
+				series[m].Add(float64(mult), agg.MeanResolution())
+			}
+		}
+	}
+	return f.Render(w)
+}
+
+// F3Runtime regenerates the CPU-scaling figure (DESIGN.md F3): diagnosis
+// wall time vs circuit size (at multiplicity 3) and vs multiplicity (on the
+// primary circuit).
+func F3Runtime(w io.Writer, o Options) error {
+	o.fill()
+	sizes := []string{"b0300", "b0500", "b1000"}
+	if !o.Quick {
+		sizes = []string{"b0500", "b1000", "b2000", "b4000"}
+	}
+	f := report.NewFigure("F3a: diagnosis time vs circuit size (3 defects)", "gates", "ms/diagnosis")
+	s := f.AddSeries("ours")
+	for _, name := range sizes {
+		wl, err := workload(name)
+		if err != nil {
+			return err
+		}
+		cp, err := runCampaign(wl, 3, minInt(o.Seeds, 8), 60_000, []Method{MethodOurs}, nil, o.Radius, defect.CampaignConfig{})
+		if err != nil {
+			return err
+		}
+		s.Add(float64(wl.Circuit.NumLogicGates()),
+			float64(cp.elapsed[MethodOurs].Milliseconds())/float64(cp.runs))
+	}
+	if err := f.Render(w); err != nil {
+		return err
+	}
+	f2 := report.NewFigure("F3b: diagnosis time vs #defects", "#defects", "ms/diagnosis")
+	s2 := f2.AddSeries("ours")
+	wl, err := workload(primaryCircuit(o))
+	if err != nil {
+		return err
+	}
+	for mult := 1; mult <= 5; mult++ {
+		cp, err := runCampaign(wl, mult, minInt(o.Seeds, 8), int64(61_000+mult*13), []Method{MethodOurs}, nil, o.Radius, defect.CampaignConfig{})
+		if err != nil {
+			return err
+		}
+		s2.Add(float64(mult), float64(cp.elapsed[MethodOurs].Milliseconds())/float64(cp.runs))
+	}
+	return f2.Render(w)
+}
+
+// F4DefectTypes regenerates the defect-type-mix figure (DESIGN.md F4):
+// region accuracy at multiplicity 3 under different mechanism populations.
+func F4DefectTypes(w io.Writer, o Options) error {
+	o.fill()
+	f := report.NewFigure("F4: region accuracy by defect-type mix (3 defects)", "mix#", "mean region accuracy")
+	mixes := []struct {
+		label string
+		mix   defect.CampaignConfig
+	}{
+		{"stuck-only", defect.CampaignConfig{MixStuck: 1}},
+		{"open-heavy", defect.CampaignConfig{MixStuck: 0.2, MixOpen: 0.7, MixBridge: 0.1}},
+		{"bridge-heavy", defect.CampaignConfig{MixStuck: 0.2, MixOpen: 0.1, MixBridge: 0.7}},
+		{"mixed", defect.CampaignConfig{}},
+	}
+	wl, err := workload(primaryCircuit(o))
+	if err != nil {
+		return err
+	}
+	methods := []Method{MethodOurs, MethodSLAT}
+	series := map[Method]*report.Series{}
+	for _, m := range methods {
+		series[m] = f.AddSeries(string(m))
+	}
+	t := report.NewTable("F4 key", "mix#", "population")
+	for i, mx := range mixes {
+		cp, err := runCampaign(wl, 3, o.Seeds, int64(70_000+i*101), methods, nil, o.Radius, mx.mix)
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			if agg := cp.aggRegion[m]; agg != nil {
+				series[m].Add(float64(i), agg.MeanAccuracy())
+			}
+		}
+		t.AddRow(i, mx.label)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	return f.Render(w)
+}
+
+// T5Ablation isolates the design choices (DESIGN.md T5): per-output vs
+// per-pattern covering, X-consistency on/off, and the misprediction
+// penalty λ.
+func T5Ablation(w io.Writer, o Options) error {
+	o.fill()
+	t := report.NewTable("T5: ablations (3 defects, mixed mechanisms)",
+		"variant", "site acc", "region acc", "success", "resolution", "flagged inconsistent")
+	wl, err := workload(primaryCircuit(o))
+	if err != nil {
+		return err
+	}
+	devs, err := makeDevices(wl, o.Seeds, 3, 80_000, defect.CampaignConfig{})
+	if err != nil {
+		return err
+	}
+	variants := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"default (per-output, λ=0.3, X-check)", core.Config{}},
+		{"per-pattern cover (SLAT-style)", core.Config{PerPatternCover: true}},
+		{"no X-consistency", core.Config{DisableXConsistency: true}},
+		{"no bridge search", core.Config{DisableBridgeSearch: true}},
+		{"approximate CPT (classical)", core.Config{ApproxCPT: true}},
+		{"λ=0.01", core.Config{Lambda: 0.01}},
+		{"λ=1", core.Config{Lambda: 1}},
+		{"λ=3", core.Config{Lambda: 3}},
+	}
+	for _, v := range variants {
+		var site, region metrics.Aggregate
+		inconsistent := 0
+		for _, dev := range devs {
+			res, err := core.Diagnose(wl.Circuit, wl.Patterns, dev.log, v.cfg)
+			if err != nil {
+				return err
+			}
+			var cands []metrics.Candidate
+			for _, ns := range res.MultipletNets() {
+				cands = append(cands, metrics.Candidate{Nets: ns})
+			}
+			site.Add(metrics.Evaluate(dev.defects, cands))
+			region.Add(metrics.EvaluateRegion(wl.Circuit, dev.defects, cands, o.Radius))
+			if !res.Consistent {
+				inconsistent++
+			}
+		}
+		t.AddRow(v.label, site.MeanAccuracy(), region.MeanAccuracy(),
+			region.SuccessRate(), region.MeanResolution(),
+			fmt.Sprintf("%d/%d", inconsistent, len(devs)))
+	}
+	return t.Render(w)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+// Package fault defines the fault models used for simulation, ATPG and
+// diagnosis: single stuck-at faults, dominant/wired bridging faults between
+// net pairs, and net opens. It also provides stuck-at fault-universe
+// generation with structural equivalence collapsing and a proximity-proxy
+// bridge enumerator (see DESIGN.md §5 for the layout substitution).
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"multidiag/internal/netlist"
+)
+
+// StuckAt is a single stuck-at fault: net Net permanently holds value
+// Value1 (true → stuck-at-1, false → stuck-at-0).
+type StuckAt struct {
+	Net    netlist.NetID
+	Value1 bool
+}
+
+// String renders e.g. "G11/sa0".
+func (f StuckAt) String() string {
+	v := "sa0"
+	if f.Value1 {
+		v = "sa1"
+	}
+	return fmt.Sprintf("net%d/%s", f.Net, v)
+}
+
+// Name renders the fault with the circuit's net name, e.g. "G11 sa0".
+func (f StuckAt) Name(c *netlist.Circuit) string {
+	v := "sa0"
+	if f.Value1 {
+		v = "sa1"
+	}
+	return c.NameOf(f.Net) + " " + v
+}
+
+// BridgeKind selects the electrical behaviour of a two-net bridge.
+type BridgeKind uint8
+
+const (
+	// DominantBridge: the aggressor's value overwrites the victim's.
+	DominantBridge BridgeKind = iota
+	// WiredAND: both nets see the AND of their driven values.
+	WiredAND
+	// WiredOR: both nets see the OR of their driven values.
+	WiredOR
+)
+
+// String names the bridge kind.
+func (k BridgeKind) String() string {
+	switch k {
+	case DominantBridge:
+		return "dom"
+	case WiredAND:
+		return "wand"
+	case WiredOR:
+		return "wor"
+	}
+	return fmt.Sprintf("BridgeKind(%d)", uint8(k))
+}
+
+// Bridge is a two-net bridging fault. For DominantBridge, Aggressor drives
+// Victim; for wired kinds the roles are symmetric but both fields are kept
+// for reporting.
+type Bridge struct {
+	Victim    netlist.NetID
+	Aggressor netlist.NetID
+	Kind      BridgeKind
+}
+
+// String renders e.g. "net5<-net9/dom".
+func (b Bridge) String() string {
+	return fmt.Sprintf("net%d<-net%d/%s", b.Victim, b.Aggressor, b.Kind)
+}
+
+// Name renders with circuit net names.
+func (b Bridge) Name(c *netlist.Circuit) string {
+	return fmt.Sprintf("%s<-%s %s", c.NameOf(b.Victim), c.NameOf(b.Aggressor), b.Kind)
+}
+
+// Open is a net open. A full-open on a CMOS net most often behaves as a
+// stuck value determined by the floating node's charge/leakage; we model it
+// as the net stuck at StuckValue1. The distinct type (vs. StuckAt) matters
+// to the injector and to diagnosis reporting, which distinguishes the defect
+// mechanisms.
+type Open struct {
+	Net         netlist.NetID
+	StuckValue1 bool
+}
+
+// String renders e.g. "open net7=1".
+func (o Open) String() string {
+	v := "0"
+	if o.StuckValue1 {
+		v = "1"
+	}
+	return fmt.Sprintf("open net%d=%s", o.Net, v)
+}
+
+// List generates the complete uncollapsed single-stuck-at universe: two
+// faults per net.
+func List(c *netlist.Circuit) []StuckAt {
+	out := make([]StuckAt, 0, 2*c.NumGates())
+	for i := range c.Gates {
+		out = append(out,
+			StuckAt{Net: netlist.NetID(i), Value1: false},
+			StuckAt{Net: netlist.NetID(i), Value1: true},
+		)
+	}
+	return out
+}
+
+// Collapse performs structural equivalence collapsing on the stuck-at
+// universe and returns one representative per equivalence class.
+//
+// Rules used (classic dominance-free equivalence):
+//   - For a gate with controlling value c and inversion i, an input
+//     stuck-at-c is equivalent to the output stuck-at-(c XOR i).
+//     (AND: in-sa0 ≡ out-sa0; NAND: in-sa0 ≡ out-sa1; OR: in-sa1 ≡ out-sa1;
+//     NOR: in-sa1 ≡ out-sa0.)
+//   - NOT/BUF: input faults are equivalent to the corresponding output
+//     faults.
+//
+// Only fanout-free input nets participate (faults on a stem feeding several
+// gates are not equivalent to any single gate-output fault).
+//
+// Because this netlist IR identifies each gate input with its driving net,
+// "input stuck-at" means the driving net's fault, which is exactly the
+// fanout-free case where the identification is sound.
+func Collapse(c *netlist.Circuit) []StuckAt {
+	type fkey struct {
+		net netlist.NetID
+		v1  bool
+	}
+	parent := make(map[fkey]fkey)
+	var find func(k fkey) fkey
+	find = func(k fkey) fkey {
+		if p, ok := parent[k]; ok && p != k {
+			r := find(p)
+			parent[k] = r
+			return r
+		}
+		return k
+	}
+	union := func(a, b fkey) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type == netlist.Input {
+			continue
+		}
+		switch g.Type {
+		case netlist.Buf, netlist.Not:
+			in := g.Fanin[0]
+			if c.IsFanoutStem(in) {
+				continue
+			}
+			inv := g.Type == netlist.Not
+			union(fkey{in, false}, fkey{g.ID, inv})
+			union(fkey{in, true}, fkey{g.ID, !inv})
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			cv, _ := g.Type.ControllingValue()
+			outV := cv != !g.Type.Inverting() // c XOR i, as bool equality dance
+			// For AND (i=false): out fault value = cv (0). For NAND: !cv (1).
+			if g.Type.Inverting() {
+				outV = !cv
+			} else {
+				outV = cv
+			}
+			for _, in := range g.Fanin {
+				if c.IsFanoutStem(in) {
+					continue
+				}
+				union(fkey{in, cv}, fkey{g.ID, outV})
+			}
+		}
+	}
+	// Pick one representative per class, preferring the fault closest to the
+	// outputs (largest NetID — gates are created after their fanins).
+	best := make(map[fkey]fkey)
+	for _, f := range List(c) {
+		k := fkey{f.Net, f.Value1}
+		r := find(k)
+		if cur, ok := best[r]; !ok || k.net > cur.net {
+			best[r] = k
+		}
+	}
+	out := make([]StuckAt, 0, len(best))
+	for _, k := range best {
+		out = append(out, StuckAt{Net: k.net, Value1: k.v1})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Net != out[b].Net {
+			return out[a].Net < out[b].Net
+		}
+		return !out[a].Value1 && out[b].Value1
+	})
+	return out
+}
+
+// CollapseDominance reduces the ATPG target list further using gate-level
+// fault dominance on top of equivalence collapsing: for an AND/NAND/OR/NOR
+// gate with at least one fanout-free input, the output fault at the
+// non-controlled value (AND: output sa1, NAND: sa0, OR: sa0, NOR: sa1) is
+// dominated by that input's non-controlling-value fault — every test for
+// the input fault sets the other inputs non-controlling and propagates the
+// gate output, detecting the output fault too — so the output fault can be
+// dropped from the *detection* target list.
+//
+// Dominance is detection-preserving but NOT diagnosis-preserving (dominated
+// faults have strictly larger test sets), so only ATPG consumes this list;
+// the diagnosis engines keep the equivalence-collapsed universe.
+func CollapseDominance(c *netlist.Circuit) []StuckAt {
+	eq := Collapse(c)
+	drop := make(map[StuckAt]bool)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		cv, ok := g.Type.ControllingValue()
+		if !ok {
+			continue
+		}
+		hasFFInput := false
+		for _, in := range g.Fanin {
+			if !c.IsFanoutStem(in) {
+				hasFFInput = true
+				break
+			}
+		}
+		if !hasFFInput {
+			continue
+		}
+		// Output value when all inputs are non-controlling: !cv XOR invert.
+		outV := !cv
+		if g.Type.Inverting() {
+			outV = cv
+		}
+		drop[StuckAt{Net: g.ID, Value1: outV}] = true
+	}
+	out := make([]StuckAt, 0, len(eq))
+	for _, f := range eq {
+		if !drop[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// EnumerateBridges lists candidate bridge pairs using a structural
+// proximity proxy for layout adjacency: two nets are bridgeable when their
+// topological levels differ by at most levelWindow and neither is in the
+// other's fan-in cone (a bridge onto one's own cone would create a feedback
+// loop, which this combinational model excludes). The enumeration is
+// deterministic; callers typically sample from it with a seeded RNG.
+//
+// maxPairs bounds the result (0 = unbounded).
+func EnumerateBridges(c *netlist.Circuit, levelWindow, maxPairs int) []Bridge {
+	var out []Bridge
+	n := c.NumGates()
+	// Group nets by level for windowed pairing.
+	byLevel := make([][]netlist.NetID, c.MaxLevel()+1)
+	for i := range c.Gates {
+		l := c.Gates[i].Level
+		byLevel[l] = append(byLevel[l], netlist.NetID(i))
+	}
+	_ = n
+	for l := 0; l <= c.MaxLevel(); l++ {
+		for dl := 0; dl <= levelWindow && l+dl <= c.MaxLevel(); dl++ {
+			as := byLevel[l]
+			bs := byLevel[l+dl]
+			for ai, a := range as {
+				coneA := c.FaninCone(a)
+				coneOutA := c.FanoutCone(a)
+				start := 0
+				if dl == 0 {
+					start = ai + 1
+				}
+				for _, b := range bs[start:] {
+					// Exclude structurally related pairs: a in cone(b) or b in
+					// cone(a) would make the bridged value cyclic.
+					if coneA[b] || coneOutA[b] {
+						continue
+					}
+					out = append(out, Bridge{Victim: a, Aggressor: b, Kind: DominantBridge})
+					if maxPairs > 0 && len(out) >= maxPairs {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+const c17Bench = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func c17(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseBench("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestListComplete(t *testing.T) {
+	c := c17(t)
+	fl := List(c)
+	if len(fl) != 2*c.NumGates() {
+		t.Fatalf("universe size %d, want %d", len(fl), 2*c.NumGates())
+	}
+	seen := map[StuckAt]bool{}
+	for _, f := range fl {
+		if seen[f] {
+			t.Fatalf("duplicate fault %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestStringers(t *testing.T) {
+	c := c17(t)
+	f := StuckAt{Net: c.NetByName("G11"), Value1: false}
+	if f.Name(c) != "G11 sa0" {
+		t.Errorf("Name = %q", f.Name(c))
+	}
+	if !strings.Contains(f.String(), "sa0") {
+		t.Errorf("String = %q", f.String())
+	}
+	b := Bridge{Victim: c.NetByName("G10"), Aggressor: c.NetByName("G11"), Kind: DominantBridge}
+	if b.Name(c) != "G10<-G11 dom" {
+		t.Errorf("bridge Name = %q", b.Name(c))
+	}
+	o := Open{Net: c.NetByName("G10"), StuckValue1: true}
+	if !strings.Contains(o.String(), "=1") {
+		t.Errorf("open String = %q", o.String())
+	}
+	for _, k := range []BridgeKind{DominantBridge, WiredAND, WiredOR} {
+		if k.String() == "" {
+			t.Error("empty bridge kind name")
+		}
+	}
+}
+
+// faultDetected reports whether stuck-at f is detected by pattern p
+// (simulation with net forced vs fault-free differs at some PO).
+func faultDetected(t *testing.T, c *netlist.Circuit, f StuckAt, p sim.Pattern) bool {
+	t.Helper()
+	good, err := sim.EvalScalar(c, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := logic.Zero
+	if f.Value1 {
+		fv = logic.One
+	}
+	bad, err := sim.EvalScalar(c, p, map[netlist.NetID]logic.Value{f.Net: fv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, po := range c.POs {
+		if good[po] != bad[po] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCollapsePreservesDetectability: every collapsed-away fault must be
+// detected by exactly the same patterns as its class representative. We
+// verify the weaker but sufficient property that for every input pattern,
+// a fault is detected iff some representative in the collapsed list is
+// detected (same overall detection).
+func TestCollapsePreservesDetectability(t *testing.T) {
+	c := c17(t)
+	full := List(c)
+	col := Collapse(c)
+	if len(col) >= len(full) {
+		t.Fatalf("collapsing did not reduce: %d -> %d", len(full), len(col))
+	}
+	// For c17 (all NAND, fanout stems G11 G16 G3) the collapsed set should
+	// still cover detection: for each pattern, the set of detected collapsed
+	// faults is non-empty iff the set of detected full faults is non-empty,
+	// and every full fault detected by p implies some collapsed fault
+	// detected by p.
+	for m := 0; m < 32; m++ {
+		p := make(sim.Pattern, 5)
+		for i := 0; i < 5; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		colDet := map[StuckAt]bool{}
+		for _, f := range col {
+			if faultDetected(t, c, f, p) {
+				colDet[f] = true
+			}
+		}
+		for _, f := range full {
+			if faultDetected(t, c, f, p) && len(colDet) == 0 {
+				t.Fatalf("pattern %05b detects %v but no collapsed fault", m, f)
+			}
+		}
+	}
+}
+
+// TestCollapseEquivalences checks specific textbook equivalences on a tiny
+// AND/NOT chain.
+func TestCollapseEquivalences(t *testing.T) {
+	c := netlist.NewCircuit("tiny")
+	a := c.MustAddGate(netlist.Input, "a")
+	b := c.MustAddGate(netlist.Input, "b")
+	g := c.MustAddGate(netlist.And, "g", a, b)
+	z := c.MustAddGate(netlist.Not, "z", g)
+	if err := c.MarkPO(z); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	col := Collapse(c)
+	has := func(f StuckAt) bool {
+		for _, x := range col {
+			if x == f {
+				return true
+			}
+		}
+		return false
+	}
+	// a-sa0 ≡ b-sa0 ≡ g-sa0 ≡ z-sa1: exactly one representative survives.
+	reps := 0
+	for _, f := range []StuckAt{{a, false}, {b, false}, {g, false}, {z, true}} {
+		if has(f) {
+			reps++
+		}
+	}
+	if reps != 1 {
+		t.Errorf("AND-sa0 class has %d representatives, want 1 (%v)", reps, col)
+	}
+	// a-sa1 and b-sa1 are NOT equivalent to each other.
+	if !has(StuckAt{a, true}) || !has(StuckAt{b, true}) {
+		t.Errorf("input sa1 faults must both survive: %v", col)
+	}
+	// 4 gates * 2 = 8 total; classes: {a0,b0,g0,z1}=1, a1, b1, {g1,z0}=1 → 4.
+	if len(col) != 4 {
+		t.Errorf("collapsed size %d, want 4: %v", len(col), col)
+	}
+}
+
+func TestCollapseStemNotCollapsed(t *testing.T) {
+	// A stem feeding two gates must keep its own faults.
+	c := netlist.NewCircuit("stem")
+	a := c.MustAddGate(netlist.Input, "a")
+	b := c.MustAddGate(netlist.Input, "b")
+	s := c.MustAddGate(netlist.And, "s", a, b) // stem
+	x := c.MustAddGate(netlist.Not, "x", s)
+	y := c.MustAddGate(netlist.And, "y", s, a)
+	_ = c.MarkPO(x)
+	_ = c.MarkPO(y)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	col := Collapse(c)
+	foundS0 := false
+	for _, f := range col {
+		if f.Net == s && !f.Value1 {
+			foundS0 = true
+		}
+	}
+	if !foundS0 {
+		t.Errorf("stem fault s-sa0 collapsed away: %v", col)
+	}
+}
+
+func TestEnumerateBridges(t *testing.T) {
+	c := c17(t)
+	brs := EnumerateBridges(c, 1, 0)
+	if len(brs) == 0 {
+		t.Fatal("no bridges enumerated")
+	}
+	seen := map[[2]netlist.NetID]bool{}
+	for _, b := range brs {
+		if b.Victim == b.Aggressor {
+			t.Fatalf("self bridge %v", b)
+		}
+		// No structural dependence either way.
+		if c.FaninCone(b.Victim)[b.Aggressor] || c.FanoutCone(b.Victim)[b.Aggressor] {
+			t.Fatalf("bridge %v couples structurally dependent nets", b.Name(c))
+		}
+		key := [2]netlist.NetID{b.Victim, b.Aggressor}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", b)
+		}
+		seen[key] = true
+		// Level window respected.
+		dl := c.Gates[b.Victim].Level - c.Gates[b.Aggressor].Level
+		if dl < -1 || dl > 1 {
+			t.Fatalf("bridge %v outside level window", b)
+		}
+	}
+	// maxPairs bound respected.
+	brs2 := EnumerateBridges(c, 1, 3)
+	if len(brs2) != 3 {
+		t.Fatalf("maxPairs ignored: %d", len(brs2))
+	}
+	// Deterministic.
+	brs3 := EnumerateBridges(c, 1, 0)
+	if len(brs3) != len(brs) {
+		t.Fatal("enumeration not deterministic")
+	}
+	for i := range brs {
+		if brs[i] != brs3[i] {
+			t.Fatal("enumeration order not deterministic")
+		}
+	}
+}
+
+// TestCollapseDominanceDetectionPreserving: a pattern set detecting every
+// dominance-collapsed fault must detect every equivalence-collapsed fault.
+func TestCollapseDominanceDetectionPreserving(t *testing.T) {
+	for _, mk := range []func(t testing.TB) *netlist.Circuit{
+		c17,
+		func(t testing.TB) *netlist.Circuit {
+			c := netlist.NewCircuit("mix")
+			a := c.MustAddGate(netlist.Input, "a")
+			b := c.MustAddGate(netlist.Input, "b")
+			d := c.MustAddGate(netlist.Input, "d")
+			g1 := c.MustAddGate(netlist.And, "g1", a, b)
+			g2 := c.MustAddGate(netlist.Nor, "g2", g1, d)
+			g3 := c.MustAddGate(netlist.Or, "g3", g1, d)
+			z := c.MustAddGate(netlist.Nand, "z", g2, g3)
+			_ = c.MarkPO(z)
+			if err := c.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	} {
+		c := mk(t)
+		dom := CollapseDominance(c)
+		eq := Collapse(c)
+		if len(dom) >= len(eq) {
+			t.Fatalf("%s: dominance did not reduce (%d vs %d)", c.Name, len(dom), len(eq))
+		}
+		// Exhaustive patterns; find the minimal info: which eq faults are
+		// detected by the set of patterns that detect dom faults.
+		npi := len(c.PIs)
+		var pats []sim.Pattern
+		for m := 0; m < 1<<npi; m++ {
+			p := make(sim.Pattern, npi)
+			for i := 0; i < npi; i++ {
+				p[i] = logic.FromBool(m>>i&1 == 1)
+			}
+			pats = append(pats, p)
+		}
+		// Keep only patterns that detect ≥1 dom fault (a "dominance test
+		// set"); then every eq fault must be detected by those patterns.
+		var kept []sim.Pattern
+		for _, p := range pats {
+			detects := false
+			for _, f := range dom {
+				if faultDetected(t, c, f, p) {
+					detects = true
+					break
+				}
+			}
+			if detects {
+				kept = append(kept, p)
+			}
+		}
+		for _, f := range eq {
+			detected := false
+			for _, p := range kept {
+				if faultDetected(t, c, f, p) {
+					detected = true
+					break
+				}
+			}
+			// Untestable eq faults are exempt (no pattern at all detects).
+			if !detected {
+				any := false
+				for _, p := range pats {
+					if faultDetected(t, c, f, p) {
+						any = true
+						break
+					}
+				}
+				if any {
+					t.Errorf("%s: %s testable but missed by the dominance test set", c.Name, f.Name(c))
+				}
+			}
+		}
+	}
+}

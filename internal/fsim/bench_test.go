@@ -1,0 +1,85 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/fault"
+	"multidiag/internal/netlist"
+)
+
+func benchCircuit(b *testing.B, gates int) *netlist.Circuit {
+	b.Helper()
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 5, NumPIs: 32, NumGates: gates, NumPOs: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkPPSFP measures cone-limited single-fault simulation over a
+// 256-pattern test set (one fault per op).
+func BenchmarkPPSFP(b *testing.B) {
+	c := benchCircuit(b, 2000)
+	r := rand.New(rand.NewSource(1))
+	pats := randomPatterns(r, len(c.PIs), 256)
+	fs, err := NewFaultSim(c, pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	universe := fault.Collapse(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.SimulateStuckAt(universe[i%len(universe)])
+	}
+}
+
+// BenchmarkCPTSingleOutput measures exact critical path tracing for one
+// (pattern, output) pair.
+func BenchmarkCPTSingleOutput(b *testing.B) {
+	c := benchCircuit(b, 2000)
+	cpt := NewCPT(c)
+	r := rand.New(rand.NewSource(2))
+	p := randomPatterns(r, len(c.PIs), 1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cpt.Critical(p, c.POs[i%len(c.POs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPTAllOutputs measures the multi-output amortized tracer over
+// every PO at once (the extraction configuration diagnosis uses).
+func BenchmarkCPTAllOutputs(b *testing.B) {
+	c := benchCircuit(b, 2000)
+	cpt := NewCPT(c)
+	r := rand.New(rand.NewSource(2))
+	p := randomPatterns(r, len(c.PIs), 1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := cpt.CriticalForOutputs(p, c.POs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDictionaryBuild measures the cause-effect precompute the
+// effect-cause flow avoids (small circuit: the cost is the point).
+func BenchmarkDictionaryBuild(b *testing.B) {
+	c := benchCircuit(b, 300)
+	r := rand.New(rand.NewSource(3))
+	pats := randomPatterns(r, len(c.PIs), 128)
+	universe := fault.Collapse(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildDictionary(c, pats, universe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package fsim
+
+import (
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+// CPT performs exact gate-level critical path tracing for one pattern.
+//
+// A net n is *critical* with respect to primary output po under pattern p
+// when flipping n's fault-free value (at the net, i.e. on all of its fanout
+// branches simultaneously) flips the value observed at po. Critical nets are
+// exactly the sites where a stuck-at fault (stuck at the complement of the
+// fault-free value) would be observed at po — the effect-cause candidate set
+// for a failing output.
+//
+// The implementation is exact, including reconvergent-fanout self-masking
+// cases that classical approximate CPT mishandles:
+//
+//   - fanout-free nets are traced backward through gate input sensitivity
+//     (a single-reader net is critical iff its reader's output is critical
+//     and the input is sensitive, which composes exactly along the unique
+//     path);
+//   - fanout stems are resolved by an explicit flip-and-propagate check with
+//     the event-driven simulator (stem analysis), which is exact by
+//     definition.
+//
+// CPT requires a fully determinate pattern (no X values).
+type CPT struct {
+	c  *netlist.Circuit
+	es *sim.EventSim
+
+	refs []int // number of fan-in references per net (stem detection)
+}
+
+// NewCPT builds a tracer for the finalized circuit c.
+func NewCPT(c *netlist.Circuit) *CPT {
+	t := &CPT{c: c, es: sim.NewEventSim(c), refs: make([]int, c.NumGates())}
+	for i := range c.Gates {
+		for _, f := range c.Gates[i].Fanin {
+			t.refs[f]++
+		}
+	}
+	return t
+}
+
+// Critical computes the set of nets critical for po under pattern p, as a
+// boolean slice indexed by NetID. The second return value is the per-net
+// fault-free values of the pattern (useful to the caller for deriving
+// stuck-at candidate polarity).
+func (t *CPT) Critical(p sim.Pattern, po netlist.NetID) ([]bool, []logic.Value, error) {
+	if err := t.es.Baseline(p, nil); err != nil {
+		return nil, nil, err
+	}
+	vals := append([]logic.Value(nil), t.es.Values()...)
+	crit := make([]bool, t.c.NumGates())
+
+	cone := t.c.FaninCone(po)
+	ord := t.c.LevelOrder()
+	// Reverse level-order sweep restricted to the cone.
+	for i := len(ord) - 1; i >= 0; i-- {
+		n := ord[i]
+		if !cone[n] {
+			continue
+		}
+		switch {
+		case n == po:
+			crit[n] = true
+		case t.refs[n] > 1:
+			// Stem: exact flip check.
+			crit[n] = t.flipChangesPO(n, vals[n], po)
+		case t.refs[n] == 1:
+			// Single reader: find it and test sensitivity.
+			rd := t.singleReader(n)
+			if rd == netlist.InvalidNet || !crit[rd] {
+				break
+			}
+			if t.inputSensitive(rd, n, vals) {
+				crit[n] = true
+			}
+		default:
+			// Dangling net other than po: never critical.
+		}
+	}
+	return crit, vals, nil
+}
+
+// CriticalForOutputs traces each po in pos and ORs the per-output results,
+// also returning the per-output sets. One baseline evaluation and one
+// flip-propagation per fanout stem are shared across all outputs — the
+// multi-output amortization that makes per-failing-output candidate
+// extraction affordable on devices with wide syndromes (a stem flip is
+// propagated once and its effect read at every output simultaneously).
+func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bool, per [][]bool, vals []logic.Value, err error) {
+	if err := t.es.Baseline(p, nil); err != nil {
+		return nil, nil, nil, err
+	}
+	vals = append([]logic.Value(nil), t.es.Values()...)
+	n := t.c.NumGates()
+	union = make([]bool, n)
+	per = make([][]bool, len(pos))
+	for i := range per {
+		per[i] = make([]bool, n)
+	}
+
+	// Per-output fanin cones and the union cone.
+	cones := make([][]bool, len(pos))
+	unionCone := make([]bool, n)
+	for i, po := range pos {
+		cones[i] = t.c.FaninCone(po)
+		for id, in := range cones[i] {
+			if in {
+				unionCone[id] = true
+			}
+		}
+	}
+
+	// Stem analysis: flip each stem in the union cone once; record which
+	// outputs change.
+	stemCrit := make(map[netlist.NetID][]bool)
+	for id := 0; id < n; id++ {
+		s := netlist.NetID(id)
+		if !unionCone[id] || t.refs[s] <= 1 {
+			continue
+		}
+		before := make([]logic.Value, len(pos))
+		for i, po := range pos {
+			before[i] = t.es.Value(po)
+		}
+		_, restore := t.es.PropagateFrom(s, vals[s].Not())
+		flips := make([]bool, len(pos))
+		for i, po := range pos {
+			flips[i] = t.es.Value(po) != before[i]
+		}
+		restore()
+		stemCrit[s] = flips
+	}
+
+	// Per-output backtrace using the shared stem verdicts (no further
+	// simulation).
+	ord := t.c.LevelOrder()
+	for pi, po := range pos {
+		crit := per[pi]
+		cone := cones[pi]
+		for i := len(ord) - 1; i >= 0; i-- {
+			nID := ord[i]
+			if !cone[nID] {
+				continue
+			}
+			switch {
+			case nID == po:
+				crit[nID] = true
+			case t.refs[nID] > 1:
+				if f := stemCrit[nID]; f != nil {
+					crit[nID] = f[pi]
+				}
+			case t.refs[nID] == 1:
+				rd := t.singleReader(nID)
+				if rd == netlist.InvalidNet || !crit[rd] {
+					break
+				}
+				if t.inputSensitive(rd, nID, vals) {
+					crit[nID] = true
+				}
+			}
+			if crit[nID] {
+				union[nID] = true
+			}
+		}
+	}
+	return union, per, vals, nil
+}
+
+// flipChangesPO flips net n from its baseline value and reports whether po
+// changes. The perturbation is undone before returning.
+func (t *CPT) flipChangesPO(n netlist.NetID, cur logic.Value, po netlist.NetID) bool {
+	flipped := cur.Not()
+	before := t.es.Value(po)
+	_, restore := t.es.PropagateFrom(n, flipped)
+	changed := t.es.Value(po) != before
+	restore()
+	return changed
+}
+
+// singleReader returns the unique gate reading net n.
+func (t *CPT) singleReader(n netlist.NetID) netlist.NetID {
+	fo := t.c.Gates[n].Fanout
+	if len(fo) != 1 {
+		// refs==1 implies exactly one reader gate with one reference.
+		if len(fo) == 0 {
+			return netlist.InvalidNet
+		}
+	}
+	return fo[0]
+}
+
+// inputSensitive reports whether flipping input net in of gate g (with all
+// other inputs at their baseline values) flips g's output value.
+func (t *CPT) inputSensitive(g, in netlist.NetID, vals []logic.Value) bool {
+	gate := &t.c.Gates[g]
+	base := vals[g]
+	flipped := sim.EvalScalarGate(gate.Type, gate.Fanin, func(f netlist.NetID) logic.Value {
+		if f == in {
+			return vals[f].Not()
+		}
+		return vals[f]
+	})
+	return flipped != base && flipped.IsKnown() && base.IsKnown()
+}
+
+// CriticalApproxForOutputs is the *classical* approximate CPT: fanout stems
+// are resolved by branch sensitivity alone (a stem is marked critical when
+// it is a sensitive input of any gate whose output is critical) instead of
+// by exact flip-and-propagate stem analysis. Reconvergent fanout makes this
+// both optimistic and pessimistic in different cases — multiple-path
+// self-masking is missed, single-path masking is over-counted — which is
+// precisely why the exact tracer exists. Kept as the T5 ablation reference
+// and for cost comparison (no event simulation at all).
+func (t *CPT) CriticalApproxForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bool, vals []logic.Value, err error) {
+	if err := t.es.Baseline(p, nil); err != nil {
+		return nil, nil, err
+	}
+	vals = append([]logic.Value(nil), t.es.Values()...)
+	n := t.c.NumGates()
+	union = make([]bool, n)
+	ord := t.c.LevelOrder()
+	for _, po := range pos {
+		cone := t.c.FaninCone(po)
+		crit := make([]bool, n)
+		for i := len(ord) - 1; i >= 0; i-- {
+			nID := ord[i]
+			if !cone[nID] {
+				continue
+			}
+			if nID == po {
+				crit[nID] = true
+			} else {
+				for _, rd := range t.c.Gates[nID].Fanout {
+					if crit[rd] && t.inputSensitive(rd, nID, vals) {
+						crit[nID] = true
+						break
+					}
+				}
+			}
+			if crit[nID] {
+				union[nID] = true
+			}
+		}
+	}
+	return union, vals, nil
+}
+
+// BruteForceCritical computes criticality by flipping every net in po's
+// fan-in cone and fully re-simulating. It is the executable specification
+// used by tests and by the T5 ablation (per-output covering with exact vs.
+// approximate tracing); O(cone²) and therefore not used in the main flow.
+func BruteForceCritical(c *netlist.Circuit, p sim.Pattern, po netlist.NetID) ([]bool, error) {
+	base, err := sim.EvalScalar(c, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	cone := c.FaninCone(po)
+	crit := make([]bool, c.NumGates())
+	for id := range c.Gates {
+		n := netlist.NetID(id)
+		if !cone[n] {
+			continue
+		}
+		forced, err := sim.EvalScalar(c, p, map[netlist.NetID]logic.Value{n: base[n].Not()})
+		if err != nil {
+			return nil, err
+		}
+		if forced[po] != base[po] {
+			crit[n] = true
+		}
+	}
+	return crit, nil
+}

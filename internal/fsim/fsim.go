@@ -1,0 +1,430 @@
+// Package fsim provides single-fault simulation and effect-cause analysis
+// primitives:
+//
+//   - a packed-parallel single-fault simulator (PPSFP: 64 patterns per pass,
+//     one fault at a time, propagation limited to the fault's fan-out cone);
+//   - syndrome computation (per-pattern failing-output sets) and full
+//     fault-dictionary construction;
+//   - exact critical path tracing (CPT) at gate level, the candidate
+//     extractor of the effect-cause diagnosis flow.
+package fsim
+
+import (
+	"fmt"
+
+	"multidiag/internal/bitset"
+	"multidiag/internal/fault"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+)
+
+// Syndrome is the observable behaviour of a fault under a test set: for
+// every pattern, the set of primary outputs (by PO index) where the faulty
+// response differs from the fault-free response.
+type Syndrome struct {
+	NumPatterns int
+	NumPOs      int
+	// Fails[p] is nil when pattern p passes; otherwise the failing PO set.
+	Fails []bitset.Set
+}
+
+// NewSyndrome returns an all-passing syndrome.
+func NewSyndrome(numPatterns, numPOs int) *Syndrome {
+	return &Syndrome{NumPatterns: numPatterns, NumPOs: numPOs, Fails: make([]bitset.Set, numPatterns)}
+}
+
+// AddFail records that pattern p fails at PO index po.
+func (s *Syndrome) AddFail(p, po int) {
+	if s.Fails[p] == nil {
+		s.Fails[p] = bitset.New(s.NumPOs)
+	}
+	s.Fails[p].Add(po)
+}
+
+// FailingPatterns returns the indices of failing patterns in order.
+func (s *Syndrome) FailingPatterns() []int {
+	var out []int
+	for p, f := range s.Fails {
+		if f != nil && !f.Empty() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Detected reports whether any pattern fails.
+func (s *Syndrome) Detected() bool { return len(s.FailingPatterns()) > 0 }
+
+// NumFailBits returns the total number of (pattern, failing PO) pairs.
+func (s *Syndrome) NumFailBits() int {
+	n := 0
+	for _, f := range s.Fails {
+		if f != nil {
+			n += f.Count()
+		}
+	}
+	return n
+}
+
+// Equal reports whether two syndromes are identical.
+func (s *Syndrome) Equal(t *Syndrome) bool {
+	if s.NumPatterns != t.NumPatterns {
+		return false
+	}
+	for p := 0; p < s.NumPatterns; p++ {
+		a, b := s.Fails[p], t.Fails[p]
+		switch {
+		case a == nil && b == nil:
+		case a == nil:
+			if !b.Empty() {
+				return false
+			}
+		case b == nil:
+			if !a.Empty() {
+				return false
+			}
+		default:
+			if !a.Equal(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FaultSim is a packed-parallel single-fault simulator bound to one circuit
+// and one packed test set. Patterns are packed once at construction; each
+// fault is then simulated with cone-limited propagation against the cached
+// fault-free values.
+type FaultSim struct {
+	c       *netlist.Circuit
+	pats    []sim.Pattern
+	words   [][]logic.PV64 // words[w][net] fault-free values for word w
+	piWords [][]logic.PV64 // packed PI vectors per word
+	nWords  int
+	// scratch for cone-limited propagation
+	cur     []logic.PV64
+	touched []netlist.NetID
+	inCone  []bool
+	poIndex map[netlist.NetID]int
+}
+
+// NewFaultSim packs the pattern set and precomputes fault-free values.
+func NewFaultSim(c *netlist.Circuit, pats []sim.Pattern) (*FaultSim, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("fsim: empty pattern set")
+	}
+	fs := &FaultSim{
+		c:       c,
+		pats:    pats,
+		cur:     make([]logic.PV64, c.NumGates()),
+		inCone:  make([]bool, c.NumGates()),
+		poIndex: make(map[netlist.NetID]int, len(c.POs)),
+	}
+	for i, po := range c.POs {
+		fs.poIndex[po] = i
+	}
+	s := sim.New(c)
+	for base := 0; base < len(pats); base += logic.W {
+		end := base + logic.W
+		if end > len(pats) {
+			end = len(pats)
+		}
+		piv, _, err := s.PackPatterns(pats[base:end])
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Run(piv); err != nil {
+			return nil, err
+		}
+		vals := make([]logic.PV64, c.NumGates())
+		copy(vals, s.Values())
+		fs.words = append(fs.words, vals)
+		fs.piWords = append(fs.piWords, piv)
+	}
+	fs.nWords = len(fs.words)
+	return fs, nil
+}
+
+// Circuit returns the simulated circuit.
+func (fs *FaultSim) Circuit() *netlist.Circuit { return fs.c }
+
+// NumPatterns returns the test-set size.
+func (fs *FaultSim) NumPatterns() int { return len(fs.pats) }
+
+// Patterns returns the test set (shared storage).
+func (fs *FaultSim) Patterns() []sim.Pattern { return fs.pats }
+
+// GoodValue returns the fault-free value of net id under pattern p.
+func (fs *FaultSim) GoodValue(id netlist.NetID, p int) logic.Value {
+	return fs.words[p/logic.W][id].Get(uint(p % logic.W))
+}
+
+// GoodWord returns the packed fault-free values of net id for pattern word
+// w (patterns w·64 … w·64+63).
+func (fs *FaultSim) GoodWord(id netlist.NetID, w int) logic.PV64 {
+	return fs.words[w][id]
+}
+
+// NumWords returns the number of packed pattern words.
+func (fs *FaultSim) NumWords() int { return fs.nWords }
+
+// GoodPOSet returns the fault-free PO values of pattern p as a bitset of
+// POs at logic 1 (X POs are omitted; callers in the diagnosis flow only use
+// determinate patterns).
+func (fs *FaultSim) GoodPOSet(p int) bitset.Set {
+	out := bitset.New(len(fs.c.POs))
+	w, slot := p/logic.W, uint(p%logic.W)
+	for i, po := range fs.c.POs {
+		if fs.words[w][po].Get(slot) == logic.One {
+			out.Add(i)
+		}
+	}
+	return out
+}
+
+// forceValue returns the packed override for a stuck value.
+func forceValue(v1 bool) logic.PV64 {
+	if v1 {
+		return logic.PVOne
+	}
+	return logic.PVZero
+}
+
+// SimulateStuckAt computes the syndrome of a single stuck-at fault over the
+// whole test set using cone-limited propagation.
+func (fs *FaultSim) SimulateStuckAt(f fault.StuckAt) *Syndrome {
+	return fs.simulateForced(map[netlist.NetID]logic.PV64{f.Net: forceValue(f.Value1)}, f.Net)
+}
+
+// SimulateOpen computes the syndrome of a net-open (modelled as a stuck
+// value, see fault.Open).
+func (fs *FaultSim) SimulateOpen(o fault.Open) *Syndrome {
+	return fs.simulateForced(map[netlist.NetID]logic.PV64{o.Net: forceValue(o.StuckValue1)}, o.Net)
+}
+
+// SimulateXAt computes, for each pattern, the set of POs that *may* be
+// affected by an unknown value at net id: the net is forced to X and POs
+// receiving X are reported. This is the X-propagation primitive of the
+// consistency check in the diagnosis core.
+func (fs *FaultSim) SimulateXAt(nets []netlist.NetID) []bitset.Set {
+	force := make(map[netlist.NetID]logic.PV64, len(nets))
+	for _, n := range nets {
+		force[n] = logic.PVX
+	}
+	out := make([]bitset.Set, len(fs.pats))
+	s := sim.New(fs.c)
+	for w := 0; w < fs.nWords; w++ {
+		if err := s.RunWithOverrides(fs.piWords[w], force); err != nil {
+			// Impossible: widths validated at construction.
+			panic(err)
+		}
+		for i, po := range fs.c.POs {
+			xm := s.Value(po).XMask()
+			if xm == 0 {
+				continue
+			}
+			for slot := uint(0); slot < logic.W; slot++ {
+				p := w*logic.W + int(slot)
+				if p >= len(fs.pats) {
+					break
+				}
+				if xm>>slot&1 == 1 {
+					if out[p] == nil {
+						out[p] = bitset.New(len(fs.c.POs))
+					}
+					out[p].Add(i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// simulateForced runs cone-limited packed simulation with the given forced
+// nets, comparing POs in the union fan-out cone of the forced nets against
+// the cached fault-free responses. root identifies the fault site for cone
+// computation; for multi-net forces pass InvalidNet and the cone is the
+// union over all forced nets.
+func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netlist.NetID) *Syndrome {
+	syn := NewSyndrome(len(fs.pats), len(fs.c.POs))
+
+	// Mark the union fanout cone of the forced nets.
+	fs.touched = fs.touched[:0]
+	var mark func(n netlist.NetID)
+	stack := make([]netlist.NetID, 0, 64)
+	mark = func(n netlist.NetID) {
+		if fs.inCone[n] {
+			return
+		}
+		fs.inCone[n] = true
+		fs.touched = append(fs.touched, n)
+		stack = append(stack, n)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, rd := range fs.c.Gates[x].Fanout {
+				if !fs.inCone[rd] {
+					fs.inCone[rd] = true
+					fs.touched = append(fs.touched, rd)
+					stack = append(stack, rd)
+				}
+			}
+		}
+	}
+	for n := range force {
+		mark(n)
+	}
+	defer func() {
+		for _, n := range fs.touched {
+			fs.inCone[n] = false
+		}
+	}()
+
+	// POs inside the cone, by index.
+	var conePOs []int
+	for i, po := range fs.c.POs {
+		if fs.inCone[po] {
+			conePOs = append(conePOs, i)
+		}
+	}
+	if len(conePOs) == 0 {
+		return syn // fault cannot reach any output
+	}
+
+	ord := fs.c.LevelOrder()
+	for w := 0; w < fs.nWords; w++ {
+		good := fs.words[w]
+		// Evaluate only cone gates; values outside the cone are the good
+		// values. fs.cur holds faulty values for cone nets.
+		getVal := func(id netlist.NetID) logic.PV64 {
+			if fs.inCone[id] {
+				return fs.cur[id]
+			}
+			return good[id]
+		}
+		for _, id := range ord {
+			if !fs.inCone[id] {
+				continue
+			}
+			g := &fs.c.Gates[id]
+			var v logic.PV64
+			if g.Type == netlist.Input {
+				v = good[id]
+			} else {
+				v = evalPackedVia(g.Type, g.Fanin, getVal)
+			}
+			if fv, ok := force[id]; ok {
+				v = fv
+			}
+			fs.cur[id] = v
+		}
+		for _, pi := range conePOs {
+			po := fs.c.POs[pi]
+			diff := fs.cur[po].DiffKnown(good[po])
+			if diff == 0 {
+				continue
+			}
+			for slot := uint(0); slot < logic.W; slot++ {
+				p := w*logic.W + int(slot)
+				if p >= len(fs.pats) {
+					break
+				}
+				if diff>>slot&1 == 1 {
+					syn.AddFail(p, pi)
+				}
+			}
+		}
+	}
+	return syn
+}
+
+// evalPackedVia evaluates one gate with an indirection for input values.
+func evalPackedVia(t netlist.GateType, fanin []netlist.NetID, get func(netlist.NetID) logic.PV64) logic.PV64 {
+	switch t {
+	case netlist.Buf:
+		return get(fanin[0])
+	case netlist.Not:
+		return get(fanin[0]).Not()
+	case netlist.And, netlist.Nand:
+		acc := get(fanin[0])
+		for _, f := range fanin[1:] {
+			acc = acc.And(get(f))
+		}
+		if t == netlist.Nand {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.Or, netlist.Nor:
+		acc := get(fanin[0])
+		for _, f := range fanin[1:] {
+			acc = acc.Or(get(f))
+		}
+		if t == netlist.Nor {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.Xor, netlist.Xnor:
+		acc := get(fanin[0])
+		for _, f := range fanin[1:] {
+			acc = acc.Xor(get(f))
+		}
+		if t == netlist.Xnor {
+			acc = acc.Not()
+		}
+		return acc
+	}
+	return logic.PVX
+}
+
+// Coverage runs the full stuck-at universe and returns (detected, total).
+// Faults are dropped at first detection.
+func Coverage(c *netlist.Circuit, pats []sim.Pattern, faults []fault.StuckAt) (int, int, error) {
+	fs, err := NewFaultSim(c, pats)
+	if err != nil {
+		return 0, 0, err
+	}
+	det := 0
+	for _, f := range faults {
+		if fs.SimulateStuckAt(f).Detected() {
+			det++
+		}
+	}
+	return det, len(faults), nil
+}
+
+// Dictionary is a full-response cause-effect fault dictionary: the syndrome
+// of every fault in a universe.
+type Dictionary struct {
+	Faults    []fault.StuckAt
+	Syndromes []*Syndrome
+}
+
+// BuildDictionary simulates every fault in the universe and stores its
+// syndrome. The cost is O(|faults| × |patterns|) simulations, which is what
+// makes dictionary methods expensive at scale — exactly the cost the
+// effect-cause approach avoids (see the baseline comparison experiments).
+func BuildDictionary(c *netlist.Circuit, pats []sim.Pattern, faults []fault.StuckAt) (*Dictionary, error) {
+	fs, err := NewFaultSim(c, pats)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dictionary{Faults: faults, Syndromes: make([]*Syndrome, len(faults))}
+	for i, f := range faults {
+		d.Syndromes[i] = fs.SimulateStuckAt(f)
+	}
+	return d, nil
+}
+
+// Lookup returns the indices of dictionary faults whose syndrome exactly
+// matches the observed syndrome.
+func (d *Dictionary) Lookup(obs *Syndrome) []int {
+	var out []int
+	for i, s := range d.Syndromes {
+		if s.Equal(obs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

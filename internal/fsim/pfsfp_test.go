@@ -1,0 +1,142 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/fault"
+	"multidiag/internal/logic"
+)
+
+// TestPFSFPMatchesPPSFP: both packings must produce identical per-pattern
+// failing-PO sets for every fault.
+func TestPFSFPMatchesPPSFP(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		c, err := circuits.Generate(circuits.GenConfig{Seed: seed, NumPIs: 10, NumGates: 150, NumPOs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed + 1))
+		pats := randomPatterns(r, len(c.PIs), 40)
+		fs, err := NewFaultSim(c, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := NewPFSFP(c)
+		universe := fault.Collapse(c)
+		// Chunk like GradePatterns does.
+		for base := 0; base < len(universe); base += logic.W - 1 {
+			end := base + logic.W - 1
+			if end > len(universe) {
+				end = len(universe)
+			}
+			chunk := universe[base:end]
+			for pIdx, p := range pats {
+				fails, err := ps.DetectBatch(p, chunk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, f := range chunk {
+					want := fs.SimulateStuckAt(f)
+					var wantPOs []int
+					if want.Fails[pIdx] != nil {
+						wantPOs = want.Fails[pIdx].Members()
+					}
+					got := fails[i]
+					if len(got) != len(wantPOs) {
+						t.Fatalf("seed %d fault %s pattern %d: PFSFP %v vs PPSFP %v",
+							seed, f.Name(c), pIdx, got, wantPOs)
+					}
+					for j := range got {
+						if got[j] != wantPOs[j] {
+							t.Fatalf("seed %d fault %s pattern %d: PFSFP %v vs PPSFP %v",
+								seed, f.Name(c), pIdx, got, wantPOs)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGradePatternsMatchesCoverage(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	universe := fault.Collapse(c)
+	det, err := GradePatterns(c, pats, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detN, total, err := Coverage(c, pats, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, d := range det {
+		if d {
+			n++
+		}
+	}
+	if n != detN || len(det) != total {
+		t.Fatalf("GradePatterns %d/%d vs Coverage %d/%d", n, len(det), detN, total)
+	}
+}
+
+func TestDetectionCounts(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	universe := fault.Collapse(c)
+	counts, err := DetectionCounts(c, pats, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := NewFaultSim(c, pats)
+	for i, f := range universe {
+		want := len(fs.SimulateStuckAt(f).FailingPatterns())
+		if counts[i] != want {
+			t.Fatalf("fault %s: count %d, want %d", f.Name(c), counts[i], want)
+		}
+	}
+}
+
+func TestDetectBatchValidation(t *testing.T) {
+	c := circuits.C17()
+	ps := NewPFSFP(c)
+	if _, err := ps.DetectBatch(make([]logic.Value, 2), fault.List(c)[:1]); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// >63 faults are truncated, not an error: verify only 63 results.
+	p := exhaustivePatterns(5)[0]
+	big := make([]fault.StuckAt, 100)
+	for i := range big {
+		big[i] = fault.StuckAt{Net: 0, Value1: i%2 == 0}
+	}
+	out, err := ps.DetectBatch(p, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != logic.W-1 {
+		t.Fatalf("batch size %d", len(out))
+	}
+}
+
+// TestPFSFPXPattern: X inputs must not give detection credit through
+// unknown POs.
+func TestPFSFPXPattern(t *testing.T) {
+	c := circuits.C17()
+	ps := NewPFSFP(c)
+	p := make([]logic.Value, 5)
+	for i := range p {
+		p[i] = logic.X
+	}
+	fails, err := ps.DetectBatch(p, fault.Collapse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fails {
+		if len(f) != 0 {
+			t.Fatalf("all-X pattern claimed detection of fault %d", i)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package hierdiag glues the two diagnosis levels together into the
+// complete industrial flow:
+//
+//	tester datalog ──▶ gate-level diagnosis (core) ──▶ suspected gate(s)
+//	      │                                                  │
+//	      └───── DUT simulation: local failing/passing ◀─────┘
+//	                     patterns for each suspect
+//	                              │
+//	                              ▼
+//	             intra-cell diagnosis (intracell) ──▶ transistor suspects
+//
+// The local-pattern derivation follows the reference intra-cell flow: for
+// every circuit-level *failing* pattern, the suspected gate's input values
+// (under fault-free simulation) form a local failing pattern — the defect
+// inside the gate must have been sensitized and observed, since the tester
+// saw a failure attributable to this gate. For every circuit-level
+// *passing* pattern, the gate's input values form a local passing pattern
+// only when an error at the gate's output would have been observed at some
+// primary output (criticality check via CPT): if the gate's output was not
+// observable, the pattern says nothing about the gate's health.
+package hierdiag
+
+import (
+	"fmt"
+
+	"multidiag/internal/core"
+	"multidiag/internal/fsim"
+	"multidiag/internal/intracell"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// CellBinding maps a gate type to its transistor-level implementation and
+// the input ordering between the gate's fan-in list and the cell's input
+// list (identity for the standard library).
+type CellBinding struct {
+	Cell *intracell.Cell
+}
+
+// DefaultLibrary returns the gate-type → cell binding for the primitive
+// gates the intracell library covers. Gates without a binding (wide
+// AND/OR, BUF) fall back to gate-level reporting only.
+func DefaultLibrary() map[netlist.GateType]map[int]CellBinding {
+	lib := map[netlist.GateType]map[int]CellBinding{}
+	add := func(t netlist.GateType, nin int, c *intracell.Cell) {
+		if lib[t] == nil {
+			lib[t] = map[int]CellBinding{}
+		}
+		lib[t][nin] = CellBinding{Cell: c}
+	}
+	add(netlist.Not, 1, intracell.Inverter())
+	add(netlist.Nand, 2, intracell.Nand2())
+	add(netlist.Nand, 3, intracell.Nand3())
+	add(netlist.Nor, 2, intracell.Nor2())
+	add(netlist.Xor, 2, intracell.Xor2())
+	return lib
+}
+
+// SuspectCell is one gate-level suspect refined to transistor level.
+type SuspectCell struct {
+	// Gate is the suspected gate's output net.
+	Gate netlist.NetID
+	// CellName names the bound transistor-level cell ("" when the gate
+	// type has no binding).
+	CellName string
+	// LocalFailing / LocalPassing are the derived local pattern counts.
+	LocalFailing, LocalPassing int
+	// Intra is the intra-cell diagnosis (nil without a binding or local
+	// failing patterns).
+	Intra *intracell.Diagnosis
+	// InterCell is set when the intra-cell suspect lists are all empty:
+	// the defect is outside this cell (the reference flow's circuit-C
+	// outcome, which redirects PFA to the interconnect).
+	InterCell bool
+}
+
+// Result is the hierarchical diagnosis outcome.
+type Result struct {
+	GateLevel *core.Result
+	Cells     []SuspectCell
+}
+
+// Diagnose runs the full two-level flow.
+func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, dcfg core.Config) (*Result, error) {
+	gl, err := core.Diagnose(c, pats, log, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{GateLevel: gl}
+	lib := DefaultLibrary()
+	for _, cand := range gl.Multiplet {
+		sc, err := RefineCell(c, pats, log, cand.Fault.Net, lib)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = append(res.Cells, *sc)
+	}
+	return res, nil
+}
+
+// RefineCell derives local patterns for the gate driving net `gate` and
+// runs intra-cell diagnosis on its bound cell.
+func RefineCell(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, gate netlist.NetID, lib map[netlist.GateType]map[int]CellBinding) (*SuspectCell, error) {
+	g := &c.Gates[gate]
+	sc := &SuspectCell{Gate: gate}
+	var binding *CellBinding
+	if byIn, ok := lib[g.Type]; ok {
+		if b, ok := byIn[len(g.Fanin)]; ok {
+			binding = &b
+		}
+	}
+	lfp, lpp, err := LocalPatterns(c, pats, log, gate)
+	if err != nil {
+		return nil, err
+	}
+	sc.LocalFailing, sc.LocalPassing = len(lfp), len(lpp)
+	if binding == nil || len(lfp) == 0 {
+		return sc, nil
+	}
+	sc.CellName = binding.Cell.Name
+	d, err := intracell.Diagnose(binding.Cell, lfp, lpp)
+	if err != nil {
+		return nil, err
+	}
+	sc.Intra = d
+	sc.InterCell = d.Resolution() == 0
+	return sc, nil
+}
+
+// LocalPatterns derives the local failing/passing pattern sets for the
+// gate driving net `gate` from the circuit-level datalog:
+//
+//   - failing circuit pattern → local failing pattern (gate input values
+//     under fault-free simulation), provided the gate's output reaches at
+//     least one of the pattern's failing outputs structurally;
+//   - passing circuit pattern → local passing pattern, provided the gate's
+//     output is *critical* for some primary output under that pattern (an
+//     internal error would have been observed, so the pass vindicates).
+//
+// Duplicate local patterns are deduplicated, preserving the failing/passing
+// classification; a pattern appearing in both sets is kept in both — the
+// intra-cell flow's dynamic-fault classification depends on exactly that
+// overlap.
+func LocalPatterns(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, gate netlist.NetID) (lfp, lpp []intracell.Pattern, err error) {
+	if log.NumPatterns != len(pats) {
+		return nil, nil, fmt.Errorf("hierdiag: datalog/pattern mismatch")
+	}
+	g := &c.Gates[gate]
+	cpt := fsim.NewCPT(c)
+	outCone := c.FanoutCone(gate)
+
+	seenF := map[string]bool{}
+	seenP := map[string]bool{}
+	for pIdx, p := range pats {
+		determinate := true
+		for _, v := range p {
+			if !v.IsKnown() {
+				determinate = false
+				break
+			}
+		}
+		if !determinate {
+			continue
+		}
+		fails, failing := log.Fails[pIdx]
+		if failing && (fails == nil || fails.Empty()) {
+			failing = false
+		}
+		if failing {
+			// Attribution check: at least one failing output must be
+			// structurally reachable from the suspected gate.
+			reach := false
+			for _, poIdx := range fails.Members() {
+				if outCone[c.POs[poIdx]] {
+					reach = true
+					break
+				}
+			}
+			if !reach {
+				continue
+			}
+			vals, err := sim.EvalScalar(c, p, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			lp := localOf(g, vals)
+			if k := key(lp); !seenF[k] {
+				seenF[k] = true
+				lfp = append(lfp, lp)
+			}
+			continue
+		}
+		// Passing pattern: only vindicating if the gate output is critical
+		// for some PO (an error would have been seen).
+		union, _, vals, err := cpt.CriticalForOutputs(p, c.POs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !union[gate] {
+			continue
+		}
+		lp := localOf(g, vals)
+		if k := key(lp); !seenP[k] {
+			seenP[k] = true
+			lpp = append(lpp, lp)
+		}
+	}
+	return lfp, lpp, nil
+}
+
+// localOf extracts the gate's input values as a local pattern.
+func localOf(g *netlist.Gate, vals []logic.Value) intracell.Pattern {
+	lp := make(intracell.Pattern, len(g.Fanin))
+	for i, f := range g.Fanin {
+		lp[i] = vals[f]
+	}
+	return lp
+}
+
+func key(p intracell.Pattern) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = v.String()[0]
+	}
+	return string(b)
+}

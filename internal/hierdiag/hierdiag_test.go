@@ -1,0 +1,319 @@
+package hierdiag
+
+import (
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/core"
+	"multidiag/internal/intracell"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+func exhaustivePatterns(npi int) []sim.Pattern {
+	n := 1 << npi
+	pats := make([]sim.Pattern, n)
+	for m := 0; m < n; m++ {
+		p := make(sim.Pattern, npi)
+		for i := 0; i < npi; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		pats[m] = p
+	}
+	return pats
+}
+
+// replaceGateWithTable builds a device circuit in which gate `g` of the
+// original is replaced by sum-of-products logic implementing the given
+// (fully determinate) truth table over the gate's fan-ins. This is how an
+// intra-cell defect manifests at circuit level: the cell's function
+// changes, its interface does not.
+func replaceGateWithTable(t *testing.T, c *netlist.Circuit, g netlist.NetID, table []logic.Value) *netlist.Circuit {
+	t.Helper()
+	dev := c.Clone()
+	gate := &dev.Gates[g]
+	fanin := append([]netlist.NetID(nil), gate.Fanin...)
+	k := len(fanin)
+	if len(table) != 1<<k {
+		t.Fatalf("table size %d for %d inputs", len(table), k)
+	}
+	inv := make([]netlist.NetID, k)
+	for i, f := range fanin {
+		inv[i] = dev.MustAddGate(netlist.Not, "__h_inv"+itoa(int(g))+"_"+itoa(i), f)
+	}
+	var minterms []netlist.NetID
+	for m := 0; m < 1<<k; m++ {
+		if table[m] != logic.One {
+			if table[m] == logic.X {
+				t.Fatalf("table has X at minterm %d; pick a determinate defect", m)
+			}
+			continue
+		}
+		lits := make([]netlist.NetID, k)
+		for i := 0; i < k; i++ {
+			if m>>i&1 == 1 {
+				lits[i] = fanin[i]
+			} else {
+				lits[i] = inv[i]
+			}
+		}
+		var mt netlist.NetID
+		if k == 1 {
+			mt = lits[0]
+		} else {
+			mt = dev.MustAddGate(netlist.And, "__h_mt"+itoa(int(g))+"_"+itoa(m), lits...)
+		}
+		minterms = append(minterms, mt)
+	}
+	var newOut netlist.NetID
+	switch len(minterms) {
+	case 0:
+		// Constant 0.
+		newOut = dev.MustAddGate(netlist.And, "__h_zero"+itoa(int(g)), fanin[0], inv[0])
+	case 1:
+		newOut = dev.MustAddGate(netlist.Buf, "__h_buf"+itoa(int(g)), minterms[0])
+	default:
+		newOut = dev.MustAddGate(netlist.Or, "__h_or"+itoa(int(g)), minterms...)
+	}
+	// Rewire readers and PO bindings of g to the new function.
+	for i := range dev.Gates {
+		rg := &dev.Gates[i]
+		if rg.ID == newOut {
+			continue
+		}
+		if hasPrefix(rg.Name, "__h_") {
+			continue // replacement logic keeps reading the original fan-ins
+		}
+		for j, f := range rg.Fanin {
+			if f == g {
+				rg.Fanin[j] = newOut
+			}
+		}
+	}
+	for i, po := range dev.POs {
+		if po == g {
+			dev.POs[i] = newOut
+		}
+	}
+	if err := dev.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [12]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		n--
+		b[n] = '-'
+	}
+	return string(b[n:])
+}
+
+// intraCellDevice builds a c17 device where gate `gname` (a 2-input NAND,
+// bound to ND2X1) carries the given intra-cell defect.
+func intraCellDevice(t *testing.T, gname string, cfg *intracell.SimConfig) (*netlist.Circuit, *netlist.Circuit, netlist.NetID) {
+	t.Helper()
+	c := circuits.C17()
+	g := c.NetByName(gname)
+	cell := intracell.Nand2()
+	table, err := intracell.TruthTable(cell, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := replaceGateWithTable(t, c, g, table)
+	return c, dev, g
+}
+
+// TestLocalPatternsBridgeDefect: a Z←A bridge inside G16's cell; the local
+// failing patterns must be exactly those where the faulty cell disagrees
+// with NAND, attributed to G16.
+func TestLocalPatternsBridgeDefect(t *testing.T) {
+	cell := intracell.Nand2()
+	cfg := &intracell.SimConfig{Bridges: []intracell.BridgePair{{
+		Victim: cell.Output, Aggressor: cell.Inputs[0],
+	}}}
+	c, dev, g := intraCellDevice(t, "G16", cfg)
+	pats := exhaustivePatterns(5)
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("defect not observed")
+	}
+	lfp, lpp, err := LocalPatterns(c, pats, log, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lfp) == 0 {
+		t.Fatal("no local failing patterns for a failing device")
+	}
+	// Every local failing pattern must be one where Z←A differs from NAND:
+	// Z = A vs !(A·B): differ when A == A·B... i.e. A=0? NAND(0,b)=1 vs
+	// Z=0 → differs; A=1,B=1: NAND=0 vs Z=1 → differs; A=1,B=0: NAND=1 vs
+	// Z=1 → same.
+	for _, lp := range lfp {
+		a, b := lp[0], lp[1]
+		faultyDiffers := (a == logic.Zero) || (a == logic.One && b == logic.One)
+		if !faultyDiffers {
+			t.Errorf("local failing pattern A=%v B=%v cannot fail", a, b)
+		}
+	}
+	_ = lpp
+}
+
+// TestRefineCellFindsBridge: intra-cell diagnosis on the derived local
+// patterns must report the Z←A bridge couple.
+func TestRefineCellFindsBridge(t *testing.T) {
+	cell := intracell.Nand2()
+	cfg := &intracell.SimConfig{Bridges: []intracell.BridgePair{{
+		Victim: cell.Output, Aggressor: cell.Inputs[0],
+	}}}
+	c, dev, g := intraCellDevice(t, "G16", cfg)
+	pats := exhaustivePatterns(5)
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := RefineCell(c, pats, log, g, DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.CellName != "ND2X1" || sc.Intra == nil {
+		t.Fatalf("binding failed: %+v", sc)
+	}
+	found := false
+	for _, b := range sc.Intra.Bridges {
+		if b.Victim == cell.Output && b.Aggressor == cell.Inputs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Z<-A bridge not among intra-cell suspects: %+v", sc.Intra.Bridges)
+	}
+}
+
+// TestHierarchicalEndToEnd: the full two-level flow on an intra-cell
+// bridge (output Z dominated by input B inside G16's cell); the gate-level
+// multiplet localizes the cell region, the intra-cell level names the
+// bridge couple among its suspects.
+func TestHierarchicalEndToEnd(t *testing.T) {
+	cell := intracell.Nand2()
+	cfg := &intracell.SimConfig{Bridges: []intracell.BridgePair{{
+		Victim: cell.Output, Aggressor: cell.Inputs[1],
+	}}}
+	c, dev, g := intraCellDevice(t, "G16", cfg)
+	pats := exhaustivePatterns(5)
+	log, err := tester.ApplyTest(c, dev, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Fails) == 0 {
+		t.Skip("defect not observed")
+	}
+	res, err := Diagnose(c, pats, log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate level: the suspected cell (or an equivalent site on its nets)
+	// must be in the multiplet.
+	gateHit := false
+	for _, cd := range res.GateLevel.Multiplet {
+		for _, n := range cd.Nets() {
+			if n == g || n == c.Gates[g].Fanin[0] || n == c.Gates[g].Fanin[1] {
+				gateHit = true
+			}
+		}
+	}
+	if !gateHit {
+		t.Fatal("gate level missed the defective cell region")
+	}
+	// Intra-cell level: for the refined cells, the bridge couple (Z ← B)
+	// must be among the suspects, or Z among the stuck suspects (a dominant
+	// bridge is a conditional stuck at the victim).
+	intraHit := false
+	for _, sc := range res.Cells {
+		if sc.Intra == nil {
+			continue
+		}
+		for _, b := range sc.Intra.Bridges {
+			if b.Victim == cell.Output && b.Aggressor == cell.Inputs[1] {
+				intraHit = true
+			}
+		}
+		for _, s := range sc.Intra.Stuck {
+			if s.Node == cell.Output {
+				intraHit = true
+			}
+		}
+	}
+	if !intraHit && len(res.Cells) > 0 && res.Cells[0].Intra != nil {
+		t.Errorf("intra-cell level missed the Z<-B bridge: %+v", res.Cells[0].Intra)
+	}
+}
+
+// TestInterCellVerdict: when the gate-level suspect is actually an
+// interconnect defect (stuck PI of the cell's *input net* upstream), the
+// intra-cell lists can come back empty — the InterCell redirect.
+func TestInterCellVerdictShape(t *testing.T) {
+	// Construct local patterns that no intra-cell static fault can explain:
+	// identical pattern failing and passing forces dynamic-only; then an
+	// empty delay intersection yields an inter-cell verdict. Build directly
+	// against the intracell API to pin the semantics RefineCell relies on.
+	cell := intracell.Nand2()
+	lfp := []intracell.Pattern{{logic.One, logic.One}}
+	lpp := []intracell.Pattern{{logic.One, logic.One}}
+	d, err := intracell.Diagnose(cell, lfp, lpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DynamicOnly {
+		t.Fatal("conflicting evidence must classify dynamic")
+	}
+	if len(d.Stuck) != 0 || len(d.Bridges) != 0 {
+		t.Fatal("static suspects must be empty")
+	}
+}
+
+func TestDefaultLibraryBindings(t *testing.T) {
+	lib := DefaultLibrary()
+	cases := []struct {
+		t   netlist.GateType
+		nin int
+		ok  bool
+	}{
+		{netlist.Nand, 2, true},
+		{netlist.Nand, 3, true},
+		{netlist.Nor, 2, true},
+		{netlist.Not, 1, true},
+		{netlist.Xor, 2, true},
+		{netlist.And, 2, false},
+		{netlist.Nand, 4, false},
+	}
+	for _, tc := range cases {
+		_, got := lib[tc.t][tc.nin]
+		if got != tc.ok {
+			t.Errorf("binding %v/%d = %v, want %v", tc.t, tc.nin, got, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package intracell
+
+import (
+	"testing"
+
+	"multidiag/internal/logic"
+)
+
+// BenchmarkSwitchSimulate measures one switch-level evaluation of the
+// largest library cell.
+func BenchmarkSwitchSimulate(b *testing.B) {
+	c := Xor2()
+	in := []logic.Value{logic.One, logic.Zero}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(c, in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntraCellDiagnose measures one full intra-cell diagnosis
+// (local-pattern derivation excluded) on AOI22 with a node short.
+func BenchmarkIntraCellDiagnose(b *testing.B) {
+	c := AOI22()
+	n1 := c.NodeByName("n1")
+	lfp, lpp, err := LocalPatterns(c, &SimConfig{ForcedNodes: map[NodeID]logic.Value{n1: logic.Zero}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(lfp) == 0 {
+		b.Skip("defect benign")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, lfp, lpp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package intracell is the extension module covering transistor-level
+// (intra-cell) diagnosis: a switch-level representation of standard cells,
+// a switch-level simulator, and an effect-cause intra-cell diagnosis flow
+// applying critical path tracing at transistor level with suspect,
+// bridging-suspect and delay-suspect lists.
+//
+// Provenance note: this module reproduces the *related* JETTA 2014
+// intra-cell methodology (the paper text supplied alongside the task — see
+// the mismatch note in DESIGN.md). It complements, and is clearly separated
+// from, the repository's primary gate-level multiple-defect contribution in
+// internal/core: the gate-level flow identifies a suspected cell, and this
+// module refines the diagnosis to transistors inside it.
+package intracell
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID densely identifies a cell-internal electrical node.
+type NodeID int32
+
+// MOSType selects the transistor polarity.
+type MOSType uint8
+
+// Transistor polarities.
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+// String names the polarity.
+func (t MOSType) String() string {
+	if t == NMOS {
+		return "N"
+	}
+	return "P"
+}
+
+// Transistor is one switch: conducting between Source and Drain when the
+// Gate node satisfies the polarity (NMOS: gate=1, PMOS: gate=0).
+type Transistor struct {
+	Name   string
+	Type   MOSType
+	Gate   NodeID
+	Source NodeID
+	Drain  NodeID
+}
+
+// Terminal identifies one transistor terminal for suspect reporting.
+type Terminal uint8
+
+// Transistor terminals.
+const (
+	TermGate Terminal = iota
+	TermSource
+	TermDrain
+)
+
+// String renders "G", "S" or "D".
+func (t Terminal) String() string {
+	switch t {
+	case TermGate:
+		return "G"
+	case TermSource:
+		return "S"
+	}
+	return "D"
+}
+
+// Cell is a transistor-level netlist of one standard cell with a single
+// output. Node 0 is always GND and node 1 is always VDD.
+type Cell struct {
+	Name        string
+	Nodes       []string // node names; index = NodeID
+	Inputs      []NodeID
+	Output      NodeID
+	Transistors []Transistor
+
+	byName map[string]NodeID
+}
+
+// GND and VDD are the fixed rail nodes of every cell.
+const (
+	GND NodeID = 0
+	VDD NodeID = 1
+)
+
+// NewCell creates an empty cell with the rails predefined.
+func NewCell(name string) *Cell {
+	c := &Cell{Name: name, byName: make(map[string]NodeID)}
+	c.Nodes = []string{"GND", "VDD"}
+	c.byName["GND"] = GND
+	c.byName["VDD"] = VDD
+	return c
+}
+
+// AddNode declares a named node and returns its id (existing nodes are
+// returned as-is).
+func (c *Cell) AddNode(name string) NodeID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.Nodes))
+	c.Nodes = append(c.Nodes, name)
+	c.byName[name] = id
+	return id
+}
+
+// NodeByName looks a node up (-1 if absent).
+func (c *Cell) NodeByName(name string) NodeID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// AddInput declares an input node.
+func (c *Cell) AddInput(name string) NodeID {
+	id := c.AddNode(name)
+	c.Inputs = append(c.Inputs, id)
+	return id
+}
+
+// SetOutput declares the output node.
+func (c *Cell) SetOutput(name string) NodeID {
+	id := c.AddNode(name)
+	c.Output = id
+	return id
+}
+
+// AddTransistor appends a switch.
+func (c *Cell) AddTransistor(name string, typ MOSType, gate, source, drain NodeID) {
+	c.Transistors = append(c.Transistors, Transistor{
+		Name: name, Type: typ, Gate: gate, Source: source, Drain: drain,
+	})
+}
+
+// Validate checks structural sanity: every transistor terminal in range,
+// at least one input, an output distinct from the rails.
+func (c *Cell) Validate() error {
+	if len(c.Inputs) == 0 {
+		return fmt.Errorf("intracell: cell %s has no inputs", c.Name)
+	}
+	if c.Output == GND || c.Output == VDD || int(c.Output) >= len(c.Nodes) {
+		return fmt.Errorf("intracell: cell %s output invalid", c.Name)
+	}
+	for _, t := range c.Transistors {
+		for _, n := range []NodeID{t.Gate, t.Source, t.Drain} {
+			if int(n) < 0 || int(n) >= len(c.Nodes) {
+				return fmt.Errorf("intracell: transistor %s references node %d out of range", t.Name, n)
+			}
+		}
+	}
+	return nil
+}
+
+// InternalNodes returns every node that is not a rail and not an input
+// (candidates for intra-cell defects).
+func (c *Cell) InternalNodes() []NodeID {
+	isInput := make(map[NodeID]bool, len(c.Inputs))
+	for _, in := range c.Inputs {
+		isInput[in] = true
+	}
+	var out []NodeID
+	for id := range c.Nodes {
+		n := NodeID(id)
+		if n == GND || n == VDD || isInput[n] {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// SuspectNodes returns all nets eligible as diagnosis suspects: inputs,
+// output and internal nodes (not rails), sorted.
+func (c *Cell) SuspectNodes() []NodeID {
+	var out []NodeID
+	for id := range c.Nodes {
+		n := NodeID(id)
+		if n == GND || n == VDD {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,327 @@
+package intracell
+
+import (
+	"fmt"
+	"sort"
+
+	"multidiag/internal/logic"
+)
+
+// Pattern is a cell-level input assignment (the "local pattern" of the
+// intra-cell flow: the values the suspected gate's inputs take when a
+// circuit-level pattern is applied).
+type Pattern []logic.Value
+
+// key renders a pattern for set membership.
+func (p Pattern) key() string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = v.String()[0]
+	}
+	return string(b)
+}
+
+// StuckSuspect is a candidate stuck node: the defect behaves as Node forced
+// to Value whenever the cell is exercised.
+type StuckSuspect struct {
+	Node  NodeID
+	Value logic.Value // the forced (faulty) value
+}
+
+// BridgeSuspect is a victim/aggressor candidate couple: Victim behaves as
+// if driven by Aggressor.
+type BridgeSuspect struct {
+	Victim, Aggressor NodeID
+}
+
+// Diagnosis is the intra-cell result: three suspect lists (static stuck,
+// static bridge, dynamic delay), mirroring the GSL/GBSL/GDSL of the flow.
+type Diagnosis struct {
+	Stuck   []StuckSuspect
+	Bridges []BridgeSuspect
+	Delays  []NodeID
+	// DynamicOnly is set when some local pattern appears both failing and
+	// passing, which rules out every static fault model.
+	DynamicOnly bool
+	// TransistorSuspects maps each suspect node to the transistors touching
+	// it, with the touching terminal — the physical sites PFA inspects.
+	TransistorSuspects map[NodeID][]TerminalRef
+}
+
+// TerminalRef names one transistor terminal.
+type TerminalRef struct {
+	Transistor int // index into Cell.Transistors
+	Terminal   Terminal
+}
+
+// Resolution returns the total suspect count (the PFA workload).
+func (d *Diagnosis) Resolution() int {
+	return len(d.Stuck) + len(d.Bridges) + len(d.Delays)
+}
+
+// SuspectNodes returns the union of nodes named by any suspect list.
+func (d *Diagnosis) SuspectNodes() []NodeID {
+	seen := map[NodeID]bool{}
+	add := func(n NodeID) { seen[n] = true }
+	for _, s := range d.Stuck {
+		add(s.Node)
+	}
+	for _, b := range d.Bridges {
+		add(b.Victim)
+		add(b.Aggressor)
+	}
+	for _, n := range d.Delays {
+		add(n)
+	}
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// criticalNodes computes, for one (determinate) local pattern, two sets of
+// critical nodes with their fault-free values:
+//
+//   - definite: forcing the node to the complement of its fault-free value
+//     cleanly flips the cell output;
+//   - maybe: the forced output degenerates to X (a drive fight at switch
+//     level — a resistive defect at that node can read as a failure on the
+//     tester, so the node is a legitimate suspect, but the failure is not
+//     guaranteed).
+//
+// Suspicion (failing patterns) uses definite ∪ maybe; vindication (passing
+// patterns) uses definite only — a maybe-critical node could have read as
+// the good value on a passing pattern, so passing evidence cannot clear it.
+//
+// This is critical path tracing at transistor level; cells are small
+// (≤ ~30 nodes), so the exact force-and-resimulate formulation is used
+// directly — the same definition the gate-level fsim.CPT implements with
+// back-trace acceleration.
+func criticalNodes(c *Cell, p Pattern) (definite, maybe map[NodeID]logic.Value, base []logic.Value, err error) {
+	base, err = Simulate(c, p, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	zGood := base[c.Output]
+	definite = map[NodeID]logic.Value{}
+	maybe = map[NodeID]logic.Value{}
+	if !zGood.IsKnown() {
+		return definite, maybe, base, nil
+	}
+	for _, n := range c.SuspectNodes() {
+		v := base[n]
+		if !v.IsKnown() {
+			continue
+		}
+		forced, err := Simulate(c, p, &SimConfig{ForcedNodes: map[NodeID]logic.Value{n: v.Not()}})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch z := forced[c.Output]; {
+		case z.IsKnown() && z != zGood:
+			definite[n] = v
+		case !z.IsKnown():
+			maybe[n] = v
+		}
+	}
+	return definite, maybe, base, nil
+}
+
+// Diagnose runs the effect-cause intra-cell flow on a suspected cell with
+// its local failing patterns (lfp) and local passing patterns (lpp):
+//
+//  1. per failing pattern, switch-level fault-free simulation and CPT build
+//     the current suspect list (critical nodes with values), the current
+//     bridging suspect list (victim/aggressor couples with opposed values)
+//     and the current delay suspect list (critical nodes, value-free);
+//  2. global lists are the intersections across failing patterns;
+//  3. passing patterns vindicate static suspects: a (node, value) whose
+//     activation would have been observed on a passing pattern is removed,
+//     as are bridge couples activated and observed on a passing pattern;
+//  4. if some local pattern is both failing and passing, only dynamic
+//     (delay) behaviour can explain the evidence and static lists are
+//     cleared.
+func Diagnose(c *Cell, lfp, lpp []Pattern) (*Diagnosis, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lfp) == 0 {
+		return nil, fmt.Errorf("intracell: no failing local patterns for cell %s", c.Name)
+	}
+	for _, p := range append(append([]Pattern{}, lfp...), lpp...) {
+		if len(p) != len(c.Inputs) {
+			return nil, fmt.Errorf("intracell: pattern width %d, cell %s has %d inputs", len(p), c.Name, len(c.Inputs))
+		}
+	}
+	d := &Diagnosis{}
+
+	// Definition 3: lfp ∩ lpp ≠ ∅ ⇒ dynamic faulty behaviour only.
+	failKeys := map[string]bool{}
+	for _, p := range lfp {
+		failKeys[p.key()] = true
+	}
+	for _, p := range lpp {
+		if failKeys[p.key()] {
+			d.DynamicOnly = true
+			break
+		}
+	}
+
+	type stuckKey struct {
+		node NodeID
+		val  logic.Value
+	}
+	var (
+		gsl  map[stuckKey]bool
+		gbsl map[BridgeSuspect]bool
+		gdsl map[NodeID]bool
+	)
+	for _, p := range lfp {
+		definite, maybe, base, err := criticalNodes(c, p)
+		if err != nil {
+			return nil, err
+		}
+		crit := make(map[NodeID]logic.Value, len(definite)+len(maybe))
+		for n, v := range definite {
+			crit[n] = v
+		}
+		for n, v := range maybe {
+			crit[n] = v
+		}
+		csl := map[stuckKey]bool{}
+		cdsl := map[NodeID]bool{}
+		cbsl := map[BridgeSuspect]bool{}
+		for n, v := range crit {
+			// The defect forces the complement of the fault-free value.
+			csl[stuckKey{node: n, val: v.Not()}] = true
+			cdsl[n] = true
+			// Aggressor: any other node carrying the complementary value.
+			for _, a := range c.SuspectNodes() {
+				if a == n {
+					continue
+				}
+				if base[a].IsKnown() && base[a] == v.Not() {
+					cbsl[BridgeSuspect{Victim: n, Aggressor: a}] = true
+				}
+			}
+		}
+		if gsl == nil {
+			gsl, gbsl, gdsl = csl, cbsl, cdsl
+			continue
+		}
+		intersectInto(gsl, csl)
+		intersectInto(gbsl, cbsl)
+		intersectInto(gdsl, cdsl)
+	}
+
+	// Vindication by passing patterns (static lists only — delay faults
+	// cannot be vindicated without the preceding pattern).
+	if !d.DynamicOnly {
+		for _, p := range lpp {
+			definite, _, base, err := criticalNodes(c, p)
+			if err != nil {
+				return nil, err
+			}
+			for n, v := range definite {
+				// A stuck fault forcing ¬v here would have failed this
+				// passing pattern: vindicated.
+				delete(gsl, stuckKey{node: n, val: v.Not()})
+				// A bridge victim n with an aggressor carrying ¬v would
+				// also have failed here.
+				for _, a := range c.SuspectNodes() {
+					if a == n {
+						continue
+					}
+					if base[a].IsKnown() && base[a] == v.Not() {
+						delete(gbsl, BridgeSuspect{Victim: n, Aggressor: a})
+					}
+				}
+			}
+		}
+	} else {
+		gsl = nil
+		gbsl = nil
+	}
+
+	for k := range gsl {
+		d.Stuck = append(d.Stuck, StuckSuspect{Node: k.node, Value: k.val})
+	}
+	sort.Slice(d.Stuck, func(i, j int) bool {
+		if d.Stuck[i].Node != d.Stuck[j].Node {
+			return d.Stuck[i].Node < d.Stuck[j].Node
+		}
+		return d.Stuck[i].Value < d.Stuck[j].Value
+	})
+	for k := range gbsl {
+		d.Bridges = append(d.Bridges, k)
+	}
+	sort.Slice(d.Bridges, func(i, j int) bool {
+		if d.Bridges[i].Victim != d.Bridges[j].Victim {
+			return d.Bridges[i].Victim < d.Bridges[j].Victim
+		}
+		return d.Bridges[i].Aggressor < d.Bridges[j].Aggressor
+	})
+	for n := range gdsl {
+		d.Delays = append(d.Delays, n)
+	}
+	sort.Slice(d.Delays, func(i, j int) bool { return d.Delays[i] < d.Delays[j] })
+
+	// Physical suspect mapping: transistor terminals touching suspect
+	// nodes.
+	d.TransistorSuspects = map[NodeID][]TerminalRef{}
+	for _, n := range d.SuspectNodes() {
+		for ti := range c.Transistors {
+			t := &c.Transistors[ti]
+			if t.Gate == n {
+				d.TransistorSuspects[n] = append(d.TransistorSuspects[n], TerminalRef{ti, TermGate})
+			}
+			if t.Source == n {
+				d.TransistorSuspects[n] = append(d.TransistorSuspects[n], TerminalRef{ti, TermSource})
+			}
+			if t.Drain == n {
+				d.TransistorSuspects[n] = append(d.TransistorSuspects[n], TerminalRef{ti, TermDrain})
+			}
+		}
+	}
+	return d, nil
+}
+
+func intersectInto[K comparable](dst, src map[K]bool) {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+// LocalPatterns derives lfp/lpp for a cell from a defective variant: the
+// faulty truth table is compared to the fault-free one; minterm inputs
+// whose outputs differ (or go unstable) are failing, the rest passing.
+// This plays the role of the circuit-level DUT simulation step feeding the
+// intra-cell flow.
+func LocalPatterns(c *Cell, faulty *SimConfig) (lfp, lpp []Pattern, err error) {
+	good, err := TruthTable(c, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	bad, err := TruthTable(c, faulty)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := len(c.Inputs)
+	for m := 0; m < 1<<k; m++ {
+		p := make(Pattern, k)
+		for i := 0; i < k; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		differs := good[m] != bad[m]
+		if differs {
+			lfp = append(lfp, p)
+		} else {
+			lpp = append(lpp, p)
+		}
+	}
+	return lfp, lpp, nil
+}

@@ -1,0 +1,34 @@
+package intracell_test
+
+import (
+	"fmt"
+	"log"
+
+	"multidiag/internal/intracell"
+	"multidiag/internal/logic"
+)
+
+// ExampleDiagnose refines a suspected NAND2 cell: the internal series node
+// n1 is shorted to ground, local failing/passing patterns are derived from
+// the faulty behaviour, and the transistor-level flow reports its suspects.
+func ExampleDiagnose() {
+	cell := intracell.Nand2()
+	n1 := cell.NodeByName("n1")
+	defectCfg := &intracell.SimConfig{
+		ForcedNodes: map[intracell.NodeID]logic.Value{n1: logic.Zero},
+	}
+	lfp, lpp, err := intracell.LocalPatterns(cell, defectCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := intracell.Diagnose(cell, lfp, lpp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range d.Stuck {
+		fmt.Printf("%s stuck-at-%v\n", cell.Nodes[s.Node], s.Value)
+	}
+	// Output:
+	// B stuck-at-1
+	// n1 stuck-at-0
+}

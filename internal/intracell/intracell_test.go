@@ -1,0 +1,399 @@
+package intracell
+
+import (
+	"testing"
+
+	"multidiag/internal/logic"
+)
+
+// boolFunc is a reference Boolean function over cell inputs.
+type boolFunc func(in []bool) bool
+
+// checkTruthTable verifies a cell's switch-level simulation against a
+// reference function for all binary inputs.
+func checkTruthTable(t *testing.T, c *Cell, f boolFunc) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k := len(c.Inputs)
+	tt, err := TruthTable(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 1<<k; m++ {
+		in := make([]bool, k)
+		for i := 0; i < k; i++ {
+			in[i] = m>>i&1 == 1
+		}
+		want := logic.FromBool(f(in))
+		if tt[m] != want {
+			t.Errorf("%s: minterm %0*b: got %v want %v", c.Name, k, m, tt[m], want)
+		}
+	}
+}
+
+func TestLibraryFunctions(t *testing.T) {
+	checkTruthTable(t, Inverter(), func(in []bool) bool { return !in[0] })
+	checkTruthTable(t, Nand2(), func(in []bool) bool { return !(in[0] && in[1]) })
+	checkTruthTable(t, Nor2(), func(in []bool) bool { return !(in[0] || in[1]) })
+	checkTruthTable(t, Nand3(), func(in []bool) bool { return !(in[0] && in[1] && in[2]) })
+	checkTruthTable(t, AOI21(), func(in []bool) bool { return !((in[0] && in[1]) || in[2]) })
+	checkTruthTable(t, AOI22(), func(in []bool) bool { return !((in[0] && in[1]) || (in[2] && in[3])) })
+	checkTruthTable(t, OAI22(), func(in []bool) bool { return !((in[0] || in[1]) && (in[2] || in[3])) })
+	checkTruthTable(t, AO8Like(), func(in []bool) bool { return !((in[0] && in[1] && in[2]) || in[3]) })
+	checkTruthTable(t, Mux21(), func(in []bool) bool {
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	})
+	checkTruthTable(t, Xor2(), func(in []bool) bool { return in[0] != in[1] })
+}
+
+func TestLibraryComplete(t *testing.T) {
+	cells := Library()
+	if len(cells) != 10 {
+		t.Fatalf("library size %d", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		if names[c.Name] {
+			t.Errorf("duplicate cell name %s", c.Name)
+		}
+		names[c.Name] = true
+	}
+}
+
+func TestSimulateXInput(t *testing.T) {
+	c := Nand2()
+	// A=0 forces Z=1 regardless of B (controlling input masks X).
+	vals, err := Simulate(c, []logic.Value{logic.Zero, logic.X}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[c.Output] != logic.One {
+		t.Errorf("NAND(0,X) = %v, want 1", vals[c.Output])
+	}
+	// A=1, B=X leaves Z unknown.
+	vals, err = Simulate(c, []logic.Value{logic.One, logic.X}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[c.Output] != logic.X {
+		t.Errorf("NAND(1,X) = %v, want X", vals[c.Output])
+	}
+}
+
+func TestSimulateWidthValidation(t *testing.T) {
+	if _, err := Simulate(Nand2(), []logic.Value{logic.One}, nil); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestTransistorStuckOff(t *testing.T) {
+	c := Nand2()
+	// N0 (A-side pull-down) stuck off: Z can never be pulled to 0, so for
+	// A=B=1 output floats (X at logic level).
+	cfg := &SimConfig{StuckOff: map[int]bool{2: true}} // index 2 = N0
+	tt, err := TruthTable(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt[3] == logic.Zero {
+		t.Errorf("stuck-off pull-down still pulls low: %v", tt[3])
+	}
+	// Other minterms unaffected (pull-up paths intact).
+	for _, m := range []int{0, 1, 2} {
+		if tt[m] != logic.One {
+			t.Errorf("minterm %d = %v, want 1", m, tt[m])
+		}
+	}
+}
+
+func TestTransistorStuckOn(t *testing.T) {
+	c := Inverter()
+	// N0 stuck on: for A=0 both pull-up (P0 on) and pull-down (stuck-on N0)
+	// drive Z → fight → X.
+	cfg := &SimConfig{StuckOn: map[int]bool{1: true}}
+	vals, err := Simulate(c, []logic.Value{logic.Zero}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[c.Output] != logic.X {
+		t.Errorf("drive fight resolved to %v, want X", vals[c.Output])
+	}
+	// A=1: both paths agree on 0.
+	vals, _ = Simulate(c, []logic.Value{logic.One}, cfg)
+	if vals[c.Output] != logic.Zero {
+		t.Errorf("A=1 output %v, want 0", vals[c.Output])
+	}
+}
+
+func TestNodeForced(t *testing.T) {
+	c := Nand2()
+	n1 := c.NodeByName("n1")
+	// n1 shorted to GND: Z = NAND behaves as if the B-side series device is
+	// bypassed — when A=1, pull-down conducts (Z=0) even with B=0... except
+	// A=1,B=0: N0 on connects Z to n1=0 → Z=0 but P1 (B=0) pulls up → fight → X.
+	vals, err := Simulate(c, []logic.Value{logic.One, logic.Zero},
+		&SimConfig{ForcedNodes: map[NodeID]logic.Value{n1: logic.Zero}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[c.Output] != logic.X {
+		t.Errorf("fight expected at Z, got %v", vals[c.Output])
+	}
+}
+
+func TestDominantBridgeSim(t *testing.T) {
+	c := Nand2()
+	// Bridge: output Z dominated by input A.
+	cfg := &SimConfig{Bridges: []BridgePair{{Victim: c.Output, Aggressor: c.Inputs[0]}}}
+	tt, err := TruthTable(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		wantZ := logic.FromBool(m&1 == 1) // Z = A
+		if tt[m] != wantZ {
+			t.Errorf("minterm %d: Z = %v, want %v (= A)", m, tt[m], wantZ)
+		}
+	}
+}
+
+func TestCriticalNodesInverter(t *testing.T) {
+	c := Inverter()
+	crit, _, base, err := criticalNodes(c, Pattern{logic.Zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[c.Output] != logic.One {
+		t.Fatal("INV(0) != 1")
+	}
+	// Both A and Z are critical.
+	if _, ok := crit[c.Inputs[0]]; !ok {
+		t.Error("input not critical")
+	}
+	if _, ok := crit[c.Output]; !ok {
+		t.Error("output not critical")
+	}
+}
+
+func TestCriticalNodesNand(t *testing.T) {
+	c := Nand2()
+	// A=0, B=1: A is critical (flip → Z flips), B is not (A controls).
+	crit, maybe, _, err := criticalNodes(c, Pattern{logic.Zero, logic.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maybe) != 0 {
+		t.Errorf("unexpected maybe-critical nodes on fight-free pattern: %v", maybe)
+	}
+	if _, ok := crit[c.Inputs[0]]; !ok {
+		t.Error("controlling input A not critical")
+	}
+	if _, ok := crit[c.Inputs[1]]; ok {
+		t.Error("masked input B critical")
+	}
+}
+
+// TestDiagnoseStuckNode: inject n1 shorted to GND in NAND2 and check the
+// diagnosis finds the site.
+func TestDiagnoseStuckNode(t *testing.T) {
+	c := Nand2()
+	n1 := c.NodeByName("n1")
+	lfp, lpp, err := LocalPatterns(c, &SimConfig{ForcedNodes: map[NodeID]logic.Value{n1: logic.Zero}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lfp) == 0 {
+		t.Skip("defect not observable")
+	}
+	d, err := Diagnose(c, lfp, lpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range d.Stuck {
+		if s.Node == n1 && s.Value == logic.Zero {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("n1 stuck-0 not in suspects: %+v", d.Stuck)
+	}
+	if d.DynamicOnly {
+		t.Error("static defect classified dynamic-only")
+	}
+	// Physical mapping must point at the transistors touching n1.
+	if len(d.TransistorSuspects[n1]) == 0 {
+		t.Error("no transistor terminals for suspect node")
+	}
+}
+
+// TestDiagnoseBridge: inject a dominant bridge and check the couple
+// appears in the bridge suspect list.
+func TestDiagnoseBridge(t *testing.T) {
+	c := AOI22()
+	v := c.NodeByName("n1")
+	a := c.Inputs[3] // D
+	lfp, lpp, err := LocalPatterns(c, &SimConfig{Bridges: []BridgePair{{Victim: v, Aggressor: a}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lfp) == 0 {
+		t.Skip("bridge not observable")
+	}
+	d, err := Diagnose(c, lfp, lpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range d.Bridges {
+		if b.Victim == v && b.Aggressor == a {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bridge %v<-%v not in suspects: %+v", v, a, d.Bridges)
+	}
+}
+
+// TestDiagnoseDynamicOnly: a pattern that both fails and passes must clear
+// the static lists.
+func TestDiagnoseDynamicOnly(t *testing.T) {
+	c := Inverter()
+	p := Pattern{logic.Zero}
+	d, err := Diagnose(c, []Pattern{p}, []Pattern{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DynamicOnly {
+		t.Fatal("conflicting pattern not classified dynamic")
+	}
+	if len(d.Stuck) != 0 || len(d.Bridges) != 0 {
+		t.Fatal("static suspects survive dynamic-only classification")
+	}
+	if len(d.Delays) == 0 {
+		t.Fatal("no delay suspects for dynamic classification")
+	}
+}
+
+// TestDiagnoseEveryStuckNodeInLibrary: for every cell and every internal
+// node short, the diagnosis must localize the defect (hit) whenever it is
+// observable, with bounded resolution.
+func TestDiagnoseEveryStuckNodeInLibrary(t *testing.T) {
+	for _, c := range Library() {
+		for _, n := range c.InternalNodes() {
+			for _, v := range []logic.Value{logic.Zero, logic.One} {
+				lfp, lpp, err := LocalPatterns(c, &SimConfig{ForcedNodes: map[NodeID]logic.Value{n: v}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(lfp) == 0 {
+					continue // benign defect
+				}
+				d, err := Diagnose(c, lfp, lpp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hit := false
+				for _, sn := range d.SuspectNodes() {
+					if sn == n {
+						hit = true
+					}
+				}
+				if !hit {
+					t.Errorf("%s: node %s stuck-%v missed (suspects %v)",
+						c.Name, c.Nodes[n], v, d.SuspectNodes())
+				}
+				if res := d.Resolution(); res > 40 {
+					t.Errorf("%s: node %s stuck-%v resolution %d too large",
+						c.Name, c.Nodes[n], v, res)
+				}
+			}
+		}
+	}
+}
+
+// TestDiagnoseTransistorStuckOff: transistor conduction defects must be
+// localized to a node touching the transistor.
+func TestDiagnoseTransistorStuckOffLibrary(t *testing.T) {
+	for _, c := range Library() {
+		for ti := range c.Transistors {
+			lfp, lpp, err := LocalPatterns(c, &SimConfig{StuckOff: map[int]bool{ti: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lfp) == 0 {
+				continue
+			}
+			d, err := Diagnose(c, lfp, lpp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := c.Transistors[ti]
+			touch := map[NodeID]bool{tr.Gate: true, tr.Source: true, tr.Drain: true}
+			hit := false
+			for _, sn := range d.SuspectNodes() {
+				if touch[sn] {
+					hit = true
+				}
+			}
+			if !hit {
+				t.Errorf("%s: %s stuck-off missed (suspects %v)", c.Name, tr.Name, d.SuspectNodes())
+			}
+		}
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	c := Nand2()
+	if _, err := Diagnose(c, nil, nil); err == nil {
+		t.Error("empty lfp accepted")
+	}
+	if _, err := Diagnose(c, []Pattern{{logic.One}}, nil); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestCellAccessors(t *testing.T) {
+	c := Nand2()
+	if c.NodeByName("nope") != -1 {
+		t.Error("missing node found")
+	}
+	if c.NodeByName("n1") < 0 {
+		t.Error("n1 missing")
+	}
+	if got := c.AddNode("n1"); got != c.NodeByName("n1") {
+		t.Error("AddNode not idempotent")
+	}
+	internal := c.InternalNodes()
+	// NAND2 internals: Z and n1.
+	if len(internal) != 2 {
+		t.Errorf("internal nodes %v", internal)
+	}
+	if NMOS.String() != "N" || PMOS.String() != "P" {
+		t.Error("MOSType names")
+	}
+	if TermGate.String() != "G" || TermSource.String() != "S" || TermDrain.String() != "D" {
+		t.Error("terminal names")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := NewCell("bad")
+	if err := c.Validate(); err == nil {
+		t.Error("no-input cell validated")
+	}
+	c.AddInput("A")
+	if err := c.Validate(); err == nil {
+		t.Error("no-output cell validated")
+	}
+	c.SetOutput("Z")
+	c.AddTransistor("T", NMOS, 99, 0, 1)
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range terminal validated")
+	}
+}

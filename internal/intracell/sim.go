@@ -1,0 +1,292 @@
+package intracell
+
+import (
+	"fmt"
+
+	"multidiag/internal/logic"
+)
+
+// SimConfig injects defects into a switch-level simulation.
+type SimConfig struct {
+	// ForcedNodes pins nodes to fixed values (rail shorts, stuck nodes).
+	ForcedNodes map[NodeID]logic.Value
+	// StuckOff / StuckOn override transistor conduction by transistor
+	// index.
+	StuckOff map[int]bool
+	StuckOn  map[int]bool
+	// Bridges forces each victim to its aggressor's resolved value
+	// (dominant bridge).
+	Bridges []BridgePair
+}
+
+// BridgePair is a dominant intra-cell bridge.
+type BridgePair struct {
+	Victim, Aggressor NodeID
+}
+
+type conduction uint8
+
+const (
+	condOff conduction = iota
+	condOn
+	condMaybe
+)
+
+// Simulate computes steady-state node values of the cell for one input
+// assignment using switch-level analysis: nodes connected through
+// definitely-ON transistors form charge-sharing groups whose value comes
+// from the driven sources (rails, inputs, forced nodes) they contain;
+// groups reaching a source only through maybe-ON (X-gated) transistors, or
+// reaching sources with conflicting values, resolve to X, as do floating
+// groups.
+//
+// The returned slice is indexed by NodeID.
+func Simulate(c *Cell, inputs []logic.Value, cfg *SimConfig) ([]logic.Value, error) {
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("intracell: cell %s needs %d inputs, got %d", c.Name, len(c.Inputs), len(inputs))
+	}
+	if cfg == nil {
+		cfg = &SimConfig{}
+	}
+	n := len(c.Nodes)
+	vals := make([]logic.Value, n)
+	driven := make([]bool, n)
+	setSource := func(id NodeID, v logic.Value) {
+		vals[id] = v
+		driven[id] = true
+	}
+	reset := func() {
+		for i := range vals {
+			vals[i] = logic.X
+			driven[i] = false
+		}
+		setSource(GND, logic.Zero)
+		setSource(VDD, logic.One)
+		for i, in := range c.Inputs {
+			setSource(in, inputs[i])
+		}
+		for nd, v := range cfg.ForcedNodes {
+			setSource(nd, v)
+		}
+	}
+	reset()
+
+	cond := func(t *Transistor, ti int) conduction {
+		if cfg.StuckOff[ti] {
+			return condOff
+		}
+		if cfg.StuckOn[ti] {
+			return condOn
+		}
+		g := vals[t.Gate]
+		switch t.Type {
+		case NMOS:
+			switch g {
+			case logic.One:
+				return condOn
+			case logic.Zero:
+				return condOff
+			}
+		case PMOS:
+			switch g {
+			case logic.Zero:
+				return condOn
+			case logic.One:
+				return condOff
+			}
+		}
+		return condMaybe
+	}
+
+	// Fixpoint iteration: recompute group values until stable.
+	maxIter := 2*n + 8
+	parent := make([]int, n)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Definite-ON connectivity groups.
+		for i := range parent {
+			parent[i] = i
+		}
+		var maybeEdges [][2]int
+		for ti := range c.Transistors {
+			t := &c.Transistors[ti]
+			switch cond(t, ti) {
+			case condOn:
+				union(int(t.Source), int(t.Drain))
+			case condMaybe:
+				maybeEdges = append(maybeEdges, [2]int{int(t.Source), int(t.Drain)})
+			}
+		}
+		// Collect definite source values per group. Rail membership is
+		// tracked separately: a rail is an infinitely strong driver, so a
+		// rail-connected group keeps the rail value no matter what weaker
+		// charge might arrive over maybe-ON switches (without this, an
+		// undriven node that might couple both rails would "contaminate"
+		// rail-driven logic — measured as spurious X on transmission-gate
+		// cells).
+		type groupInfo struct {
+			has0, has1, hasX   bool
+			hasRail0, hasRail1 bool
+		}
+		groups := map[int]*groupInfo{}
+		gi := func(root int) *groupInfo {
+			g := groups[root]
+			if g == nil {
+				g = &groupInfo{}
+				groups[root] = g
+			}
+			return g
+		}
+		for i := 0; i < n; i++ {
+			if !driven[i] {
+				continue
+			}
+			g := gi(find(i))
+			switch vals[i] {
+			case logic.Zero:
+				g.has0 = true
+			case logic.One:
+				g.has1 = true
+			default:
+				g.hasX = true
+			}
+		}
+		gi(find(int(GND))).hasRail0 = true
+		gi(find(int(VDD))).hasRail1 = true
+		// Propagate "possible" source values across maybe edges with a
+		// small fixpoint over group possibility sets.
+		poss0 := map[int]bool{}
+		poss1 := map[int]bool{}
+		for root, g := range groups {
+			if g.has0 || g.hasX {
+				poss0[root] = true
+			}
+			if g.has1 || g.hasX {
+				poss1[root] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range maybeEdges {
+				ra, rb := find(e[0]), find(e[1])
+				if poss0[ra] && !poss0[rb] {
+					poss0[rb] = true
+					changed = true
+				}
+				if poss0[rb] && !poss0[ra] {
+					poss0[ra] = true
+					changed = true
+				}
+				if poss1[ra] && !poss1[rb] {
+					poss1[rb] = true
+					changed = true
+				}
+				if poss1[rb] && !poss1[ra] {
+					poss1[ra] = true
+					changed = true
+				}
+			}
+		}
+		// Resolve node values.
+		next := make([]logic.Value, n)
+		for i := 0; i < n; i++ {
+			if driven[i] {
+				next[i] = vals[i]
+				continue
+			}
+			root := find(i)
+			g := groups[root]
+			var v logic.Value
+			switch {
+			case g == nil:
+				// No definite source: X if any maybe-reachable source,
+				// floating otherwise — both read as X at logic level.
+				v = logic.X
+			case g.hasRail0 && g.hasRail1:
+				v = logic.X // rail-to-rail short: everything between is X
+			case g.hasRail0, g.hasRail1:
+				// Rail-held group: the rail wins any fight with weaker
+				// drivers (forced-node shorts still conflict via has0/has1
+				// below only when *both* rails meet; a forced node against
+				// one rail is a genuine drive fight).
+				if g.has0 && g.has1 {
+					v = logic.X
+				} else if g.hasRail1 {
+					v = logic.One
+				} else {
+					v = logic.Zero
+				}
+			case g.hasX || (g.has0 && g.has1):
+				v = logic.X
+			case g.has0:
+				v = logic.Zero
+				if poss1[root] {
+					v = logic.X
+				}
+			case g.has1:
+				v = logic.One
+				if poss0[root] {
+					v = logic.X
+				}
+			default:
+				v = logic.X
+			}
+			next[i] = v
+		}
+		// Dominant bridges: victim takes aggressor's value. Rails cannot be
+		// victims (a rail "losing" to an aggressor is a power short, out of
+		// scope); externally driven nodes (inputs) can — the aggressor wins
+		// the drive fight by the dominant-bridge definition.
+		for _, b := range cfg.Bridges {
+			if b.Victim != GND && b.Victim != VDD {
+				next[b.Victim] = next[b.Aggressor]
+			}
+		}
+		stable := true
+		for i := 0; i < n; i++ {
+			if next[i] != vals[i] {
+				stable = false
+			}
+			vals[i] = next[i]
+		}
+		if stable {
+			return vals, nil
+		}
+	}
+	// Non-convergence (pathological feedback): return the X-laden state.
+	return vals, nil
+}
+
+// TruthTable simulates every input combination (inputs are binary) and
+// returns the output column, indexed by the input minterm (input i is bit
+// i).
+func TruthTable(c *Cell, cfg *SimConfig) ([]logic.Value, error) {
+	k := len(c.Inputs)
+	out := make([]logic.Value, 1<<k)
+	in := make([]logic.Value, k)
+	for m := 0; m < 1<<k; m++ {
+		for i := 0; i < k; i++ {
+			in[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		vals, err := Simulate(c, in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = vals[c.Output]
+	}
+	return out, nil
+}

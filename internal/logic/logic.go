@@ -1,0 +1,111 @@
+// Package logic provides the logic-value domains used throughout multidiag:
+// plain Boolean values, three-valued (0/1/X) logic for unknown-value
+// analysis, and 64-way bit-parallel packed vectors used by the levelized
+// simulators and the PPSFP fault simulator.
+//
+// The three-valued domain is encoded in two bit-planes per signal, the
+// classic (v0, v1) dual-rail encoding:
+//
+//	value 0 : v0=1, v1=0
+//	value 1 : v0=0, v1=1
+//	value X : v0=1, v1=1   (could be either)
+//
+// The encoding (v0=0, v1=0) is unused and normalized to X on input. With
+// this encoding every standard gate is computed with one or two word-wide
+// boolean operations per bit-plane, so a single gate evaluation processes 64
+// patterns at once.
+package logic
+
+import "fmt"
+
+// Value is a scalar three-valued logic value.
+type Value uint8
+
+// The three logic values. Zero and One are the determinate values; X is the
+// unknown (either) value used by X-masking analysis and uninitialized nets.
+const (
+	Zero Value = iota
+	One
+	X
+)
+
+// String returns "0", "1" or "X".
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// FromBool converts a Boolean to a determinate Value.
+func FromBool(b bool) Value {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// IsKnown reports whether v is 0 or 1 (not X).
+func (v Value) IsKnown() bool { return v == Zero || v == One }
+
+// Not returns the three-valued complement: X stays X.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// And returns the three-valued conjunction. A controlling 0 dominates X.
+func (v Value) And(w Value) Value {
+	if v == Zero || w == Zero {
+		return Zero
+	}
+	if v == One && w == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the three-valued disjunction. A controlling 1 dominates X.
+func (v Value) Or(w Value) Value {
+	if v == One || w == One {
+		return One
+	}
+	if v == Zero && w == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the three-valued exclusive or; any X input yields X.
+func (v Value) Xor(w Value) Value {
+	if v == X || w == X {
+		return X
+	}
+	if v != w {
+		return One
+	}
+	return Zero
+}
+
+// ParseValue parses "0", "1", "x" or "X".
+func ParseValue(s string) (Value, error) {
+	switch s {
+	case "0":
+		return Zero, nil
+	case "1":
+		return One, nil
+	case "x", "X":
+		return X, nil
+	}
+	return X, fmt.Errorf("logic: invalid value %q", s)
+}

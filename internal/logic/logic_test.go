@@ -1,0 +1,227 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := map[Value]string{Zero: "0", One: "1", X: "X", Value(9): "Value(9)"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Value(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestScalarTruthTables(t *testing.T) {
+	vals := []Value{Zero, One, X}
+	for _, a := range vals {
+		for _, b := range vals {
+			and := a.And(b)
+			or := a.Or(b)
+			xor := a.Xor(b)
+			// Controlling values dominate X.
+			if a == Zero || b == Zero {
+				if and != Zero {
+					t.Errorf("%v AND %v = %v, want 0", a, b, and)
+				}
+			}
+			if a == One || b == One {
+				if or != One {
+					t.Errorf("%v OR %v = %v, want 1", a, b, or)
+				}
+			}
+			if a.IsKnown() && b.IsKnown() {
+				if and != FromBool(a == One && b == One) {
+					t.Errorf("AND(%v,%v) wrong", a, b)
+				}
+				if or != FromBool(a == One || b == One) {
+					t.Errorf("OR(%v,%v) wrong", a, b)
+				}
+				if xor != FromBool(a != b) {
+					t.Errorf("XOR(%v,%v) wrong", a, b)
+				}
+			} else if a == X && b == X {
+				if and != X || or != X || xor != X {
+					t.Errorf("X op X must be X (and=%v or=%v xor=%v)", and, or, xor)
+				}
+			}
+			// Commutativity.
+			if and != b.And(a) || or != b.Or(a) || xor != b.Xor(a) {
+				t.Errorf("ops not commutative at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestScalarNot(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Fatal("Not truth table wrong")
+	}
+	for _, v := range []Value{Zero, One, X} {
+		if v.Not().Not() != v {
+			t.Errorf("double negation broken for %v", v)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	for s, want := range map[string]Value{"0": Zero, "1": One, "x": X, "X": X} {
+		got, err := ParseValue(s)
+		if err != nil || got != want {
+			t.Errorf("ParseValue(%q) = %v,%v want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseValue("2"); err == nil {
+		t.Error("ParseValue(2) should fail")
+	}
+	if _, err := ParseValue(""); err == nil {
+		t.Error("ParseValue empty should fail")
+	}
+}
+
+func TestPackedConstants(t *testing.T) {
+	for i := uint(0); i < W; i++ {
+		if PVZero.Get(i) != Zero {
+			t.Fatalf("PVZero slot %d = %v", i, PVZero.Get(i))
+		}
+		if PVOne.Get(i) != One {
+			t.Fatalf("PVOne slot %d = %v", i, PVOne.Get(i))
+		}
+		if PVX.Get(i) != X {
+			t.Fatalf("PVX slot %d = %v", i, PVX.Get(i))
+		}
+	}
+}
+
+func TestPackedSetGet(t *testing.T) {
+	p := PVZero
+	p = p.Set(3, One).Set(7, X).Set(63, One)
+	if p.Get(3) != One || p.Get(7) != X || p.Get(63) != One || p.Get(0) != Zero {
+		t.Fatalf("Set/Get mismatch: %v", p)
+	}
+	if p.XMask() != 1<<7 {
+		t.Fatalf("XMask = %x", p.XMask())
+	}
+	if p.Bits() != 1<<3|1<<63 {
+		t.Fatalf("Bits = %x", p.Bits())
+	}
+	if p.KnownMask() != ^uint64(1<<7) {
+		t.Fatalf("KnownMask = %x", p.KnownMask())
+	}
+}
+
+func TestPVFromBits(t *testing.T) {
+	p := PVFromBits(0xF0)
+	if p.Bits() != 0xF0 || p.XMask() != 0 {
+		t.Fatalf("PVFromBits wrong: %+v", p)
+	}
+	if p.Get(4) != One || p.Get(0) != Zero {
+		t.Fatal("slot values wrong")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	bad := PV64{V0: 0, V1: 0} // all slots illegal
+	n := bad.Normalize()
+	for i := uint(0); i < W; i++ {
+		if n.Get(i) != X {
+			t.Fatalf("Normalize slot %d = %v, want X", i, n.Get(i))
+		}
+	}
+	good := PVFromBits(0xAA)
+	if good.Normalize() != good {
+		t.Fatal("Normalize must not change legal vectors")
+	}
+}
+
+// randPV produces a random packed vector with legal slots only.
+func randPV(r *rand.Rand) PV64 {
+	var p PV64
+	for i := uint(0); i < W; i++ {
+		p = p.Set(i, Value(r.Intn(3)))
+	}
+	return p
+}
+
+// TestPackedMatchesScalar is the central property test: every packed
+// operator must agree slot-by-slot with the scalar three-valued operator.
+func TestPackedMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p, q := randPV(r), randPV(r)
+		and, or, xor, not := p.And(q), p.Or(q), p.Xor(q), p.Not()
+		for i := uint(0); i < W; i++ {
+			a, b := p.Get(i), q.Get(i)
+			if and.Get(i) != a.And(b) {
+				t.Fatalf("AND slot %d: packed %v scalar %v", i, and.Get(i), a.And(b))
+			}
+			if or.Get(i) != a.Or(b) {
+				t.Fatalf("OR slot %d: packed %v scalar %v", i, or.Get(i), a.Or(b))
+			}
+			if xor.Get(i) != a.Xor(b) {
+				t.Fatalf("XOR slot %d: packed %v scalar %v", i, xor.Get(i), a.Xor(b))
+			}
+			if not.Get(i) != a.Not() {
+				t.Fatalf("NOT slot %d: packed %v scalar %v", i, not.Get(i), a.Not())
+			}
+		}
+	}
+}
+
+func TestPackedDeMorgan(t *testing.T) {
+	// De Morgan's laws hold in three-valued logic; verify on packed vectors
+	// with testing/quick over the determinate sub-domain.
+	f := func(a, b uint64) bool {
+		p, q := PVFromBits(a), PVFromBits(b)
+		lhs := p.And(q).Not()
+		rhs := p.Not().Or(q.Not())
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffKnown(t *testing.T) {
+	p := PVFromBits(0b1100)
+	q := PVFromBits(0b1010)
+	if d := p.DiffKnown(q); d != 0b0110 {
+		t.Fatalf("DiffKnown = %b", d)
+	}
+	// X slots never count as differences.
+	px := p.Set(1, X)
+	if d := px.DiffKnown(q); d != 0b0100 {
+		t.Fatalf("DiffKnown with X = %b", d)
+	}
+}
+
+func TestEq(t *testing.T) {
+	p := PVFromBits(0b11)
+	q := PVFromBits(0b01)
+	if e := p.Eq(q); e != ^uint64(0b10) {
+		t.Fatalf("Eq = %x", e)
+	}
+	// X never equals anything determinately.
+	px := p.Set(0, X)
+	if e := px.Eq(q); e&1 != 0 {
+		t.Fatal("X slot reported equal")
+	}
+}
+
+func TestCountOnes(t *testing.T) {
+	p := PVFromBits(0xFF).Set(0, X)
+	if n := p.CountOnes(); n != 7 {
+		t.Fatalf("CountOnes = %d, want 7", n)
+	}
+}
+
+func TestPackedString(t *testing.T) {
+	p := PVZero.Set(0, One).Set(1, X)
+	s := p.String()
+	if len(s) != W || s[0] != '1' || s[1] != 'X' || s[2] != '0' {
+		t.Fatalf("String = %q", s)
+	}
+}

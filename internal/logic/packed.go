@@ -1,0 +1,122 @@
+package logic
+
+import "math/bits"
+
+// W is the number of patterns processed in parallel by one packed word.
+const W = 64
+
+// PV64 is a packed vector of 64 three-valued signals in dual-rail encoding.
+// Bit i of V0 is set when pattern i may be 0; bit i of V1 is set when
+// pattern i may be 1. Both set means X. Neither set is an illegal state that
+// the constructors never produce; Normalize maps it to X defensively.
+type PV64 struct {
+	V0, V1 uint64
+}
+
+// PVZero, PVOne and PVX are packed constants with all 64 slots set to the
+// same value.
+var (
+	PVZero = PV64{V0: ^uint64(0)}
+	PVOne  = PV64{V1: ^uint64(0)}
+	PVX    = PV64{V0: ^uint64(0), V1: ^uint64(0)}
+)
+
+// PVFromBits builds a determinate packed vector from a bitmask of ones.
+func PVFromBits(ones uint64) PV64 {
+	return PV64{V0: ^ones, V1: ones}
+}
+
+// Bits returns the bitmask of slots holding value 1. Slots holding X report
+// 0 here; use XMask to identify them.
+func (p PV64) Bits() uint64 { return p.V1 &^ p.V0 }
+
+// XMask returns the bitmask of slots holding X.
+func (p PV64) XMask() uint64 { return p.V0 & p.V1 }
+
+// KnownMask returns the bitmask of slots holding a determinate 0 or 1.
+func (p PV64) KnownMask() uint64 { return p.V0 ^ p.V1 }
+
+// Get returns the value of slot i (0 ≤ i < 64).
+func (p PV64) Get(i uint) Value {
+	z := p.V0 >> i & 1
+	o := p.V1 >> i & 1
+	switch {
+	case z == 1 && o == 0:
+		return Zero
+	case z == 0 && o == 1:
+		return One
+	default:
+		return X
+	}
+}
+
+// Set stores v into slot i and returns the updated vector.
+func (p PV64) Set(i uint, v Value) PV64 {
+	m := uint64(1) << i
+	p.V0 &^= m
+	p.V1 &^= m
+	switch v {
+	case Zero:
+		p.V0 |= m
+	case One:
+		p.V1 |= m
+	default:
+		p.V0 |= m
+		p.V1 |= m
+	}
+	return p
+}
+
+// Normalize maps any illegal (0,0)-encoded slots to X.
+func (p PV64) Normalize() PV64 {
+	empty := ^(p.V0 | p.V1)
+	p.V0 |= empty
+	p.V1 |= empty
+	return p
+}
+
+// Not returns the slot-wise three-valued complement.
+func (p PV64) Not() PV64 { return PV64{V0: p.V1, V1: p.V0} }
+
+// And returns the slot-wise three-valued conjunction.
+func (p PV64) And(q PV64) PV64 {
+	return PV64{V0: p.V0 | q.V0, V1: p.V1 & q.V1}
+}
+
+// Or returns the slot-wise three-valued disjunction.
+func (p PV64) Or(q PV64) PV64 {
+	return PV64{V0: p.V0 & q.V0, V1: p.V1 | q.V1}
+}
+
+// Xor returns the slot-wise three-valued exclusive or.
+func (p PV64) Xor(q PV64) PV64 {
+	return PV64{
+		V0: p.V0&q.V0 | p.V1&q.V1,
+		V1: p.V0&q.V1 | p.V1&q.V0,
+	}
+}
+
+// Eq reports slot-wise determinate equality: the returned mask has bit i set
+// when both slots are known and equal.
+func (p PV64) Eq(q PV64) uint64 {
+	same := ^(p.Bits() ^ q.Bits())
+	return same & p.KnownMask() & q.KnownMask()
+}
+
+// DiffKnown returns the mask of slots where both vectors are determinate and
+// the values differ. This is the mismatch detector used by fault simulation.
+func (p PV64) DiffKnown(q PV64) uint64 {
+	return (p.Bits() ^ q.Bits()) & p.KnownMask() & q.KnownMask()
+}
+
+// CountOnes returns the number of slots holding a determinate 1.
+func (p PV64) CountOnes() int { return bits.OnesCount64(p.Bits()) }
+
+// String renders the 64 slots, slot 0 first.
+func (p PV64) String() string {
+	b := make([]byte, W)
+	for i := uint(0); i < W; i++ {
+		b[i] = p.Get(i).String()[0]
+	}
+	return string(b)
+}

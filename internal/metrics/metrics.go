@@ -1,0 +1,242 @@
+// Package metrics scores diagnosis results against injected ground truth.
+// The vocabulary follows the diagnosis literature:
+//
+//   - hit / accuracy: an injected defect is "hit" when the diagnosis
+//     reports a candidate on one of the defect's nets (for bridges: the
+//     victim or the aggressor — PFA inspects the physical neighbourhood of
+//     a reported site, so either endpoint localizes the short);
+//   - resolution: the number of candidate sites the physical failure
+//     analyst must consider (smaller is better; 1 is ideal per defect);
+//   - precision/recall over sites, and first-hit rank for ranked lists.
+package metrics
+
+import (
+	"multidiag/internal/defect"
+	"multidiag/internal/netlist"
+)
+
+// Candidate is the metric-level view of one reported suspect: the set of
+// nets it points the failure analyst at. Diagnosis engines adapt their
+// native candidate types to this.
+type Candidate struct {
+	Nets []netlist.NetID
+}
+
+// Score is the outcome of evaluating one diagnosis run.
+type Score struct {
+	// InjectedDefects is the ground-truth count.
+	InjectedDefects int
+	// Hits counts injected defects localized by at least one candidate.
+	Hits int
+	// Candidates is the number of reported candidates (the resolution).
+	Candidates int
+	// TruePositiveCands counts candidates that localize some injected
+	// defect.
+	TruePositiveCands int
+	// FirstHitRank is the 1-based rank of the first candidate that hits any
+	// injected defect; 0 when no candidate hits.
+	FirstHitRank int
+}
+
+// Accuracy is Hits / InjectedDefects (1.0 when everything was found).
+func (s Score) Accuracy() float64 {
+	if s.InjectedDefects == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.InjectedDefects)
+}
+
+// Precision is TruePositiveCands / Candidates.
+func (s Score) Precision() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.TruePositiveCands) / float64(s.Candidates)
+}
+
+// Success reports whether every injected defect was localized (the paper's
+// per-device success criterion).
+func (s Score) Success() bool { return s.InjectedDefects > 0 && s.Hits == s.InjectedDefects }
+
+// defectNets returns the nets that localize defect d.
+func defectNets(d defect.Defect) []netlist.NetID {
+	if d.Kind == defect.BridgeDefect {
+		return []netlist.NetID{d.Net, d.Aggressor}
+	}
+	return []netlist.NetID{d.Net}
+}
+
+// EvaluateRegion scores like Evaluate but counts a hit when a candidate net
+// lies within graph distance `radius` of a defect net, where two nets are
+// at distance 1 when they touch the same gate (one drives it, the other is
+// its output, or both are its inputs). Radius 0 reduces to exact-site
+// Evaluate.
+//
+// This is the "physical localization" view of accuracy used by
+// failure-analysis-oriented evaluations: PFA de-layers a die region around
+// the reported site, so a candidate one gate away from the defect (e.g. a
+// gate-output candidate equivalent to the joint behaviour of its defective
+// inputs) still directs the analyst to the right spot.
+func EvaluateRegion(c *netlist.Circuit, injected []defect.Defect, candidates []Candidate, radius int) Score {
+	if radius <= 0 || c == nil {
+		return Evaluate(injected, candidates)
+	}
+	// Precompute the neighbourhood of every defect net once.
+	neighborhoods := make([]map[netlist.NetID]bool, len(injected))
+	for i, d := range injected {
+		nb := make(map[netlist.NetID]bool)
+		frontier := defectNets(d)
+		for _, n := range frontier {
+			nb[n] = true
+		}
+		for r := 0; r < radius; r++ {
+			var next []netlist.NetID
+			for _, n := range frontier {
+				// Same-gate contacts: fan-ins of n's driver, n's readers'
+				// outputs, and co-inputs of gates n feeds.
+				for _, f := range c.Gates[n].Fanin {
+					if !nb[f] {
+						nb[f] = true
+						next = append(next, f)
+					}
+				}
+				for _, rd := range c.Gates[n].Fanout {
+					if !nb[rd] {
+						nb[rd] = true
+						next = append(next, rd)
+					}
+					for _, f := range c.Gates[rd].Fanin {
+						if !nb[f] {
+							nb[f] = true
+							next = append(next, f)
+						}
+					}
+				}
+			}
+			frontier = next
+		}
+		neighborhoods[i] = nb
+	}
+	s := Score{InjectedDefects: len(injected), Candidates: len(candidates)}
+	hit := make([]bool, len(injected))
+	for rank, cand := range candidates {
+		candHits := false
+		for i := range injected {
+			for _, cn := range cand.Nets {
+				if neighborhoods[i][cn] {
+					hit[i] = true
+					candHits = true
+				}
+			}
+		}
+		if candHits {
+			s.TruePositiveCands++
+			if s.FirstHitRank == 0 {
+				s.FirstHitRank = rank + 1
+			}
+		}
+	}
+	for _, h := range hit {
+		if h {
+			s.Hits++
+		}
+	}
+	return s
+}
+
+// Evaluate scores a ranked candidate list against the injected defects.
+func Evaluate(injected []defect.Defect, candidates []Candidate) Score {
+	s := Score{InjectedDefects: len(injected), Candidates: len(candidates)}
+	hit := make([]bool, len(injected))
+	for rank, cand := range candidates {
+		candHits := false
+		for i, d := range injected {
+			for _, dn := range defectNets(d) {
+				for _, cn := range cand.Nets {
+					if dn == cn {
+						hit[i] = true
+						candHits = true
+					}
+				}
+			}
+		}
+		if candHits {
+			s.TruePositiveCands++
+			if s.FirstHitRank == 0 {
+				s.FirstHitRank = rank + 1
+			}
+		}
+	}
+	for _, h := range hit {
+		if h {
+			s.Hits++
+		}
+	}
+	return s
+}
+
+// Aggregate accumulates scores across a campaign.
+type Aggregate struct {
+	Runs       int
+	Successes  int
+	SumAcc     float64
+	SumPrec    float64
+	SumCands   int
+	SumHitRank int // over runs with a hit
+	RanksSeen  int
+}
+
+// Add accumulates one run.
+func (a *Aggregate) Add(s Score) {
+	a.Runs++
+	if s.Success() {
+		a.Successes++
+	}
+	a.SumAcc += s.Accuracy()
+	a.SumPrec += s.Precision()
+	a.SumCands += s.Candidates
+	if s.FirstHitRank > 0 {
+		a.SumHitRank += s.FirstHitRank
+		a.RanksSeen++
+	}
+}
+
+// SuccessRate is the fraction of fully localized devices.
+func (a Aggregate) SuccessRate() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return float64(a.Successes) / float64(a.Runs)
+}
+
+// MeanAccuracy averages per-run accuracy.
+func (a Aggregate) MeanAccuracy() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return a.SumAcc / float64(a.Runs)
+}
+
+// MeanPrecision averages per-run precision.
+func (a Aggregate) MeanPrecision() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return a.SumPrec / float64(a.Runs)
+}
+
+// MeanResolution averages the candidate count.
+func (a Aggregate) MeanResolution() float64 {
+	if a.Runs == 0 {
+		return 0
+	}
+	return float64(a.SumCands) / float64(a.Runs)
+}
+
+// MeanFirstHitRank averages the first-hit rank over runs that hit.
+func (a Aggregate) MeanFirstHitRank() float64 {
+	if a.RanksSeen == 0 {
+		return 0
+	}
+	return float64(a.SumHitRank) / float64(a.RanksSeen)
+}

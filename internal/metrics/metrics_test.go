@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"testing"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/fault"
+	"multidiag/internal/netlist"
+)
+
+func TestEvaluateBasics(t *testing.T) {
+	injected := []defect.Defect{
+		{Kind: defect.StuckNet, Net: 10},
+		{Kind: defect.BridgeDefect, Net: 20, Aggressor: 30},
+	}
+	cands := []Candidate{
+		{Nets: []netlist.NetID{5}},  // miss
+		{Nets: []netlist.NetID{30}}, // hits bridge via aggressor
+		{Nets: []netlist.NetID{10}}, // hits stuck
+	}
+	s := Evaluate(injected, cands)
+	if s.InjectedDefects != 2 || s.Hits != 2 {
+		t.Fatalf("hits = %d", s.Hits)
+	}
+	if !s.Success() || s.Accuracy() != 1.0 {
+		t.Fatal("full hit not recognized")
+	}
+	if s.Candidates != 3 || s.TruePositiveCands != 2 {
+		t.Fatalf("cands %d tp %d", s.Candidates, s.TruePositiveCands)
+	}
+	if s.Precision() != 2.0/3.0 {
+		t.Fatalf("precision %f", s.Precision())
+	}
+	if s.FirstHitRank != 2 {
+		t.Fatalf("first hit rank %d", s.FirstHitRank)
+	}
+}
+
+func TestEvaluateMiss(t *testing.T) {
+	injected := []defect.Defect{{Kind: defect.StuckNet, Net: 10}}
+	s := Evaluate(injected, []Candidate{{Nets: []netlist.NetID{11}}})
+	if s.Success() || s.Hits != 0 || s.FirstHitRank != 0 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Accuracy() != 0 {
+		t.Fatal("accuracy must be 0")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	s := Evaluate(nil, nil)
+	if s.Success() || s.Accuracy() != 0 || s.Precision() != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestBridgeKindIgnored(t *testing.T) {
+	// Bridge localization works regardless of bridge kind.
+	injected := []defect.Defect{{
+		Kind: defect.BridgeDefect, Net: 1, Aggressor: 2, BridgeKind: fault.WiredOR,
+	}}
+	s := Evaluate(injected, []Candidate{{Nets: []netlist.NetID{1}}})
+	if !s.Success() {
+		t.Fatal("victim-side hit not counted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.Add(Score{InjectedDefects: 2, Hits: 2, Candidates: 4, TruePositiveCands: 2, FirstHitRank: 1})
+	a.Add(Score{InjectedDefects: 2, Hits: 1, Candidates: 2, TruePositiveCands: 1, FirstHitRank: 2})
+	a.Add(Score{InjectedDefects: 2, Hits: 0, Candidates: 0})
+	if a.Runs != 3 || a.Successes != 1 {
+		t.Fatalf("%+v", a)
+	}
+	if a.SuccessRate() != 1.0/3.0 {
+		t.Fatalf("success rate %f", a.SuccessRate())
+	}
+	if a.MeanAccuracy() != (1.0+0.5+0)/3 {
+		t.Fatalf("mean acc %f", a.MeanAccuracy())
+	}
+	if a.MeanResolution() != 2.0 {
+		t.Fatalf("mean res %f", a.MeanResolution())
+	}
+	if a.MeanFirstHitRank() != 1.5 {
+		t.Fatalf("mean rank %f", a.MeanFirstHitRank())
+	}
+	var empty Aggregate
+	if empty.SuccessRate() != 0 || empty.MeanAccuracy() != 0 ||
+		empty.MeanPrecision() != 0 || empty.MeanResolution() != 0 || empty.MeanFirstHitRank() != 0 {
+		t.Fatal("empty aggregate not zero")
+	}
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/netlist"
+)
+
+func TestEvaluateRegionRadiusZeroIsExact(t *testing.T) {
+	c := circuits.C17()
+	injected := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16")}}
+	cands := []Candidate{{Nets: []netlist.NetID{c.NetByName("G11")}}}
+	r0 := EvaluateRegion(c, injected, cands, 0)
+	ex := Evaluate(injected, cands)
+	if r0 != ex {
+		t.Fatal("radius 0 must equal exact Evaluate")
+	}
+	if rn := EvaluateRegion(nil, injected, cands, 2); rn != ex {
+		t.Fatal("nil circuit must fall back to exact Evaluate")
+	}
+}
+
+func TestEvaluateRegionRadiusOne(t *testing.T) {
+	c := circuits.C17()
+	// Defect on G16; candidate on G11 (an input net of the gate driving
+	// G16) is distance 1; candidate on G22 (reader of G16) is distance 1;
+	// candidate on G1 is distance 2.
+	injected := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16")}}
+	for _, tc := range []struct {
+		net  string
+		rad  int
+		want bool
+	}{
+		{"G16", 1, true}, // exact
+		{"G11", 1, true}, // fanin of driver
+		{"G22", 1, true}, // reader output
+		{"G2", 1, true},  // co-input of driver gate
+		{"G10", 1, true}, // co-input of reader G22
+		{"G1", 1, false}, // two gates away
+		{"G1", 2, true},  // reachable at radius 2
+		{"G7", 1, false}, // unrelated cone
+	} {
+		cands := []Candidate{{Nets: []netlist.NetID{c.NetByName(tc.net)}}}
+		s := EvaluateRegion(c, injected, cands, tc.rad)
+		if got := s.Hits == 1; got != tc.want {
+			t.Errorf("candidate %s radius %d: hit=%v want %v", tc.net, tc.rad, got, tc.want)
+		}
+	}
+}
+
+func TestEvaluateRegionBridgeEndpoints(t *testing.T) {
+	c := circuits.C17()
+	injected := []defect.Defect{{
+		Kind: defect.BridgeDefect,
+		Net:  c.NetByName("G10"), Aggressor: c.NetByName("G19"),
+	}}
+	// A candidate adjacent to the aggressor counts.
+	cands := []Candidate{{Nets: []netlist.NetID{c.NetByName("G23")}}} // reader of G19
+	s := EvaluateRegion(c, injected, cands, 1)
+	if s.Hits != 1 {
+		t.Fatal("aggressor-adjacent candidate not counted")
+	}
+}
+
+func TestEvaluateRegionRanking(t *testing.T) {
+	c := circuits.C17()
+	injected := []defect.Defect{{Kind: defect.StuckNet, Net: c.NetByName("G16")}}
+	cands := []Candidate{
+		{Nets: []netlist.NetID{c.NetByName("G7")}},  // miss
+		{Nets: []netlist.NetID{c.NetByName("G16")}}, // hit at rank 2
+	}
+	s := EvaluateRegion(c, injected, cands, 1)
+	if s.FirstHitRank != 2 || s.TruePositiveCands != 1 || s.Candidates != 2 {
+		t.Fatalf("%+v", s)
+	}
+}

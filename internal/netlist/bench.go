@@ -1,0 +1,219 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads an ISCAS-85/89-style .bench netlist description.
+//
+// Supported syntax:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(z)
+//	n1 = NAND(a, b)
+//	n2 = DFF(n1)        # only accepted by scan conversion, see ParseBenchScan
+//	z  = NOT(n1)
+//
+// Gate definitions may appear in any order; forward references are resolved
+// by a two-pass build. The returned circuit is finalized.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	type def struct {
+		line   int
+		out    string
+		typ    string
+		fanins []string
+	}
+	var (
+		defs     []def
+		inputs   []string
+		outputs  []string
+		seenOut  = make(map[string]int) // output name -> defining line
+		scanner  = bufio.NewScanner(r)
+		lineNo   = 0
+		maxToken = 1024 * 1024
+	)
+	scanner.Buffer(make([]byte, 64*1024), maxToken)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		up := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(up, "INPUT"):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(up, "OUTPUT"):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench %s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.Index(rhs, "(")
+			cp := strings.LastIndex(rhs, ")")
+			if op < 0 || cp < op {
+				return nil, fmt.Errorf("bench %s:%d: malformed gate expression %q", name, lineNo, rhs)
+			}
+			typ := strings.TrimSpace(rhs[:op])
+			var fanins []string
+			for _, f := range strings.Split(rhs[op+1:cp], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("bench %s:%d: empty fan-in in %q", name, lineNo, line)
+				}
+				fanins = append(fanins, f)
+			}
+			if prev, dup := seenOut[out]; dup {
+				return nil, fmt.Errorf("bench %s:%d: net %q already defined at line %d", name, lineNo, out, prev)
+			}
+			seenOut[out] = lineNo
+			defs = append(defs, def{line: lineNo, out: out, typ: typ, fanins: fanins})
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %v", name, err)
+	}
+
+	c := NewCircuit(name)
+	for _, in := range inputs {
+		if _, err := c.AddGate(Input, in); err != nil {
+			return nil, fmt.Errorf("bench %s: %v", name, err)
+		}
+	}
+	// Topologically order definitions (inputs are already placed). Kahn-style
+	// repeated sweep keeps the implementation simple and detects cycles.
+	placed := make(map[string]bool, len(inputs)+len(defs))
+	for _, in := range inputs {
+		placed[in] = true
+	}
+	remaining := defs
+	for len(remaining) > 0 {
+		progressed := false
+		var next []def
+		for _, d := range remaining {
+			ready := true
+			for _, f := range d.fanins {
+				if !placed[f] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, d)
+				continue
+			}
+			t, err := ParseGateType(d.typ)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, d.line, err)
+			}
+			if t == Input {
+				return nil, fmt.Errorf("bench %s:%d: INPUT used as gate", name, d.line)
+			}
+			fan := make([]NetID, len(d.fanins))
+			for i, f := range d.fanins {
+				fan[i] = c.NetByName(f)
+			}
+			// .bench allows 1-input AND/OR etc. in some dialects; map to BUF.
+			if len(fan) == 1 && (t == And || t == Or) {
+				t = Buf
+			}
+			if len(fan) == 1 && (t == Nand || t == Nor) {
+				t = Not
+			}
+			if _, err := c.AddGate(t, d.out, fan...); err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, d.line, err)
+			}
+			placed[d.out] = true
+			progressed = true
+		}
+		if !progressed {
+			// Either a combinational cycle or an undefined net.
+			var missing []string
+			for _, d := range next {
+				for _, f := range d.fanins {
+					if !placed[f] {
+						if _, defined := seenOut[f]; !defined {
+							missing = append(missing, f)
+						}
+					}
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				return nil, fmt.Errorf("bench %s: undefined net(s): %s", name, strings.Join(missing, ", "))
+			}
+			return nil, fmt.Errorf("bench %s: combinational cycle among %d gates", name, len(next))
+		}
+		remaining = next
+	}
+	for _, out := range outputs {
+		id := c.NetByName(out)
+		if id == InvalidNet {
+			return nil, fmt.Errorf("bench %s: OUTPUT(%s) is undefined", name, out)
+		}
+		if err := c.MarkPO(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parenArg(line string) (string, error) {
+	op := strings.Index(line, "(")
+	cp := strings.LastIndex(line, ")")
+	if op < 0 || cp < op {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[op+1 : cp])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench serializes the circuit in .bench syntax. Reparsing the output
+// with ParseBench yields a structurally identical circuit.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d PIs, %d POs, %d gates\n", c.Name, len(c.PIs), len(c.POs), c.NumLogicGates())
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[po].Name)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

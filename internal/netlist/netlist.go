@@ -1,0 +1,378 @@
+// Package netlist defines the gate-level circuit representation used by the
+// simulators, ATPG, fault machinery and the diagnosis engines.
+//
+// A Circuit is a directed acyclic graph of single-output gates. Every signal
+// (primary input or gate output) is a Net, identified by a dense integer
+// NetID so that per-net data can live in flat slices. Primary inputs are
+// modelled as gates of type Input with no fan-in; every other net is driven
+// by exactly one gate. Primary outputs are a designated subset of nets.
+//
+// Sequential designs are supported only in their full-scan form: package
+// scan converts D flip-flops into pseudo primary inputs/outputs before any
+// analysis runs, which is the standard setting for logic diagnosis.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NetID densely identifies a net (equivalently, the gate driving it).
+type NetID int32
+
+// InvalidNet is returned by lookups that fail.
+const InvalidNet NetID = -1
+
+// GateType enumerates the supported primitive gate functions.
+type GateType uint8
+
+// Supported gate types. Input has no fan-in; Buf and Not have exactly one;
+// the others accept two or more fan-ins.
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	numGateTypes
+)
+
+var gateTypeNames = [numGateTypes]string{
+	"INPUT", "BUF", "NOT", "AND", "NAND", "OR", "NOR", "XOR", "XNOR",
+}
+
+// String returns the canonical upper-case gate name (as used in .bench).
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ParseGateType parses a .bench-style gate name (case-insensitive; NOT and
+// INV are synonyms, BUF and BUFF too).
+func ParseGateType(s string) (GateType, error) {
+	switch upper(s) {
+	case "INPUT":
+		return Input, nil
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	}
+	return Input, fmt.Errorf("netlist: unknown gate type %q", s)
+}
+
+// appendUniqueTail appends id unless it equals the last element — fan-in
+// scans visit a multi-referenced net consecutively within one gate, so this
+// keeps fanout lists duplicate-free per (net, reader) pair.
+func appendUniqueTail(s []NetID, id NetID) []NetID {
+	if n := len(s); n > 0 && s[n-1] == id {
+		return s
+	}
+	return append(s, id)
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// Inverting reports whether the gate's output inverts its "natural" function
+// (NAND/NOR/XNOR/NOT).
+func (t GateType) Inverting() bool {
+	switch t {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// ControllingValue returns the controlling input value of the gate and
+// whether the gate has one (AND/NAND: 0, OR/NOR: 1; XOR-family and
+// single-input gates have none).
+func (t GateType) ControllingValue() (v bool, ok bool) {
+	switch t {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	}
+	return false, false
+}
+
+// Gate is a single-output primitive gate. Fanin holds the driving nets in
+// declaration order; Fanout lists the gates reading this gate's output net.
+type Gate struct {
+	ID     NetID
+	Type   GateType
+	Name   string  // net name from the source description
+	Fanin  []NetID // driving nets; nil for Input
+	Fanout []NetID // reader gates (by NetID); maintained by Finalize
+	Level  int     // topological level; 0 for Input, set by Finalize
+}
+
+// Circuit is an immutable-after-Finalize gate-level netlist.
+type Circuit struct {
+	Name  string
+	Gates []Gate  // indexed by NetID
+	PIs   []NetID // primary inputs, declaration order
+	POs   []NetID // primary outputs, declaration order
+
+	byName    map[string]NetID
+	maxLevel  int
+	finalized bool
+	levelOrd  []NetID // all gates sorted by (level, id); built by Finalize
+}
+
+// NewCircuit returns an empty circuit under construction.
+func NewCircuit(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]NetID)}
+}
+
+// AddGate appends a gate with the given type, name and fan-in nets and
+// returns the new net's ID. It is an error to reuse a name, to give an Input
+// a fan-in, or to give a non-Input no fan-in.
+func (c *Circuit) AddGate(t GateType, name string, fanin ...NetID) (NetID, error) {
+	if c.finalized {
+		return InvalidNet, fmt.Errorf("netlist: AddGate on finalized circuit %q", c.Name)
+	}
+	if _, dup := c.byName[name]; dup {
+		return InvalidNet, fmt.Errorf("netlist: duplicate net name %q", name)
+	}
+	switch {
+	case t == Input && len(fanin) != 0:
+		return InvalidNet, fmt.Errorf("netlist: input %q cannot have fan-in", name)
+	case (t == Buf || t == Not) && len(fanin) != 1:
+		return InvalidNet, fmt.Errorf("netlist: %s %q needs exactly 1 fan-in, got %d", t, name, len(fanin))
+	case t != Input && t != Buf && t != Not && len(fanin) < 2:
+		return InvalidNet, fmt.Errorf("netlist: %s %q needs ≥2 fan-ins, got %d", t, name, len(fanin))
+	}
+	for _, f := range fanin {
+		if int(f) < 0 || int(f) >= len(c.Gates) {
+			return InvalidNet, fmt.Errorf("netlist: gate %q references undefined net %d", name, f)
+		}
+	}
+	id := NetID(len(c.Gates))
+	c.Gates = append(c.Gates, Gate{ID: id, Type: t, Name: name, Fanin: fanin})
+	c.byName[name] = id
+	if t == Input {
+		c.PIs = append(c.PIs, id)
+	}
+	return id, nil
+}
+
+// MustAddGate is AddGate that panics on error; intended for generators and
+// tests where the construction is known-valid.
+func (c *Circuit) MustAddGate(t GateType, name string, fanin ...NetID) NetID {
+	id, err := c.AddGate(t, name, fanin...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MarkPO declares net id a primary output. Duplicate declarations are
+// ignored.
+func (c *Circuit) MarkPO(id NetID) error {
+	if int(id) < 0 || int(id) >= len(c.Gates) {
+		return fmt.Errorf("netlist: MarkPO of undefined net %d", id)
+	}
+	for _, p := range c.POs {
+		if p == id {
+			return nil
+		}
+	}
+	c.POs = append(c.POs, id)
+	return nil
+}
+
+// NetByName returns the net with the given name, or InvalidNet.
+func (c *Circuit) NetByName(name string) NetID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return InvalidNet
+}
+
+// NameOf returns the name of net id ("" for out-of-range ids).
+func (c *Circuit) NameOf(id NetID) string {
+	if int(id) < 0 || int(id) >= len(c.Gates) {
+		return ""
+	}
+	return c.Gates[id].Name
+}
+
+// NumGates returns the total gate count including Input pseudo-gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumLogicGates returns the gate count excluding Input pseudo-gates.
+func (c *Circuit) NumLogicGates() int { return len(c.Gates) - len(c.PIs) }
+
+// MaxLevel returns the maximum topological level (valid after Finalize).
+func (c *Circuit) MaxLevel() int { return c.maxLevel }
+
+// Finalized reports whether Finalize has run.
+func (c *Circuit) Finalized() bool { return c.finalized }
+
+// Finalize validates the netlist, computes fan-out lists and topological
+// levels, and freezes the circuit. It must be called before simulation.
+func (c *Circuit) Finalize() error {
+	if c.finalized {
+		return nil
+	}
+	if len(c.PIs) == 0 {
+		return fmt.Errorf("netlist: circuit %q has no primary inputs", c.Name)
+	}
+	if len(c.POs) == 0 {
+		return fmt.Errorf("netlist: circuit %q has no primary outputs", c.Name)
+	}
+	// Compute fan-out lists, then levels by Kahn's algorithm. Fresh builds
+	// are topologically ordered by construction (AddGate only accepts
+	// already-defined fan-ins), but structurally edited circuits (defect
+	// injection rewires readers to later-created nets) may not be, and a
+	// bad edit can even create a cycle — detect it here.
+	for i := range c.Gates {
+		c.Gates[i].Fanout = c.Gates[i].Fanout[:0]
+		c.Gates[i].Level = 0
+	}
+	indeg := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		// Count distinct gate-level dependencies once per reader even when a
+		// net feeds several inputs of the same gate.
+		for _, f := range g.Fanin {
+			c.Gates[f].Fanout = appendUniqueTail(c.Gates[f].Fanout, g.ID)
+		}
+		indeg[i] = len(g.Fanin)
+	}
+	queue := make([]NetID, 0, len(c.Gates))
+	for i := range c.Gates {
+		if indeg[i] == 0 {
+			queue = append(queue, NetID(i))
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		processed++
+		g := &c.Gates[n]
+		if g.Level > c.maxLevel {
+			c.maxLevel = g.Level
+		}
+		for _, rd := range g.Fanout {
+			rg := &c.Gates[rd]
+			if l := g.Level + 1; l > rg.Level {
+				rg.Level = l
+			}
+			// Decrement once per fan-in reference from rd to n.
+			for _, f := range rg.Fanin {
+				if f == n {
+					indeg[rd]--
+				}
+			}
+			if indeg[rd] == 0 {
+				queue = append(queue, rd)
+			}
+		}
+	}
+	if processed != len(c.Gates) {
+		return fmt.Errorf("netlist: circuit %q contains a combinational cycle", c.Name)
+	}
+	// Warn-level structural check: every non-PO net should have fan-out.
+	// Dangling nets are legal (they arise from defect injection copies) so
+	// this is not an error.
+	c.levelOrd = make([]NetID, len(c.Gates))
+	for i := range c.levelOrd {
+		c.levelOrd[i] = NetID(i)
+	}
+	sort.SliceStable(c.levelOrd, func(a, b int) bool {
+		la, lb := c.Gates[c.levelOrd[a]].Level, c.Gates[c.levelOrd[b]].Level
+		if la != lb {
+			return la < lb
+		}
+		return c.levelOrd[a] < c.levelOrd[b]
+	})
+	c.finalized = true
+	return nil
+}
+
+// LevelOrder returns all nets sorted by ascending topological level. The
+// returned slice is shared; callers must not modify it.
+func (c *Circuit) LevelOrder() []NetID {
+	return c.levelOrd
+}
+
+// IsPO reports whether id is a primary output.
+func (c *Circuit) IsPO(id NetID) bool {
+	for _, p := range c.POs {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the circuit in un-finalized state, suitable
+// for structural modification (defect injection). Names, PIs and POs are
+// preserved.
+func (c *Circuit) Clone() *Circuit {
+	n := NewCircuit(c.Name)
+	n.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		ng := Gate{ID: g.ID, Type: g.Type, Name: g.Name}
+		if g.Fanin != nil {
+			ng.Fanin = append([]NetID(nil), g.Fanin...)
+		}
+		n.Gates[i] = ng
+		n.byName[g.Name] = g.ID
+	}
+	n.PIs = append([]NetID(nil), c.PIs...)
+	n.POs = append([]NetID(nil), c.POs...)
+	return n
+}
+
+// Stats summarizes a circuit for reporting.
+type Stats struct {
+	Name      string
+	PIs, POs  int
+	Gates     int // logic gates, excluding Input pseudo-gates
+	Nets      int // all nets
+	MaxLevel  int
+	TypeCount map[GateType]int
+}
+
+// ComputeStats gathers summary statistics.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{
+		Name: c.Name, PIs: len(c.PIs), POs: len(c.POs),
+		Gates: c.NumLogicGates(), Nets: len(c.Gates), MaxLevel: c.maxLevel,
+		TypeCount: make(map[GateType]int),
+	}
+	for i := range c.Gates {
+		s.TypeCount[c.Gates[i].Type]++
+	}
+	return s
+}

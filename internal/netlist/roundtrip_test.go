@@ -1,0 +1,174 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomBuild constructs a random valid circuit from a byte seed stream
+// (testing/quick drives the generator inputs).
+func randomBuild(seedBytes []byte) *Circuit {
+	r := rand.New(rand.NewSource(int64(len(seedBytes))*2654435761 + hash(seedBytes)))
+	c := NewCircuit("q")
+	npi := 2 + r.Intn(6)
+	ids := make([]NetID, 0, npi+40)
+	for i := 0; i < npi; i++ {
+		ids = append(ids, c.MustAddGate(Input, "i"+itoa(i)))
+	}
+	types := []GateType{And, Or, Nand, Nor, Xor, Xnor, Not, Buf}
+	ng := 1 + r.Intn(40)
+	for i := 0; i < ng; i++ {
+		typ := types[r.Intn(len(types))]
+		nin := 1
+		if typ != Not && typ != Buf {
+			nin = 2 + r.Intn(2)
+		}
+		fan := make([]NetID, 0, nin)
+		used := map[NetID]bool{}
+		for len(fan) < nin {
+			f := ids[r.Intn(len(ids))]
+			if used[f] && nin == 2 {
+				continue
+			}
+			used[f] = true
+			fan = append(fan, f)
+		}
+		ids = append(ids, c.MustAddGate(typ, "g"+itoa(i), fan...))
+	}
+	for k := 0; k < 1+r.Intn(3); k++ {
+		_ = c.MarkPO(ids[len(ids)-1-r.Intn(min(ng, 5))])
+	}
+	if err := c.Finalize(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func hash(b []byte) int64 {
+	var h int64 = 1469598103934665603
+	for _, x := range b {
+		h = (h ^ int64(x)) * 1099511628211
+	}
+	return h
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestQuickBenchRoundTrip: for random circuits, WriteBench → ParseBench
+// preserves structure (gate types, fan-in shapes, levels, interface).
+func TestQuickBenchRoundTrip(t *testing.T) {
+	f := func(seed []byte) bool {
+		c := randomBuild(seed)
+		var sb strings.Builder
+		if err := WriteBench(&sb, c); err != nil {
+			return false
+		}
+		c2, err := ParseBench("rt", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Logf("reparse: %v\n%s", err, sb.String())
+			return false
+		}
+		if c2.NumGates() != c.NumGates() || len(c2.PIs) != len(c.PIs) ||
+			len(c2.POs) != len(c.POs) || c2.MaxLevel() != c.MaxLevel() {
+			return false
+		}
+		for i := range c.Gates {
+			id := c2.NetByName(c.Gates[i].Name)
+			if id == InvalidNet {
+				return false
+			}
+			g2 := &c2.Gates[id]
+			if g2.Type != c.Gates[i].Type || len(g2.Fanin) != len(c.Gates[i].Fanin) {
+				return false
+			}
+			if g2.Level != c.Gates[i].Level {
+				return false
+			}
+			for j, f := range c.Gates[i].Fanin {
+				if c2.NameOf(g2.Fanin[j]) != c.NameOf(f) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFanoutConsistency: the fanout lists computed by Finalize must be
+// exactly the inverse of the fanin lists.
+func TestQuickFanoutConsistency(t *testing.T) {
+	f := func(seed []byte) bool {
+		c := randomBuild(seed)
+		for i := range c.Gates {
+			g := &c.Gates[i]
+			for _, rd := range g.Fanout {
+				found := false
+				for _, fi := range c.Gates[rd].Fanin {
+					if fi == g.ID {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			for _, fi := range g.Fanin {
+				found := false
+				for _, rd := range c.Gates[fi].Fanout {
+					if rd == g.ID {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLevelsRespectEdges: every gate's level exceeds all its fan-ins'.
+func TestQuickLevelsRespectEdges(t *testing.T) {
+	f := func(seed []byte) bool {
+		c := randomBuild(seed)
+		for i := range c.Gates {
+			for _, fi := range c.Gates[i].Fanin {
+				if c.Gates[i].Level <= c.Gates[fi].Level {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

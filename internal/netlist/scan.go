@@ -1,0 +1,66 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseBenchScan reads a .bench file that may contain DFF gates and returns
+// the full-scan combinational equivalent: each flip-flop's output becomes a
+// pseudo primary input (scan-out of the previous state) and each flip-flop's
+// input becomes a pseudo primary output (scan-in of the next state), named
+// "<ff>" and "<ff>_si" respectively. This mirrors how scan test and
+// diagnosis treat sequential designs.
+//
+// It also returns the number of flip-flops converted.
+func ParseBenchScan(name string, r io.Reader) (*Circuit, int, error) {
+	// First pass: textual rewrite. DFF outputs become INPUTs; DFF inputs get
+	// an OUTPUT declaration plus a BUF alias so the name is defined even if
+	// the DFF input is a PI.
+	var (
+		sb      strings.Builder
+		ffCount int
+		scanner = bufio.NewScanner(r)
+	)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+			continue
+		}
+		working := line
+		if i := strings.Index(working, "#"); i >= 0 {
+			working = strings.TrimSpace(working[:i])
+		}
+		eq := strings.Index(working, "=")
+		if eq >= 0 {
+			rhs := strings.TrimSpace(working[eq+1:])
+			if strings.HasPrefix(strings.ToUpper(rhs), "DFF") {
+				out := strings.TrimSpace(working[:eq])
+				arg, err := parenArg(rhs)
+				if err != nil {
+					return nil, 0, fmt.Errorf("scan %s: %v", name, err)
+				}
+				ffCount++
+				fmt.Fprintf(&sb, "INPUT(%s)\n", out)
+				fmt.Fprintf(&sb, "%s_si = BUF(%s)\n", out, arg)
+				fmt.Fprintf(&sb, "OUTPUT(%s_si)\n", out)
+				continue
+			}
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, 0, fmt.Errorf("scan %s: %v", name, err)
+	}
+	c, err := ParseBench(name, strings.NewReader(sb.String()))
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, ffCount, nil
+}

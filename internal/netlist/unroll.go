@@ -1,0 +1,229 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SeqCircuit is a synchronous sequential design in its standard
+// combinational-core form: flip-flop outputs appear as pseudo primary
+// inputs (present state) and flip-flop inputs as pseudo primary outputs
+// (next state). This is the same shape full-scan conversion produces; the
+// difference is that SeqCircuit remembers which PIs/POs are state so the
+// design can be time-frame expanded for *non-scan* analysis.
+type SeqCircuit struct {
+	Comb *Circuit
+	// StateIn[i] is the pseudo-PI carrying flip-flop i's present state;
+	// StateOut[i] the pseudo-PO carrying its next state.
+	StateIn  []NetID
+	StateOut []NetID
+	// RealPIs / RealPOs are the non-state interface nets.
+	RealPIs []NetID
+	RealPOs []NetID
+}
+
+// NumFFs returns the flip-flop count.
+func (s *SeqCircuit) NumFFs() int { return len(s.StateIn) }
+
+// ParseBenchSeq reads a .bench file with DFFs and returns the sequential
+// form (combinational core + state bookkeeping).
+func ParseBenchSeq(name string, r io.Reader) (*SeqCircuit, error) {
+	c, ffs, err := ParseBenchScan(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return seqFromScan(c, ffs)
+}
+
+// seqFromScan recovers the state structure from the scan-converted naming
+// convention (<ff> pseudo-PI, <ff>_si pseudo-PO).
+func seqFromScan(c *Circuit, ffs int) (*SeqCircuit, error) {
+	s := &SeqCircuit{Comb: c}
+	isStateIn := map[NetID]bool{}
+	isStateOut := map[NetID]bool{}
+	for _, pi := range c.PIs {
+		si := c.NetByName(c.Gates[pi].Name + "_si")
+		if si != InvalidNet && c.IsPO(si) {
+			s.StateIn = append(s.StateIn, pi)
+			s.StateOut = append(s.StateOut, si)
+			isStateIn[pi] = true
+			isStateOut[si] = true
+		}
+	}
+	if len(s.StateIn) != ffs {
+		return nil, fmt.Errorf("netlist: expected %d flip-flops, recovered %d", ffs, len(s.StateIn))
+	}
+	for _, pi := range c.PIs {
+		if !isStateIn[pi] {
+			s.RealPIs = append(s.RealPIs, pi)
+		}
+	}
+	for _, po := range c.POs {
+		if !isStateOut[po] {
+			s.RealPOs = append(s.RealPOs, po)
+		}
+	}
+	return s, nil
+}
+
+// UnrolledNet maps a net of the unrolled circuit back to its origin.
+type UnrolledNet struct {
+	Frame int
+	Orig  NetID // net in the combinational core
+}
+
+// Unrolled is a time-frame-expanded circuit with its origin map.
+type Unrolled struct {
+	Circuit *Circuit
+	Frames  int
+	// Origin[id] gives the (frame, core net) of every unrolled net.
+	Origin []UnrolledNet
+	// FramePIs[f] lists frame f's copies of the real PIs, in RealPIs
+	// order; FramePOs[f] likewise for real POs.
+	FramePIs [][]NetID
+	FramePOs [][]NetID
+	// InitStatePIs are the frame-0 present-state inputs (the unknown or
+	// controlled initial state), in StateIn order.
+	InitStatePIs []NetID
+}
+
+// Unroll performs time-frame expansion: `frames` copies of the
+// combinational core, with each frame's present-state inputs driven by the
+// previous frame's next-state functions. Frame 0's present state becomes
+// fresh primary inputs (drive them with X for an unknown power-on state).
+// All frames' real POs are outputs; the last frame's next state is also
+// exposed (named *_si@K-1) so state observability is not lost.
+func (s *SeqCircuit) Unroll(frames int) (*Unrolled, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("netlist: need ≥1 frame")
+	}
+	core := s.Comb
+	u := &Unrolled{
+		Circuit: NewCircuit(fmt.Sprintf("%s_x%d", core.Name, frames)),
+		Frames:  frames,
+	}
+	stateOutIdx := make(map[NetID]int, len(s.StateOut))
+	for i, so := range s.StateOut {
+		stateOutIdx[so] = i
+	}
+	stateInIdx := make(map[NetID]int, len(s.StateIn))
+	for i, si := range s.StateIn {
+		stateInIdx[si] = i
+	}
+	name := func(orig NetID, f int) string {
+		return fmt.Sprintf("%s@%d", core.Gates[orig].Name, f)
+	}
+	// prevState[i] = unrolled net holding FF i's state entering the
+	// current frame.
+	var prevState []NetID
+	addOrigin := func(id NetID, f int, orig NetID) {
+		for int(id) >= len(u.Origin) {
+			u.Origin = append(u.Origin, UnrolledNet{})
+		}
+		u.Origin[id] = UnrolledNet{Frame: f, Orig: orig}
+	}
+	for f := 0; f < frames; f++ {
+		mapped := make([]NetID, core.NumGates())
+		// Inputs first.
+		var framePIs []NetID
+		for _, pi := range core.PIs {
+			if idx, isState := stateInIdx[pi]; isState {
+				var id NetID
+				if f == 0 {
+					nid, err := u.Circuit.AddGate(Input, name(pi, 0))
+					if err != nil {
+						return nil, err
+					}
+					id = nid
+					u.InitStatePIs = append(u.InitStatePIs, id)
+				} else {
+					// Alias of the previous frame's next-state net.
+					nid, err := u.Circuit.AddGate(Buf, name(pi, f), prevState[idx])
+					if err != nil {
+						return nil, err
+					}
+					id = nid
+				}
+				mapped[pi] = id
+				addOrigin(id, f, pi)
+				continue
+			}
+			id, err := u.Circuit.AddGate(Input, name(pi, f))
+			if err != nil {
+				return nil, err
+			}
+			mapped[pi] = id
+			addOrigin(id, f, pi)
+			framePIs = append(framePIs, id)
+		}
+		u.FramePIs = append(u.FramePIs, framePIs)
+		// Gates in level order (fan-ins already mapped).
+		for _, id := range core.LevelOrder() {
+			g := &core.Gates[id]
+			if g.Type == Input {
+				continue
+			}
+			fan := make([]NetID, len(g.Fanin))
+			for i, fi := range g.Fanin {
+				fan[i] = mapped[fi]
+			}
+			nid, err := u.Circuit.AddGate(g.Type, name(id, f), fan...)
+			if err != nil {
+				return nil, err
+			}
+			mapped[id] = nid
+			addOrigin(nid, f, id)
+		}
+		// Real POs of this frame.
+		var framePOs []NetID
+		for _, po := range s.RealPOs {
+			if err := u.Circuit.MarkPO(mapped[po]); err != nil {
+				return nil, err
+			}
+			framePOs = append(framePOs, mapped[po])
+		}
+		u.FramePOs = append(u.FramePOs, framePOs)
+		// Chain state into the next frame.
+		next := make([]NetID, len(s.StateOut))
+		for i, so := range s.StateOut {
+			next[i] = mapped[so]
+		}
+		prevState = next
+	}
+	// Expose the final next state.
+	for _, so := range prevState {
+		if err := u.Circuit.MarkPO(so); err != nil {
+			return nil, err
+		}
+	}
+	if err := u.Circuit.Finalize(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// CoreNetOf returns the (frame, core-net) origin of an unrolled net.
+func (u *Unrolled) CoreNetOf(id NetID) (UnrolledNet, bool) {
+	if int(id) >= len(u.Origin) {
+		return UnrolledNet{}, false
+	}
+	return u.Origin[id], true
+}
+
+// ParseVerilogSeq is the Verilog-side counterpart of ParseBenchSeq.
+func ParseVerilogSeq(name string, r io.Reader) (*SeqCircuit, error) {
+	c, ffs, err := ParseVerilogScan(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return seqFromScan(c, ffs)
+}
+
+// String summarizes the sequential structure.
+func (s *SeqCircuit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seq %s: %d PIs, %d POs, %d FFs, %d gates",
+		s.Comb.Name, len(s.RealPIs), len(s.RealPOs), s.NumFFs(), s.Comb.NumLogicGates())
+	return sb.String()
+}

@@ -1,0 +1,419 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseVerilog reads a structural gate-level Verilog subset — the flat
+// netlist style synthesis tools emit:
+//
+//	module top (a, b, z);
+//	  input a, b;
+//	  output z;
+//	  wire n1;
+//	  nand g1 (n1, a, b);   // output first, then inputs
+//	  not  g2 (z, n1);
+//	  assign z2 = n1;        // buffer alias
+//	endmodule
+//
+// Supported primitives: and, nand, or, nor, xor, xnor, not, buf — each
+// with the conventional (output, input...) port order — plus `assign
+// lhs = rhs;` as a buffer and dff instances via ParseVerilogScan.
+// Comments (// and /* */), multi-line statements and vector-free named
+// nets are handled; vectors, parameters, behavioural constructs and
+// hierarchical modules are not (flatten first).
+func ParseVerilog(name string, r io.Reader) (*Circuit, error) {
+	stmts, modName, err := verilogStatements(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog %s: %v", name, err)
+	}
+	if modName != "" {
+		name = modName
+	}
+	var (
+		inputs, outputs []string
+		defs            []benchDef
+	)
+	for _, st := range stmts {
+		kw := st.fields[0]
+		switch kw {
+		case "input", "output", "wire":
+			for _, n := range st.fields[1:] {
+				switch kw {
+				case "input":
+					inputs = append(inputs, n)
+				case "output":
+					outputs = append(outputs, n)
+				}
+				// wires are implicit in the IR
+			}
+		case "assign":
+			// assign lhs = rhs
+			if len(st.fields) != 4 || st.fields[2] != "=" {
+				return nil, fmt.Errorf("verilog %s: line %d: unsupported assign %q", name, st.line, st.raw)
+			}
+			defs = append(defs, benchDef{line: st.line, out: st.fields[1], typ: "BUF", fanins: []string{st.fields[3]}})
+		case "and", "nand", "or", "nor", "xor", "xnor", "not", "buf":
+			// prim instName (out, in...) — instName optional in some
+			// netlists; detect by paren grouping done in verilogStatements:
+			// fields = [prim, instName?, out, in...]
+			ports := st.ports
+			if len(ports) < 2 {
+				return nil, fmt.Errorf("verilog %s: line %d: primitive %q needs ≥2 ports", name, st.line, kw)
+			}
+			defs = append(defs, benchDef{line: st.line, out: ports[0], typ: strings.ToUpper(kw), fanins: ports[1:]})
+		case "module", "endmodule":
+			// handled in verilogStatements / ignored
+		case "dff":
+			return nil, fmt.Errorf("verilog %s: line %d: sequential cell; use ParseVerilogScan", name, st.line)
+		default:
+			return nil, fmt.Errorf("verilog %s: line %d: unsupported construct %q", name, st.line, kw)
+		}
+	}
+	return buildFromDefs(name, inputs, outputs, defs)
+}
+
+// ParseVerilogScan additionally accepts `dff inst (q, d);` instances,
+// converting them to the full-scan combinational equivalent exactly like
+// ParseBenchScan (q becomes a pseudo-PI, q_si = BUF(d) a pseudo-PO).
+func ParseVerilogScan(name string, r io.Reader) (*Circuit, int, error) {
+	stmts, modName, err := verilogStatements(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("verilog %s: %v", name, err)
+	}
+	if modName != "" {
+		name = modName
+	}
+	var (
+		inputs, outputs []string
+		defs            []benchDef
+		ffs             int
+	)
+	for _, st := range stmts {
+		kw := st.fields[0]
+		switch kw {
+		case "input", "output", "wire":
+			for _, n := range st.fields[1:] {
+				switch kw {
+				case "input":
+					inputs = append(inputs, n)
+				case "output":
+					outputs = append(outputs, n)
+				}
+			}
+		case "assign":
+			if len(st.fields) != 4 || st.fields[2] != "=" {
+				return nil, 0, fmt.Errorf("verilog %s: line %d: unsupported assign %q", name, st.line, st.raw)
+			}
+			defs = append(defs, benchDef{line: st.line, out: st.fields[1], typ: "BUF", fanins: []string{st.fields[3]}})
+		case "and", "nand", "or", "nor", "xor", "xnor", "not", "buf":
+			ports := st.ports
+			if len(ports) < 2 {
+				return nil, 0, fmt.Errorf("verilog %s: line %d: primitive %q needs ≥2 ports", name, st.line, kw)
+			}
+			defs = append(defs, benchDef{line: st.line, out: ports[0], typ: strings.ToUpper(kw), fanins: ports[1:]})
+		case "dff":
+			if len(st.ports) != 2 {
+				return nil, 0, fmt.Errorf("verilog %s: line %d: dff needs (q, d)", name, st.line)
+			}
+			q, d := st.ports[0], st.ports[1]
+			ffs++
+			inputs = append(inputs, q)
+			defs = append(defs, benchDef{line: st.line, out: q + "_si", typ: "BUF", fanins: []string{d}})
+			outputs = append(outputs, q+"_si")
+		case "module", "endmodule":
+		default:
+			return nil, 0, fmt.Errorf("verilog %s: line %d: unsupported construct %q", name, st.line, kw)
+		}
+	}
+	c, err := buildFromDefs(name, inputs, outputs, defs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, ffs, nil
+}
+
+// benchDef mirrors the .bench parser's internal definition record.
+type benchDef struct {
+	line   int
+	out    string
+	typ    string
+	fanins []string
+}
+
+// buildFromDefs shares the two-pass construction with the .bench parser.
+func buildFromDefs(name string, inputs, outputs []string, defs []benchDef) (*Circuit, error) {
+	c := NewCircuit(name)
+	for _, in := range inputs {
+		if _, err := c.AddGate(Input, in); err != nil {
+			return nil, fmt.Errorf("netlist %s: %v", name, err)
+		}
+	}
+	placed := make(map[string]bool, len(inputs)+len(defs))
+	defined := make(map[string]bool, len(defs))
+	for _, in := range inputs {
+		placed[in] = true
+	}
+	for _, d := range defs {
+		if defined[d.out] {
+			return nil, fmt.Errorf("netlist %s: line %d: net %q multiply driven", name, d.line, d.out)
+		}
+		defined[d.out] = true
+	}
+	remaining := defs
+	for len(remaining) > 0 {
+		progressed := false
+		var next []benchDef
+		for _, d := range remaining {
+			ready := true
+			for _, f := range d.fanins {
+				if !placed[f] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, d)
+				continue
+			}
+			t, err := ParseGateType(d.typ)
+			if err != nil {
+				return nil, fmt.Errorf("netlist %s: line %d: %v", name, d.line, err)
+			}
+			fan := make([]NetID, len(d.fanins))
+			for i, f := range d.fanins {
+				fan[i] = c.NetByName(f)
+			}
+			if len(fan) == 1 && (t == And || t == Or) {
+				t = Buf
+			}
+			if len(fan) == 1 && (t == Nand || t == Nor) {
+				t = Not
+			}
+			if _, err := c.AddGate(t, d.out, fan...); err != nil {
+				return nil, fmt.Errorf("netlist %s: line %d: %v", name, d.line, err)
+			}
+			placed[d.out] = true
+			progressed = true
+		}
+		if !progressed {
+			var missing []string
+			for _, d := range next {
+				for _, f := range d.fanins {
+					if !placed[f] && !defined[f] {
+						missing = append(missing, f)
+					}
+				}
+			}
+			if len(missing) > 0 {
+				return nil, fmt.Errorf("netlist %s: undriven net(s): %s", name, strings.Join(missing, ", "))
+			}
+			return nil, fmt.Errorf("netlist %s: combinational cycle among %d statements", name, len(next))
+		}
+		remaining = next
+	}
+	for _, out := range outputs {
+		id := c.NetByName(out)
+		if id == InvalidNet {
+			return nil, fmt.Errorf("netlist %s: output %q undriven", name, out)
+		}
+		if err := c.MarkPO(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// vStatement is one semicolon-terminated Verilog statement, pre-tokenized.
+type vStatement struct {
+	line   int
+	raw    string
+	fields []string // keyword + identifiers outside parens, '=' preserved
+	ports  []string // identifiers inside the (...) port list, in order
+}
+
+// verilogStatements strips comments, splits on semicolons and tokenizes.
+// It also extracts the module name.
+func verilogStatements(r io.Reader) ([]vStatement, string, error) {
+	br := bufio.NewReader(r)
+	var (
+		sb        strings.Builder
+		inBlock   bool
+		inLine    bool
+		lineNo    = 1
+		lineAt    = make([]int, 0, 256) // statement start lines
+		curStart  = 1
+		stmtTexts []string
+	)
+	appendStmt := func() {
+		text := strings.TrimSpace(sb.String())
+		sb.Reset()
+		if text != "" {
+			stmtTexts = append(stmtTexts, text)
+			lineAt = append(lineAt, curStart)
+		}
+		curStart = lineNo
+	}
+	prev := byte(0)
+	for {
+		ch, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		if ch == '\n' {
+			lineNo++
+			inLine = false
+			if sb.Len() == 0 {
+				curStart = lineNo
+			}
+			sb.WriteByte(' ')
+			prev = ch
+			continue
+		}
+		if inLine {
+			prev = ch
+			continue
+		}
+		if inBlock {
+			if prev == '*' && ch == '/' {
+				inBlock = false
+				prev = 0
+				continue
+			}
+			prev = ch
+			continue
+		}
+		if prev == '/' && ch == '/' {
+			inLine = true
+			// Remove the '/' already written.
+			s := sb.String()
+			sb.Reset()
+			sb.WriteString(strings.TrimSuffix(s, "/"))
+			prev = 0
+			continue
+		}
+		if prev == '/' && ch == '*' {
+			inBlock = true
+			s := sb.String()
+			sb.Reset()
+			sb.WriteString(strings.TrimSuffix(s, "/"))
+			prev = 0
+			continue
+		}
+		if ch == ';' {
+			appendStmt()
+			prev = 0
+			continue
+		}
+		sb.WriteByte(ch)
+		prev = ch
+	}
+	appendStmt()
+
+	var (
+		stmts   []vStatement
+		modName string
+	)
+	for i, text := range stmtTexts {
+		st := vStatement{line: lineAt[i], raw: text}
+		// Split off the port list if present.
+		op := strings.Index(text, "(")
+		cp := strings.LastIndex(text, ")")
+		head := text
+		if op >= 0 && cp > op {
+			head = text[:op]
+			for _, p := range strings.Split(text[op+1:cp], ",") {
+				p = strings.TrimSpace(p)
+				if p != "" {
+					st.ports = append(st.ports, p)
+				}
+			}
+		}
+		head = strings.ReplaceAll(head, "=", " = ")
+		head = strings.ReplaceAll(head, ",", " ")
+		st.fields = strings.Fields(head)
+		if len(st.fields) == 0 {
+			if len(st.ports) == 0 {
+				continue
+			}
+			return nil, "", fmt.Errorf("line %d: statement with ports but no keyword: %q", st.line, text)
+		}
+		if st.fields[0] == "module" {
+			if len(st.fields) > 1 {
+				modName = st.fields[1]
+			}
+			continue
+		}
+		if st.fields[0] == "endmodule" {
+			continue
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, modName, nil
+}
+
+// WriteVerilog serializes the circuit as a flat structural Verilog module.
+// ParseVerilog(WriteVerilog(c)) reproduces the structure.
+func WriteVerilog(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, pi := range c.PIs {
+		ports = append(ports, c.Gates[pi].Name)
+	}
+	for _, po := range c.POs {
+		ports = append(ports, c.Gates[po].Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitizeVName(c.Name), strings.Join(ports, ", "))
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "  input %s;\n", c.Gates[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "  output %s;\n", c.Gates[po].Name)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type == Input || c.IsPO(g.ID) {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", g.Name)
+	}
+	n := 0
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, 0, len(g.Fanin)+1)
+		names = append(names, g.Name)
+		for _, f := range g.Fanin {
+			names = append(names, c.Gates[f].Name)
+		}
+		fmt.Fprintf(bw, "  %s U%d (%s);\n", strings.ToLower(g.Type.String()), n, strings.Join(names, ", "))
+		n++
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func sanitizeVName(s string) string {
+	out := []byte(s)
+	for i, ch := range out {
+		ok := ch == '_' || ('a' <= ch && ch <= 'z') || ('A' <= ch && ch <= 'Z') || ('0' <= ch && ch <= '9')
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 || ('0' <= out[0] && out[0] <= '9') {
+		return "m_" + string(out)
+	}
+	return string(out)
+}

@@ -1,0 +1,187 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+const c17Verilog = `
+// c17 in flat structural Verilog
+module c17 (G1, G2, G3, G6, G7, G22, G23);
+  input G1, G2, G3, G6, G7;
+  output G22, G23;
+  wire G10, G11, G16, G19;
+  nand U0 (G10, G1, G3);
+  nand U1 (G11, G3, G6);
+  nand U2 (G16, G2, G11);
+  nand U3 (G19, G11, G7);
+  nand U4 (G22, G10, G16);
+  nand U5 (G23, G16, G19);
+endmodule
+`
+
+func TestParseVerilogC17(t *testing.T) {
+	c, err := ParseVerilog("x", strings.NewReader(c17Verilog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c17" {
+		t.Errorf("module name not picked up: %q", c.Name)
+	}
+	if c.NumLogicGates() != 6 || len(c.PIs) != 5 || len(c.POs) != 2 || c.MaxLevel() != 3 {
+		t.Fatalf("structure: %+v", c.ComputeStats())
+	}
+	// Equivalence with the .bench c17 under one probe pattern is covered by
+	// the round-trip test below; structural checks suffice here.
+	if c.Gates[c.NetByName("G22")].Type != Nand {
+		t.Error("gate type wrong")
+	}
+}
+
+func TestParseVerilogFeatures(t *testing.T) {
+	src := `
+/* block
+   comment */
+module m (a, b, y, z);
+  input a;
+  input b;
+  output y; output z;
+  wire w1;
+  and  g1 (w1, a, b);   // line comment
+  assign y = w1;
+  not  g2 (z,
+           w1);         // multi-line statement
+endmodule
+`
+	c, err := ParseVerilog("m", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[c.NetByName("y")].Type != Buf {
+		t.Error("assign must become BUF")
+	}
+	if c.Gates[c.NetByName("z")].Type != Not {
+		t.Error("multi-line not parsed")
+	}
+}
+
+func TestParseVerilogOutOfOrder(t *testing.T) {
+	src := `
+module m (a, z);
+  input a;
+  output z;
+  not g2 (z, w1);
+  not g1 (w1, a);
+  wire w1;
+endmodule
+`
+	c, err := ParseVerilog("m", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLogicGates() != 2 {
+		t.Fatal("forward reference handling broken")
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	cases := map[string]string{
+		"undriven":      "module m (a, z); input a; output z; and g (z, a, q); endmodule",
+		"cycle":         "module m (a, z); input a; output z; and g1 (z, a, w); and g2 (w, a, z); endmodule",
+		"multidrive":    "module m (a, z); input a; output z; not g1 (z, a); not g2 (z, a); endmodule",
+		"bad construct": "module m (a, z); input a; output z; always @(posedge a) z = 1; endmodule",
+		"bad assign":    "module m (a, z); input a; output z; assign z a; endmodule",
+		"short prim":    "module m (a, z); input a; output z; nand g1 (z); endmodule",
+		"dff":           "module m (a, z); input a; output z; dff f (z, a); endmodule",
+		"undriven out":  "module m (a, z); input a; output z; endmodule",
+	}
+	for name, src := range cases {
+		if _, err := ParseVerilog(name, strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseVerilogScan(t *testing.T) {
+	src := `
+module seq (a, z);
+  input a;
+  output z;
+  wire d;
+  dff ff1 (q, d);
+  and g1 (d, a, q);
+  not g2 (z, q);
+endmodule
+`
+	c, ffs, err := ParseVerilogScan("seq", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffs != 1 {
+		t.Fatalf("ffs = %d", ffs)
+	}
+	if c.Gates[c.NetByName("q")].Type != Input {
+		t.Error("dff output should become pseudo-PI")
+	}
+	if !c.IsPO(c.NetByName("q_si")) {
+		t.Error("dff input alias should be pseudo-PO")
+	}
+	// Plain ParseVerilog must reject dff.
+	if _, err := ParseVerilog("seq", strings.NewReader(src)); err == nil {
+		t.Error("ParseVerilog accepted dff")
+	}
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	// bench → circuit → verilog → circuit: structures must match.
+	orig, err := ParseBench("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog("rt", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.NumGates() != orig.NumGates() || back.MaxLevel() != orig.MaxLevel() ||
+		len(back.PIs) != len(orig.PIs) || len(back.POs) != len(orig.POs) {
+		t.Fatalf("round trip changed structure:\n%s", sb.String())
+	}
+	for i := range orig.Gates {
+		id := back.NetByName(orig.Gates[i].Name)
+		if id == InvalidNet || back.Gates[id].Type != orig.Gates[i].Type {
+			t.Fatalf("net %s lost or retyped", orig.Gates[i].Name)
+		}
+	}
+}
+
+func TestVerilogRoundTripRandom(t *testing.T) {
+	c := randomBuild([]byte{9, 9, 9})
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog("rt", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.NumGates() != c.NumGates() || back.MaxLevel() != c.MaxLevel() {
+		t.Fatal("random round trip changed structure")
+	}
+}
+
+func TestSanitizeVName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":  "ok_name",
+		"bad-name": "bad_name",
+		"9lives":   "m_9lives",
+		"":         "m_",
+	} {
+		if got := sanitizeVName(in); got != want {
+			t.Errorf("sanitize(%q) = %q want %q", in, got, want)
+		}
+	}
+}

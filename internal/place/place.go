@@ -1,0 +1,196 @@
+// Package place provides a pseudo-placement layout proxy: it assigns every
+// net a 2-D coordinate (column = topological level, row = a seeded
+// arrangement within the level, mimicking row-based standard-cell
+// placement) and derives physical-adjacency relations from Euclidean
+// distance. The defect package uses it to sample bridges between nets that
+// are *physically* close under the proxy rather than merely level-close —
+// the closest stdlib-only stand-in for real layout data (see DESIGN.md §5).
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"multidiag/internal/fault"
+	"multidiag/internal/netlist"
+)
+
+// Point is a placement coordinate in abstract grid units.
+type Point struct {
+	X, Y float64
+}
+
+// Placement maps every net of a circuit to a coordinate.
+type Placement struct {
+	c      *netlist.Circuit
+	Coords []Point // indexed by NetID
+}
+
+// New builds a pseudo-placement: nets are grouped into columns by
+// topological level (wire length follows logic depth, as in a placed
+// row-based layout) and stacked vertically within each column in a seeded
+// random order (real placers interleave unrelated logic within a row —
+// which is precisely what makes bridges couple unrelated signals).
+func New(c *netlist.Circuit, seed int64) *Placement {
+	r := rand.New(rand.NewSource(seed))
+	p := &Placement{c: c, Coords: make([]Point, c.NumGates())}
+	byLevel := make([][]netlist.NetID, c.MaxLevel()+1)
+	for i := range c.Gates {
+		l := c.Gates[i].Level
+		byLevel[l] = append(byLevel[l], netlist.NetID(i))
+	}
+	for lvl, nets := range byLevel {
+		r.Shuffle(len(nets), func(i, j int) { nets[i], nets[j] = nets[j], nets[i] })
+		for row, n := range nets {
+			// Small jitter models irregular cell heights/widths.
+			p.Coords[n] = Point{
+				X: float64(lvl) + r.Float64()*0.4 - 0.2,
+				Y: float64(row) + r.Float64()*0.4 - 0.2,
+			}
+		}
+	}
+	return p
+}
+
+// Distance returns the Euclidean distance between two nets' coordinates.
+func (p *Placement) Distance(a, b netlist.NetID) float64 {
+	dx := p.Coords[a].X - p.Coords[b].X
+	dy := p.Coords[a].Y - p.Coords[b].Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Neighbors returns the k physically nearest structurally-independent nets
+// to n (excluding nets in n's fan-in/fan-out cones, which cannot be bridge
+// partners in the combinational model).
+func (p *Placement) Neighbors(n netlist.NetID, k int) []netlist.NetID {
+	inCone := p.c.FaninCone(n)
+	outCone := p.c.FanoutCone(n)
+	type cand struct {
+		id netlist.NetID
+		d  float64
+	}
+	var all []cand
+	for i := range p.c.Gates {
+		m := netlist.NetID(i)
+		if m == n || inCone[m] || outCone[m] {
+			continue
+		}
+		all = append(all, cand{id: m, d: p.Distance(n, m)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]netlist.NetID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// EnumerateBridges lists bridge candidates between nets whose placement
+// distance is below maxDist, deterministically ordered by (victim,
+// aggressor). maxPairs bounds the result (0 = unbounded).
+func (p *Placement) EnumerateBridges(maxDist float64, maxPairs int) []fault.Bridge {
+	var out []fault.Bridge
+	n := p.c.NumGates()
+	// Sweep by X to avoid the full quadratic scan: sort ids by X, compare
+	// within the window.
+	ids := make([]netlist.NetID, n)
+	for i := range ids {
+		ids[i] = netlist.NetID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return p.Coords[ids[i]].X < p.Coords[ids[j]].X })
+	for i := 0; i < n; i++ {
+		a := ids[i]
+		coneA := p.c.FaninCone(a)
+		outA := p.c.FanoutCone(a)
+		for j := i + 1; j < n; j++ {
+			b := ids[j]
+			if p.Coords[b].X-p.Coords[a].X > maxDist {
+				break
+			}
+			if p.Distance(a, b) > maxDist {
+				continue
+			}
+			if coneA[b] || outA[b] {
+				continue
+			}
+			v, g := a, b
+			if g < v {
+				v, g = g, v
+			}
+			out = append(out, fault.Bridge{Victim: v, Aggressor: g, Kind: fault.DominantBridge})
+			if maxPairs > 0 && len(out) >= maxPairs {
+				sortBridges(out)
+				return out
+			}
+		}
+	}
+	sortBridges(out)
+	return out
+}
+
+func sortBridges(bs []fault.Bridge) {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].Victim != bs[j].Victim {
+			return bs[i].Victim < bs[j].Victim
+		}
+		return bs[i].Aggressor < bs[j].Aggressor
+	})
+}
+
+// WirelengthStats summarizes the proxy layout (reported by tooling to sanity
+// check that the placement behaves like one: short nets dominate).
+type WirelengthStats struct {
+	Nets         int
+	MeanLength   float64
+	MaxLength    float64
+	LongFraction float64 // fraction of nets longer than 3 columns
+}
+
+// Wirelengths computes per-net driver→reader half-perimeter lengths.
+func (p *Placement) Wirelengths() WirelengthStats {
+	var st WirelengthStats
+	for i := range p.c.Gates {
+		g := &p.c.Gates[i]
+		if len(g.Fanout) == 0 {
+			continue
+		}
+		minX, maxX := p.Coords[g.ID].X, p.Coords[g.ID].X
+		minY, maxY := p.Coords[g.ID].Y, p.Coords[g.ID].Y
+		for _, rd := range g.Fanout {
+			pt := p.Coords[rd]
+			minX = math.Min(minX, pt.X)
+			maxX = math.Max(maxX, pt.X)
+			minY = math.Min(minY, pt.Y)
+			maxY = math.Max(maxY, pt.Y)
+		}
+		l := (maxX - minX) + (maxY - minY)
+		st.Nets++
+		st.MeanLength += l
+		st.MaxLength = math.Max(st.MaxLength, l)
+		if maxX-minX > 3 {
+			st.LongFraction++
+		}
+	}
+	if st.Nets > 0 {
+		st.MeanLength /= float64(st.Nets)
+		st.LongFraction /= float64(st.Nets)
+	}
+	return st
+}
+
+// String renders a short placement summary.
+func (p *Placement) String() string {
+	st := p.Wirelengths()
+	return fmt.Sprintf("placement of %s: %d nets, mean HPWL %.2f, max %.2f",
+		p.c.Name, st.Nets, st.MeanLength, st.MaxLength)
+}

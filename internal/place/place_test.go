@@ -1,0 +1,139 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/netlist"
+)
+
+func TestNewPlacementDeterministic(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 4, NumPIs: 12, NumGates: 200, NumPOs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(c, 7)
+	b := New(c, 7)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatal("placement not deterministic")
+		}
+	}
+	d := New(c, 8)
+	same := true
+	for i := range a.Coords {
+		if a.Coords[i] != d.Coords[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestPlacementColumnsFollowLevels(t *testing.T) {
+	c := circuits.C17()
+	p := New(c, 1)
+	for i := range c.Gates {
+		want := float64(c.Gates[i].Level)
+		got := p.Coords[i].X
+		if got < want-0.5 || got > want+0.5 {
+			t.Fatalf("net %s level %d placed at X=%.2f", c.Gates[i].Name, c.Gates[i].Level, got)
+		}
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	c := circuits.C17()
+	p := New(c, 2)
+	a, b := netlist.NetID(0), netlist.NetID(5)
+	if p.Distance(a, b) != p.Distance(b, a) {
+		t.Fatal("distance asymmetric")
+	}
+	if p.Distance(a, a) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	c, err := circuits.RippleAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(c, 3)
+	n := c.NetByName("axb4")
+	nbs := p.Neighbors(n, 5)
+	if len(nbs) != 5 {
+		t.Fatalf("neighbors = %d", len(nbs))
+	}
+	inCone := c.FaninCone(n)
+	outCone := c.FanoutCone(n)
+	prev := -1.0
+	for _, m := range nbs {
+		if m == n || inCone[m] || outCone[m] {
+			t.Fatalf("neighbor %s structurally dependent", c.NameOf(m))
+		}
+		d := p.Distance(n, m)
+		if d < prev {
+			t.Fatal("neighbors not sorted by distance")
+		}
+		prev = d
+	}
+}
+
+func TestEnumerateBridges(t *testing.T) {
+	c, err := circuits.RippleAdder(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(c, 5)
+	brs := p.EnumerateBridges(1.5, 0)
+	if len(brs) == 0 {
+		t.Fatal("no bridges under distance 1.5")
+	}
+	seen := map[[2]netlist.NetID]bool{}
+	for _, b := range brs {
+		if p.Distance(b.Victim, b.Aggressor) > 1.5 {
+			t.Fatalf("bridge %v exceeds distance bound", b)
+		}
+		if c.FaninCone(b.Victim)[b.Aggressor] || c.FanoutCone(b.Victim)[b.Aggressor] {
+			t.Fatalf("bridge %v couples dependent nets", b)
+		}
+		key := [2]netlist.NetID{b.Victim, b.Aggressor}
+		if seen[key] {
+			t.Fatalf("duplicate bridge %v", b)
+		}
+		seen[key] = true
+	}
+	// Wider radius yields at least as many pairs.
+	wide := p.EnumerateBridges(3.0, 0)
+	if len(wide) < len(brs) {
+		t.Fatal("wider radius produced fewer bridges")
+	}
+	// maxPairs respected.
+	capped := p.EnumerateBridges(3.0, 4)
+	if len(capped) != 4 {
+		t.Fatalf("maxPairs ignored: %d", len(capped))
+	}
+}
+
+func TestWirelengthsSane(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 11, NumPIs: 16, NumGates: 400, NumPOs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(c, 13)
+	st := p.Wirelengths()
+	if st.Nets == 0 || st.MeanLength <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Placement realism: most nets should be short (locality), i.e. long
+	// nets a small minority.
+	if st.LongFraction > 0.5 {
+		t.Errorf("long-net fraction %.2f implausibly high", st.LongFraction)
+	}
+	if s := p.String(); !strings.Contains(s, "placement of") {
+		t.Errorf("String = %q", s)
+	}
+}

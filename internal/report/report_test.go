@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value", "note")
+	tab.AddRow("alpha", 1.5, "ok")
+	tab.AddRow("b", 22, "longer note")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Error("float formatting missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Alignment: both data rows start their second column at the same
+	// offset as the header's.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1.500")
+	if hdrIdx != rowIdx {
+		t.Errorf("columns misaligned: header %d row %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x,y", `q"u`)
+	tab.AddRow(1, 2)
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n1,2\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("accuracy", "defects", "accuracy")
+	s1 := f.AddSeries("ours")
+	s2 := f.AddSeries("slat")
+	s1.Add(1, 1.0)
+	s1.Add(2, 0.9)
+	s2.Add(1, 1.0)
+	s2.Add(3, 0.2) // x=3 missing from s1
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ours") || !strings.Contains(out, "slat") {
+		t.Error("series names missing")
+	}
+	if !strings.Contains(out, "0.900") {
+		t.Error("values missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing-point placeholder absent")
+	}
+	// X values sorted.
+	i1 := strings.Index(out, "\n1 ")
+	i2 := strings.Index(out, "\n2 ")
+	i3 := strings.Index(out, "\n3 ")
+	if !(i1 < i2 && i2 < i3) {
+		t.Errorf("x values unsorted:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(2) != "2" || trimFloat(2.5) != "2.5" {
+		t.Error("trimFloat wrong")
+	}
+}

@@ -1,0 +1,226 @@
+// Package seqdiag diagnoses non-scan sequential circuits through
+// time-frame expansion: the sequential design (combinational core +
+// flip-flops) is unrolled over the test-sequence length, the physical
+// defect is understood to be present in *every* frame, and the standard
+// no-assumption engine runs on the unrolled model. Candidates are folded
+// back from (frame, net) space to core nets, merging the per-frame copies
+// of the same physical site.
+//
+// Test stimuli are sequences: one per-cycle input vector each. The
+// power-on state is exposed as explicit frame-0 inputs; pass X for an
+// unknown state or drive it for resettable designs.
+package seqdiag
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"multidiag/internal/core"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// Sequence is one multi-cycle stimulus: InitState has one value per
+// flip-flop (X = unknown power-on), Cycles one input vector per frame.
+type Sequence struct {
+	InitState []logic.Value
+	Cycles    []sim.Pattern
+}
+
+// Flatten maps the sequence onto the unrolled circuit's PI ordering.
+func (s Sequence) flatten(u *netlist.Unrolled) (sim.Pattern, error) {
+	if len(s.Cycles) != u.Frames {
+		return nil, fmt.Errorf("seqdiag: sequence has %d cycles, model has %d frames", len(s.Cycles), u.Frames)
+	}
+	if len(s.InitState) != len(u.InitStatePIs) {
+		return nil, fmt.Errorf("seqdiag: init state width %d, want %d", len(s.InitState), len(u.InitStatePIs))
+	}
+	vals := make(map[netlist.NetID]logic.Value, len(u.Circuit.PIs))
+	for i, pi := range u.InitStatePIs {
+		vals[pi] = s.InitState[i]
+	}
+	for f, cyc := range s.Cycles {
+		if len(cyc) != len(u.FramePIs[f]) {
+			return nil, fmt.Errorf("seqdiag: cycle %d width %d, want %d", f, len(cyc), len(u.FramePIs[f]))
+		}
+		for i, pi := range u.FramePIs[f] {
+			vals[pi] = cyc[i]
+		}
+	}
+	out := make(sim.Pattern, len(u.Circuit.PIs))
+	for i, pi := range u.Circuit.PIs {
+		v, ok := vals[pi]
+		if !ok {
+			v = logic.X
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CoreCandidate is one folded suspect: a core net with the frames in which
+// its copies were implicated and the aggregated evidence counts.
+type CoreCandidate struct {
+	Net        netlist.NetID
+	StuckOne   bool
+	Frames     []int
+	TFSF, TPSF int
+	// Equivalent core nets (folded from unrolled equivalence classes).
+	Equivalent []netlist.NetID
+}
+
+// Result is the sequential diagnosis outcome.
+type Result struct {
+	// Unrolled is the raw combinational result on the expanded model.
+	Unrolled *core.Result
+	// Candidates are the folded core-net suspects, best first.
+	Candidates []CoreCandidate
+	Elapsed    time.Duration
+}
+
+// Nets adapts the folded candidates for metric scoring.
+func (r *Result) Nets() [][]netlist.NetID {
+	out := make([][]netlist.NetID, len(r.Candidates))
+	for i, cd := range r.Candidates {
+		nets := []netlist.NetID{cd.Net}
+		nets = append(nets, cd.Equivalent...)
+		out[i] = nets
+	}
+	return out
+}
+
+// Diagnose runs the no-assumption engine on the unrolled model and folds
+// the multiplet back to core nets. All sequences must have the same length
+// (pad shorter ones with idle cycles before calling); the unrolled model
+// uses that common length.
+func Diagnose(seq *netlist.SeqCircuit, sequences []Sequence, log *tester.Datalog, cfg core.Config) (*Result, *netlist.Unrolled, error) {
+	start := time.Now()
+	if len(sequences) == 0 {
+		return nil, nil, fmt.Errorf("seqdiag: no sequences")
+	}
+	frames := len(sequences[0].Cycles)
+	for i, s := range sequences {
+		if len(s.Cycles) != frames {
+			return nil, nil, fmt.Errorf("seqdiag: sequence %d has %d cycles, want %d", i, len(s.Cycles), frames)
+		}
+	}
+	u, err := seq.Unroll(frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	pats := make([]sim.Pattern, len(sequences))
+	for i, s := range sequences {
+		p, err := s.flatten(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		pats[i] = p
+	}
+	res, err := core.Diagnose(u.Circuit, pats, log, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Result{Unrolled: res}
+
+	type key struct {
+		net netlist.NetID
+		v1  bool
+	}
+	folded := map[key]*CoreCandidate{}
+	order := []key{}
+	for _, cd := range res.Multiplet {
+		on, ok := u.CoreNetOf(cd.Fault.Net)
+		if !ok {
+			continue
+		}
+		k := key{on.Orig, cd.Fault.Value1}
+		fc := folded[k]
+		if fc == nil {
+			fc = &CoreCandidate{Net: on.Orig, StuckOne: cd.Fault.Value1}
+			folded[k] = fc
+			order = append(order, k)
+		}
+		fc.Frames = append(fc.Frames, on.Frame)
+		fc.TFSF += cd.TFSF
+		fc.TPSF += cd.TPSF
+		seenEq := map[netlist.NetID]bool{fc.Net: true}
+		for _, e := range fc.Equivalent {
+			seenEq[e] = true
+		}
+		for _, e := range cd.Equivalent {
+			if eo, ok := u.CoreNetOf(e.Net); ok && !seenEq[eo.Orig] {
+				seenEq[eo.Orig] = true
+				fc.Equivalent = append(fc.Equivalent, eo.Orig)
+			}
+		}
+	}
+	for _, k := range order {
+		fc := folded[k]
+		sort.Ints(fc.Frames)
+		sort.Slice(fc.Equivalent, func(i, j int) bool { return fc.Equivalent[i] < fc.Equivalent[j] })
+		out.Candidates = append(out.Candidates, *fc)
+	}
+	sort.SliceStable(out.Candidates, func(i, j int) bool {
+		return out.Candidates[i].TFSF > out.Candidates[j].TFSF
+	})
+	out.Elapsed = time.Since(start)
+	return out, u, nil
+}
+
+// ApplySequences runs the test sequences against a defective *core*
+// variant (the defect present in every frame) and returns the datalog in
+// unrolled-pattern space. deviceCore must have the same interface as the
+// fault-free core. This is the simulation-side tester for experiments; a
+// real deployment replaces it with ATE data.
+func ApplySequences(seq *netlist.SeqCircuit, deviceCore *netlist.Circuit, sequences []Sequence) (*tester.Datalog, error) {
+	if len(sequences) == 0 {
+		return nil, fmt.Errorf("seqdiag: no sequences")
+	}
+	frames := len(sequences[0].Cycles)
+	uGood, err := seq.Unroll(frames)
+	if err != nil {
+		return nil, err
+	}
+	// Defect injection preserves PI net ids and PO *ordering* but may remap
+	// a PO to a replacement net, so the device's state/real outputs are
+	// recovered positionally from its PO list rather than copied by id.
+	poPos := make(map[netlist.NetID]int, len(seq.Comb.POs))
+	for i, po := range seq.Comb.POs {
+		poPos[po] = i
+	}
+	if len(deviceCore.POs) != len(seq.Comb.POs) || len(deviceCore.PIs) != len(seq.Comb.PIs) {
+		return nil, fmt.Errorf("seqdiag: device interface differs from the design")
+	}
+	mapPO := func(orig netlist.NetID) netlist.NetID {
+		return deviceCore.POs[poPos[orig]]
+	}
+	devSeq := &netlist.SeqCircuit{
+		Comb:    deviceCore,
+		StateIn: seq.StateIn,
+		RealPIs: seq.RealPIs,
+	}
+	for _, so := range seq.StateOut {
+		devSeq.StateOut = append(devSeq.StateOut, mapPO(so))
+	}
+	for _, po := range seq.RealPOs {
+		devSeq.RealPOs = append(devSeq.RealPOs, mapPO(po))
+	}
+	uBad, err := devSeq.Unroll(frames)
+	if err != nil {
+		return nil, err
+	}
+	pats := make([]sim.Pattern, len(sequences))
+	for i, s := range sequences {
+		p, err := s.flatten(uGood)
+		if err != nil {
+			return nil, err
+		}
+		pats[i] = p
+	}
+	// The two unrolled circuits share PI ordering by construction (same
+	// core PI list, same frame loop), so the same flat patterns apply.
+	return tester.ApplyTest(uGood.Circuit, uBad.Circuit, pats)
+}

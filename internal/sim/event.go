@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+)
+
+// EventSim is an event-driven incremental scalar simulator. After a full
+// baseline evaluation, PropagateFrom re-evaluates only the fan-out cone of a
+// changed net, which is much cheaper than full re-simulation when analyzing
+// many single-net perturbations of the same pattern (brute-force criticality
+// checks, candidate vetting).
+type EventSim struct {
+	c     *netlist.Circuit
+	vals  []logic.Value
+	dirty []bool
+	queue [][]netlist.NetID // per-level worklists
+}
+
+// NewEventSim creates an event-driven simulator for the finalized circuit.
+func NewEventSim(c *netlist.Circuit) *EventSim {
+	if !c.Finalized() {
+		panic("sim: circuit not finalized")
+	}
+	return &EventSim{
+		c:     c,
+		vals:  make([]logic.Value, c.NumGates()),
+		dirty: make([]bool, c.NumGates()),
+		queue: make([][]netlist.NetID, c.MaxLevel()+1),
+	}
+}
+
+// Baseline fully evaluates pattern p (with optional forced nets) and stores
+// the result as the incremental starting point.
+func (e *EventSim) Baseline(p Pattern, force map[netlist.NetID]logic.Value) error {
+	vals, err := EvalScalar(e.c, p, force)
+	if err != nil {
+		return err
+	}
+	copy(e.vals, vals)
+	return nil
+}
+
+// Value returns the current value of net id.
+func (e *EventSim) Value(id netlist.NetID) logic.Value { return e.vals[id] }
+
+// Values returns the current value slice (owned by the simulator).
+func (e *EventSim) Values() []logic.Value { return e.vals }
+
+// PropagateFrom forces net id to v and incrementally re-evaluates its
+// fan-out cone. It returns the set of nets whose value changed (including id
+// itself if it changed) and a restore function that undoes the perturbation
+// in O(changed) time. Typical usage:
+//
+//	changed, restore := es.PropagateFrom(n, v)
+//	... inspect es.Value(po) for POs of interest ...
+//	restore()
+func (e *EventSim) PropagateFrom(id netlist.NetID, v logic.Value) (changed []netlist.NetID, restore func()) {
+	old := e.vals[id]
+	if old == v {
+		return nil, func() {}
+	}
+	type undo struct {
+		id  netlist.NetID
+		old logic.Value
+	}
+	var undos []undo
+	setVal := func(n netlist.NetID, nv logic.Value) {
+		undos = append(undos, undo{n, e.vals[n]})
+		e.vals[n] = nv
+		changed = append(changed, n)
+	}
+	setVal(id, v)
+
+	// Level-ordered worklist sweep over the fanout cone.
+	startLvl := e.c.Gates[id].Level
+	for l := range e.queue {
+		e.queue[l] = e.queue[l][:0]
+	}
+	enqueue := func(n netlist.NetID) {
+		if !e.dirty[n] {
+			e.dirty[n] = true
+			lvl := e.c.Gates[n].Level
+			e.queue[lvl] = append(e.queue[lvl], n)
+		}
+	}
+	for _, rd := range e.c.Gates[id].Fanout {
+		enqueue(rd)
+	}
+	for lvl := startLvl; lvl <= e.c.MaxLevel(); lvl++ {
+		for _, n := range e.queue[lvl] {
+			e.dirty[n] = false
+			g := &e.c.Gates[n]
+			nv := EvalScalarGate(g.Type, g.Fanin, func(f netlist.NetID) logic.Value { return e.vals[f] })
+			if nv != e.vals[n] {
+				setVal(n, nv)
+				for _, rd := range g.Fanout {
+					enqueue(rd)
+				}
+			}
+		}
+		e.queue[lvl] = e.queue[lvl][:0]
+	}
+
+	return changed, func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			e.vals[undos[i].id] = undos[i].old
+		}
+	}
+}

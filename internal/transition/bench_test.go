@@ -1,0 +1,53 @@
+package transition
+
+import (
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/netlist"
+)
+
+// BenchmarkDelayDiagnose measures one delay diagnosis of a slow net on the
+// 16-bit ripple adder.
+func BenchmarkDelayDiagnose(b *testing.B) {
+	c, err := circuits.RippleAdder(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := Generate(c, GenerateConfig{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var log interface{ FailingPatterns() []int }
+	var slowNet netlist.NetID
+	for i := range c.Gates {
+		n := netlist.NetID(i)
+		if c.Gates[i].Type == netlist.Input {
+			continue
+		}
+		l, err := ApplyTest(c, []SlowNet{{Net: n}}, gen.Pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l.Fails) > 0 {
+			log = l
+			slowNet = n
+			break
+		}
+	}
+	if log == nil {
+		b.Skip("no activated slow net")
+	}
+	_ = slowNet
+	dl, err := ApplyTest(c, []SlowNet{{Net: slowNet}}, gen.Pairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, gen.Pairs, dl, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

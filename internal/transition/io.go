@@ -1,0 +1,59 @@
+package transition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"multidiag/internal/sim"
+)
+
+// WritePairs serializes two-pattern tests, one pair per line as
+// "launch|capture" 0/1/X strings.
+func WritePairs(w io.Writer, pairs []Pair) error {
+	bw := bufio.NewWriter(w)
+	for _, pr := range pairs {
+		fmt.Fprintf(bw, "%s|%s\n", pr.Launch.String(), pr.Capture.String())
+	}
+	return bw.Flush()
+}
+
+// ReadPairs parses the WritePairs format; all patterns must share one
+// width.
+func ReadPairs(r io.Reader) ([]Pair, error) {
+	var out []Pair
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "|")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("transition: line %d: want launch|capture", line)
+		}
+		launch, err := sim.ParsePattern(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("transition: line %d: %v", line, err)
+		}
+		capture, err := sim.ParsePattern(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("transition: line %d: %v", line, err)
+		}
+		if len(launch) != len(capture) {
+			return nil, fmt.Errorf("transition: line %d: launch/capture width mismatch", line)
+		}
+		if len(out) > 0 && len(launch) != len(out[0].Launch) {
+			return nil, fmt.Errorf("transition: line %d: width differs from first pair", line)
+		}
+		out = append(out, Pair{Launch: launch, Capture: capture})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
