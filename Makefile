@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/ ./cmd/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/obs ./internal/exp
+
+vet:
+	$(GO) vet ./...
+
+# bench proves the <2% disabled-tracing budget (BenchmarkDiagnose vs
+# BenchmarkDiagnoseTraced plus the obs micro-benchmarks) and writes a
+# schema-valid quick-suite trace to BENCH_obs.json.
+bench: build
+	$(GO) test -run xxx -bench 'BenchmarkDiagnose|BenchmarkSpan|BenchmarkCounter|BenchmarkHistogram' -benchmem ./internal/core ./internal/obs
+	bin/mdexp -quick -seeds 1 -only T1 -trace-out BENCH_obs.json > /dev/null
+
+clean:
+	rm -rf bin BENCH_obs.json

@@ -5,31 +5,49 @@
 // Usage:
 //
 //	mddiag -c circuit.bench -p patterns.txt -d device.datalog [-method ours|slat|intersect]
+//
+// Observability (see DESIGN.md §Observability):
+//
+//	-v                per-phase timing and counter summary footer
+//	-trace-out f      JSONL span/run records of the diagnosis
+//	-cpuprofile f     pprof CPU profile
+//	-memprofile f     pprof heap profile at exit
+//	-debug-addr a     live net/http/pprof + expvar listener
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"multidiag/internal/baseline"
 	"multidiag/internal/cio"
 	"multidiag/internal/core"
+	"multidiag/internal/obs"
 	"multidiag/internal/tester"
 )
 
 func main() {
 	var (
-		circ   = flag.String("c", "", "circuit .bench file (required)")
-		pfile  = flag.String("p", "", "pattern file (required)")
-		dfile  = flag.String("d", "", "datalog file (required)")
-		method = flag.String("method", "ours", "diagnosis engine: ours|slat|intersect")
-		top    = flag.Int("top", 10, "also list the top-N ranked candidates (ours)")
+		circ    = flag.String("c", "", "circuit .bench file (required)")
+		pfile   = flag.String("p", "", "pattern file (required)")
+		dfile   = flag.String("d", "", "datalog file (required)")
+		method  = flag.String("method", "ours", "diagnosis engine: ours|slat|intersect")
+		top     = flag.Int("top", 10, "also list the top-N ranked candidates (ours)")
+		verbose = flag.Bool("v", false, "print a per-phase timing and counter summary footer")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *circ == "" || *pfile == "" || *dfile == "" {
 		fmt.Fprintln(os.Stderr, "mddiag: -c, -p and -d are required")
 		os.Exit(2)
+	}
+	tr, finishObs, err := obsFlags.Setup("mddiag")
+	if err != nil {
+		fatal(err)
 	}
 	c, _ := cio.MustLoad("mddiag", *circ, false)
 	pf, err := os.Open(*pfile)
@@ -114,6 +132,40 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	if *verbose {
+		printSummary(tr)
+	}
+	if err := finishObs(); err != nil {
+		fatal(err)
+	}
+}
+
+// printSummary is the -v footer: per-phase wall time and the counter
+// snapshot of the run (histogram buckets elided for readability).
+func printSummary(tr *obs.Trace) {
+	phases := tr.PhaseStats()
+	if len(phases) > 0 {
+		fmt.Println("--- phases ---")
+		for _, ps := range phases {
+			fmt.Printf("  %-24s %6d× %12s\n", ps.Name, ps.Count, ps.Total)
+		}
+	}
+	snap := tr.Registry().Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if strings.Contains(name, ".le_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		fmt.Println("--- counters ---")
+		for _, name := range names {
+			fmt.Printf("  %-32s %d\n", name, snap[name])
+		}
 	}
 }
 

@@ -6,6 +6,11 @@
 //	mdexp              # full suite (minutes)
 //	mdexp -quick       # reduced sizes/seeds (tens of seconds)
 //	mdexp -only T3     # one experiment
+//
+// Observability: -trace-out writes one JSONL "run" record per table/figure
+// and per campaign (plus the engines' span stream); -cpuprofile,
+// -memprofile and -debug-addr enable the pprof hooks (DESIGN.md
+// §Observability).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 
 	"multidiag/internal/exp"
+	"multidiag/internal/obs"
 )
 
 func main() {
@@ -22,13 +28,25 @@ func main() {
 		seeds = flag.Int("seeds", 0, "devices per configuration (0 = default)")
 		only  = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
-	o := exp.Options{Quick: *quick, Seeds: *seeds}
+	tr, finishObs, err := obsFlags.Setup("mdexp")
+	if err != nil {
+		fatal(err)
+	}
+	o := exp.Options{Quick: *quick, Seeds: *seeds, Emitter: tr.Emitter()}
+	finish := func() {
+		if err := finishObs(); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *only == "" {
 		if err := exp.All(os.Stdout, o); err != nil {
 			fatal(err)
 		}
+		finish()
 		return
 	}
 	fns := map[string]func(*exp.Options) error{
@@ -53,6 +71,7 @@ func main() {
 	if err := fn(&o); err != nil {
 		fatal(err)
 	}
+	finish()
 }
 
 func fatal(err error) {

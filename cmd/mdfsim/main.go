@@ -4,6 +4,10 @@
 // Usage:
 //
 //	mdfsim -c circuit.bench -p patterns.txt [-v]
+//
+// Observability: -trace-out writes JSONL span/run records (simulation
+// counters included); -cpuprofile, -memprofile and -debug-addr enable the
+// pprof hooks (DESIGN.md §Observability).
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"multidiag/internal/cio"
 	"multidiag/internal/fault"
 	"multidiag/internal/fsim"
+	"multidiag/internal/obs"
 	"multidiag/internal/tester"
 )
 
@@ -23,10 +28,16 @@ func main() {
 		pfile   = flag.String("p", "", "pattern file (required)")
 		verbose = flag.Bool("v", false, "list per-fault detection")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *circ == "" || *pfile == "" {
 		fmt.Fprintln(os.Stderr, "mdfsim: -c and -p are required")
 		os.Exit(2)
+	}
+	tr, finishObs, err := obsFlags.Setup("mdfsim")
+	if err != nil {
+		fatal(err)
 	}
 	c, _ := cio.MustLoad("mdfsim", *circ, false)
 	pf, err := os.Open(*pfile)
@@ -45,6 +56,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fs.Observe(tr.Registry())
+	sp := tr.Span("mdfsim.simulate")
 	universe := fault.Collapse(c)
 	detected := 0
 	for _, f := range universe {
@@ -58,8 +71,12 @@ func main() {
 			fmt.Printf("UND  %s\n", f.Name(c))
 		}
 	}
+	sp.End()
 	fmt.Printf("mdfsim: %d/%d collapsed stuck-at faults detected (%.2f%%) by %d patterns\n",
 		detected, len(universe), 100*float64(detected)/float64(len(universe)), len(pats))
+	if err := finishObs(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 )
 
@@ -44,6 +45,9 @@ type Config struct {
 	// detection of the full universe (Result.Detected/Coverage are still
 	// reported against the equivalence-collapsed universe).
 	UseDominance bool
+	// Trace receives per-phase spans (atpg.random, atpg.podem,
+	// atpg.ndetect) and counters. Nil falls back to obs.Global().
+	Trace *obs.Trace
 }
 
 func (cfg *Config) fill() {
@@ -117,6 +121,13 @@ func Generate(c *netlist.Circuit, cfg Config) (*Result, error) {
 // GenerateFor produces a test set detecting the given fault universe.
 func GenerateFor(c *netlist.Circuit, universe []fault.StuckAt, cfg Config) (*Result, error) {
 	cfg.fill()
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.Global()
+	}
+	root := tr.Span("atpg.generate")
+	defer root.End()
+	reg := tr.Registry()
 	r := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{Detected: make([]bool, len(universe))}
 	remaining := make([]int, len(universe))
@@ -125,6 +136,7 @@ func GenerateFor(c *netlist.Circuit, universe []fault.StuckAt, cfg Config) (*Res
 	}
 
 	// Phase 1: random patterns with fault dropping.
+	sp := root.Child("atpg.random")
 	tried := 0
 	for tried < cfg.RandomBudget && len(remaining) > 0 {
 		batch := make([]sim.Pattern, 0, cfg.RandomBatch)
@@ -151,10 +163,16 @@ func GenerateFor(c *netlist.Circuit, universe []fault.StuckAt, cfg Config) (*Res
 			remaining = filterOut(remaining, drop)
 		}
 	}
+	sp.End()
+	reg.Counter("atpg.random_patterns_tried").Add(int64(tried))
+	reg.Counter("atpg.random_detected").Add(int64(res.RandomDetected))
 
 	// Phase 2: PODEM on survivors.
+	sp = root.Child("atpg.podem")
+	podemTargets := reg.Counter("atpg.podem_targets")
 	eng := newPodem(c, cfg.PodemBacktrackLimit)
 	for len(remaining) > 0 {
+		podemTargets.Inc()
 		fi := remaining[0]
 		f := universe[fi]
 		pat, status := eng.generate(f, r)
@@ -192,14 +210,22 @@ func GenerateFor(c *netlist.Circuit, universe []fault.StuckAt, cfg Config) (*Res
 			remaining = remaining[1:]
 		}
 	}
+	sp.End()
+	reg.Counter("atpg.podem_detected").Add(int64(res.PodemDetected))
+	reg.Counter("atpg.podem_untestable").Add(int64(len(res.Untestable)))
+	reg.Counter("atpg.podem_aborted").Add(int64(len(res.Aborted)))
 
 	// Phase 3 (optional): N-detect top-up. Re-target each under-detected
 	// fault with fresh random fill so PODEM lands on distinct patterns.
 	if cfg.NDetect > 1 {
-		if err := topUpNDetect(c, universe, cfg, r, res); err != nil {
+		sp = root.Child("atpg.ndetect")
+		err := topUpNDetect(c, universe, cfg, r, res)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
+	reg.Counter("atpg.patterns").Add(int64(len(res.Patterns)))
 	return res, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
@@ -126,17 +127,16 @@ func candidateSeeds(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog)
 // greedy cover over SLAT patterns only; non-SLAT patterns are discarded
 // (the assumption under evaluation).
 func SLAT(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, maxMultiplet int) (*Result, error) {
-	start := time.Now()
+	res := &Result{}
+	defer obs.Global().Span("baseline.slat").EndInto(&res.Elapsed)
 	if maxMultiplet <= 0 {
 		maxMultiplet = 10
 	}
 	if err := validate(c, pats, log); err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	failing := log.FailingPatterns()
 	if len(failing) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	seeds, err := candidateSeeds(c, pats, log)
@@ -202,7 +202,6 @@ func SLAT(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, maxMultip
 		res.Multiplet = append(res.Multiplet, sel)
 		remaining.SubtractWith(cands[bestIdx].explains)
 	}
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
@@ -212,14 +211,13 @@ func SLAT(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, maxMultip
 // suspect set is the intersection across failing patterns; passing patterns
 // then vindicate suspects whose fault would have been observed.
 func Intersection(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog) (*Result, error) {
-	start := time.Now()
+	res := &Result{}
+	defer obs.Global().Span("baseline.intersect").EndInto(&res.Elapsed)
 	if err := validate(c, pats, log); err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	failing := log.FailingPatterns()
 	if len(failing) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	cpt := fsim.NewCPT(c)
@@ -261,7 +259,6 @@ func Intersection(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog) (
 		}
 	}
 	if len(global) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	// Vindication: a surviving suspect must not be observed on any passing
@@ -297,7 +294,6 @@ func Intersection(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog) (
 	for _, f := range out {
 		res.Multiplet = append(res.Multiplet, Candidate{Fault: f, Explained: len(failing)})
 	}
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
@@ -315,7 +311,9 @@ type Dictionary struct {
 // BuildDictionary precomputes the dictionary for the collapsed stuck-at
 // universe (the expensive step the effect-cause approach avoids).
 func BuildDictionary(c *netlist.Circuit, pats []sim.Pattern) (*Dictionary, error) {
+	sp := obs.Global().Span("baseline.build_dict")
 	d, err := fsim.BuildDictionary(c, pats, fault.Collapse(c))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -324,27 +322,25 @@ func BuildDictionary(c *netlist.Circuit, pats []sim.Pattern) (*Dictionary, error
 
 // Diagnose looks the observed syndrome up in the dictionary.
 func (d *Dictionary) Diagnose(log *tester.Datalog, topK int) (*Result, error) {
-	start := time.Now()
+	res := &Result{}
+	defer obs.Global().Span("baseline.dict").EndInto(&res.Elapsed)
 	if topK <= 0 {
 		topK = 5
 	}
 	if err := validate(d.c, d.pats, log); err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	obs := log.Syndrome()
+	observed := log.Syndrome()
 	if len(log.Fails) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
-	if hits := d.dict.Lookup(obs); len(hits) > 0 {
+	if hits := d.dict.Lookup(observed); len(hits) > 0 {
 		for _, h := range hits {
 			res.Multiplet = append(res.Multiplet, Candidate{
 				Fault:     d.dict.Faults[h],
-				Explained: obs.NumFailBits(),
+				Explained: observed.NumFailBits(),
 			})
 		}
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	// Nearest match by symmetric difference over failing bits.
@@ -357,7 +353,7 @@ func (d *Dictionary) Diagnose(log *tester.Datalog, topK int) (*Result, error) {
 		if !syn.Detected() {
 			continue
 		}
-		all = append(all, scored{idx: i, dist: syndromeDistance(obs, syn)})
+		all = append(all, scored{idx: i, dist: syndromeDistance(observed, syn)})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].dist != all[j].dist {
@@ -368,10 +364,9 @@ func (d *Dictionary) Diagnose(log *tester.Datalog, topK int) (*Result, error) {
 	for i := 0; i < topK && i < len(all); i++ {
 		res.Multiplet = append(res.Multiplet, Candidate{
 			Fault:     d.dict.Faults[all[i].idx],
-			Explained: obs.NumFailBits() - all[i].dist,
+			Explained: observed.NumFailBits() - all[i].dist,
 		})
 	}
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
@@ -382,16 +377,15 @@ func (d *Dictionary) Diagnose(log *tester.Datalog, topK int) (*Result, error) {
 // outputs fail become indistinguishable), which the comparison test
 // quantifies.
 func (d *Dictionary) DiagnosePassFail(log *tester.Datalog, topK int) (*Result, error) {
-	start := time.Now()
+	res := &Result{}
+	defer obs.Global().Span("baseline.dict_passfail").EndInto(&res.Elapsed)
 	if topK <= 0 {
 		topK = 5
 	}
 	if err := validate(d.c, d.pats, log); err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	if len(log.Fails) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	obsSet := bitset.New(log.NumPatterns)
@@ -442,7 +436,6 @@ func (d *Dictionary) DiagnosePassFail(log *tester.Datalog, topK int) (*Result, e
 			Explained: len(log.Fails) - s.dist,
 		})
 	}
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
@@ -168,7 +169,8 @@ func (r *Result) MultipletNets() [][]netlist.NetID {
 //     matched against the evidence, so aliasing affects prediction and
 //     observation identically.
 func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cp *Compactor, lambda float64, maxMultiplet int) (*Result, error) {
-	start := time.Now()
+	res := &Result{}
+	defer obs.Global().Span("compact.diagnose").EndInto(&res.Elapsed)
 	if log.NumPatterns != len(pats) {
 		return nil, fmt.Errorf("compact: datalog has %d patterns, test set has %d", log.NumPatterns, len(pats))
 	}
@@ -184,10 +186,8 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cp *C
 	if maxMultiplet <= 0 {
 		maxMultiplet = 10
 	}
-	res := &Result{}
 	failing := log.FailingPatterns()
 	if len(failing) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	type evBit struct{ pattern, out int }
@@ -336,6 +336,5 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cp *C
 		return rest[i].Fault.Net < rest[j].Fault.Net
 	})
 	res.Ranked = append(append([]*Candidate{}, res.Multiplet...), rest...)
-	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -39,6 +39,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
@@ -73,6 +74,11 @@ type Config struct {
 	// MaxAggressorsPerVictim caps the aggressor candidates simulated per
 	// victim. Default 128.
 	MaxAggressorsPerVictim int
+	// Trace receives per-phase spans and counters for this diagnosis (see
+	// DESIGN.md §Observability for the span taxonomy). Nil falls back to
+	// obs.Global(), which is itself nil — tracing disabled, near-zero
+	// overhead — unless a CLI or harness installed one.
+	Trace *obs.Trace
 }
 
 func (cfg *Config) fill() {
@@ -209,7 +215,12 @@ func (r *Result) MultipletNets() [][]netlist.NetID {
 // its observable behaviour.
 func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg Config) (*Result, error) {
 	cfg.fill()
-	start := time.Now()
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.Global()
+	}
+	root := tr.Span("diagnose")
+	reg := tr.Registry()
 	if log.NumPatterns != len(pats) {
 		return nil, fmt.Errorf("core: datalog has %d patterns, test set has %d", log.NumPatterns, len(pats))
 	}
@@ -220,11 +231,12 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 	res := &Result{Consistent: true}
 	failing := log.FailingPatterns()
 	if len(failing) == 0 {
-		res.Elapsed = time.Since(start)
+		root.EndInto(&res.Elapsed)
 		return res, nil // passing device: nothing to explain
 	}
 
-	// Evidence universe.
+	// Per-output evidence universe.
+	sp := root.Child("evidence")
 	evIndex := make(map[EvidenceBit]int)
 	for _, p := range failing {
 		for _, po := range log.Fails[p].Members() {
@@ -233,35 +245,59 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 			res.Evidence = append(res.Evidence, bit)
 		}
 	}
+	sp.End()
+	reg.Counter("core.evidence_bits").Add(int64(len(res.Evidence)))
+	reg.Counter("core.failing_patterns").Add(int64(len(failing)))
 
+	sp = root.Child("goodsim")
 	fs, err := fsim.NewFaultSim(c, pats)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	fs.Observe(reg)
 
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
-	seeds, err := extractCandidates(c, fs, pats, log, cfg.ApproxCPT)
+	sp = root.Child("extract")
+	seeds, err := extractCandidates(c, fs, pats, log, cfg.ApproxCPT, reg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.CandidatesExtracted = len(seeds)
+	reg.Counter("core.candidates_extracted").Add(int64(len(seeds)))
 
 	// Step 2: score every candidate by full fault simulation.
+	sp = root.Child("score")
 	cands := scoreCandidates(fs, seeds, log, evIndex, len(res.Evidence), cfg)
+	sp.End()
+	reg.Counter("core.candidates_scored").Add(int64(len(cands)))
+	reg.Counter("core.candidates_pruned").Add(int64(len(seeds) - len(cands)))
 
 	// Step 3: greedy per-output covering.
+	sp = root.Child("cover")
 	multiplet, uncovered := cover(cands, len(res.Evidence), cfg)
+	sp.End()
 	res.Multiplet = multiplet
 	res.UnexplainedBits = uncovered.Count()
+	reg.Histogram("core.multiplet_size").Observe(int64(len(multiplet)))
+	reg.Counter("core.unexplained_bits").Add(int64(res.UnexplainedBits))
 
 	// Step 4: fault-model refinement (bridge aggressor search).
 	if !cfg.DisableBridgeSearch {
-		refineModels(c, fs, multiplet, log, evIndex, cfg)
+		sp = root.Child("refine")
+		refineModels(c, fs, multiplet, log, evIndex, cfg, reg)
+		sp.End()
 	}
 
 	// Step 5: X-masking consistency check.
 	if !cfg.DisableXConsistency && len(multiplet) > 0 {
+		sp = root.Child("xcheck")
 		res.Consistent, res.InconsistentPatterns = xConsistent(fs, multiplet, log)
+		sp.End()
+		if !res.Consistent {
+			reg.Counter("core.xcheck_inconsistent").Inc()
+		}
 	} else if len(multiplet) == 0 {
 		res.Consistent = false
 	}
@@ -291,15 +327,16 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 		return !rest[i].Fault.Value1
 	})
 	res.Ranked = append(append([]*Candidate{}, multiplet...), rest...)
-	res.Elapsed = time.Since(start)
+	root.EndInto(&res.Elapsed)
 	return res, nil
 }
 
 // extractCandidates back-traces every observed failing output with CPT and
 // returns the union of (net, stuck-at-complement) hypotheses. Patterns with
 // X inputs are skipped for extraction (they still participate in scoring).
-func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern, log *tester.Datalog, approx bool) ([]fault.StuckAt, error) {
+func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern, log *tester.Datalog, approx bool, reg *obs.Registry) ([]fault.StuckAt, error) {
 	cpt := fsim.NewCPT(c)
+	cpt.Observe(reg)
 	seen := make(map[fault.StuckAt]bool)
 	var out []fault.StuckAt
 	for _, p := range log.FailingPatterns() {

@@ -7,6 +7,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
@@ -24,10 +25,12 @@ import (
 // Accepted bridge models are appended to the member's Models list (best
 // first by mispredictions); the seed stuck/open model always remains, since
 // logic-level behaviour cannot always separate the mechanisms.
-func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate, log *tester.Datalog, evIndex map[EvidenceBit]int, cfg Config) {
+func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate, log *tester.Datalog, evIndex map[EvidenceBit]int, cfg Config, reg *obs.Registry) {
 	if len(multiplet) == 0 {
 		return
 	}
+	tested := reg.Counter("core.bridge_aggressors_tested")
+	accepted := reg.Counter("core.bridge_models_accepted")
 	s := sim.New(c)
 	for _, cd := range multiplet {
 		victim := cd.Fault.Net
@@ -35,6 +38,7 @@ func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate,
 		if len(aggressors) == 0 {
 			continue
 		}
+		tested.Add(int64(len(aggressors)))
 		type fit struct {
 			aggr    netlist.NetID
 			covered int
@@ -68,6 +72,7 @@ func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate,
 				break
 			}
 			cd.Models = append(cd.Models, Model{Kind: BridgeModel, Aggressor: f.aggr, Mispredictions: f.tpsf})
+			accepted.Inc()
 		}
 		// Keep the best-fitting model first.
 		sort.SliceStable(cd.Models, func(i, j int) bool {

@@ -17,10 +17,13 @@ import (
 // paper's per-cell result tables.
 func T6IntraCell(w io.Writer, o Options) error {
 	o.fill()
+	tr, finish := tableTrace(o, "T6")
+	reg := tr.Registry()
 	t := report.NewTable("T6: intra-cell transistor-level CPT (extension)",
 		"cell", "inputs", "transistors", "injected", "observable", "hit rate", "avg resolution")
 	perCell := o.Seeds * 4
 	for _, cell := range intracell.Library() {
+		sp := tr.Span("exp.cell")
 		r := rand.New(rand.NewSource(int64(len(cell.Nodes))*7919 + 17))
 		injected, observable, hits, totalRes := 0, 0, 0, 0
 		for trial := 0; trial < perCell; trial++ {
@@ -50,6 +53,9 @@ func T6IntraCell(w io.Writer, o Options) error {
 				}
 			}
 		}
+		sp.End()
+		reg.Counter("exp.t6_injected").Add(int64(injected))
+		reg.Counter("exp.t6_observable").Add(int64(observable))
 		hitRate, avgRes := 0.0, 0.0
 		if observable > 0 {
 			hitRate = float64(hits) / float64(observable)
@@ -57,6 +63,9 @@ func T6IntraCell(w io.Writer, o Options) error {
 		}
 		t.AddRow(cell.Name, len(cell.Inputs), len(cell.Transistors),
 			injected, observable, hitRate, avgRes)
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return t.Render(w)
 }

@@ -22,6 +22,7 @@ import (
 // delay diagnosis engine.
 func T7DelayDefects(w io.Writer, o Options) error {
 	o.fill()
+	tr, finish := tableTrace(o, "T7")
 	t := report.NewTable("T7: delay-defect diagnosis (two-pattern tests)",
 		"circuit", "#slow nets", "pairs", "TF coverage", "hit rate", "full success", "avg resolution")
 	for _, name := range delayCircuits(o) {
@@ -61,10 +62,13 @@ func T7DelayDefects(w io.Writer, o Options) error {
 					continue
 				}
 				runs++
+				sp := tr.Span("exp.transition_diagnose")
 				d, err := transition.Diagnose(c, gen.Pairs, log, 0, 0)
+				sp.End()
 				if err != nil {
 					return err
 				}
+				tr.Registry().Counter("exp.devices").Inc()
 				totalRes += len(d.Multiplet)
 				found := 0
 				for _, s := range slow {
@@ -96,6 +100,9 @@ func T7DelayDefects(w io.Writer, o Options) error {
 				float64(totalRes)/float64(runs))
 		}
 	}
+	if err := finish(); err != nil {
+		return err
+	}
 	return t.Render(w)
 }
 
@@ -113,6 +120,7 @@ func delayCircuits(o Options) []string {
 // well-defined.
 func T8ResolutionImprovement(w io.Writer, o Options) error {
 	o.fill()
+	tr, finish := tableTrace(o, "T8")
 	t := report.NewTable("T8: diagnostic resolution — N-detect and DTPG loop",
 		"circuit", "configuration", "patterns", "sites/device", "region acc")
 	name := "add16"
@@ -171,14 +179,14 @@ func T8ResolutionImprovement(w io.Writer, o Options) error {
 				apply := func(extra []sim.Pattern) (*tester.Datalog, error) {
 					return tester.ApplyTest(c, devs[i], extra)
 				}
-				lr, err := dtpg.ImproveResolution(c, pats, log, apply, core.Config{}, dtpg.Config{Seed: 3})
+				lr, err := dtpg.ImproveResolution(c, pats, log, apply, core.Config{Trace: tr}, dtpg.Config{Seed: 3})
 				if err != nil {
 					return err
 				}
 				res = lr.Result
 				patCount = len(lr.Patterns)
 			} else {
-				res, err = core.Diagnose(c, pats, log, core.Config{})
+				res, err = core.Diagnose(c, pats, log, core.Config{Trace: tr})
 				if err != nil {
 					return err
 				}
@@ -231,6 +239,9 @@ func T8ResolutionImprovement(w io.Writer, o Options) error {
 		return err
 	}
 	if err := run("1-detect ATPG + DTPG loop", gen.Patterns, true); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
 		return err
 	}
 	return t.Render(w)

@@ -19,6 +19,7 @@ import (
 // engine never claims more than the compressed evidence supports.
 func T9Compaction(w io.Writer, o Options) error {
 	o.fill()
+	tr, finish := tableTrace(o, "T9")
 	t := report.NewTable("T9: diagnosis under response compaction",
 		"circuit", "#defects", "configuration", "activated", "region acc", "resolution")
 	name := "b0300"
@@ -38,7 +39,7 @@ func T9Compaction(w io.Writer, o Options) error {
 		// Raw-PO reference row via the core engine.
 		var raw metrics.Aggregate
 		for _, dev := range devs {
-			res, err := core.Diagnose(c, wl.Patterns, dev.log, core.Config{})
+			res, err := core.Diagnose(c, wl.Patterns, dev.log, core.Config{Trace: tr})
 			if err != nil {
 				return err
 			}
@@ -67,10 +68,13 @@ func T9Compaction(w io.Writer, o Options) error {
 					continue // fully aliased: test escape under compaction
 				}
 				activated++
+				sp := tr.Span("exp.compact_diagnose")
 				res, err := compact.Diagnose(c, wl.Patterns, clog, cp, 0, 0)
+				sp.End()
 				if err != nil {
 					return err
 				}
+				tr.Registry().Counter("exp.devices").Inc()
 				var cands []metrics.Candidate
 				for _, nets := range res.MultipletNets() {
 					cands = append(cands, metrics.Candidate{Nets: nets})
@@ -84,6 +88,9 @@ func T9Compaction(w io.Writer, o Options) error {
 			}
 			t.AddRow(name, mult, label, activated, agg.MeanAccuracy(), agg.MeanResolution())
 		}
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return t.Render(w)
 }

@@ -3,12 +3,15 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"multidiag/internal/baseline"
 	"multidiag/internal/core"
 	"multidiag/internal/defect"
 	"multidiag/internal/metrics"
+	"multidiag/internal/obs"
 	"multidiag/internal/report"
 )
 
@@ -16,19 +19,28 @@ import (
 // length and stuck-at coverage (DESIGN.md T1).
 func T1Characteristics(w io.Writer, o Options) error {
 	o.fill()
+	tr, finish := tableTrace(o, "T1")
 	t := report.NewTable("T1: benchmark circuit characteristics",
 		"circuit", "PIs", "POs", "gates", "depth", "patterns", "SA coverage")
 	for _, name := range circuitsFor(o) {
+		sp := tr.Span("exp.workload")
 		wl, err := workload(name)
+		sp.End()
 		if err != nil {
 			return err
 		}
+		sp = tr.Span("exp.coverage")
 		cov, err := FaultCoverage(wl)
+		sp.End()
 		if err != nil {
 			return err
 		}
+		tr.Registry().Counter("exp.circuits").Inc()
 		st := wl.Circuit.ComputeStats()
 		t.AddRow(name, st.PIs, st.POs, st.Gates, st.MaxLevel, len(wl.Patterns), cov)
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return t.Render(w)
 }
@@ -39,6 +51,9 @@ type campaign struct {
 	cands              map[Method]int
 	elapsed            map[Method]time.Duration
 	runs               int
+	// tr is the campaign's trace: the core engine's per-phase spans and
+	// counters, accumulated over every device diagnosed in the campaign.
+	tr *obs.Trace
 }
 
 func newCampaign() *campaign {
@@ -48,6 +63,23 @@ func newCampaign() *campaign {
 		cands:     map[Method]int{},
 		elapsed:   map[Method]time.Duration{},
 	}
+}
+
+// phaseBreakdown renders the core engine's per-diagnosis CPU-time split
+// over the named phases as "a/b/c" in milliseconds.
+func (cp *campaign) phaseBreakdown(phases ...string) string {
+	out := ""
+	for i, ph := range phases {
+		if i > 0 {
+			out += "/"
+		}
+		ms := 0.0
+		if cp.runs > 0 {
+			ms = float64(cp.tr.PhaseTotal(ph).Microseconds()) / 1000 / float64(cp.runs)
+		}
+		out += fmt.Sprintf("%.1f", ms)
+	}
+	return out
 }
 
 func (cp *campaign) add(outcomes []RunOutcome) {
@@ -65,19 +97,54 @@ func (cp *campaign) add(outcomes []RunOutcome) {
 }
 
 // runCampaign diagnoses `seeds` activated devices of the given multiplicity
-// with the given methods.
-func runCampaign(wl *Workload, multiplicity, seeds int, baseSeed int64, methods []Method, dict *baseline.Dictionary, radius int, mix defect.CampaignConfig) (*campaign, error) {
+// with the given methods. Devices are diagnosed concurrently (bounded by
+// GOMAXPROCS) but outcomes are folded in device order, so every aggregate
+// is deterministic. The campaign gets its own labelled trace — shared by
+// the concurrent diagnoses and wired to the options' emitter — and emits
+// one "run" record when done.
+func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int, baseSeed int64, methods []Method, dict *baseline.Dictionary, mix defect.CampaignConfig) (*campaign, error) {
+	tr := obs.New(label)
+	tr.SetEmitter(o.Emitter)
+	root := tr.Span("exp.campaign")
+	sp := root.Child("exp.devices")
 	devs, err := makeDevices(wl, seeds, multiplicity, baseSeed, mix)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	cp := newCampaign()
-	for _, dev := range devs {
-		outs, err := runMethods(wl, dev, methods, dict, radius)
+	tr.Registry().Counter("exp.devices").Add(int64(len(devs)))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(devs) {
+		workers = len(devs)
+	}
+	outs := make([][]RunOutcome, len(devs))
+	errs := make([]error, len(devs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range devs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i], errs[i] = runMethods(tr, wl, devs[i], methods, dict, o.Radius)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		cp.add(outs)
+	}
+	cp := newCampaign()
+	cp.tr = tr
+	for _, oc := range outs {
+		cp.add(oc)
+	}
+	root.End()
+	if err := tr.EmitRun(nil); err != nil {
+		return nil, err
 	}
 	return cp, nil
 }
@@ -87,8 +154,9 @@ func runCampaign(wl *Workload, multiplicity, seeds int, baseSeed int64, methods 
 // assumptions all hold for one defect — so T2 is the sanity anchor.
 func T2SingleDefect(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "T2")
 	t := report.NewTable("T2: single-defect sanity (per circuit × mechanism)",
-		"circuit", "mechanism", "method", "site acc", "region acc", "resolution", "ms/diag")
+		"circuit", "mechanism", "method", "site acc", "region acc", "resolution", "ms/diag", "core ms ext/score/cover")
 	names := circuitsFor(o)
 	for _, name := range names {
 		wl, err := workload(name)
@@ -118,7 +186,7 @@ func T2SingleDefect(w io.Writer, o Options) error {
 			if dict != nil {
 				methods = append(methods, MethodDictionary)
 			}
-			cp, err := runCampaign(wl, 1, o.Seeds, 10_000, methods, dict, o.Radius, mech.mix)
+			cp, err := runCampaign(o, "T2/"+name+"/"+mech.label, wl, 1, o.Seeds, 10_000, methods, dict, mech.mix)
 			if err != nil {
 				return err
 			}
@@ -127,11 +195,18 @@ func T2SingleDefect(w io.Writer, o Options) error {
 				if agg == nil {
 					continue
 				}
+				breakdown := "-"
+				if m == MethodOurs {
+					breakdown = cp.phaseBreakdown("extract", "score", "cover")
+				}
 				t.AddRow(name, mech.label, string(m),
 					agg.MeanAccuracy(), reg.MeanAccuracy(), reg.MeanResolution(),
-					float64(cp.elapsed[m].Milliseconds())/float64(cp.runs))
+					float64(cp.elapsed[m].Milliseconds())/float64(cp.runs), breakdown)
 			}
 		}
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return t.Render(w)
 }
@@ -140,8 +215,9 @@ func T2SingleDefect(w io.Writer, o Options) error {
 // multiplicity 2–5, ours vs. SLAT vs. intersection (DESIGN.md T3).
 func T3MultiDefect(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "T3")
 	t := report.NewTable("T3: multiple-defect diagnosis vs multiplicity",
-		"circuit", "#defects", "method", "site acc", "region acc", "success", "resolution", "ms/diag")
+		"circuit", "#defects", "method", "site acc", "region acc", "success", "resolution", "ms/diag", "core ms ext/score/cover")
 	methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
 	for _, name := range multiCircuits(o) {
 		wl, err := workload(name)
@@ -149,7 +225,7 @@ func T3MultiDefect(w io.Writer, o Options) error {
 			return err
 		}
 		for mult := 2; mult <= 5; mult++ {
-			cp, err := runCampaign(wl, mult, o.Seeds, int64(20_000+mult*1000), methods, nil, o.Radius, defect.CampaignConfig{})
+			cp, err := runCampaign(o, fmt.Sprintf("T3/%s/%d", name, mult), wl, mult, o.Seeds, int64(20_000+mult*1000), methods, nil, defect.CampaignConfig{})
 			if err != nil {
 				return err
 			}
@@ -158,11 +234,18 @@ func T3MultiDefect(w io.Writer, o Options) error {
 				if agg == nil {
 					continue
 				}
+				breakdown := "-"
+				if m == MethodOurs {
+					breakdown = cp.phaseBreakdown("extract", "score", "cover")
+				}
 				t.AddRow(name, mult, string(m),
 					agg.MeanAccuracy(), reg.MeanAccuracy(), reg.SuccessRate(), reg.MeanResolution(),
-					float64(cp.elapsed[m].Milliseconds())/float64(cp.runs))
+					float64(cp.elapsed[m].Milliseconds())/float64(cp.runs), breakdown)
 			}
 		}
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return t.Render(w)
 }
@@ -180,6 +263,7 @@ func multiCircuits(o Options) []string {
 // buckets while SLAT's falls as the non-SLAT fraction grows.
 func T4PatternCharacter(w io.Writer, o Options) error {
 	o.fill()
+	tr, finish := tableTrace(o, "T4")
 	t := report.NewTable("T4: accuracy vs non-SLAT failing-pattern fraction",
 		"bucket", "devices", "ours acc", "slat acc", "ours res", "slat res")
 	type bucket struct {
@@ -198,8 +282,9 @@ func T4PatternCharacter(w io.Writer, o Options) error {
 			if err != nil {
 				return err
 			}
+			tr.Registry().Counter("exp.devices").Add(int64(len(devs)))
 			for _, dev := range devs {
-				outs, err := runMethods(wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o.Radius)
+				outs, err := runMethods(tr, wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o.Radius)
 				if err != nil {
 					return err
 				}
@@ -236,6 +321,9 @@ func T4PatternCharacter(w io.Writer, o Options) error {
 		t.AddRow(labels[i], b.count, b.oursAcc/n, b.slatAcc/n,
 			float64(b.oursRes)/n, float64(b.slatRes)/n)
 	}
+	if err := finish(); err != nil {
+		return err
+	}
 	return t.Render(w)
 }
 
@@ -243,6 +331,7 @@ func T4PatternCharacter(w io.Writer, o Options) error {
 // (DESIGN.md F1), one series per method.
 func F1AccuracyVsDefects(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "F1")
 	f := report.NewFigure("F1: region accuracy vs #defects", "#defects", "mean region accuracy")
 	methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
 	series := map[Method]*report.Series{}
@@ -254,7 +343,7 @@ func F1AccuracyVsDefects(w io.Writer, o Options) error {
 		return err
 	}
 	for mult := 1; mult <= 5; mult++ {
-		cp, err := runCampaign(wl, mult, o.Seeds, int64(40_000+mult*333), methods, nil, o.Radius, defect.CampaignConfig{})
+		cp, err := runCampaign(o, fmt.Sprintf("F1/%d", mult), wl, mult, o.Seeds, int64(40_000+mult*333), methods, nil, defect.CampaignConfig{})
 		if err != nil {
 			return err
 		}
@@ -263,6 +352,9 @@ func F1AccuracyVsDefects(w io.Writer, o Options) error {
 				series[m].Add(float64(mult), agg.MeanAccuracy())
 			}
 		}
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return f.Render(w)
 }
@@ -278,6 +370,7 @@ func primaryCircuit(o Options) string {
 // (DESIGN.md F2).
 func F2ResolutionVsDefects(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "F2")
 	f := report.NewFigure("F2: resolution vs #defects", "#defects", "mean candidates")
 	methods := []Method{MethodOurs, MethodSLAT, MethodIntersection}
 	series := map[Method]*report.Series{}
@@ -289,7 +382,7 @@ func F2ResolutionVsDefects(w io.Writer, o Options) error {
 		return err
 	}
 	for mult := 1; mult <= 5; mult++ {
-		cp, err := runCampaign(wl, mult, o.Seeds, int64(50_000+mult*333), methods, nil, o.Radius, defect.CampaignConfig{})
+		cp, err := runCampaign(o, fmt.Sprintf("F2/%d", mult), wl, mult, o.Seeds, int64(50_000+mult*333), methods, nil, defect.CampaignConfig{})
 		if err != nil {
 			return err
 		}
@@ -299,6 +392,9 @@ func F2ResolutionVsDefects(w io.Writer, o Options) error {
 			}
 		}
 	}
+	if err := finish(); err != nil {
+		return err
+	}
 	return f.Render(w)
 }
 
@@ -307,6 +403,7 @@ func F2ResolutionVsDefects(w io.Writer, o Options) error {
 // primary circuit).
 func F3Runtime(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "F3")
 	sizes := []string{"b0300", "b0500", "b1000"}
 	if !o.Quick {
 		sizes = []string{"b0500", "b1000", "b2000", "b4000"}
@@ -318,7 +415,7 @@ func F3Runtime(w io.Writer, o Options) error {
 		if err != nil {
 			return err
 		}
-		cp, err := runCampaign(wl, 3, minInt(o.Seeds, 8), 60_000, []Method{MethodOurs}, nil, o.Radius, defect.CampaignConfig{})
+		cp, err := runCampaign(o, "F3a/"+name, wl, 3, minInt(o.Seeds, 8), 60_000, []Method{MethodOurs}, nil, defect.CampaignConfig{})
 		if err != nil {
 			return err
 		}
@@ -335,11 +432,14 @@ func F3Runtime(w io.Writer, o Options) error {
 		return err
 	}
 	for mult := 1; mult <= 5; mult++ {
-		cp, err := runCampaign(wl, mult, minInt(o.Seeds, 8), int64(61_000+mult*13), []Method{MethodOurs}, nil, o.Radius, defect.CampaignConfig{})
+		cp, err := runCampaign(o, fmt.Sprintf("F3b/%d", mult), wl, mult, minInt(o.Seeds, 8), int64(61_000+mult*13), []Method{MethodOurs}, nil, defect.CampaignConfig{})
 		if err != nil {
 			return err
 		}
 		s2.Add(float64(mult), float64(cp.elapsed[MethodOurs].Milliseconds())/float64(cp.runs))
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return f2.Render(w)
 }
@@ -348,6 +448,7 @@ func F3Runtime(w io.Writer, o Options) error {
 // region accuracy at multiplicity 3 under different mechanism populations.
 func F4DefectTypes(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "F4")
 	f := report.NewFigure("F4: region accuracy by defect-type mix (3 defects)", "mix#", "mean region accuracy")
 	mixes := []struct {
 		label string
@@ -369,7 +470,7 @@ func F4DefectTypes(w io.Writer, o Options) error {
 	}
 	t := report.NewTable("F4 key", "mix#", "population")
 	for i, mx := range mixes {
-		cp, err := runCampaign(wl, 3, o.Seeds, int64(70_000+i*101), methods, nil, o.Radius, mx.mix)
+		cp, err := runCampaign(o, "F4/"+mx.label, wl, 3, o.Seeds, int64(70_000+i*101), methods, nil, mx.mix)
 		if err != nil {
 			return err
 		}
@@ -383,6 +484,9 @@ func F4DefectTypes(w io.Writer, o Options) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
+	if err := finish(); err != nil {
+		return err
+	}
 	return f.Render(w)
 }
 
@@ -391,8 +495,9 @@ func F4DefectTypes(w io.Writer, o Options) error {
 // penalty λ.
 func T5Ablation(w io.Writer, o Options) error {
 	o.fill()
+	_, finish := tableTrace(o, "T5")
 	t := report.NewTable("T5: ablations (3 defects, mixed mechanisms)",
-		"variant", "site acc", "region acc", "success", "resolution", "flagged inconsistent")
+		"variant", "site acc", "region acc", "success", "resolution", "flagged inconsistent", "core ms ext/score/cover")
 	wl, err := workload(primaryCircuit(o))
 	if err != nil {
 		return err
@@ -415,10 +520,16 @@ func T5Ablation(w io.Writer, o Options) error {
 		{"λ=3", core.Config{Lambda: 3}},
 	}
 	for _, v := range variants {
+		// Each variant gets its own trace so the per-phase cost of the
+		// ablated configuration is separable (and its own run record).
+		vtr := obs.New("T5/" + v.label)
+		vtr.SetEmitter(o.Emitter)
+		cfg := v.cfg
+		cfg.Trace = vtr
 		var site, region metrics.Aggregate
 		inconsistent := 0
 		for _, dev := range devs {
-			res, err := core.Diagnose(wl.Circuit, wl.Patterns, dev.log, v.cfg)
+			res, err := core.Diagnose(wl.Circuit, wl.Patterns, dev.log, cfg)
 			if err != nil {
 				return err
 			}
@@ -432,9 +543,17 @@ func T5Ablation(w io.Writer, o Options) error {
 				inconsistent++
 			}
 		}
+		vcp := &campaign{tr: vtr, runs: len(devs)}
+		if err := vtr.EmitRun(nil); err != nil {
+			return err
+		}
 		t.AddRow(v.label, site.MeanAccuracy(), region.MeanAccuracy(),
 			region.SuccessRate(), region.MeanResolution(),
-			fmt.Sprintf("%d/%d", inconsistent, len(devs)))
+			fmt.Sprintf("%d/%d", inconsistent, len(devs)),
+			vcp.phaseBreakdown("extract", "score", "cover"))
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	return t.Render(w)
 }

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/obs"
+)
+
+// lockedBuffer serializes concurrent writes from the parallel campaign
+// runner's emitter.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// spanKeys / runKeys are the documented JSONL schema (DESIGN.md
+// §Observability): the golden key sets a record of each kind may carry.
+var (
+	spanKeys = map[string]bool{"kind": true, "run": true, "phase": true, "seq": true, "start_ns": true, "dur_ns": true}
+	runKeys  = map[string]bool{"kind": true, "run": true, "seq": true, "dur_ns": true, "phases": true, "counters": true, "extra": true}
+)
+
+// TestTraceSchemaGolden runs a quick slice of the suite with an emitter
+// attached and validates every emitted line against the documented record
+// schema: parseable JSON, known kinds, monotone sequence numbers, golden
+// key sets, and one "run" record with phases and counters per table and
+// per campaign.
+func TestTraceSchemaGolden(t *testing.T) {
+	var buf lockedBuffer
+	em := obs.NewEmitter(&buf)
+	o := quickOpts()
+	o.Emitter = em
+
+	if err := T1Characteristics(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := T3MultiDefect(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d trace lines emitted", len(lines))
+	}
+	runRecords := map[string]obs.Event{}
+	prevSeq := int64(-1)
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		if ev.Seq <= prevSeq {
+			t.Fatalf("line %d: seq %d not monotone after %d", i, ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case "span":
+			for k := range raw {
+				if !spanKeys[k] {
+					t.Errorf("line %d: span record has unknown key %q", i, k)
+				}
+			}
+			if ev.Phase == "" || ev.DurNS < 0 {
+				t.Errorf("line %d: bad span record %+v", i, ev)
+			}
+		case "run":
+			for k := range raw {
+				if !runKeys[k] {
+					t.Errorf("line %d: run record has unknown key %q", i, k)
+				}
+			}
+			if len(ev.Phases) == 0 || len(ev.Counters) == 0 {
+				t.Errorf("line %d: run record %q missing phases/counters", i, ev.Run)
+			}
+			runRecords[ev.Run] = ev
+		default:
+			t.Fatalf("line %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+
+	// One run record per table and per campaign of the tables we ran.
+	for _, want := range []string{"T1", "T3", "T3/b0300/2", "T3/b0300/5"} {
+		if _, ok := runRecords[want]; !ok {
+			t.Errorf("no run record for %q (have %d records)", want, len(runRecords))
+		}
+	}
+	// Campaign records carry the core engine's phase breakdown and device
+	// counter — the payload the per-table CPU columns are derived from.
+	cpRec := runRecords["T3/b0300/2"]
+	for _, ph := range []string{"exp.campaign", "diagnose", "extract", "score", "cover"} {
+		if cpRec.Phases[ph].Count == 0 {
+			t.Errorf("campaign record missing phase %q: %v", ph, cpRec.Phases)
+		}
+	}
+	if cpRec.Counters["exp.devices"] == 0 || cpRec.Counters["core.candidates_extracted"] == 0 {
+		t.Errorf("campaign counters incomplete: %v", cpRec.Counters)
+	}
+}
+
+// TestCampaignDeterministicUnderParallelism pins the parallel device
+// runner's contract: aggregates must not depend on goroutine scheduling.
+func TestCampaignDeterministicUnderParallelism(t *testing.T) {
+	wl, err := workload("b0300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quickOpts()
+	o.fill()
+	methods := []Method{MethodOurs, MethodSLAT}
+	var first *campaign
+	for i := 0; i < 3; i++ {
+		cp, err := runCampaign(o, "det", wl, 2, o.Seeds, 123, methods, nil, defect.CampaignConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = cp
+			continue
+		}
+		for _, m := range methods {
+			if cp.aggSite[m].MeanAccuracy() != first.aggSite[m].MeanAccuracy() {
+				t.Fatalf("run %d: method %s site accuracy differs", i, m)
+			}
+			if cp.cands[m] != first.cands[m] {
+				t.Fatalf("run %d: method %s candidate count differs", i, m)
+			}
+		}
+		if cp.runs != first.runs {
+			t.Fatalf("run %d: device count differs", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fsim
 import (
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 )
 
@@ -32,6 +33,9 @@ type CPT struct {
 	es *sim.EventSim
 
 	refs []int // number of fan-in references per net (stem detection)
+
+	statTraces    *obs.Counter
+	statStemFlips *obs.Counter
 }
 
 // NewCPT builds a tracer for the finalized circuit c.
@@ -45,6 +49,14 @@ func NewCPT(c *netlist.Circuit) *CPT {
 	return t
 }
 
+// Observe wires the tracer's counters into r (nil r detaches): backtraces
+// run and exact stem flip-and-propagate checks (the expensive primitive
+// of exact CPT).
+func (t *CPT) Observe(r *obs.Registry) {
+	t.statTraces = r.Counter("cpt.traces")
+	t.statStemFlips = r.Counter("cpt.stem_flips")
+}
+
 // Critical computes the set of nets critical for po under pattern p, as a
 // boolean slice indexed by NetID. The second return value is the per-net
 // fault-free values of the pattern (useful to the caller for deriving
@@ -53,6 +65,7 @@ func (t *CPT) Critical(p sim.Pattern, po netlist.NetID) ([]bool, []logic.Value, 
 	if err := t.es.Baseline(p, nil); err != nil {
 		return nil, nil, err
 	}
+	t.statTraces.Inc()
 	vals := append([]logic.Value(nil), t.es.Values()...)
 	crit := make([]bool, t.c.NumGates())
 
@@ -96,6 +109,7 @@ func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bo
 	if err := t.es.Baseline(p, nil); err != nil {
 		return nil, nil, nil, err
 	}
+	t.statTraces.Inc()
 	vals = append([]logic.Value(nil), t.es.Values()...)
 	n := t.c.NumGates()
 	union = make([]bool, n)
@@ -128,6 +142,7 @@ func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bo
 		for i, po := range pos {
 			before[i] = t.es.Value(po)
 		}
+		t.statStemFlips.Inc()
 		_, restore := t.es.PropagateFrom(s, vals[s].Not())
 		flips := make([]bool, len(pos))
 		for i, po := range pos {
@@ -175,6 +190,7 @@ func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bo
 // flipChangesPO flips net n from its baseline value and reports whether po
 // changes. The perturbation is undone before returning.
 func (t *CPT) flipChangesPO(n netlist.NetID, cur logic.Value, po netlist.NetID) bool {
+	t.statStemFlips.Inc()
 	flipped := cur.Not()
 	before := t.es.Value(po)
 	_, restore := t.es.PropagateFrom(n, flipped)
@@ -221,6 +237,7 @@ func (t *CPT) CriticalApproxForOutputs(p sim.Pattern, pos []netlist.NetID) (unio
 	if err := t.es.Baseline(p, nil); err != nil {
 		return nil, nil, err
 	}
+	t.statTraces.Inc()
 	vals = append([]logic.Value(nil), t.es.Values()...)
 	n := t.c.NumGates()
 	union = make([]bool, n)

@@ -16,6 +16,7 @@ import (
 	"multidiag/internal/fault"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 )
 
@@ -108,6 +109,13 @@ type FaultSim struct {
 	touched []netlist.NetID
 	inCone  []bool
 	poIndex map[netlist.NetID]int
+
+	// observability handles, resolved once by Observe; nil (no-op) until
+	// then, so the uninstrumented path costs one pointer test per counter.
+	statSims      *obs.Counter
+	statConeEvals *obs.Counter
+	statXWords    *obs.Counter
+	statConeSize  *obs.Histogram
 }
 
 // NewFaultSim packs the pattern set and precomputes fault-free values.
@@ -145,6 +153,17 @@ func NewFaultSim(c *netlist.Circuit, pats []sim.Pattern) (*FaultSim, error) {
 	}
 	fs.nWords = len(fs.words)
 	return fs, nil
+}
+
+// Observe wires the simulator's counters into r (nil r detaches): faults
+// simulated, packed gate-word evaluations, X-propagation words, and a
+// log₂ histogram of fan-out cone sizes. Counter updates are atomic, so
+// one registry may observe simulators on several goroutines.
+func (fs *FaultSim) Observe(r *obs.Registry) {
+	fs.statSims = r.Counter("fsim.sims")
+	fs.statConeEvals = r.Counter("fsim.cone_gate_word_evals")
+	fs.statXWords = r.Counter("fsim.xsim_words")
+	fs.statConeSize = r.Histogram("fsim.cone_size")
 }
 
 // Circuit returns the simulated circuit.
@@ -214,6 +233,7 @@ func (fs *FaultSim) SimulateXAt(nets []netlist.NetID) []bitset.Set {
 		force[n] = logic.PVX
 	}
 	out := make([]bitset.Set, len(fs.pats))
+	fs.statXWords.Add(int64(fs.nWords))
 	s := sim.New(fs.c)
 	for w := 0; w < fs.nWords; w++ {
 		if err := s.RunWithOverrides(fs.piWords[w], force); err != nil {
@@ -281,6 +301,10 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 			fs.inCone[n] = false
 		}
 	}()
+
+	fs.statSims.Inc()
+	fs.statConeSize.Observe(int64(len(fs.touched)))
+	fs.statConeEvals.Add(int64(len(fs.touched)) * int64(fs.nWords))
 
 	// POs inside the cone, by index.
 	var conePOs []int

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// The disabled path (nil trace/handles) is what every instrumented engine
+// pays when no tracing is installed — the ISSUE budget is <2% end-to-end,
+// which these micro-benchmarks bound from below (each op must stay in the
+// low-nanosecond range; the end-to-end check is BenchmarkDiagnose* in
+// internal/core).
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Trace
+	var d time.Duration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span("phase").EndInto(&d)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New("bench")
+	var d time.Duration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span("phase").EndInto(&d)
+	}
+}
+
+func BenchmarkSpanEnabledEmitting(b *testing.B) {
+	tr := New("bench")
+	tr.SetEmitter(NewEmitter(io.Discard))
+	var d time.Duration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span("phase").EndInto(&d)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// PhaseNS is the JSONL rendering of one phase aggregate.
+type PhaseNS struct {
+	Count int64 `json:"n"`
+	DurNS int64 `json:"dur_ns"`
+}
+
+// Event is one JSONL trace record. Two kinds are emitted:
+//
+//	{"kind":"span","run":…,"phase":…,"seq":…,"start_ns":…,"dur_ns":…}
+//	{"kind":"run","run":…,"seq":…,"dur_ns":…,"phases":{…},"counters":{…},"extra":{…}}
+//
+// seq is a process-wide monotone sequence per emitter, so interleaved
+// concurrent emission stays reconstructible offline.
+type Event struct {
+	Kind     string             `json:"kind"`
+	Run      string             `json:"run,omitempty"`
+	Phase    string             `json:"phase,omitempty"`
+	Seq      int64              `json:"seq"`
+	StartNS  int64              `json:"start_ns,omitempty"`
+	DurNS    int64              `json:"dur_ns,omitempty"`
+	Phases   map[string]PhaseNS `json:"phases,omitempty"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Extra    map[string]any     `json:"extra,omitempty"`
+}
+
+// Emitter serializes events as JSON Lines onto one writer. It is safe for
+// concurrent use and keeps the first write/encode error sticky, so a CLI
+// can stream fire-and-forget from hot paths and still fail loudly at exit
+// instead of silently dropping events. A nil *Emitter ignores every call.
+type Emitter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	seq int64
+	n   int64
+	err error
+}
+
+// NewEmitter wraps w. The caller owns w's lifecycle (see Close).
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line, assigning its sequence number. After the
+// first failure every subsequent Emit returns the same sticky error
+// without writing.
+func (e *Emitter) Emit(ev Event) error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	ev.Seq = e.seq
+	e.seq++
+	if err := e.enc.Encode(ev); err != nil {
+		e.err = fmt.Errorf("obs: trace emit failed: %w", err)
+		return e.err
+	}
+	e.n++
+	return nil
+}
+
+// Events returns the number of successfully emitted records.
+func (e *Emitter) Events() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Err returns the sticky error, if any emission failed.
+func (e *Emitter) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close closes the underlying writer when it is an io.Closer and returns
+// the sticky emission error (which takes precedence over the close error:
+// dropped events matter more than a double-close).
+func (e *Emitter) Close() error {
+	if e == nil {
+		return nil
+	}
+	var closeErr error
+	if c, ok := e.w.(io.Closer); ok {
+		closeErr = c.Close()
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	return closeErr
+}

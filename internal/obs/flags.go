@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags bundles the observability command-line flags shared by the CLIs
+// (mddiag, mdexp, mdfsim): JSONL trace output, CPU/heap profiles and the
+// pprof/expvar debug listener.
+type Flags struct {
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+	DebugAddr  string
+}
+
+// Register installs the flags on fs (use flag.CommandLine for main).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write JSONL run/span trace records to `file`")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` at exit")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060)")
+}
+
+// Setup activates whatever the flags request: it creates a trace labeled
+// label, installs it as the process global, opens the trace file, starts
+// profiles and the debug listener. The returned finish func must run
+// before exit — it emits the final run record, flushes profiles, and
+// returns the first error from any sink (an unwritable -trace-out file
+// surfaces here rather than dropping events silently). Setup itself fails
+// fast when a file cannot be created.
+func (f *Flags) Setup(label string) (*Trace, func() error, error) {
+	tr := New(label)
+	SetGlobal(tr)
+
+	var em *Emitter
+	if f.TraceOut != "" {
+		out, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace-out: %w", err)
+		}
+		em = NewEmitter(out)
+		tr.SetEmitter(em)
+	}
+	stopProfiles, err := StartProfiles(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		em.Close()
+		return nil, nil, err
+	}
+	if f.DebugAddr != "" {
+		addr, err := ServeDebug(f.DebugAddr, tr.Registry())
+		if err != nil {
+			stopProfiles()
+			em.Close()
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/\n", label, addr)
+	}
+
+	finish := func() error {
+		firstErr := tr.EmitRun(nil)
+		if err := em.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := stopProfiles(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	return tr, finish, nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagsSetupTraceFile(t *testing.T) {
+	defer SetGlobal(Global())
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-trace-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	tr, finish, err := f.Setup("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Global() != tr {
+		t.Error("Setup did not install the global trace")
+	}
+	tr.Span("p").End()
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 { // one span + the final run record
+		t.Fatalf("trace file has %d lines:\n%s", len(lines), data)
+	}
+	var last Event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != "run" || last.Phases["p"].Count != 1 {
+		t.Errorf("final record = %+v", last)
+	}
+}
+
+func TestFlagsSetupUnwritable(t *testing.T) {
+	defer SetGlobal(Global())
+	f := Flags{TraceOut: filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}
+	if _, _, err := f.Setup("unit"); err == nil {
+		t.Fatal("Setup accepted an unwritable -trace-out path")
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// Disabled profiles are a no-op round trip.
+	stop, err = StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg.hits").Add(2)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	md, ok := vars["multidiag"].(map[string]any)
+	if !ok {
+		t.Fatalf("expvar missing multidiag key: %v", vars["multidiag"])
+	}
+	if md["dbg.hits"] != float64(2) {
+		t.Errorf("dbg.hits = %v", md["dbg.hits"])
+	}
+}

@@ -1,0 +1,286 @@
+// Package obs is the observability layer of the diagnosis pipeline:
+// hierarchical phase timing (Trace/Span), a race-safe registry of named
+// counters, gauges and log₂-bucket histograms, a JSONL run-event emitter,
+// and opt-in profiling hooks for the CLIs.
+//
+// Everything is stdlib-only and nil-tolerant: a nil *Trace, *Registry,
+// *Counter, *Gauge, *Histogram or *Emitter accepts every call as a cheap
+// no-op, so instrumented code needs no "is tracing on?" branches and the
+// disabled fast path costs a pointer test (benchmarked in bench_test.go;
+// the <2% end-to-end budget is checked in internal/core's benchmarks).
+//
+// Span durations are measured even when no trace is installed — the
+// exported Elapsed fields of the diagnosis results stay populated with
+// tracing off, which is the backward-compatibility contract the engines
+// rely on (Span.EndInto replaces the old start := time.Now() /
+// res.Elapsed = time.Since(start) boilerplate).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpanRecords bounds the retained per-span detail so long-lived traces
+// (services, big campaigns) cannot grow without bound. Phase totals keep
+// aggregating past the cap; only the per-span records stop being stored.
+const maxSpanRecords = 1 << 16
+
+// PhaseStat is the aggregate of all ended spans sharing one name.
+type PhaseStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// SpanRecord is one retained span, for offline inspection and tests.
+type SpanRecord struct {
+	Name   string
+	Parent int // index into Trace records, -1 for a root span
+	Start  time.Duration
+	Dur    time.Duration
+	Done   bool
+}
+
+// Trace collects the spans and metrics of one run (or one campaign of
+// runs). All methods are safe for concurrent use; span recording from the
+// parallel experiment runner serializes on one mutex, which is fine at
+// phase granularity.
+type Trace struct {
+	label string
+	epoch time.Time
+	reg   *Registry
+
+	mu      sync.Mutex
+	records []SpanRecord
+	dropped int64
+	phases  map[string]*PhaseStat
+
+	em atomic.Pointer[Emitter]
+}
+
+// New creates an enabled trace with its own registry.
+func New(label string) *Trace {
+	return &Trace{
+		label:  label,
+		epoch:  time.Now(),
+		reg:    NewRegistry(),
+		phases: make(map[string]*PhaseStat),
+	}
+}
+
+// Label returns the trace label ("" on a nil trace).
+func (t *Trace) Label() string {
+	if t == nil {
+		return ""
+	}
+	return t.label
+}
+
+// Registry returns the trace's metric registry (nil on a nil trace, which
+// every Registry method tolerates).
+func (t *Trace) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// SetEmitter streams every ended span and every EmitRun record to e.
+// Pass nil to detach.
+func (t *Trace) SetEmitter(e *Emitter) {
+	if t == nil {
+		return
+	}
+	t.em.Store(e)
+}
+
+// Emitter returns the attached emitter (nil when detached or on a nil
+// trace), so callers can fan the same destination out to derived traces.
+func (t *Trace) Emitter() *Emitter {
+	if t == nil {
+		return nil
+	}
+	return t.em.Load()
+}
+
+// Span starts a root-level phase span. On a nil trace the span still
+// captures its start time, so End/EndInto report real durations with
+// tracing disabled (the Elapsed backward-compatibility path).
+func (t *Trace) Span(name string) Span {
+	if t == nil {
+		return Span{parent: -1, idx: -1, start: time.Now()}
+	}
+	return t.startSpan(name, -1)
+}
+
+func (t *Trace) startSpan(name string, parent int) Span {
+	now := time.Now()
+	t.mu.Lock()
+	idx := -1
+	if len(t.records) < maxSpanRecords {
+		idx = len(t.records)
+		t.records = append(t.records, SpanRecord{Name: name, Parent: parent, Start: now.Sub(t.epoch)})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	return Span{t: t, name: name, parent: parent, idx: idx, start: now}
+}
+
+// Span is one in-flight phase measurement. The zero value is inert.
+type Span struct {
+	t      *Trace
+	name   string
+	parent int
+	idx    int
+	start  time.Time
+}
+
+// Child starts a nested span under s. On a disabled span it degrades to a
+// plain stopwatch like Trace.Span on nil.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{parent: -1, idx: -1, start: time.Now()}
+	}
+	return s.t.startSpan(name, s.idx)
+}
+
+// End finishes the span and returns its duration. Ending a zero Span
+// returns a meaningless but harmless duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	t := s.t
+	if t == nil {
+		return d
+	}
+	t.mu.Lock()
+	if s.idx >= 0 && s.idx < len(t.records) {
+		t.records[s.idx].Dur = d
+		t.records[s.idx].Done = true
+	}
+	ps := t.phases[s.name]
+	if ps == nil {
+		ps = &PhaseStat{Name: s.name}
+		t.phases[s.name] = ps
+	}
+	ps.Count++
+	ps.Total += d
+	t.mu.Unlock()
+	if em := t.em.Load(); em != nil {
+		em.Emit(Event{
+			Kind:    "span",
+			Run:     t.label,
+			Phase:   s.name,
+			StartNS: s.start.Sub(t.epoch).Nanoseconds(),
+			DurNS:   d.Nanoseconds(),
+		})
+	}
+	return d
+}
+
+// EndInto ends the span and stores its duration through d — the one-line
+// replacement for the Elapsed boilerplate. d may be nil.
+func (s Span) EndInto(d *time.Duration) {
+	e := s.End()
+	if d != nil {
+		*d = e
+	}
+}
+
+// PhaseStats returns the per-name aggregates of all ended spans, sorted by
+// name. Nil trace → nil.
+func (t *Trace) PhaseStats() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]PhaseStat, 0, len(t.phases))
+	for _, ps := range t.phases {
+		out = append(out, *ps)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PhaseTotal returns the accumulated duration of all ended spans named
+// name (zero when absent or on a nil trace).
+func (t *Trace) PhaseTotal(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps := t.phases[name]; ps != nil {
+		return ps.Total
+	}
+	return 0
+}
+
+// Records returns a copy of the retained span records and the number of
+// spans dropped past the retention cap.
+func (t *Trace) Records() ([]SpanRecord, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.records...), t.dropped
+}
+
+// Reset clears spans, phase aggregates and the registry, keeping label,
+// epoch and emitter.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.records = nil
+	t.dropped = 0
+	t.phases = make(map[string]*PhaseStat)
+	t.mu.Unlock()
+	t.reg.Reset()
+}
+
+// EmitRun writes one "run" record — total phase aggregates plus a full
+// counter snapshot — to the trace's emitter. extra fields are merged into
+// the record (schema: DESIGN.md §Observability). No-op without an emitter.
+func (t *Trace) EmitRun(extra map[string]any) error {
+	if t == nil {
+		return nil
+	}
+	em := t.em.Load()
+	if em == nil {
+		return nil
+	}
+	phases := make(map[string]PhaseNS)
+	t.mu.Lock()
+	for name, ps := range t.phases {
+		phases[name] = PhaseNS{Count: ps.Count, DurNS: ps.Total.Nanoseconds()}
+	}
+	t.mu.Unlock()
+	return em.Emit(Event{
+		Kind:     "run",
+		Run:      t.label,
+		DurNS:    time.Since(t.epoch).Nanoseconds(),
+		Phases:   phases,
+		Counters: t.reg.Snapshot(),
+		Extra:    extra,
+	})
+}
+
+// global is the process-wide default trace, used by engines whose exported
+// signatures predate the observability layer (baseline, compact, seqdiag,
+// transition) and by core when Config.Trace is nil. It stays nil —
+// tracing disabled — until a CLI or test installs one.
+var global atomic.Pointer[Trace]
+
+// Global returns the installed process-wide trace, or nil when tracing is
+// disabled.
+func Global() *Trace { return global.Load() }
+
+// SetGlobal installs (or, with nil, removes) the process-wide trace.
+func SetGlobal(t *Trace) { global.Store(t) }

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := New("test")
+	root := tr.Span("diagnose")
+	a := root.Child("extract")
+	a.End()
+	b := root.Child("score")
+	b.End()
+	root.End()
+
+	recs, dropped := tr.Records()
+	if dropped != 0 {
+		t.Fatalf("dropped %d spans", dropped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Name != "diagnose" || recs[0].Parent != -1 {
+		t.Errorf("root record = %+v", recs[0])
+	}
+	for _, i := range []int{1, 2} {
+		if recs[i].Parent != 0 {
+			t.Errorf("record %d (%s) parent = %d, want 0", i, recs[i].Name, recs[i].Parent)
+		}
+		if !recs[i].Done {
+			t.Errorf("record %d not marked done", i)
+		}
+	}
+	if recs[2].Start < recs[1].Start {
+		t.Error("sibling spans out of start order")
+	}
+	if tr.PhaseTotal("extract") <= 0 || tr.PhaseTotal("score") <= 0 {
+		t.Error("phase totals not accumulated")
+	}
+	st := tr.PhaseStats()
+	if len(st) != 3 {
+		t.Fatalf("PhaseStats = %v", st)
+	}
+	// Sorted by name: diagnose < extract < score.
+	if st[0].Name != "diagnose" || st[1].Name != "extract" || st[2].Name != "score" {
+		t.Errorf("PhaseStats order: %v", st)
+	}
+}
+
+func TestNilTraceStillMeasures(t *testing.T) {
+	var tr *Trace
+	sp := tr.Span("x")
+	time.Sleep(2 * time.Millisecond)
+	var d time.Duration
+	sp.EndInto(&d)
+	if d < time.Millisecond {
+		t.Errorf("nil-trace span measured %v, want ≥1ms", d)
+	}
+	// Child of a disabled span degrades the same way.
+	cd := sp.Child("y").End()
+	if cd < 0 {
+		t.Errorf("child duration %v", cd)
+	}
+	// And the nil fan-out never panics.
+	tr.Registry().Counter("c").Inc()
+	tr.Registry().Histogram("h").Observe(3)
+	tr.Registry().Gauge("g").Max(7)
+	tr.SetEmitter(nil)
+	if err := tr.EmitRun(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, dropped := tr.Records(); dropped != 0 {
+		t.Error("nil trace reports drops")
+	}
+}
+
+func TestConcurrentCountersAndSpans(t *testing.T) {
+	tr := New("race")
+	var buf bytes.Buffer
+	em := NewEmitter(&syncBuffer{buf: &buf})
+	tr.SetEmitter(em)
+	reg := tr.Registry()
+
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			h := reg.Histogram("sizes")
+			g := reg.Gauge("peak")
+			for i := 0; i < iters; i++ {
+				sp := tr.Span("work")
+				c.Inc()
+				h.Observe(int64(i))
+				g.Max(int64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := reg.Histogram("sizes").Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := reg.Gauge("peak").Value(); got != iters-1 {
+		t.Errorf("gauge max = %d, want %d", got, iters-1)
+	}
+	if st := tr.PhaseStats(); len(st) != 1 || st[0].Count != workers*iters {
+		t.Errorf("phase stats = %v", st)
+	}
+	if em.Events() != workers*iters {
+		t.Errorf("emitted %d events, want %d", em.Events(), workers*iters)
+	}
+	if err := em.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncBuffer makes bytes.Buffer safe for the concurrent emission test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v      int64
+		lo, hi int64
+	}{
+		{0, 0, 0},
+		{-5, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{1023, 512, 1023},
+		{1024, 1024, 2047},
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.v)
+		bs := h.Buckets()
+		if len(bs) != 1 {
+			t.Fatalf("Observe(%d): %d buckets", tc.v, len(bs))
+		}
+		if bs[0].Lo != tc.lo || bs[0].Hi != tc.hi || bs[0].N != 1 {
+			t.Errorf("Observe(%d) → bucket [%d,%d] n=%d, want [%d,%d]",
+				tc.v, bs[0].Lo, bs[0].Hi, bs[0].N, tc.lo, tc.hi)
+		}
+	}
+	h := &Histogram{}
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotFlattensHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(6)
+	snap := r.Snapshot()
+	for key, want := range map[string]int64{
+		"c": 5, "g": 9, "h.count": 1, "h.sum": 6, "h.le_7": 1,
+	} {
+		if snap[key] != want {
+			t.Errorf("snapshot[%q] = %d, want %d", key, snap[key], want)
+		}
+	}
+	if names := r.Names(); len(names) != 3 {
+		t.Errorf("Names = %v", names)
+	}
+	r.Reset()
+	if snap := r.Snapshot(); snap["c"] != 0 || snap["h.count"] != 0 {
+		t.Errorf("post-reset snapshot = %v", snap)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New("rt")
+	var buf bytes.Buffer
+	em := NewEmitter(&buf)
+	tr.SetEmitter(em)
+
+	tr.Registry().Counter("widgets").Add(3)
+	sp := tr.Span("phase_a")
+	sp.End()
+	if err := tr.EmitRun(map[string]any{"table": "T1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	var span, run Event
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &run); err != nil {
+		t.Fatal(err)
+	}
+	if span.Kind != "span" || span.Run != "rt" || span.Phase != "phase_a" || span.Seq != 0 {
+		t.Errorf("span event = %+v", span)
+	}
+	if run.Kind != "run" || run.Seq != 1 {
+		t.Errorf("run event = %+v", run)
+	}
+	if run.Phases["phase_a"].Count != 1 {
+		t.Errorf("run phases = %v", run.Phases)
+	}
+	if run.Counters["widgets"] != 3 {
+		t.Errorf("run counters = %v", run.Counters)
+	}
+	if run.Extra["table"] != "T1" {
+		t.Errorf("run extra = %v", run.Extra)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestEmitterStickyError(t *testing.T) {
+	em := NewEmitter(&failWriter{after: 1})
+	if err := em.Emit(Event{Kind: "span"}); err != nil {
+		t.Fatalf("first emit: %v", err)
+	}
+	err := em.Emit(Event{Kind: "span"})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("second emit err = %v", err)
+	}
+	if got := em.Emit(Event{Kind: "span"}); !errors.Is(got, err) && got.Error() != err.Error() {
+		t.Errorf("sticky error changed: %v vs %v", got, err)
+	}
+	if em.Events() != 1 {
+		t.Errorf("events = %d, want 1", em.Events())
+	}
+	// Close surfaces the sticky error in preference to a close error.
+	if err := em.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Close = %v", err)
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	tr := New("cap")
+	for i := 0; i < maxSpanRecords+10; i++ {
+		tr.Span("s").End()
+	}
+	recs, dropped := tr.Records()
+	if len(recs) != maxSpanRecords {
+		t.Errorf("retained %d records, want %d", len(recs), maxSpanRecords)
+	}
+	if dropped != 10 {
+		t.Errorf("dropped = %d, want 10", dropped)
+	}
+	// Aggregates keep counting past the cap.
+	if st := tr.PhaseTotal("s"); st <= 0 {
+		t.Error("phase total lost past cap")
+	}
+	if stats := tr.PhaseStats(); stats[0].Count != maxSpanRecords+10 {
+		t.Errorf("phase count = %d", stats[0].Count)
+	}
+	tr.Reset()
+	if recs, dropped := tr.Records(); len(recs) != 0 || dropped != 0 {
+		t.Error("Reset did not clear records")
+	}
+}
+
+func TestGlobalInstall(t *testing.T) {
+	old := Global()
+	defer SetGlobal(old)
+	tr := New("g")
+	SetGlobal(tr)
+	if Global() != tr {
+		t.Fatal("Global did not return the installed trace")
+	}
+	var d time.Duration
+	Global().Span("phase").EndInto(&d)
+	if tr.PhaseTotal("phase") <= 0 {
+		t.Error("span on global trace not recorded")
+	}
+	SetGlobal(nil)
+	if Global() != nil {
+		t.Error("SetGlobal(nil) did not uninstall")
+	}
+}

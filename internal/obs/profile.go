@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// StartProfiles enables the requested profiles ("" disables either). The
+// returned stop function ends the CPU profile and writes the heap profile;
+// it must run before process exit or the files are truncated/empty.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("obs: mem profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// publishOnce guards the process-wide expvar name (expvar panics on
+// duplicate publication).
+var publishOnce sync.Once
+
+// ServeDebug exposes net/http/pprof and expvar on addr (e.g. ":6060" or
+// "127.0.0.1:0") in a background goroutine and publishes the registry
+// snapshot under the expvar name "multidiag". It returns the bound
+// address so callers can print it (and tests can use port 0).
+func ServeDebug(addr string, r *Registry) (string, error) {
+	if r != nil {
+		publishOnce.Do(func() {
+			expvar.Publish("multidiag", expvar.Func(func() any { return r.Snapshot() }))
+		})
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener: %w", err)
+	}
+	go http.Serve(ln, nil) // default mux carries /debug/pprof and /debug/vars
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a set of named counters, gauges and log₂-bucket histograms.
+// Instrument lookup (Counter/Gauge/Histogram) takes a mutex; the returned
+// handles update lock-free via atomics, so hot paths resolve their handles
+// once and the parallel experiment runner increments them racelessly.
+// A nil *Registry hands out nil handles, and every handle method tolerates
+// a nil receiver — the disabled path is a single pointer test.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered instrument (handles stay valid).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// Snapshot flattens the registry into a name→value map: counters and
+// gauges under their own names, histograms as name.count / name.sum plus
+// one name.le_<2^k> entry per populated log₂ bucket. This is the counters
+// payload of JSONL run records and the expvar export.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+2*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = h.Count()
+		out[name+".sum"] = h.Sum()
+		for _, b := range h.Buckets() {
+			out[name+".le_"+itoa(b.Hi)] = b.N
+		}
+	}
+	return out
+}
+
+// Names returns the sorted instrument names (histograms once, without the
+// derived snapshot keys).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	for name := range r.gauges {
+		out = append(out, name)
+	}
+	for name := range r.hists {
+		out = append(out, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// itoa is a minimal int64 formatter (avoids strconv in the snapshot path
+// for no good reason other than keeping the import set tiny — it is not
+// hot).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; no-op on a nil receiver.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable last-value instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value; no-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v when v exceeds the stored value.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations in log₂ buckets: bucket k holds values v
+// with 2^(k-1) ≤ v < 2^k (bucket 0 holds v ≤ 0). 64 buckets cover the
+// whole non-negative int64 range, so Observe is a bits.Len64 plus two
+// atomic adds — cheap enough for per-simulation call sites.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// bucketIndex maps a value to its log₂ bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value; no-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one populated histogram bucket: N observations in [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int64
+	N      int64
+}
+
+// Buckets returns the populated buckets in ascending range order.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for k := range h.buckets {
+		n := h.buckets[k].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{N: n}
+		if k > 0 {
+			b.Lo = int64(1) << (k - 1)
+			if k == 64 {
+				b.Hi = int64(^uint64(0) >> 1) // max int64
+			} else {
+				b.Hi = int64(1)<<k - 1
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -19,6 +19,7 @@ import (
 	"multidiag/internal/core"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
@@ -97,7 +98,8 @@ func (r *Result) Nets() [][]netlist.NetID {
 // (pad shorter ones with idle cycles before calling); the unrolled model
 // uses that common length.
 func Diagnose(seq *netlist.SeqCircuit, sequences []Sequence, log *tester.Datalog, cfg core.Config) (*Result, *netlist.Unrolled, error) {
-	start := time.Now()
+	out := &Result{}
+	defer obs.Global().Span("seqdiag.diagnose").EndInto(&out.Elapsed)
 	if len(sequences) == 0 {
 		return nil, nil, fmt.Errorf("seqdiag: no sequences")
 	}
@@ -123,7 +125,7 @@ func Diagnose(seq *netlist.SeqCircuit, sequences []Sequence, log *tester.Datalog
 	if err != nil {
 		return nil, nil, err
 	}
-	out := &Result{Unrolled: res}
+	out.Unrolled = res
 
 	type key struct {
 		net netlist.NetID
@@ -166,7 +168,6 @@ func Diagnose(seq *netlist.SeqCircuit, sequences []Sequence, log *tester.Datalog
 	sort.SliceStable(out.Candidates, func(i, j int) bool {
 		return out.Candidates[i].TFSF > out.Candidates[j].TFSF
 	})
-	out.Elapsed = time.Since(start)
 	return out, u, nil
 }
 

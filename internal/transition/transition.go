@@ -27,6 +27,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
@@ -337,7 +338,8 @@ func (r *Result) MultipletNets() [][]netlist.NetID {
 // transitioning critical nets as candidates; candidates are scored by
 // full-pair simulation; a greedy cover selects the multiplet.
 func Diagnose(c *netlist.Circuit, pairs []Pair, log *tester.Datalog, lambda float64, maxMultiplet int) (*Result, error) {
-	start := time.Now()
+	res := &Result{}
+	defer obs.Global().Span("transition.diagnose").EndInto(&res.Elapsed)
 	if log.NumPatterns != len(pairs) {
 		return nil, fmt.Errorf("transition: datalog has %d pairs, test set has %d", log.NumPatterns, len(pairs))
 	}
@@ -347,10 +349,8 @@ func Diagnose(c *netlist.Circuit, pairs []Pair, log *tester.Datalog, lambda floa
 	if maxMultiplet <= 0 {
 		maxMultiplet = 10
 	}
-	res := &Result{}
 	failing := log.FailingPatterns()
 	if len(failing) == 0 {
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	// Evidence index.
@@ -483,6 +483,5 @@ func Diagnose(c *netlist.Circuit, pairs []Pair, log *tester.Datalog, lambda floa
 		return rest[i].Fault.Net < rest[j].Fault.Net
 	})
 	res.Ranked = append(append([]*Candidate{}, res.Multiplet...), rest...)
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
