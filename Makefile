@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench benchdiff clean
 
 all: build vet test
 
@@ -17,12 +17,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench proves the <2% disabled-tracing budget (BenchmarkDiagnose vs
-# BenchmarkDiagnoseTraced plus the obs micro-benchmarks) and writes a
+# bench proves the observability budgets (BenchmarkDiagnose vs the traced
+# and explained variants plus the obs micro-benchmarks), writes the core
+# diagnosis results as a machine-readable baseline to BENCH_diag.json (the
+# committed copy is what benchdiff compares against), and writes a
 # schema-valid quick-suite trace to BENCH_obs.json.
 bench: build
-	$(GO) test -run xxx -bench 'BenchmarkDiagnose|BenchmarkSpan|BenchmarkCounter|BenchmarkHistogram' -benchmem ./internal/core ./internal/obs
+	$(GO) test -run xxx -bench 'BenchmarkDiagnose' -benchmem ./internal/core | tee /tmp/bench_core.txt
+	$(GO) test -run xxx -bench 'BenchmarkSpan|BenchmarkCounter|BenchmarkHistogram' -benchmem ./internal/obs
+	bin/benchdiff parse -o BENCH_diag.json < /tmp/bench_core.txt
 	bin/mdexp -quick -seeds 1 -only T1 -trace-out BENCH_obs.json > /dev/null
+
+# benchdiff re-runs the core diagnosis benchmarks and compares against the
+# committed BENCH_diag.json baseline, warning on >20% ns/op regressions.
+benchdiff: build
+	$(GO) test -run xxx -bench 'BenchmarkDiagnose' -benchmem ./internal/core | bin/benchdiff parse | bin/benchdiff compare BENCH_diag.json -
 
 clean:
 	rm -rf bin BENCH_obs.json

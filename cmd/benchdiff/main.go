@@ -1,0 +1,250 @@
+// benchdiff turns `go test -bench` text output into a committed JSON
+// baseline and compares later runs against it, warning on regressions.
+//
+// Usage:
+//
+//	go test -bench BenchmarkDiagnose -benchmem ./internal/core | benchdiff parse -o BENCH_diag.json
+//	go test -bench BenchmarkDiagnose -benchmem ./internal/core | benchdiff parse | benchdiff compare BENCH_diag.json -
+//	benchdiff compare BENCH_diag.json current.json -threshold 20 -fail
+//
+// parse reads benchmark result lines from stdin and writes one JSON object
+// keyed by benchmark name (the -N GOMAXPROCS suffix stripped, so baselines
+// transfer between machines with different core counts).
+//
+// compare prints a per-benchmark delta table. A ns/op regression beyond
+// the threshold prints a warning — as a GitHub Actions `::warning::`
+// annotation when running in Actions — and, with -fail, exits non-zero.
+// Benchmarks present on only one side are reported but never fatal, so a
+// baseline refresh and a new benchmark can land in the same change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed result.
+type Bench struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the JSON baseline layout.
+type File struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		parseMain(os.Args[2:])
+	case "compare":
+		compareMain(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [-o file] | benchdiff compare <baseline.json> <current.json|-> [-threshold pct] [-fail]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+func parseMain(args []string) {
+	fs := flag.NewFlagSet("benchdiff parse", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	f, err := ParseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(f.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+	}
+}
+
+// ParseBench extracts benchmark result lines from `go test -bench` output.
+// A result line is "BenchmarkName[-P] <iters> <value> ns/op [<value> B/op
+// <value> allocs/op ...]"; everything else (pass/fail chatter, pkg lines)
+// is ignored. Repeated runs of one name keep the last result.
+func ParseBench(r io.Reader) (*File, error) {
+	f := &File{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				ok = true
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		if ok {
+			f.Benchmarks[stripProcs(fields[0])] = b
+		}
+	}
+	return f, sc.Err()
+}
+
+// stripProcs removes the -<GOMAXPROCS> suffix go test appends to
+// benchmark names ("BenchmarkDiagnose-8" → "BenchmarkDiagnose").
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func compareMain(args []string) {
+	fs := flag.NewFlagSet("benchdiff compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 20, "ns/op regression percentage that triggers a warning")
+	failOnRegress := fs.Bool("fail", false, "exit non-zero when a regression exceeds the threshold")
+	// Positional args may precede flags (compare a.json b.json -fail).
+	var paths []string
+	rest := args
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		paths = append(paths, rest[0])
+		rest = rest[1:]
+	}
+	fs.Parse(rest)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		usage()
+	}
+	base, err := loadFile(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadFile(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	names := map[string]bool{}
+	for n := range base.Benchmarks {
+		names[n] = true
+	}
+	for n := range cur.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	regressions := 0
+	fmt.Printf("%-34s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, n := range sorted {
+		b, inBase := base.Benchmarks[n]
+		c, inCur := cur.Benchmarks[n]
+		switch {
+		case !inCur:
+			fmt.Printf("%-34s %14.0f %14s %9s\n", n, b.NsPerOp, "—", "gone")
+		case !inBase:
+			fmt.Printf("%-34s %14s %14.0f %9s\n", n, "—", c.NsPerOp, "new")
+		default:
+			delta := 0.0
+			if b.NsPerOp > 0 {
+				delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			}
+			fmt.Printf("%-34s %14.0f %14.0f %+8.1f%%\n", n, b.NsPerOp, c.NsPerOp, delta)
+			if delta > *threshold {
+				regressions++
+				warn(fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, threshold %.0f%%)",
+					n, delta, b.NsPerOp, c.NsPerOp, *threshold))
+			}
+		}
+	}
+	if regressions > 0 && *failOnRegress {
+		os.Exit(1)
+	}
+}
+
+// warn prints a regression warning, using the GitHub Actions annotation
+// syntax when running inside a workflow so the step gets flagged in the UI.
+func warn(msg string) {
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::warning title=benchmark regression::%s\n", msg)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "WARNING:", msg)
+}
+
+// loadFile reads a baseline JSON file; "-" reads stdin (so a fresh parse
+// can pipe straight into compare).
+func loadFile(path string) (*File, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out File
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if out.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no benchmarks key", path)
+	}
+	return &out, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: multidiag/internal/core
+cpu: generic
+BenchmarkDiagnose-8            	      92	  12715258 ns/op	 4821342 B/op	   22841 allocs/op
+BenchmarkDiagnoseTraced-8      	      90	  12903991 ns/op	 4830122 B/op	   22913 allocs/op
+BenchmarkDiagnoseExplained-8   	      85	  13514210 ns/op	 5721033 B/op	   31277 allocs/op
+PASS
+ok  	multidiag/internal/core	5.023s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(f.Benchmarks), f.Benchmarks)
+	}
+	b, ok := f.Benchmarks["BenchmarkDiagnose"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", f.Benchmarks)
+	}
+	if b.Iterations != 92 || b.NsPerOp != 12715258 || b.BytesPerOp != 4821342 || b.AllocsPerOp != 22841 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestParseBenchIgnoresChatter(t *testing.T) {
+	f, err := ParseBench(strings.NewReader("PASS\nok x 1s\nBenchmarkBroken notanumber 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Fatalf("chatter parsed as benchmarks: %v", f.Benchmarks)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkDiagnose-8":      "BenchmarkDiagnose",
+		"BenchmarkDiagnose-128":    "BenchmarkDiagnose",
+		"BenchmarkDiagnose":        "BenchmarkDiagnose",
+		"BenchmarkSpan/sub-case-4": "BenchmarkSpan/sub-case",
+		"BenchmarkOdd-name":        "BenchmarkOdd-name",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	mddiag -c circuit.bench -p patterns.txt -d device.datalog [-method ours|slat|intersect]
+//	mddiag explain -c circuit.bench -p patterns.txt -d device.datalog [-all] [-bits]
+//
+// The explain subcommand replays the diagnosis with the candidate flight
+// recorder attached and renders a per-candidate lifecycle narrative
+// (extract → score → cover → refine → xcheck) plus the per-failing-bit
+// "who explains this bit" table.
 //
 // Observability (see DESIGN.md §Observability):
 //
-//	-v                per-phase timing and counter summary footer
-//	-trace-out f      JSONL span/run records of the diagnosis
+//	-v                per-phase timing, counter and histogram-quantile summary footer
+//	-trace-out f      JSONL span/run records of the diagnosis (.gz compresses)
+//	-explain-out f    JSONL candidate flight-recorder events (.gz compresses)
 //	-cpuprofile f     pprof CPU profile
 //	-memprofile f     pprof heap profile at exit
-//	-debug-addr a     live net/http/pprof + expvar listener
+//	-debug-addr a     live net/http/pprof + expvar + Prometheus /metrics listener
 package main
 
 import (
@@ -25,11 +32,18 @@ import (
 	"multidiag/internal/baseline"
 	"multidiag/internal/cio"
 	"multidiag/internal/core"
+	"multidiag/internal/explain"
+	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
+	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		explainMain(os.Args[2:])
+		return
+	}
 	var (
 		circ    = flag.String("c", "", "circuit .bench file (required)")
 		pfile   = flag.String("p", "", "pattern file (required)")
@@ -49,29 +63,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, _ := cio.MustLoad("mddiag", *circ, false)
-	pf, err := os.Open(*pfile)
+	rec, finishExplain, err := openRecorder(obsFlags.ExplainOut, *method)
 	if err != nil {
 		fatal(err)
 	}
-	pats, err := tester.ReadPatterns(pf)
-	pf.Close()
-	if err != nil {
-		fatal(err)
-	}
-	df, err := os.Open(*dfile)
-	if err != nil {
-		fatal(err)
-	}
-	log, err := tester.ReadDatalog(df)
-	df.Close()
-	if err != nil {
-		fatal(err)
-	}
+	c, pats, log := loadInputs(*circ, *pfile, *dfile)
 
 	switch *method {
 	case "ours":
-		res, err := core.Diagnose(c, pats, log, core.Config{})
+		res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -137,13 +137,119 @@ func main() {
 	if *verbose {
 		printSummary(tr)
 	}
+	if err := finishExplain(); err != nil {
+		fatal(err)
+	}
 	if err := finishObs(); err != nil {
 		fatal(err)
 	}
 }
 
-// printSummary is the -v footer: per-phase wall time and the counter
-// snapshot of the run (histogram buckets elided for readability).
+// explainMain is the explain subcommand: replay the diagnosis with the
+// flight recorder attached and render the candidate narratives and the
+// per-bit explanation table.
+func explainMain(args []string) {
+	fs := flag.NewFlagSet("mddiag explain", flag.ExitOnError)
+	var (
+		circ  = fs.String("c", "", "circuit .bench file (required)")
+		pfile = fs.String("p", "", "pattern file (required)")
+		dfile = fs.String("d", "", "datalog file (required)")
+		all   = fs.Bool("all", false, "narrate every pruned candidate (default: first 10)")
+		bits  = fs.Bool("bits", true, "render the per-failing-bit explanation table")
+	)
+	var obsFlags obs.Flags
+	obsFlags.Register(fs)
+	fs.Parse(args)
+	if *circ == "" || *pfile == "" || *dfile == "" {
+		fmt.Fprintln(os.Stderr, "mddiag explain: -c, -p and -d are required")
+		os.Exit(2)
+	}
+	_, finishObs, err := obsFlags.Setup("mddiag")
+	if err != nil {
+		fatal(err)
+	}
+	rec, finishExplain, err := explain.Open(obsFlags.ExplainOut, "mddiag")
+	if err != nil {
+		fatal(err)
+	}
+	c, pats, log := loadInputs(*circ, *pfile, *dfile)
+	res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("diagnosis: %d evidence bits, %d candidates extracted, multiplet size %d, elapsed %s\n\n",
+		len(res.Evidence), res.CandidatesExtracted, len(res.Multiplet), res.Elapsed)
+	events, dropped := rec.Events()
+	maxOther := 10
+	if *all {
+		maxOther = -1
+	}
+	if err := explain.RenderNarrative(os.Stdout, events, maxOther); err != nil {
+		fatal(err)
+	}
+	if *bits {
+		fmt.Println()
+		if err := explain.RenderBitTable(os.Stdout, events); err != nil {
+			fatal(err)
+		}
+	}
+	if dropped > 0 {
+		fmt.Printf("(%d events dropped past the in-memory retention cap; the JSONL stream is complete)\n", dropped)
+	}
+	if err := finishExplain(); err != nil {
+		fatal(err)
+	}
+	if err := finishObs(); err != nil {
+		fatal(err)
+	}
+}
+
+// openRecorder opens the -explain-out recorder for the main command. The
+// flight recorder instruments the core engine only, so other methods fail
+// fast rather than writing an empty file.
+func openRecorder(path, method string) (*explain.Recorder, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	if method != "ours" {
+		return nil, nil, fmt.Errorf("-explain-out records the core engine only (method %q)", method)
+	}
+	return explain.Open(path, "mddiag")
+}
+
+// loadInputs reads the circuit, pattern and datalog files shared by both
+// commands, exiting with a message on error.
+func loadInputs(circ, pfile, dfile string) (*netlist.Circuit, []sim.Pattern, *tester.Datalog) {
+	c, _ := cio.MustLoad("mddiag", circ, false)
+	pf, err := os.Open(pfile)
+	if err != nil {
+		fatal(err)
+	}
+	pats, err := tester.ReadPatterns(pf)
+	pf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(dfile)
+	if err != nil {
+		fatal(err)
+	}
+	log, err := tester.ReadDatalog(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+	return c, pats, log
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mddiag:", err)
+	os.Exit(1)
+}
+
+// printSummary is the -v footer: per-phase wall time, the counter
+// snapshot of the run, and one line per histogram with count/sum and the
+// p50/p95/max quantile summaries derived from the log₂ buckets.
 func printSummary(tr *obs.Trace) {
 	phases := tr.PhaseStats()
 	if len(phases) > 0 {
@@ -152,10 +258,20 @@ func printSummary(tr *obs.Trace) {
 			fmt.Printf("  %-24s %6d× %12s\n", ps.Name, ps.Count, ps.Total)
 		}
 	}
-	snap := tr.Registry().Snapshot()
+	reg := tr.Registry()
+	histNames := reg.HistogramNames()
+	isHistKey := func(name string) bool {
+		for _, h := range histNames {
+			if strings.HasPrefix(name, h+".") {
+				return true
+			}
+		}
+		return false
+	}
+	snap := reg.Snapshot()
 	names := make([]string, 0, len(snap))
 	for name := range snap {
-		if strings.Contains(name, ".le_") {
+		if isHistKey(name) {
 			continue
 		}
 		names = append(names, name)
@@ -167,9 +283,12 @@ func printSummary(tr *obs.Trace) {
 			fmt.Printf("  %-32s %d\n", name, snap[name])
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mddiag:", err)
-	os.Exit(1)
+	if len(histNames) > 0 {
+		fmt.Println("--- histograms ---")
+		for _, name := range histNames {
+			h := reg.Histogram(name)
+			fmt.Printf("  %-32s count=%d sum=%d p50≤%d p95≤%d max≤%d\n",
+				name, h.Count(), h.Sum(), h.Quantile(0.50), h.Quantile(0.95), h.Max())
+		}
+	}
 }

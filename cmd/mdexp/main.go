@@ -17,16 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"multidiag/internal/exp"
+	"multidiag/internal/explain"
 	"multidiag/internal/obs"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced workloads for a fast run")
-		seeds = flag.Int("seeds", 0, "devices per configuration (0 = default)")
-		only  = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
+		quick    = flag.Bool("quick", false, "reduced workloads for a fast run")
+		seeds    = flag.Int("seeds", 0, "devices per configuration (0 = default)")
+		only     = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
+		progress = flag.Int("progress", 0, "print a live progress heartbeat to stderr every `N` seconds (0 = off)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -35,8 +38,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	o := exp.Options{Quick: *quick, Seeds: *seeds, Emitter: tr.Emitter()}
+	// The recorder stays nil without a sink: retaining a whole campaign's
+	// candidate events in memory with nothing reading them helps nobody.
+	var rec *explain.Recorder
+	finishExplain := func() error { return nil }
+	if obsFlags.ExplainOut != "" {
+		rec, finishExplain, err = explain.Open(obsFlags.ExplainOut, "mdexp")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	o := exp.Options{Quick: *quick, Seeds: *seeds, Emitter: tr.Emitter(), Explain: rec}
+	if *progress > 0 {
+		o.Progress = exp.NewProgress(os.Stderr, time.Duration(*progress)*time.Second)
+	}
 	finish := func() {
+		o.Progress.Stop()
+		if err := finishExplain(); err != nil {
+			fatal(err)
+		}
 		if err := finishObs(); err != nil {
 			fatal(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"multidiag/internal/atpg"
 	"multidiag/internal/circuits"
 	"multidiag/internal/defect"
+	"multidiag/internal/explain"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
@@ -68,6 +69,20 @@ func BenchmarkDiagnoseTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Diagnose(c, pats, log, Config{Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiagnoseExplained adds the candidate flight recorder (in-memory,
+// no emitter): the difference to BenchmarkDiagnose is the full cost of
+// per-candidate event assembly and retention.
+func BenchmarkDiagnoseExplained(b *testing.B) {
+	c, pats, log := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, pats, log, Config{Explain: explain.New("bench")}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"multidiag/internal/bitset"
+	"multidiag/internal/explain"
 	"multidiag/internal/fault"
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
@@ -79,6 +80,10 @@ type Config struct {
 	// obs.Global(), which is itself nil — tracing disabled, near-zero
 	// overhead — unless a CLI or harness installed one.
 	Trace *obs.Trace
+	// Explain receives one flight-recorder event per candidate per stage
+	// (extract → score → cover → refine → xcheck; see DESIGN.md §8). Nil —
+	// the default — disables recording at pointer-test cost.
+	Explain *explain.Recorder
 }
 
 func (cfg *Config) fill() {
@@ -235,6 +240,8 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 		return res, nil // passing device: nothing to explain
 	}
 
+	rec := cfg.Explain
+
 	// Per-output evidence universe.
 	sp := root.Child("evidence")
 	evIndex := make(map[EvidenceBit]int)
@@ -246,6 +253,13 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 		}
 	}
 	sp.End()
+	if rec.Enabled() {
+		bits := make([]explain.Bit, len(res.Evidence))
+		for i, b := range res.Evidence {
+			bits[i] = explain.Bit{Pattern: b.Pattern, PO: b.PO}
+		}
+		rec.Evidence(bits)
+	}
 	reg.Counter("core.evidence_bits").Add(int64(len(res.Evidence)))
 	reg.Counter("core.failing_patterns").Add(int64(len(failing)))
 
@@ -259,7 +273,7 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
 	sp = root.Child("extract")
-	seeds, err := extractCandidates(c, fs, pats, log, cfg.ApproxCPT, reg)
+	seeds, err := extractCandidates(c, fs, pats, log, cfg.ApproxCPT, reg, rec)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -269,14 +283,14 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 
 	// Step 2: score every candidate by full fault simulation.
 	sp = root.Child("score")
-	cands := scoreCandidates(fs, seeds, log, evIndex, len(res.Evidence), cfg)
+	cands := scoreCandidates(c, fs, seeds, log, evIndex, len(res.Evidence), cfg, rec)
 	sp.End()
 	reg.Counter("core.candidates_scored").Add(int64(len(cands)))
 	reg.Counter("core.candidates_pruned").Add(int64(len(seeds) - len(cands)))
 
 	// Step 3: greedy per-output covering.
 	sp = root.Child("cover")
-	multiplet, uncovered := cover(cands, len(res.Evidence), cfg)
+	multiplet, uncovered := cover(c, cands, len(res.Evidence), cfg, rec)
 	sp.End()
 	res.Multiplet = multiplet
 	res.UnexplainedBits = uncovered.Count()
@@ -286,8 +300,12 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 	// Step 4: fault-model refinement (bridge aggressor search).
 	if !cfg.DisableBridgeSearch {
 		sp = root.Child("refine")
-		refineModels(c, fs, multiplet, log, evIndex, cfg, reg)
+		refineModels(c, fs, multiplet, log, evIndex, cfg, reg, rec)
 		sp.End()
+	} else if rec.Enabled() {
+		for _, cd := range multiplet {
+			rec.Refine(cd.Fault.String(), cd.Name(c), stuckModelFit(cd), explain.VerdictSkipped)
+		}
 	}
 
 	// Step 5: X-masking consistency check.
@@ -298,8 +316,21 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 		if !res.Consistent {
 			reg.Counter("core.xcheck_inconsistent").Inc()
 		}
+		if rec.Enabled() {
+			verdict := explain.VerdictConsistent
+			if !res.Consistent {
+				verdict = explain.VerdictInconsistent
+			}
+			for _, cd := range multiplet {
+				rec.XCheck(cd.Fault.String(), cd.Name(c), verdict, res.InconsistentPatterns)
+			}
+		}
 	} else if len(multiplet) == 0 {
 		res.Consistent = false
+	} else if rec.Enabled() {
+		for _, cd := range multiplet {
+			rec.XCheck(cd.Fault.String(), cd.Name(c), explain.VerdictSkipped, nil)
+		}
 	}
 
 	// Final ranking: multiplet members first (selection order), then the
@@ -334,11 +365,19 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 // extractCandidates back-traces every observed failing output with CPT and
 // returns the union of (net, stuck-at-complement) hypotheses. Patterns with
 // X inputs are skipped for extraction (they still participate in scoring).
-func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern, log *tester.Datalog, approx bool, reg *obs.Registry) ([]fault.StuckAt, error) {
+// With a recorder attached it also attributes every hypothesis to the
+// failing bits whose back-cone yielded it — per (pattern, PO) on the exact
+// path, per pattern (PO −1) on the approximate path, which only reports
+// the per-pattern union.
+func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern, log *tester.Datalog, approx bool, reg *obs.Registry, rec *explain.Recorder) ([]fault.StuckAt, error) {
 	cpt := fsim.NewCPT(c)
 	cpt.Observe(reg)
 	seen := make(map[fault.StuckAt]bool)
 	var out []fault.StuckAt
+	var sources map[fault.StuckAt][]explain.Bit
+	if rec.Enabled() {
+		sources = make(map[fault.StuckAt][]explain.Bit)
+	}
 	for _, p := range log.FailingPatterns() {
 		determinate := true
 		for _, v := range pats[p] {
@@ -350,19 +389,21 @@ func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern
 		if !determinate {
 			continue
 		}
-		pos := make([]netlist.NetID, 0, log.Fails[p].Count())
-		for _, poIdx := range log.Fails[p].Members() {
+		poIdxs := log.Fails[p].Members()
+		pos := make([]netlist.NetID, 0, len(poIdxs))
+		for _, poIdx := range poIdxs {
 			pos = append(pos, c.POs[poIdx])
 		}
 		var (
 			union []bool
+			per   [][]bool
 			vals  []logic.Value
 			err   error
 		)
 		if approx {
 			union, vals, err = cpt.CriticalApproxForOutputs(pats[p], pos)
 		} else {
-			union, _, vals, err = cpt.CriticalForOutputs(pats[p], pos)
+			union, per, vals, err = cpt.CriticalForOutputs(pats[p], pos)
 		}
 		if err != nil {
 			return nil, err
@@ -380,6 +421,17 @@ func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern
 				seen[f] = true
 				out = append(out, f)
 			}
+			if sources != nil {
+				if per == nil {
+					sources[f] = append(sources[f], explain.Bit{Pattern: p, PO: -1})
+				} else {
+					for i, crit := range per {
+						if crit[n] {
+							sources[f] = append(sources[f], explain.Bit{Pattern: p, PO: poIdxs[i]})
+						}
+					}
+				}
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -388,6 +440,11 @@ func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern
 		}
 		return !out[i].Value1 && out[j].Value1
 	})
+	if rec.Enabled() {
+		for _, f := range out {
+			rec.Extract(f.String(), f.Name(c), sources[f])
+		}
+	}
 	return out, nil
 }
 
@@ -395,7 +452,7 @@ func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern
 // the evidence universe and its mispredictions. Seeds with identical
 // syndromes under this test set are merged into one equivalence-class
 // candidate (they are indistinguishable by any scoring that follows).
-func scoreCandidates(fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config) []*Candidate {
+func scoreCandidates(c *netlist.Circuit, fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config, rec *explain.Recorder) []*Candidate {
 	cands := make([]*Candidate, 0, len(seeds))
 	classes := make(map[string]*Candidate)
 	for _, f := range seeds {
@@ -418,6 +475,9 @@ func scoreCandidates(fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datal
 		}
 		if rep, ok := classes[sig.String()]; ok {
 			rep.Equivalent = append(rep.Equivalent, f)
+			if rec.Enabled() { // guard: argument rendering is not free
+				rec.Merged(f.String(), f.Name(c), rep.Fault.String())
+			}
 			continue
 		}
 		classes[sig.String()] = cd
@@ -439,17 +499,33 @@ func scoreCandidates(fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datal
 		}
 		cd.TFSF = cd.Covered.Count()
 		if cd.TFSF == 0 {
+			if rec.Enabled() {
+				rec.Score(f.String(), f.Name(c), nil, 0, cd.TPSF, nil,
+					explain.VerdictPruned, "predicts no observed failing bit")
+			}
 			continue // explains nothing observable
 		}
 		cd.Models = []Model{{Kind: StuckOrOpen, Mispredictions: cd.TPSF}}
 		cands = append(cands, cd)
+	}
+	if rec.Enabled() {
+		// Survivors are recorded after the loop so the equivalence classes
+		// (appended to as later seeds merge in) are final.
+		for _, cd := range cands {
+			var equiv []string
+			for _, e := range cd.Equivalent {
+				equiv = append(equiv, e.Name(c))
+			}
+			rec.Score(cd.Fault.String(), cd.Name(c), cd.Covered.Members(),
+				cd.TFSF, cd.TPSF, equiv, explain.VerdictScored, "")
+		}
 	}
 	return cands
 }
 
 // cover greedily selects candidates to explain the evidence universe.
 // Returns the multiplet and the uncovered evidence bits.
-func cover(cands []*Candidate, numEv int, cfg Config) ([]*Candidate, bitset.Set) {
+func cover(c *netlist.Circuit, cands []*Candidate, numEv int, cfg Config, rec *explain.Recorder) ([]*Candidate, bitset.Set) {
 	remaining := bitset.New(numEv)
 	for i := 0; i < numEv; i++ {
 		remaining.Add(i)
@@ -500,8 +576,44 @@ func cover(cands []*Candidate, numEv int, cfg Config) ([]*Candidate, bitset.Set)
 		used[best] = true
 		multiplet = append(multiplet, best)
 		remaining.SubtractWith(best.Covered)
+		if rec.Enabled() {
+			rec.Kept(best.Fault.String(), best.Name(c), len(multiplet), bestGain, bestCov)
+		}
+	}
+	if rec.Enabled() {
+		recordCoverPruned(c, cands, multiplet, used, remaining, cfg, rec)
 	}
 	return multiplet, remaining
+}
+
+// recordCoverPruned emits the cover-stage verdict for every candidate the
+// greedy selection passed over, naming the multiplet member that overlaps
+// most of its coverage (the dominating competitor).
+func recordCoverPruned(c *netlist.Circuit, cands, multiplet []*Candidate, used map[*Candidate]bool, remaining bitset.Set, cfg Config, rec *explain.Recorder) {
+	for _, cd := range cands {
+		if used[cd] {
+			continue
+		}
+		var dom *Candidate
+		overlap := 0
+		for _, m := range multiplet {
+			if ov := cd.Covered.IntersectCount(m.Covered); ov > overlap {
+				dom, overlap = m, ov
+			}
+		}
+		domName := ""
+		if dom != nil {
+			domName = dom.Name(c)
+		}
+		reason := "all covered bits already explained by the multiplet"
+		switch {
+		case cd.Covered.IntersectCount(remaining) > 0 && len(multiplet) >= cfg.MaxMultipletSize:
+			reason = "residual coverage but multiplet size cap reached"
+		case overlap == 0:
+			reason = "no overlap with any evidence the cover reached"
+		}
+		rec.CoverPruned(cd.Fault.String(), cd.Name(c), domName, overlap, reason)
+	}
 }
 
 // xConsistent validates the multiplet: with every member site injected as

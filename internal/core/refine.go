@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"multidiag/internal/bitset"
+	"multidiag/internal/explain"
 	"multidiag/internal/fsim"
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
@@ -25,7 +26,7 @@ import (
 // Accepted bridge models are appended to the member's Models list (best
 // first by mispredictions); the seed stuck/open model always remains, since
 // logic-level behaviour cannot always separate the mechanisms.
-func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate, log *tester.Datalog, evIndex map[EvidenceBit]int, cfg Config, reg *obs.Registry) {
+func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate, log *tester.Datalog, evIndex map[EvidenceBit]int, cfg Config, reg *obs.Registry, rec *explain.Recorder) {
 	if len(multiplet) == 0 {
 		return
 	}
@@ -36,6 +37,9 @@ func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate,
 		victim := cd.Fault.Net
 		aggressors := bridgeAggressors(c, victim, cfg)
 		if len(aggressors) == 0 {
+			if rec.Enabled() {
+				rec.Refine(cd.Fault.String(), cd.Name(c), stuckModelFit(cd), explain.VerdictScored)
+			}
 			continue
 		}
 		tested.Add(int64(len(aggressors)))
@@ -78,7 +82,37 @@ func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate,
 		sort.SliceStable(cd.Models, func(i, j int) bool {
 			return cd.Models[i].Mispredictions < cd.Models[j].Mispredictions
 		})
+		if rec.Enabled() {
+			// Report the refined model list in ranked order, carrying the
+			// bridgeFit coverage statistic for each accepted aggressor.
+			covByAggr := make(map[netlist.NetID]int, len(fits))
+			for _, f := range fits {
+				covByAggr[f.aggr] = f.covered
+			}
+			mf := make([]explain.ModelFit, 0, len(cd.Models))
+			for _, m := range cd.Models {
+				switch m.Kind {
+				case BridgeModel:
+					mf = append(mf, explain.ModelFit{Kind: m.Kind.String(),
+						Aggressor: c.NameOf(m.Aggressor), Covered: covByAggr[m.Aggressor], Mispred: m.Mispredictions})
+				default:
+					mf = append(mf, explain.ModelFit{Kind: m.Kind.String(),
+						Covered: cd.TFSF, Mispred: m.Mispredictions})
+				}
+			}
+			rec.Refine(cd.Fault.String(), cd.Name(c), mf, explain.VerdictScored)
+		}
 	}
+}
+
+// stuckModelFit renders a candidate's models as explain fit records when
+// no bridge search ran (the seed stuck/open model only).
+func stuckModelFit(cd *Candidate) []explain.ModelFit {
+	mf := make([]explain.ModelFit, 0, len(cd.Models))
+	for _, m := range cd.Models {
+		mf = append(mf, explain.ModelFit{Kind: m.Kind.String(), Covered: cd.TFSF, Mispred: m.Mispredictions})
+	}
+	return mf
 }
 
 // bridgeAggressors enumerates plausible aggressor nets for a victim:

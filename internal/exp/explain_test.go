@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"multidiag/internal/explain"
+)
+
+// explainKeys is the documented flight-recorder JSONL schema (DESIGN.md
+// §8): the golden key sets each event kind may carry. Optional fields are
+// omitempty, so a key's absence is always legal; an unknown key is a
+// schema break.
+var explainKeys = map[string]map[string]bool{
+	"evidence": {"kind": true, "run": true, "seq": true, "stage": true, "bits": true},
+	"cand": {"kind": true, "run": true, "seq": true, "stage": true, "cand": true, "name": true,
+		"bits": true, "covered": true, "tfsf": true, "tpsf": true, "equiv": true, "equiv_to": true,
+		"verdict": true, "reason": true, "order": true, "gain": true, "new_bits": true,
+		"dominated_by": true, "overlap": true, "models": true, "bad_patterns": true},
+}
+
+var explainStages = map[string]bool{
+	explain.StageEvidence: true, explain.StageExtract: true, explain.StageScore: true,
+	explain.StageCover: true, explain.StageRefine: true, explain.StageXCheck: true,
+}
+
+// TestExplainSchemaGolden runs a quick suite slice with the flight
+// recorder streaming through the parallel campaign runner (the mdexp
+// -explain-out path) and validates every emitted line against the
+// documented schema: parseable JSON, known kinds and stages, golden key
+// sets, and sequence numbers assigned exactly once. Under -race this
+// doubles as the concurrent-emitter regression test: the device workers
+// share one recorder and one emitter.
+func TestExplainSchemaGolden(t *testing.T) {
+	var buf lockedBuffer
+	rec := explain.New("exp-test")
+	rec.SetEmitter(explain.NewEmitter(&buf))
+	o := quickOpts()
+	o.Explain = rec
+
+	if err := T3MultiDefect(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Emitter().Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("only %d explain lines emitted", len(lines))
+	}
+	// The workers interleave (seq assignment and the emitter write are not
+	// one critical section), so the stream is checked as a set: every seq
+	// exactly once, covering 0..n-1.
+	seqs := map[int64]bool{}
+	stages := map[string]int{}
+	for i, line := range lines {
+		var ev explain.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		if ev.Run != "exp-test" {
+			t.Fatalf("line %d: run %q", i, ev.Run)
+		}
+		if seqs[ev.Seq] {
+			t.Fatalf("line %d: seq %d emitted twice", i, ev.Seq)
+		}
+		seqs[ev.Seq] = true
+		if !explainStages[ev.Stage] {
+			t.Fatalf("line %d: unknown stage %q", i, ev.Stage)
+		}
+		stages[ev.Stage]++
+		keys := explainKeys[ev.Kind]
+		if keys == nil {
+			t.Fatalf("line %d: unknown kind %q", i, ev.Kind)
+		}
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatal(err)
+		}
+		for k := range raw {
+			if !keys[k] {
+				t.Errorf("line %d: %s record has unknown key %q", i, ev.Kind, k)
+			}
+		}
+		if ev.Kind == "cand" && ev.Cand == "" {
+			t.Errorf("line %d: cand record without candidate id", i)
+		}
+	}
+	for s := int64(0); s < int64(len(lines)); s++ {
+		if !seqs[s] {
+			t.Fatalf("seq %d missing from the stream (%d lines)", s, len(lines))
+		}
+	}
+	// A campaign exercises the full pipeline, so every stage must appear.
+	for stage := range explainStages {
+		if stages[stage] == 0 {
+			t.Errorf("no %q events in a full campaign", stage)
+		}
+	}
+	// In-memory retention must agree with the stream (cap not hit at quick
+	// scale).
+	evs, dropped := rec.Events()
+	if dropped != 0 {
+		t.Fatalf("dropped %d events at quick scale", dropped)
+	}
+	if len(evs) != len(lines) {
+		t.Fatalf("retained %d events, streamed %d", len(evs), len(lines))
+	}
+}
+
+// TestProgressReporter pins the heartbeat lifecycle: campaign totals
+// accumulate, Done ticks, Stop prints the final summary exactly once, and
+// a nil reporter ignores everything.
+func TestProgressReporter(t *testing.T) {
+	var nilP *Progress
+	nilP.StartCampaign("x", 5)
+	nilP.Done(1)
+	nilP.Stop()
+
+	var buf lockedBuffer
+	p := NewProgress(&buf, time.Hour) // interval too long to tick during the test
+	p.StartCampaign("T3/b0300/2", 4)
+	p.StartCampaign("T3/b0300/5", 4)
+	p.Done(3)
+	if got := p.statusLine(); !strings.Contains(got, "3/8 devices (37.5%)") ||
+		!strings.Contains(got, "T3/b0300/5") {
+		t.Errorf("status line %q", got)
+	}
+	p.Done(5)
+	p.Stop()
+	p.Stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "progress: done — 8 devices") {
+		t.Errorf("final summary missing:\n%s", out)
+	}
+	if strings.Count(out, "progress: done") != 1 {
+		t.Errorf("summary printed more than once:\n%s", out)
+	}
+}

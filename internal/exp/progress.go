@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live campaign progress reporter: campaigns register
+// their device totals as they start, workers tick Done as diagnoses
+// finish, and a heartbeat goroutine prints one status line (devices
+// done/total, rate, ETA, current campaign) every interval. All methods
+// tolerate a nil receiver, so the harness threads one pointer through
+// unconditionally and mdexp decides whether to allocate it.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+
+	total atomic.Int64
+	done  atomic.Int64
+	label atomic.Value // string: the most recently started campaign
+
+	mu      sync.Mutex // serializes status lines with the final summary
+	stop    chan struct{}
+	stopped sync.Once
+}
+
+// NewProgress starts a heartbeat writing to w every interval (minimum one
+// second). Stop must be called before exit to end the goroutine and print
+// the final summary line.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval < time.Second {
+		interval = time.Second
+	}
+	p := &Progress{w: w, interval: interval, start: time.Now(), stop: make(chan struct{})}
+	p.label.Store("")
+	go p.heartbeat()
+	return p
+}
+
+// StartCampaign registers a campaign's device count and labels subsequent
+// heartbeats with it.
+func (p *Progress) StartCampaign(label string, devices int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(devices))
+	p.label.Store(label)
+}
+
+// Done records n finished device diagnoses.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// Stop ends the heartbeat and prints the final summary line.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopped.Do(func() {
+		close(p.stop)
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		fmt.Fprintf(p.w, "progress: done — %d devices in %s (%.1f dev/s)\n",
+			p.done.Load(), time.Since(p.start).Round(time.Second), p.rate())
+	})
+}
+
+func (p *Progress) heartbeat() {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			fmt.Fprintln(p.w, p.statusLine())
+			p.mu.Unlock()
+		}
+	}
+}
+
+// rate is the overall devices/second since start.
+func (p *Progress) rate() float64 {
+	el := time.Since(p.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(p.done.Load()) / el
+}
+
+// statusLine renders one heartbeat: done/total with percentage, rate, ETA
+// for the currently known total, and the active campaign label. The total
+// grows as campaigns start, so the ETA is a lower bound until the last
+// campaign registers.
+func (p *Progress) statusLine() string {
+	done, total := p.done.Load(), p.total.Load()
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	rate := p.rate()
+	eta := "?"
+	if rate > 0 && total >= done {
+		eta = time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second).String()
+	}
+	label, _ := p.label.Load().(string)
+	if label == "" {
+		label = "-"
+	}
+	return fmt.Sprintf("progress: %d/%d devices (%.1f%%) | %.1f dev/s | ETA %s | %s",
+		done, total, pct, rate, eta, label)
+}

@@ -113,6 +113,7 @@ func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int,
 		return nil, err
 	}
 	tr.Registry().Counter("exp.devices").Add(int64(len(devs)))
+	o.Progress.StartCampaign(label, len(devs))
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(devs) {
@@ -128,7 +129,7 @@ func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outs[i], errs[i] = runMethods(tr, wl, devs[i], methods, dict, o.Radius)
+			outs[i], errs[i] = runMethods(tr, wl, devs[i], methods, dict, o)
 		}(i)
 	}
 	wg.Wait()
@@ -283,8 +284,9 @@ func T4PatternCharacter(w io.Writer, o Options) error {
 				return err
 			}
 			tr.Registry().Counter("exp.devices").Add(int64(len(devs)))
+			o.Progress.StartCampaign(fmt.Sprintf("T4/%s/%d", name, mult), len(devs))
 			for _, dev := range devs {
-				outs, err := runMethods(tr, wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o.Radius)
+				outs, err := runMethods(tr, wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o)
 				if err != nil {
 					return err
 				}
@@ -526,10 +528,13 @@ func T5Ablation(w io.Writer, o Options) error {
 		vtr.SetEmitter(o.Emitter)
 		cfg := v.cfg
 		cfg.Trace = vtr
+		cfg.Explain = o.Explain
+		o.Progress.StartCampaign("T5/"+v.label, len(devs))
 		var site, region metrics.Aggregate
 		inconsistent := 0
 		for _, dev := range devs {
 			res, err := core.Diagnose(wl.Circuit, wl.Patterns, dev.log, cfg)
+			o.Progress.Done(1)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,266 @@
+// Package explain is the diagnosis flight recorder: one structured event
+// per candidate per stage of core.Diagnose, answering the question the
+// phase timings of internal/obs cannot — *why* a candidate survived (or
+// died in) extraction, scoring, covering, model refinement and the
+// X-consistency check, and which candidate explains which observed
+// failing bit.
+//
+// Like internal/obs, everything is stdlib-only and nil-tolerant: a nil
+// *Recorder or *Emitter accepts every call as a cheap no-op, so the
+// instrumented engine needs no "is explaining on?" branches and the
+// disabled fast path costs a pointer test (budgeted alongside tracing in
+// internal/core's benchmarks).
+//
+// Events are retained in a bounded in-memory buffer (for the mddiag
+// explain renderer) and, when an Emitter is attached, streamed as JSON
+// Lines beside the obs run events (the -explain-out flag; schema in
+// DESIGN.md §8).
+package explain
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxEvents bounds the retained per-candidate detail so campaign-scale
+// recording cannot grow without bound. Streaming to the emitter continues
+// past the cap; only the in-memory copy stops growing.
+const maxEvents = 1 << 17
+
+// Stages of the candidate lifecycle, in pipeline order.
+const (
+	StageEvidence = "evidence" // run-level: the evidence-bit universe
+	StageExtract  = "extract"  // effect-cause extraction source
+	StageScore    = "score"    // coverage vector + misprediction count
+	StageCover    = "cover"    // greedy-cover verdict
+	StageRefine   = "refine"   // fault-model refinement outcome
+	StageXCheck   = "xcheck"   // X-masking consistency verdict
+)
+
+// Cover / score / xcheck verdicts.
+const (
+	VerdictScored       = "scored"       // survived scoring with TFSF > 0
+	VerdictMerged       = "merged"       // identical syndrome; folded into EquivTo
+	VerdictPruned       = "pruned"       // dropped (reason in Reason / DominatedBy)
+	VerdictKept         = "kept"         // selected into the multiplet
+	VerdictConsistent   = "consistent"   // X-check accepted the multiplet
+	VerdictInconsistent = "inconsistent" // X-check rejected the multiplet
+	VerdictSkipped      = "skipped"      // stage disabled by configuration
+)
+
+// Bit is one observed failing (pattern, PO) pair, the unit of evidence.
+type Bit struct {
+	Pattern int `json:"p"`
+	PO      int `json:"po"`
+}
+
+// ModelFit is one fault-model assignment with its fit statistics from
+// refinement (covered evidence bits, mispredictions).
+type ModelFit struct {
+	Kind      string `json:"kind"`                // "stuck/open" or "bridge"
+	Aggressor string `json:"aggressor,omitempty"` // bridge aggressor net name
+	Covered   int    `json:"covered"`
+	Mispred   int    `json:"mispred"`
+}
+
+// Event is one JSONL flight-recorder record. Kind is "cand" for candidate
+// lifecycle events and "evidence" for the run-level evidence universe;
+// Stage selects which optional fields are populated (schema: DESIGN.md §8).
+type Event struct {
+	Kind  string `json:"kind"`
+	Run   string `json:"run,omitempty"`
+	Seq   int64  `json:"seq"`
+	Stage string `json:"stage"`
+	// Cand is the canonical candidate id ("net7/sa0"); Name the circuit's
+	// human name ("G16 sa0"). Empty on evidence events.
+	Cand string `json:"cand,omitempty"`
+	Name string `json:"name,omitempty"`
+
+	// evidence: the full evidence-bit universe, index order = bit index.
+	// extract: the failing bits whose back-cone yielded the candidate.
+	Bits []Bit `json:"bits,omitempty"`
+
+	// score: coverage vector (evidence-bit indices the candidate predicts),
+	// TFSF/TPSF, and the equivalence class.
+	Covered []int    `json:"covered,omitempty"`
+	TFSF    int      `json:"tfsf,omitempty"`
+	TPSF    int      `json:"tpsf,omitempty"`
+	Equiv   []string `json:"equiv,omitempty"`    // merged-in equivalent sites
+	EquivTo string   `json:"equiv_to,omitempty"` // set on merged seeds
+
+	// cover / score / refine / xcheck verdict.
+	Verdict string `json:"verdict,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	// cover (kept): 1-based selection order, greedy gain, newly covered bits.
+	Order   int     `json:"order,omitempty"`
+	Gain    float64 `json:"gain,omitempty"`
+	NewBits int     `json:"new_bits,omitempty"`
+	// cover (pruned): the selected competitor overlapping most of this
+	// candidate's coverage, and the size of that overlap.
+	DominatedBy string `json:"dominated_by,omitempty"`
+	Overlap     int    `json:"overlap,omitempty"`
+
+	// refine: the candidate's fault models after refinement, best first.
+	Models []ModelFit `json:"models,omitempty"`
+
+	// xcheck: failing patterns the multiplet could not reconcile.
+	BadPatterns []int `json:"bad_patterns,omitempty"`
+}
+
+// Recorder collects the lifecycle events of one diagnosis (or one campaign
+// of diagnoses — the experiment runner shares one recorder across its
+// worker pool). All methods are safe for concurrent use and tolerate a nil
+// receiver.
+type Recorder struct {
+	run string
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+	seq     int64
+
+	em atomic.Pointer[Emitter]
+}
+
+// New creates an enabled recorder labelled run.
+func New(run string) *Recorder {
+	return &Recorder{run: run}
+}
+
+// SetEmitter streams every recorded event to e as JSONL. Pass nil to
+// detach.
+func (r *Recorder) SetEmitter(e *Emitter) {
+	if r == nil {
+		return
+	}
+	r.em.Store(e)
+}
+
+// Emitter returns the attached emitter (nil when detached or on a nil
+// recorder).
+func (r *Recorder) Emitter() *Emitter {
+	if r == nil {
+		return nil
+	}
+	return r.em.Load()
+}
+
+// Enabled reports whether recording is active — the guard instrumented
+// code uses before assembling event payloads.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record stamps the event with the recorder's run label and sequence
+// number, retains it (up to maxEvents) and streams it to the emitter.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Run = r.run
+	r.mu.Lock()
+	ev.Seq = r.seq
+	r.seq++
+	if len(r.events) < maxEvents {
+		r.events = append(r.events, ev)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+	r.em.Load().Emit(ev)
+}
+
+// Events returns a copy of the retained events in record order, plus the
+// number of events dropped past the retention cap.
+func (r *Recorder) Events() ([]Event, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...), r.dropped
+}
+
+// Evidence records the run-level evidence universe: bit index i of every
+// later coverage vector refers to bits[i].
+func (r *Recorder) Evidence(bits []Bit) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "evidence", Stage: StageEvidence, Bits: bits})
+}
+
+// Extract records a candidate's effect-cause origin: the failing bits
+// whose critical-path back-cone yielded the site. A PO of -1 marks
+// pattern-level attribution (the approximate-CPT path traces per pattern,
+// not per output).
+func (r *Recorder) Extract(cand, name string, sources []Bit) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageExtract, Cand: cand, Name: name, Bits: sources})
+}
+
+// Score records a candidate's scoring outcome: its per-evidence-bit
+// coverage vector, TFSF/TPSF, and equivalence class. verdict is
+// VerdictScored or VerdictPruned (reason explains a prune).
+func (r *Recorder) Score(cand, name string, covered []int, tfsf, tpsf int, equiv []string, verdict, reason string) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageScore, Cand: cand, Name: name,
+		Covered: covered, TFSF: tfsf, TPSF: tpsf, Equiv: equiv, Verdict: verdict, Reason: reason})
+}
+
+// Merged records a seed whose syndrome was identical to an earlier
+// candidate's: it was folded into into's equivalence class, ending its
+// independent lifecycle.
+func (r *Recorder) Merged(cand, name, into string) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageScore, Cand: cand, Name: name,
+		Verdict: VerdictMerged, EquivTo: into})
+}
+
+// Kept records a greedy-cover selection: the candidate entered the
+// multiplet in position order (1-based) with the given gain, newly
+// covering newBits evidence bits.
+func (r *Recorder) Kept(cand, name string, order int, gain float64, newBits int) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageCover, Cand: cand, Name: name,
+		Verdict: VerdictKept, Order: order, Gain: gain, NewBits: newBits})
+}
+
+// CoverPruned records a candidate the greedy cover never selected,
+// naming the multiplet member overlapping most of its coverage (the
+// dominating competitor) and the overlap size.
+func (r *Recorder) CoverPruned(cand, name, dominatedBy string, overlap int, reason string) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageCover, Cand: cand, Name: name,
+		Verdict: VerdictPruned, DominatedBy: dominatedBy, Overlap: overlap, Reason: reason})
+}
+
+// Refine records a multiplet member's fault models after refinement
+// (best first). verdict is VerdictScored when refinement ran and
+// VerdictSkipped when bridge search was disabled.
+func (r *Recorder) Refine(cand, name string, models []ModelFit, verdict string) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageRefine, Cand: cand, Name: name,
+		Models: models, Verdict: verdict})
+}
+
+// XCheck records the X-masking consistency verdict for one multiplet
+// member (the check is joint, so every member shares the verdict and the
+// irreconcilable pattern list).
+func (r *Recorder) XCheck(cand, name, verdict string, badPatterns []int) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Kind: "cand", Stage: StageXCheck, Cand: cand, Name: name,
+		Verdict: verdict, BadPatterns: badPatterns})
+}

@@ -1,0 +1,338 @@
+package explain
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTolerance: every recorder/emitter method must be a no-op on a nil
+// receiver — the instrumented engine relies on this for its disabled path.
+func TestNilTolerance(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.SetEmitter(nil)
+	if r.Emitter() != nil {
+		t.Fatal("nil recorder returned an emitter")
+	}
+	r.Record(Event{})
+	r.Evidence([]Bit{{0, 1}})
+	r.Extract("a", "b", nil)
+	r.Score("a", "b", nil, 1, 0, nil, VerdictScored, "")
+	r.Merged("a", "b", "c")
+	r.Kept("a", "b", 1, 0.5, 3)
+	r.CoverPruned("a", "b", "c", 2, "r")
+	r.Refine("a", "b", nil, VerdictScored)
+	r.XCheck("a", "b", VerdictConsistent, nil)
+	if evs, dropped := r.Events(); evs != nil || dropped != 0 {
+		t.Fatal("nil recorder retained events")
+	}
+
+	var e *Emitter
+	if err := e.Emit(Event{}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Events() != 0 || e.Err() != nil || e.Close() != nil {
+		t.Fatal("nil emitter not inert")
+	}
+}
+
+// TestRecorderStampsAndRetains: run label, monotone sequence numbers, and
+// the Events copy contract.
+func TestRecorderStampsAndRetains(t *testing.T) {
+	r := New("unit")
+	if !r.Enabled() {
+		t.Fatal("recorder not enabled")
+	}
+	r.Extract("net1/sa0", "G1 sa0", []Bit{{Pattern: 2, PO: 0}})
+	r.Score("net1/sa0", "G1 sa0", []int{0, 2}, 2, 1, []string{"G2 sa1"}, VerdictScored, "")
+	r.Kept("net1/sa0", "G1 sa0", 1, 1.7, 2)
+	evs, dropped := r.Events()
+	if dropped != 0 {
+		t.Fatalf("dropped %d", dropped)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Run != "unit" {
+			t.Errorf("event %d run %q", i, ev.Run)
+		}
+		if ev.Seq != int64(i) {
+			t.Errorf("event %d seq %d", i, ev.Seq)
+		}
+		if ev.Kind != "cand" || ev.Cand != "net1/sa0" {
+			t.Errorf("event %d: %+v", i, ev)
+		}
+	}
+	// Events must return a copy: mutating it cannot corrupt the recorder.
+	evs[0].Cand = "corrupted"
+	evs2, _ := r.Events()
+	if evs2[0].Cand != "net1/sa0" {
+		t.Fatal("Events returned the internal slice")
+	}
+}
+
+// TestRecorderRetentionCap: past maxEvents the in-memory copy stops
+// growing but the emitter keeps streaming and Events reports the drop.
+func TestRecorderRetentionCap(t *testing.T) {
+	var buf bytes.Buffer
+	r := New("cap")
+	r.SetEmitter(NewEmitter(&buf))
+	extra := 10
+	for i := 0; i < maxEvents+extra; i++ {
+		r.Record(Event{Kind: "cand", Stage: StageScore})
+	}
+	evs, dropped := r.Events()
+	if len(evs) != maxEvents {
+		t.Fatalf("retained %d, want %d", len(evs), maxEvents)
+	}
+	if dropped != int64(extra) {
+		t.Fatalf("dropped %d, want %d", dropped, extra)
+	}
+	if n := r.Emitter().Events(); n != int64(maxEvents+extra) {
+		t.Fatalf("emitter streamed %d, want %d", n, maxEvents+extra)
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder (with emitter) from many
+// goroutines — the mdexp worker-pool shape — and checks nothing is lost
+// and every sequence number is assigned exactly once. Run under -race via
+// the repo's race target.
+func TestRecorderConcurrent(t *testing.T) {
+	var buf lockedBuffer
+	r := New("race")
+	r.SetEmitter(NewEmitter(&buf))
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Extract(fmt.Sprintf("net%d/sa0", w), "", []Bit{{Pattern: i, PO: w}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs, dropped := r.Events()
+	if len(evs) != workers*per || dropped != 0 {
+		t.Fatalf("retained %d (dropped %d), want %d", len(evs), dropped, workers*per)
+	}
+	seen := map[int64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("seq %d assigned twice", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	if err := r.Emitter().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Emitter().Events(); n != workers*per {
+		t.Fatalf("emitter streamed %d", n)
+	}
+}
+
+// lockedBuffer serializes concurrent writes (mirrors the exp test helper).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// failAfter errors on the n-th write.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestEmitterStickyError: the first write error sticks and Close surfaces
+// it over the close error.
+func TestEmitterStickyError(t *testing.T) {
+	em := NewEmitter(&failAfter{n: 1})
+	if err := em.Emit(Event{Kind: "cand"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Emit(Event{Kind: "cand"}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	if em.Events() != 1 {
+		t.Fatalf("counted %d events", em.Events())
+	}
+	if err := em.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("sticky error: %v", err)
+	}
+	if err := em.Close(); err == nil {
+		t.Fatal("Close dropped the sticky error")
+	}
+}
+
+// TestOpenEmptyPath: an empty -explain-out keeps the recorder in-memory
+// only, with a working no-op finish.
+func TestOpenEmptyPath(t *testing.T) {
+	rec, finish, err := Open("", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || rec.Emitter() != nil {
+		t.Fatal("empty path must yield an emitterless recorder")
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenFailFast: an unwritable path errors at open, not at exit.
+func TestOpenFailFast(t *testing.T) {
+	_, _, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl"), "t")
+	if err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+	if !strings.Contains(err.Error(), "explain-out") {
+		t.Fatalf("error not attributed to the flag: %v", err)
+	}
+}
+
+// TestOpenGzipRoundTrip: a .gz path must produce a gzip stream whose
+// decompressed JSONL matches what a plain path would carry.
+func TestOpenGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(path string) {
+		rec, finish, err := Open(path, "gz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Evidence([]Bit{{Pattern: 1, PO: 2}, {Pattern: 3, PO: 0}})
+		rec.Extract("net4/sa1", "G4 sa1", []Bit{{Pattern: 1, PO: 2}})
+		rec.Kept("net4/sa1", "G4 sa1", 1, 2.0, 2)
+		if err := finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plainPath := filepath.Join(dir, "e.jsonl")
+	gzPath := filepath.Join(dir, "e.jsonl.gz")
+	emit(plainPath)
+	emit(gzPath)
+
+	plain, err := os.ReadFile(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("not a gzip stream: %v", err)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(zr); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(plain) {
+		t.Fatalf("gzip round-trip differs:\n%s\nvs\n%s", out.String(), plain)
+	}
+	var lines int
+	for _, l := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("line does not parse: %v", err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("got %d lines", lines)
+	}
+}
+
+// syntheticDiagnosis records a small but complete lifecycle: evidence of 3
+// bits, one kept candidate, one merged seed, one cover-pruned candidate.
+func syntheticDiagnosis() *Recorder {
+	r := New("synthetic")
+	r.Evidence([]Bit{{Pattern: 0, PO: 1}, {Pattern: 2, PO: 0}, {Pattern: 5, PO: 1}})
+	r.Extract("net1/sa0", "G1 sa0", []Bit{{Pattern: 0, PO: 1}, {Pattern: 2, PO: 0}})
+	r.Merged("net9/sa0", "G9 sa0", "net1/sa0")
+	r.Score("net1/sa0", "G1 sa0", []int{0, 1}, 2, 0, []string{"G9 sa0"}, VerdictScored, "")
+	r.Extract("net3/sa1", "G3 sa1", []Bit{{Pattern: 0, PO: 1}})
+	r.Score("net3/sa1", "G3 sa1", []int{0}, 1, 2, nil, VerdictScored, "")
+	r.Kept("net1/sa0", "G1 sa0", 1, 2.0, 2)
+	r.CoverPruned("net3/sa1", "G3 sa1", "G1 sa0", 1, "all covered bits already explained by the multiplet")
+	r.Refine("net1/sa0", "G1 sa0", []ModelFit{{Kind: "stuck/open", Covered: 2}}, VerdictScored)
+	r.XCheck("net1/sa0", "G1 sa0", VerdictConsistent, nil)
+	return r
+}
+
+// TestRenderNarrative: multiplet members lead, stages render in lifecycle
+// order, and maxOther truncates with a pointer to -all.
+func TestRenderNarrative(t *testing.T) {
+	events, _ := syntheticDiagnosis().Events()
+	var sb strings.Builder
+	if err := RenderNarrative(&sb, events, -1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"G1 sa0", "back-cone of 2 failing bits",
+		"covers 2 observed bits, 0 mispredictions", "(≡ G9 sa0)",
+		"kept as multiplet #1", "stuck/open (covers 2, 0 mispred)",
+		"X-consistent",
+		"G3 sa1", "dominated by G1 sa0, overlap 1 bits",
+		"G9 sa0", "merged into its equivalence class",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("narrative missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "G1 sa0") > strings.Index(out, "G3 sa1") {
+		t.Error("multiplet member does not lead the narrative")
+	}
+
+	sb.Reset()
+	if err := RenderNarrative(&sb, events, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 further non-multiplet candidates") {
+		t.Errorf("maxOther=0 did not truncate:\n%s", sb.String())
+	}
+}
+
+// TestRenderBitTable: one row per evidence bit, kept members attributed,
+// uncovered bits flagged, and a clear error without an evidence event.
+func TestRenderBitTable(t *testing.T) {
+	events, _ := syntheticDiagnosis().Events()
+	var sb strings.Builder
+	if err := RenderBitTable(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"who explains this bit", "G1 sa0", "— UNEXPLAINED —"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bit table missing %q:\n%s", want, out)
+		}
+	}
+	if err := RenderBitTable(&sb, nil); err == nil {
+		t.Fatal("missing evidence event not reported")
+	}
+}

@@ -1,0 +1,213 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"multidiag/internal/report"
+)
+
+// trail is one candidate's events grouped in lifecycle order.
+type trail struct {
+	cand, name string
+	firstSeq   int64
+	byStage    map[string][]Event
+}
+
+// collect groups events by candidate, preserving first-seen order, and
+// returns the evidence universe (nil when no evidence event was recorded).
+func collect(events []Event) ([]*trail, []Bit) {
+	var evidence []Bit
+	byCand := map[string]*trail{}
+	var order []*trail
+	for _, ev := range events {
+		if ev.Kind == "evidence" {
+			evidence = ev.Bits
+			continue
+		}
+		t := byCand[ev.Cand]
+		if t == nil {
+			t = &trail{cand: ev.Cand, name: ev.Name, firstSeq: ev.Seq, byStage: map[string][]Event{}}
+			byCand[ev.Cand] = t
+			order = append(order, t)
+		}
+		t.byStage[ev.Stage] = append(t.byStage[ev.Stage], ev)
+	}
+	return order, evidence
+}
+
+// RenderNarrative writes the per-candidate lifecycle narrative: one block
+// per candidate, one line per stage, in extraction order. Multiplet
+// members (candidates with a kept cover verdict) lead; merged and pruned
+// seeds follow. maxOther bounds the non-multiplet blocks (<0 = all).
+func RenderNarrative(w io.Writer, events []Event, maxOther int) error {
+	trails, _ := collect(events)
+	var kept, other []*trail
+	for _, t := range trails {
+		if hasVerdict(t, StageCover, VerdictKept) {
+			kept = append(kept, t)
+		} else {
+			other = append(other, t)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return keptOrder(kept[i]) < keptOrder(kept[j]) })
+	var sb strings.Builder
+	for _, t := range kept {
+		writeTrail(&sb, t)
+	}
+	shown := 0
+	for _, t := range other {
+		if maxOther >= 0 && shown >= maxOther {
+			fmt.Fprintf(&sb, "… %d further non-multiplet candidates (rerun with -all to list)\n", len(other)-shown)
+			break
+		}
+		writeTrail(&sb, t)
+		shown++
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func hasVerdict(t *trail, stage, verdict string) bool {
+	for _, ev := range t.byStage[stage] {
+		if ev.Verdict == verdict {
+			return true
+		}
+	}
+	return false
+}
+
+func keptOrder(t *trail) int {
+	for _, ev := range t.byStage[StageCover] {
+		if ev.Verdict == VerdictKept {
+			return ev.Order
+		}
+	}
+	return 1 << 30
+}
+
+// writeTrail renders one candidate's block.
+func writeTrail(sb *strings.Builder, t *trail) {
+	name := t.name
+	if name == "" {
+		name = t.cand
+	}
+	fmt.Fprintf(sb, "%s\n", name)
+	for _, stage := range []string{StageExtract, StageScore, StageCover, StageRefine, StageXCheck} {
+		for _, ev := range t.byStage[stage] {
+			fmt.Fprintf(sb, "  %-8s %s\n", stage+":", stageLine(ev))
+		}
+	}
+}
+
+// stageLine renders one event as a one-line narrative clause.
+func stageLine(ev Event) string {
+	switch ev.Stage {
+	case StageExtract:
+		pats := map[int]bool{}
+		exact := 0
+		for _, b := range ev.Bits {
+			pats[b.Pattern] = true
+			if b.PO >= 0 {
+				exact++
+			}
+		}
+		if exact > 0 {
+			return fmt.Sprintf("back-cone of %d failing bits across %d patterns", len(ev.Bits), len(pats))
+		}
+		return fmt.Sprintf("back-cone of %d failing patterns (pattern-level attribution)", len(pats))
+	case StageScore:
+		switch ev.Verdict {
+		case VerdictMerged:
+			return fmt.Sprintf("syndrome identical to %s — merged into its equivalence class", ev.EquivTo)
+		case VerdictPruned:
+			return fmt.Sprintf("pruned: %s (TPSF=%d)", ev.Reason, ev.TPSF)
+		}
+		line := fmt.Sprintf("covers %d observed bits, %d mispredictions", ev.TFSF, ev.TPSF)
+		if len(ev.Equiv) > 0 {
+			line += fmt.Sprintf(" (≡ %s)", strings.Join(ev.Equiv, ", "))
+		}
+		return line
+	case StageCover:
+		if ev.Verdict == VerdictKept {
+			return fmt.Sprintf("kept as multiplet #%d: gain %.2f, %d newly explained bits", ev.Order, ev.Gain, ev.NewBits)
+		}
+		if ev.DominatedBy != "" {
+			return fmt.Sprintf("pruned: %s (dominated by %s, overlap %d bits)", ev.Reason, ev.DominatedBy, ev.Overlap)
+		}
+		return "pruned: " + ev.Reason
+	case StageRefine:
+		if ev.Verdict == VerdictSkipped {
+			return "bridge search disabled; keeping " + modelLine(ev.Models)
+		}
+		return "models: " + modelLine(ev.Models)
+	case StageXCheck:
+		switch ev.Verdict {
+		case VerdictConsistent:
+			return "multiplet X-consistent: every observed failure reachable with all sites unknown"
+		case VerdictInconsistent:
+			return fmt.Sprintf("multiplet X-INCONSISTENT on patterns %v — evidence incomplete", ev.BadPatterns)
+		}
+		return "X-consistency check disabled"
+	}
+	return ev.Verdict
+}
+
+func modelLine(models []ModelFit) string {
+	if len(models) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(models))
+	for i, m := range models {
+		if m.Aggressor != "" {
+			parts[i] = fmt.Sprintf("%s←%s (covers %d, %d mispred)", m.Kind, m.Aggressor, m.Covered, m.Mispred)
+		} else {
+			parts[i] = fmt.Sprintf("%s (covers %d, %d mispred)", m.Kind, m.Covered, m.Mispred)
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// RenderBitTable writes the per-failing-pattern "who explains this bit"
+// table: one row per evidence bit, listing the multiplet members whose
+// coverage vector includes it. Requires the evidence event (recorded by
+// every diagnosis with a recorder attached).
+func RenderBitTable(w io.Writer, events []Event) error {
+	trails, evidence := collect(events)
+	if evidence == nil {
+		return fmt.Errorf("explain: no evidence event in record (nothing to tabulate)")
+	}
+	// Who covers bit i: multiplet members in selection order.
+	coverers := make([][]string, len(evidence))
+	var kept []*trail
+	for _, t := range trails {
+		if hasVerdict(t, StageCover, VerdictKept) {
+			kept = append(kept, t)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return keptOrder(kept[i]) < keptOrder(kept[j]) })
+	for _, t := range kept {
+		for _, ev := range t.byStage[StageScore] {
+			if ev.Verdict != VerdictScored {
+				continue
+			}
+			for _, idx := range ev.Covered {
+				if idx >= 0 && idx < len(coverers) {
+					coverers[idx] = append(coverers[idx], t.name)
+				}
+			}
+		}
+	}
+	t := report.NewTable("who explains this bit (observed failing (pattern, PO) → multiplet members)",
+		"pattern", "PO", "explained by")
+	for i, b := range evidence {
+		who := "— UNEXPLAINED —"
+		if len(coverers[i]) > 0 {
+			who = strings.Join(coverers[i], ", ")
+		}
+		t.AddRow(b.Pattern, b.PO, who)
+	}
+	return t.Render(w)
+}

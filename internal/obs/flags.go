@@ -7,10 +7,13 @@ import (
 )
 
 // Flags bundles the observability command-line flags shared by the CLIs
-// (mddiag, mdexp, mdfsim): JSONL trace output, CPU/heap profiles and the
-// pprof/expvar debug listener.
+// (mddiag, mdexp, mdfsim): JSONL trace output, the candidate flight
+// recorder, CPU/heap profiles and the pprof/expvar/metrics debug listener.
 type Flags struct {
-	TraceOut   string
+	TraceOut string
+	// ExplainOut is opened by the CLIs that support the flight recorder
+	// (via explain.Open, which obs cannot import); Setup ignores it.
+	ExplainOut string
 	CPUProfile string
 	MemProfile string
 	DebugAddr  string
@@ -18,10 +21,11 @@ type Flags struct {
 
 // Register installs the flags on fs (use flag.CommandLine for main).
 func (f *Flags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&f.TraceOut, "trace-out", "", "write JSONL run/span trace records to `file`")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write JSONL run/span trace records to `file` (.gz compresses)")
+	fs.StringVar(&f.ExplainOut, "explain-out", "", "write JSONL candidate flight-recorder events to `file` (.gz compresses)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` at exit")
-	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and /metrics on `addr` (e.g. localhost:6060)")
 }
 
 // Setup activates whatever the flags request: it creates a trace labeled
@@ -37,7 +41,7 @@ func (f *Flags) Setup(label string) (*Trace, func() error, error) {
 
 	var em *Emitter
 	if f.TraceOut != "" {
-		out, err := os.Create(f.TraceOut)
+		out, err := CreateSink(f.TraceOut)
 		if err != nil {
 			return nil, nil, fmt.Errorf("trace-out: %w", err)
 		}

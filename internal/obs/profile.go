@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // StartProfiles enables the requested profiles ("" disables either). The
@@ -56,23 +57,35 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 // publishOnce guards the process-wide expvar name (expvar panics on
-// duplicate publication).
-var publishOnce sync.Once
+// duplicate publication) and the /metrics route on the default mux
+// (http.HandleFunc panics on duplicate registration). debugRegistry is
+// what both exports read — updated on every ServeDebug call so tests that
+// restart the listener see the current registry.
+var (
+	publishOnce   sync.Once
+	debugRegistry atomic.Pointer[Registry]
+)
 
-// ServeDebug exposes net/http/pprof and expvar on addr (e.g. ":6060" or
-// "127.0.0.1:0") in a background goroutine and publishes the registry
-// snapshot under the expvar name "multidiag". It returns the bound
-// address so callers can print it (and tests can use port 0).
+// ServeDebug exposes net/http/pprof, expvar and Prometheus text-format
+// /metrics on addr (e.g. ":6060" or "127.0.0.1:0") in a background
+// goroutine and publishes the registry snapshot under the expvar name
+// "multidiag". It returns the bound address so callers can print it (and
+// tests can use port 0).
 func ServeDebug(addr string, r *Registry) (string, error) {
 	if r != nil {
+		debugRegistry.Store(r)
 		publishOnce.Do(func() {
-			expvar.Publish("multidiag", expvar.Func(func() any { return r.Snapshot() }))
+			expvar.Publish("multidiag", expvar.Func(func() any { return debugRegistry.Load().Snapshot() }))
+			http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				WritePrometheus(w, debugRegistry.Load())
+			})
 		})
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: debug listener: %w", err)
 	}
-	go http.Serve(ln, nil) // default mux carries /debug/pprof and /debug/vars
+	go http.Serve(ln, nil) // default mux carries /debug/pprof, /debug/vars, /metrics
 	return ln.Addr().String(), nil
 }

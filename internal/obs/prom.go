@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promNamespace prefixes every exposed metric name, matching the expvar
+// export key.
+const promNamespace = "multidiag"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `_bucket{le="…"}` series with `_sum` and
+// `_count`, using the log₂ bucket upper bounds as `le` thresholds.
+// Metric names are namespaced under "multidiag_" and sanitized (dots →
+// underscores). Safe on a nil registry (writes nothing).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	var sb strings.Builder
+
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name])
+	}
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := hists[name]
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets() {
+			cum += b.N
+			fmt.Fprintf(&sb, "%s_bucket{le=\"%d\"} %d\n", pn, b.Hi, cum)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
+		fmt.Fprintf(&sb, "%s_sum %d\n", pn, h.Sum())
+		fmt.Fprintf(&sb, "%s_count %d\n", pn, h.Count())
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// promName namespaces and sanitizes a registry name for Prometheus:
+// every character outside [a-zA-Z0-9_:] becomes "_".
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString(promNamespace)
+	sb.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the text exposition format: typed
+// counters and gauges, cumulative histogram buckets with log₂ upper
+// bounds as thresholds, +Inf, _sum and _count, names namespaced and
+// sanitized.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.candidates_extracted").Add(42)
+	r.Gauge("exp.workers").Set(8)
+	h := r.Histogram("core.multiplet_size")
+	h.Observe(1)   // bucket hi=1
+	h.Observe(3)   // bucket hi=3
+	h.Observe(100) // bucket hi=127
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE multidiag_core_candidates_extracted counter",
+		"multidiag_core_candidates_extracted 42",
+		"# TYPE multidiag_exp_workers gauge",
+		"multidiag_exp_workers 8",
+		"# TYPE multidiag_core_multiplet_size histogram",
+		`multidiag_core_multiplet_size_bucket{le="1"} 1`,
+		`multidiag_core_multiplet_size_bucket{le="3"} 2`,
+		`multidiag_core_multiplet_size_bucket{le="127"} 3`,
+		`multidiag_core_multiplet_size_bucket{le="+Inf"} 3`,
+		"multidiag_core_multiplet_size_sum 104",
+		"multidiag_core_multiplet_size_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket series must be cumulative (monotone): the le="3" line counts
+	// the le="1" observations too — checked above by exact counts.
+
+	// Every non-comment line is "name value"; every name starts with the
+	// namespace and contains no unsanitized characters.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		name := fields[0]
+		if idx := strings.IndexByte(name, '{'); idx >= 0 {
+			name = name[:idx]
+		}
+		if !strings.HasPrefix(name, "multidiag_") || strings.ContainsAny(name, ".-/ ") {
+			t.Errorf("bad metric name %q", fields[0])
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", sb.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.multiplet_size": "multidiag_core_multiplet_size",
+		"a-b c/d":             "multidiag_a_b_c_d",
+		"ok_name:sub":         "multidiag_ok_name:sub",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMetricsEndpoint: the -debug-addr server must answer /metrics with
+// parseable Prometheus text for the registry it was started with.
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.devices").Add(7)
+	r.Histogram("fsim.cone_size").Observe(12)
+	addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"multidiag_core_devices 7",
+		"# TYPE multidiag_fsim_cone_size histogram",
+		"multidiag_fsim_cone_size_count 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHistogramQuantileMax pins the quantile contract: upper bound of the
+// first bucket reaching the rank, exact within the 2× bucket resolution.
+func TestHistogramQuantileMax(t *testing.T) {
+	var h *Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("nil histogram quantiles not zero")
+	}
+	h = &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram quantiles not zero")
+	}
+	// 10 observations: 1..8 land in buckets hi∈{1,3,7,15}, plus 100 (hi
+	// 127) and 1000 (hi 1023).
+	for v := int64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	h.Observe(100)
+	h.Observe(1000)
+	if got := h.Quantile(0.50); got != 7 {
+		t.Errorf("p50 = %d, want 7 (rank 5 falls in the {4..7} bucket)", got)
+	}
+	if got := h.Quantile(0.95); got != 127 {
+		t.Errorf("p95 = %d, want 127 (rank 9 falls in the {64..127} bucket)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q=0 clamps to rank 1, got %d", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("q=1 = %d, want 1023", got)
+	}
+	if got := h.Max(); got != 1023 {
+		t.Errorf("max = %d, want 1023", got)
+	}
+	h.Observe(0)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("zero bucket quantile = %d", got)
+	}
+}
+
+// TestSnapshotQuantileKeys: populated histograms export p50/p95/max beside
+// count/sum; empty ones do not.
+func TestSnapshotQuantileKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty")
+	r.Histogram("h").Observe(5)
+	snap := r.Snapshot()
+	for _, want := range []string{"h.count", "h.sum", "h.p50", "h.p95", "h.max"} {
+		if _, ok := snap[want]; !ok {
+			t.Errorf("snapshot missing %q: %v", want, snap)
+		}
+	}
+	for _, absent := range []string{"empty.p50", "empty.p95", "empty.max"} {
+		if _, ok := snap[absent]; ok {
+			t.Errorf("empty histogram exported %q", absent)
+		}
+	}
+	if snap["h.p50"] != 7 || snap["h.max"] != 7 {
+		t.Errorf("h quantiles: p50=%d max=%d, want 7", snap["h.p50"], snap["h.max"])
+	}
+}
+
+func TestHistogramNames(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("z")
+	r.Histogram("a")
+	r.Counter("c")
+	got := r.HistogramNames()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("HistogramNames = %v", got)
+	}
+	var nilReg *Registry
+	if nilReg.HistogramNames() != nil {
+		t.Fatal("nil registry returned names")
+	}
+}
+
+// TestCreateSinkGzip: a .gz path yields a valid gzip stream holding
+// exactly the written bytes; a plain path passes through.
+func TestCreateSinkGzip(t *testing.T) {
+	dir := t.TempDir()
+	payload := strings.Repeat(`{"kind":"span","phase":"extract"}`+"\n", 100)
+
+	plain := filepath.Join(dir, "t.jsonl")
+	w, err := CreateSink(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(w, payload)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != payload {
+		t.Fatal("plain sink altered the payload")
+	}
+
+	gz := filepath.Join(dir, "t.jsonl.gz")
+	w, err = CreateSink(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(w, payload)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("not a gzip stream: %v", err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatal("gzip sink round-trip differs")
+	}
+	if st, _ := os.Stat(gz); st.Size() >= int64(len(payload)) {
+		t.Errorf("repetitive payload did not compress: %d >= %d", st.Size(), len(payload))
+	}
+
+	if _, err := CreateSink(filepath.Join(dir, "no", "dir", "x.gz")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

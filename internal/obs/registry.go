@@ -98,15 +98,17 @@ func (r *Registry) Reset() {
 
 // Snapshot flattens the registry into a name→value map: counters and
 // gauges under their own names, histograms as name.count / name.sum plus
-// one name.le_<2^k> entry per populated log₂ bucket. This is the counters
-// payload of JSONL run records and the expvar export.
+// one name.le_<2^k> entry per populated log₂ bucket and the derived
+// name.p50 / name.p95 / name.max quantile summaries (upper-bound
+// estimates; see Histogram.Quantile). This is the counters payload of
+// JSONL run records and the expvar export.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges)+2*len(r.hists))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+5*len(r.hists))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -119,7 +121,29 @@ func (r *Registry) Snapshot() map[string]int64 {
 		for _, b := range h.Buckets() {
 			out[name+".le_"+itoa(b.Hi)] = b.N
 		}
+		if h.Count() > 0 {
+			out[name+".p50"] = h.Quantile(0.50)
+			out[name+".p95"] = h.Quantile(0.95)
+			out[name+".max"] = h.Max()
+		}
 	}
+	return out
+}
+
+// HistogramNames returns the sorted names of the registered histograms
+// (for renderers that want quantile summaries per histogram rather than
+// the flattened snapshot keys).
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		out = append(out, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
 	return out
 }
 
@@ -268,6 +292,62 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]): the upper bound of the first log₂ bucket whose cumulative
+// count reaches q·count. The estimate is exact to within the bucket's 2×
+// resolution, which is what a log-scale latency readout needs. Returns 0
+// on an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for k := range h.buckets {
+		cum += h.buckets[k].Load()
+		if cum >= rank {
+			return bucketHi(k)
+		}
+	}
+	return bucketHi(len(h.buckets) - 1)
+}
+
+// Max returns the upper bound of the highest populated bucket (0 when
+// empty): the tightest maximum the log₂ representation can report.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	for k := len(h.buckets) - 1; k >= 0; k-- {
+		if h.buckets[k].Load() > 0 {
+			return bucketHi(k)
+		}
+	}
+	return 0
+}
+
+// bucketHi is the inclusive upper bound of bucket k (0 for the v≤0
+// bucket).
+func bucketHi(k int) int64 {
+	if k == 0 {
+		return 0
+	}
+	if k == 64 {
+		return int64(^uint64(0) >> 1) // max int64
+	}
+	return int64(1)<<k - 1
+}
+
 // Bucket is one populated histogram bucket: N observations in [Lo, Hi].
 type Bucket struct {
 	Lo, Hi int64
@@ -285,14 +365,9 @@ func (h *Histogram) Buckets() []Bucket {
 		if n == 0 {
 			continue
 		}
-		b := Bucket{N: n}
+		b := Bucket{N: n, Hi: bucketHi(k)}
 		if k > 0 {
 			b.Lo = int64(1) << (k - 1)
-			if k == 64 {
-				b.Hi = int64(^uint64(0) >> 1) // max int64
-			} else {
-				b.Hi = int64(1)<<k - 1
-			}
 		}
 		out = append(out, b)
 	}
