@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchdiff clean
+.PHONY: all build test race vet lint bench benchdiff clean
 
 all: build vet test
 
@@ -11,11 +11,20 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers the packages with real concurrency: the obs registry, the
+# campaign worker pool, the fault-parallel engine and the sharded cone
+# cache (the fsim stress test is the cache's -race proof).
 race:
-	$(GO) test -race ./internal/obs ./internal/exp
+	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core
 
 vet:
 	$(GO) vet ./...
+
+# lint mirrors the CI lint job: gofmt cleanliness always, staticcheck when
+# the binary is on PATH (CI installs it; local runs may not have it).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "lint: staticcheck not installed, skipped"; fi
 
 # bench proves the observability budgets (BenchmarkDiagnose vs the traced
 # and explained variants plus the obs micro-benchmarks), writes the core

@@ -6,16 +6,20 @@
 //	go test -bench BenchmarkDiagnose -benchmem ./internal/core | benchdiff parse -o BENCH_diag.json
 //	go test -bench BenchmarkDiagnose -benchmem ./internal/core | benchdiff parse | benchdiff compare BENCH_diag.json -
 //	benchdiff compare BENCH_diag.json current.json -threshold 20 -fail
+//	benchdiff compare BENCH_diag.json current.json -threshold 20 -fail-threshold 35
 //
 // parse reads benchmark result lines from stdin and writes one JSON object
 // keyed by benchmark name (the -N GOMAXPROCS suffix stripped, so baselines
 // transfer between machines with different core counts).
 //
 // compare prints a per-benchmark delta table. A ns/op regression beyond
-// the threshold prints a warning — as a GitHub Actions `::warning::`
-// annotation when running in Actions — and, with -fail, exits non-zero.
-// Benchmarks present on only one side are reported but never fatal, so a
-// baseline refresh and a new benchmark can land in the same change.
+// -threshold prints a warning — as a GitHub Actions `::warning::`
+// annotation when running in Actions — and, with -fail, exits non-zero;
+// a regression beyond -fail-threshold (when set) is an `::error::` and
+// always exits non-zero, which is the CI gate: moderate drift warns,
+// severe drift fails. Benchmarks present on only one side are reported
+// but never fatal, so a baseline refresh and a new benchmark can land in
+// the same change.
 package main
 
 import (
@@ -154,7 +158,8 @@ func stripProcs(name string) string {
 func compareMain(args []string) {
 	fs := flag.NewFlagSet("benchdiff compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 20, "ns/op regression percentage that triggers a warning")
-	failOnRegress := fs.Bool("fail", false, "exit non-zero when a regression exceeds the threshold")
+	failThreshold := fs.Float64("fail-threshold", 0, "ns/op regression percentage that is an error (0 = disabled); exits non-zero when exceeded")
+	failOnRegress := fs.Bool("fail", false, "exit non-zero when a regression exceeds the warning threshold")
 	// Positional args may precede flags (compare a.json b.json -fail).
 	var paths []string
 	rest := args
@@ -176,6 +181,19 @@ func compareMain(args []string) {
 		fatal(err)
 	}
 
+	warnings, failures := compareFiles(os.Stdout, base, cur, *threshold, *failThreshold)
+	if failures > 0 || (warnings > 0 && *failOnRegress) {
+		os.Exit(1)
+	}
+}
+
+// compareFiles prints the per-benchmark delta table and returns how many
+// ns/op regressions crossed the warning threshold and the (optional,
+// 0-disabled) failure threshold. A delta beyond failTh counts only as a
+// failure; between warnTh and failTh it is a warning. Benchmarks present
+// on only one side are reported but never fatal, so a baseline refresh
+// and a new benchmark can land in the same change.
+func compareFiles(w io.Writer, base, cur *File, warnTh, failTh float64) (warnings, failures int) {
 	names := map[string]bool{}
 	for n := range base.Benchmarks {
 		names[n] = true
@@ -189,42 +207,45 @@ func compareMain(args []string) {
 	}
 	sort.Strings(sorted)
 
-	regressions := 0
-	fmt.Printf("%-34s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(w, "%-34s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
 	for _, n := range sorted {
 		b, inBase := base.Benchmarks[n]
 		c, inCur := cur.Benchmarks[n]
 		switch {
 		case !inCur:
-			fmt.Printf("%-34s %14.0f %14s %9s\n", n, b.NsPerOp, "—", "gone")
+			fmt.Fprintf(w, "%-34s %14.0f %14s %9s\n", n, b.NsPerOp, "—", "gone")
 		case !inBase:
-			fmt.Printf("%-34s %14s %14.0f %9s\n", n, "—", c.NsPerOp, "new")
+			fmt.Fprintf(w, "%-34s %14s %14.0f %9s\n", n, "—", c.NsPerOp, "new")
 		default:
 			delta := 0.0
 			if b.NsPerOp > 0 {
 				delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 			}
-			fmt.Printf("%-34s %14.0f %14.0f %+8.1f%%\n", n, b.NsPerOp, c.NsPerOp, delta)
-			if delta > *threshold {
-				regressions++
-				warn(fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, threshold %.0f%%)",
-					n, delta, b.NsPerOp, c.NsPerOp, *threshold))
+			fmt.Fprintf(w, "%-34s %14.0f %14.0f %+8.1f%%\n", n, b.NsPerOp, c.NsPerOp, delta)
+			switch {
+			case failTh > 0 && delta > failTh:
+				failures++
+				annotate("error", fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, failure threshold %.0f%%)",
+					n, delta, b.NsPerOp, c.NsPerOp, failTh))
+			case delta > warnTh:
+				warnings++
+				annotate("warning", fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, threshold %.0f%%)",
+					n, delta, b.NsPerOp, c.NsPerOp, warnTh))
 			}
 		}
 	}
-	if regressions > 0 && *failOnRegress {
-		os.Exit(1)
-	}
+	return warnings, failures
 }
 
-// warn prints a regression warning, using the GitHub Actions annotation
-// syntax when running inside a workflow so the step gets flagged in the UI.
-func warn(msg string) {
+// annotate prints a regression annotation at the given level ("warning" or
+// "error"), using the GitHub Actions annotation syntax when running inside
+// a workflow so the step gets flagged in the UI.
+func annotate(level, msg string) {
 	if os.Getenv("GITHUB_ACTIONS") == "true" {
-		fmt.Printf("::warning title=benchmark regression::%s\n", msg)
+		fmt.Printf("::%s title=benchmark regression::%s\n", level, msg)
 		return
 	}
-	fmt.Fprintln(os.Stderr, "WARNING:", msg)
+	fmt.Fprintf(os.Stderr, "%s: %s\n", strings.ToUpper(level), msg)
 }
 
 // loadFile reads a baseline JSON file; "-" reads stdin (so a fresh parse

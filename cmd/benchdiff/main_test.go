@@ -56,3 +56,38 @@ func TestStripProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareFilesThresholds(t *testing.T) {
+	base := &File{Benchmarks: map[string]Bench{
+		"BenchmarkA":    {NsPerOp: 100},
+		"BenchmarkB":    {NsPerOp: 100},
+		"BenchmarkC":    {NsPerOp: 100},
+		"BenchmarkGone": {NsPerOp: 100},
+	}}
+	cur := &File{Benchmarks: map[string]Bench{
+		"BenchmarkA":   {NsPerOp: 105}, // ok
+		"BenchmarkB":   {NsPerOp: 128}, // warning (>20)
+		"BenchmarkC":   {NsPerOp: 150}, // failure (>35)
+		"BenchmarkNew": {NsPerOp: 42},
+	}}
+	var out strings.Builder
+	warnings, failures := compareFiles(&out, base, cur, 20, 35)
+	if warnings != 1 || failures != 1 {
+		t.Fatalf("warnings=%d failures=%d, want 1/1\n%s", warnings, failures, out.String())
+	}
+	for _, want := range []string{"gone", "new", "+28.0%", "+50.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareFilesFailThresholdDisabled(t *testing.T) {
+	base := &File{Benchmarks: map[string]Bench{"BenchmarkC": {NsPerOp: 100}}}
+	cur := &File{Benchmarks: map[string]Bench{"BenchmarkC": {NsPerOp: 200}}}
+	var out strings.Builder
+	warnings, failures := compareFiles(&out, base, cur, 20, 0)
+	if warnings != 1 || failures != 0 {
+		t.Fatalf("warnings=%d failures=%d, want 1/0 with fail-threshold disabled", warnings, failures)
+	}
+}

@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	mddiag -c circuit.bench -p patterns.txt -d device.datalog [-method ours|slat|intersect]
-//	mddiag explain -c circuit.bench -p patterns.txt -d device.datalog [-all] [-bits]
+//	mddiag -c circuit.bench -p patterns.txt -d device.datalog [-method ours|slat|intersect] [-j N]
+//	mddiag explain -c circuit.bench -p patterns.txt -d device.datalog [-all] [-bits] [-j N]
+//
+// -j bounds the fault-parallel worker pool of the core engine's candidate
+// scoring (0 = GOMAXPROCS, 1 = sequential); reports are bit-identical at
+// every worker count.
 //
 // The explain subcommand replays the diagnosis with the candidate flight
 // recorder attached and renders a per-candidate lifecycle narrative
@@ -50,6 +54,7 @@ func main() {
 		dfile   = flag.String("d", "", "datalog file (required)")
 		method  = flag.String("method", "ours", "diagnosis engine: ours|slat|intersect")
 		top     = flag.Int("top", 10, "also list the top-N ranked candidates (ours)")
+		jobs    = flag.Int("j", 0, "fault-parallel workers for candidate scoring (0 = GOMAXPROCS, 1 = sequential; ours)")
 		verbose = flag.Bool("v", false, "print a per-phase timing and counter summary footer")
 	)
 	var obsFlags obs.Flags
@@ -71,7 +76,7 @@ func main() {
 
 	switch *method {
 	case "ours":
-		res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec})
+		res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec, Workers: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -156,6 +161,7 @@ func explainMain(args []string) {
 		dfile = fs.String("d", "", "datalog file (required)")
 		all   = fs.Bool("all", false, "narrate every pruned candidate (default: first 10)")
 		bits  = fs.Bool("bits", true, "render the per-failing-bit explanation table")
+		jobs  = fs.Int("j", 0, "fault-parallel workers for candidate scoring (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(fs)
@@ -173,7 +179,7 @@ func explainMain(args []string) {
 		fatal(err)
 	}
 	c, pats, log := loadInputs(*circ, *pfile, *dfile)
-	res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec})
+	res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec, Workers: *jobs})
 	if err != nil {
 		fatal(err)
 	}

@@ -6,6 +6,7 @@
 //	mdexp              # full suite (minutes)
 //	mdexp -quick       # reduced sizes/seeds (tens of seconds)
 //	mdexp -only T3     # one experiment
+//	mdexp -j 8         # total worker budget (campaign × fault workers)
 //
 // Observability: -trace-out writes one JSONL "run" record per table/figure
 // and per campaign (plus the engines' span stream); -cpuprofile,
@@ -29,6 +30,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced workloads for a fast run")
 		seeds    = flag.Int("seeds", 0, "devices per configuration (0 = default)")
 		only     = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
+		jobs     = flag.Int("j", 0, "total worker budget shared by campaign and fault-parallel pools (0 = GOMAXPROCS)")
 		progress = flag.Int("progress", 0, "print a live progress heartbeat to stderr every `N` seconds (0 = off)")
 	)
 	var obsFlags obs.Flags
@@ -48,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	o := exp.Options{Quick: *quick, Seeds: *seeds, Emitter: tr.Emitter(), Explain: rec}
+	o := exp.Options{Quick: *quick, Seeds: *seeds, Workers: *jobs, Emitter: tr.Emitter(), Explain: rec}
 	if *progress > 0 {
 		o.Progress = exp.NewProgress(os.Stderr, time.Duration(*progress)*time.Second)
 	}

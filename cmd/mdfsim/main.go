@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	mdfsim -c circuit.bench -p patterns.txt [-v]
+//	mdfsim -c circuit.bench -p patterns.txt [-v] [-j N]
+//
+// -j shards the collapsed fault universe across a worker pool (0 =
+// GOMAXPROCS, 1 = sequential); the report is identical at every count.
 //
 // Observability: -trace-out writes JSONL span/run records (simulation
 // counters included); -cpuprofile, -memprofile and -debug-addr enable the
@@ -26,6 +29,7 @@ func main() {
 	var (
 		circ    = flag.String("c", "", "circuit .bench file (required)")
 		pfile   = flag.String("p", "", "pattern file (required)")
+		jobs    = flag.Int("j", 0, "fault-parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 		verbose = flag.Bool("v", false, "list per-fault detection")
 	)
 	var obsFlags obs.Flags
@@ -57,11 +61,13 @@ func main() {
 		fatal(err)
 	}
 	fs.Observe(tr.Registry())
-	sp := tr.Span("mdfsim.simulate")
+	sp := tr.Span("fsim.parallel")
 	universe := fault.Collapse(c)
+	syns := fs.SimulateStuckAtBatch(universe, *jobs)
+	sp.End()
 	detected := 0
-	for _, f := range universe {
-		syn := fs.SimulateStuckAt(f)
+	for i, f := range universe {
+		syn := syns[i]
 		if syn.Detected() {
 			detected++
 			if *verbose {
@@ -71,7 +77,6 @@ func main() {
 			fmt.Printf("UND  %s\n", f.Name(c))
 		}
 	}
-	sp.End()
 	fmt.Printf("mdfsim: %d/%d collapsed stuck-at faults detected (%.2f%%) by %d patterns\n",
 		detected, len(universe), 100*float64(detected)/float64(len(universe)), len(pats))
 	if err := finishObs(); err != nil {

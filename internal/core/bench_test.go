@@ -7,6 +7,7 @@ import (
 	"multidiag/internal/circuits"
 	"multidiag/internal/defect"
 	"multidiag/internal/explain"
+	"multidiag/internal/fsim"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
@@ -83,6 +84,39 @@ func BenchmarkDiagnoseExplained(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Diagnose(c, pats, log, Config{Explain: explain.New("bench")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiagnoseParallel is the fault-parallel engine at 4 workers —
+// the speedup proof against BenchmarkDiagnose (identical reports are
+// asserted by TestDiagnoseParallelDeterminism).
+func BenchmarkDiagnoseParallel(b *testing.B) {
+	c, pats, log := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, pats, log, Config{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiagnoseParallelCached adds a shared warm cone cache to the
+// 4-worker engine: iterations after the first replay every (fault, word)
+// cone result, which is the steady state of a campaign diagnosing many
+// devices of one workload.
+func BenchmarkDiagnoseParallelCached(b *testing.B) {
+	c, pats, log := benchSetup(b)
+	cc := fsim.NewConeCache(1 << 20)
+	if _, err := Diagnose(c, pats, log, Config{Workers: 4, ConeCache: cc}); err != nil {
+		b.Fatal(err) // warm
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, pats, log, Config{Workers: 4, ConeCache: cc}); err != nil {
 			b.Fatal(err)
 		}
 	}

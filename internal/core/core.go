@@ -69,6 +69,20 @@ type Config struct {
 	// branch-sensitivity approximation during candidate extraction
 	// (ablation only; see fsim.CriticalApproxForOutputs).
 	ApproxCPT bool
+	// Workers bounds the fault-parallel candidate-scoring pool: seeds are
+	// sharded across this many goroutines, each owning a forked simulator,
+	// with results merged by seed index so the report is bit-identical to a
+	// sequential run. 0 (the default) selects GOMAXPROCS; 1 forces the
+	// sequential engine. The CLIs expose it as -j.
+	Workers int
+	// ConeCache, when set, memoizes per-(fault site, pattern word) cone
+	// simulation results across candidates and — when shared by the caller,
+	// as the experiment campaigns do — across diagnoses of devices built
+	// from one (circuit, test set) workload. The cache binds to the first
+	// workload shape it sees; a mismatched circuit/test set is refused and
+	// the diagnosis runs uncached. Callers observe hit/miss/eviction
+	// counters via ConeCache.Observe.
+	ConeCache *fsim.ConeCache
 	// BridgeLevelWindow bounds aggressor search to nets within this many
 	// topological levels of the victim. Default 3.
 	BridgeLevelWindow int
@@ -270,6 +284,9 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 		return nil, err
 	}
 	fs.Observe(reg)
+	if cfg.ConeCache != nil && !fs.AttachCache(cfg.ConeCache) {
+		reg.Counter("fsim.cone_cache_rejected").Inc()
+	}
 
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
 	sp = root.Child("extract")
@@ -281,9 +298,19 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 	res.CandidatesExtracted = len(seeds)
 	reg.Counter("core.candidates_extracted").Add(int64(len(seeds)))
 
-	// Step 2: score every candidate by full fault simulation.
+	// Step 2: score every candidate by full fault simulation. The
+	// simulations are independent, so the seed list shards across the
+	// worker pool (fsim.parallel span); scoring itself then folds the
+	// syndromes in seed order, which keeps every downstream decision —
+	// equivalence classes, cover tie-breaks, ranking — bit-identical to
+	// the sequential engine.
 	sp = root.Child("score")
-	cands := scoreCandidates(c, fs, seeds, log, evIndex, len(res.Evidence), cfg, rec)
+	workers := fsim.Workers(cfg.Workers)
+	reg.Gauge("fsim.workers").Set(int64(workers))
+	psp := sp.Child("fsim.parallel")
+	syns := fs.SimulateStuckAtBatch(seeds, workers)
+	psp.End()
+	cands := scoreCandidates(c, syns, seeds, log, evIndex, len(res.Evidence), cfg, rec)
 	sp.End()
 	reg.Counter("core.candidates_scored").Add(int64(len(cands)))
 	reg.Counter("core.candidates_pruned").Add(int64(len(seeds) - len(cands)))
@@ -448,15 +475,18 @@ func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern
 	return out, nil
 }
 
-// scoreCandidates fault-simulates each seed and computes its coverage of
-// the evidence universe and its mispredictions. Seeds with identical
-// syndromes under this test set are merged into one equivalence-class
-// candidate (they are indistinguishable by any scoring that follows).
-func scoreCandidates(c *netlist.Circuit, fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config, rec *explain.Recorder) []*Candidate {
+// scoreCandidates folds each seed's syndrome (precomputed by the
+// fault-parallel batch, indexed like seeds) into its coverage of the
+// evidence universe and its mispredictions. Seeds with identical syndromes
+// under this test set are merged into one equivalence-class candidate
+// (they are indistinguishable by any scoring that follows). Folding in
+// seed order keeps class representatives and candidate order independent
+// of how the batch was scheduled.
+func scoreCandidates(c *netlist.Circuit, syns []*fsim.Syndrome, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config, rec *explain.Recorder) []*Candidate {
 	cands := make([]*Candidate, 0, len(seeds))
 	classes := make(map[string]*Candidate)
-	for _, f := range seeds {
-		syn := fs.SimulateStuckAt(f)
+	for si, f := range seeds {
+		syn := syns[si]
 		var sig strings.Builder
 		cd := &Candidate{Fault: f, Covered: bitset.New(numEv)}
 		for p, fails := range syn.Fails {

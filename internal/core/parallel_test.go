@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/fsim"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// renderResult canonicalizes everything a diagnosis report contains —
+// evidence universe, multiplet order, equivalence classes, fault models,
+// coverage bitsets, ranking, consistency verdict — so two reports are
+// bit-identical iff their renderings are equal. Elapsed is excluded (wall
+// clock is the one legitimately nondeterministic field).
+func renderResult(c *netlist.Circuit, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "extracted=%d unexplained=%d consistent=%v badpats=%v\n",
+		res.CandidatesExtracted, res.UnexplainedBits, res.Consistent, res.InconsistentPatterns)
+	for _, e := range res.Evidence {
+		fmt.Fprintf(&b, "ev %d/%d\n", e.Pattern, e.PO)
+	}
+	dump := func(tag string, cds []*Candidate) {
+		for i, cd := range cds {
+			fmt.Fprintf(&b, "%s %d %s tfsf=%d tpsf=%d cov=%v", tag, i, cd.Name(c), cd.TFSF, cd.TPSF, cd.Covered.Members())
+			for _, e := range cd.Equivalent {
+				fmt.Fprintf(&b, " eq=%s", e.Name(c))
+			}
+			for _, m := range cd.Models {
+				fmt.Fprintf(&b, " model=%s/%d/%d", m.Kind, m.Aggressor, m.Mispredictions)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	dump("mult", res.Multiplet)
+	dump("rank", res.Ranked)
+	return b.String()
+}
+
+// parallelFixture builds one activated multi-defect device on a generated
+// circuit for the given sampling seed.
+func parallelFixture(t *testing.T, seed int64, defects int) (*netlist.Circuit, []sim.Pattern, *tester.Datalog) {
+	t.Helper()
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 31, NumPIs: 14, NumGates: 300, NumPOs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ; ; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: defects})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err := tester.ApplyTest(c, dev, tests.Patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) > 0 {
+			return c, tests.Patterns, log
+		}
+	}
+}
+
+// TestDiagnoseParallelDeterminism asserts the fault-parallel engine is
+// bit-identical to the sequential one: for several devices, every worker
+// count — with and without a shared cone cache, cold and warm — must
+// reproduce the Workers=1 report exactly.
+func TestDiagnoseParallelDeterminism(t *testing.T) {
+	for _, devSeed := range []int64{100, 300, 500} {
+		c, pats, log := parallelFixture(t, devSeed, 3)
+		ref, err := Diagnose(c, pats, log, Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := renderResult(c, ref)
+		cc := fsim.NewConeCache(0)
+		for _, workers := range []int{0, 2, 3, 8} {
+			for _, cache := range []*fsim.ConeCache{nil, cc} {
+				res, err := Diagnose(c, pats, log, Config{Workers: workers, ConeCache: cache})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := renderResult(c, res); got != want {
+					t.Fatalf("seed %d workers=%d cached=%v: report differs from sequential\n--- want\n%s--- got\n%s",
+						devSeed, workers, cache != nil, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDiagnoseSharedCacheAcrossDevices shares one cone cache across many
+// devices of one workload — the campaign usage — and checks each report
+// still matches an uncached diagnosis, while the cache actually hits.
+func TestDiagnoseSharedCacheAcrossDevices(t *testing.T) {
+	cc := fsim.NewConeCache(0)
+	for _, devSeed := range []int64{900, 901, 902, 903} {
+		c, pats, log := parallelFixture(t, devSeed, 2)
+		ref, err := Diagnose(c, pats, log, Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Diagnose(c, pats, log, Config{Workers: 4, ConeCache: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderResult(c, res), renderResult(c, ref); got != want {
+			t.Fatalf("seed %d: shared-cache report differs from uncached", devSeed)
+		}
+	}
+	if cc.Len() == 0 {
+		t.Fatal("shared cache stayed empty across a campaign")
+	}
+}

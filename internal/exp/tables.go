@@ -3,13 +3,13 @@ package exp
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"time"
 
 	"multidiag/internal/baseline"
 	"multidiag/internal/core"
 	"multidiag/internal/defect"
+	"multidiag/internal/fsim"
 	"multidiag/internal/metrics"
 	"multidiag/internal/obs"
 	"multidiag/internal/report"
@@ -97,11 +97,14 @@ func (cp *campaign) add(outcomes []RunOutcome) {
 }
 
 // runCampaign diagnoses `seeds` activated devices of the given multiplicity
-// with the given methods. Devices are diagnosed concurrently (bounded by
-// GOMAXPROCS) but outcomes are folded in device order, so every aggregate
-// is deterministic. The campaign gets its own labelled trace — shared by
-// the concurrent diagnoses and wired to the options' emitter — and emits
-// one "run" record when done.
+// with the given methods. Devices are diagnosed concurrently but outcomes
+// are folded in device order, so every aggregate is deterministic. The
+// nested pools share one budget (Options.Workers, default GOMAXPROCS):
+// min(budget, devices) campaign workers, each diagnosis running the
+// leftover budget as its fault-parallel pool, all sharing the campaign's
+// cone cache. The campaign gets its own labelled trace — shared by the
+// concurrent diagnoses and wired to the options' emitter — and emits one
+// "run" record when done.
 func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int, baseSeed int64, methods []Method, dict *baseline.Dictionary, mix defect.CampaignConfig) (*campaign, error) {
 	tr := obs.New(label)
 	tr.SetEmitter(o.Emitter)
@@ -115,10 +118,12 @@ func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int,
 	tr.Registry().Counter("exp.devices").Add(int64(len(devs)))
 	o.Progress.StartCampaign(label, len(devs))
 
-	workers := runtime.GOMAXPROCS(0)
+	budget := fsim.Workers(o.Workers)
+	workers := budget
 	if workers > len(devs) {
 		workers = len(devs)
 	}
+	ss := newSharedSim(tr, budget, workers)
 	outs := make([][]RunOutcome, len(devs))
 	errs := make([]error, len(devs))
 	var wg sync.WaitGroup
@@ -129,7 +134,7 @@ func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outs[i], errs[i] = runMethods(tr, wl, devs[i], methods, dict, o)
+			outs[i], errs[i] = runMethods(tr, wl, devs[i], methods, dict, o, ss)
 		}(i)
 	}
 	wg.Wait()
@@ -285,8 +290,11 @@ func T4PatternCharacter(w io.Writer, o Options) error {
 			}
 			tr.Registry().Counter("exp.devices").Add(int64(len(devs)))
 			o.Progress.StartCampaign(fmt.Sprintf("T4/%s/%d", name, mult), len(devs))
+			// Devices run sequentially here (bucketing folds in order), so
+			// each diagnosis gets the whole worker budget.
+			ss := newSharedSim(tr, fsim.Workers(o.Workers), 1)
 			for _, dev := range devs {
-				outs, err := runMethods(tr, wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o)
+				outs, err := runMethods(tr, wl, dev, []Method{MethodOurs, MethodSLAT}, nil, o, ss)
 				if err != nil {
 					return err
 				}
@@ -529,6 +537,11 @@ func T5Ablation(w io.Writer, o Options) error {
 		cfg := v.cfg
 		cfg.Trace = vtr
 		cfg.Explain = o.Explain
+		// Sequential device loop: the whole worker budget goes to the
+		// fault-parallel pool, with a per-variant cone cache.
+		ss := newSharedSim(vtr, fsim.Workers(o.Workers), 1)
+		cfg.Workers = ss.workers
+		cfg.ConeCache = ss.cache
 		o.Progress.StartCampaign("T5/"+v.label, len(devs))
 		var site, region metrics.Aggregate
 		inconsistent := 0

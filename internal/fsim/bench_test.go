@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -81,5 +82,49 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 		if _, err := BuildDictionary(c, pats, universe); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStuckAtBatch measures the fault-parallel sweep of a collapsed
+// universe at several worker counts (j=1 is the sequential reference; the
+// speedup curve is the batch layer's scaling proof).
+func BenchmarkStuckAtBatch(b *testing.B) {
+	c := benchCircuit(b, 2000)
+	r := rand.New(rand.NewSource(1))
+	pats := randomPatterns(r, len(c.PIs), 256)
+	fs, err := NewFaultSim(c, pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	universe := fault.Collapse(c)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fs.SimulateStuckAtBatch(universe, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkStuckAtBatchCached is the same sweep with a warm cone cache:
+// after the first iteration every (fault, word) replays from the cache —
+// the campaign steady state.
+func BenchmarkStuckAtBatchCached(b *testing.B) {
+	c := benchCircuit(b, 2000)
+	r := rand.New(rand.NewSource(1))
+	pats := randomPatterns(r, len(c.PIs), 256)
+	fs, err := NewFaultSim(c, pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	universe := fault.Collapse(c)
+	cc := NewConeCache(1 << 20)
+	fs.AttachCache(cc)
+	fs.SimulateStuckAtBatch(universe, 4) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.SimulateStuckAtBatch(universe, 4)
 	}
 }

@@ -110,6 +110,10 @@ type FaultSim struct {
 	inCone  []bool
 	poIndex map[netlist.NetID]int
 
+	// cache, when attached, memoizes per-(fault, word) cone results;
+	// shared by forks (see AttachCache and ConeCache).
+	cache *ConeCache
+
 	// observability handles, resolved once by Observe; nil (no-op) until
 	// then, so the uninstrumented path costs one pointer test per counter.
 	statSims      *obs.Counter
@@ -212,15 +216,18 @@ func forceValue(v1 bool) logic.PV64 {
 }
 
 // SimulateStuckAt computes the syndrome of a single stuck-at fault over the
-// whole test set using cone-limited propagation.
+// whole test set using cone-limited propagation. With a cache attached,
+// per-word cone results are replayed or filled as a side effect.
 func (fs *FaultSim) SimulateStuckAt(f fault.StuckAt) *Syndrome {
-	return fs.simulateForced(map[netlist.NetID]logic.PV64{f.Net: forceValue(f.Value1)}, f.Net)
+	return fs.simulateForced(map[netlist.NetID]logic.PV64{f.Net: forceValue(f.Value1)}, f.Net, &f)
 }
 
 // SimulateOpen computes the syndrome of a net-open (modelled as a stuck
-// value, see fault.Open).
+// value, see fault.Open). Logic-level behaviour equals the corresponding
+// stuck-at, so opens share its cache entries.
 func (fs *FaultSim) SimulateOpen(o fault.Open) *Syndrome {
-	return fs.simulateForced(map[netlist.NetID]logic.PV64{o.Net: forceValue(o.StuckValue1)}, o.Net)
+	eq := fault.StuckAt{Net: o.Net, Value1: o.StuckValue1}
+	return fs.simulateForced(map[netlist.NetID]logic.PV64{o.Net: forceValue(o.StuckValue1)}, o.Net, &eq)
 }
 
 // SimulateXAt computes, for each pattern, the set of POs that *may* be
@@ -266,9 +273,13 @@ func (fs *FaultSim) SimulateXAt(nets []netlist.NetID) []bitset.Set {
 // nets, comparing POs in the union fan-out cone of the forced nets against
 // the cached fault-free responses. root identifies the fault site for cone
 // computation; for multi-net forces pass InvalidNet and the cone is the
-// union over all forced nets.
-func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netlist.NetID) *Syndrome {
+// union over all forced nets. cacheF, when non-nil and a cache is
+// attached, keys per-word result memoization (single forced net only).
+func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netlist.NetID, cacheF *fault.StuckAt) *Syndrome {
 	syn := NewSyndrome(len(fs.pats), len(fs.c.POs))
+	if fs.cache == nil || len(force) != 1 {
+		cacheF = nil
+	}
 
 	// Mark the union fanout cone of the forced nets.
 	fs.touched = fs.touched[:0]
@@ -304,7 +315,6 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 
 	fs.statSims.Inc()
 	fs.statConeSize.Observe(int64(len(fs.touched)))
-	fs.statConeEvals.Add(int64(len(fs.touched)) * int64(fs.nWords))
 
 	// POs inside the cone, by index.
 	var conePOs []int
@@ -319,6 +329,13 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 
 	ord := fs.c.LevelOrder()
 	for w := 0; w < fs.nWords; w++ {
+		if cacheF != nil {
+			if diffs, ok := fs.cachedWord(*cacheF, w); ok {
+				fs.replayWord(syn, w, diffs)
+				continue
+			}
+		}
+		fs.statConeEvals.Add(int64(len(fs.touched)))
 		good := fs.words[w]
 		// Evaluate only cone gates; values outside the cone are the good
 		// values. fs.cur holds faulty values for cone nets.
@@ -344,11 +361,15 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 			}
 			fs.cur[id] = v
 		}
+		var diffs []poWordDiff
 		for _, pi := range conePOs {
 			po := fs.c.POs[pi]
 			diff := fs.cur[po].DiffKnown(good[po])
 			if diff == 0 {
 				continue
+			}
+			if cacheF != nil {
+				diffs = append(diffs, poWordDiff{po: int32(pi), diff: diff})
 			}
 			for slot := uint(0); slot < logic.W; slot++ {
 				p := w*logic.W + int(slot)
@@ -359,6 +380,9 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 					syn.AddFail(p, pi)
 				}
 			}
+		}
+		if cacheF != nil {
+			fs.storeWord(*cacheF, w, diffs)
 		}
 	}
 	return syn
@@ -403,15 +427,16 @@ func evalPackedVia(t netlist.GateType, fanin []netlist.NetID, get func(netlist.N
 }
 
 // Coverage runs the full stuck-at universe and returns (detected, total).
-// Faults are dropped at first detection.
+// The universe is fault-parallel across GOMAXPROCS workers; the count is
+// identical to a sequential sweep.
 func Coverage(c *netlist.Circuit, pats []sim.Pattern, faults []fault.StuckAt) (int, int, error) {
 	fs, err := NewFaultSim(c, pats)
 	if err != nil {
 		return 0, 0, err
 	}
 	det := 0
-	for _, f := range faults {
-		if fs.SimulateStuckAt(f).Detected() {
+	for _, syn := range fs.SimulateStuckAtBatch(faults, 0) {
+		if syn.Detected() {
 			det++
 		}
 	}
@@ -434,11 +459,7 @@ func BuildDictionary(c *netlist.Circuit, pats []sim.Pattern, faults []fault.Stuc
 	if err != nil {
 		return nil, err
 	}
-	d := &Dictionary{Faults: faults, Syndromes: make([]*Syndrome, len(faults))}
-	for i, f := range faults {
-		d.Syndromes[i] = fs.SimulateStuckAt(f)
-	}
-	return d, nil
+	return &Dictionary{Faults: faults, Syndromes: fs.SimulateStuckAtBatch(faults, 0)}, nil
 }
 
 // Lookup returns the indices of dictionary faults whose syndrome exactly

@@ -1,0 +1,68 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/fault"
+	"multidiag/internal/obs"
+)
+
+// batchFixture builds a mid-size generated circuit with random patterns and
+// its collapsed stuck-at universe.
+func batchFixture(t testing.TB) (*FaultSim, []fault.StuckAt) {
+	t.Helper()
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 41, NumPIs: 12, NumGates: 200, NumPOs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomPatterns(rand.New(rand.NewSource(41)), len(c.PIs), 96)
+	fs, err := NewFaultSim(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, fault.Collapse(c)
+}
+
+func TestSimulateStuckAtBatchMatchesSequential(t *testing.T) {
+	fs, faults := batchFixture(t)
+	want := make([]*Syndrome, len(faults))
+	for i, f := range faults {
+		want[i] = fs.SimulateStuckAt(f)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, len(faults) + 5} {
+		got := fs.SimulateStuckAtBatch(faults, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d syndromes, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d: fault %s syndrome differs from sequential",
+					workers, faults[i].String())
+			}
+		}
+	}
+}
+
+func TestSimulateStuckAtBatchEmpty(t *testing.T) {
+	fs, _ := batchFixture(t)
+	if got := fs.SimulateStuckAtBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d syndromes", len(got))
+	}
+}
+
+func TestForkSharesCountersAndState(t *testing.T) {
+	fs, faults := batchFixture(t)
+	reg := obs.NewRegistry()
+	fs.Observe(reg)
+	fk := fs.Fork()
+	a := fs.SimulateStuckAt(faults[0])
+	b := fk.SimulateStuckAt(faults[0])
+	if !a.Equal(b) {
+		t.Fatal("fork syndrome differs from parent")
+	}
+	if got := reg.Counter("fsim.sims").Value(); got != 2 {
+		t.Fatalf("shared sims counter = %d, want 2", got)
+	}
+}
