@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchdiff clean
+.PHONY: all build test race vet lint bench benchdiff quality quality-baseline clean
 
 all: build vet test
 
@@ -41,6 +41,24 @@ bench: build
 # committed BENCH_diag.json baseline, warning on >20% ns/op regressions.
 benchdiff: build
 	$(GO) test -run xxx -bench 'BenchmarkDiagnose' -benchmem ./internal/core | bin/benchdiff parse | bin/benchdiff compare BENCH_diag.json -
+
+# QUALITY_CMD is the exact campaign both quality targets run, so the
+# committed baseline and the comparison candidate are always like-for-like
+# (deterministic seeds; -j 2 exercises the shared cone cache).
+QUALITY_CMD = bin/mdexp -quick -seeds 3 -only T3 -j 2 -quality-out
+
+# quality re-runs the quick T3 campaign and gates its quality records
+# against the committed QUALITY_baseline.json: accuracy/success drops are
+# errors, resolution/latency drift warns (see cmd/mdtrend). -ms-pct is
+# loosened here: 3-seed campaigns make per-diagnosis timing very noisy.
+quality: build
+	$(QUALITY_CMD) /tmp/quality_current.json > /dev/null
+	bin/mdtrend compare QUALITY_baseline.json /tmp/quality_current.json -ms-pct 200
+
+# quality-baseline regenerates the committed baseline after an intentional
+# quality change (commit the diff alongside the change that caused it).
+quality-baseline: build
+	$(QUALITY_CMD) QUALITY_baseline.json > /dev/null
 
 clean:
 	rm -rf bin BENCH_obs.json

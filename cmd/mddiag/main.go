@@ -255,7 +255,7 @@ func fatal(err error) {
 
 // printSummary is the -v footer: per-phase wall time, the counter
 // snapshot of the run, and one line per histogram with count/sum and the
-// p50/p95/max quantile summaries derived from the log₂ buckets.
+// p50/p95/p99/max quantile summaries derived from the log₂ buckets.
 func printSummary(tr *obs.Trace) {
 	phases := tr.PhaseStats()
 	if len(phases) > 0 {
@@ -293,8 +293,8 @@ func printSummary(tr *obs.Trace) {
 		fmt.Println("--- histograms ---")
 		for _, name := range histNames {
 			h := reg.Histogram(name)
-			fmt.Printf("  %-32s count=%d sum=%d p50≤%d p95≤%d max≤%d\n",
-				name, h.Count(), h.Sum(), h.Quantile(0.50), h.Quantile(0.95), h.Max())
+			fmt.Printf("  %-32s count=%d sum=%d p50≤%d p95≤%d p99≤%d max≤%d\n",
+				name, h.Count(), h.Sum(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
 		}
 	}
 }

@@ -10,8 +10,10 @@
 //
 // Observability: -trace-out writes one JSONL "run" record per table/figure
 // and per campaign (plus the engines' span stream); -cpuprofile,
-// -memprofile and -debug-addr enable the pprof hooks (DESIGN.md
-// §Observability).
+// -memprofile and -debug-addr enable the pprof hooks; -quality-out writes
+// the per-campaign quality records mdtrend gates on; -stall-after arms a
+// watchdog that dumps goroutine stacks when no device completes in time
+// (DESIGN.md §Observability).
 package main
 
 import (
@@ -23,15 +25,18 @@ import (
 	"multidiag/internal/exp"
 	"multidiag/internal/explain"
 	"multidiag/internal/obs"
+	"multidiag/internal/qrec"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced workloads for a fast run")
-		seeds    = flag.Int("seeds", 0, "devices per configuration (0 = default)")
-		only     = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
-		jobs     = flag.Int("j", 0, "total worker budget shared by campaign and fault-parallel pools (0 = GOMAXPROCS)")
-		progress = flag.Int("progress", 0, "print a live progress heartbeat to stderr every `N` seconds (0 = off)")
+		quick      = flag.Bool("quick", false, "reduced workloads for a fast run")
+		seeds      = flag.Int("seeds", 0, "devices per configuration (0 = default)")
+		only       = flag.String("only", "", "run a single experiment: T1..T9, F1..F4")
+		jobs       = flag.Int("j", 0, "total worker budget shared by campaign and fault-parallel pools (0 = GOMAXPROCS)")
+		progress   = flag.Int("progress", 0, "print a live progress heartbeat to stderr every `N` seconds (0 = off)")
+		qualityOut = flag.String("quality-out", "", "write per-campaign quality records (qrec JSON) to `file` (\"-\" = stdout)")
+		stallAfter = flag.Duration("stall-after", 0, "dump goroutine stacks to stderr when no device completes within this duration (0 = off)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -54,8 +59,16 @@ func main() {
 	if *progress > 0 {
 		o.Progress = exp.NewProgress(os.Stderr, time.Duration(*progress)*time.Second)
 	}
+	if *qualityOut != "" {
+		o.Quality = &qrec.Collector{}
+	}
+	o.Watchdog = exp.NewWatchdog(os.Stderr, *stallAfter)
 	finish := func() {
 		o.Progress.Stop()
+		o.Watchdog.Stop()
+		if err := writeQuality(*qualityOut, o.Quality); err != nil {
+			fatal(err)
+		}
 		if err := finishExplain(); err != nil {
 			fatal(err)
 		}
@@ -94,6 +107,18 @@ func main() {
 		fatal(err)
 	}
 	finish()
+}
+
+// writeQuality serializes the collected quality records ("-" = stdout).
+// No-op when no -quality-out was requested.
+func writeQuality(path string, col *qrec.Collector) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return col.File().Encode(os.Stdout)
+	}
+	return qrec.Write(path, col.File())
 }
 
 func fatal(err error) {

@@ -1,0 +1,106 @@
+// mdtrend compares a fresh campaign's quality records against the
+// committed QUALITY_baseline.json, gating diagnostic-quality regressions
+// the way benchdiff gates ns/op.
+//
+// Usage:
+//
+//	mdexp -quick -seeds 3 -only T3 -quality-out current.json
+//	mdtrend compare QUALITY_baseline.json current.json
+//	mdtrend compare QUALITY_baseline.json - < current.json
+//	mdtrend compare base.json cur.json -acc-drop 0.02 -res-pct 25 -ms-pct 75 -fail
+//
+// compare prints a per-record delta table. A site-accuracy,
+// region-accuracy or success-rate drop beyond -acc-drop is an error — a
+// GitHub Actions `::error::` annotation inside workflows — and always
+// exits non-zero: quality numbers are deterministic from the campaign
+// seeds, so a drop is a semantic regression, not noise. Resolution growth
+// beyond -res-pct and ms/diag growth beyond -ms-pct warn (`::warning::`);
+// -fail upgrades warnings to a non-zero exit. Records present on only one
+// side are reported but never fatal, so a baseline refresh and a new
+// campaign can land in the same change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multidiag/internal/qrec"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "compare" {
+		usage()
+	}
+	compareMain(os.Args[2:])
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mdtrend compare <baseline.json> <current.json|-> [-acc-drop frac] [-res-pct pct] [-ms-pct pct] [-fail]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdtrend:", err)
+	os.Exit(1)
+}
+
+func compareMain(args []string) {
+	th := qrec.DefaultThresholds()
+	fs := flag.NewFlagSet("mdtrend compare", flag.ExitOnError)
+	accDrop := fs.Float64("acc-drop", th.AccDrop, "absolute accuracy/success drop that is an error (exits non-zero)")
+	resPct := fs.Float64("res-pct", th.ResPct, "resolution (candidate count) increase percentage that warns")
+	msPct := fs.Float64("ms-pct", th.LatencyPct, "ms/diagnosis increase percentage that warns")
+	failOnWarn := fs.Bool("fail", false, "exit non-zero on warnings too")
+	// Positional args may precede flags (compare a.json b.json -fail), the
+	// benchdiff convention; a bare "-" is the stdin path, not a flag.
+	var paths []string
+	rest := args
+	for len(rest) > 0 && (rest[0] == "-" || !strings.HasPrefix(rest[0], "-")) {
+		paths = append(paths, rest[0])
+		rest = rest[1:]
+	}
+	fs.Parse(rest)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		usage()
+	}
+	base, err := qrec.LoadFile(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := qrec.LoadFile(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := qrec.Compare(os.Stdout, base, cur,
+		qrec.Thresholds{AccDrop: *accDrop, ResPct: *resPct, LatencyPct: *msPct})
+	errors, warnings := 0, 0
+	for _, f := range findings {
+		annotate(f.Level, f.Message)
+		if f.Level == "error" {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	if errors == 0 && warnings == 0 {
+		fmt.Printf("mdtrend: %d records within thresholds\n", len(cur.Records))
+	}
+	if errors > 0 || (warnings > 0 && *failOnWarn) {
+		os.Exit(1)
+	}
+}
+
+// annotate prints a finding at the given level ("warning" or "error"),
+// using the GitHub Actions annotation syntax when running inside a
+// workflow so the step gets flagged in the UI.
+func annotate(level, msg string) {
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::%s title=quality regression::%s\n", level, msg)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s\n", strings.ToUpper(level), msg)
+}

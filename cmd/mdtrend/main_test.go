@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multidiag/internal/qrec"
+)
+
+func writeQuality(t *testing.T, path string, f *qrec.File) {
+	t.Helper()
+	if err := qrec.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func record(campaign string, site float64) qrec.Record {
+	return qrec.Record{
+		Campaign: campaign, Circuit: "b0300", Defects: 2, Method: "ours", Devices: 6,
+		SiteAcc: site, RegionAcc: site, Success: site, Resolution: 4, MsPerDiag: 10,
+	}
+}
+
+// TestCompareExitCodes builds the real binary and pins the acceptance
+// contract: identical files exit 0; a seeded (corrupted) accuracy drop
+// exits non-zero with an error annotation; warnings exit 0 without -fail.
+func TestCompareExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mdtrend")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	basePath := filepath.Join(dir, "base.json")
+	writeQuality(t, basePath, &qrec.File{Schema: qrec.Schema, Records: []qrec.Record{
+		record("T3/b0300/2", 1), record("T3/b0300/3", 0.9),
+	}})
+
+	run := func(curFile string, extra ...string) (string, string, error) {
+		args := append([]string{"compare", basePath, curFile}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(os.Environ(), "GITHUB_ACTIONS=")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		return stdout.String(), stderr.String(), err
+	}
+
+	// Identical: exit 0, table on stdout.
+	out, _, err := run(basePath)
+	if err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "within thresholds") {
+		t.Errorf("clean compare output:\n%s", out)
+	}
+
+	// Corrupt one accuracy record: must exit non-zero with an ERROR line.
+	badPath := filepath.Join(dir, "bad.json")
+	writeQuality(t, badPath, &qrec.File{Schema: qrec.Schema, Records: []qrec.Record{
+		record("T3/b0300/2", 1), record("T3/b0300/3", 0.80),
+	}})
+	out, stderr, err := run(badPath)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("corrupted baseline compare: err=%v\n%s%s", err, out, stderr)
+	}
+	if !strings.Contains(stderr, "ERROR") || !strings.Contains(stderr, "T3/b0300/3") {
+		t.Errorf("missing error annotation on stderr:\n%s", stderr)
+	}
+
+	// Latency-only drift: warn, exit 0 without -fail, exit 1 with it.
+	slow := record("T3/b0300/3", 0.9)
+	slow.MsPerDiag = 100
+	slowPath := filepath.Join(dir, "slow.json")
+	writeQuality(t, slowPath, &qrec.File{Schema: qrec.Schema, Records: []qrec.Record{
+		record("T3/b0300/2", 1), slow,
+	}})
+	if _, stderr, err := run(slowPath); err != nil {
+		t.Fatalf("warning-only compare exited non-zero: %v\n%s", err, stderr)
+	} else if !strings.Contains(stderr, "WARNING") {
+		t.Errorf("missing warning annotation:\n%s", stderr)
+	}
+	if _, _, err := run(slowPath, "-fail"); err == nil {
+		t.Error("-fail did not upgrade warnings to a non-zero exit")
+	}
+
+	// GitHub Actions mode: annotations go to stdout in ::error:: syntax.
+	cmd := exec.Command(bin, "compare", basePath, badPath)
+	cmd.Env = append(os.Environ(), "GITHUB_ACTIONS=true")
+	var stdoutB bytes.Buffer
+	cmd.Stdout = &stdoutB
+	_ = cmd.Run()
+	if !strings.Contains(stdoutB.String(), "::error title=quality regression::") {
+		t.Errorf("missing ::error:: annotation:\n%s", stdoutB.String())
+	}
+}

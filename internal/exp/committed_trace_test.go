@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCommittedBenchObsSchema validates the committed BENCH_obs.json
+// trace sample against the same JSONL schema golden the live suite is
+// held to, so the checked-in artifact cannot drift from the documented
+// format. Skips when the file is absent (make clean removes it).
+func TestCommittedBenchObsSchema(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_obs.json")
+	if os.IsNotExist(err) {
+		t.Skip("BENCH_obs.json not present (removed by make clean)")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("committed trace sample suspiciously short: %d lines", len(lines))
+	}
+	runRecords := validateTraceLines(t, lines)
+	if len(runRecords) == 0 {
+		t.Error("committed trace sample carries no run records")
+	}
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"multidiag/internal/defect"
+	"multidiag/internal/qrec"
+)
+
+// mechanismOf labels a campaign's defect population for quality records:
+// a pure single-mechanism mix gets its name, everything else (including
+// the zero config, which samples uniformly) is "mixed".
+func mechanismOf(mix defect.CampaignConfig) string {
+	switch {
+	case mix.MixStuck == 1 && mix.MixOpen == 0 && mix.MixBridge == 0:
+		return "stuck"
+	case mix.MixOpen == 1 && mix.MixStuck == 0 && mix.MixBridge == 0:
+		return "open"
+	case mix.MixBridge == 1 && mix.MixStuck == 0 && mix.MixOpen == 0:
+		return "bridge"
+	default:
+		return "mixed"
+	}
+}
+
+// corePhases are the engine phases carried in quality records' phase_ms.
+var corePhases = []string{"extract", "score", "cover"}
+
+// emitQuality appends one qrec.Record per method to col (nil col: no-op
+// via the collector's nil tolerance). The quality core comes from the
+// campaign's deterministic aggregates; the ours record additionally
+// carries the per-phase CPU split and the campaign cone cache's hit rate
+// from the trace registry.
+func (cp *campaign) emitQuality(col *qrec.Collector, label string, wl *Workload, multiplicity int, mix defect.CampaignConfig, methods []Method) {
+	if col == nil {
+		return
+	}
+	for _, m := range methods {
+		site, region := cp.aggSite[m], cp.aggRegion[m]
+		if site == nil {
+			continue // method skipped (e.g. dictionary on large circuits)
+		}
+		r := qrec.Record{
+			Campaign:   label,
+			Circuit:    wl.Circuit.Name,
+			Mechanism:  mechanismOf(mix),
+			Defects:    multiplicity,
+			Method:     string(m),
+			Devices:    cp.runs,
+			SiteAcc:    site.MeanAccuracy(),
+			RegionAcc:  region.MeanAccuracy(),
+			Success:    region.SuccessRate(),
+			Resolution: region.MeanResolution(),
+		}
+		if cp.runs > 0 {
+			r.MsPerDiag = float64(cp.elapsed[m].Microseconds()) / 1000 / float64(cp.runs)
+		}
+		if m == MethodOurs {
+			r.PhaseMS = cp.corePhaseMS()
+			r.ConeHitRate = cp.coneHitRate()
+		}
+		col.Add(r)
+	}
+}
+
+// corePhaseMS is the engine's per-diagnosis CPU split in milliseconds.
+func (cp *campaign) corePhaseMS() map[string]float64 {
+	if cp.runs == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(corePhases))
+	for _, ph := range corePhases {
+		out[ph] = float64(cp.tr.PhaseTotal(ph).Microseconds()) / 1000 / float64(cp.runs)
+	}
+	return out
+}
+
+// coneHitRate is the campaign cone cache's hit fraction (0 when the cache
+// saw no traffic). Scheduling-dependent under parallelism — informational.
+func (cp *campaign) coneHitRate() float64 {
+	reg := cp.tr.Registry()
+	hits := reg.Counter("fsim.cone_cache_hits").Value()
+	misses := reg.Counter("fsim.cone_cache_misses").Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/obs"
+)
+
+// TestSharedSimCacheSharedAcrossDevices pins the campaign-shared cone
+// cache contract: all of a campaign's devices hit one cache (so the hit
+// counter keeps rising as later devices reuse earlier devices' cones),
+// and sharing changes no diagnosis result — every per-device outcome is
+// bit-identical to a run with a private, cold cache.
+func TestSharedSimCacheSharedAcrossDevices(t *testing.T) {
+	wl, err := workload("b0300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quickOpts()
+	o.fill()
+	devs, err := makeDevices(wl, 4, 2, 123, defect.CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) < 2 {
+		t.Fatalf("need ≥2 devices to observe sharing, got %d", len(devs))
+	}
+
+	// Sequential shared-cache run, sampling the hit counter per device.
+	tr := obs.New("shared")
+	ss := newSharedSim(tr, 1, 1)
+	hits := tr.Registry().Counter("fsim.cone_cache_hits")
+	shared := make([][]RunOutcome, len(devs))
+	perDevHits := make([]int64, len(devs))
+	for i, dev := range devs {
+		shared[i], err = runMethods(tr, wl, dev, []Method{MethodOurs}, nil, o, ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perDevHits[i] = hits.Value()
+	}
+	rose := false
+	for i := 1; i < len(perDevHits); i++ {
+		if perDevHits[i] > perDevHits[i-1] {
+			rose = true
+		}
+	}
+	if !rose {
+		t.Errorf("hit counter never rose across devices: %v — cache not shared", perDevHits)
+	}
+
+	// Unshared control: each device gets its own cold cache; results must
+	// match bit-for-bit (Elapsed excluded — wall time is not deterministic).
+	for i, dev := range devs {
+		utr := obs.New("unshared")
+		uss := newSharedSim(utr, 1, 1)
+		un, err := runMethods(utr, wl, dev, []Method{MethodOurs}, nil, o, uss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(un) != len(shared[i]) {
+			t.Fatalf("device %d: outcome count differs", i)
+		}
+		for j := range un {
+			a, b := shared[i][j], un[j]
+			a.Elapsed, b.Elapsed = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("device %d: shared-cache outcome differs from unshared:\n%+v\n%+v", i, a, b)
+			}
+		}
+	}
+}

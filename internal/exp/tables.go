@@ -149,6 +149,7 @@ func runCampaign(o Options, label string, wl *Workload, multiplicity, seeds int,
 		cp.add(oc)
 	}
 	root.End()
+	cp.emitQuality(o.Quality, label, wl, multiplicity, mix, methods)
 	if err := tr.EmitRun(nil); err != nil {
 		return nil, err
 	}
@@ -544,10 +545,12 @@ func T5Ablation(w io.Writer, o Options) error {
 		cfg.ConeCache = ss.cache
 		o.Progress.StartCampaign("T5/"+v.label, len(devs))
 		var site, region metrics.Aggregate
+		var elapsed time.Duration
 		inconsistent := 0
 		for _, dev := range devs {
 			res, err := core.Diagnose(wl.Circuit, wl.Patterns, dev.log, cfg)
 			o.Progress.Done(1)
+			o.Watchdog.Tick()
 			if err != nil {
 				return err
 			}
@@ -557,11 +560,18 @@ func T5Ablation(w io.Writer, o Options) error {
 			}
 			site.Add(metrics.Evaluate(dev.defects, cands))
 			region.Add(metrics.EvaluateRegion(wl.Circuit, dev.defects, cands, o.Radius))
+			elapsed += res.Elapsed
 			if !res.Consistent {
 				inconsistent++
 			}
 		}
-		vcp := &campaign{tr: vtr, runs: len(devs)}
+		vcp := &campaign{
+			tr: vtr, runs: len(devs),
+			aggSite:   map[Method]*metrics.Aggregate{MethodOurs: &site},
+			aggRegion: map[Method]*metrics.Aggregate{MethodOurs: &region},
+			elapsed:   map[Method]time.Duration{MethodOurs: elapsed},
+		}
+		vcp.emitQuality(o.Quality, "T5/"+v.label, wl, 3, defect.CampaignConfig{}, []Method{MethodOurs})
 		if err := vtr.EmitRun(nil); err != nil {
 			return err
 		}

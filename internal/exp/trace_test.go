@@ -38,31 +38,12 @@ var (
 	runKeys  = map[string]bool{"kind": true, "run": true, "seq": true, "dur_ns": true, "phases": true, "counters": true, "extra": true}
 )
 
-// TestTraceSchemaGolden runs a quick slice of the suite with an emitter
-// attached and validates every emitted line against the documented record
-// schema: parseable JSON, known kinds, monotone sequence numbers, golden
-// key sets, and one "run" record with phases and counters per table and
-// per campaign.
-func TestTraceSchemaGolden(t *testing.T) {
-	var buf lockedBuffer
-	em := obs.NewEmitter(&buf)
-	o := quickOpts()
-	o.Emitter = em
-
-	if err := T1Characteristics(io.Discard, o); err != nil {
-		t.Fatal(err)
-	}
-	if err := T3MultiDefect(io.Discard, o); err != nil {
-		t.Fatal(err)
-	}
-	if err := em.Err(); err != nil {
-		t.Fatal(err)
-	}
-
-	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) < 10 {
-		t.Fatalf("only %d trace lines emitted", len(lines))
-	}
+// validateTraceLines checks every JSONL line against the documented
+// record schema — parseable JSON, known kinds, monotone sequence numbers,
+// golden key sets — and returns the "run" records by label. Shared by the
+// live-suite golden test and the committed BENCH_obs.json check.
+func validateTraceLines(t *testing.T, lines []string) map[string]obs.Event {
+	t.Helper()
 	runRecords := map[string]obs.Event{}
 	prevSeq := int64(-1)
 	for i, line := range lines {
@@ -103,6 +84,34 @@ func TestTraceSchemaGolden(t *testing.T) {
 			t.Fatalf("line %d: unknown kind %q", i, ev.Kind)
 		}
 	}
+	return runRecords
+}
+
+// TestTraceSchemaGolden runs a quick slice of the suite with an emitter
+// attached and validates every emitted line against the documented record
+// schema, plus one "run" record with phases and counters per table and
+// per campaign.
+func TestTraceSchemaGolden(t *testing.T) {
+	var buf lockedBuffer
+	em := obs.NewEmitter(&buf)
+	o := quickOpts()
+	o.Emitter = em
+
+	if err := T1Characteristics(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := T3MultiDefect(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d trace lines emitted", len(lines))
+	}
+	runRecords := validateTraceLines(t, lines)
 
 	// One run record per table and per campaign of the tables we ran.
 	for _, want := range []string{"T1", "T3", "T3/b0300/2", "T3/b0300/5"} {

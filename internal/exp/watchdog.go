@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog detects stalled campaigns: when no device completes within the
+// deadline it dumps every goroutine's stack to its writer, turning a hung
+// overnight run (a deadlocked pool, a pathological device) into an
+// actionable log instead of a silent zombie. One dump per stall — the
+// watchdog disarms itself until the next Tick proves the campaign is
+// moving again. A nil *Watchdog ignores every call, the obs idiom, so the
+// suite ticks it unconditionally.
+type Watchdog struct {
+	w        io.Writer
+	deadline time.Duration
+	lastNS   atomic.Int64 // UnixNano of the last Tick
+	armed    atomic.Bool
+	dumps    atomic.Int64
+
+	mu   sync.Mutex // serializes dumps to w
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatchdog starts a watchdog that dumps goroutine stacks to w when no
+// Tick arrives within deadline. Call Stop to shut the poller down.
+// Returns nil (the disabled watchdog) when deadline ≤ 0.
+func NewWatchdog(w io.Writer, deadline time.Duration) *Watchdog {
+	if deadline <= 0 {
+		return nil
+	}
+	wd := &Watchdog{
+		w:        w,
+		deadline: deadline,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	wd.lastNS.Store(time.Now().UnixNano())
+	wd.armed.Store(true)
+	go wd.loop()
+	return wd
+}
+
+// Tick records forward progress (a completed device) and re-arms the
+// watchdog. No-op on nil.
+func (wd *Watchdog) Tick() {
+	if wd == nil {
+		return
+	}
+	wd.lastNS.Store(time.Now().UnixNano())
+	wd.armed.Store(true)
+}
+
+// Stop shuts the poller down and waits for it to exit. No-op on nil.
+func (wd *Watchdog) Stop() {
+	if wd == nil {
+		return
+	}
+	close(wd.stop)
+	<-wd.done
+}
+
+// Dumps reports how many stall dumps the watchdog has written (0 on nil).
+func (wd *Watchdog) Dumps() int64 {
+	if wd == nil {
+		return 0
+	}
+	return wd.dumps.Load()
+}
+
+// loop polls at a quarter of the deadline so a stall is caught within
+// ~1.25× the configured time.
+func (wd *Watchdog) loop() {
+	defer close(wd.done)
+	poll := wd.deadline / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-wd.stop:
+			return
+		case <-tick.C:
+			wd.check(time.Now())
+		}
+	}
+}
+
+func (wd *Watchdog) check(now time.Time) {
+	idle := now.UnixNano() - wd.lastNS.Load()
+	if time.Duration(idle) < wd.deadline {
+		return
+	}
+	// One dump per stall: only the poller that flips armed→false writes.
+	if !wd.armed.CompareAndSwap(true, false) {
+		return
+	}
+	wd.dump(time.Duration(idle))
+}
+
+func (wd *Watchdog) dump(idle time.Duration) {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	wd.mu.Lock()
+	defer wd.mu.Unlock()
+	fmt.Fprintf(wd.w, "exp: watchdog: no device completed for %v (deadline %v); dumping all goroutine stacks\n",
+		idle.Round(time.Millisecond), wd.deadline)
+	wd.w.Write(buf[:n])
+	fmt.Fprintf(wd.w, "exp: watchdog: end of stall dump\n")
+	wd.dumps.Add(1)
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogDumpsOnStall pins the stall contract: no tick within the
+// deadline produces exactly one all-goroutine stack dump, and a tick
+// re-arms the watchdog for the next stall.
+func TestWatchdogDumpsOnStall(t *testing.T) {
+	var buf lockedBuffer
+	wd := NewWatchdog(&buf, 30*time.Millisecond)
+	defer wd.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for wd.Dumps() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if wd.Dumps() != 1 {
+		t.Fatalf("dumps = %d, want 1", wd.Dumps())
+	}
+	out := buf.String()
+	for _, want := range []string{"watchdog: no device completed", "goroutine", "end of stall dump"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stall dump missing %q:\n%.400s", want, out)
+		}
+	}
+
+	// Disarmed: staying stalled must not dump again.
+	time.Sleep(100 * time.Millisecond)
+	if wd.Dumps() != 1 {
+		t.Fatalf("disarmed watchdog dumped again: %d", wd.Dumps())
+	}
+
+	// A tick re-arms; the next stall dumps once more.
+	wd.Tick()
+	for wd.Dumps() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if wd.Dumps() != 2 {
+		t.Fatalf("re-armed watchdog did not dump: %d", wd.Dumps())
+	}
+}
+
+// TestWatchdogQuietWhileTicking: regular progress never triggers a dump.
+func TestWatchdogQuietWhileTicking(t *testing.T) {
+	var buf lockedBuffer
+	wd := NewWatchdog(&buf, 80*time.Millisecond)
+	for i := 0; i < 12; i++ {
+		time.Sleep(15 * time.Millisecond)
+		wd.Tick()
+	}
+	wd.Stop()
+	if wd.Dumps() != 0 {
+		t.Fatalf("ticking campaign dumped %d times:\n%s", wd.Dumps(), buf.String())
+	}
+}
+
+// TestWatchdogNilAndDisabled: the nil watchdog absorbs every call, and a
+// non-positive deadline is the disabled watchdog.
+func TestWatchdogNilAndDisabled(t *testing.T) {
+	var wd *Watchdog
+	wd.Tick()
+	wd.Stop()
+	if wd.Dumps() != 0 {
+		t.Error("nil watchdog reports dumps")
+	}
+	if NewWatchdog(nil, 0) != nil {
+		t.Error("zero deadline did not disable the watchdog")
+	}
+}

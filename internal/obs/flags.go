@@ -4,11 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 // Flags bundles the observability command-line flags shared by the CLIs
 // (mddiag, mdexp, mdfsim): JSONL trace output, the candidate flight
-// recorder, CPU/heap profiles and the pprof/expvar/metrics debug listener.
+// recorder, CPU/heap profiles, the pprof/expvar/metrics debug listener
+// and the runtime/metrics sampler.
 type Flags struct {
 	TraceOut string
 	// ExplainOut is opened by the CLIs that support the flight recorder
@@ -17,6 +19,11 @@ type Flags struct {
 	CPUProfile string
 	MemProfile string
 	DebugAddr  string
+	// SampleRuntime enables the periodic runtime/metrics sampler at the
+	// given interval (0 disables). The sampled gauges/histograms land in
+	// the global trace registry and therefore in /metrics, run-record
+	// snapshots and the -v footer.
+	SampleRuntime time.Duration
 }
 
 // Register installs the flags on fs (use flag.CommandLine for main).
@@ -26,6 +33,7 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` at exit")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and /metrics on `addr` (e.g. localhost:6060)")
+	fs.DurationVar(&f.SampleRuntime, "sample-runtime", 0, "sample runtime/metrics (heap, GC pauses, goroutines, sched latency) every `interval` into the registry (0 = off)")
 }
 
 // Setup activates whatever the flags request: it creates a trace labeled
@@ -62,8 +70,13 @@ func (f *Flags) Setup(label string) (*Trace, func() error, error) {
 		}
 		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/\n", label, addr)
 	}
+	stopSampler := func() {}
+	if f.SampleRuntime > 0 {
+		stopSampler = StartRuntimeSampler(tr.Registry(), f.SampleRuntime)
+	}
 
 	finish := func() error {
+		stopSampler() // final sample lands before the run record snapshot
 		firstErr := tr.EmitRun(nil)
 		if err := em.Close(); err != nil && firstErr == nil {
 			firstErr = err

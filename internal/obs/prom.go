@@ -14,7 +14,10 @@ const promNamespace = "multidiag"
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples,
 // histograms as cumulative `_bucket{le="…"}` series with `_sum` and
-// `_count`, using the log₂ bucket upper bounds as `le` thresholds.
+// `_count`, using the log₂ bucket upper bounds as `le` thresholds, plus
+// derived `_p50`/`_p95`/`_p99`/`_max` summary gauges per populated
+// histogram (upper-bound estimates from the log₂ buckets, for dashboards
+// that want quantiles without server-side histogram_quantile).
 // Metric names are namespaced under "multidiag_" and sanitized (dots →
 // underscores). Safe on a nil registry (writes nothing).
 func WritePrometheus(w io.Writer, r *Registry) error {
@@ -63,6 +66,19 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
 		fmt.Fprintf(&sb, "%s_sum %d\n", pn, h.Sum())
 		fmt.Fprintf(&sb, "%s_count %d\n", pn, h.Count())
+		if h.Count() > 0 {
+			for _, q := range []struct {
+				suffix string
+				v      int64
+			}{
+				{"p50", h.Quantile(0.50)},
+				{"p95", h.Quantile(0.95)},
+				{"p99", h.Quantile(0.99)},
+				{"max", h.Max()},
+			} {
+				fmt.Fprintf(&sb, "# TYPE %s_%s gauge\n%s_%s %d\n", pn, q.suffix, pn, q.suffix, q.v)
+			}
+		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err

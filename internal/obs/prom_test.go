@@ -41,6 +41,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 		`multidiag_core_multiplet_size_bucket{le="+Inf"} 3`,
 		"multidiag_core_multiplet_size_sum 104",
 		"multidiag_core_multiplet_size_count 3",
+		"# TYPE multidiag_core_multiplet_size_p99 gauge",
+		"multidiag_core_multiplet_size_p50 1",
+		"multidiag_core_multiplet_size_p99 3",
+		"multidiag_core_multiplet_size_max 127",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -167,25 +171,124 @@ func TestHistogramQuantileMax(t *testing.T) {
 	}
 }
 
-// TestSnapshotQuantileKeys: populated histograms export p50/p95/max beside
-// count/sum; empty ones do not.
+// TestSnapshotQuantileKeys: populated histograms export p50/p95/p99/max
+// beside count/sum; empty ones do not.
 func TestSnapshotQuantileKeys(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("empty")
 	r.Histogram("h").Observe(5)
 	snap := r.Snapshot()
-	for _, want := range []string{"h.count", "h.sum", "h.p50", "h.p95", "h.max"} {
+	for _, want := range []string{"h.count", "h.sum", "h.p50", "h.p95", "h.p99", "h.max"} {
 		if _, ok := snap[want]; !ok {
 			t.Errorf("snapshot missing %q: %v", want, snap)
 		}
 	}
-	for _, absent := range []string{"empty.p50", "empty.p95", "empty.max"} {
+	for _, absent := range []string{"empty.p50", "empty.p95", "empty.p99", "empty.max"} {
 		if _, ok := snap[absent]; ok {
 			t.Errorf("empty histogram exported %q", absent)
 		}
 	}
-	if snap["h.p50"] != 7 || snap["h.max"] != 7 {
-		t.Errorf("h quantiles: p50=%d max=%d, want 7", snap["h.p50"], snap["h.max"])
+	if snap["h.p50"] != 7 || snap["h.p99"] != 7 || snap["h.max"] != 7 {
+		t.Errorf("h quantiles: p50=%d p99=%d max=%d, want 7", snap["h.p50"], snap["h.p99"], snap["h.max"])
+	}
+}
+
+// TestQuantileP99Tail: p99 resolves the tail bucket that p95 misses on a
+// 1000-observation distribution with a 1% spike.
+func TestQuantileP99Tail(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 990; i++ {
+		h.Observe(3) // bucket hi=3
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // bucket hi=8191
+	}
+	if got := h.Quantile(0.95); got != 3 {
+		t.Errorf("p95 = %d, want 3 (spike below rank)", got)
+	}
+	if got := h.Quantile(0.99); got != 3 {
+		t.Errorf("p99 = %d, want 3 (rank 990 is the last fast observation)", got)
+	}
+	h.Observe(5000) // tip rank 991·(0.99) into the tail: 1001·0.99 → rank 990
+	for i := 0; i < 100; i++ {
+		h.Observe(5000)
+	}
+	// 990 fast + 111 slow = 1101 observations; rank ⌈0.99·1101⌉=1089 → tail.
+	if got := h.Quantile(0.99); got != 8191 {
+		t.Errorf("p99 = %d, want 8191 (tail bucket)", got)
+	}
+}
+
+// TestRegistryRejectsCrossKindReuse: one name is one instrument kind;
+// reusing it as another kind must panic with a message naming both kinds.
+func TestRegistryRejectsCrossKindReuse(t *testing.T) {
+	cases := []struct {
+		name          string
+		first, second func(r *Registry)
+	}{
+		{"counter-then-histogram",
+			func(r *Registry) { r.Counter("x") },
+			func(r *Registry) { r.Histogram("x") }},
+		{"counter-then-gauge",
+			func(r *Registry) { r.Counter("x") },
+			func(r *Registry) { r.Gauge("x") }},
+		{"gauge-then-counter",
+			func(r *Registry) { r.Gauge("x") },
+			func(r *Registry) { r.Counter("x") }},
+		{"histogram-then-gauge",
+			func(r *Registry) { r.Histogram("x") },
+			func(r *Registry) { r.Gauge("x") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.first(r)
+			defer func() {
+				msg, ok := recover().(string)
+				if !ok {
+					t.Fatal("cross-kind reuse did not panic")
+				}
+				if !strings.Contains(msg, `"x"`) || !strings.Contains(msg, "already registered") {
+					t.Errorf("panic message %q lacks the metric name / reason", msg)
+				}
+			}()
+			tc.second(r)
+		})
+	}
+}
+
+// TestRegistrySameKindReuseStillIdempotent: the collision check must not
+// break the lookup contract — same name, same kind returns the same handle.
+func TestRegistrySameKindReuseStillIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("counter lookup not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("gauge lookup not idempotent")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram lookup not idempotent")
+	}
+}
+
+// TestHistogramObserveN: the bulk path must match n single observations,
+// and tolerate nil receivers and non-positive counts.
+func TestHistogramObserveN(t *testing.T) {
+	var nilH *Histogram
+	nilH.ObserveN(5, 3) // must not panic
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 7; i++ {
+		a.Observe(12)
+	}
+	b.ObserveN(12, 7)
+	b.ObserveN(12, 0)
+	b.ObserveN(12, -4)
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Fatalf("ObserveN mismatch: count %d vs %d, sum %d vs %d", a.Count(), b.Count(), a.Sum(), b.Sum())
+	}
+	if a.Quantile(0.99) != b.Quantile(0.99) || a.Max() != b.Max() {
+		t.Error("ObserveN bucket placement differs from Observe")
 	}
 }
 

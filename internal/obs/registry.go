@@ -13,6 +13,11 @@ import (
 // once and the parallel experiment runner increments them racelessly.
 // A nil *Registry hands out nil handles, and every handle method tolerates
 // a nil receiver — the disabled path is a single pointer test.
+//
+// A name identifies exactly one instrument kind: registering "x" as a
+// counter and later asking for Histogram("x") panics instead of silently
+// aliasing two instruments that would collide in Snapshot keys and the
+// Prometheus exposition.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -29,7 +34,8 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. Panics if
+// name is already registered as a gauge or histogram.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -38,13 +44,15 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
+		r.checkUnused(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. Panics if name
+// is already registered as a counter or histogram.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -53,13 +61,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
+		r.checkUnused(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
 	return g
 }
 
-// Histogram returns the named histogram, creating it on first use.
+// Histogram returns the named histogram, creating it on first use. Panics
+// if name is already registered as a counter or gauge.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
@@ -68,11 +78,36 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
+		r.checkUnused(name, "histogram")
 		h = &Histogram{}
 		r.hists[name] = h
 	}
 	return h
 }
+
+// checkUnused panics when name is already registered under a different
+// instrument kind. Called with r.mu held, just before creating the
+// instrument as `want`; a programming error this early is better surfaced
+// loudly than as two instruments silently aliasing one snapshot key.
+func (r *Registry) checkUnused(name, want string) {
+	var have string
+	switch {
+	case r.counters[name] != nil:
+		have = "counter"
+	case r.gauges[name] != nil:
+		have = "gauge"
+	case r.hists[name] != nil:
+		have = "histogram"
+	default:
+		return
+	}
+	panic("obs: metric " + quote(name) + " already registered as a " + have +
+		", cannot reuse the name as a " + want)
+}
+
+// quote is a minimal %q for the panic message (keeps fmt out of the
+// registry's import set).
+func quote(s string) string { return `"` + s + `"` }
 
 // Reset zeroes every registered instrument (handles stay valid).
 func (r *Registry) Reset() {
@@ -99,16 +134,16 @@ func (r *Registry) Reset() {
 // Snapshot flattens the registry into a name→value map: counters and
 // gauges under their own names, histograms as name.count / name.sum plus
 // one name.le_<2^k> entry per populated log₂ bucket and the derived
-// name.p50 / name.p95 / name.max quantile summaries (upper-bound
-// estimates; see Histogram.Quantile). This is the counters payload of
-// JSONL run records and the expvar export.
+// name.p50 / name.p95 / name.p99 / name.max quantile summaries
+// (upper-bound estimates; see Histogram.Quantile). This is the counters
+// payload of JSONL run records and the expvar export.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges)+5*len(r.hists))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+6*len(r.hists))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -124,6 +159,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 		if h.Count() > 0 {
 			out[name+".p50"] = h.Quantile(0.50)
 			out[name+".p95"] = h.Quantile(0.95)
+			out[name+".p99"] = h.Quantile(0.99)
 			out[name+".max"] = h.Max()
 		}
 	}
@@ -274,6 +310,19 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveN records n identical observations of v in one shot — the bulk
+// path for folding externally bucketed data (e.g. runtime/metrics
+// histogram deltas) without n Observe calls. n ≤ 0 and nil receivers are
+// no-ops.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(v * n)
+	h.buckets[bucketIndex(v)].Add(n)
 }
 
 // Count returns the number of observations (0 on nil).

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime sampler metric names as they appear in the registry (and hence
+// in Snapshot, the expvar export, Prometheus /metrics and the mddiag -v
+// footer).
+const (
+	// runtimeHeapGauge is live heap object bytes (runtime/metrics
+	// /memory/classes/heap/objects:bytes), sampled.
+	runtimeHeapGauge = "runtime.heap_inuse_bytes"
+	// runtimeGoroutineGauge is the live goroutine count.
+	runtimeGoroutineGauge = "runtime.goroutines"
+	// runtimeGCGauge is the cumulative completed GC cycle count (a gauge,
+	// not a Counter: the runtime owns the cumulative value and the sampler
+	// can only store it).
+	runtimeGCGauge = "runtime.gc_cycles"
+	// runtimeGCPauseHist folds the runtime's stop-the-world GC pause
+	// distribution into a log₂ histogram of nanoseconds.
+	runtimeGCPauseHist = "runtime.gc_pause_ns"
+	// runtimeSchedLatHist folds the runtime's goroutine scheduling latency
+	// distribution (time runnable before running) into nanoseconds.
+	runtimeSchedLatHist = "runtime.sched_latency_ns"
+)
+
+// runtime/metrics sample names feeding the instruments above. The GC
+// pause metric moved under /sched/ in Go 1.22; KindBad guards keep the
+// sampler inert for any name a given toolchain does not export.
+const (
+	srcHeap     = "/memory/classes/heap/objects:bytes"
+	srcGoro     = "/sched/goroutines:goroutines"
+	srcGCCycles = "/gc/cycles/total:gc-cycles"
+	srcGCPause  = "/sched/pauses/total/gc:seconds"
+	srcSchedLat = "/sched/latencies:seconds"
+)
+
+// RuntimeSampler periodically reads runtime/metrics into a Registry:
+// scalar gauges for heap in-use bytes, goroutine count and GC cycles, and
+// log₂ nanosecond histograms for GC pauses and scheduling latency (folded
+// from the runtime's cumulative float64 histograms by per-bucket deltas,
+// so every registered instrument flows through the existing exports — the
+// Prometheus /metrics endpoint, trace run-record snapshots and the
+// mddiag -v footer — with no extra plumbing).
+//
+// A nil *RuntimeSampler ignores every call, matching the rest of the obs
+// layer.
+type RuntimeSampler struct {
+	samples []metrics.Sample
+
+	heap, goroutines, gcCycles *Gauge
+	gcPause, schedLat          *Histogram
+	// prev holds the bucket counts of each cumulative runtime histogram at
+	// the previous sample, keyed by sample index, so each tick folds only
+	// the delta.
+	prev map[int][]uint64
+
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartRuntimeSampler starts sampling into r every interval (clamped to
+// ≥10ms) until the returned stop function runs. One sample is taken
+// synchronously before the loop starts and a final one at Stop, so even
+// runs shorter than the interval report runtime metrics (and a -v footer
+// rendered mid-run sees live gauges, not zeros). A nil registry yields a
+// no-op stop.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	s := newRuntimeSampler(r, interval)
+	if s == nil {
+		return func() {}
+	}
+	s.sample()
+	go s.loop()
+	return s.Stop
+}
+
+func newRuntimeSampler(r *Registry, interval time.Duration) *RuntimeSampler {
+	if r == nil {
+		return nil
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &RuntimeSampler{
+		samples: []metrics.Sample{
+			{Name: srcHeap},
+			{Name: srcGoro},
+			{Name: srcGCCycles},
+			{Name: srcGCPause},
+			{Name: srcSchedLat},
+		},
+		heap:       r.Gauge(runtimeHeapGauge),
+		goroutines: r.Gauge(runtimeGoroutineGauge),
+		gcCycles:   r.Gauge(runtimeGCGauge),
+		gcPause:    r.Histogram(runtimeGCPauseHist),
+		schedLat:   r.Histogram(runtimeSchedLatHist),
+		prev:       make(map[int][]uint64),
+		interval:   interval,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			s.sample()
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// Stop ends the sampling loop after one final sample. Safe to call on a
+// nil sampler; not safe to call twice (the flags layer calls it once from
+// its finish func).
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
+
+// sample reads every source once and updates the instruments. Unsupported
+// sources (KindBad on older/newer toolchains) are skipped.
+func (s *RuntimeSampler) sample() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.samples)
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Value.Kind() {
+		case metrics.KindUint64:
+			v := int64(sm.Value.Uint64())
+			switch sm.Name {
+			case srcHeap:
+				s.heap.Set(v)
+			case srcGoro:
+				s.goroutines.Set(v)
+			case srcGCCycles:
+				s.gcCycles.Set(v)
+			}
+		case metrics.KindFloat64Histogram:
+			var h *Histogram
+			switch sm.Name {
+			case srcGCPause:
+				h = s.gcPause
+			case srcSchedLat:
+				h = s.schedLat
+			}
+			s.foldHistogram(i, h, sm.Value.Float64Histogram())
+		}
+	}
+}
+
+// foldHistogram folds the delta between fh and the previous sample of
+// source i into h, converting the runtime's seconds buckets to log₂
+// nanosecond observations at each bucket's upper bound (the same
+// upper-bound convention the obs quantiles use). Cumulative runtime
+// histograms only grow, so per-bucket deltas are non-negative; a bucket
+// layout change (never observed in practice) resets the fold.
+func (s *RuntimeSampler) foldHistogram(i int, h *Histogram, fh *metrics.Float64Histogram) {
+	if h == nil || fh == nil {
+		return
+	}
+	prev := s.prev[i]
+	if len(prev) != len(fh.Counts) {
+		prev = make([]uint64, len(fh.Counts))
+	}
+	for b, n := range fh.Counts {
+		delta := int64(n - prev[b])
+		if delta <= 0 {
+			continue
+		}
+		// Buckets[b+1] is the bucket's upper bound in seconds; the last
+		// bucket's +Inf falls back to its (finite) lower bound.
+		bound := fh.Buckets[b+1]
+		if math.IsInf(bound, +1) {
+			bound = fh.Buckets[b]
+		}
+		if math.IsInf(bound, -1) || bound < 0 {
+			bound = 0
+		}
+		h.ObserveN(int64(bound*1e9), delta)
+	}
+	cp := make([]uint64, len(fh.Counts))
+	copy(cp, fh.Counts)
+	s.prev[i] = cp
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuntimeSamplerPopulatesRegistry: one explicit sample must fill the
+// scalar gauges with live values and leave the histograms consistent.
+func TestRuntimeSamplerPopulatesRegistry(t *testing.T) {
+	r := NewRegistry()
+	s := newRuntimeSampler(r, time.Hour) // never ticks; we drive it by hand
+	runtime.GC()                         // guarantee ≥1 GC cycle and some pause history
+	s.sample()
+
+	if v := r.Gauge(runtimeHeapGauge).Value(); v <= 0 {
+		t.Errorf("%s = %d, want > 0", runtimeHeapGauge, v)
+	}
+	if v := r.Gauge(runtimeGoroutineGauge).Value(); v < 1 {
+		t.Errorf("%s = %d, want ≥ 1", runtimeGoroutineGauge, v)
+	}
+	if v := r.Gauge(runtimeGCGauge).Value(); v < 1 {
+		t.Errorf("%s = %d, want ≥ 1 after runtime.GC()", runtimeGCGauge, v)
+	}
+	// GC pauses happened (we forced a cycle), so the pause histogram must
+	// hold at least one observation with a positive sum.
+	h := r.Histogram(runtimeGCPauseHist)
+	if h.Count() < 1 || h.Sum() <= 0 {
+		t.Errorf("%s count=%d sum=%d, want ≥1 observation with positive sum", runtimeGCPauseHist, h.Count(), h.Sum())
+	}
+}
+
+// TestRuntimeSamplerDeltaFolding: re-sampling without new runtime activity
+// must not re-count the cumulative history, and counts never decrease.
+func TestRuntimeSamplerDeltaFolding(t *testing.T) {
+	r := NewRegistry()
+	s := newRuntimeSampler(r, time.Hour)
+	runtime.GC()
+	s.sample()
+	h := r.Histogram(runtimeGCPauseHist)
+	first := h.Count()
+	s.sample() // no GC in between: delta fold must add nothing
+	if got := h.Count(); got != first {
+		t.Errorf("idle resample grew pause count %d → %d", first, got)
+	}
+	runtime.GC()
+	s.sample()
+	if got := h.Count(); got <= first {
+		t.Errorf("pause count %d did not grow past %d after another GC", got, first)
+	}
+}
+
+// TestRuntimeSamplerLifecycle: the background loop started by
+// StartRuntimeSampler samples on its interval and once more at stop, and
+// a nil registry degrades to a no-op stop.
+func TestRuntimeSamplerLifecycle(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Millisecond) // clamped to 10ms
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	if v := r.Gauge(runtimeGoroutineGauge).Value(); v < 1 {
+		t.Errorf("sampler loop never sampled: goroutines = %d", v)
+	}
+	StartRuntimeSampler(nil, time.Second)() // must not panic
+	var nilS *RuntimeSampler
+	nilS.Stop()
+	nilS.sample()
+}
+
+// TestFlagsSampleRuntime: -sample-runtime wires the sampler into Setup's
+// registry so the snapshot (and hence /metrics and the -v footer) carries
+// the runtime.* instruments after finish.
+func TestFlagsSampleRuntime(t *testing.T) {
+	defer SetGlobal(Global())
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-sample-runtime", "25ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.SampleRuntime != 25*time.Millisecond {
+		t.Fatalf("SampleRuntime = %v", f.SampleRuntime)
+	}
+	tr, finish, err := f.Setup("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil { // stop-time sample runs even before the first tick
+		t.Fatal(err)
+	}
+	snap := tr.Registry().Snapshot()
+	for _, want := range []string{runtimeHeapGauge, runtimeGoroutineGauge, runtimeGCGauge} {
+		if snap[want] <= 0 && want != runtimeGCGauge {
+			t.Errorf("snapshot missing live %s: %v", want, snap[want])
+		}
+		if _, ok := snap[want]; !ok {
+			t.Errorf("snapshot has no %s key", want)
+		}
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, tr.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "multidiag_runtime_heap_inuse_bytes") {
+		t.Error("/metrics exposition missing runtime_heap_inuse_bytes")
+	}
+}

@@ -1,0 +1,124 @@
+package qrec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Thresholds controls when a quality delta is a regression. The quality
+// core (accuracies, success) gates hard: those numbers are deterministic
+// from the campaign seeds, so any drop past AccDrop is a semantic change.
+// Resolution and latency drift warn: resolution trades off against
+// accuracy by design, and timing is machine-dependent.
+type Thresholds struct {
+	// AccDrop is the absolute site/region-accuracy or success-rate drop
+	// that is an error (e.g. 0.02 = two accuracy points).
+	AccDrop float64
+	// ResPct is the mean-resolution (candidate count) increase percentage
+	// that warns.
+	ResPct float64
+	// LatencyPct is the ms/diagnosis increase percentage that warns.
+	LatencyPct float64
+}
+
+// DefaultThresholds matches the make quality / CI gate configuration.
+func DefaultThresholds() Thresholds {
+	return Thresholds{AccDrop: 0.02, ResPct: 25, LatencyPct: 75}
+}
+
+// Finding is one threshold crossing found by Compare.
+type Finding struct {
+	// Level is "error" (gates) or "warning" (drift).
+	Level string
+	// Key identifies the regressed record (campaign|method).
+	Key string
+	// Message is the human-readable description.
+	Message string
+}
+
+// Compare prints a per-record delta table to w and returns the threshold
+// crossings, errors first. Records present on only one side are reported
+// but never fatal, so a baseline refresh and a new campaign can land in
+// the same change (the benchdiff contract). Schema mismatch is a single
+// error finding — comparing incompatible layouts silently would defeat
+// the gate.
+func Compare(w io.Writer, base, cur *File, th Thresholds) []Finding {
+	if base.Schema != cur.Schema {
+		return []Finding{{
+			Level: "error",
+			Key:   "schema",
+			Message: fmt.Sprintf("schema mismatch: baseline v%d vs current v%d — regenerate the baseline",
+				base.Schema, cur.Schema),
+		}}
+	}
+	bm, cm := base.Lookup(), cur.Lookup()
+	keys := make(map[string]bool, len(bm)+len(cm))
+	for k := range bm {
+		keys[k] = true
+	}
+	for k := range cm {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var errs, warns []Finding
+	fmt.Fprintf(w, "%-28s %-10s %18s %18s %16s %14s\n",
+		"campaign", "method", "site acc", "region acc", "success", "resolution")
+	for _, k := range sorted {
+		b, inBase := bm[k]
+		c, inCur := cm[k]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "%-28s %-10s %66s\n", b.Campaign, b.Method, "— gone from current run")
+			continue
+		case !inBase:
+			fmt.Fprintf(w, "%-28s %-10s %66s\n", c.Campaign, c.Method, "— new (not in baseline)")
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %-10s %8.4f → %7.4f %8.4f → %7.4f %7.3f → %6.3f %6.1f → %5.1f\n",
+			c.Campaign, c.Method,
+			b.SiteAcc, c.SiteAcc, b.RegionAcc, c.RegionAcc,
+			b.Success, c.Success, b.Resolution, c.Resolution)
+
+		check := func(metric string, bv, cv float64) {
+			if drop := bv - cv; drop > th.AccDrop {
+				errs = append(errs, Finding{
+					Level: "error",
+					Key:   k,
+					Message: fmt.Sprintf("%s %s dropped %.4f → %.4f (−%.4f, threshold %.4f)",
+						k, metric, bv, cv, drop, th.AccDrop),
+				})
+			}
+		}
+		check("site accuracy", b.SiteAcc, c.SiteAcc)
+		check("region accuracy", b.RegionAcc, c.RegionAcc)
+		check("success rate", b.Success, c.Success)
+
+		if th.ResPct > 0 && b.Resolution > 0 {
+			if pct := (c.Resolution - b.Resolution) / b.Resolution * 100; pct > th.ResPct {
+				warns = append(warns, Finding{
+					Level: "warning",
+					Key:   k,
+					Message: fmt.Sprintf("%s resolution grew %.1f%% (%.1f → %.1f candidates, threshold %.0f%%)",
+						k, pct, b.Resolution, c.Resolution, th.ResPct),
+				})
+			}
+		}
+		if th.LatencyPct > 0 && b.MsPerDiag > 0 {
+			if pct := (c.MsPerDiag - b.MsPerDiag) / b.MsPerDiag * 100; pct > th.LatencyPct {
+				warns = append(warns, Finding{
+					Level: "warning",
+					Key:   k,
+					Message: fmt.Sprintf("%s slowed %.1f%% (%.1f → %.1f ms/diag, threshold %.0f%%)",
+						k, pct, b.MsPerDiag, c.MsPerDiag, th.LatencyPct),
+				})
+			}
+		}
+	}
+	return append(errs, warns...)
+}
