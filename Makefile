@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchdiff quality quality-baseline clean
+.PHONY: all build test race vet lint bench benchdiff quality quality-baseline serve-smoke clean
 
 all: build vet test
 
@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency: the obs registry, the
-# campaign worker pool, the fault-parallel engine and the sharded cone
-# cache (the fsim stress test is the cache's -race proof).
+# campaign worker pool, the fault-parallel engine, the sharded cone
+# cache (the fsim stress test is the cache's -race proof) and the
+# diagnosis service (admission, batcher, concurrent clients).
 race:
-	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core
+	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -27,20 +28,24 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "lint: staticcheck not installed, skipped"; fi
 
 # bench proves the observability budgets (BenchmarkDiagnose vs the traced
-# and explained variants plus the obs micro-benchmarks), writes the core
-# diagnosis results as a machine-readable baseline to BENCH_diag.json (the
-# committed copy is what benchdiff compares against), and writes a
-# schema-valid quick-suite trace to BENCH_obs.json.
+# and explained variants plus the obs micro-benchmarks) and the serving
+# overhead (BenchmarkServeDiagnose vs the same diagnosis via the core
+# API), writes the diagnosis results as a machine-readable baseline to
+# BENCH_diag.json (the committed copy is what benchdiff compares
+# against), and writes a schema-valid quick-suite trace to BENCH_obs.json.
+# The -bench pattern is 'Diagnose', not 'BenchmarkDiagnose': the latter
+# would silently skip BenchmarkServeDiagnose.
 bench: build
-	$(GO) test -run xxx -bench 'BenchmarkDiagnose' -benchmem ./internal/core | tee /tmp/bench_core.txt
+	$(GO) test -run xxx -bench 'Diagnose' -benchmem ./internal/core ./internal/serve | tee /tmp/bench_core.txt
 	$(GO) test -run xxx -bench 'BenchmarkSpan|BenchmarkCounter|BenchmarkHistogram' -benchmem ./internal/obs
 	bin/benchdiff parse -o BENCH_diag.json < /tmp/bench_core.txt
 	bin/mdexp -quick -seeds 1 -only T1 -trace-out BENCH_obs.json > /dev/null
 
-# benchdiff re-runs the core diagnosis benchmarks and compares against the
-# committed BENCH_diag.json baseline, warning on >20% ns/op regressions.
+# benchdiff re-runs the diagnosis benchmarks (core + serving path) and
+# compares against the committed BENCH_diag.json baseline, warning on
+# >20% ns/op regressions.
 benchdiff: build
-	$(GO) test -run xxx -bench 'BenchmarkDiagnose' -benchmem ./internal/core | bin/benchdiff parse | bin/benchdiff compare BENCH_diag.json -
+	$(GO) test -run xxx -bench 'Diagnose' -benchmem ./internal/core ./internal/serve | bin/benchdiff parse | bin/benchdiff compare BENCH_diag.json -
 
 # QUALITY_CMD is the exact campaign both quality targets run, so the
 # committed baseline and the comparison candidate are always like-for-like
@@ -59,6 +64,12 @@ quality: build
 # quality change (commit the diff alongside the change that caused it).
 quality-baseline: build
 	$(QUALITY_CMD) QUALITY_baseline.json > /dev/null
+
+# serve-smoke boots mdserve, fires a request burst, checks /metrics, and
+# requires a clean SIGTERM drain — the end-to-end proof behind the
+# handler-level tests in internal/serve.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 clean:
 	rm -rf bin BENCH_obs.json

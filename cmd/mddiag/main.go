@@ -45,7 +45,9 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
-		explainMain(os.Args[2:])
+		if err := explainMain(os.Args[2:]); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	var (
@@ -64,61 +66,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mddiag: -c, -p and -d are required")
 		os.Exit(2)
 	}
+	if err := run(obsFlags, *circ, *pfile, *dfile, *method, *top, *jobs, *verbose); err != nil {
+		fatal(err)
+	}
+}
+
+// run is the diagnose command body. It returns instead of exiting so the
+// deferred sink closes always execute: an early error must still flush
+// and close the -trace-out / -explain-out gzip sinks, otherwise a partial
+// .gz stream is left without its trailer and the whole file is
+// unreadable.
+func run(obsFlags obs.Flags, circ, pfile, dfile, method string, top, jobs int, verbose bool) (err error) {
 	tr, finishObs, err := obsFlags.Setup("mddiag")
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	rec, finishExplain, err := openRecorder(obsFlags.ExplainOut, *method)
+	defer func() {
+		if e := finishObs(); err == nil {
+			err = e
+		}
+	}()
+	rec, finishExplain, err := openRecorder(obsFlags.ExplainOut, method)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	c, pats, log := loadInputs(*circ, *pfile, *dfile)
+	defer func() {
+		if e := finishExplain(); err == nil {
+			err = e
+		}
+	}()
+	c, pats, log, err := loadInputs(circ, pfile, dfile)
+	if err != nil {
+		return err
+	}
 
-	switch *method {
+	switch method {
 	case "ours":
-		res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec, Workers: *jobs})
+		res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec, Workers: jobs})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("evidence: %d failing bits over %d failing patterns\n",
-			len(res.Evidence), len(log.FailingPatterns()))
-		fmt.Printf("extracted %d effect-cause candidates; multiplet size %d; elapsed %s\n",
-			res.CandidatesExtracted, len(res.Multiplet), res.Elapsed)
-		if !res.Consistent {
-			fmt.Printf("WARNING: multiplet is X-inconsistent on patterns %v — evidence incomplete\n",
-				res.InconsistentPatterns)
-		}
-		if res.UnexplainedBits > 0 {
-			fmt.Printf("WARNING: %d evidence bits unexplained\n", res.UnexplainedBits)
-		}
-		for i, cd := range res.Multiplet {
-			fmt.Printf("#%d %s  covers %d bits, %d mispredictions\n", i+1, cd.Name(c), cd.TFSF, cd.TPSF)
-			for _, e := range cd.Equivalent {
-				fmt.Printf("    ≡ %s\n", e.Name(c))
-			}
-			for _, m := range cd.Models {
-				switch m.Kind {
-				case core.BridgeModel:
-					fmt.Printf("    model: dominant bridge, aggressor %s (%d mispred)\n",
-						c.NameOf(m.Aggressor), m.Mispredictions)
-				default:
-					fmt.Printf("    model: stuck-at/open (%d mispred)\n", m.Mispredictions)
-				}
-			}
-		}
-		if *top > 0 {
-			fmt.Println("ranked candidates:")
-			for i, cd := range res.Ranked {
-				if i >= *top {
-					break
-				}
-				fmt.Printf("  %2d. %-20s TFSF=%d TPSF=%d\n", i+1, cd.Name(c), cd.TFSF, cd.TPSF)
-			}
+		if err := core.WriteReport(os.Stdout, c, res, len(log.FailingPatterns()), top); err != nil {
+			return err
 		}
 	case "slat":
 		res, err := baseline.SLAT(c, pats, log, 0)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("SLAT patterns %d, non-SLAT %d; elapsed %s\n",
 			res.SLATPatterns, res.NonSLATPatterns, res.Elapsed)
@@ -128,7 +122,7 @@ func main() {
 	case "intersect":
 		res, err := baseline.Intersection(c, pats, log)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("%d suspects after intersection+vindication; elapsed %s\n",
 			len(res.Multiplet), res.Elapsed)
@@ -136,24 +130,20 @@ func main() {
 			fmt.Printf("#%d %s\n", i+1, cd.Fault.Name(c))
 		}
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", method)
 	}
 
-	if *verbose {
+	if verbose {
 		printSummary(tr)
 	}
-	if err := finishExplain(); err != nil {
-		fatal(err)
-	}
-	if err := finishObs(); err != nil {
-		fatal(err)
-	}
+	return nil
 }
 
 // explainMain is the explain subcommand: replay the diagnosis with the
 // flight recorder attached and render the candidate narratives and the
-// per-bit explanation table.
-func explainMain(args []string) {
+// per-bit explanation table. Like run, it returns errors so the deferred
+// sink closes fire on every path.
+func explainMain(args []string) (err error) {
 	fs := flag.NewFlagSet("mddiag explain", flag.ExitOnError)
 	var (
 		circ  = fs.String("c", "", "circuit .bench file (required)")
@@ -172,16 +162,29 @@ func explainMain(args []string) {
 	}
 	_, finishObs, err := obsFlags.Setup("mddiag")
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	defer func() {
+		if e := finishObs(); err == nil {
+			err = e
+		}
+	}()
 	rec, finishExplain, err := explain.Open(obsFlags.ExplainOut, "mddiag")
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	c, pats, log := loadInputs(*circ, *pfile, *dfile)
+	defer func() {
+		if e := finishExplain(); err == nil {
+			err = e
+		}
+	}()
+	c, pats, log, err := loadInputs(*circ, *pfile, *dfile)
+	if err != nil {
+		return err
+	}
 	res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec, Workers: *jobs})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("diagnosis: %d evidence bits, %d candidates extracted, multiplet size %d, elapsed %s\n\n",
 		len(res.Evidence), res.CandidatesExtracted, len(res.Multiplet), res.Elapsed)
@@ -191,23 +194,18 @@ func explainMain(args []string) {
 		maxOther = -1
 	}
 	if err := explain.RenderNarrative(os.Stdout, events, maxOther); err != nil {
-		fatal(err)
+		return err
 	}
 	if *bits {
 		fmt.Println()
 		if err := explain.RenderBitTable(os.Stdout, events); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if dropped > 0 {
 		fmt.Printf("(%d events dropped past the in-memory retention cap; the JSONL stream is complete)\n", dropped)
 	}
-	if err := finishExplain(); err != nil {
-		fatal(err)
-	}
-	if err := finishObs(); err != nil {
-		fatal(err)
-	}
+	return nil
 }
 
 // openRecorder opens the -explain-out recorder for the main command. The
@@ -224,28 +222,31 @@ func openRecorder(path, method string) (*explain.Recorder, func() error, error) 
 }
 
 // loadInputs reads the circuit, pattern and datalog files shared by both
-// commands, exiting with a message on error.
-func loadInputs(circ, pfile, dfile string) (*netlist.Circuit, []sim.Pattern, *tester.Datalog) {
-	c, _ := cio.MustLoad("mddiag", circ, false)
+// commands.
+func loadInputs(circ, pfile, dfile string) (*netlist.Circuit, []sim.Pattern, *tester.Datalog, error) {
+	c, _, err := cio.LoadCircuit(circ, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	pf, err := os.Open(pfile)
 	if err != nil {
-		fatal(err)
+		return nil, nil, nil, err
 	}
 	pats, err := tester.ReadPatterns(pf)
 	pf.Close()
 	if err != nil {
-		fatal(err)
+		return nil, nil, nil, err
 	}
 	df, err := os.Open(dfile)
 	if err != nil {
-		fatal(err)
+		return nil, nil, nil, err
 	}
 	log, err := tester.ReadDatalog(df)
 	df.Close()
 	if err != nil {
-		fatal(err)
+		return nil, nil, nil, err
 	}
-	return c, pats, log
+	return c, pats, log, nil
 }
 
 func fatal(err error) {

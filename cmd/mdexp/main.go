@@ -41,48 +41,59 @@ func main() {
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
-	tr, finishObs, err := obsFlags.Setup("mdexp")
-	if err != nil {
+	if err := run(obsFlags, *quick, *seeds, *only, *jobs, *progress, *qualityOut, *stallAfter); err != nil {
 		fatal(err)
 	}
+}
+
+// run is the command body. It returns instead of exiting so the deferred
+// cleanups always execute: a failed experiment must still flush and close
+// the -trace-out / -explain-out gzip sinks (a gzip stream abandoned
+// without its trailer is unreadable) and write whatever quality records
+// the campaigns already produced.
+func run(obsFlags obs.Flags, quick bool, seeds int, only string, jobs, progress int, qualityOut string, stallAfter time.Duration) (err error) {
+	tr, finishObs, err := obsFlags.Setup("mdexp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := finishObs(); err == nil {
+			err = e
+		}
+	}()
 	// The recorder stays nil without a sink: retaining a whole campaign's
 	// candidate events in memory with nothing reading them helps nobody.
 	var rec *explain.Recorder
-	finishExplain := func() error { return nil }
 	if obsFlags.ExplainOut != "" {
+		var finishExplain func() error
 		rec, finishExplain, err = explain.Open(obsFlags.ExplainOut, "mdexp")
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		defer func() {
+			if e := finishExplain(); err == nil {
+				err = e
+			}
+		}()
 	}
-	o := exp.Options{Quick: *quick, Seeds: *seeds, Workers: *jobs, Emitter: tr.Emitter(), Explain: rec}
-	if *progress > 0 {
-		o.Progress = exp.NewProgress(os.Stderr, time.Duration(*progress)*time.Second)
+	o := exp.Options{Quick: quick, Seeds: seeds, Workers: jobs, Emitter: tr.Emitter(), Explain: rec}
+	if progress > 0 {
+		o.Progress = exp.NewProgress(os.Stderr, time.Duration(progress)*time.Second)
 	}
-	if *qualityOut != "" {
+	if qualityOut != "" {
 		o.Quality = &qrec.Collector{}
 	}
-	o.Watchdog = exp.NewWatchdog(os.Stderr, *stallAfter)
-	finish := func() {
+	o.Watchdog = exp.NewWatchdog(os.Stderr, stallAfter)
+	defer func() {
 		o.Progress.Stop()
 		o.Watchdog.Stop()
-		if err := writeQuality(*qualityOut, o.Quality); err != nil {
-			fatal(err)
+		if e := writeQuality(qualityOut, o.Quality); err == nil {
+			err = e
 		}
-		if err := finishExplain(); err != nil {
-			fatal(err)
-		}
-		if err := finishObs(); err != nil {
-			fatal(err)
-		}
-	}
+	}()
 
-	if *only == "" {
-		if err := exp.All(os.Stdout, o); err != nil {
-			fatal(err)
-		}
-		finish()
-		return
+	if only == "" {
+		return exp.All(os.Stdout, o)
 	}
 	fns := map[string]func(*exp.Options) error{
 		"T1": func(o *exp.Options) error { return exp.T1Characteristics(os.Stdout, *o) },
@@ -99,14 +110,11 @@ func main() {
 		"F3": func(o *exp.Options) error { return exp.F3Runtime(os.Stdout, *o) },
 		"F4": func(o *exp.Options) error { return exp.F4DefectTypes(os.Stdout, *o) },
 	}
-	fn, ok := fns[*only]
+	fn, ok := fns[only]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *only))
+		return fmt.Errorf("unknown experiment %q", only)
 	}
-	if err := fn(&o); err != nil {
-		fatal(err)
-	}
-	finish()
+	return fn(&o)
 }
 
 // writeQuality serializes the collected quality records ("-" = stdout).

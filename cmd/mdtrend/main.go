@@ -8,6 +8,7 @@
 //	mdtrend compare QUALITY_baseline.json current.json
 //	mdtrend compare QUALITY_baseline.json - < current.json
 //	mdtrend compare base.json cur.json -acc-drop 0.02 -res-pct 25 -ms-pct 75 -fail
+//	mdtrend compare-serve SERVE_baseline.json serve-current.json [-shed-inc frac] [-ms-pct pct] [-fail]
 //
 // compare prints a per-record delta table. A site-accuracy,
 // region-accuracy or success-rate drop beyond -acc-drop is an error — a
@@ -18,6 +19,11 @@
 // -fail upgrades warnings to a non-zero exit. Records present on only one
 // side are reported but never fatal, so a baseline refresh and a new
 // campaign can land in the same change.
+//
+// compare-serve does the same for mdserve's service records
+// (-service-record-out): a shed-rate increase beyond -shed-inc or any
+// handler panic is an error; a p95 service-latency increase beyond
+// -ms-pct warns.
 package main
 
 import (
@@ -30,14 +36,22 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 || os.Args[1] != "compare" {
+	if len(os.Args) < 2 {
 		usage()
 	}
-	compareMain(os.Args[2:])
+	switch os.Args[1] {
+	case "compare":
+		compareMain(os.Args[2:])
+	case "compare-serve":
+		compareServeMain(os.Args[2:])
+	default:
+		usage()
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mdtrend compare <baseline.json> <current.json|-> [-acc-drop frac] [-res-pct pct] [-ms-pct pct] [-fail]")
+	fmt.Fprintln(os.Stderr, "       mdtrend compare-serve <baseline.json> <current.json|-> [-shed-inc frac] [-ms-pct pct] [-fail]")
 	os.Exit(2)
 }
 
@@ -53,19 +67,7 @@ func compareMain(args []string) {
 	resPct := fs.Float64("res-pct", th.ResPct, "resolution (candidate count) increase percentage that warns")
 	msPct := fs.Float64("ms-pct", th.LatencyPct, "ms/diagnosis increase percentage that warns")
 	failOnWarn := fs.Bool("fail", false, "exit non-zero on warnings too")
-	// Positional args may precede flags (compare a.json b.json -fail), the
-	// benchdiff convention; a bare "-" is the stdin path, not a flag.
-	var paths []string
-	rest := args
-	for len(rest) > 0 && (rest[0] == "-" || !strings.HasPrefix(rest[0], "-")) {
-		paths = append(paths, rest[0])
-		rest = rest[1:]
-	}
-	fs.Parse(rest)
-	paths = append(paths, fs.Args()...)
-	if len(paths) != 2 {
-		usage()
-	}
+	paths := parsePaths(fs, args)
 	base, err := qrec.LoadFile(paths[0])
 	if err != nil {
 		fatal(err)
@@ -77,6 +79,54 @@ func compareMain(args []string) {
 
 	findings := qrec.Compare(os.Stdout, base, cur,
 		qrec.Thresholds{AccDrop: *accDrop, ResPct: *resPct, LatencyPct: *msPct})
+	report(findings, len(cur.Records), *failOnWarn)
+}
+
+// compareServeMain gates mdserve service records: shed rate and panics
+// hard, service latency soft.
+func compareServeMain(args []string) {
+	th := qrec.DefaultServiceThresholds()
+	fs := flag.NewFlagSet("mdtrend compare-serve", flag.ExitOnError)
+	shedInc := fs.Float64("shed-inc", th.ShedInc, "absolute shed-rate increase that is an error (exits non-zero)")
+	msPct := fs.Float64("ms-pct", th.LatencyPct, "service p95 latency increase percentage that warns")
+	failOnWarn := fs.Bool("fail", false, "exit non-zero on warnings too")
+	paths := parsePaths(fs, args)
+	base, err := qrec.LoadServiceFile(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := qrec.LoadServiceFile(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := qrec.CompareService(os.Stdout, base, cur,
+		qrec.ServiceThresholds{ShedInc: *shedInc, LatencyPct: *msPct})
+	report(findings, len(cur.Records), *failOnWarn)
+}
+
+// parsePaths implements the shared argument convention: positional args
+// may precede flags (compare a.json b.json -fail), the benchdiff
+// convention; a bare "-" is the stdin path, not a flag. Exactly two
+// paths are required.
+func parsePaths(fs *flag.FlagSet, args []string) []string {
+	var paths []string
+	rest := args
+	for len(rest) > 0 && (rest[0] == "-" || !strings.HasPrefix(rest[0], "-")) {
+		paths = append(paths, rest[0])
+		rest = rest[1:]
+	}
+	fs.Parse(rest)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		usage()
+	}
+	return paths
+}
+
+// report annotates every finding and exits non-zero on errors (or on
+// warnings under -fail).
+func report(findings []qrec.Finding, records int, failOnWarn bool) {
 	errors, warnings := 0, 0
 	for _, f := range findings {
 		annotate(f.Level, f.Message)
@@ -87,9 +137,9 @@ func compareMain(args []string) {
 		}
 	}
 	if errors == 0 && warnings == 0 {
-		fmt.Printf("mdtrend: %d records within thresholds\n", len(cur.Records))
+		fmt.Printf("mdtrend: %d records within thresholds\n", records)
 	}
-	if errors > 0 || (warnings > 0 && *failOnWarn) {
+	if errors > 0 || (warnings > 0 && failOnWarn) {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/fsim"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// batchDevices injects one defect set per device and returns the datalogs.
+func batchDevices(t *testing.T, c *netlist.Circuit, pats []sim.Pattern, devDefects [][]defect.Defect) []*tester.Datalog {
+	t.Helper()
+	logs := make([]*tester.Datalog, len(devDefects))
+	for i, ds := range devDefects {
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i], err = tester.ApplyTest(c, dev, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return logs
+}
+
+// TestDiagnoseBatchMatchesSolo is the coalescing correctness pin: a batch
+// of devices — overlapping defects (shared seeds), disjoint defects, and
+// a passing device — must produce reports bit-identical to diagnosing
+// each device alone.
+func TestDiagnoseBatchMatchesSolo(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	devDefects := [][]defect.Defect{
+		{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}},
+		{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false},
+			{Kind: defect.StuckNet, Net: c.NetByName("G10"), Value1: true}},
+		{}, // passing device
+		{{Kind: defect.StuckNet, Net: c.NetByName("G23"), Value1: true}},
+	}
+	logs := batchDevices(t, c, pats, devDefects)
+
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Workers: workers}
+		results, errs, err := DiagnoseBatch(context.Background(), c, pats, logs, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, log := range logs {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d device %d: %v", workers, i, errs[i])
+			}
+			solo, err := Diagnose(c, pats, log, Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := renderResult(c, results[i]), renderResult(c, solo)
+			if got != want {
+				t.Errorf("workers=%d device %d: batch report diverges from solo\nbatch:\n%s\nsolo:\n%s",
+					workers, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDiagnoseBatchSharedCache: batch diagnosis must accept and reuse a
+// workload cone cache, and still match solo reports.
+func TestDiagnoseBatchSharedCache(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	devDefects := [][]defect.Defect{
+		{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}},
+		{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}},
+	}
+	logs := batchDevices(t, c, pats, devDefects)
+	cc := fsim.NewConeCache(0)
+	results, errs, err := DiagnoseBatch(context.Background(), c, pats, logs, Config{ConeCache: cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Diagnose(c, pats, logs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range logs {
+		if errs[i] != nil {
+			t.Fatalf("device %d: %v", i, errs[i])
+		}
+		if got, want := renderResult(c, results[i]), renderResult(c, solo); got != want {
+			t.Errorf("device %d cached batch diverges from solo\nbatch:\n%s\nsolo:\n%s", i, got, want)
+		}
+	}
+}
+
+// TestDiagnoseBatchPositionalErrors: a malformed datalog fails its own
+// slot without poisoning the rest of the batch.
+func TestDiagnoseBatchPositionalErrors(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	logs := batchDevices(t, c, pats, [][]defect.Defect{
+		{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}},
+	})
+	bad := &tester.Datalog{NumPatterns: 3, NumPOs: len(c.POs)}
+	results, errs, err := DiagnoseBatch(context.Background(), c, pats,
+		[]*tester.Datalog{bad, logs[0]}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] == nil || results[0] != nil {
+		t.Errorf("malformed device: want positional error, got res=%v err=%v", results[0], errs[0])
+	}
+	if errs[1] != nil || results[1] == nil {
+		t.Errorf("good device: want result, got res=%v err=%v", results[1], errs[1])
+	}
+	if results[1] != nil && len(results[1].Multiplet) == 0 {
+		t.Error("good device diagnosed to an empty multiplet")
+	}
+}
+
+// TestDiagnoseCtxCanceled: a pre-canceled context aborts before any work
+// and surfaces as a wrapped ErrCanceled.
+func TestDiagnoseCtxCanceled(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	logs := batchDevices(t, c, pats, [][]defect.Defect{
+		{{Kind: defect.StuckNet, Net: c.NetByName("G16"), Value1: false}},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DiagnoseCtx(ctx, c, pats, logs[0], Config{}); !errors.Is(err, ErrCanceled) {
+		t.Errorf("DiagnoseCtx: want ErrCanceled, got %v", err)
+	}
+	if _, _, err := DiagnoseBatch(ctx, c, pats, logs, Config{}); !errors.Is(err, ErrCanceled) {
+		t.Errorf("DiagnoseBatch: want ErrCanceled, got %v", err)
+	}
+}
+
+// TestDiagnoseCtxUncanceledMatchesDiagnose: with a live context the ctx
+// variant is the same engine.
+func TestDiagnoseCtxUncanceledMatchesDiagnose(t *testing.T) {
+	c := circuits.C17()
+	pats := exhaustivePatterns(5)
+	logs := batchDevices(t, c, pats, [][]defect.Defect{
+		{{Kind: defect.StuckNet, Net: c.NetByName("G10"), Value1: true}},
+	})
+	a, err := DiagnoseCtx(context.Background(), c, pats, logs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Diagnose(c, pats, logs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderResult(c, a), renderResult(c, b); got != want {
+		t.Errorf("ctx variant diverges:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -29,6 +29,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -227,12 +229,37 @@ func (r *Result) MultipletNets() [][]netlist.NetID {
 	return out
 }
 
+// ErrCanceled is returned (wrapped, so errors.Is applies) when a
+// diagnosis is abandoned because its context was canceled or its deadline
+// passed. The engine checks the context between phases and between
+// scoring chunks, so a long-running diagnosis stops within one cone-pass
+// granule of the cancellation.
+var ErrCanceled = errors.New("diagnosis canceled")
+
+// checkpoint returns a wrapped ErrCanceled once ctx is done, nil
+// otherwise. phase names where the engine stopped, for operators reading
+// request logs.
+func checkpoint(ctx context.Context, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w in %s: %v", ErrCanceled, phase, err)
+	}
+	return nil
+}
+
 // Diagnose locates candidate defect sites explaining the datalog.
 //
 // Inputs: the (fault-free) circuit design, the applied test patterns, and
 // the tester datalog. The engine never sees the defective netlist — only
 // its observable behaviour.
 func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg Config) (*Result, error) {
+	return DiagnoseCtx(context.Background(), c, pats, log, cfg)
+}
+
+// DiagnoseCtx is Diagnose under a context: cancellation (or a deadline)
+// is observed between phases and between candidate-scoring chunks, and
+// surfaces as a wrapped ErrCanceled. The result is bit-identical to
+// Diagnose when the context never fires.
+func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg Config) (*Result, error) {
 	cfg.fill()
 	tr := cfg.Trace
 	if tr == nil {
@@ -287,16 +314,24 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 	if cfg.ConeCache != nil && !fs.AttachCache(cfg.ConeCache) {
 		reg.Counter("fsim.cone_cache_rejected").Inc()
 	}
+	if err := checkpoint(ctx, "goodsim"); err != nil {
+		return nil, err
+	}
 
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
 	sp = root.Child("extract")
-	seeds, err := extractCandidates(c, fs, pats, log, cfg.ApproxCPT, reg, rec)
+	cpt := fsim.NewCPT(c)
+	cpt.Observe(reg)
+	seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.CandidatesExtracted = len(seeds)
 	reg.Counter("core.candidates_extracted").Add(int64(len(seeds)))
+	if err := checkpoint(ctx, "extract"); err != nil {
+		return nil, err
+	}
 
 	// Step 2: score every candidate by full fault simulation. The
 	// simulations are independent, so the seed list shards across the
@@ -308,27 +343,51 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 	workers := fsim.Workers(cfg.Workers)
 	reg.Gauge("fsim.workers").Set(int64(workers))
 	psp := sp.Child("fsim.parallel")
-	syns := fs.SimulateStuckAtBatch(seeds, workers)
+	syns := fs.SimulateStuckAtBatchCtx(ctx, seeds, workers)
 	psp.End()
+	if err := checkpoint(ctx, "score"); err != nil {
+		sp.End()
+		return nil, err
+	}
 	cands := scoreCandidates(c, syns, seeds, log, evIndex, len(res.Evidence), cfg, rec)
 	sp.End()
 	reg.Counter("core.candidates_scored").Add(int64(len(cands)))
 	reg.Counter("core.candidates_pruned").Add(int64(len(seeds) - len(cands)))
 
+	// Steps 3–5 plus ranking (shared with DiagnoseBatch).
+	if err := finishDiagnosis(ctx, root, c, fs, log, evIndex, cands, res, cfg, reg, rec); err != nil {
+		return nil, err
+	}
+	root.EndInto(&res.Elapsed)
+	return res, nil
+}
+
+// finishDiagnosis runs the post-scoring pipeline — greedy per-output
+// covering, fault-model refinement, the X-masking consistency check and
+// the final ranking — filling res in place. It is shared by DiagnoseCtx
+// and DiagnoseBatch so coalesced diagnoses cannot drift from the
+// single-device engine.
+func finishDiagnosis(ctx context.Context, root obs.Span, c *netlist.Circuit, fs *fsim.FaultSim, log *tester.Datalog, evIndex map[EvidenceBit]int, cands []*Candidate, res *Result, cfg Config, reg *obs.Registry, rec *explain.Recorder) error {
 	// Step 3: greedy per-output covering.
-	sp = root.Child("cover")
+	sp := root.Child("cover")
 	multiplet, uncovered := cover(c, cands, len(res.Evidence), cfg, rec)
 	sp.End()
 	res.Multiplet = multiplet
 	res.UnexplainedBits = uncovered.Count()
 	reg.Histogram("core.multiplet_size").Observe(int64(len(multiplet)))
 	reg.Counter("core.unexplained_bits").Add(int64(res.UnexplainedBits))
+	if err := checkpoint(ctx, "cover"); err != nil {
+		return err
+	}
 
 	// Step 4: fault-model refinement (bridge aggressor search).
 	if !cfg.DisableBridgeSearch {
 		sp = root.Child("refine")
 		refineModels(c, fs, multiplet, log, evIndex, cfg, reg, rec)
 		sp.End()
+		if err := checkpoint(ctx, "refine"); err != nil {
+			return err
+		}
 	} else if rec.Enabled() {
 		for _, cd := range multiplet {
 			rec.Refine(cd.Fault.String(), cd.Name(c), stuckModelFit(cd), explain.VerdictSkipped)
@@ -385,8 +444,7 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 		return !rest[i].Fault.Value1
 	})
 	res.Ranked = append(append([]*Candidate{}, multiplet...), rest...)
-	root.EndInto(&res.Elapsed)
-	return res, nil
+	return nil
 }
 
 // extractCandidates back-traces every observed failing output with CPT and
@@ -396,9 +454,7 @@ func Diagnose(c *netlist.Circuit, pats []sim.Pattern, log *tester.Datalog, cfg C
 // failing bits whose back-cone yielded it — per (pattern, PO) on the exact
 // path, per pattern (PO −1) on the approximate path, which only reports
 // the per-pattern union.
-func extractCandidates(c *netlist.Circuit, fs *fsim.FaultSim, pats []sim.Pattern, log *tester.Datalog, approx bool, reg *obs.Registry, rec *explain.Recorder) ([]fault.StuckAt, error) {
-	cpt := fsim.NewCPT(c)
-	cpt.Observe(reg)
+func extractCandidates(c *netlist.Circuit, cpt *fsim.CPT, pats []sim.Pattern, log *tester.Datalog, approx bool, rec *explain.Recorder) ([]fault.StuckAt, error) {
 	seen := make(map[fault.StuckAt]bool)
 	var out []fault.StuckAt
 	var sources map[fault.StuckAt][]explain.Bit

@@ -541,8 +541,8 @@ func T5Ablation(w io.Writer, o Options) error {
 		// Sequential device loop: the whole worker budget goes to the
 		// fault-parallel pool, with a per-variant cone cache.
 		ss := newSharedSim(vtr, fsim.Workers(o.Workers), 1)
-		cfg.Workers = ss.workers
-		cfg.ConeCache = ss.cache
+		cfg.Workers = ss.Workers
+		cfg.ConeCache = ss.Cache
 		o.Progress.StartCampaign("T5/"+v.label, len(devs))
 		var site, region metrics.Aggregate
 		var elapsed time.Duration

@@ -10,6 +10,7 @@
 package fsim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,16 @@ func (fs *FaultSim) Fork() *FaultSim {
 // lock-free; the index-addressed merge makes the result bit-identical to
 // calling SimulateStuckAt sequentially.
 func (fs *FaultSim) SimulateStuckAtBatch(faults []fault.StuckAt, workers int) []*Syndrome {
+	return fs.SimulateStuckAtBatchCtx(context.Background(), faults, workers)
+}
+
+// SimulateStuckAtBatchCtx is SimulateStuckAtBatch with a cancellation
+// checkpoint between faults: once ctx is done no further fault starts
+// simulating (in-flight fault simulations finish — a single cone pass is
+// the checkpoint granularity). On cancellation the returned slice is
+// partial (unsimulated entries are nil); callers observe ctx.Err() to
+// distinguish that from a complete run.
+func (fs *FaultSim) SimulateStuckAtBatchCtx(ctx context.Context, faults []fault.StuckAt, workers int) []*Syndrome {
 	out := make([]*Syndrome, len(faults))
 	workers = Workers(workers)
 	if workers > len(faults) {
@@ -66,6 +77,9 @@ func (fs *FaultSim) SimulateStuckAtBatch(faults []fault.StuckAt, workers int) []
 	}
 	if workers <= 1 {
 		for i, f := range faults {
+			if ctx.Err() != nil {
+				return out
+			}
 			out[i] = fs.SimulateStuckAt(f)
 		}
 		return out
@@ -81,6 +95,9 @@ func (fs *FaultSim) SimulateStuckAtBatch(faults []fault.StuckAt, workers int) []
 		go func(sim *FaultSim) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(faults) {
 					return

@@ -1,0 +1,141 @@
+package qrec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleService(label string) ServiceRecord {
+	return ServiceRecord{
+		Label:        label,
+		Workloads:    []string{"b0300", "c17"},
+		Requests:     120,
+		Batches:      40,
+		MeanBatch:    3.0,
+		ShedRate:     0.01,
+		Shed:         1,
+		QueueP95MS:   0.42,
+		ServiceP50MS: 1.5,
+		ServiceP95MS: 4.2,
+		ServiceP99MS: 6.8,
+		ServiceMaxMS: 9.1,
+	}
+}
+
+func TestServiceRoundTrip(t *testing.T) {
+	f := &ServiceFile{Schema: ServiceSchema}
+	f.AddService(sampleService("smoke"))
+	f.AddService(sampleService("burst"))
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := WriteService(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadServiceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ServiceSchema || len(got.Records) != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	// Records survive normalize+encode+decode intact.
+	want := sampleService("smoke").normalize()
+	var loaded ServiceRecord
+	for _, r := range got.Records {
+		if r.Label == "smoke" {
+			loaded = r
+		}
+	}
+	if !reflect.DeepEqual(loaded, want) {
+		t.Errorf("round trip changed the record:\ngot:  %+v\nwant: %+v", loaded, want)
+	}
+}
+
+func TestServiceEncodeDeterministic(t *testing.T) {
+	a := &ServiceFile{Schema: ServiceSchema}
+	a.AddService(sampleService("zeta"))
+	a.AddService(sampleService("alpha"))
+	b := &ServiceFile{Schema: ServiceSchema}
+	b.AddService(sampleService("alpha"))
+	b.AddService(sampleService("zeta"))
+	var ba, bb bytes.Buffer
+	if err := a.Encode(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("encoding depends on insertion order")
+	}
+}
+
+func TestLoadServiceRejectsWrongShape(t *testing.T) {
+	if _, err := LoadService(strings.NewReader(`{"some":"json"}`)); err == nil {
+		t.Error("accepted a non-service file")
+	}
+	if _, err := LoadService(strings.NewReader(`not json`)); err == nil {
+		t.Error("accepted garbage")
+	}
+}
+
+func TestCompareServiceGates(t *testing.T) {
+	base := &ServiceFile{Schema: ServiceSchema}
+	base.AddService(sampleService("smoke"))
+
+	t.Run("clean", func(t *testing.T) {
+		cur := &ServiceFile{Schema: ServiceSchema}
+		cur.AddService(sampleService("smoke"))
+		if fs := CompareService(os.Stderr, base, cur, DefaultServiceThresholds()); len(fs) != 0 {
+			t.Errorf("identical runs produced findings: %+v", fs)
+		}
+	})
+	t.Run("shed-rate-error", func(t *testing.T) {
+		r := sampleService("smoke")
+		r.ShedRate = 0.2
+		cur := &ServiceFile{Schema: ServiceSchema}
+		cur.AddService(r)
+		fs := CompareService(os.Stderr, base, cur, DefaultServiceThresholds())
+		if findings(fs, "error") != 1 {
+			t.Errorf("shed-rate jump not an error: %+v", fs)
+		}
+	})
+	t.Run("panic-error", func(t *testing.T) {
+		r := sampleService("smoke")
+		r.Panics = 1
+		cur := &ServiceFile{Schema: ServiceSchema}
+		cur.AddService(r)
+		fs := CompareService(os.Stderr, base, cur, DefaultServiceThresholds())
+		if findings(fs, "error") != 1 {
+			t.Errorf("panic not an error: %+v", fs)
+		}
+	})
+	t.Run("latency-warning", func(t *testing.T) {
+		r := sampleService("smoke")
+		r.ServiceP95MS = 20 // ~376% over 4.2ms baseline
+		cur := &ServiceFile{Schema: ServiceSchema}
+		cur.AddService(r)
+		fs := CompareService(os.Stderr, base, cur, DefaultServiceThresholds())
+		if findings(fs, "error") != 0 || findings(fs, "warning") != 1 {
+			t.Errorf("latency slowdown should warn only: %+v", fs)
+		}
+	})
+	t.Run("one-sided-never-fatal", func(t *testing.T) {
+		cur := &ServiceFile{Schema: ServiceSchema}
+		cur.AddService(sampleService("other"))
+		if fs := CompareService(os.Stderr, base, cur, DefaultServiceThresholds()); len(fs) != 0 {
+			t.Errorf("one-sided records should report, not gate: %+v", fs)
+		}
+	})
+	t.Run("schema-mismatch", func(t *testing.T) {
+		cur := &ServiceFile{Schema: ServiceSchema + 1}
+		cur.AddService(sampleService("smoke"))
+		fs := CompareService(os.Stderr, base, cur, DefaultServiceThresholds())
+		if len(fs) != 1 || fs[0].Level != "error" {
+			t.Errorf("schema mismatch: %+v", fs)
+		}
+	})
+}

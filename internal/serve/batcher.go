@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"multidiag/internal/core"
+	"multidiag/internal/explain"
+	"multidiag/internal/tester"
+)
+
+// request is one admitted diagnosis riding the workload queue.
+type request struct {
+	ctx      context.Context
+	log      *tester.Datalog
+	top      int
+	explain  bool
+	bytes    int64
+	enqueued time.Time
+	// done receives exactly one response; buffered so the executor never
+	// blocks on a handler that already timed out and left.
+	done chan response
+}
+
+type response struct {
+	report *Report
+	status int
+	err    error
+}
+
+// batcher is the per-workload service loop: adaptive micro-batching in
+// the group-commit style. It blocks for the first request, then drains
+// whatever else is already queued; only if that found company does it
+// linger (up to MaxWait) for stragglers. An isolated request therefore
+// pays zero added latency, while a burst coalesces into one
+// core.DiagnoseBatch scoring pass. Explained requests run solo — the
+// flight recorder narrates exactly one diagnosis — and are set aside
+// during batch assembly.
+func (s *Server) batcher(w *workload) {
+	defer s.batchers.Done()
+	for {
+		first, ok := <-w.queue
+		if !ok {
+			return
+		}
+		w.queued.Add(-1)
+		batch := []*request{}
+		var solo []*request
+		add := func(r *request) {
+			if r.explain {
+				solo = append(solo, r)
+			} else {
+				batch = append(batch, r)
+			}
+		}
+		add(first)
+
+		// Greedy drain: everything already queued, up to MaxBatch.
+		closed := false
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-w.queue:
+				if !ok {
+					closed = true
+					break drain
+				}
+				w.queued.Add(-1)
+				add(r)
+			default:
+				break drain
+			}
+		}
+		// Linger only under load: the greedy drain found company, so more
+		// arrivals are likely worth one batch.
+		if !closed && len(batch) > 1 {
+			timer := time.NewTimer(s.cfg.MaxWait)
+		linger:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r, ok := <-w.queue:
+					if !ok {
+						break linger
+					}
+					w.queued.Add(-1)
+					add(r)
+				case <-timer.C:
+					break linger
+				}
+			}
+			timer.Stop()
+		}
+
+		if len(batch) > 0 {
+			s.execute(w, batch)
+		}
+		for _, r := range solo {
+			s.execute(w, []*request{r})
+		}
+	}
+}
+
+// execute runs one scoring pass over the batch, panic-isolated: a panic
+// in the engine answers this batch's requests with 500 and leaves the
+// batcher alive for the next one.
+func (s *Server) execute(w *workload, batch []*request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.reg.Counter("serve.panics").Inc()
+			err := fmt.Errorf("diagnosis panicked: %v\n%s", p, debug.Stack())
+			for _, r := range batch {
+				r.done <- response{status: http.StatusInternalServerError, err: err}
+			}
+		}
+	}()
+
+	// Requests whose deadline already passed are answered without
+	// spending engine time on them.
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			s.reg.Counter("serve.expired").Inc()
+			r.done <- response{status: http.StatusGatewayTimeout, err: fmt.Errorf("deadline exceeded before execution: %v", r.ctx.Err())}
+			continue
+		}
+		s.reg.Histogram("serve.queue_wait_us").Observe(time.Since(r.enqueued).Microseconds())
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if s.testHookExecute != nil {
+		s.testHookExecute(len(live))
+	}
+	s.reg.Counter("serve.batches").Inc()
+	s.reg.Histogram("serve.batch_size").Observe(int64(len(live)))
+
+	cfg := core.Config{
+		Workers:   s.cfg.Workers,
+		ConeCache: w.shared.Cache,
+		Trace:     s.tr,
+	}
+	start := time.Now()
+	if len(live) == 1 {
+		s.executeOne(w, live[0], cfg)
+	} else {
+		s.executeBatch(w, live, cfg)
+	}
+	s.reg.Histogram("serve.service_us").ObserveN(time.Since(start).Microseconds(), int64(len(live)))
+}
+
+// executeOne serves a solo request, optionally with the flight recorder
+// attached for an inline narrative.
+func (s *Server) executeOne(w *workload, r *request, cfg core.Config) {
+	var rec *explain.Recorder
+	if r.explain {
+		rec = explain.New("serve/" + w.name)
+		cfg.Explain = rec
+	}
+	res, err := core.DiagnoseCtx(r.ctx, w.c, w.pats, r.log, cfg)
+	if err != nil {
+		r.done <- response{status: engineStatus(err), err: err}
+		return
+	}
+	rep := s.buildResponse(w, r, res, 1)
+	if rec != nil {
+		var b strings.Builder
+		events, _ := rec.Events()
+		if err := explain.RenderNarrative(&b, events, 10); err == nil {
+			rep.Explain = b.String()
+		}
+	}
+	r.done <- response{report: rep, status: http.StatusOK}
+}
+
+// executeBatch coalesces the batch into one core.DiagnoseBatch pass under
+// a context that stays live while any member still wants its answer.
+func (s *Server) executeBatch(w *workload, batch []*request, cfg core.Config) {
+	logs := make([]*tester.Datalog, len(batch))
+	for i, r := range batch {
+		logs[i] = r.log
+	}
+	ctx, cancel := mergedContext(batch)
+	defer cancel()
+	results, errs, err := core.DiagnoseBatch(ctx, w.c, w.pats, logs, cfg)
+	for i, r := range batch {
+		switch {
+		case err != nil && results[i] == nil && errs[i] == nil:
+			// Whole-batch failure (cancellation) before this member's turn.
+			r.done <- response{status: engineStatus(err), err: err}
+		case errs[i] != nil:
+			r.done <- response{status: engineStatus(errs[i]), err: errs[i]}
+		case results[i] != nil:
+			r.done <- response{report: s.buildResponse(w, r, results[i], len(batch)), status: http.StatusOK}
+		default:
+			r.done <- response{status: http.StatusInternalServerError, err: fmt.Errorf("no result for batch member %d", i)}
+		}
+	}
+}
+
+func (s *Server) buildResponse(w *workload, r *request, res *core.Result, batchSize int) *Report {
+	rep := BuildReport(w.name, w.c, r.log, res, r.top)
+	rep.QueueWaitMS = float64(time.Since(r.enqueued).Microseconds())/1000 - rep.ElapsedMS
+	if rep.QueueWaitMS < 0 {
+		rep.QueueWaitMS = 0
+	}
+	rep.BatchSize = batchSize
+	return rep
+}
+
+// engineStatus maps engine errors to HTTP statuses: cancellation is the
+// caller's deadline (504), anything else is a bad device description
+// that slipped past validation (422).
+func engineStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	if isCanceled(err) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func isCanceled(err error) bool {
+	return errors.Is(err, core.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// mergedContext derives a context canceled once every member context is
+// done (or when the returned cancel runs): a straggler canceling its
+// request must not kill the scoring pass the rest of the batch is
+// waiting on, but a fully abandoned batch should stop simulating.
+func mergedContext(batch []*request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var remaining atomic.Int64
+	remaining.Store(int64(len(batch)))
+	stops := make([]func() bool, 0, len(batch))
+	for _, r := range batch {
+		stops = append(stops, context.AfterFunc(r.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multidiag/internal/fsim"
+	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
+	"multidiag/internal/sim"
+)
+
+// Config tunes the service spine. The zero value selects serving
+// defaults; cmd/mdserve exposes every field as a flag.
+type Config struct {
+	// MaxInflight caps admitted-but-unfinished requests across all
+	// workloads; past it new requests shed (429). Default 64.
+	MaxInflight int
+	// MaxInflightBytes caps the summed body bytes of admitted requests —
+	// the memory backpressure valve for huge datalogs. Default 64 MiB.
+	MaxInflightBytes int64
+	// QueueDepth caps each workload's admission queue. Default 32.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one scoring pass coalesces.
+	// Default 8.
+	MaxBatch int
+	// MaxWait bounds how long an opened batch lingers for stragglers. The
+	// batcher only lingers under load (something else was already queued);
+	// an isolated request executes immediately. Default 2ms.
+	MaxWait time.Duration
+	// RequestTimeout is the per-request deadline; a request's timeout_ms
+	// may lower it, never raise it. Default 30s.
+	RequestTimeout time.Duration
+	// Workers bounds each scoring pass's fault-parallel pool (0 =
+	// GOMAXPROCS).
+	Workers int
+	// Trace supplies spans and the metrics registry (nil: obs.Global()).
+	Trace *obs.Trace
+}
+
+func (cfg *Config) fill() {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxInflightBytes <= 0 {
+		cfg.MaxInflightBytes = 64 << 20
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+}
+
+// WorkloadSpec registers one circuit with its test set at startup.
+type WorkloadSpec struct {
+	Name     string
+	Circuit  *netlist.Circuit
+	Patterns []sim.Pattern
+}
+
+// workload is one registered (circuit, test set) with its serving state:
+// the admission queue its batcher goroutine drains and the shared
+// simulation context (warm cone cache + fault-worker share) every scoring
+// pass reuses.
+type workload struct {
+	name   string
+	c      *netlist.Circuit
+	pats   []sim.Pattern
+	shared fsim.Shared
+	queue  chan *request
+	queued atomic.Int64
+}
+
+// Server is the diagnosis service. Create with New, mount via Handler,
+// stop with Drain.
+type Server struct {
+	cfg       Config
+	tr        *obs.Trace
+	reg       *obs.Registry
+	mux       *http.ServeMux
+	workloads map[string]*workload
+	names     []string
+
+	draining      atomic.Bool
+	admitMu       sync.RWMutex // excludes admission during queue close
+	inflight      atomic.Int64
+	inflightBytes atomic.Int64
+	batchers      sync.WaitGroup
+
+	// testHookExecute, when set by tests, runs at the start of every
+	// scoring pass (after the batch is assembled, before the engine).
+	testHookExecute func(batch int)
+}
+
+// New builds a server, registering and validating every workload. Each
+// workload gets a bounded queue and one batcher goroutine; a construction
+// error (e.g. a pattern set that does not fit its circuit) fails startup
+// rather than the first request.
+func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
+	cfg.fill()
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.Global()
+	}
+	s := &Server{
+		cfg:       cfg,
+		tr:        tr,
+		reg:       tr.Registry(),
+		mux:       http.NewServeMux(),
+		workloads: make(map[string]*workload),
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: no workloads registered")
+	}
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Circuit == nil || len(spec.Patterns) == 0 {
+			return nil, fmt.Errorf("serve: workload %q: name, circuit and patterns are required", spec.Name)
+		}
+		if _, dup := s.workloads[spec.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate workload %q", spec.Name)
+		}
+		// Validate the pair and warm the shape-bound cone cache now: the
+		// first request should pay scoring cost, not startup cost.
+		fs, err := fsim.NewFaultSim(spec.Circuit, spec.Patterns)
+		if err != nil {
+			return nil, fmt.Errorf("serve: workload %q: %w", spec.Name, err)
+		}
+		shared := fsim.NewShared(s.reg, cfg.Workers, 1)
+		if !fs.AttachCache(shared.Cache) {
+			return nil, fmt.Errorf("serve: workload %q: cone cache rejected workload shape", spec.Name)
+		}
+		w := &workload{
+			name:   spec.Name,
+			c:      spec.Circuit,
+			pats:   spec.Patterns,
+			shared: shared,
+			queue:  make(chan *request, cfg.QueueDepth),
+		}
+		s.workloads[spec.Name] = w
+		s.batchers.Add(1)
+		go s.batcher(w)
+	}
+	s.names = sortedNames(s.workloads)
+	s.reg.Gauge("serve.workloads").Set(int64(len(s.workloads)))
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	s.mux.HandleFunc("POST /v1/diagnose/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the server: admission closes (readyz and new
+// requests get 503), queued and in-flight requests finish, the batcher
+// goroutines exit. It returns ctx.Err() if the context expires first —
+// in-flight work keeps its own deadlines either way.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // already draining
+	}
+	// Exclude admitters while the queues close: admission holds the read
+	// lock across its draining-check + enqueue, so after Lock() no sender
+	// can race the close.
+	s.admitMu.Lock()
+	for _, w := range s.workloads {
+		close(w.queue)
+	}
+	s.admitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.batchers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit runs the load-shedding checks and enqueues the request onto its
+// workload. It returns an HTTP status: 0 on success, 429 when a limit
+// sheds the request, 503 while draining.
+func (s *Server) admit(w *workload, req *request) int {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return http.StatusServiceUnavailable
+	}
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.shed("inflight")
+		return http.StatusTooManyRequests
+	}
+	if s.inflightBytes.Add(req.bytes) > s.cfg.MaxInflightBytes {
+		s.inflightBytes.Add(-req.bytes)
+		s.inflight.Add(-1)
+		s.shed("bytes")
+		return http.StatusTooManyRequests
+	}
+	select {
+	case w.queue <- req:
+		w.queued.Add(1)
+		s.reg.Gauge("serve.inflight").Set(s.inflight.Load())
+		s.reg.Counter("serve.requests").Inc()
+		return 0
+	default:
+		s.inflightBytes.Add(-req.bytes)
+		s.inflight.Add(-1)
+		s.shed("queue")
+		return http.StatusTooManyRequests
+	}
+}
+
+// release returns a request's admission budget.
+func (s *Server) release(req *request) {
+	s.inflightBytes.Add(-req.bytes)
+	s.reg.Gauge("serve.inflight").Set(s.inflight.Add(-1))
+}
+
+func (s *Server) shed(kind string) {
+	s.reg.Counter("serve.shed").Inc()
+	s.reg.Counter("serve.shed_" + kind).Inc()
+}
+
+// requestContext derives the per-request deadline: the server default,
+// lowered (never raised) by the request's timeout_ms.
+func (s *Server) requestContext(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(rw, r.Body, maxRequestBytes)
+	var dr DiagnoseRequest
+	if err := json.NewDecoder(body).Decode(&dr); err != nil {
+		httpError(rw, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if r.URL.Query().Get("explain") == "1" {
+		dr.Explain = true
+	}
+	w, ok := s.workloads[dr.Workload]
+	if !ok {
+		httpError(rw, http.StatusNotFound, fmt.Sprintf("unknown workload %q (see /v1/workloads)", dr.Workload))
+		return
+	}
+	log, err := buildDatalog(w.c, len(w.pats), dr.Datalog, dr.Response)
+	if err != nil {
+		httpError(rw, http.StatusBadRequest, err.Error())
+		return
+	}
+	top := 10
+	if dr.Top != nil {
+		top = *dr.Top
+	}
+	ctx, cancel := s.requestContext(r.Context(), dr.TimeoutMS)
+	defer cancel()
+	req := &request{
+		ctx:      ctx,
+		log:      log,
+		top:      top,
+		explain:  dr.Explain,
+		bytes:    r.ContentLength,
+		enqueued: time.Now(),
+		done:     make(chan response, 1),
+	}
+	if req.bytes < 0 {
+		req.bytes = 0
+	}
+	if status := s.admit(w, req); status != 0 {
+		shedResponse(rw, status)
+		return
+	}
+	defer s.release(req)
+	select {
+	case resp := <-req.done:
+		if resp.err != nil {
+			s.reg.Counter("serve.errors").Inc()
+			httpError(rw, resp.status, resp.err.Error())
+			return
+		}
+		writeJSON(rw, http.StatusOK, resp.report)
+	case <-ctx.Done():
+		// The executor may still send a response; the buffered channel
+		// keeps it from blocking. The client sees the deadline.
+		s.reg.Counter("serve.timeouts").Inc()
+		httpError(rw, http.StatusGatewayTimeout, fmt.Sprintf("request deadline exceeded: %v", ctx.Err()))
+	}
+}
+
+func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(rw, r.Body, maxRequestBytes)
+	var br BatchRequest
+	if err := json.NewDecoder(body).Decode(&br); err != nil {
+		httpError(rw, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	w, ok := s.workloads[br.Workload]
+	if !ok {
+		httpError(rw, http.StatusNotFound, fmt.Sprintf("unknown workload %q (see /v1/workloads)", br.Workload))
+		return
+	}
+	if len(br.Devices) == 0 {
+		httpError(rw, http.StatusBadRequest, "batch carries no devices")
+		return
+	}
+	top := 10
+	if br.Top != nil {
+		top = *br.Top
+	}
+	ctx, cancel := s.requestContext(r.Context(), br.TimeoutMS)
+	defer cancel()
+
+	// Devices are admitted individually so shedding is partial: the
+	// results array reports a per-device 429 rather than failing the
+	// whole batch. Shared body bytes are attributed to the first device.
+	results := make([]DeviceResult, len(br.Devices))
+	reqs := make([]*request, len(br.Devices))
+	bytes := r.ContentLength
+	if bytes < 0 {
+		bytes = 0
+	}
+	for i, dev := range br.Devices {
+		log, err := buildDatalog(w.c, len(w.pats), dev.Datalog, dev.Response)
+		if err != nil {
+			results[i] = DeviceResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("device %d: %v", i, err)}
+			continue
+		}
+		req := &request{
+			ctx:      ctx,
+			log:      log,
+			top:      top,
+			bytes:    bytes,
+			enqueued: time.Now(),
+			done:     make(chan response, 1),
+		}
+		bytes = 0
+		if status := s.admit(w, req); status != 0 {
+			results[i] = DeviceResult{Status: status, Error: http.StatusText(status)}
+			continue
+		}
+		reqs[i] = req
+	}
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		select {
+		case resp := <-req.done:
+			if resp.err != nil {
+				s.reg.Counter("serve.errors").Inc()
+				results[i] = DeviceResult{Status: resp.status, Error: resp.err.Error()}
+			} else {
+				results[i] = DeviceResult{Status: http.StatusOK, Report: resp.report}
+			}
+		case <-ctx.Done():
+			s.reg.Counter("serve.timeouts").Inc()
+			results[i] = DeviceResult{Status: http.StatusGatewayTimeout, Error: ctx.Err().Error()}
+		}
+		s.release(req)
+	}
+	writeJSON(rw, http.StatusOK, &BatchReply{Results: results})
+}
+
+func (s *Server) handleWorkloads(rw http.ResponseWriter, r *http.Request) {
+	infos := make([]WorkloadInfo, 0, len(s.names))
+	for _, name := range s.names {
+		w := s.workloads[name]
+		infos = append(infos, WorkloadInfo{
+			Name:       name,
+			Gates:      w.c.NumGates(),
+			PIs:        len(w.c.PIs),
+			POs:        len(w.c.POs),
+			Patterns:   len(w.pats),
+			QueueDepth: int(w.queued.Load()),
+		})
+	}
+	writeJSON(rw, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(rw, "ok")
+}
+
+func (s *Server) handleReadyz(rw http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(rw, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(rw, "ready")
+}
+
+func (s *Server) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := obs.WritePrometheus(rw, s.reg); err != nil {
+		s.reg.Counter("serve.errors").Inc()
+	}
+}
+
+// maxRequestBytes bounds one request body; a datalog for the largest
+// built-in workload is well under this.
+const maxRequestBytes = 32 << 20
+
+func httpError(rw http.ResponseWriter, status int, msg string) {
+	writeJSON(rw, status, map[string]string{"error": msg})
+}
+
+func shedResponse(rw http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests {
+		rw.Header().Set("Retry-After", "1")
+	}
+	httpError(rw, status, http.StatusText(status))
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v interface{}) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	enc := json.NewEncoder(rw)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}

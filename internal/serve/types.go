@@ -1,0 +1,245 @@
+// Package serve is the long-running diagnosis service: circuits and test
+// sets load once at startup into a workload registry (with a warm shared
+// cone cache per workload), and tester responses arrive as HTTP/JSON
+// requests. The service spine is a bounded admission queue per workload
+// feeding an adaptive micro-batcher that coalesces concurrent requests
+// for the same workload into one fault-parallel scoring pass
+// (core.DiagnoseBatch), which is where serving beats per-process CLI
+// throughput: the simulator, CPT and cone cache warmth amortize across
+// requests instead of being rebuilt per invocation.
+//
+// Reports are bit-identical to mddiag for the same (circuit, patterns,
+// response) — batching never changes a diagnosis, only when it runs —
+// and the golden test pins that.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multidiag/internal/bitset"
+	"multidiag/internal/core"
+	"multidiag/internal/netlist"
+	"multidiag/internal/tester"
+)
+
+// DiagnoseRequest is the POST /v1/diagnose body: one device's observed
+// failing behaviour against a registered workload. Exactly one of
+// Datalog (the tester text serialization) or Response (structured JSON)
+// carries the behaviour.
+type DiagnoseRequest struct {
+	Workload string `json:"workload"`
+	// Datalog is a tester-format datalog (the same text mddiag -d reads).
+	Datalog string `json:"datalog,omitempty"`
+	// Response is the structured alternative to Datalog.
+	Response *DeviceResponse `json:"response,omitempty"`
+	// Top bounds the ranked-candidate tail of the report (default 10).
+	Top *int `json:"top,omitempty"`
+	// TimeoutMS overrides the server's per-request deadline when lower.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Explain attaches the flight-recorder narrative to the report. An
+	// explained request runs solo (never coalesced): the recorder
+	// instruments one diagnosis.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// DeviceResponse lists the failing (pattern, outputs) observations.
+type DeviceResponse struct {
+	Fails []PatternFails `json:"fails"`
+}
+
+// PatternFails is one failing pattern and its failing primary outputs
+// (indices into the circuit's PO list).
+type PatternFails struct {
+	Pattern int   `json:"pattern"`
+	POs     []int `json:"pos"`
+}
+
+// BatchRequest is the POST /v1/diagnose/batch body: several devices of
+// one workload. Devices are admitted individually, so one oversized batch
+// can be partially shed; per-device outcomes are positional.
+type BatchRequest struct {
+	Workload  string          `json:"workload"`
+	Devices   []DeviceRequest `json:"devices"`
+	Top       *int            `json:"top,omitempty"`
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+}
+
+// DeviceRequest is one device inside a BatchRequest.
+type DeviceRequest struct {
+	Datalog  string          `json:"datalog,omitempty"`
+	Response *DeviceResponse `json:"response,omitempty"`
+}
+
+// BatchReply is the batch response: one entry per requested device.
+type BatchReply struct {
+	Results []DeviceResult `json:"results"`
+}
+
+// DeviceResult is one device's outcome: an HTTP-style status plus either
+// the report or the error text.
+type DeviceResult struct {
+	Status int     `json:"status"`
+	Report *Report `json:"report,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Report is the wire form of a diagnosis result. Everything except the
+// timing fields (ElapsedMS, QueueWaitMS, BatchSize) is a deterministic
+// function of (circuit, patterns, response) — the golden tests zero the
+// timing fields and require the rest to match a direct core.Diagnose.
+type Report struct {
+	Workload             string            `json:"workload"`
+	FailingPatterns      int               `json:"failing_patterns"`
+	EvidenceBits         int               `json:"evidence_bits"`
+	CandidatesExtracted  int               `json:"candidates_extracted"`
+	UnexplainedBits      int               `json:"unexplained_bits"`
+	Consistent           bool              `json:"consistent"`
+	InconsistentPatterns []int             `json:"inconsistent_patterns,omitempty"`
+	Multiplet            []CandidateReport `json:"multiplet"`
+	Ranked               []CandidateReport `json:"ranked,omitempty"`
+	ElapsedMS            float64           `json:"elapsed_ms"`
+	QueueWaitMS          float64           `json:"queue_wait_ms"`
+	BatchSize            int               `json:"batch_size"`
+	Explain              string            `json:"explain,omitempty"`
+}
+
+// CandidateReport is one suspect in wire form.
+type CandidateReport struct {
+	// Name is the representative site, e.g. "G16 sa0".
+	Name string `json:"name"`
+	TFSF int    `json:"tfsf"`
+	TPSF int    `json:"tpsf"`
+	// Covers lists the evidence-bit indices this candidate predicts.
+	Covers     []int         `json:"covers,omitempty"`
+	Equivalent []string      `json:"equivalent,omitempty"`
+	Models     []ModelReport `json:"models,omitempty"`
+}
+
+// ModelReport is one fault-model assignment in wire form.
+type ModelReport struct {
+	Kind           string `json:"kind"`
+	Aggressor      string `json:"aggressor,omitempty"`
+	Mispredictions int    `json:"mispredictions"`
+}
+
+// BuildReport converts a core result into its wire form. It is exported
+// so the golden tests can build the expected report from a direct
+// core.Diagnose and require byte equality with the served one.
+func BuildReport(workload string, c *netlist.Circuit, log *tester.Datalog, res *core.Result, top int) *Report {
+	rep := &Report{
+		Workload:             workload,
+		FailingPatterns:      len(log.FailingPatterns()),
+		EvidenceBits:         len(res.Evidence),
+		CandidatesExtracted:  res.CandidatesExtracted,
+		UnexplainedBits:      res.UnexplainedBits,
+		Consistent:           res.Consistent,
+		InconsistentPatterns: res.InconsistentPatterns,
+		Multiplet:            make([]CandidateReport, 0, len(res.Multiplet)),
+		ElapsedMS:            float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	for _, cd := range res.Multiplet {
+		rep.Multiplet = append(rep.Multiplet, buildCandidate(c, cd))
+	}
+	for i, cd := range res.Ranked {
+		if i >= top {
+			break
+		}
+		rep.Ranked = append(rep.Ranked, buildCandidate(c, cd))
+	}
+	return rep
+}
+
+func buildCandidate(c *netlist.Circuit, cd *core.Candidate) CandidateReport {
+	cr := CandidateReport{
+		Name:   cd.Name(c),
+		TFSF:   cd.TFSF,
+		TPSF:   cd.TPSF,
+		Covers: cd.Covered.Members(),
+	}
+	for _, e := range cd.Equivalent {
+		cr.Equivalent = append(cr.Equivalent, e.Name(c))
+	}
+	for _, m := range cd.Models {
+		mr := ModelReport{Kind: m.Kind.String(), Mispredictions: m.Mispredictions}
+		if m.Kind == core.BridgeModel {
+			mr.Aggressor = c.NameOf(m.Aggressor)
+		}
+		cr.Models = append(cr.Models, mr)
+	}
+	return cr
+}
+
+// buildDatalog materializes a request's device behaviour as a tester
+// datalog shaped for the workload, validating bounds so a malformed
+// request fails the admission check (400) instead of the engine.
+func buildDatalog(c *netlist.Circuit, numPatterns int, text string, resp *DeviceResponse) (*tester.Datalog, error) {
+	switch {
+	case text != "" && resp != nil:
+		return nil, fmt.Errorf("request carries both datalog text and structured response")
+	case text != "":
+		log, err := tester.ReadDatalog(strings.NewReader(text))
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		if log.NumPatterns != numPatterns {
+			return nil, fmt.Errorf("datalog has %d patterns, workload has %d", log.NumPatterns, numPatterns)
+		}
+		if log.NumPOs != len(c.POs) {
+			return nil, fmt.Errorf("datalog has %d POs, workload has %d", log.NumPOs, len(c.POs))
+		}
+		return log, nil
+	case resp != nil:
+		log := &tester.Datalog{
+			CircuitName: c.Name,
+			NumPatterns: numPatterns,
+			NumPOs:      len(c.POs),
+			Fails:       make(map[int]bitset.Set),
+		}
+		for _, pf := range resp.Fails {
+			if pf.Pattern < 0 || pf.Pattern >= numPatterns {
+				return nil, fmt.Errorf("failing pattern %d out of range [0,%d)", pf.Pattern, numPatterns)
+			}
+			set, ok := log.Fails[pf.Pattern]
+			if !ok {
+				set = bitset.New(len(c.POs))
+				log.Fails[pf.Pattern] = set
+			}
+			for _, po := range pf.POs {
+				if po < 0 || po >= len(c.POs) {
+					return nil, fmt.Errorf("pattern %d: failing PO %d out of range [0,%d)", pf.Pattern, po, len(c.POs))
+				}
+				set.Add(po)
+			}
+		}
+		for p, set := range log.Fails {
+			if set.Empty() {
+				delete(log.Fails, p)
+			}
+		}
+		return log, nil
+	default:
+		return nil, fmt.Errorf("request carries neither datalog text nor structured response")
+	}
+}
+
+// WorkloadInfo is one GET /v1/workloads entry.
+type WorkloadInfo struct {
+	Name     string `json:"name"`
+	Gates    int    `json:"gates"`
+	PIs      int    `json:"pis"`
+	POs      int    `json:"pos"`
+	Patterns int    `json:"patterns"`
+	// QueueDepth is the current number of queued requests.
+	QueueDepth int `json:"queue_depth"`
+}
+
+func sortedNames(m map[string]*workload) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

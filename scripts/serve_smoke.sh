@@ -1,0 +1,91 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end proof that mdserve boots, serves, exposes
+# metrics, and drains cleanly on SIGTERM. Run via `make serve-smoke`.
+#
+# The script starts mdserve on an ephemeral port with the c17 and add16
+# workloads, fires a burst of diagnose requests (including one batch and
+# one explained request), checks /metrics for the serve metric family,
+# then SIGTERMs the daemon and requires a clean exit with a service
+# record written. Requires curl.
+set -eu
+
+if ! command -v curl >/dev/null 2>&1; then
+    echo "serve_smoke: curl not installed, skipping" >&2
+    exit 0
+fi
+
+BIN=${BIN:-bin/mdserve}
+WORK=$(mktemp -d)
+LOG="$WORK/mdserve.log"
+REC="$WORK/serve_record.json"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$BIN" -addr 127.0.0.1:0 -workload c17 -workload add16 \
+    -max-batch 4 -queue-depth 16 -service-record-out "$REC" \
+    >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the listen line (it carries the bound port).
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^mdserve: listening on //p' "$LOG")
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "serve_smoke: mdserve died at startup:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve_smoke: no listen line after 5s:"; cat "$LOG"; exit 1; }
+URL="http://$ADDR"
+
+fail() { echo "serve_smoke: $1" >&2; cat "$LOG" >&2; exit 1; }
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "$URL/healthz")
+[ "$code" = 200 ] || fail "healthz returned $code"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$URL/readyz")
+[ "$code" = 200 ] || fail "readyz returned $code"
+
+# A deterministic c17 single-fail response: pattern 7 failing PO 0.
+REQ='{"workload":"c17","response":{"fails":[{"pattern":7,"pos":[0]}]}}'
+BATCH='{"workload":"c17","devices":[{"response":{"fails":[{"pattern":7,"pos":[0]}]}},{"response":{"fails":[]}}]}'
+
+# Burst of concurrent requests; every one must come back 200. Wait on
+# the curl PIDs explicitly — a bare `wait` would also wait on mdserve.
+CURLS=""
+for i in 1 2 3 4 5 6 7 8; do
+    curl -s -o "$WORK/resp_$i" -w '%{http_code}\n' \
+        -X POST -d "$REQ" "$URL/v1/diagnose" >"$WORK/code_$i" &
+    CURLS="$CURLS $!"
+done
+for p in $CURLS; do wait "$p"; done
+for i in 1 2 3 4 5 6 7 8; do
+    code=$(cat "$WORK/code_$i")
+    [ "$code" = 200 ] || fail "diagnose request $i returned $code: $(cat "$WORK/resp_$i")"
+    grep -q '"multiplet"' "$WORK/resp_$i" || fail "request $i returned no multiplet"
+done
+
+code=$(curl -s -o "$WORK/batch" -w '%{http_code}' -X POST -d "$BATCH" "$URL/v1/diagnose/batch")
+[ "$code" = 200 ] || fail "batch returned $code: $(cat "$WORK/batch")"
+code=$(curl -s -o "$WORK/explain" -w '%{http_code}' -X POST -d "$REQ" "$URL/v1/diagnose?explain=1")
+[ "$code" = 200 ] || fail "explain returned $code"
+grep -q '"explain"' "$WORK/explain" || fail "explain=1 returned no narrative"
+
+curl -s "$URL/v1/workloads" | grep -q '"c17"' || fail "workloads missing c17"
+curl -s "$URL/metrics" >"$WORK/metrics"
+for m in multidiag_serve_requests multidiag_serve_batches multidiag_serve_service_us_count; do
+    grep -q "^$m" "$WORK/metrics" || fail "/metrics missing $m"
+done
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "mdserve did not exit within 10s of SIGTERM"
+    sleep 0.1
+done
+wait "$PID" && rc=0 || rc=$?
+[ "$rc" = 0 ] || fail "mdserve exited $rc after SIGTERM"
+grep -q "mdserve: drained" "$LOG" || fail "no drain confirmation in log"
+[ -s "$REC" ] || fail "service record not written"
+grep -q '"requests": 11' "$REC" || fail "service record miscounted requests: $(cat "$REC")"
+
+echo "serve_smoke: OK ($(sed -n 's/.*"service_p95_ms": //p' "$REC" | tr -d ',') ms p95)"
