@@ -13,10 +13,11 @@ test:
 
 # race covers the packages with real concurrency: the obs registry, the
 # campaign worker pool, the fault-parallel engine, the sharded cone
-# cache (the fsim stress test is the cache's -race proof) and the
-# diagnosis service (admission, batcher, concurrent clients).
+# cache (the fsim stress test is the cache's -race proof), the span-tree
+# tracer (workers and capture snapshots share one tree) and the
+# diagnosis service (admission, batcher, concurrent traced clients).
 race:
-	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/serve
+	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/trace ./internal/serve
 
 vet:
 	$(GO) vet ./...

@@ -20,6 +20,7 @@
 //
 //	-v                per-phase timing, counter and histogram-quantile summary footer
 //	-trace-out f      JSONL span/run records of the diagnosis (.gz compresses)
+//	-span-out f       mdtrace/v1 span tree of the diagnosis (.gz compresses)
 //	-explain-out f    JSONL candidate flight-recorder events (.gz compresses)
 //	-cpuprofile f     pprof CPU profile
 //	-memprofile f     pprof heap profile at exit
@@ -27,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +43,7 @@ import (
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
+	"multidiag/internal/trace"
 )
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 		method  = flag.String("method", "ours", "diagnosis engine: ours|slat|intersect")
 		top     = flag.Int("top", 10, "also list the top-N ranked candidates (ours)")
 		jobs    = flag.Int("j", 0, "fault-parallel workers for candidate scoring (0 = GOMAXPROCS, 1 = sequential; ours)")
+		spanOut = flag.String("span-out", "", "write the diagnosis's span tree as mdtrace JSONL to `file` (.gz compresses; ours)")
 		verbose = flag.Bool("v", false, "print a per-phase timing and counter summary footer")
 	)
 	var obsFlags obs.Flags
@@ -66,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mddiag: -c, -p and -d are required")
 		os.Exit(2)
 	}
-	if err := run(obsFlags, *circ, *pfile, *dfile, *method, *top, *jobs, *verbose); err != nil {
+	if err := run(obsFlags, *circ, *pfile, *dfile, *method, *spanOut, *top, *jobs, *verbose); err != nil {
 		fatal(err)
 	}
 }
@@ -76,7 +80,7 @@ func main() {
 // and close the -trace-out / -explain-out gzip sinks, otherwise a partial
 // .gz stream is left without its trailer and the whole file is
 // unreadable.
-func run(obsFlags obs.Flags, circ, pfile, dfile, method string, top, jobs int, verbose bool) (err error) {
+func run(obsFlags obs.Flags, circ, pfile, dfile, method, spanOut string, top, jobs int, verbose bool) (err error) {
 	tr, finishObs, err := obsFlags.Setup("mddiag")
 	if err != nil {
 		return err
@@ -102,9 +106,23 @@ func run(obsFlags obs.Flags, circ, pfile, dfile, method string, top, jobs int, v
 
 	switch method {
 	case "ours":
-		res, err := core.Diagnose(c, pats, log, core.Config{Explain: rec, Workers: jobs})
+		// -span-out runs the diagnosis under a span tree, the same
+		// instrumentation a served request gets, and writes the tree as one
+		// mdtrace/v1 JSON line for cmd/mdtrace to analyze.
+		ctx := context.Background()
+		var tree *trace.Tree
+		if spanOut != "" {
+			tree = trace.NewTree(trace.TraceID{})
+			ctx = trace.WithTree(ctx, tree)
+		}
+		res, err := core.DiagnoseCtx(ctx, c, pats, log, core.Config{Explain: rec, Workers: jobs})
 		if err != nil {
 			return err
+		}
+		if tree != nil {
+			if err := writeSpanTree(spanOut, tree); err != nil {
+				return err
+			}
 		}
 		if err := core.WriteReport(os.Stdout, c, res, len(log.FailingPatterns()), top); err != nil {
 			return err
@@ -137,6 +155,20 @@ func run(obsFlags obs.Flags, circ, pfile, dfile, method string, top, jobs int, v
 		printSummary(tr)
 	}
 	return nil
+}
+
+// writeSpanTree serializes the finished tree to path as mdtrace JSONL.
+func writeSpanTree(path string, tree *trace.Tree) (err error) {
+	sink, err := obs.CreateSink(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return tree.Record().WriteJSONL(sink)
 }
 
 // explainMain is the explain subcommand: replay the diagnosis with the

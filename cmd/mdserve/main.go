@@ -20,9 +20,12 @@
 //	GET  /readyz             readiness (503 once draining)
 //	GET  /metrics            Prometheus text format (admission, batching,
 //	                         latency, cone-cache and core-engine metrics)
+//	GET  /debug/trace        tail-captured request span trees as NDJSON
+//	                         (mdtrace reads this body or -trace-spans-out)
 //
 // Service knobs: -max-inflight, -queue-depth, -max-batch, -max-wait,
-// -request-timeout, -j (see README "Serving"). On SIGTERM/SIGINT the
+// -request-timeout, -j, -trace-sample, -trace-capture, -trace-spans-out
+// (see README "Serving"). On SIGTERM/SIGINT the
 // server drains gracefully: admission stops (429/503), queued and
 // in-flight requests finish (bounded by -drain-timeout), observability
 // sinks flush, and -service-record-out captures the run's serving
@@ -73,6 +76,9 @@ func main() {
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		recordOut      = flag.String("service-record-out", "", "write a qrec service record (for mdtrend compare-serve) to `file` on shutdown")
 		recordLabel    = flag.String("service-record-label", "serve", "label for the service record")
+		traceSample    = flag.Float64("trace-sample", 0.1, "tail-sampler retention probability for routine request traces (shed/504/panic/slow always kept); negative disables request tracing")
+		traceCapacity  = flag.Int("trace-capture", 64, "capacity of EACH /debug/trace retention ring (flagged + sampled)")
+		traceOut       = flag.String("trace-spans-out", "", "append every retained span tree as JSONL to `file` (.gz compresses; mdtrace reads it)")
 		verbose        = flag.Bool("v", false, "log request counters on shutdown")
 	)
 	flag.Var(&workloads, "workload", "workload to register: a built-in name (c17, add16, b0300, …) or name=circuit.bench:patterns.txt; repeatable")
@@ -91,7 +97,9 @@ func main() {
 		MaxWait:          *maxWait,
 		RequestTimeout:   *requestTimeout,
 		Workers:          *jobs,
-	}, *drainTimeout, *recordOut, *recordLabel, *verbose); err != nil {
+		TraceSample:      *traceSample,
+		TraceCapacity:    *traceCapacity,
+	}, *traceOut, *drainTimeout, *recordOut, *recordLabel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mdserve:", err)
 		os.Exit(1)
 	}
@@ -100,7 +108,7 @@ func main() {
 // run is the daemon body. It returns instead of exiting so the deferred
 // obs sink close always executes — the trace .gz must get its trailer
 // even when startup or serving fails.
-func run(obsFlags obs.Flags, workloads []string, addr string, cfg serve.Config, drainTimeout time.Duration, recordOut, recordLabel string, verbose bool) (err error) {
+func run(obsFlags obs.Flags, workloads []string, addr string, cfg serve.Config, traceOut string, drainTimeout time.Duration, recordOut, recordLabel string, verbose bool) (err error) {
 	tr, finishObs, err := obsFlags.Setup("mdserve")
 	if err != nil {
 		return err
@@ -111,6 +119,20 @@ func run(obsFlags obs.Flags, workloads []string, addr string, cfg serve.Config, 
 		}
 	}()
 	cfg.Trace = tr
+
+	if traceOut != "" {
+		sink, serr := obs.CreateSink(traceOut)
+		if serr != nil {
+			return serr
+		}
+		// Closed after drain so the .gz trailer lands even on error exits.
+		defer func() {
+			if cerr := sink.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		cfg.TraceSink = sink
+	}
 
 	specs := make([]serve.WorkloadSpec, 0, len(workloads))
 	for _, w := range workloads {

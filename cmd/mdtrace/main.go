@@ -1,0 +1,348 @@
+// mdtrace analyzes captured request span trees — the mdtrace/v1 JSONL
+// that mdserve writes to -trace-spans-out and serves at /debug/trace,
+// and that mddiag -span-out emits for a CLI diagnosis — and renders
+// critical-path and phase-attribution reports: where requests actually
+// spend their time, layer by layer, from HTTP ingress through the core
+// engine's phases down to the fault-parallel workers and their
+// cone-cache probes.
+//
+// Usage:
+//
+//	mdtrace traces.jsonl.gz
+//	curl -s localhost:8080/debug/trace | mdtrace
+//	mdtrace -flag timeout -slowest 3 traces.jsonl
+//
+// The report has three parts:
+//
+//   - Phase attribution: per span name, how much total and SELF time
+//     (duration minus child durations) the fleet of traces spent there,
+//     as a share of total root time. Self time is where an optimization
+//     actually lands.
+//   - Worker utilization: for every fault-parallel scoring pass, the
+//     share of (wall × workers) the workers were busy — the idle
+//     remainder is coordination loss or load imbalance — plus the share
+//     of worker busy time attributable to cone-cache misses.
+//   - Critical path: for the slowest trace(s), the chain of largest
+//     children from the root down, each step with its duration and share
+//     of the root.
+//
+// Flags: -flag f keeps only traces carrying tail flag f (shed, timeout,
+// panic, slow, sampled); -slowest N renders N critical paths (default 1);
+// "-" or no file reads stdin; .gz inputs decompress transparently.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"multidiag/internal/trace"
+)
+
+func main() {
+	var (
+		flagFilter = flag.String("flag", "", "keep only traces carrying this tail flag (shed, timeout, panic, slow, sampled)")
+		slowest    = flag.Int("slowest", 1, "render the critical path of the N slowest traces")
+		pathDepth  = flag.Int("path-depth", 12, "max critical-path depth")
+	)
+	flag.Parse()
+	recs, err := loadTrees(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *flagFilter != "" {
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.HasFlag(*flagFilter) {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no traces to analyze"))
+	}
+	render(os.Stdout, recs, *slowest, *pathDepth)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdtrace:", err)
+	os.Exit(1)
+}
+
+// loadTrees reads every input (stdin for "-" or no args), decompressing
+// .gz transparently.
+func loadTrees(paths []string) ([]*trace.TreeRecord, error) {
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	var out []*trace.TreeRecord
+	for _, p := range paths {
+		recs, err := loadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+func loadFile(path string) ([]*trace.TreeRecord, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+		if strings.HasSuffix(path, ".gz") {
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			defer zr.Close()
+			r = zr
+		}
+	}
+	recs, err := trace.ReadTrees(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// tree indexes one record for traversal.
+type tree struct {
+	rec      *trace.TreeRecord
+	root     *trace.SpanRecord
+	children map[string][]*trace.SpanRecord
+	rootDur  int64
+}
+
+func index(rec *trace.TreeRecord) *tree {
+	t := &tree{rec: rec, root: rec.Root(), children: make(map[string][]*trace.SpanRecord)}
+	for i := range rec.Spans {
+		sp := &rec.Spans[i]
+		t.children[sp.ParentID] = append(t.children[sp.ParentID], sp)
+	}
+	if t.root != nil {
+		t.rootDur = t.root.DurNS
+	}
+	return t
+}
+
+// selfNS is a span's self time: its duration minus its children's,
+// clipped at zero (parallel children can sum past the parent's wall).
+func (t *tree) selfNS(sp *trace.SpanRecord) int64 {
+	self := sp.DurNS
+	for _, c := range t.children[sp.SpanID] {
+		self -= c.DurNS
+	}
+	if self < 0 {
+		return 0
+	}
+	return self
+}
+
+// phaseStat aggregates one span name across every trace.
+type phaseStat struct {
+	name    string
+	count   int
+	totalNS int64
+	selfNS  int64
+}
+
+// workerStats summarizes the fault-parallel scoring passes.
+type workerStats struct {
+	passes      int
+	workers     int
+	wallNS      int64 // Σ fsim.parallel durations × their worker counts
+	busyNS      int64 // Σ fsim.worker durations
+	hits        int64
+	misses      int64
+	missBusyNS  int64 // worker busy time attributed to cache misses
+	probedBusy  int64 // busy time of workers that reported probe counts
+	probedCount int
+}
+
+func attrInt(attrs map[string]any, key string) (int64, bool) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64: // JSON numbers decode as float64
+		return int64(n), true
+	case int64:
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// analyze walks every tree once, filling the phase table and worker
+// statistics.
+func analyze(trees []*tree) (phases []*phaseStat, ws workerStats, totalRootNS int64) {
+	byName := make(map[string]*phaseStat)
+	for _, t := range trees {
+		totalRootNS += t.rootDur
+		for i := range t.rec.Spans {
+			sp := &t.rec.Spans[i]
+			ps := byName[sp.Name]
+			if ps == nil {
+				ps = &phaseStat{name: sp.Name}
+				byName[sp.Name] = ps
+			}
+			ps.count++
+			ps.totalNS += sp.DurNS
+			ps.selfNS += t.selfNS(sp)
+
+			if sp.Name == "fsim.parallel" {
+				workers := t.children[sp.SpanID]
+				n := 0
+				for _, w := range workers {
+					if w.Name != "fsim.worker" {
+						continue
+					}
+					n++
+					ws.busyNS += w.DurNS
+					h, okH := attrInt(w.Attrs, "cache_hits")
+					m, okM := attrInt(w.Attrs, "cache_misses")
+					if okH || okM {
+						ws.hits += h
+						ws.misses += m
+						ws.probedBusy += w.DurNS
+						ws.probedCount++
+						if h+m > 0 {
+							ws.missBusyNS += w.DurNS * m / (h + m)
+						}
+					}
+				}
+				if n > 0 {
+					ws.passes++
+					ws.workers += n
+					ws.wallNS += sp.DurNS * int64(n)
+				}
+			}
+		}
+	}
+	phases = make([]*phaseStat, 0, len(byName))
+	for _, ps := range byName {
+		phases = append(phases, ps)
+	}
+	sort.Slice(phases, func(i, j int) bool {
+		if phases[i].selfNS != phases[j].selfNS {
+			return phases[i].selfNS > phases[j].selfNS
+		}
+		return phases[i].name < phases[j].name
+	})
+	return phases, ws, totalRootNS
+}
+
+// criticalPath descends from the root into the largest child at each
+// level, up to depth steps.
+func (t *tree) criticalPath(depth int) []*trace.SpanRecord {
+	var path []*trace.SpanRecord
+	sp := t.root
+	for sp != nil && len(path) < depth {
+		path = append(path, sp)
+		var next *trace.SpanRecord
+		for _, c := range t.children[sp.SpanID] {
+			if next == nil || c.DurNS > next.DurNS {
+				next = c
+			}
+		}
+		sp = next
+	}
+	return path
+}
+
+func dur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// render writes the full report.
+func render(w io.Writer, recs []*trace.TreeRecord, slowest, pathDepth int) {
+	trees := make([]*tree, 0, len(recs))
+	flagCounts := make(map[string]int)
+	spans := 0
+	for _, rec := range recs {
+		trees = append(trees, index(rec))
+		spans += len(rec.Spans)
+		for _, f := range rec.Flags {
+			flagCounts[f]++
+		}
+	}
+	fmt.Fprintf(w, "mdtrace: %d traces, %d spans", len(trees), spans)
+	if len(flagCounts) > 0 {
+		names := make([]string, 0, len(flagCounts))
+		for f := range flagCounts {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, f := range names {
+			parts = append(parts, fmt.Sprintf("%s×%d", f, flagCounts[f]))
+		}
+		fmt.Fprintf(w, " (flags: %s)", strings.Join(parts, " "))
+	}
+	fmt.Fprintln(w)
+
+	phases, ws, totalRootNS := analyze(trees)
+
+	fmt.Fprintf(w, "\nphase attribution (self = time not in children; %% of %s total root time)\n", dur(totalRootNS))
+	fmt.Fprintf(w, "  %-28s %6s %14s %14s %8s\n", "phase", "count", "total", "self", "self%")
+	for _, ps := range phases {
+		fmt.Fprintf(w, "  %-28s %6d %14s %14s %7.1f%%\n",
+			ps.name, ps.count, dur(ps.totalNS), dur(ps.selfNS), pct(ps.selfNS, totalRootNS))
+	}
+
+	if ws.passes > 0 {
+		util := pct(ws.busyNS, ws.wallNS)
+		fmt.Fprintf(w, "\nworker utilization: %.1f%% busy across %d scoring passes (%d worker spans); idle/contention share %.1f%%\n",
+			util, ws.passes, ws.workers, 100-util)
+		if probes := ws.hits + ws.misses; probes > 0 {
+			fmt.Fprintf(w, "cone cache: %d probes, %.2f%% miss; ~%s of worker time miss-attributed (%.1f%% of probed busy time)\n",
+				probes, pct(ws.misses, probes), dur(ws.missBusyNS), pct(ws.missBusyNS, ws.probedBusy))
+		}
+	}
+
+	// Slowest traces by root duration.
+	order := make([]*tree, len(trees))
+	copy(order, trees)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].rootDur > order[j].rootDur })
+	if slowest > len(order) {
+		slowest = len(order)
+	}
+	for i := 0; i < slowest; i++ {
+		t := order[i]
+		if t.root == nil {
+			continue
+		}
+		flags := ""
+		if len(t.rec.Flags) > 0 {
+			flags = " flags: " + strings.Join(t.rec.Flags, ",")
+		}
+		fmt.Fprintf(w, "\ncritical path — trace %s (%s%s)\n", t.rec.TraceID, dur(t.rootDur), flags)
+		for d, sp := range t.criticalPath(pathDepth) {
+			mark := ""
+			if sp.Unfinished {
+				mark = " (unfinished)"
+			}
+			fmt.Fprintf(w, "  %s%s %s (%.1f%%)%s\n",
+				strings.Repeat("  ", d), sp.Name, dur(sp.DurNS), pct(sp.DurNS, t.rootDur), mark)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multidiag/internal/trace"
+)
+
+// fixtureRecord builds a deterministic two-level tree: a 100ms request
+// with an 80ms execute holding a 60ms scoring pass of two workers (40ms
+// and 20ms busy, with cone-cache probe counts).
+func fixtureRecord() *trace.TreeRecord {
+	ms := func(n int64) int64 { return n * 1e6 }
+	return &trace.TreeRecord{
+		Schema:  trace.Schema,
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		Flags:   []string{"timeout"},
+		Spans: []trace.SpanRecord{
+			{SpanID: "aaaaaaaaaaaaaaaa", Name: "serve.request", StartNS: 0, DurNS: ms(100)},
+			{SpanID: "bbbbbbbbbbbbbbbb", ParentID: "aaaaaaaaaaaaaaaa", Name: "serve.queue", StartNS: ms(1), DurNS: ms(10)},
+			{SpanID: "cccccccccccccccc", ParentID: "aaaaaaaaaaaaaaaa", Name: "serve.execute", StartNS: ms(11), DurNS: ms(80)},
+			{SpanID: "dddddddddddddddd", ParentID: "cccccccccccccccc", Name: "fsim.parallel", StartNS: ms(12), DurNS: ms(60)},
+			{SpanID: "eeeeeeeeeeeeeeee", ParentID: "dddddddddddddddd", Name: "fsim.worker", StartNS: ms(12), DurNS: ms(40),
+				Attrs: map[string]any{"cache_hits": float64(90), "cache_misses": float64(10)}},
+			{SpanID: "ffffffffffffffff", ParentID: "dddddddddddddddd", Name: "fsim.worker", StartNS: ms(12), DurNS: ms(20),
+				Attrs: map[string]any{"cache_hits": float64(50), "cache_misses": float64(50)}},
+		},
+	}
+}
+
+func TestPhaseSelfTime(t *testing.T) {
+	tr := index(fixtureRecord())
+	root := tr.root
+	if root == nil || root.Name != "serve.request" {
+		t.Fatalf("root = %+v, want serve.request", root)
+	}
+	// request self = 100 − (10 + 80) = 10ms
+	if got := tr.selfNS(root); got != 10*1e6 {
+		t.Errorf("root self = %d, want 10ms", got)
+	}
+	// parallel self = 60 − (40 + 20) = 0
+	for i := range tr.rec.Spans {
+		if tr.rec.Spans[i].Name == "fsim.parallel" {
+			if got := tr.selfNS(&tr.rec.Spans[i]); got != 0 {
+				t.Errorf("fsim.parallel self = %d, want 0", got)
+			}
+		}
+	}
+}
+
+func TestWorkerStats(t *testing.T) {
+	_, ws, totalRoot := analyze([]*tree{index(fixtureRecord())})
+	if totalRoot != 100*1e6 {
+		t.Errorf("total root = %d, want 100ms", totalRoot)
+	}
+	if ws.passes != 1 || ws.workers != 2 {
+		t.Fatalf("passes = %d workers = %d, want 1/2", ws.passes, ws.workers)
+	}
+	// busy 60ms of 120ms wall×workers → 50% utilization
+	if ws.busyNS != 60*1e6 || ws.wallNS != 120*1e6 {
+		t.Errorf("busy %d / wall %d, want 60ms / 120ms", ws.busyNS, ws.wallNS)
+	}
+	if ws.hits != 140 || ws.misses != 60 {
+		t.Errorf("probes %d/%d, want 140 hits / 60 misses", ws.hits, ws.misses)
+	}
+	// miss-attributed: 40ms×10/100 + 20ms×50/100 = 4 + 10 = 14ms
+	if ws.missBusyNS != 14*1e6 {
+		t.Errorf("missBusyNS = %d, want 14ms", ws.missBusyNS)
+	}
+}
+
+func TestCriticalPathDescendsLargestChild(t *testing.T) {
+	tr := index(fixtureRecord())
+	var names []string
+	for _, sp := range tr.criticalPath(10) {
+		names = append(names, sp.Name)
+	}
+	want := "serve.request serve.execute fsim.parallel fsim.worker"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("critical path = %q, want %q", got, want)
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	var b bytes.Buffer
+	render(&b, []*trace.TreeRecord{fixtureRecord()}, 1, 10)
+	out := b.String()
+	for _, want := range []string{
+		"1 traces, 6 spans",
+		"flags: timeout×1",
+		"phase attribution",
+		"serve.request",
+		"worker utilization: 50.0% busy",
+		"cone cache: 200 probes, 30.00% miss",
+		"critical path — trace 4bf92f3577b34da6a3ce929d0e0e4736",
+		"fsim.worker",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadTreesGzip: the analyzer reads its own wire format back through
+// a gzip file, matching mdserve -trace-spans-out foo.jsonl.gz.
+func TestLoadTreesGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traces.jsonl.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := fixtureRecord().WriteJSONL(zw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := loadTrees([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("loaded %d records: %+v", len(recs), recs)
+	}
+}
+
+// TestLoadTreesRejectsWrongSchema: corrupt or foreign JSONL fails loudly.
+func TestLoadTreesRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(path, []byte(`{"schema":"nope/v9","trace_id":"x","spans":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrees([]string{path}); err == nil {
+		t.Fatal("wrong schema loaded without error")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
+	"multidiag/internal/trace"
 )
 
 // DiagnoseBatch diagnoses several devices of one (circuit, test set)
@@ -51,6 +52,11 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 	}
 	root := tr.Span("diagnose_batch")
 	defer root.End()
+	// Request-scoped tree: the batcher parents this under the leader
+	// request's execute span; inert when the context carries no tree.
+	troot := trace.FromContext(ctx).Start("diagnose_batch")
+	troot.SetInt("devices", int64(len(logs)))
+	defer troot.End()
 	reg := tr.Registry()
 	var rec *explain.Recorder // always disabled in batch mode
 
@@ -58,7 +64,9 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 	errs := make([]error, len(logs))
 
 	sp := root.Child("goodsim")
+	tsp := troot.Start("goodsim")
 	fs, err := fsim.NewFaultSim(c, pats)
+	tsp.End()
 	sp.End()
 	if err != nil {
 		return nil, nil, err
@@ -116,7 +124,11 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 		reg.Counter("core.failing_patterns").Add(int64(len(failing)))
 
 		sp := root.Child("extract")
+		tsp := troot.Start("extract")
 		seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
+		tsp.SetInt("device", int64(i))
+		tsp.SetInt("seeds", int64(len(seeds)))
+		tsp.End()
 		sp.End()
 		if err != nil {
 			errs[i] = err
@@ -141,15 +153,23 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 
 	// One coalesced scoring sweep over the union.
 	sp = root.Child("score")
+	tsp = troot.Start("score")
 	workers := fsim.Workers(cfg.Workers)
+	tsp.SetInt("workers", int64(workers))
+	tsp.SetInt("union_seeds", int64(len(union)))
+	tsp.SetInt("seed_reuse", int64(totalSeeds-len(union)))
 	reg.Gauge("fsim.workers").Set(int64(workers))
 	psp := sp.Child("fsim.parallel")
-	syns := fs.SimulateStuckAtBatchCtx(ctx, union, workers)
+	tpsp := tsp.Start("fsim.parallel")
+	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(ctx, tpsp), union, workers)
+	tpsp.End()
 	psp.End()
 	if err := checkpoint(ctx, "score"); err != nil {
+		tsp.End()
 		sp.End()
 		return results, errs, err
 	}
+	tsp.End()
 	sp.End()
 
 	// Per-device tail of the pipeline, each folding its own view of the
@@ -170,7 +190,7 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 		cands := scoreCandidates(c, devSyns, st.seeds, logs[i], st.evIndex, len(res.Evidence), cfg, rec)
 		reg.Counter("core.candidates_scored").Add(int64(len(cands)))
 		reg.Counter("core.candidates_pruned").Add(int64(len(st.seeds) - len(cands)))
-		if err := finishDiagnosis(ctx, root, c, fs, logs[i], st.evIndex, cands, res, cfg, reg, rec); err != nil {
+		if err := finishDiagnosis(ctx, root, troot, c, fs, logs[i], st.evIndex, cands, res, cfg, reg, rec); err != nil {
 			results[i] = nil
 			errs[i] = err
 			return results, errs, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"multidiag/internal/atpg"
@@ -12,6 +13,7 @@ import (
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
+	"multidiag/internal/trace"
 )
 
 // benchSetup builds the shared benchmark fixture: a 3-defect device on a
@@ -70,6 +72,24 @@ func BenchmarkDiagnoseTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Diagnose(c, pats, log, Config{Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiagnoseRequestTraced runs the diagnosis under a request-scoped
+// span tree (internal/trace carried via context): the difference to
+// BenchmarkDiagnose is the full cost of per-request span emission — phase
+// spans, per-worker spans, attrs — which mirrors what every traced mdserve
+// request pays. BenchmarkDiagnose itself stays the disabled-path baseline:
+// request tracing off must cost nothing measurable there.
+func BenchmarkDiagnoseRequestTraced(b *testing.B) {
+	c, pats, log := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := trace.WithTree(context.Background(), trace.NewTree(trace.TraceID{}))
+		if _, err := DiagnoseCtx(ctx, c, pats, log, Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -45,6 +45,7 @@ import (
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
+	"multidiag/internal/trace"
 )
 
 // Config tunes the diagnosis engine. The zero value selects the published
@@ -266,6 +267,12 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 		tr = obs.Global()
 	}
 	root := tr.Span("diagnose")
+	// Request-scoped span tree, if the context carries one. Phase spans
+	// below mirror the obs span taxonomy so aggregate timings and a single
+	// request's tree attribute the same names. Every handle is inert when
+	// the context carries no tree (the allocation-free disabled path).
+	troot := trace.FromContext(ctx).Start("diagnose")
+	defer troot.End() // first End wins, so the success path's End below is the one recorded
 	reg := tr.Registry()
 	if log.NumPatterns != len(pats) {
 		return nil, fmt.Errorf("core: datalog has %d patterns, test set has %d", log.NumPatterns, len(pats))
@@ -285,6 +292,7 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 
 	// Per-output evidence universe.
 	sp := root.Child("evidence")
+	tsp := troot.Start("evidence")
 	evIndex := make(map[EvidenceBit]int)
 	for _, p := range failing {
 		for _, po := range log.Fails[p].Members() {
@@ -293,6 +301,9 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 			res.Evidence = append(res.Evidence, bit)
 		}
 	}
+	tsp.SetInt("evidence_bits", int64(len(res.Evidence)))
+	tsp.SetInt("failing_patterns", int64(len(failing)))
+	tsp.End()
 	sp.End()
 	if rec.Enabled() {
 		bits := make([]explain.Bit, len(res.Evidence))
@@ -305,7 +316,9 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 	reg.Counter("core.failing_patterns").Add(int64(len(failing)))
 
 	sp = root.Child("goodsim")
+	tsp = troot.Start("goodsim")
 	fs, err := fsim.NewFaultSim(c, pats)
+	tsp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -320,9 +333,12 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
 	sp = root.Child("extract")
+	tsp = troot.Start("extract")
 	cpt := fsim.NewCPT(c)
 	cpt.Observe(reg)
 	seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
+	tsp.SetInt("seeds", int64(len(seeds)))
+	tsp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -340,24 +356,33 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 	// equivalence classes, cover tie-breaks, ranking — bit-identical to
 	// the sequential engine.
 	sp = root.Child("score")
+	tsp = troot.Start("score")
 	workers := fsim.Workers(cfg.Workers)
+	tsp.SetInt("workers", int64(workers))
 	reg.Gauge("fsim.workers").Set(int64(workers))
 	psp := sp.Child("fsim.parallel")
-	syns := fs.SimulateStuckAtBatchCtx(ctx, seeds, workers)
+	tpsp := tsp.Start("fsim.parallel")
+	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(ctx, tpsp), seeds, workers)
+	tpsp.End()
 	psp.End()
 	if err := checkpoint(ctx, "score"); err != nil {
+		tsp.End()
 		sp.End()
 		return nil, err
 	}
 	cands := scoreCandidates(c, syns, seeds, log, evIndex, len(res.Evidence), cfg, rec)
+	tsp.SetInt("candidates", int64(len(cands)))
+	tsp.End()
 	sp.End()
 	reg.Counter("core.candidates_scored").Add(int64(len(cands)))
 	reg.Counter("core.candidates_pruned").Add(int64(len(seeds) - len(cands)))
 
 	// Steps 3–5 plus ranking (shared with DiagnoseBatch).
-	if err := finishDiagnosis(ctx, root, c, fs, log, evIndex, cands, res, cfg, reg, rec); err != nil {
+	if err := finishDiagnosis(ctx, root, troot, c, fs, log, evIndex, cands, res, cfg, reg, rec); err != nil {
 		return nil, err
 	}
+	troot.SetInt("multiplet", int64(len(res.Multiplet)))
+	troot.End()
 	root.EndInto(&res.Elapsed)
 	return res, nil
 }
@@ -367,10 +392,14 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 // the final ranking — filling res in place. It is shared by DiagnoseCtx
 // and DiagnoseBatch so coalesced diagnoses cannot drift from the
 // single-device engine.
-func finishDiagnosis(ctx context.Context, root obs.Span, c *netlist.Circuit, fs *fsim.FaultSim, log *tester.Datalog, evIndex map[EvidenceBit]int, cands []*Candidate, res *Result, cfg Config, reg *obs.Registry, rec *explain.Recorder) error {
+func finishDiagnosis(ctx context.Context, root obs.Span, troot trace.Span, c *netlist.Circuit, fs *fsim.FaultSim, log *tester.Datalog, evIndex map[EvidenceBit]int, cands []*Candidate, res *Result, cfg Config, reg *obs.Registry, rec *explain.Recorder) error {
 	// Step 3: greedy per-output covering.
 	sp := root.Child("cover")
+	tsp := troot.Start("cover")
 	multiplet, uncovered := cover(c, cands, len(res.Evidence), cfg, rec)
+	tsp.SetInt("multiplet", int64(len(multiplet)))
+	tsp.SetInt("uncovered", int64(uncovered.Count()))
+	tsp.End()
 	sp.End()
 	res.Multiplet = multiplet
 	res.UnexplainedBits = uncovered.Count()
@@ -383,7 +412,9 @@ func finishDiagnosis(ctx context.Context, root obs.Span, c *netlist.Circuit, fs 
 	// Step 4: fault-model refinement (bridge aggressor search).
 	if !cfg.DisableBridgeSearch {
 		sp = root.Child("refine")
+		tsp = troot.Start("refine")
 		refineModels(c, fs, multiplet, log, evIndex, cfg, reg, rec)
+		tsp.End()
 		sp.End()
 		if err := checkpoint(ctx, "refine"); err != nil {
 			return err
@@ -397,7 +428,9 @@ func finishDiagnosis(ctx context.Context, root obs.Span, c *netlist.Circuit, fs 
 	// Step 5: X-masking consistency check.
 	if !cfg.DisableXConsistency && len(multiplet) > 0 {
 		sp = root.Child("xcheck")
+		tsp = troot.Start("xcheck")
 		res.Consistent, res.InconsistentPatterns = xConsistent(fs, multiplet, log)
+		tsp.End()
 		sp.End()
 		if !res.Consistent {
 			reg.Counter("core.xcheck_inconsistent").Inc()

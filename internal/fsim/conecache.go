@@ -207,9 +207,17 @@ func (fs *FaultSim) AttachCache(cc *ConeCache) bool {
 	return true
 }
 
-// cachedWord returns the cached diffs for (f, word w), if present.
+// cachedWord returns the cached diffs for (f, word w), if present. Probe
+// outcomes are also tallied on the simulator itself (fork-local, no
+// atomics) so a request's trace can attribute each worker's cache luck.
 func (fs *FaultSim) cachedWord(f fault.StuckAt, w int) ([]poWordDiff, bool) {
-	return fs.cache.get(coneKey{net: f.Net, word: int32(w), value1: f.Value1})
+	diffs, ok := fs.cache.get(coneKey{net: f.Net, word: int32(w), value1: f.Value1})
+	if ok {
+		fs.probeHits++
+	} else {
+		fs.probeMisses++
+	}
+	return diffs, ok
 }
 
 // storeWord records the diffs computed for (f, word w).

@@ -113,6 +113,12 @@ type FaultSim struct {
 	// cache, when attached, memoizes per-(fault, word) cone results;
 	// shared by forks (see AttachCache and ConeCache).
 	cache *ConeCache
+	// probeHits/probeMisses tally this simulator's own cone-cache probes.
+	// Unlike the ConeCache's shared atomic counters these are fork-local
+	// plain ints (each fork is single-goroutine by contract), which is what
+	// lets per-worker trace spans attribute cache luck without contention.
+	probeHits   int64
+	probeMisses int64
 
 	// observability handles, resolved once by Observe; nil (no-op) until
 	// then, so the uninstrumented path costs one pointer test per counter.

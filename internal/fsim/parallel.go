@@ -17,6 +17,7 @@ import (
 
 	"multidiag/internal/fault"
 	"multidiag/internal/logic"
+	"multidiag/internal/trace"
 )
 
 // Workers resolves a worker-count knob: values ≤ 0 select GOMAXPROCS (the
@@ -75,13 +76,27 @@ func (fs *FaultSim) SimulateStuckAtBatchCtx(ctx context.Context, faults []fault.
 	if workers > len(faults) {
 		workers = len(faults)
 	}
+	// When the context carries a span tree, each worker's chunk gets a
+	// "fsim.worker" span attributing its fault count and cone-cache probe
+	// outcomes (fork-local deltas — see FaultSim.probeHits). Inert handles
+	// when tracing is off: no branches, no allocations.
+	tsc := trace.FromContext(ctx)
 	if workers <= 1 {
+		tsp := tsc.Start("fsim.worker")
+		tsp.SetInt("worker", 0)
+		h0, m0 := fs.probeHits, fs.probeMisses
+		n := 0
 		for i, f := range faults {
 			if ctx.Err() != nil {
-				return out
+				break
 			}
 			out[i] = fs.SimulateStuckAt(f)
+			n++
 		}
+		tsp.SetInt("faults", int64(n))
+		tsp.SetInt("cache_hits", fs.probeHits-h0)
+		tsp.SetInt("cache_misses", fs.probeMisses-m0)
+		tsp.End()
 		return out
 	}
 	var next atomic.Int64
@@ -92,19 +107,28 @@ func (fs *FaultSim) SimulateStuckAtBatchCtx(ctx context.Context, faults []fault.
 			sim = fs.Fork()
 		}
 		wg.Add(1)
-		go func(sim *FaultSim) {
+		go func(w int, sim *FaultSim) {
 			defer wg.Done()
+			tsp := tsc.Start("fsim.worker")
+			tsp.SetInt("worker", int64(w))
+			h0, m0 := sim.probeHits, sim.probeMisses
+			n := 0
 			for {
 				if ctx.Err() != nil {
-					return
+					break
 				}
 				i := int(next.Add(1)) - 1
 				if i >= len(faults) {
-					return
+					break
 				}
 				out[i] = sim.SimulateStuckAt(faults[i])
+				n++
 			}
-		}(sim)
+			tsp.SetInt("faults", int64(n))
+			tsp.SetInt("cache_hits", sim.probeHits-h0)
+			tsp.SetInt("cache_misses", sim.probeMisses-m0)
+			tsp.End()
+		}(w, sim)
 	}
 	wg.Wait()
 	return out

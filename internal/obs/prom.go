@@ -66,6 +66,12 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
 		fmt.Fprintf(&sb, "%s_sum %d\n", pn, h.Sum())
 		fmt.Fprintf(&sb, "%s_count %d\n", pn, h.Count())
+		// Exemplars ride as comment lines (parse-safe in text 0.0.4, which
+		// has no native exemplar syntax): the latest trace ID observed into
+		// each bucket, linking a latency band to one captured span tree.
+		for _, e := range h.Exemplars() {
+			fmt.Fprintf(&sb, "# EXEMPLAR %s_bucket{le=\"%d\"} %d trace_id=%s\n", pn, e.Hi, e.Value, e.TraceID)
+		}
 		if h.Count() > 0 {
 			for _, q := range []struct {
 				suffix string

@@ -307,6 +307,56 @@ func TestHistogramNames(t *testing.T) {
 	}
 }
 
+// TestHistogramExemplars: ObserveEx retains the latest trace ID per
+// bucket, surfaces it as a parse-safe comment line in the exposition, and
+// the plain Observe path stays exemplar-free.
+func TestHistogramExemplars(t *testing.T) {
+	var nilH *Histogram
+	nilH.ObserveEx(5, "dead") // must not panic
+	nilH.ObserveNEx(5, 2, "dead")
+
+	r := NewRegistry()
+	h := r.Histogram("serve.service_us")
+	h.Observe(3)
+	h.ObserveEx(100, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveEx(101, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa") // same bucket: last wins
+	h.ObserveNEx(5000, 2, "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	h.ObserveEx(7, "") // empty trace ID: no exemplar
+
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplars: %+v, want 2 buckets", ex)
+	}
+	if ex[0].Hi != 127 || ex[0].TraceID != "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" || ex[0].Value != 101 {
+		t.Fatalf("bucket 127 exemplar %+v", ex[0])
+	}
+	if ex[1].Hi != 8191 || ex[1].TraceID != "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb" {
+		t.Fatalf("bucket 8191 exemplar %+v", ex[1])
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `# EXEMPLAR multidiag_serve_service_us_bucket{le="127"} 101 trace_id=aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	// Exemplar lines are comments: a strict sample-line parse still works
+	// (reusing the format walk from TestWritePrometheusFormat would pass).
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# EXEMPLAR") && len(strings.Fields(line)) != 5 {
+			t.Errorf("malformed exemplar comment %q", line)
+		}
+	}
+
+	r.Reset()
+	if got := h.Exemplars(); got != nil {
+		t.Fatalf("Reset kept exemplars: %+v", got)
+	}
+}
+
 // TestCreateSinkGzip: a .gz path yields a valid gzip stream holding
 // exactly the written bytes; a plain path passes through.
 func TestCreateSinkGzip(t *testing.T) {

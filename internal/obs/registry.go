@@ -127,6 +127,7 @@ func (r *Registry) Reset() {
 		h.sum.Store(0)
 		for i := range h.buckets {
 			h.buckets[i].Store(0)
+			h.exemplars[i].Store(nil)
 		}
 	}
 }
@@ -288,10 +289,21 @@ func (g *Gauge) Value() int64 {
 // with 2^(k-1) ≤ v < 2^k (bucket 0 holds v ≤ 0). 64 buckets cover the
 // whole non-negative int64 range, so Observe is a bits.Len64 plus two
 // atomic adds — cheap enough for per-simulation call sites.
+//
+// Buckets optionally carry an exemplar — the trace ID of the most recent
+// request whose observation landed there (see ObserveEx) — joining the
+// aggregate view to one concrete request-scoped span tree.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	buckets [65]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	buckets   [65]atomic.Int64
+	exemplars [65]atomic.Pointer[exemplar]
+}
+
+// exemplar links one observation to the trace that produced it.
+type exemplar struct {
+	value   int64
+	traceID string
 }
 
 // bucketIndex maps a value to its log₂ bucket.
@@ -323,6 +335,58 @@ func (h *Histogram) ObserveN(v, n int64) {
 	h.count.Add(n)
 	h.sum.Add(v * n)
 	h.buckets[bucketIndex(v)].Add(n)
+}
+
+// ObserveEx is Observe with an exemplar: the value's bucket remembers
+// traceID (last writer wins) so a latency spike in the exposition links
+// to a concrete captured trace. An empty traceID degrades to Observe.
+func (h *Histogram) ObserveEx(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplars[bucketIndex(v)].Store(&exemplar{value: v, traceID: traceID})
+	}
+}
+
+// ObserveNEx is ObserveN with an exemplar (see ObserveEx).
+func (h *Histogram) ObserveNEx(v, n int64, traceID string) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.ObserveN(v, n)
+	if traceID != "" {
+		h.exemplars[bucketIndex(v)].Store(&exemplar{value: v, traceID: traceID})
+	}
+}
+
+// BucketExemplar is one bucket's retained exemplar: the latest (Value,
+// TraceID) observation that landed in [Lo, Hi].
+type BucketExemplar struct {
+	Lo, Hi  int64
+	Value   int64
+	TraceID string
+}
+
+// Exemplars returns the buckets holding an exemplar, ascending.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	if h == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for k := range h.exemplars {
+		e := h.exemplars[k].Load()
+		if e == nil {
+			continue
+		}
+		be := BucketExemplar{Hi: bucketHi(k), Value: e.value, TraceID: e.traceID}
+		if k > 0 {
+			be.Lo = int64(1) << (k - 1)
+		}
+		out = append(out, be)
+	}
+	return out
 }
 
 // Count returns the number of observations (0 on nil).

@@ -42,6 +42,10 @@ type ServiceRecord struct {
 	ServiceP95MS float64 `json:"service_p95_ms"`
 	ServiceP99MS float64 `json:"service_p99_ms"`
 	ServiceMaxMS float64 `json:"service_max_ms"`
+	// FlaggedRequests samples the X-Request-IDs of notable outcomes
+	// ("shed:<id>", "timeout:<id>", "panic:<id>"), newest last — the join
+	// key into access logs and captured traces. Informational; never gates.
+	FlaggedRequests []string `json:"flagged_requests,omitempty"`
 }
 
 // Key is the record's identity within a service file.

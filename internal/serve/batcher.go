@@ -13,6 +13,7 @@ import (
 	"multidiag/internal/core"
 	"multidiag/internal/explain"
 	"multidiag/internal/tester"
+	"multidiag/internal/trace"
 )
 
 // request is one admitted diagnosis riding the workload queue.
@@ -26,6 +27,15 @@ type request struct {
 	// done receives exactly one response; buffered so the executor never
 	// blocks on a handler that already timed out and left.
 	done chan response
+
+	// Tracing state (zero values when tracing is off — every use is a
+	// no-op). tree is the request's span tree; span the span engine work
+	// hangs under (the root for solo requests, a per-device span for
+	// batch members); queueSpan covers admission-to-dequeue.
+	reqID     string
+	tree      *trace.Tree
+	span      trace.Span
+	queueSpan trace.Span
 }
 
 type response struct {
@@ -115,6 +125,8 @@ func (s *Server) execute(w *workload, batch []*request) {
 			s.reg.Counter("serve.panics").Inc()
 			err := fmt.Errorf("diagnosis panicked: %v\n%s", p, debug.Stack())
 			for _, r := range batch {
+				r.tree.Flag("panic")
+				s.noteFlagged("panic", r.reqID)
 				r.done <- response{status: http.StatusInternalServerError, err: err}
 			}
 		}
@@ -124,12 +136,15 @@ func (s *Server) execute(w *workload, batch []*request) {
 	// spending engine time on them.
 	live := batch[:0]
 	for _, r := range batch {
+		r.queueSpan.End()
 		if r.ctx.Err() != nil {
 			s.reg.Counter("serve.expired").Inc()
+			r.tree.Flag("timeout")
+			s.noteFlagged("timeout", r.reqID)
 			r.done <- response{status: http.StatusGatewayTimeout, err: fmt.Errorf("deadline exceeded before execution: %v", r.ctx.Err())}
 			continue
 		}
-		s.reg.Histogram("serve.queue_wait_us").Observe(time.Since(r.enqueued).Microseconds())
+		s.reg.Histogram("serve.queue_wait_us").ObserveEx(time.Since(r.enqueued).Microseconds(), exemplarID(r))
 		live = append(live, r)
 	}
 	if len(live) == 0 {
@@ -152,7 +167,18 @@ func (s *Server) execute(w *workload, batch []*request) {
 	} else {
 		s.executeBatch(w, live, cfg)
 	}
-	s.reg.Histogram("serve.service_us").ObserveN(time.Since(start).Microseconds(), int64(len(live)))
+	// The batch's service time is exemplified by the leader's trace — the
+	// tree the coalesced engine spans landed in.
+	s.reg.Histogram("serve.service_us").ObserveNEx(time.Since(start).Microseconds(), int64(len(live)), exemplarID(live[0]))
+}
+
+// exemplarID renders a request's trace ID for histogram exemplars, empty
+// when tracing is off (which degrades ObserveEx to a plain Observe).
+func exemplarID(r *request) string {
+	if r.tree == nil {
+		return ""
+	}
+	return r.tree.TraceID().String()
 }
 
 // executeOne serves a solo request, optionally with the flight recorder
@@ -163,7 +189,9 @@ func (s *Server) executeOne(w *workload, r *request, cfg core.Config) {
 		rec = explain.New("serve/" + w.name)
 		cfg.Explain = rec
 	}
-	res, err := core.DiagnoseCtx(r.ctx, w.c, w.pats, r.log, cfg)
+	esp := r.span.Start("serve.execute")
+	res, err := core.DiagnoseCtx(trace.WithSpan(r.ctx, esp), w.c, w.pats, r.log, cfg)
+	esp.End()
 	if err != nil {
 		r.done <- response{status: engineStatus(err), err: err}
 		return
@@ -188,7 +216,24 @@ func (s *Server) executeBatch(w *workload, batch []*request, cfg core.Config) {
 	}
 	ctx, cancel := mergedContext(batch)
 	defer cancel()
-	results, errs, err := core.DiagnoseBatch(ctx, w.c, w.pats, logs, cfg)
+	// Coalesced engine spans land in ONE tree — the leader's (batch[0]) —
+	// under its "serve.execute" span; a multi-tree tee would double-count
+	// every phase. Followers get a "serve.execute.coalesced" span carrying
+	// the leader's trace ID, so their trees point at where the engine time
+	// is attributed.
+	leader := batch[0]
+	esp := leader.span.Start("serve.execute")
+	esp.SetInt("batch_size", int64(len(batch)))
+	for _, r := range batch[1:] {
+		fsp := r.span.Start("serve.execute.coalesced")
+		fsp.SetInt("batch_size", int64(len(batch)))
+		if leader.tree != nil {
+			fsp.SetStr("leader_trace", leader.tree.TraceID().String())
+		}
+		defer fsp.End()
+	}
+	results, errs, err := core.DiagnoseBatch(trace.WithSpan(ctx, esp), w.c, w.pats, logs, cfg)
+	esp.End()
 	for i, r := range batch {
 		switch {
 		case err != nil && results[i] == nil && errs[i] == nil:
@@ -211,6 +256,10 @@ func (s *Server) buildResponse(w *workload, r *request, res *core.Result, batchS
 		rep.QueueWaitMS = 0
 	}
 	rep.BatchSize = batchSize
+	rep.RequestID = r.reqID
+	if r.tree != nil {
+		rep.TraceID = r.tree.TraceID().String()
+	}
 	return rep
 }
 

@@ -89,9 +89,20 @@ func classify(status int, ok, shed, other *atomicCounter) {
 // handler level — request decode, admission, batcher hand-off, scoring
 // pass, report encode — with no network in the way. Comparable against
 // BenchmarkDiagnose* in internal/core to read the serving overhead.
-func BenchmarkServeDiagnose(b *testing.B) {
+// Runs with the default tracing config (span trees on every request,
+// 10% tail-sampled), so the baseline carries the tracing tax.
+func BenchmarkServeDiagnose(b *testing.B) { benchServeDiagnose(b, 0) }
+
+// BenchmarkServeDiagnoseNoTrace is the same request with request tracing
+// disabled — the allocation-free path. The gap to BenchmarkServeDiagnose
+// is the whole-request tracing overhead (span trees per request plus the
+// capture decision); benchdiff gates both against the baseline, so the
+// disabled path is pinned independently of the traced one.
+func BenchmarkServeDiagnoseNoTrace(b *testing.B) { benchServeDiagnose(b, -1) }
+
+func benchServeDiagnose(b *testing.B, traceSample float64) {
 	spec := testWorkload(b)
-	s, err := New(Config{Trace: obs.New("serve-bench")}, []WorkloadSpec{spec})
+	s, err := New(Config{Trace: obs.New("serve-bench"), TraceSample: traceSample}, []WorkloadSpec{spec})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -36,5 +36,8 @@ func (s *Server) ServiceRecord(label string) qrec.ServiceRecord {
 	rec.ServiceP95MS = float64(h.Quantile(0.95)) / 1000
 	rec.ServiceP99MS = float64(h.Quantile(0.99)) / 1000
 	rec.ServiceMaxMS = float64(h.Max()) / 1000
+	s.flaggedMu.Lock()
+	rec.FlaggedRequests = append([]string(nil), s.flaggedIDs...)
+	s.flaggedMu.Unlock()
 	return rec
 }

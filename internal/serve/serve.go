@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
 	"multidiag/internal/sim"
+	"multidiag/internal/trace"
 )
 
 // Config tunes the service spine. The zero value selects serving
@@ -41,6 +43,19 @@ type Config struct {
 	Workers int
 	// Trace supplies spans and the metrics registry (nil: obs.Global()).
 	Trace *obs.Trace
+	// TraceSample is the tail sampler's retention probability for routine
+	// (unflagged) request traces. Flagged traces — shed, timeout, panic,
+	// slower than the live service p95 — are ALWAYS retained regardless.
+	// 0 selects the 0.1 default; a negative value disables request tracing
+	// entirely (the allocation-free path).
+	TraceSample float64
+	// TraceCapacity sizes each capture ring (flagged and sampled get one
+	// each, so routine traffic can never evict a shed trace). Default 64.
+	TraceCapacity int
+	// TraceSink, when set, receives every retained trace as one JSON line
+	// at request end (mdserve wires -trace-spans-out here, transparently
+	// gzipped for .gz paths).
+	TraceSink io.Writer
 }
 
 func (cfg *Config) fill() {
@@ -61,6 +76,12 @@ func (cfg *Config) fill() {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.TraceSample == 0 {
+		cfg.TraceSample = 0.1
+	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 64
 	}
 }
 
@@ -94,11 +115,23 @@ type Server struct {
 	workloads map[string]*workload
 	names     []string
 
+	// tracing gates request-scoped span trees; capture is the tail-based
+	// retention buffer behind /debug/trace (nil when tracing is off —
+	// every capture method tolerates that).
+	tracing bool
+	capture *trace.Capture
+
 	draining      atomic.Bool
 	admitMu       sync.RWMutex // excludes admission during queue close
 	inflight      atomic.Int64
 	inflightBytes atomic.Int64
 	batchers      sync.WaitGroup
+
+	// flaggedIDs samples the request IDs of notable outcomes for the
+	// service record: the join key from aggregate counters back into logs
+	// and captured traces.
+	flaggedMu  sync.Mutex
+	flaggedIDs []string
 
 	// testHookExecute, when set by tests, runs at the start of every
 	// scoring pass (after the batch is assembled, before the engine).
@@ -121,6 +154,24 @@ func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
 		reg:       tr.Registry(),
 		mux:       http.NewServeMux(),
 		workloads: make(map[string]*workload),
+	}
+	if cfg.TraceSample >= 0 {
+		s.tracing = true
+		// The slow threshold tracks the live service-time p95 (µs → ns),
+		// held back until enough observations exist for the quantile to
+		// mean something.
+		svc := s.reg.Histogram("serve.service_us")
+		s.capture = trace.NewCapture(trace.CaptureConfig{
+			Capacity:   cfg.TraceCapacity,
+			SampleRate: cfg.TraceSample,
+			Sink:       cfg.TraceSink,
+			SlowNS: func() int64 {
+				if svc.Count() < 32 {
+					return 0
+				}
+				return svc.Quantile(0.95) * 1000
+			},
+		})
 	}
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("serve: no workloads registered")
@@ -166,10 +217,28 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux behind the
+// request-ID middleware, so EVERY response — including sheds, timeouts
+// and 404s — carries an X-Request-ID that log lines and traces join on.
+func (s *Server) Handler() http.Handler { return requestIDMiddleware(s.mux) }
+
+// requestIDMiddleware echoes the client's X-Request-ID or generates one
+// (16 hex chars, same generator as span IDs). The header is also written
+// back onto the inbound request so downstream handlers read one place.
+func requestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 128 {
+			id = trace.NewSpanID().String()
+			r.Header.Set("X-Request-ID", id)
+		}
+		rw.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(rw, r)
+	})
+}
 
 // Drain gracefully stops the server: admission closes (readyz and new
 // requests get 503), queued and in-flight requests finish, the batcher
@@ -246,6 +315,23 @@ func (s *Server) shed(kind string) {
 	s.reg.Counter("serve.shed_" + kind).Inc()
 }
 
+// maxFlaggedIDs bounds the service record's request-ID sample.
+const maxFlaggedIDs = 16
+
+// noteFlagged records "kind:requestID" for the service record, keeping
+// the newest maxFlaggedIDs entries.
+func (s *Server) noteFlagged(kind, id string) {
+	if id == "" {
+		return
+	}
+	s.flaggedMu.Lock()
+	s.flaggedIDs = append(s.flaggedIDs, kind+":"+id)
+	if len(s.flaggedIDs) > maxFlaggedIDs {
+		s.flaggedIDs = s.flaggedIDs[len(s.flaggedIDs)-maxFlaggedIDs:]
+	}
+	s.flaggedMu.Unlock()
+}
+
 // requestContext derives the per-request deadline: the server default,
 // lowered (never raised) by the request's timeout_ms.
 func (s *Server) requestContext(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
@@ -256,6 +342,42 @@ func (s *Server) requestContext(parent context.Context, timeoutMS int) (context.
 		}
 	}
 	return context.WithTimeout(parent, d)
+}
+
+// startTrace opens a request's span tree: joining the caller's trace when
+// the request carries a valid W3C traceparent (the root span becomes a
+// child of the remote span), starting a fresh one otherwise. The response
+// traceparent names this request's root span so the caller can stitch.
+// With tracing off it returns (nil, inert span) and every downstream use
+// is a no-op — the allocation-free path.
+func (s *Server) startTrace(rw http.ResponseWriter, r *http.Request, endpoint, workload string) (*trace.Tree, trace.Span) {
+	if !s.tracing {
+		return nil, trace.Span{}
+	}
+	tid, parent, remote := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	tree := trace.NewTree(tid) // zero tid (no/bad header) draws a fresh ID
+	if remote {
+		tree.SetRemoteParent(parent)
+	}
+	tree.SetAttr("request_id", r.Header.Get("X-Request-ID"))
+	tree.SetAttr("endpoint", endpoint)
+	tree.SetAttr("workload", workload)
+	root := tree.Start("serve.request")
+	rw.Header().Set("traceparent", trace.Traceparent(tree.TraceID(), root.ID()))
+	return tree, root
+}
+
+// finishTrace closes the request's root span and offers the tree to the
+// tail sampler — the point where the keep/drop decision is made, with the
+// outcome (status, flags) known. Spans still open (an executor racing a
+// handler timeout) appear Unfinished in the captured record.
+func (s *Server) finishTrace(tree *trace.Tree, root trace.Span, status int) {
+	if tree == nil {
+		return
+	}
+	root.SetInt("status", int64(status))
+	root.End()
+	s.capture.Offer(tree)
 }
 
 func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
@@ -282,7 +404,8 @@ func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
 	if dr.Top != nil {
 		top = *dr.Top
 	}
-	ctx, cancel := s.requestContext(r.Context(), dr.TimeoutMS)
+	tree, root := s.startTrace(rw, r, "/v1/diagnose", dr.Workload)
+	ctx, cancel := s.requestContext(trace.WithSpan(r.Context(), root), dr.TimeoutMS)
 	defer cancel()
 	req := &request{
 		ctx:      ctx,
@@ -292,11 +415,21 @@ func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
 		bytes:    r.ContentLength,
 		enqueued: time.Now(),
 		done:     make(chan response, 1),
+		reqID:    r.Header.Get("X-Request-ID"),
+		tree:     tree,
+		span:     root,
 	}
 	if req.bytes < 0 {
 		req.bytes = 0
 	}
+	// The queue span opens before admission so the batcher can never
+	// dequeue a request whose queueSpan is still being assigned.
+	req.queueSpan = root.Start("serve.queue")
 	if status := s.admit(w, req); status != 0 {
+		req.queueSpan.End()
+		tree.Flag("shed")
+		s.noteFlagged("shed", req.reqID)
+		s.finishTrace(tree, root, status)
 		shedResponse(rw, status)
 		return
 	}
@@ -305,14 +438,19 @@ func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
 	case resp := <-req.done:
 		if resp.err != nil {
 			s.reg.Counter("serve.errors").Inc()
+			s.finishTrace(tree, root, resp.status)
 			httpError(rw, resp.status, resp.err.Error())
 			return
 		}
+		s.finishTrace(tree, root, http.StatusOK)
 		writeJSON(rw, http.StatusOK, resp.report)
 	case <-ctx.Done():
 		// The executor may still send a response; the buffered channel
 		// keeps it from blocking. The client sees the deadline.
 		s.reg.Counter("serve.timeouts").Inc()
+		tree.Flag("timeout")
+		s.noteFlagged("timeout", req.reqID)
+		s.finishTrace(tree, root, http.StatusGatewayTimeout)
 		httpError(rw, http.StatusGatewayTimeout, fmt.Sprintf("request deadline exceeded: %v", ctx.Err()))
 	}
 }
@@ -337,7 +475,12 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	if br.Top != nil {
 		top = *br.Top
 	}
-	ctx, cancel := s.requestContext(r.Context(), br.TimeoutMS)
+	// One HTTP request → one tree: each device hangs under the root as a
+	// "serve.device" span, so a batch trace shows per-device queueing and
+	// which devices coalesced into which scoring pass.
+	tree, root := s.startTrace(rw, r, "/v1/diagnose/batch", br.Workload)
+	reqID := r.Header.Get("X-Request-ID")
+	ctx, cancel := s.requestContext(trace.WithSpan(r.Context(), root), br.TimeoutMS)
 	defer cancel()
 
 	// Devices are admitted individually so shedding is partial: the
@@ -362,9 +505,19 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 			bytes:    bytes,
 			enqueued: time.Now(),
 			done:     make(chan response, 1),
+			reqID:    reqID,
+			tree:     tree,
 		}
+		req.span = root.Start("serve.device")
+		req.span.SetInt("device", int64(i))
+		req.queueSpan = req.span.Start("serve.queue")
 		bytes = 0
 		if status := s.admit(w, req); status != 0 {
+			req.queueSpan.End()
+			tree.Flag("shed")
+			s.noteFlagged("shed", reqID)
+			req.span.SetInt("status", int64(status))
+			req.span.End()
 			results[i] = DeviceResult{Status: status, Error: http.StatusText(status)}
 			continue
 		}
@@ -384,10 +537,15 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 			}
 		case <-ctx.Done():
 			s.reg.Counter("serve.timeouts").Inc()
+			tree.Flag("timeout")
+			s.noteFlagged("timeout", reqID)
 			results[i] = DeviceResult{Status: http.StatusGatewayTimeout, Error: ctx.Err().Error()}
 		}
+		req.span.SetInt("status", int64(results[i].Status))
+		req.span.End()
 		s.release(req)
 	}
+	s.finishTrace(tree, root, http.StatusOK)
 	writeJSON(rw, http.StatusOK, &BatchReply{Results: results})
 }
 
@@ -419,6 +577,22 @@ func (s *Server) handleReadyz(rw http.ResponseWriter, r *http.Request) {
 	}
 	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(rw, "ready")
+}
+
+// handleDebugTrace serves the tail-capture buffer as NDJSON — one
+// mdtrace/v1 TreeRecord per line, flagged traces first, each ring
+// oldest-first. `mdtrace` reads this body directly.
+func (s *Server) handleDebugTrace(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	if s.capture == nil {
+		return
+	}
+	for _, rec := range s.capture.Snapshot() {
+		if err := rec.WriteJSONL(rw); err != nil {
+			s.reg.Counter("serve.errors").Inc()
+			return
+		}
+	}
 }
 
 func (s *Server) handleMetrics(rw http.ResponseWriter, r *http.Request) {

@@ -110,11 +110,14 @@ func postJSON(t testing.TB, url string, body interface{}) (*http.Response, []byt
 }
 
 // zeroTiming clears the fields that legitimately differ between a served
-// and a direct diagnosis.
+// and a direct diagnosis: timings plus the per-request join keys
+// (request ID, trace ID).
 func zeroTiming(r *Report) {
 	r.ElapsedMS = 0
 	r.QueueWaitMS = 0
 	r.BatchSize = 0
+	r.RequestID = ""
+	r.TraceID = ""
 }
 
 // TestGoldenReportMatchesCLI is the acceptance pin: the served report

@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/trace"
+)
+
+// postTraced posts body with extra headers and returns the response plus
+// its bytes.
+func postTraced(t testing.TB, url string, body interface{}, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Error(err)
+		return &http.Response{Header: http.Header{}}, nil
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Error(err)
+		return &http.Response{Header: http.Header{}}, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Error(err)
+		return &http.Response{Header: http.Header{}}, nil
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Error(err)
+	}
+	return resp, out.Bytes()
+}
+
+// debugTraces fetches and decodes /debug/trace.
+func debugTraces(t testing.TB, baseURL string) []*trace.TreeRecord {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("/debug/trace Content-Type = %q", ct)
+	}
+	recs, err := trace.ReadTrees(resp.Body)
+	if err != nil {
+		t.Fatalf("/debug/trace: %v", err)
+	}
+	return recs
+}
+
+// findTrace returns the captured record with the given trace ID, or nil.
+func findTrace(recs []*trace.TreeRecord, traceID string) *trace.TreeRecord {
+	for _, r := range recs {
+		if r.TraceID == traceID {
+			return r
+		}
+	}
+	return nil
+}
+
+// TestTracedRequestProducesConnectedTree is the tentpole acceptance pin:
+// one /v1/diagnose request with an incoming traceparent yields ONE
+// connected span tree — HTTP root → queue → execute → engine phases →
+// fsim workers — retrievable from /debug/trace under the caller's trace
+// ID, with the response traceparent naming this server's root span.
+func TestTracedRequestProducesConnectedTree(t *testing.T) {
+	_, hs, spec := newTestServer(t, func(cfg *Config) { cfg.TraceSample = 1 })
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+
+	const clientTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const clientSpan = "00f067aa0ba902b7"
+	resp, body := postTraced(t, hs.URL+"/v1/diagnose",
+		DiagnoseRequest{Workload: "c17", Datalog: text},
+		map[string]string{"traceparent": "00-" + clientTrace + "-" + clientSpan + "-01"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// The response traceparent continues the caller's trace with this
+	// server's root span.
+	tp := resp.Header.Get("traceparent")
+	tid, sid, ok := trace.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", tp)
+	}
+	if tid.String() != clientTrace {
+		t.Errorf("response trace ID %s, want the caller's %s", tid, clientTrace)
+	}
+	if sid.String() == clientSpan {
+		t.Error("response span ID echoes the caller's span instead of naming the server's root")
+	}
+
+	var rep Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceID != clientTrace {
+		t.Errorf("report trace_id = %q, want %q", rep.TraceID, clientTrace)
+	}
+	if rep.RequestID == "" || rep.RequestID != resp.Header.Get("X-Request-ID") {
+		t.Errorf("report request_id %q does not match X-Request-ID %q", rep.RequestID, resp.Header.Get("X-Request-ID"))
+	}
+
+	rec := findTrace(debugTraces(t, hs.URL), clientTrace)
+	if rec == nil {
+		t.Fatal("captured traces do not include the request's tree")
+	}
+
+	// Exactly one root, parented to the caller's span.
+	byID := make(map[string]*trace.SpanRecord, len(rec.Spans))
+	for i := range rec.Spans {
+		byID[rec.Spans[i].SpanID] = &rec.Spans[i]
+	}
+	var roots []*trace.SpanRecord
+	for i := range rec.Spans {
+		if byID[rec.Spans[i].ParentID] == nil {
+			roots = append(roots, &rec.Spans[i])
+		}
+	}
+	if len(roots) != 1 {
+		t.Fatalf("tree has %d roots, want 1 connected tree", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "serve.request" {
+		t.Errorf("root span %q, want serve.request", root.Name)
+	}
+	if root.ParentID != clientSpan {
+		t.Errorf("root parent %q, want the caller's span %s", root.ParentID, clientSpan)
+	}
+
+	// Every layer of the request's path appears, finished.
+	names := make(map[string]int)
+	for i := range rec.Spans {
+		sp := &rec.Spans[i]
+		names[sp.Name]++
+		if sp.Unfinished {
+			t.Errorf("span %s captured unfinished after the response", sp.Name)
+		}
+	}
+	for _, want := range []string{
+		"serve.request", "serve.queue", "serve.execute",
+		"diagnose", "goodsim", "extract", "score", "fsim.parallel",
+		"fsim.worker", "cover", "refine", "xcheck",
+	} {
+		if names[want] == 0 {
+			t.Errorf("tree is missing a %q span (have %v)", want, names)
+		}
+	}
+}
+
+// TestShedAlwaysCaptured: with a vanishingly small sample rate, a shed
+// request's trace is still retained (tail-based capture), its 429
+// response carries an X-Request-ID, and the service record samples the
+// shed's join key.
+func TestShedAlwaysCaptured(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.QueueDepth = 1
+		cfg.MaxBatch = 1
+		cfg.MaxInflight = 100
+		cfg.TraceSample = 1e-9 // routine traces effectively never sampled
+	})
+	s.testHookExecute = func(int) { entered <- struct{}{}; <-release }
+	defer close(release)
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+	req := DiagnoseRequest{Workload: "c17", Datalog: text}
+
+	go postJSON(t, hs.URL+"/v1/diagnose", req)
+	<-entered
+	go postJSON(t, hs.URL+"/v1/diagnose", req)
+	waitFor(t, func() bool { return s.workloads["c17"].queued.Load() == 1 })
+
+	resp, body := postTraced(t, hs.URL+"/v1/diagnose", req, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	if reqID == "" {
+		t.Error("shed response carries no X-Request-ID")
+	}
+	tid, _, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("shed response traceparent %q does not parse", resp.Header.Get("traceparent"))
+	}
+
+	rec := findTrace(debugTraces(t, hs.URL), tid.String())
+	if rec == nil {
+		t.Fatal("shed trace was not captured")
+	}
+	if !rec.HasFlag("shed") {
+		t.Errorf("shed trace flags = %v, want shed", rec.Flags)
+	}
+	if got := rec.Attrs["request_id"]; got != reqID {
+		t.Errorf("captured request_id = %v, want %q", got, reqID)
+	}
+
+	found := false
+	for _, f := range s.ServiceRecord("test").FlaggedRequests {
+		if f == "shed:"+reqID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("service record flagged_requests missing shed:%s", reqID)
+	}
+}
+
+// TestTimeoutAlwaysCaptured: a 504 trace is retained regardless of the
+// sample rate and flagged "timeout".
+func TestTimeoutAlwaysCaptured(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.MaxBatch = 1
+		cfg.TraceSample = 1e-9
+	})
+	s.testHookExecute = func(int) { entered <- struct{}{}; <-release }
+	defer close(release)
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+
+	go postJSON(t, hs.URL+"/v1/diagnose", DiagnoseRequest{Workload: "c17", Datalog: text})
+	<-entered
+	resp, body := postTraced(t, hs.URL+"/v1/diagnose",
+		DiagnoseRequest{Workload: "c17", Datalog: text, TimeoutMS: 30}, nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("504 response carries no X-Request-ID")
+	}
+	tid, _, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("504 response traceparent %q does not parse", resp.Header.Get("traceparent"))
+	}
+
+	rec := findTrace(debugTraces(t, hs.URL), tid.String())
+	if rec == nil {
+		t.Fatal("timed-out trace was not captured")
+	}
+	if !rec.HasFlag("timeout") {
+		t.Errorf("timed-out trace flags = %v, want timeout", rec.Flags)
+	}
+}
+
+// TestRequestIDEchoed: a client-supplied X-Request-ID is echoed on every
+// response — success, validation failure, even routes that miss — and
+// lands in the report.
+func TestRequestIDEchoed(t *testing.T) {
+	_, hs, spec := newTestServer(t, nil)
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+
+	const id = "client-req-42"
+	resp, body := postTraced(t, hs.URL+"/v1/diagnose",
+		DiagnoseRequest{Workload: "c17", Datalog: text},
+		map[string]string{"X-Request-ID": id})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != id {
+		t.Errorf("X-Request-ID = %q, want the client's %q", got, id)
+	}
+	var rep Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != id {
+		t.Errorf("report request_id = %q, want %q", rep.RequestID, id)
+	}
+
+	resp, _ = postTraced(t, hs.URL+"/v1/diagnose",
+		DiagnoseRequest{Workload: "nope"}, map[string]string{"X-Request-ID": id})
+	if got := resp.Header.Get("X-Request-ID"); got != id {
+		t.Errorf("404 X-Request-ID = %q, want %q", got, id)
+	}
+
+	// No client ID → the server generates one (16 hex chars).
+	resp, _ = postTraced(t, hs.URL+"/v1/diagnose",
+		DiagnoseRequest{Workload: "c17", Datalog: text}, nil)
+	if got := resp.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("generated X-Request-ID = %q, want 16 hex chars", got)
+	}
+}
+
+// TestTracingDisabled: a negative sample rate turns request tracing off —
+// no traceparent on responses, no trace_id in reports, an empty
+// /debug/trace — while X-Request-ID still flows.
+func TestTracingDisabled(t *testing.T) {
+	_, hs, spec := newTestServer(t, func(cfg *Config) { cfg.TraceSample = -1 })
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+
+	resp, body := postTraced(t, hs.URL+"/v1/diagnose",
+		DiagnoseRequest{Workload: "c17", Datalog: text}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tp := resp.Header.Get("traceparent"); tp != "" {
+		t.Errorf("tracing disabled but response carries traceparent %q", tp)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("X-Request-ID missing with tracing disabled")
+	}
+	var rep Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceID != "" {
+		t.Errorf("report trace_id = %q with tracing disabled", rep.TraceID)
+	}
+	if recs := debugTraces(t, hs.URL); len(recs) != 0 {
+		t.Errorf("/debug/trace returned %d records with tracing disabled", len(recs))
+	}
+}
+
+// TestBatchEndpointTraced: one batch HTTP request produces ONE tree with
+// a serve.device span per device under the shared root.
+func TestBatchEndpointTraced(t *testing.T) {
+	_, hs, spec := newTestServer(t, func(cfg *Config) { cfg.TraceSample = 1 })
+	_, textA := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+	_, textB := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G10", true)})
+
+	resp, body := postTraced(t, hs.URL+"/v1/diagnose/batch", BatchRequest{
+		Workload: "c17",
+		Devices:  []DeviceRequest{{Datalog: textA}, {Datalog: textB}},
+	}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	tid, _, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("batch response traceparent %q does not parse", resp.Header.Get("traceparent"))
+	}
+	var reply BatchReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reply.Results {
+		if r.Status != http.StatusOK {
+			t.Fatalf("device %d: status %d (%s)", i, r.Status, r.Error)
+		}
+		if r.Report.TraceID != tid.String() {
+			t.Errorf("device %d trace_id = %q, want the batch's %s", i, r.Report.TraceID, tid)
+		}
+	}
+
+	rec := findTrace(debugTraces(t, hs.URL), tid.String())
+	if rec == nil {
+		t.Fatal("batch trace was not captured")
+	}
+	devices := 0
+	for i := range rec.Spans {
+		if rec.Spans[i].Name == "serve.device" {
+			devices++
+		}
+	}
+	if devices != 2 {
+		t.Errorf("tree has %d serve.device spans, want 2", devices)
+	}
+}
+
+// TestQueueWaitUnitsAgree pins the µs↔ms conversion between the
+// serve.queue_wait_us histogram (observed in microseconds at dequeue) and
+// Report.QueueWaitMS (milliseconds): a request made to wait ~80ms behind
+// a stalled pass must show up at the same magnitude in both, so a unit
+// slip on either side (1000× off) fails loudly.
+func TestQueueWaitUnitsAgree(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, hs, spec := newTestServer(t, func(cfg *Config) { cfg.MaxBatch = 1 })
+	stalled := false
+	var mu sync.Mutex
+	s.testHookExecute = func(int) {
+		mu.Lock()
+		first := !stalled
+		stalled = true
+		mu.Unlock()
+		if first {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+	req := DiagnoseRequest{Workload: "c17", Datalog: text}
+
+	// First request stalls in the hook; the second waits in queue behind it.
+	go postJSON(t, hs.URL+"/v1/diagnose", req)
+	<-entered
+	done := make(chan Report, 1)
+	go func() {
+		_, body := postJSON(t, hs.URL+"/v1/diagnose", req)
+		var rep Report
+		json.Unmarshal(body, &rep)
+		done <- rep
+	}()
+	waitFor(t, func() bool { return s.workloads["c17"].queued.Load() == 1 })
+	waitMS := 80
+	time.Sleep(time.Duration(waitMS) * time.Millisecond)
+	close(release)
+	rep := <-done
+
+	if rep.QueueWaitMS < float64(waitMS)/2 {
+		t.Fatalf("QueueWaitMS = %.1f, want ≥ %dms (the stall)", rep.QueueWaitMS, waitMS/2)
+	}
+	maxUS := s.reg.Histogram("serve.queue_wait_us").Max()
+	if maxUS < int64(waitMS)*1000/2 {
+		t.Fatalf("queue_wait_us max = %dµs, want ≥ %dµs — microsecond units broken", maxUS, waitMS*1000/2)
+	}
+	gotMS := float64(maxUS) / 1000
+	if gotMS < rep.QueueWaitMS/3 || gotMS > rep.QueueWaitMS*3 {
+		t.Errorf("queue_wait_us max = %.1fms vs QueueWaitMS = %.1fms — units disagree", gotMS, rep.QueueWaitMS)
+	}
+}
+
+// TestConcurrentTracedRequests is the -race stress for span emission
+// under the batcher: many concurrent traced requests, coalesced and solo,
+// while /debug/trace snapshots mid-flight.
+func TestConcurrentTracedRequests(t *testing.T) {
+	_, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.TraceSample = 1
+		cfg.TraceCapacity = 256
+	})
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G16", false)})
+	req := DiagnoseRequest{Workload: "c17", Datalog: text}
+
+	const clients = 8
+	const perClient = 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, body := postJSON(t, hs.URL+"/v1/diagnose", req)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d: %s", resp.StatusCode, body)
+				}
+			}
+		}()
+	}
+	// Snapshot the capture while requests are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			debugTraces(t, hs.URL)
+		}
+	}()
+	wg.Wait()
+
+	recs := debugTraces(t, hs.URL)
+	if len(recs) < clients*perClient {
+		t.Errorf("captured %d traces, want ≥ %d at sample rate 1", len(recs), clients*perClient)
+	}
+	for _, rec := range recs {
+		if rec.Root() == nil {
+			t.Errorf("trace %s has no root span", rec.TraceID)
+		}
+	}
+}
+
+var _ = fmt.Sprintf

@@ -102,7 +102,12 @@ type Report struct {
 	ElapsedMS            float64           `json:"elapsed_ms"`
 	QueueWaitMS          float64           `json:"queue_wait_ms"`
 	BatchSize            int               `json:"batch_size"`
-	Explain              string            `json:"explain,omitempty"`
+	// RequestID echoes the response's X-Request-ID; TraceID names the
+	// request's span tree (empty with tracing off). Both are join keys,
+	// not diagnosis content — golden tests zero them with the timings.
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+	Explain   string `json:"explain,omitempty"`
 }
 
 // CandidateReport is one suspect in wire form.

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// FlagSampled marks trees retained by the probabilistic head of the tail
+// sampler rather than by an interesting outcome.
+const FlagSampled = "sampled"
+
+// FlagSlow marks trees whose root latency cleared the slow threshold at
+// capture time.
+const FlagSlow = "slow"
+
+// CaptureConfig configures a Capture.
+type CaptureConfig struct {
+	// Capacity is the size of EACH retention ring (flagged and sampled),
+	// so routine traffic can never evict a shed or timeout trace.
+	// Zero → 64.
+	Capacity int
+	// SampleRate is the probability an unflagged tree is retained.
+	// 0 keeps none (flagged trees are always kept); 1 keeps all.
+	SampleRate float64
+	// SlowNS, when set, returns the current slow threshold in
+	// nanoseconds (e.g. the live p95 of service time); a tree whose root
+	// span duration meets it is flagged "slow" and always kept. A return
+	// ≤ 0 means "no threshold yet" (too few observations).
+	SlowNS func() int64
+	// Sink, when set, receives every retained tree as one JSON line,
+	// write-through at Offer time. Writes are serialized; errors are
+	// counted, not fatal.
+	Sink io.Writer
+}
+
+// Capture is the tail-based retention buffer: the keep/drop decision is
+// made at request END, when the outcome (shed, timeout, panic, slow,
+// routine) is known. Flagged trees land in a dedicated ring so a burst of
+// routine sampled traffic cannot evict the interesting ones. Safe for
+// concurrent use.
+type Capture struct {
+	cfg CaptureConfig
+
+	mu      sync.Mutex
+	flagged ring
+	sampled ring
+
+	// rng drives sampling decisions: splitmix64 over a counter, same
+	// generator as span IDs but an independent stream.
+	rng atomic.Uint64
+
+	offered   atomic.Int64
+	kept      atomic.Int64
+	sinkErrs  atomic.Int64
+	sinkTrees atomic.Int64
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer of tree records.
+type ring struct {
+	buf  []*TreeRecord
+	next int
+	full bool
+}
+
+func (r *ring) push(rec *TreeRecord) {
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot appends the ring's records oldest-first.
+func (r *ring) snapshot(out []*TreeRecord) []*TreeRecord {
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// NewCapture builds a capture buffer. Nil is a valid *Capture: every
+// method no-ops, so serving code needs no "is capture on?" branches.
+func NewCapture(cfg CaptureConfig) *Capture {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.SampleRate < 0 {
+		cfg.SampleRate = 0
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	c := &Capture{cfg: cfg}
+	c.flagged.buf = make([]*TreeRecord, cfg.Capacity)
+	c.sampled.buf = make([]*TreeRecord, cfg.Capacity)
+	return c
+}
+
+// sampleHit draws one Bernoulli(SampleRate) decision.
+func (c *Capture) sampleHit() bool {
+	rate := c.cfg.SampleRate
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	u := splitmix64((idState.base ^ 0xa5a5a5a5a5a5a5a5) + c.rng.Add(1))
+	return float64(u>>11)/float64(1<<53) < rate
+}
+
+// Offer presents a finished tree for retention. Flag the tree ("shed",
+// "timeout", "panic") BEFORE offering; Offer adds "slow" itself when the
+// root duration clears the SlowNS threshold. Returns whether the tree was
+// kept. Nil capture or nil tree → false.
+func (c *Capture) Offer(t *Tree) bool {
+	if c == nil || t == nil {
+		return false
+	}
+	c.offered.Add(1)
+
+	// Evaluate the slow threshold against the tree's root span before
+	// snapshotting, so the flag lands in the record.
+	if c.cfg.SlowNS != nil {
+		if thr := c.cfg.SlowNS(); thr > 0 {
+			if root := rootDurNS(t); root >= thr {
+				t.Flag(FlagSlow)
+			}
+		}
+	}
+
+	flagged := t.Flagged()
+	sampled := false
+	if !flagged {
+		sampled = c.sampleHit()
+		if !sampled {
+			return false
+		}
+		t.Flag(FlagSampled)
+	}
+
+	rec := t.Record()
+	c.kept.Add(1)
+	c.mu.Lock()
+	if flagged {
+		c.flagged.push(rec)
+	} else {
+		c.sampled.push(rec)
+	}
+	c.mu.Unlock()
+
+	if c.cfg.Sink != nil {
+		c.mu.Lock()
+		err := rec.WriteJSONL(c.cfg.Sink)
+		c.mu.Unlock()
+		if err != nil {
+			c.sinkErrs.Add(1)
+		} else {
+			c.sinkTrees.Add(1)
+		}
+	}
+	return true
+}
+
+// rootDurNS returns the duration of the tree's first finished root-level
+// span, or 0 when none is finished yet.
+func rootDurNS(t *Tree) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		sp := &t.spans[i]
+		if sp.done && (sp.parent.IsZero() || sp.parent == t.remote) {
+			return sp.dur.Nanoseconds()
+		}
+	}
+	return 0
+}
+
+// Snapshot returns the retained trees, flagged ring first, each ring
+// oldest-first. Nil capture → nil.
+func (c *Capture) Snapshot() []*TreeRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*TreeRecord, 0, len(c.flagged.buf)+len(c.sampled.buf))
+	out = c.flagged.snapshot(out)
+	out = c.sampled.snapshot(out)
+	return out
+}
+
+// Stats reports capture counters: trees offered, trees kept, trees
+// written to the sink, sink write errors.
+func (c *Capture) Stats() (offered, kept, sunk, sinkErrs int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	return c.offered.Load(), c.kept.Load(), c.sinkTrees.Load(), c.sinkErrs.Load()
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func finishedTree(name string, flags ...string) *Tree {
+	tr := NewTree(TraceID{})
+	sp := tr.Start(name)
+	sp.End()
+	for _, f := range flags {
+		tr.Flag(f)
+	}
+	return tr
+}
+
+// TestTailPolicyFlaggedAlwaysKept pins the acceptance criterion: shed and
+// timeout trees survive regardless of sample rate.
+func TestTailPolicyFlaggedAlwaysKept(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 8, SampleRate: 0})
+	if !c.Offer(finishedTree("shed-req", "shed")) {
+		t.Fatal("shed tree dropped")
+	}
+	if !c.Offer(finishedTree("late-req", "timeout")) {
+		t.Fatal("timeout tree dropped")
+	}
+	if !c.Offer(finishedTree("boom-req", "panic")) {
+		t.Fatal("panic tree dropped")
+	}
+	if c.Offer(finishedTree("routine")) {
+		t.Fatal("unflagged tree kept at rate 0")
+	}
+	recs := c.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("snapshot holds %d trees, want 3", len(recs))
+	}
+	offered, kept, _, _ := c.Stats()
+	if offered != 4 || kept != 3 {
+		t.Fatalf("stats offered=%d kept=%d", offered, kept)
+	}
+}
+
+// TestTailPolicyFlaggedRingNotEvictedBySampled floods the capture with
+// routine sampled traffic and requires the flagged ring untouched.
+func TestTailPolicyFlaggedRingNotEvictedBySampled(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 4, SampleRate: 1})
+	c.Offer(finishedTree("interesting", "shed"))
+	for i := 0; i < 100; i++ {
+		c.Offer(finishedTree("routine"))
+	}
+	var shed int
+	for _, r := range c.Snapshot() {
+		if r.HasFlag("shed") {
+			shed++
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("shed tree evicted by sampled traffic (found %d)", shed)
+	}
+}
+
+func TestSampleRateZeroOneAndRing(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 4, SampleRate: 1})
+	for i := 0; i < 10; i++ {
+		if !c.Offer(finishedTree("r")) {
+			t.Fatal("rate-1 capture dropped a tree")
+		}
+	}
+	recs := c.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring retained %d, want capacity 4", len(recs))
+	}
+	for _, r := range recs {
+		if !r.HasFlag(FlagSampled) {
+			t.Fatalf("sampled tree missing %q flag: %v", FlagSampled, r.Flags)
+		}
+	}
+}
+
+func TestSampleRateIsApproximatelyHonored(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 4096, SampleRate: 0.25})
+	kept := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if c.Offer(finishedTree("r")) {
+			kept++
+		}
+	}
+	// 0.25·4000 = 1000 expected; ±20% is ~29σ, so a failure means the
+	// sampler is broken, not unlucky.
+	if kept < 800 || kept > 1200 {
+		t.Fatalf("kept %d of %d at rate 0.25", kept, n)
+	}
+}
+
+func TestSlowThresholdFlags(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 8, SampleRate: 0, SlowNS: func() int64 {
+		return int64(5 * time.Millisecond)
+	}})
+	slow := NewTree(TraceID{})
+	sp := slow.Start("slow-req")
+	time.Sleep(8 * time.Millisecond)
+	sp.End()
+	if !c.Offer(slow) {
+		t.Fatal("slow tree dropped")
+	}
+	fast := finishedTree("fast-req")
+	if c.Offer(fast) {
+		t.Fatal("fast tree kept at rate 0")
+	}
+	recs := c.Snapshot()
+	if len(recs) != 1 || !recs[0].HasFlag(FlagSlow) {
+		t.Fatalf("slow flag missing: %+v", recs)
+	}
+}
+
+func TestSlowThresholdZeroMeansNoFlag(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 8, SampleRate: 1, SlowNS: func() int64 { return 0 }})
+	c.Offer(finishedTree("r"))
+	if recs := c.Snapshot(); recs[0].HasFlag(FlagSlow) {
+		t.Fatal("zero threshold flagged a tree slow")
+	}
+}
+
+func TestSinkWriteThrough(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCapture(CaptureConfig{Capacity: 2, SampleRate: 1, Sink: &buf})
+	c.Offer(finishedTree("a", "shed"))
+	c.Offer(finishedTree("b"))
+	recs, err := ReadTrees(&buf)
+	if err != nil {
+		t.Fatalf("sink stream unreadable: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("sink holds %d trees, want 2", len(recs))
+	}
+	_, _, sunk, errs := c.Stats()
+	if sunk != 2 || errs != 0 {
+		t.Fatalf("sink stats sunk=%d errs=%d", sunk, errs)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("sink down") }
+
+// TestSinkErrorCountedNotFatal pins that a broken sink degrades to a
+// counter, never an error surfaced to the request path.
+func TestSinkErrorCountedNotFatal(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 2, SampleRate: 1, Sink: failWriter{}})
+	if !c.Offer(finishedTree("a")) {
+		t.Fatal("tree dropped because sink failed")
+	}
+	if _, _, sunk, errs := c.Stats(); sunk != 0 || errs != 1 {
+		t.Fatalf("sink stats sunk=%d errs=%d", sunk, errs)
+	}
+}
+
+func TestNilCaptureInert(t *testing.T) {
+	var c *Capture
+	if c.Offer(finishedTree("x", "shed")) {
+		t.Fatal("nil capture kept a tree")
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil capture snapshot non-nil")
+	}
+	if o, k, s, e := c.Stats(); o+k+s+e != 0 {
+		t.Fatal("nil capture stats non-zero")
+	}
+}

@@ -1,0 +1,325 @@
+// Package trace is request-scoped distributed tracing: one diagnosis
+// request carries a span tree — trace ID, span IDs with parent links,
+// start offsets and durations, small typed attributes — through every
+// layer it touches, from HTTP ingress in internal/serve through the
+// core engine's phases down to fsim's fault-parallel workers and their
+// cone-cache probes.
+//
+// It complements internal/obs rather than replacing it: obs aggregates
+// (phase totals, counters, histograms) answer "is the service slow?",
+// a trace tree answers "where did THIS request spend its time?". The
+// two join on exemplar trace IDs attached to obs histograms.
+//
+// Design constraints, in priority order:
+//
+//   - The disabled path is allocation-free and near-zero cost: a context
+//     without a tree yields zero-value SpanContext/Span handles whose
+//     every method is a nil-check no-op, so instrumented code needs no
+//     "is tracing on?" branches (the same contract as obs).
+//   - Everything is safe for concurrent use: the batcher, the engine and
+//     the fault-parallel workers all emit spans into one request's tree.
+//   - Trees are bounded (maxTreeSpans) so a pathological request cannot
+//     grow memory without limit; drops are counted, never silent.
+//
+// Interop: trace and span IDs follow the W3C Trace Context format
+// (16-byte trace ID, 8-byte span ID, lowercase hex), and ParseTraceparent
+// / Traceparent convert to and from the `traceparent` header, so mdserve
+// can join traces started by an upstream proxy or client.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the W3C 16-byte trace identifier.
+type TraceID [16]byte
+
+// SpanID is the W3C 8-byte span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as lowercase hex (the traceparent field form).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as lowercase hex (the traceparent field form).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idState seeds process-unique ID generation: a random base from
+// crypto/rand mixed with an atomic counter through splitmix64, so IDs are
+// unique within and (with overwhelming probability) across processes
+// without taking a lock or draining the kernel entropy pool per span.
+var idState struct {
+	base uint64
+	ctr  atomic.Uint64
+}
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock: uniqueness degrades to per-process,
+		// which the in-process span tree never notices.
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	idState.base = binary.LittleEndian.Uint64(b[:])
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche over the counter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nextID() uint64 {
+	for {
+		if id := splitmix64(idState.base + idState.ctr.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// maxTreeSpans bounds one tree's retained spans; a runaway instrumentation
+// loop drops (and counts) spans instead of growing a request's memory
+// without bound. 4096 is ~50× the deepest tree the engine produces today.
+const maxTreeSpans = 4096
+
+// Attr is one span or tree attribute: a key with either an integer or a
+// string value (IsInt selects).
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// spanRec is one span's retained state inside a tree.
+type spanRec struct {
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Duration // offset from tree epoch
+	dur    time.Duration
+	done   bool
+	attrs  []Attr
+}
+
+// Tree collects one request's spans. All methods are safe for concurrent
+// use; a nil *Tree accepts every call as a no-op.
+type Tree struct {
+	traceID TraceID
+	epoch   time.Time
+	wall    time.Time // wall clock at epoch, for the wire record
+
+	mu      sync.Mutex
+	remote  SpanID // parent span from an incoming traceparent, if any
+	spans   []spanRec
+	dropped int64
+	flags   []string
+	attrs   []Attr
+}
+
+// NewTree starts a tree. A zero id draws a fresh trace ID; a non-zero id
+// (from an incoming traceparent) joins the caller's trace.
+func NewTree(id TraceID) *Tree {
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	now := time.Now()
+	return &Tree{traceID: id, epoch: now, wall: now}
+}
+
+// TraceID returns the tree's trace ID (zero on nil).
+func (t *Tree) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.traceID
+}
+
+// SetRemoteParent records the upstream span ID from an incoming
+// traceparent header: root spans of this tree become its children, so the
+// caller's trace stays connected across the process boundary.
+func (t *Tree) SetRemoteParent(id SpanID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.remote = id
+	t.mu.Unlock()
+}
+
+// Flag marks the tree with a tail-sampling flag ("shed", "timeout",
+// "panic", "slow", …). Duplicate flags collapse.
+func (t *Tree) Flag(f string) {
+	if t == nil || f == "" {
+		return
+	}
+	t.mu.Lock()
+	for _, have := range t.flags {
+		if have == f {
+			t.mu.Unlock()
+			return
+		}
+	}
+	t.flags = append(t.flags, f)
+	t.mu.Unlock()
+}
+
+// Flagged reports whether any tail flag is set.
+func (t *Tree) Flagged() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flags) > 0
+}
+
+// SetAttr attaches a tree-level string attribute (request ID, workload,
+// …). Last write per key wins in the wire record.
+func (t *Tree) SetAttr(key, val string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, Attr{Key: key, Str: val})
+	t.mu.Unlock()
+}
+
+// Start opens a root-level span (child of the remote parent when one was
+// set). Nil tree → inert zero Span.
+func (t *Tree) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	parent := t.remote
+	t.mu.Unlock()
+	return t.startSpan(name, parent)
+}
+
+func (t *Tree) startSpan(name string, parent SpanID) Span {
+	now := time.Now()
+	id := NewSpanID()
+	t.mu.Lock()
+	idx := int32(-1)
+	if len(t.spans) < maxTreeSpans {
+		idx = int32(len(t.spans))
+		t.spans = append(t.spans, spanRec{id: id, parent: parent, name: name, start: now.Sub(t.epoch)})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	return Span{t: t, idx: idx, id: id, start: now}
+}
+
+// Dropped returns the number of spans discarded past the retention bound.
+func (t *Tree) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of retained spans.
+func (t *Tree) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Span is one in-flight measurement in a tree. The zero value is inert:
+// every method no-ops, so disabled-path call sites stay branch-free.
+type Span struct {
+	t     *Tree
+	idx   int32
+	id    SpanID
+	start time.Time
+}
+
+// Enabled reports whether the span records into a live tree.
+func (s Span) Enabled() bool { return s.t != nil }
+
+// ID returns the span's ID (zero when inert).
+func (s Span) ID() SpanID { return s.id }
+
+// Tree returns the tree the span records into (nil when inert).
+func (s Span) Tree() *Tree { return s.t }
+
+// Start opens a child span.
+func (s Span) Start(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.startSpan(name, s.id)
+}
+
+// End finishes the span, recording its duration. Returns the duration
+// (meaningless but harmless on an inert span). Ending twice keeps the
+// first duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.t == nil || s.idx < 0 {
+		return d
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.idx]
+	if !rec.done {
+		rec.dur = d
+		rec.done = true
+	}
+	s.t.mu.Unlock()
+	return d
+}
+
+// SetInt attaches an integer attribute to the span.
+func (s Span) SetInt(key string, v int64) {
+	if s.t == nil || s.idx < 0 {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.idx].attrs = append(s.t.spans[s.idx].attrs, Attr{Key: key, Int: v, IsInt: true})
+	s.t.mu.Unlock()
+}
+
+// SetStr attaches a string attribute to the span.
+func (s Span) SetStr(key, val string) {
+	if s.t == nil || s.idx < 0 {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.idx].attrs = append(s.t.spans[s.idx].attrs, Attr{Key: key, Str: val})
+	s.t.mu.Unlock()
+}

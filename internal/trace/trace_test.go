@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDsNonZeroAndUnique(t *testing.T) {
+	seenT := map[TraceID]bool{}
+	seenS := map[SpanID]bool{}
+	for i := 0; i < 10000; i++ {
+		tid := NewTraceID()
+		sid := NewSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatalf("zero ID generated at iteration %d", i)
+		}
+		if seenT[tid] || seenS[sid] {
+			t.Fatalf("duplicate ID at iteration %d", i)
+		}
+		seenT[tid] = true
+		seenS[sid] = true
+	}
+}
+
+func TestIDStringFormat(t *testing.T) {
+	tid := NewTraceID()
+	sid := NewSpanID()
+	if len(tid.String()) != 32 || len(sid.String()) != 16 {
+		t.Fatalf("hex lengths: trace %d span %d, want 32/16", len(tid.String()), len(sid.String()))
+	}
+	if strings.ToLower(tid.String()) != tid.String() {
+		t.Fatalf("trace ID not lowercase hex: %s", tid.String())
+	}
+}
+
+func TestTreeParentChildStructure(t *testing.T) {
+	tr := NewTree(TraceID{})
+	root := tr.Start("root")
+	child := root.Start("child")
+	grand := child.Start("grand")
+	grand.SetInt("n", 7)
+	grand.End()
+	child.End()
+	sib := root.Start("sibling")
+	sib.End()
+	root.End()
+
+	rec := tr.Record()
+	if rec.Schema != Schema {
+		t.Fatalf("schema %q", rec.Schema)
+	}
+	if len(rec.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(rec.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].ParentID != "" {
+		t.Fatalf("root has parent %q", byName["root"].ParentID)
+	}
+	if byName["child"].ParentID != byName["root"].SpanID {
+		t.Fatalf("child parent %q != root %q", byName["child"].ParentID, byName["root"].SpanID)
+	}
+	if byName["grand"].ParentID != byName["child"].SpanID {
+		t.Fatalf("grand parent mismatch")
+	}
+	if byName["sibling"].ParentID != byName["root"].SpanID {
+		t.Fatalf("sibling parent mismatch")
+	}
+	if got := byName["grand"].Attrs["n"]; got != float64(7) && got != int64(7) {
+		t.Fatalf("grand attr n = %v (%T)", got, got)
+	}
+	if got := rec.Root(); got == nil || got.Name != "root" {
+		t.Fatalf("Root() = %+v", got)
+	}
+}
+
+func TestRemoteParentConnectsRoot(t *testing.T) {
+	remote := NewSpanID()
+	tr := NewTree(TraceID{})
+	tr.SetRemoteParent(remote)
+	sp := tr.Start("ingress")
+	sp.End()
+	rec := tr.Record()
+	if rec.Spans[0].ParentID != remote.String() {
+		t.Fatalf("root parent %q, want remote %q", rec.Spans[0].ParentID, remote.String())
+	}
+	// Root() must still find it: the remote parent resolves to no local span.
+	if got := rec.Root(); got == nil || got.Name != "ingress" {
+		t.Fatalf("Root() = %+v", got)
+	}
+}
+
+func TestSpanEndTwiceKeepsFirst(t *testing.T) {
+	tr := NewTree(TraceID{})
+	sp := tr.Start("once")
+	d1 := sp.End()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	rec := tr.Record()
+	if got := rec.Spans[0].DurNS; got != d1.Nanoseconds() {
+		t.Fatalf("second End overwrote duration: %d vs %d", got, d1.Nanoseconds())
+	}
+}
+
+func TestUnfinishedSpanMarked(t *testing.T) {
+	tr := NewTree(TraceID{})
+	tr.Start("open")
+	rec := tr.Record()
+	if !rec.Spans[0].Unfinished || rec.Spans[0].DurNS != 0 {
+		t.Fatalf("open span not marked unfinished: %+v", rec.Spans[0])
+	}
+}
+
+func TestTreeSpanBoundCountsDrops(t *testing.T) {
+	tr := NewTree(TraceID{})
+	for i := 0; i < maxTreeSpans+10; i++ {
+		tr.Start("s").End()
+	}
+	if tr.Len() != maxTreeSpans {
+		t.Fatalf("retained %d, want %d", tr.Len(), maxTreeSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped %d, want 10", tr.Dropped())
+	}
+	if tr.Record().Dropped != 10 {
+		t.Fatalf("record dropped mismatch")
+	}
+}
+
+func TestFlagDedup(t *testing.T) {
+	tr := NewTree(TraceID{})
+	tr.Flag("shed")
+	tr.Flag("shed")
+	tr.Flag("timeout")
+	rec := tr.Record()
+	if len(rec.Flags) != 2 {
+		t.Fatalf("flags %v", rec.Flags)
+	}
+	if !rec.HasFlag("shed") || !rec.HasFlag("timeout") || rec.HasFlag("panic") {
+		t.Fatalf("HasFlag wrong: %v", rec.Flags)
+	}
+}
+
+func TestNilAndInertHandlesNoOp(t *testing.T) {
+	var tr *Tree
+	sp := tr.Start("x")
+	if sp.Enabled() {
+		t.Fatal("span from nil tree enabled")
+	}
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+	child := sp.Start("y")
+	if child.Enabled() {
+		t.Fatal("child of inert span enabled")
+	}
+	tr.Flag("shed")
+	tr.SetAttr("a", "b")
+	tr.SetRemoteParent(NewSpanID())
+	if tr.Record() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.Flagged() {
+		t.Fatal("nil tree methods not inert")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx).Enabled() {
+		t.Fatal("empty context enabled")
+	}
+	if FromContext(ctx).Start("x").Enabled() {
+		t.Fatal("span from empty context enabled")
+	}
+
+	tr := NewTree(TraceID{})
+	ctx = WithTree(ctx, tr)
+	sc := FromContext(ctx)
+	if !sc.Enabled() || sc.Tree() != tr {
+		t.Fatal("tree not carried")
+	}
+	root := sc.Start("root")
+	ctx2 := WithSpan(ctx, root)
+	child := FromContext(ctx2).Start("child")
+	child.End()
+	root.End()
+	rec := tr.Record()
+	if len(rec.Spans) != 2 || rec.Spans[1].ParentID != rec.Spans[0].SpanID {
+		t.Fatalf("context parenting broken: %+v", rec.Spans)
+	}
+
+	// Inert handles must not grow the context chain.
+	if got := WithTree(context.Background(), nil); got != context.Background() {
+		t.Fatal("WithTree(nil) allocated a context")
+	}
+	if got := WithSpan(context.Background(), Span{}); got != context.Background() {
+		t.Fatal("WithSpan(inert) allocated a context")
+	}
+}
+
+func TestDisabledPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		sc := FromContext(ctx)
+		sp := sc.Start("phase")
+		sp.SetInt("k", 1)
+		child := sp.Start("sub")
+		child.End()
+		sp.End()
+		_ = WithSpan(ctx, sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTraceparentRoundtrip(t *testing.T) {
+	tid := NewTraceID()
+	sid := NewSpanID()
+	h := Traceparent(tid, sid)
+	if len(h) != 55 {
+		t.Fatalf("traceparent length %d: %s", len(h), h)
+	}
+	gotT, gotS, ok := ParseTraceparent(h)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("roundtrip failed: %s", h)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	good := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, _, ok := ParseTraceparent(good); !ok {
+		t.Fatal("reference header rejected")
+	}
+	// Future-version header with trailing fields is accepted.
+	if _, _, ok := ParseTraceparent(good + "-extra"); !ok {
+		t.Fatal("future-version suffix rejected")
+	}
+	bad := []string{
+		"",
+		"00",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff forbidden
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"00-4bf92f3577b34da6a3ce929d0e0e473Z-00f067aa0ba902b7-01", // non-hex
+		"004bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // missing dash
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Fatalf("accepted malformed header %q", h)
+		}
+	}
+}
+
+// TestConcurrentSpanEmission drives many goroutines into one tree; run
+// under -race this pins the locking discipline.
+func TestConcurrentSpanEmission(t *testing.T) {
+	tr := NewTree(TraceID{})
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := root.Start("work")
+				sp.SetInt("iter", int64(i))
+				tr.Flag("stress")
+				if i%10 == 0 {
+					_ = tr.Record() // snapshot mid-flight
+				}
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Len(); got != workers*perWorker+1 {
+		t.Fatalf("retained %d spans, want %d", got, workers*perWorker+1)
+	}
+	rec := tr.Record()
+	for _, s := range rec.Spans {
+		if s.Name == "work" && s.ParentID != rec.Spans[0].SpanID {
+			t.Fatalf("worker span detached: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema identifies the trace-tree wire format; bump on incompatible
+// change. The golden test in golden_test.go pins the serialization.
+const Schema = "mdtrace/v1"
+
+// TreeRecord is the wire form of one captured span tree: one JSON object
+// per tree, one tree per line in JSONL sinks and in the /debug/trace
+// response.
+type TreeRecord struct {
+	Schema  string `json:"schema"`
+	TraceID string `json:"trace_id"`
+	// StartUnixNS is the tree's epoch on the wall clock.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// Flags carries the tail-sampling marks ("shed", "timeout", "panic",
+	// "slow", "sampled").
+	Flags []string `json:"flags,omitempty"`
+	// Attrs carries tree-level attributes (request_id, workload, …).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Dropped counts spans discarded past the retention bound.
+	Dropped int64 `json:"dropped,omitempty"`
+	// Spans lists every retained span in start order; the first span with
+	// an absent or foreign parent is the root.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// SpanRecord is the wire form of one span.
+type SpanRecord struct {
+	SpanID string `json:"span_id"`
+	// ParentID is empty for a root span (or carries the remote parent from
+	// an incoming traceparent, which no local span resolves to).
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartNS is the offset from the tree epoch.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	// Unfinished marks a span still open when the tree was captured (its
+	// DurNS is the time observed so far).
+	Unfinished bool           `json:"unfinished,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// attrMap flattens an attribute list into the wire map (last write per
+// key wins, matching SetAttr/SetInt semantics).
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		if a.IsInt {
+			m[a.Key] = a.Int
+		} else {
+			m[a.Key] = a.Str
+		}
+	}
+	return m
+}
+
+// Record snapshots the tree into its wire form. Safe to call while spans
+// are still being emitted (they appear as Unfinished); nil tree → nil.
+func (t *Tree) Record() *TreeRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := &TreeRecord{
+		Schema:      Schema,
+		TraceID:     t.traceID.String(),
+		StartUnixNS: t.wall.UnixNano(),
+		Flags:       append([]string(nil), t.flags...),
+		Attrs:       attrMap(t.attrs),
+		Dropped:     t.dropped,
+		Spans:       make([]SpanRecord, 0, len(t.spans)),
+	}
+	for i := range t.spans {
+		sp := &t.spans[i]
+		sr := SpanRecord{
+			SpanID:  sp.id.String(),
+			Name:    sp.name,
+			StartNS: sp.start.Nanoseconds(),
+			DurNS:   sp.dur.Nanoseconds(),
+			Attrs:   attrMap(sp.attrs),
+		}
+		if !sp.parent.IsZero() {
+			sr.ParentID = sp.parent.String()
+		}
+		if !sp.done {
+			sr.Unfinished = true
+			sr.DurNS = 0
+		}
+		rec.Spans = append(rec.Spans, sr)
+	}
+	return rec
+}
+
+// Root returns the record's root span: the first span whose parent is
+// absent or resolves to no span in the record (a remote parent). Nil when
+// the record holds no spans.
+func (r *TreeRecord) Root() *SpanRecord {
+	if r == nil || len(r.Spans) == 0 {
+		return nil
+	}
+	local := make(map[string]bool, len(r.Spans))
+	for i := range r.Spans {
+		local[r.Spans[i].SpanID] = true
+	}
+	for i := range r.Spans {
+		if r.Spans[i].ParentID == "" || !local[r.Spans[i].ParentID] {
+			return &r.Spans[i]
+		}
+	}
+	return &r.Spans[0]
+}
+
+// HasFlag reports whether the record carries the given tail flag.
+func (r *TreeRecord) HasFlag(f string) bool {
+	if r == nil {
+		return false
+	}
+	for _, have := range r.Flags {
+		if have == f {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSONL writes the record as one JSON line.
+func (r *TreeRecord) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(r)
+}
+
+// ReadTrees decodes a JSONL stream of tree records (the -trace-spans-out
+// sink format and the /debug/trace response body). Blank lines are
+// skipped; a record with the wrong schema fails loudly rather than being
+// misread.
+func ReadTrees(r io.Reader) ([]*TreeRecord, error) {
+	var out []*TreeRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		rec := &TreeRecord{}
+		if err := json.Unmarshal(b, rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Schema != Schema {
+			return nil, fmt.Errorf("trace: line %d: schema %q, want %q", line, rec.Schema, Schema)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

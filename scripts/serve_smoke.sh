@@ -20,8 +20,11 @@ LOG="$WORK/mdserve.log"
 REC="$WORK/serve_record.json"
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
+# -trace-sample 1 retains every request's span tree so the /debug/trace
+# assertion below is deterministic.
 "$BIN" -addr 127.0.0.1:0 -workload c17 -workload add16 \
     -max-batch 4 -queue-depth 16 -service-record-out "$REC" \
+    -trace-sample 1 -trace-spans-out "$WORK/traces.jsonl" \
     >"$LOG" 2>&1 &
 PID=$!
 
@@ -74,6 +77,19 @@ for m in multidiag_serve_requests multidiag_serve_batches multidiag_serve_servic
     grep -q "^$m" "$WORK/metrics" || fail "/metrics missing $m"
 done
 
+# Tail-captured request traces: after the burst, /debug/trace must hold
+# schema-valid span trees that cover the whole request path.
+curl -s "$URL/debug/trace" >"$WORK/traces"
+[ -s "$WORK/traces" ] || fail "/debug/trace returned no traces at sample rate 1"
+grep -q '"schema":"mdtrace/v1"' "$WORK/traces" || fail "/debug/trace records missing mdtrace/v1 schema"
+for span in serve.request serve.execute diagnose score fsim.worker; do
+    grep -q "\"name\":\"$span\"" "$WORK/traces" || fail "/debug/trace trees missing a $span span"
+done
+if [ -x bin/mdtrace ]; then
+    bin/mdtrace "$WORK/traces" >"$WORK/mdtrace_report" || fail "mdtrace could not analyze /debug/trace output"
+    grep -q 'critical path' "$WORK/mdtrace_report" || fail "mdtrace report missing critical path"
+fi
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
 i=0
@@ -87,5 +103,6 @@ wait "$PID" && rc=0 || rc=$?
 grep -q "mdserve: drained" "$LOG" || fail "no drain confirmation in log"
 [ -s "$REC" ] || fail "service record not written"
 grep -q '"requests": 11' "$REC" || fail "service record miscounted requests: $(cat "$REC")"
+[ -s "$WORK/traces.jsonl" ] || fail "-trace-spans-out sink not written"
 
 echo "serve_smoke: OK ($(sed -n 's/.*"service_p95_ms": //p' "$REC" | tr -d ',') ms p95)"
