@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchdiff quality quality-baseline serve-smoke clean
+.PHONY: all build test race vet lint bench benchdiff quality quality-baseline prof prof-gate prof-baseline serve-smoke clean
 
 all: build vet test
 
@@ -14,10 +14,11 @@ test:
 # race covers the packages with real concurrency: the obs registry, the
 # campaign worker pool, the fault-parallel engine, the sharded cone
 # cache (the fsim stress test is the cache's -race proof), the span-tree
-# tracer (workers and capture snapshots share one tree) and the
-# diagnosis service (admission, batcher, concurrent traced clients).
+# tracer (workers and capture snapshots share one tree), the diagnosis
+# service (admission, batcher, concurrent traced clients) and the
+# profiling collector (phase windows, snapshot rings, /debug/prof polls).
 race:
-	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/trace ./internal/serve
+	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/trace ./internal/serve ./internal/prof
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +66,32 @@ quality: build
 # quality change (commit the diff alongside the change that caused it).
 quality-baseline: build
 	$(QUALITY_CMD) QUALITY_baseline.json > /dev/null
+
+# PROF_CMD is the exact profiled campaign both prof targets run, so the
+# committed PROF_baseline.json and the gate candidate are like-for-like
+# (deterministic single-seed T3 — the diagnosis campaign, so every phase
+# window fires; -j 1 keeps the phases sequential so the per-phase deltas
+# tile the run).
+PROF_CMD = bin/mdexp -quick -seeds 1 -only T3 -j 1 -prof -prof-out
+
+# prof runs the profiled campaign and prints the per-phase attribution
+# report (wall, allocations, contention) from the snapshot stream.
+prof: build
+	$(PROF_CMD) /tmp/prof_current.jsonl > /dev/null
+	bin/mdprof report /tmp/prof_current.jsonl
+
+# prof-gate re-runs the profiled campaign and gates its per-phase
+# allocation profile against the committed PROF_baseline.json: >25%
+# per-call growth warns, >50% fails (see cmd/mdprof).
+prof-gate: build
+	$(PROF_CMD) /tmp/prof_current.jsonl > /dev/null
+	bin/mdprof gate PROF_baseline.json /tmp/prof_current.jsonl
+
+# prof-baseline regenerates the committed allocation baseline after an
+# intentional profile change (commit the diff alongside its cause).
+prof-baseline: build
+	$(PROF_CMD) /tmp/prof_baseline.jsonl > /dev/null
+	bin/mdprof baseline /tmp/prof_baseline.jsonl -o PROF_baseline.json
 
 # serve-smoke boots mdserve, fires a request burst, checks /metrics, and
 # requires a clean SIGTERM drain — the end-to-end proof behind the

@@ -159,6 +159,8 @@ func compareMain(args []string) {
 	fs := flag.NewFlagSet("benchdiff compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 20, "ns/op regression percentage that triggers a warning")
 	failThreshold := fs.Float64("fail-threshold", 0, "ns/op regression percentage that is an error (0 = disabled); exits non-zero when exceeded")
+	allocThreshold := fs.Float64("alloc-threshold", 20, "allocs_per_op / bytes_per_op regression percentage that triggers a warning (checked only when both sides recorded -benchmem numbers)")
+	allocFailThreshold := fs.Float64("alloc-fail-threshold", 0, "allocs_per_op / bytes_per_op regression percentage that is an error (0 = disabled); exits non-zero when exceeded")
 	failOnRegress := fs.Bool("fail", false, "exit non-zero when a regression exceeds the warning threshold")
 	// Positional args may precede flags (compare a.json b.json -fail).
 	var paths []string
@@ -181,19 +183,23 @@ func compareMain(args []string) {
 		fatal(err)
 	}
 
-	warnings, failures := compareFiles(os.Stdout, base, cur, *threshold, *failThreshold)
+	warnings, failures := compareFiles(os.Stdout, base, cur, *threshold, *failThreshold, *allocThreshold, *allocFailThreshold)
 	if failures > 0 || (warnings > 0 && *failOnRegress) {
 		os.Exit(1)
 	}
 }
 
 // compareFiles prints the per-benchmark delta table and returns how many
-// ns/op regressions crossed the warning threshold and the (optional,
-// 0-disabled) failure threshold. A delta beyond failTh counts only as a
-// failure; between warnTh and failTh it is a warning. Benchmarks present
-// on only one side are reported but never fatal, so a baseline refresh
-// and a new benchmark can land in the same change.
-func compareFiles(w io.Writer, base, cur *File, warnTh, failTh float64) (warnings, failures int) {
+// regressions crossed the warning thresholds and the (optional,
+// 0-disabled) failure thresholds. ns/op deltas gate on warnTh/failTh;
+// allocs_per_op and bytes_per_op gate on allocWarnTh/allocFailTh, checked
+// only when both sides recorded a nonzero value (a baseline captured
+// without -benchmem never trips the alloc gate). A delta beyond a fail
+// threshold counts only as a failure; between the warn and fail
+// thresholds it is a warning. Benchmarks present on only one side are
+// reported but never fatal, so a baseline refresh and a new benchmark can
+// land in the same change.
+func compareFiles(w io.Writer, base, cur *File, warnTh, failTh, allocWarnTh, allocFailTh float64) (warnings, failures int) {
 	names := map[string]bool{}
 	for n := range base.Benchmarks {
 		names[n] = true
@@ -232,9 +238,34 @@ func compareFiles(w io.Writer, base, cur *File, warnTh, failTh float64) (warning
 				annotate("warning", fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, threshold %.0f%%)",
 					n, delta, b.NsPerOp, c.NsPerOp, warnTh))
 			}
+			wAlloc, fAlloc := gateAllocMetric(n, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, allocWarnTh, allocFailTh)
+			warnings, failures = warnings+wAlloc, failures+fAlloc
+			wBytes, fBytes := gateAllocMetric(n, "B/op", b.BytesPerOp, c.BytesPerOp, allocWarnTh, allocFailTh)
+			warnings, failures = warnings+wBytes, failures+fBytes
 		}
 	}
 	return warnings, failures
+}
+
+// gateAllocMetric applies the alloc warn/fail thresholds to one -benchmem
+// metric (allocs_per_op or bytes_per_op). Either side being zero means the
+// metric was not recorded there, so nothing is gated.
+func gateAllocMetric(name, unit string, base, cur int64, warnTh, failTh float64) (warnings, failures int) {
+	if base <= 0 || cur <= 0 {
+		return 0, 0
+	}
+	delta := float64(cur-base) / float64(base) * 100
+	switch {
+	case failTh > 0 && delta > failTh:
+		annotate("error", fmt.Sprintf("%s regressed %.1f%% (%d → %d %s, failure threshold %.0f%%)",
+			name, delta, base, cur, unit, failTh))
+		return 0, 1
+	case delta > warnTh:
+		annotate("warning", fmt.Sprintf("%s regressed %.1f%% (%d → %d %s, threshold %.0f%%)",
+			name, delta, base, cur, unit, warnTh))
+		return 1, 0
+	}
+	return 0, 0
 }
 
 // annotate prints a regression annotation at the given level ("warning" or

@@ -71,7 +71,7 @@ func TestCompareFilesThresholds(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 42},
 	}}
 	var out strings.Builder
-	warnings, failures := compareFiles(&out, base, cur, 20, 35)
+	warnings, failures := compareFiles(&out, base, cur, 20, 35, 20, 0)
 	if warnings != 1 || failures != 1 {
 		t.Fatalf("warnings=%d failures=%d, want 1/1\n%s", warnings, failures, out.String())
 	}
@@ -86,8 +86,37 @@ func TestCompareFilesFailThresholdDisabled(t *testing.T) {
 	base := &File{Benchmarks: map[string]Bench{"BenchmarkC": {NsPerOp: 100}}}
 	cur := &File{Benchmarks: map[string]Bench{"BenchmarkC": {NsPerOp: 200}}}
 	var out strings.Builder
-	warnings, failures := compareFiles(&out, base, cur, 20, 0)
+	warnings, failures := compareFiles(&out, base, cur, 20, 0, 20, 0)
 	if warnings != 1 || failures != 0 {
 		t.Fatalf("warnings=%d failures=%d, want 1/0 with fail-threshold disabled", warnings, failures)
+	}
+}
+
+func TestCompareFilesAllocGate(t *testing.T) {
+	base := &File{Benchmarks: map[string]Bench{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkC": {NsPerOp: 100}, // no -benchmem numbers in the baseline
+	}}
+	cur := &File{Benchmarks: map[string]Bench{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1300, AllocsPerOp: 105}, // bytes warn (>25), allocs ok
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 200}, // allocs fail (>50)
+		"BenchmarkC": {NsPerOp: 100, BytesPerOp: 9999, AllocsPerOp: 9999},
+	}}
+	var out strings.Builder
+	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 50)
+	if warnings != 1 || failures != 1 {
+		t.Fatalf("warnings=%d failures=%d, want 1/1 (bytes warn + allocs fail, missing baseline side skipped)\n%s",
+			warnings, failures, out.String())
+	}
+}
+
+func TestCompareFilesAllocFailThresholdDisabled(t *testing.T) {
+	base := &File{Benchmarks: map[string]Bench{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 100}}}
+	cur := &File{Benchmarks: map[string]Bench{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 300}}}
+	var out strings.Builder
+	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 0)
+	if warnings != 1 || failures != 0 {
+		t.Fatalf("warnings=%d failures=%d, want 1/0 with alloc-fail-threshold disabled", warnings, failures)
 	}
 }

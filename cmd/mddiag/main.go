@@ -41,6 +41,7 @@ import (
 	"multidiag/internal/explain"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 	"multidiag/internal/trace"
@@ -65,12 +66,14 @@ func main() {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var profFlags prof.Flags
+	profFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *circ == "" || *pfile == "" || *dfile == "" {
 		fmt.Fprintln(os.Stderr, "mddiag: -c, -p and -d are required")
 		os.Exit(2)
 	}
-	if err := run(obsFlags, *circ, *pfile, *dfile, *method, *spanOut, *top, *jobs, *verbose); err != nil {
+	if err := run(obsFlags, profFlags, *circ, *pfile, *dfile, *method, *spanOut, *top, *jobs, *verbose); err != nil {
 		fatal(err)
 	}
 }
@@ -80,13 +83,24 @@ func main() {
 // and close the -trace-out / -explain-out gzip sinks, otherwise a partial
 // .gz stream is left without its trailer and the whole file is
 // unreadable.
-func run(obsFlags obs.Flags, circ, pfile, dfile, method, spanOut string, top, jobs int, verbose bool) (err error) {
+func run(obsFlags obs.Flags, profFlags prof.Flags, circ, pfile, dfile, method, spanOut string, top, jobs int, verbose bool) (err error) {
 	tr, finishObs, err := obsFlags.Setup("mddiag")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if e := finishObs(); err == nil {
+			err = e
+		}
+	}()
+	finishProf, err := profFlags.Setup(tr.Registry())
+	if err != nil {
+		return err
+	}
+	// Deferred after finishObs, so it runs FIRST: the final summary
+	// snapshot reaches the -prof-out sink before the obs run record closes.
+	defer func() {
+		if e := finishProf(); err == nil {
 			err = e
 		}
 	}()
@@ -187,17 +201,28 @@ func explainMain(args []string) (err error) {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(fs)
+	var profFlags prof.Flags
+	profFlags.Register(fs)
 	fs.Parse(args)
 	if *circ == "" || *pfile == "" || *dfile == "" {
 		fmt.Fprintln(os.Stderr, "mddiag explain: -c, -p and -d are required")
 		os.Exit(2)
 	}
-	_, finishObs, err := obsFlags.Setup("mddiag")
+	tr, finishObs, err := obsFlags.Setup("mddiag")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if e := finishObs(); err == nil {
+			err = e
+		}
+	}()
+	finishProf, err := profFlags.Setup(tr.Registry())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := finishProf(); err == nil {
 			err = e
 		}
 	}()
@@ -296,6 +321,12 @@ func printSummary(tr *obs.Trace) {
 		for _, ps := range phases {
 			fmt.Printf("  %-24s %6d× %12s\n", ps.Name, ps.Count, ps.Total)
 		}
+	}
+	// With -prof, the per-phase allocation/contention attribution table
+	// (the same numbers mdprof reports from a -prof-out stream).
+	if c := prof.Active(); c != nil {
+		fmt.Println("--- profile (per phase) ---")
+		prof.WriteTable(os.Stdout, c.Phases())
 	}
 	reg := tr.Registry()
 	histNames := reg.HistogramNames()

@@ -25,6 +25,7 @@ import (
 	"multidiag/internal/exp"
 	"multidiag/internal/explain"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/qrec"
 )
 
@@ -40,8 +41,10 @@ func main() {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var profFlags prof.Flags
+	profFlags.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(obsFlags, *quick, *seeds, *only, *jobs, *progress, *qualityOut, *stallAfter); err != nil {
+	if err := run(obsFlags, profFlags, *quick, *seeds, *only, *jobs, *progress, *qualityOut, *stallAfter); err != nil {
 		fatal(err)
 	}
 }
@@ -51,13 +54,24 @@ func main() {
 // the -trace-out / -explain-out gzip sinks (a gzip stream abandoned
 // without its trailer is unreadable) and write whatever quality records
 // the campaigns already produced.
-func run(obsFlags obs.Flags, quick bool, seeds int, only string, jobs, progress int, qualityOut string, stallAfter time.Duration) (err error) {
+func run(obsFlags obs.Flags, profFlags prof.Flags, quick bool, seeds int, only string, jobs, progress int, qualityOut string, stallAfter time.Duration) (err error) {
 	tr, finishObs, err := obsFlags.Setup("mdexp")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if e := finishObs(); err == nil {
+			err = e
+		}
+	}()
+	finishProf, err := profFlags.Setup(tr.Registry())
+	if err != nil {
+		return err
+	}
+	// Deferred after finishObs, so it runs first: the -prof-out summary
+	// snapshot lands before the obs run record closes.
+	defer func() {
+		if e := finishProf(); err == nil {
 			err = e
 		}
 	}()

@@ -22,6 +22,7 @@ import (
 	"multidiag/internal/fault"
 	"multidiag/internal/fsim"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/tester"
 )
 
@@ -34,12 +35,18 @@ func main() {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var profFlags prof.Flags
+	profFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *circ == "" || *pfile == "" {
 		fmt.Fprintln(os.Stderr, "mdfsim: -c and -p are required")
 		os.Exit(2)
 	}
 	tr, finishObs, err := obsFlags.Setup("mdfsim")
+	if err != nil {
+		fatal(err)
+	}
+	finishProf, err := profFlags.Setup(tr.Registry())
 	if err != nil {
 		fatal(err)
 	}
@@ -79,6 +86,9 @@ func main() {
 	}
 	fmt.Printf("mdfsim: %d/%d collapsed stuck-at faults detected (%.2f%%) by %d patterns\n",
 		detected, len(universe), 100*float64(detected)/float64(len(universe)), len(pats))
+	if err := finishProf(); err != nil {
+		fatal(err)
+	}
 	if err := finishObs(); err != nil {
 		fatal(err)
 	}

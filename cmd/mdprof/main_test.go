@@ -1,0 +1,193 @@
+package main
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multidiag/internal/prof"
+)
+
+func writeStream(t *testing.T, name string, snaps []prof.Snapshot) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc *json.Encoder
+	var zw *gzip.Writer
+	if strings.HasSuffix(name, ".gz") {
+		zw = gzip.NewWriter(f)
+		enc = json.NewEncoder(zw)
+	} else {
+		enc = json.NewEncoder(f)
+	}
+	for _, s := range snaps {
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func snap(kind string, seq int64, phases ...prof.PhaseProf) prof.Snapshot {
+	return prof.Snapshot{Schema: prof.Schema, Kind: kind, Seq: seq, Phases: phases}
+}
+
+func TestLoadAndFinalAttribution(t *testing.T) {
+	path := writeStream(t, "run.jsonl", []prof.Snapshot{
+		snap("sample", 0, prof.PhaseProf{Name: "score", Count: 1, AllocBytes: 100}),
+		snap("summary", 1, prof.PhaseProf{Name: "score", Count: 2, AllocBytes: 250}),
+		snap("pin", 2), // phase-less tail must not win
+	})
+	snaps, err := loadSnapshots(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("loaded %d snapshots, want 3", len(snaps))
+	}
+	final, err := finalAttribution(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Seq != 1 || final.Phases[0].AllocBytes != 250 {
+		t.Fatalf("final = %+v, want the seq-1 summary", final)
+	}
+}
+
+func TestLoadSnapshotsGzipAndForeignSchema(t *testing.T) {
+	path := writeStream(t, "run.jsonl.gz", []prof.Snapshot{
+		{Schema: "other/v1", Kind: "sample"},
+		snap("summary", 0, prof.PhaseProf{Name: "extract", Count: 1}),
+	})
+	snaps, err := loadSnapshots(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Phases[0].Name != "extract" {
+		t.Fatalf("snaps = %+v, want just the mdprof record", snaps)
+	}
+}
+
+func TestFinalAttributionEmpty(t *testing.T) {
+	if _, err := finalAttribution([]prof.Snapshot{snap("pin", 0)}); err == nil {
+		t.Fatal("no error for a stream without phase tables")
+	}
+}
+
+func TestToBaselinePerCall(t *testing.T) {
+	b := toBaseline([]prof.PhaseProf{
+		{Name: "score", Count: 4, AllocBytes: 4000, AllocObjects: 40},
+		{Name: "idle", Count: 0, AllocBytes: 999}, // zero-count phases dropped
+	})
+	if len(b.Phases) != 1 {
+		t.Fatalf("phases = %+v", b.Phases)
+	}
+	p := b.Phases["score"]
+	if p.AllocBytesPerCall != 1000 || p.AllocObjsPerCall != 10 {
+		t.Fatalf("per-call = %+v, want 1000 B / 10 objs", p)
+	}
+}
+
+// TestGateCatchesInflation is the acceptance check: a synthetic 2× per-
+// phase allocation inflation must fail the gate at the default 50%
+// failure threshold.
+func TestGateCatchesInflation(t *testing.T) {
+	base := toBaseline([]prof.PhaseProf{
+		{Name: "score", Count: 10, AllocBytes: 1_000_000, AllocObjects: 50_000},
+		{Name: "extract", Count: 10, AllocBytes: 1_000_000, AllocObjects: 10_000},
+	})
+	cur := toBaseline([]prof.PhaseProf{
+		{Name: "score", Count: 10, AllocBytes: 2_000_000, AllocObjects: 100_000},  // 2× — must fail
+		{Name: "extract", Count: 10, AllocBytes: 1_300_000, AllocObjects: 10_000}, // +30% — warns
+	})
+	var out strings.Builder
+	warnings, failures := gate(&out, base, cur, 25, 50, 16384, 256)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (2× inflation)\n%s", failures, out.String())
+	}
+	if warnings != 1 {
+		t.Fatalf("warnings = %d, want 1 (+30%% bytes)\n%s", warnings, out.String())
+	}
+}
+
+func TestGateCleanRun(t *testing.T) {
+	base := toBaseline([]prof.PhaseProf{{Name: "score", Count: 10, AllocBytes: 10000, AllocObjects: 500}})
+	cur := toBaseline([]prof.PhaseProf{
+		{Name: "score", Count: 10, AllocBytes: 10500, AllocObjects: 510},
+		{Name: "newphase", Count: 1, AllocBytes: 999999}, // new phases report, never fail
+	})
+	var out strings.Builder
+	warnings, failures := gate(&out, base, cur, 25, 50, 16384, 256)
+	if warnings != 0 || failures != 0 {
+		t.Fatalf("warnings=%d failures=%d, want 0/0\n%s", warnings, failures, out.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("new phase not reported:\n%s", out.String())
+	}
+}
+
+func TestGateObjectRegressionDominates(t *testing.T) {
+	// Bytes flat, objects 2×: the gate takes the worse of the two.
+	base := toBaseline([]prof.PhaseProf{{Name: "score", Count: 10, AllocBytes: 1_000_000, AllocObjects: 100_000}})
+	cur := toBaseline([]prof.PhaseProf{{Name: "score", Count: 10, AllocBytes: 1_000_000, AllocObjects: 200_000}})
+	var out strings.Builder
+	_, failures := gate(&out, base, cur, 25, 50, 16384, 256)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (objects doubled)\n%s", failures, out.String())
+	}
+}
+
+func TestGateNoiseFloor(t *testing.T) {
+	// A tiny phase doubling (2.6KiB → 5.3KiB, +3 objects) is run-to-run
+	// noise, not a regression: below the byte and object floors nothing
+	// may warn or fail regardless of the percentage.
+	base := toBaseline([]prof.PhaseProf{{Name: "xcheck", Count: 10, AllocBytes: 26_880, AllocObjects: 50}})
+	cur := toBaseline([]prof.PhaseProf{{Name: "xcheck", Count: 10, AllocBytes: 53_760, AllocObjects: 80}})
+	var out strings.Builder
+	warnings, failures := gate(&out, base, cur, 25, 50, 16384, 256)
+	if warnings != 0 || failures != 0 {
+		t.Fatalf("warnings=%d failures=%d, want 0/0 below the noise floors\n%s", warnings, failures, out.String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "PROF_baseline.json")
+	b := toBaseline([]prof.PhaseProf{{Name: "score", Count: 2, AllocBytes: 500, AllocObjects: 20}})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(f).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phases["score"].AllocBytesPerCall != 250 {
+		t.Fatalf("round-trip = %+v", got.Phases)
+	}
+}
+
+func TestLoadBaselineRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"schema":"nope/v1","phases":{"x":{}}}`), 0o644)
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 	"multidiag/internal/trace"
@@ -65,7 +66,9 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 
 	sp := root.Child("goodsim")
 	tsp := troot.Start("goodsim")
+	_, pt := prof.PhaseCtx(ctx, "goodsim")
 	fs, err := fsim.NewFaultSim(c, pats)
+	pt.End()
 	tsp.End()
 	sp.End()
 	if err != nil {
@@ -125,9 +128,11 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 
 		sp := root.Child("extract")
 		tsp := troot.Start("extract")
+		_, pt := prof.PhaseCtx(ctx, "extract")
 		seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
 		tsp.SetInt("device", int64(i))
 		tsp.SetInt("seeds", int64(len(seeds)))
+		pt.End()
 		tsp.End()
 		sp.End()
 		if err != nil {
@@ -154,6 +159,7 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 	// One coalesced scoring sweep over the union.
 	sp = root.Child("score")
 	tsp = troot.Start("score")
+	pctx, spt := prof.PhaseCtx(ctx, "score")
 	workers := fsim.Workers(cfg.Workers)
 	tsp.SetInt("workers", int64(workers))
 	tsp.SetInt("union_seeds", int64(len(union)))
@@ -161,14 +167,16 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 	reg.Gauge("fsim.workers").Set(int64(workers))
 	psp := sp.Child("fsim.parallel")
 	tpsp := tsp.Start("fsim.parallel")
-	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(ctx, tpsp), union, workers)
+	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(pctx, tpsp), union, workers)
 	tpsp.End()
 	psp.End()
 	if err := checkpoint(ctx, "score"); err != nil {
+		spt.End()
 		tsp.End()
 		sp.End()
 		return results, errs, err
 	}
+	spt.End()
 	tsp.End()
 	sp.End()
 

@@ -11,6 +11,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 	"multidiag/internal/trace"
@@ -104,6 +105,29 @@ func BenchmarkDiagnoseExplained(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Diagnose(c, pats, log, Config{Explain: explain.New("bench")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiagnoseProfiled runs the diagnosis with a prof collector
+// installed (phase windows + pprof labels, no sampler/sink): the
+// difference to BenchmarkDiagnose is the enabled-path overhead of the
+// continuous-profiling layer — a runtime/metrics read pair and a label
+// swap per phase. BenchmarkDiagnose stays the disabled-path baseline:
+// profiling off must cost nothing measurable there.
+func BenchmarkDiagnoseProfiled(b *testing.B) {
+	c, pats, log := benchSetup(b)
+	pc := prof.New(prof.Config{})
+	prof.Enable(pc)
+	b.Cleanup(func() {
+		prof.Disable()
+		pc.Stop()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diagnose(c, pats, log, Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}

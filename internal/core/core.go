@@ -43,6 +43,7 @@ import (
 	"multidiag/internal/logic"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/sim"
 	"multidiag/internal/tester"
 	"multidiag/internal/trace"
@@ -290,9 +291,13 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 
 	rec := cfg.Explain
 
-	// Per-output evidence universe.
+	// Per-output evidence universe. Each phase below also opens a prof
+	// window (inert unless a prof collector is installed): the returned
+	// context carries the phase=<name> pprof label, and End folds the
+	// phase's runtime/metrics deltas into the attribution table.
 	sp := root.Child("evidence")
 	tsp := troot.Start("evidence")
+	_, pt := prof.PhaseCtx(ctx, "evidence")
 	evIndex := make(map[EvidenceBit]int)
 	for _, p := range failing {
 		for _, po := range log.Fails[p].Members() {
@@ -303,6 +308,7 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 	}
 	tsp.SetInt("evidence_bits", int64(len(res.Evidence)))
 	tsp.SetInt("failing_patterns", int64(len(failing)))
+	pt.End()
 	tsp.End()
 	sp.End()
 	if rec.Enabled() {
@@ -317,7 +323,9 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 
 	sp = root.Child("goodsim")
 	tsp = troot.Start("goodsim")
+	_, pt = prof.PhaseCtx(ctx, "goodsim")
 	fs, err := fsim.NewFaultSim(c, pats)
+	pt.End()
 	tsp.End()
 	sp.End()
 	if err != nil {
@@ -334,10 +342,12 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
 	sp = root.Child("extract")
 	tsp = troot.Start("extract")
+	_, pt = prof.PhaseCtx(ctx, "extract")
 	cpt := fsim.NewCPT(c)
 	cpt.Observe(reg)
 	seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
 	tsp.SetInt("seeds", int64(len(seeds)))
+	pt.End()
 	tsp.End()
 	sp.End()
 	if err != nil {
@@ -357,21 +367,27 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 	// the sequential engine.
 	sp = root.Child("score")
 	tsp = troot.Start("score")
+	// The score window's labeled context flows into the worker pool, so
+	// worker goroutines inherit phase=score (and any workload label) and
+	// their allocations land in this window's delta.
+	pctx, pt := prof.PhaseCtx(ctx, "score")
 	workers := fsim.Workers(cfg.Workers)
 	tsp.SetInt("workers", int64(workers))
 	reg.Gauge("fsim.workers").Set(int64(workers))
 	psp := sp.Child("fsim.parallel")
 	tpsp := tsp.Start("fsim.parallel")
-	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(ctx, tpsp), seeds, workers)
+	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(pctx, tpsp), seeds, workers)
 	tpsp.End()
 	psp.End()
 	if err := checkpoint(ctx, "score"); err != nil {
+		pt.End()
 		tsp.End()
 		sp.End()
 		return nil, err
 	}
 	cands := scoreCandidates(c, syns, seeds, log, evIndex, len(res.Evidence), cfg, rec)
 	tsp.SetInt("candidates", int64(len(cands)))
+	pt.End()
 	tsp.End()
 	sp.End()
 	reg.Counter("core.candidates_scored").Add(int64(len(cands)))
@@ -396,9 +412,11 @@ func finishDiagnosis(ctx context.Context, root obs.Span, troot trace.Span, c *ne
 	// Step 3: greedy per-output covering.
 	sp := root.Child("cover")
 	tsp := troot.Start("cover")
+	_, pt := prof.PhaseCtx(ctx, "cover")
 	multiplet, uncovered := cover(c, cands, len(res.Evidence), cfg, rec)
 	tsp.SetInt("multiplet", int64(len(multiplet)))
 	tsp.SetInt("uncovered", int64(uncovered.Count()))
+	pt.End()
 	tsp.End()
 	sp.End()
 	res.Multiplet = multiplet
@@ -413,7 +431,9 @@ func finishDiagnosis(ctx context.Context, root obs.Span, troot trace.Span, c *ne
 	if !cfg.DisableBridgeSearch {
 		sp = root.Child("refine")
 		tsp = troot.Start("refine")
+		_, pt = prof.PhaseCtx(ctx, "refine")
 		refineModels(c, fs, multiplet, log, evIndex, cfg, reg, rec)
+		pt.End()
 		tsp.End()
 		sp.End()
 		if err := checkpoint(ctx, "refine"); err != nil {
@@ -429,7 +449,9 @@ func finishDiagnosis(ctx context.Context, root obs.Span, troot trace.Span, c *ne
 	if !cfg.DisableXConsistency && len(multiplet) > 0 {
 		sp = root.Child("xcheck")
 		tsp = troot.Start("xcheck")
+		_, pt = prof.PhaseCtx(ctx, "xcheck")
 		res.Consistent, res.InconsistentPatterns = xConsistent(fs, multiplet, log)
+		pt.End()
 		tsp.End()
 		sp.End()
 		if !res.Consistent {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"runtime/metrics"
+	"testing"
+
+	"multidiag/internal/atpg"
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/prof"
+	"multidiag/internal/tester"
+)
+
+func allocObjectsNow(t *testing.T) int64 {
+	t.Helper()
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		t.Skip("/gc/heap/allocs:objects not exported by this toolchain")
+	}
+	return int64(s[0].Value.Uint64())
+}
+
+// TestProfPhaseAllocAttribution is the acceptance proof for the phase
+// accounting: for one sequential core.Diagnose run the per-phase
+// allocation deltas must sum to (within 10% of) the run's total
+// allocations — i.e. the phase windows tile the diagnosis with no
+// significant unattributed gaps. Workers: 1 keeps the phases strictly
+// sequential, so no window double-counts another's activity.
+func TestProfPhaseAllocAttribution(t *testing.T) {
+	c, err := circuits.Generate(circuits.GenConfig{Seed: 5, NumPIs: 16, NumGates: 400, NumPOs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := atpg.Generate(c, atpg.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log *tester.Datalog
+	for seed := int64(0); ; seed++ {
+		ds, err := defect.Sample(c, defect.CampaignConfig{Seed: seed, NumDefects: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := defect.Inject(c, ds)
+		if err != nil {
+			continue
+		}
+		log, err = tester.ApplyTest(c, dev, tests.Patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Fails) > 0 {
+			break
+		}
+	}
+
+	pc := prof.New(prof.Config{})
+	prof.Enable(pc)
+	defer func() {
+		prof.Disable()
+		pc.Stop()
+	}()
+
+	before := allocObjectsNow(t)
+	if _, err := Diagnose(c, tests.Patterns, log, Config{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	total := allocObjectsNow(t) - before
+
+	var attributed int64
+	phases := pc.Phases()
+	for _, p := range phases {
+		attributed += p.AllocObjects
+	}
+	if len(phases) < 4 {
+		t.Fatalf("only %d phases recorded: %+v", len(phases), phases)
+	}
+	if total <= 0 {
+		t.Fatalf("total allocations = %d", total)
+	}
+	// attributed ≤ total by construction (the windows are disjoint slices
+	// of the run plus the test's own bookkeeping outside them).
+	ratio := float64(attributed) / float64(total)
+	t.Logf("attributed %d of %d allocated objects (%.1f%%) across %d phases",
+		attributed, total, 100*ratio, len(phases))
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("phase deltas sum to %.1f%% of the run's allocations, want within 10%%\nphases: %+v",
+			100*ratio, phases)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"multidiag/internal/fault"
 	"multidiag/internal/logic"
+	"multidiag/internal/prof"
 	"multidiag/internal/trace"
 )
 
@@ -80,23 +81,30 @@ func (fs *FaultSim) SimulateStuckAtBatchCtx(ctx context.Context, faults []fault.
 	// "fsim.worker" span attributing its fault count and cone-cache probe
 	// outcomes (fork-local deltas — see FaultSim.probeHits). Inert handles
 	// when tracing is off: no branches, no allocations.
+	// When the prof collector is enabled, each worker body additionally
+	// runs under a worker=<n> pprof label (on top of the phase/workload
+	// labels the context already carries), so a CPU profile slices down to
+	// individual pool workers; prof.DoWorker calls the body directly when
+	// profiling is off.
 	tsc := trace.FromContext(ctx)
 	if workers <= 1 {
-		tsp := tsc.Start("fsim.worker")
-		tsp.SetInt("worker", 0)
-		h0, m0 := fs.probeHits, fs.probeMisses
-		n := 0
-		for i, f := range faults {
-			if ctx.Err() != nil {
-				break
+		prof.DoWorker(ctx, 0, func(ctx context.Context) {
+			tsp := tsc.Start("fsim.worker")
+			tsp.SetInt("worker", 0)
+			h0, m0 := fs.probeHits, fs.probeMisses
+			n := 0
+			for i, f := range faults {
+				if ctx.Err() != nil {
+					break
+				}
+				out[i] = fs.SimulateStuckAt(f)
+				n++
 			}
-			out[i] = fs.SimulateStuckAt(f)
-			n++
-		}
-		tsp.SetInt("faults", int64(n))
-		tsp.SetInt("cache_hits", fs.probeHits-h0)
-		tsp.SetInt("cache_misses", fs.probeMisses-m0)
-		tsp.End()
+			tsp.SetInt("faults", int64(n))
+			tsp.SetInt("cache_hits", fs.probeHits-h0)
+			tsp.SetInt("cache_misses", fs.probeMisses-m0)
+			tsp.End()
+		})
 		return out
 	}
 	var next atomic.Int64
@@ -109,25 +117,27 @@ func (fs *FaultSim) SimulateStuckAtBatchCtx(ctx context.Context, faults []fault.
 		wg.Add(1)
 		go func(w int, sim *FaultSim) {
 			defer wg.Done()
-			tsp := tsc.Start("fsim.worker")
-			tsp.SetInt("worker", int64(w))
-			h0, m0 := sim.probeHits, sim.probeMisses
-			n := 0
-			for {
-				if ctx.Err() != nil {
-					break
+			prof.DoWorker(ctx, w, func(ctx context.Context) {
+				tsp := tsc.Start("fsim.worker")
+				tsp.SetInt("worker", int64(w))
+				h0, m0 := sim.probeHits, sim.probeMisses
+				n := 0
+				for {
+					if ctx.Err() != nil {
+						break
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(faults) {
+						break
+					}
+					out[i] = sim.SimulateStuckAt(faults[i])
+					n++
 				}
-				i := int(next.Add(1)) - 1
-				if i >= len(faults) {
-					break
-				}
-				out[i] = sim.SimulateStuckAt(faults[i])
-				n++
-			}
-			tsp.SetInt("faults", int64(n))
-			tsp.SetInt("cache_hits", sim.probeHits-h0)
-			tsp.SetInt("cache_misses", sim.probeMisses-m0)
-			tsp.End()
+				tsp.SetInt("faults", int64(n))
+				tsp.SetInt("cache_hits", sim.probeHits-h0)
+				tsp.SetInt("cache_misses", sim.probeMisses-m0)
+				tsp.End()
+			})
 		}(w, sim)
 	}
 	wg.Wait()

@@ -18,7 +18,14 @@ type Flags struct {
 	ExplainOut string
 	CPUProfile string
 	MemProfile string
-	DebugAddr  string
+	// MutexProfile / BlockProfile enable the runtime contention profilers
+	// for the whole run and write the named profile at exit (see
+	// StartContentionProfiles for the rate semantics).
+	MutexProfile  string
+	MutexFraction int
+	BlockProfile  string
+	BlockRate     int
+	DebugAddr     string
 	// SampleRuntime enables the periodic runtime/metrics sampler at the
 	// given interval (0 disables). The sampled gauges/histograms land in
 	// the global trace registry and therefore in /metrics, run-record
@@ -32,6 +39,10 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.ExplainOut, "explain-out", "", "write JSONL candidate flight-recorder events to `file` (.gz compresses)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` at exit")
+	fs.StringVar(&f.MutexProfile, "mutexprofile", "", "record mutex contention for the whole run and write the profile to `file` at exit")
+	fs.IntVar(&f.MutexFraction, "mutexprofilefraction", 5, "sample 1/`n` of mutex contention events (with -mutexprofile)")
+	fs.StringVar(&f.BlockProfile, "blockprofile", "", "record goroutine blocking for the whole run and write the profile to `file` at exit")
+	fs.IntVar(&f.BlockRate, "blockprofilerate", 1, "record blocking events lasting ≥ `ns` nanoseconds (with -blockprofile)")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and /metrics on `addr` (e.g. localhost:6060)")
 	fs.DurationVar(&f.SampleRuntime, "sample-runtime", 0, "sample runtime/metrics (heap, GC pauses, goroutines, sched latency) every `interval` into the registry (0 = off)")
 }
@@ -61,9 +72,16 @@ func (f *Flags) Setup(label string) (*Trace, func() error, error) {
 		em.Close()
 		return nil, nil, err
 	}
+	stopContention, err := StartContentionProfiles(f.MutexProfile, f.MutexFraction, f.BlockProfile, f.BlockRate)
+	if err != nil {
+		stopProfiles()
+		em.Close()
+		return nil, nil, err
+	}
 	if f.DebugAddr != "" {
 		addr, err := ServeDebug(f.DebugAddr, tr.Registry())
 		if err != nil {
+			stopContention()
 			stopProfiles()
 			em.Close()
 			return nil, nil, err
@@ -82,6 +100,9 @@ func (f *Flags) Setup(label string) (*Trace, func() error, error) {
 			firstErr = err
 		}
 		if err := stopProfiles(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := stopContention(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		return firstErr

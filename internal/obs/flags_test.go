@@ -3,11 +3,15 @@ package obs
 import (
 	"encoding/json"
 	"flag"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestFlagsSetupTraceFile(t *testing.T) {
@@ -106,5 +110,67 @@ func TestServeDebug(t *testing.T) {
 	}
 	if md["dbg.hits"] != float64(2) {
 		t.Errorf("dbg.hits = %v", md["dbg.hits"])
+	}
+}
+
+func TestStartContentionProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mutex, block := filepath.Join(dir, "mutex.pprof"), filepath.Join(dir, "block.pprof")
+	stop, err := StartContentionProfiles(mutex, 0, block, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little contention so the profiles have something to say
+	// (the files must exist and be non-empty either way).
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				mu.Lock()
+				time.Sleep(10 * time.Microsecond)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if runtime.SetMutexProfileFraction(-1) != 0 {
+		t.Error("mutex profile fraction not restored to 0")
+	}
+	for _, p := range []string{mutex, block} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// Disabled profiles are a no-op round trip.
+	stop, err = StartContentionProfiles("", 0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeDebugLoopSurfacesErrors(t *testing.T) {
+	reg := NewRegistry()
+	debugRegistry.Store(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // force http.Serve to fail immediately
+	serveDebugLoop(ln)
+	if got := reg.Counter("obs.debug_serve_errors").Value(); got != 1 {
+		t.Fatalf("obs.debug_serve_errors = %d, want 1", got)
 	}
 }

@@ -86,6 +86,75 @@ func ServeDebug(addr string, r *Registry) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("obs: debug listener: %w", err)
 	}
-	go http.Serve(ln, nil) // default mux carries /debug/pprof, /debug/vars, /metrics
+	go serveDebugLoop(ln) // default mux carries /debug/pprof, /debug/vars, /metrics
 	return ln.Addr().String(), nil
+}
+
+// serveDebugLoop runs the debug listener's accept loop and surfaces its
+// terminal error — previously dropped on the floor — to stderr and the
+// obs.debug_serve_errors counter on whatever registry is currently
+// exported (nil-tolerant, so a CLI without a registry still gets the
+// stderr line).
+func serveDebugLoop(ln net.Listener) {
+	if err := http.Serve(ln, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: debug server on %s: %v\n", ln.Addr(), err)
+		debugRegistry.Load().Counter("obs.debug_serve_errors").Inc()
+	}
+}
+
+// StartContentionProfiles enables the runtime's mutex and/or block
+// profilers ("" disables either) and returns the stop function that
+// writes the profiles and restores the zero rates. mutexFraction is the
+// runtime.SetMutexProfileFraction sampling rate (1/n of contention events
+// recorded; ≤0 means the default 5); blockRateNS is the
+// runtime.SetBlockProfileRate threshold in nanoseconds (≤0 means 1,
+// every blocking event). The rates stay enabled for the whole run so the
+// exit-time snapshot covers it — the cost is a few percent on heavily
+// contended locks, which is why these are opt-in flags and not defaults.
+func StartContentionProfiles(mutexPath string, mutexFraction int, blockPath string, blockRateNS int) (stop func() error, err error) {
+	if mutexPath != "" {
+		if mutexFraction <= 0 {
+			mutexFraction = 5
+		}
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockPath != "" {
+		if blockRateNS <= 0 {
+			blockRateNS = 1
+		}
+		runtime.SetBlockProfileRate(blockRateNS)
+	}
+	return func() error {
+		var firstErr error
+		if mutexPath != "" {
+			runtime.SetMutexProfileFraction(0)
+			if err := writeLookupProfile("mutex", mutexPath); err != nil {
+				firstErr = err
+			}
+		}
+		if blockPath != "" {
+			runtime.SetBlockProfileRate(0)
+			if err := writeLookupProfile("block", blockPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeLookupProfile dumps one named runtime profile to path.
+func writeLookupProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("obs: %s profile: unknown profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %s profile: %w", name, err)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: %s profile: %w", name, err)
+	}
+	return f.Close()
 }

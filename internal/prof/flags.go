@@ -1,0 +1,80 @@
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"multidiag/internal/obs"
+)
+
+// Flags bundles the continuous-profiling command-line flags shared by the
+// CLIs, registered alongside obs.Flags. Any one of them being set enables
+// the collector; with all at their zero value Setup is a no-op and the
+// engine keeps its free disabled path.
+type Flags struct {
+	// Enable turns the collector on with defaults even when no sink or
+	// sampler is requested (phase attribution + /debug/prof only).
+	Enable bool
+	// Out is the JSONL(.gz) snapshot sink cmd/mdprof analyzes.
+	Out string
+	// Sample starts the periodic background sampler (0: snapshots only at
+	// pins and exit).
+	Sample time.Duration
+	// Ring overrides the per-ring snapshot capacity (0: default 64).
+	Ring int
+}
+
+// Register installs the flags on fs (use flag.CommandLine for main).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Enable, "prof", false, "enable phase-attributed profiling (runtime/metrics deltas, pprof labels, /debug/prof snapshots)")
+	fs.StringVar(&f.Out, "prof-out", "", "write profiling snapshots as JSONL to `file` (.gz compresses; implies -prof; analyze with mdprof)")
+	fs.DurationVar(&f.Sample, "prof-sample", 0, "take a profiling snapshot every `interval` (implies -prof; 0 = only at pins and exit)")
+	fs.IntVar(&f.Ring, "prof-ring", 0, "snapshot ring capacity per ring (0 = default 64)")
+}
+
+// registerDebug puts /debug/prof on the default mux exactly once, so it
+// rides the same listener obs's -debug-addr starts (which serves
+// http.DefaultServeMux). Registering eagerly is harmless: the handler
+// 404s while no collector is installed.
+var registerDebug sync.Once
+
+// Setup builds, installs and (via the returned finish) tears down the
+// collector the flags describe. reg may be nil (no registry counters).
+// When no profiling flag is set it returns a no-op finish. Call finish
+// before the obs finish so the final summary snapshot lands in the sink
+// while the process is still fully up.
+func (f *Flags) Setup(reg *obs.Registry) (func() error, error) {
+	if !f.Enable && f.Out == "" && f.Sample <= 0 {
+		return func() error { return nil }, nil
+	}
+	var sink io.WriteCloser
+	if f.Out != "" {
+		var err error
+		sink, err = obs.CreateSink(f.Out)
+		if err != nil {
+			return nil, fmt.Errorf("prof-out: %w", err)
+		}
+	}
+	cfg := Config{Registry: reg, RingSize: f.Ring, SampleInterval: f.Sample}
+	if sink != nil {
+		cfg.Sink = sink
+	}
+	c := New(cfg)
+	Enable(c)
+	registerDebug.Do(func() { http.Handle("/debug/prof", Handler()) })
+	finish := func() error {
+		Disable()
+		firstErr := c.Stop()
+		if sink != nil {
+			if err := sink.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return finish, nil
+}

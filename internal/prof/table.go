@@ -1,0 +1,63 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTable renders a phase attribution table (the shared renderer
+// behind the mddiag -v footer and mdprof report): one row per phase,
+// descending allocated bytes, with per-call averages so phases with very
+// different call counts stay comparable.
+func WriteTable(w io.Writer, phases []PhaseProf) {
+	if len(phases) == 0 {
+		fmt.Fprintln(w, "  (no phases recorded)")
+		return
+	}
+	var totBytes int64
+	for _, p := range phases {
+		totBytes += p.AllocBytes
+	}
+	fmt.Fprintf(w, "  %-16s %6s %10s %12s %8s %12s %10s %10s\n",
+		"phase", "n", "wall", "alloc", "%alloc", "allocs", "mutex", "gcpause")
+	for _, p := range phases {
+		pct := 0.0
+		if totBytes > 0 {
+			pct = 100 * float64(p.AllocBytes) / float64(totBytes)
+		}
+		fmt.Fprintf(w, "  %-16s %6d %10s %12s %7.1f%% %12d %10s %10s\n",
+			p.Name, p.Count,
+			fmtNS(p.WallNS), fmtBytes(p.AllocBytes), pct,
+			p.AllocObjects, fmtNS(p.MutexWaitNS), fmtNS(p.GCPauseNS))
+	}
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func fmtBytes(b int64) string {
+	neg := ""
+	if b < 0 {
+		neg, b = "-", -b
+	}
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%s%.2fGiB", neg, float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%s%.1fMiB", neg, float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%s%.1fKiB", neg, float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%s%dB", neg, b)
+	}
+}

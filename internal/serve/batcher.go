@@ -12,6 +12,7 @@ import (
 
 	"multidiag/internal/core"
 	"multidiag/internal/explain"
+	"multidiag/internal/prof"
 	"multidiag/internal/tester"
 	"multidiag/internal/trace"
 )
@@ -123,6 +124,7 @@ func (s *Server) execute(w *workload, batch []*request) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.reg.Counter("serve.panics").Inc()
+			prof.Pin("panic")
 			err := fmt.Errorf("diagnosis panicked: %v\n%s", p, debug.Stack())
 			for _, r := range batch {
 				r.tree.Flag("panic")
@@ -190,7 +192,9 @@ func (s *Server) executeOne(w *workload, r *request, cfg core.Config) {
 		cfg.Explain = rec
 	}
 	esp := r.span.Start("serve.execute")
-	res, err := core.DiagnoseCtx(trace.WithSpan(r.ctx, esp), w.c, w.pats, r.log, cfg)
+	pctx, unlabel := prof.WithWorkload(r.ctx, w.name)
+	res, err := core.DiagnoseCtx(trace.WithSpan(pctx, esp), w.c, w.pats, r.log, cfg)
+	unlabel()
 	esp.End()
 	if err != nil {
 		r.done <- response{status: engineStatus(err), err: err}
@@ -232,7 +236,9 @@ func (s *Server) executeBatch(w *workload, batch []*request, cfg core.Config) {
 		}
 		defer fsp.End()
 	}
-	results, errs, err := core.DiagnoseBatch(trace.WithSpan(ctx, esp), w.c, w.pats, logs, cfg)
+	pctx, unlabel := prof.WithWorkload(ctx, w.name)
+	results, errs, err := core.DiagnoseBatch(trace.WithSpan(pctx, esp), w.c, w.pats, logs, cfg)
+	unlabel()
 	esp.End()
 	for i, r := range batch {
 		switch {

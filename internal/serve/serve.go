@@ -13,6 +13,7 @@ import (
 	"multidiag/internal/fsim"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
+	"multidiag/internal/prof"
 	"multidiag/internal/sim"
 	"multidiag/internal/trace"
 )
@@ -218,6 +219,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	// Continuous-profiling snapshots (404 while no prof collector is
+	// installed, matching the debug-mux registration in prof.Flags.Setup).
+	s.mux.Handle("GET /debug/prof", prof.Handler())
 }
 
 // Handler returns the service's HTTP handler: the route mux behind the
@@ -313,6 +317,11 @@ func (s *Server) release(req *request) {
 func (s *Server) shed(kind string) {
 	s.reg.Counter("serve.shed").Inc()
 	s.reg.Counter("serve.shed_" + kind).Inc()
+	// A shed is exactly the moment the profile matters: pin a snapshot
+	// into the always-keep ring (rate-limited, no-op when profiling is
+	// off) so /debug/prof still shows what the process looked like under
+	// the overload after the rolling ring has moved on.
+	prof.Pin("shed:" + kind)
 }
 
 // maxFlaggedIDs bounds the service record's request-ID sample.

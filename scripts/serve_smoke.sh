@@ -21,10 +21,13 @@ REC="$WORK/serve_record.json"
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 # -trace-sample 1 retains every request's span tree so the /debug/trace
-# assertion below is deterministic.
+# assertion below is deterministic. -prof enables the continuous
+# profiler (scraped below at /debug/prof), and -debug-addr boots the
+# pprof debug server for the mutex-profile scrape.
 "$BIN" -addr 127.0.0.1:0 -workload c17 -workload add16 \
     -max-batch 4 -queue-depth 16 -service-record-out "$REC" \
     -trace-sample 1 -trace-spans-out "$WORK/traces.jsonl" \
+    -prof -debug-addr 127.0.0.1:0 \
     >"$LOG" 2>&1 &
 PID=$!
 
@@ -89,6 +92,28 @@ if [ -x bin/mdtrace ]; then
     bin/mdtrace "$WORK/traces" >"$WORK/mdtrace_report" || fail "mdtrace could not analyze /debug/trace output"
     grep -q 'critical path' "$WORK/mdtrace_report" || fail "mdtrace report missing critical path"
 fi
+
+# Continuous profiler: after the burst, /debug/prof must stream
+# mdprof/v1 snapshots whose phase tables cover the request path.
+curl -s "$URL/debug/prof" >"$WORK/prof"
+[ -s "$WORK/prof" ] || fail "/debug/prof returned no snapshots with -prof"
+grep -q '"schema":"mdprof/v1"' "$WORK/prof" || fail "/debug/prof records missing mdprof/v1 schema"
+for phase in score extract; do
+    grep -q "\"name\":\"$phase\"" "$WORK/prof" || fail "/debug/prof phase table missing $phase"
+done
+if [ -x bin/mdprof ]; then
+    bin/mdprof report "$WORK/prof" >"$WORK/mdprof_report" || fail "mdprof could not analyze /debug/prof output"
+    grep -q 'score' "$WORK/mdprof_report" || fail "mdprof report missing the score phase"
+fi
+
+# The obs debug server (pprof mux) also carries /debug/prof plus the
+# contention endpoints; its bound address is on the startup log line.
+DEBUG_ADDR=$(sed -n 's|^mdserve: debug server on http://\(.*\)/debug/pprof/$|\1|p' "$LOG")
+[ -n "$DEBUG_ADDR" ] || fail "no debug server line in log with -debug-addr"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$DEBUG_ADDR/debug/pprof/mutex")
+[ "$code" = 200 ] || fail "/debug/pprof/mutex returned $code"
+curl -s "http://$DEBUG_ADDR/debug/prof" | grep -q '"schema":"mdprof/v1"' \
+    || fail "debug-mux /debug/prof missing mdprof/v1 schema"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
