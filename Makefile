@@ -99,5 +99,11 @@ prof-baseline: build
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
+# determinism-check diffs mddiag reports across worker counts and
+# cone-cache states (see scripts/determinism_check.sh): the parallel
+# engine's bit-identical-output contract, held end to end.
+determinism-check: build
+	sh scripts/determinism_check.sh
+
 clean:
 	rm -rf bin BENCH_obs.json

@@ -7,6 +7,7 @@
 //	go test -bench BenchmarkDiagnose -benchmem ./internal/core | benchdiff parse | benchdiff compare BENCH_diag.json -
 //	benchdiff compare BENCH_diag.json current.json -threshold 20 -fail
 //	benchdiff compare BENCH_diag.json current.json -threshold 20 -fail-threshold 35
+//	benchdiff speedup current.json -base BenchmarkDiagnoseScaling/j1 -target BenchmarkDiagnoseScaling/j8 -min 2.5
 //
 // parse reads benchmark result lines from stdin and writes one JSON object
 // keyed by benchmark name (the -N GOMAXPROCS suffix stripped, so baselines
@@ -19,7 +20,14 @@
 // always exits non-zero, which is the CI gate: moderate drift warns,
 // severe drift fails. Benchmarks present on only one side are reported
 // but never fatal, so a baseline refresh and a new benchmark can land in
-// the same change.
+// the same change; a baseline entry missing from the current run still
+// prints a `::warning::` so a silently dropped benchmark never passes
+// unnoticed.
+//
+// speedup gates a scaling matrix: it reads one parsed result file and
+// fails unless base ns/op ÷ target ns/op meets -min. This is the CI
+// parallel-efficiency gate — run the scaling sub-benchmarks, parse, then
+// assert the j8 configuration actually beats j1.
 package main
 
 import (
@@ -56,13 +64,15 @@ func main() {
 		parseMain(os.Args[2:])
 	case "compare":
 		compareMain(os.Args[2:])
+	case "speedup":
+		speedupMain(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [-o file] | benchdiff compare <baseline.json> <current.json|-> [-threshold pct] [-fail]")
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [-o file] | benchdiff compare <baseline.json> <current.json|-> [-threshold pct] [-fail] | benchdiff speedup <current.json|-> -base <name> -target <name> -min <ratio>")
 	os.Exit(2)
 }
 
@@ -220,6 +230,10 @@ func compareFiles(w io.Writer, base, cur *File, warnTh, failTh, allocWarnTh, all
 		switch {
 		case !inCur:
 			fmt.Fprintf(w, "%-34s %14.0f %14s %9s\n", n, b.NsPerOp, "—", "gone")
+			// Not fatal (a baseline refresh may land with a rename), but
+			// never silent: a benchmark that stops running would otherwise
+			// pass every gate forever.
+			annotate("warning", fmt.Sprintf("baseline benchmark %s missing from current run", n))
 		case !inBase:
 			fmt.Fprintf(w, "%-34s %14s %14.0f %9s\n", n, "—", c.NsPerOp, "new")
 		default:
@@ -266,6 +280,61 @@ func gateAllocMetric(name, unit string, base, cur int64, warnTh, failTh float64)
 		return 1, 0
 	}
 	return 0, 0
+}
+
+// speedupMain implements the `speedup` subcommand: assert that one
+// benchmark configuration is at least -min times faster than another
+// within a single parsed result file.
+func speedupMain(args []string) {
+	fs := flag.NewFlagSet("benchdiff speedup", flag.ExitOnError)
+	baseName := fs.String("base", "", "reference benchmark name (e.g. BenchmarkDiagnoseScaling/j1)")
+	targetName := fs.String("target", "", "benchmark that must be faster (e.g. BenchmarkDiagnoseScaling/j8)")
+	min := fs.Float64("min", 1, "minimum required speedup ratio (base ns/op ÷ target ns/op)")
+	var paths []string
+	rest := args
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		paths = append(paths, rest[0])
+		rest = rest[1:]
+	}
+	fs.Parse(rest)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 1 || *baseName == "" || *targetName == "" {
+		usage()
+	}
+	cur, err := loadFile(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	ratio, err := SpeedupGate(os.Stdout, cur, *baseName, *targetName, *min)
+	if err != nil {
+		fatal(err)
+	}
+	if ratio < *min {
+		os.Exit(1)
+	}
+}
+
+// SpeedupGate computes base ns/op ÷ target ns/op, prints the verdict, and
+// emits an error annotation when the ratio misses min. It returns an error
+// (not a failed gate) when either benchmark is absent or has no timing —
+// a scaling matrix that silently stopped producing one of its points must
+// fail loudly, not pass vacuously.
+func SpeedupGate(w io.Writer, f *File, baseName, targetName string, min float64) (float64, error) {
+	base, ok := f.Benchmarks[baseName]
+	if !ok || base.NsPerOp <= 0 {
+		return 0, fmt.Errorf("speedup: benchmark %q missing from results", baseName)
+	}
+	target, ok := f.Benchmarks[targetName]
+	if !ok || target.NsPerOp <= 0 {
+		return 0, fmt.Errorf("speedup: benchmark %q missing from results", targetName)
+	}
+	ratio := base.NsPerOp / target.NsPerOp
+	fmt.Fprintf(w, "speedup %s vs %s: %.2fx (minimum %.2fx)\n", targetName, baseName, ratio, min)
+	if ratio < min {
+		annotate("error", fmt.Sprintf("%s is only %.2fx faster than %s (%.0f → %.0f ns/op), minimum %.2fx",
+			targetName, ratio, baseName, base.NsPerOp, target.NsPerOp, min))
+	}
+	return ratio, nil
 }
 
 // annotate prints a regression annotation at the given level ("warning" or

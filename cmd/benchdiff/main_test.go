@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -118,5 +120,82 @@ func TestCompareFilesAllocFailThresholdDisabled(t *testing.T) {
 	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 0)
 	if warnings != 1 || failures != 0 {
 		t.Fatalf("warnings=%d failures=%d, want 1/0 with alloc-fail-threshold disabled", warnings, failures)
+	}
+}
+
+func TestSpeedupGate(t *testing.T) {
+	f := &File{Benchmarks: map[string]Bench{
+		"BenchmarkDiagnoseScaling/j1": {NsPerOp: 1000},
+		"BenchmarkDiagnoseScaling/j8": {NsPerOp: 250},
+	}}
+	var out strings.Builder
+	ratio, err := SpeedupGate(&out, f, "BenchmarkDiagnoseScaling/j1", "BenchmarkDiagnoseScaling/j8", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 4 {
+		t.Fatalf("ratio = %v, want 4", ratio)
+	}
+	if !strings.Contains(out.String(), "4.00x") {
+		t.Fatalf("verdict line missing ratio:\n%s", out.String())
+	}
+}
+
+func TestSpeedupGateBelowMinimum(t *testing.T) {
+	f := &File{Benchmarks: map[string]Bench{
+		"BenchmarkDiagnoseScaling/j1": {NsPerOp: 1000},
+		"BenchmarkDiagnoseScaling/j8": {NsPerOp: 900},
+	}}
+	var out strings.Builder
+	ratio, err := SpeedupGate(&out, f, "BenchmarkDiagnoseScaling/j1", "BenchmarkDiagnoseScaling/j8", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 2.5 {
+		t.Fatalf("ratio = %v, expected below the 2.5 gate", ratio)
+	}
+}
+
+func TestSpeedupGateMissingBenchmark(t *testing.T) {
+	f := &File{Benchmarks: map[string]Bench{
+		"BenchmarkDiagnoseScaling/j1": {NsPerOp: 1000},
+	}}
+	var out strings.Builder
+	if _, err := SpeedupGate(&out, f, "BenchmarkDiagnoseScaling/j1", "BenchmarkDiagnoseScaling/j8", 2.5); err == nil {
+		t.Fatal("missing target benchmark must be an error, not a vacuous pass")
+	}
+	if _, err := SpeedupGate(&out, f, "BenchmarkDiagnoseScaling/j0", "BenchmarkDiagnoseScaling/j1", 2.5); err == nil {
+		t.Fatal("missing base benchmark must be an error, not a vacuous pass")
+	}
+	// A benchmark parsed without a timing (ns/op 0) is as absent as a
+	// missing key.
+	f.Benchmarks["BenchmarkDiagnoseScaling/j8"] = Bench{}
+	if _, err := SpeedupGate(&out, f, "BenchmarkDiagnoseScaling/j1", "BenchmarkDiagnoseScaling/j8", 2.5); err == nil {
+		t.Fatal("zero-timing benchmark must be an error")
+	}
+}
+
+func TestCompareFilesGoneWarns(t *testing.T) {
+	base := &File{Benchmarks: map[string]Bench{"BenchmarkGone": {NsPerOp: 100}}}
+	cur := &File{Benchmarks: map[string]Bench{}}
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	var table strings.Builder
+	warnings, failures := compareFiles(&table, base, cur, 20, 35, 20, 35)
+	w.Close()
+	os.Stderr = old
+	captured, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings != 0 || failures != 0 {
+		t.Fatalf("gone benchmark must stay non-fatal, got warnings=%d failures=%d", warnings, failures)
+	}
+	if !strings.Contains(string(captured), "missing from current run") {
+		t.Fatalf("gone benchmark produced no warning annotation; stderr:\n%s", captured)
 	}
 }

@@ -9,7 +9,10 @@
 //
 // -j bounds the fault-parallel worker pool of the core engine's candidate
 // scoring (0 = GOMAXPROCS, 1 = sequential); reports are bit-identical at
-// every worker count.
+// every worker count. -conecache N attaches an N-entry cone cache and
+// diagnoses twice (cold fill, then the warm replay that is printed);
+// reports are bit-identical in both cache states. scripts/
+// determinism_check.sh holds the engine to both claims in CI.
 //
 // The explain subcommand replays the diagnosis with the candidate flight
 // recorder attached and renders a per-candidate lifecycle narrative
@@ -39,6 +42,7 @@ import (
 	"multidiag/internal/cio"
 	"multidiag/internal/core"
 	"multidiag/internal/explain"
+	"multidiag/internal/fsim"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
 	"multidiag/internal/prof"
@@ -61,6 +65,7 @@ func main() {
 		method  = flag.String("method", "ours", "diagnosis engine: ours|slat|intersect")
 		top     = flag.Int("top", 10, "also list the top-N ranked candidates (ours)")
 		jobs    = flag.Int("j", 0, "fault-parallel workers for candidate scoring (0 = GOMAXPROCS, 1 = sequential; ours)")
+		ccap    = flag.Int("conecache", 0, "attach a cone cache of this capacity and diagnose twice — cold fill, then a warm replay whose report is the one printed; reports must be identical in both states (ours; used by the CI determinism check)")
 		spanOut = flag.String("span-out", "", "write the diagnosis's span tree as mdtrace JSONL to `file` (.gz compresses; ours)")
 		verbose = flag.Bool("v", false, "print a per-phase timing and counter summary footer")
 	)
@@ -73,7 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mddiag: -c, -p and -d are required")
 		os.Exit(2)
 	}
-	if err := run(obsFlags, profFlags, *circ, *pfile, *dfile, *method, *spanOut, *top, *jobs, *verbose); err != nil {
+	if err := run(obsFlags, profFlags, *circ, *pfile, *dfile, *method, *spanOut, *top, *jobs, *ccap, *verbose); err != nil {
 		fatal(err)
 	}
 }
@@ -83,7 +88,7 @@ func main() {
 // and close the -trace-out / -explain-out gzip sinks, otherwise a partial
 // .gz stream is left without its trailer and the whole file is
 // unreadable.
-func run(obsFlags obs.Flags, profFlags prof.Flags, circ, pfile, dfile, method, spanOut string, top, jobs int, verbose bool) (err error) {
+func run(obsFlags obs.Flags, profFlags prof.Flags, circ, pfile, dfile, method, spanOut string, top, jobs, ccap int, verbose bool) (err error) {
 	tr, finishObs, err := obsFlags.Setup("mddiag")
 	if err != nil {
 		return err
@@ -129,7 +134,17 @@ func run(obsFlags obs.Flags, profFlags prof.Flags, circ, pfile, dfile, method, s
 			tree = trace.NewTree(trace.TraceID{})
 			ctx = trace.WithTree(ctx, tree)
 		}
-		res, err := core.DiagnoseCtx(ctx, c, pats, log, core.Config{Explain: rec, Workers: jobs})
+		cfg := core.Config{Explain: rec, Workers: jobs}
+		if ccap > 0 {
+			// Fill the cache with a throwaway pass so the printed report
+			// reflects the warm-cache state; -conecache 0 (the default)
+			// stays on the uncached path.
+			cfg.ConeCache = fsim.NewConeCache(ccap)
+			if _, err := core.DiagnoseCtx(ctx, c, pats, log, core.Config{Workers: jobs, ConeCache: cfg.ConeCache}); err != nil {
+				return err
+			}
+		}
+		res, err := core.DiagnoseCtx(ctx, c, pats, log, cfg)
 		if err != nil {
 			return err
 		}

@@ -170,18 +170,22 @@ func (s Set) Clear() {
 	}
 }
 
-// Members returns the sorted member indices.
-func (s Set) Members() []int {
-	var out []int
+// AppendMembers appends the sorted member indices to dst and returns the
+// extended slice. Hot loops pass a reused scratch slice (dst[:0]) to
+// enumerate members without allocating; Members is the convenience form.
+func (s Set) AppendMembers(dst []int) []int {
 	for wi, w := range s {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*64+b)
+			dst = append(dst, wi*64+b)
 			w &^= 1 << uint(b)
 		}
 	}
-	return out
+	return dst
 }
+
+// Members returns the sorted member indices.
+func (s Set) Members() []int { return s.AppendMembers(nil) }
 
 // String renders the set as "{1,5,9}".
 func (s Set) String() string {

@@ -67,7 +67,14 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 	sp := root.Child("goodsim")
 	tsp := troot.Start("goodsim")
 	_, pt := prof.PhaseCtx(ctx, "goodsim")
-	fs, err := fsim.NewFaultSim(c, pats)
+	fs := cfg.SharedSim
+	if fs != nil && (fs.Circuit() != c || fs.NumPatterns() != len(pats)) {
+		fs = nil // shape mismatch: fall back to a private simulator
+	}
+	var err error
+	if fs == nil {
+		fs, err = fsim.NewFaultSim(c, pats)
+	}
 	pt.End()
 	tsp.End()
 	sp.End()
@@ -128,8 +135,8 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 
 		sp := root.Child("extract")
 		tsp := troot.Start("extract")
-		_, pt := prof.PhaseCtx(ctx, "extract")
-		seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
+		ectx, pt := prof.PhaseCtx(ctx, "extract")
+		seeds, err := extractCandidates(ectx, c, cpt, pats, log, cfg.ApproxCPT, fsim.Workers(cfg.Workers), rec)
 		tsp.SetInt("device", int64(i))
 		tsp.SetInt("seeds", int64(len(seeds)))
 		pt.End()
@@ -204,6 +211,12 @@ func DiagnoseBatch(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, 
 			return results, errs, err
 		}
 		res.Elapsed = time.Since(st.start)
+	}
+	// The shared syndromes outlive every device fold but nothing else:
+	// hand them back to the simulator's arena so the next batch on a
+	// shared simulator reuses them instead of reallocating.
+	for _, s := range syns {
+		fs.ReleaseSyndrome(s)
 	}
 	return results, errs, nil
 }

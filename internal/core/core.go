@@ -30,10 +30,12 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"multidiag/internal/bitset"
@@ -93,6 +95,16 @@ type Config struct {
 	// MaxAggressorsPerVictim caps the aggressor candidates simulated per
 	// victim. Default 128.
 	MaxAggressorsPerVictim int
+	// SharedSim, when set, supplies a prewarmed fault simulator built by
+	// fsim.NewFaultSim from exactly this diagnosis's circuit and pattern
+	// set. The engine then skips the goodsim phase and — because the
+	// simulator carries the syndrome arena and the fork free list — reuses
+	// the same scratch pools across requests, the serving batcher's steady
+	// state. A simulator whose circuit or pattern count does not match is
+	// ignored (the engine builds its own). Diagnoses sharing one simulator
+	// must be serialized by the caller; concurrent use requires one
+	// SharedSim per in-flight diagnosis.
+	SharedSim *fsim.FaultSim
 	// Trace receives per-phase spans and counters for this diagnosis (see
 	// DESIGN.md §Observability for the span taxonomy). Nil falls back to
 	// obs.Global(), which is itself nil — tracing disabled, near-zero
@@ -324,7 +336,14 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 	sp = root.Child("goodsim")
 	tsp = troot.Start("goodsim")
 	_, pt = prof.PhaseCtx(ctx, "goodsim")
-	fs, err := fsim.NewFaultSim(c, pats)
+	fs := cfg.SharedSim
+	if fs != nil && (fs.Circuit() != c || fs.NumPatterns() != len(pats)) {
+		fs = nil // shape mismatch: fall back to a private simulator
+	}
+	var err error
+	if fs == nil {
+		fs, err = fsim.NewFaultSim(c, pats)
+	}
 	pt.End()
 	tsp.End()
 	sp.End()
@@ -339,13 +358,18 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 		return nil, err
 	}
 
+	workers := fsim.Workers(cfg.Workers)
+
 	// Step 1: effect-cause candidate extraction via CPT per failing output.
+	// Failing patterns are independent back-traces, so they shard across
+	// forked tracers; the union is merged in pattern order (and sorted), so
+	// the seed list is identical at any worker count.
 	sp = root.Child("extract")
 	tsp = troot.Start("extract")
-	_, pt = prof.PhaseCtx(ctx, "extract")
+	ectx, pt := prof.PhaseCtx(ctx, "extract")
 	cpt := fsim.NewCPT(c)
 	cpt.Observe(reg)
-	seeds, err := extractCandidates(c, cpt, pats, log, cfg.ApproxCPT, rec)
+	seeds, err := extractCandidates(ectx, c, cpt, pats, log, cfg.ApproxCPT, workers, rec)
 	tsp.SetInt("seeds", int64(len(seeds)))
 	pt.End()
 	tsp.End()
@@ -359,24 +383,32 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 		return nil, err
 	}
 
-	// Step 2: score every candidate by full fault simulation. The
+	// Step 2: score every candidate by cone-limited fault simulation. The
 	// simulations are independent, so the seed list shards across the
-	// worker pool (fsim.parallel span); scoring itself then folds the
-	// syndromes in seed order, which keeps every downstream decision —
-	// equivalence classes, cover tie-breaks, ranking — bit-identical to
-	// the sequential engine.
+	// worker pool in contiguous chunks (fsim.parallel span); each chunk's
+	// syndromes are folded — on this goroutine, strictly in seed order —
+	// as soon as the chunk completes, then released back to the
+	// simulator's arena. Seed-order folding keeps every downstream
+	// decision — equivalence classes, cover tie-breaks, ranking —
+	// bit-identical to the sequential engine; chunk-wise folding keeps the
+	// live syndrome count (and the allocator) bounded by the worker pool
+	// rather than the seed count.
 	sp = root.Child("score")
 	tsp = troot.Start("score")
 	// The score window's labeled context flows into the worker pool, so
 	// worker goroutines inherit phase=score (and any workload label) and
 	// their allocations land in this window's delta.
 	pctx, pt := prof.PhaseCtx(ctx, "score")
-	workers := fsim.Workers(cfg.Workers)
 	tsp.SetInt("workers", int64(workers))
 	reg.Gauge("fsim.workers").Set(int64(workers))
 	psp := sp.Child("fsim.parallel")
 	tpsp := tsp.Start("fsim.parallel")
-	syns := fs.SimulateStuckAtBatchCtx(trace.WithSpan(pctx, tpsp), seeds, workers)
+	folder := newScoreFolder(c, fs, seeds, log, evIndex, len(res.Evidence), cfg, rec, true)
+	fs.SimulateStuckAtChunksCtx(trace.WithSpan(pctx, tpsp), seeds, workers, func(start int, syns []*fsim.Syndrome) {
+		for i, syn := range syns {
+			folder.fold(start+i, syn)
+		}
+	})
 	tpsp.End()
 	psp.End()
 	if err := checkpoint(ctx, "score"); err != nil {
@@ -385,7 +417,7 @@ func DiagnoseCtx(ctx context.Context, c *netlist.Circuit, pats []sim.Pattern, lo
 		sp.End()
 		return nil, err
 	}
-	cands := scoreCandidates(c, syns, seeds, log, evIndex, len(res.Evidence), cfg, rec)
+	cands := folder.finish()
 	tsp.SetInt("candidates", int64(len(cands)))
 	pt.End()
 	tsp.End()
@@ -502,6 +534,13 @@ func finishDiagnosis(ctx context.Context, root obs.Span, troot trace.Span, c *ne
 	return nil
 }
 
+// extractJob is one failing pattern's back-trace work item.
+type extractJob struct {
+	p      int
+	pos    []netlist.NetID
+	poIdxs []int
+}
+
 // extractCandidates back-traces every observed failing output with CPT and
 // returns the union of (net, stuck-at-complement) hypotheses. Patterns with
 // X inputs are skipped for extraction (they still participate in scoring).
@@ -509,13 +548,14 @@ func finishDiagnosis(ctx context.Context, root obs.Span, troot trace.Span, c *ne
 // failing bits whose back-cone yielded it — per (pattern, PO) on the exact
 // path, per pattern (PO −1) on the approximate path, which only reports
 // the per-pattern union.
-func extractCandidates(c *netlist.Circuit, cpt *fsim.CPT, pats []sim.Pattern, log *tester.Datalog, approx bool, rec *explain.Recorder) ([]fault.StuckAt, error) {
-	seen := make(map[fault.StuckAt]bool)
-	var out []fault.StuckAt
-	var sources map[fault.StuckAt][]explain.Bit
-	if rec.Enabled() {
-		sources = make(map[fault.StuckAt][]explain.Bit)
-	}
+//
+// Failing patterns are independent traces, so with workers > 1 they shard
+// across forked tracers. Per-pattern hypothesis sets are merged in pattern
+// order and the union is sorted by (net, polarity) regardless, so the seed
+// list is identical at any worker count. The recorder path stays
+// sequential: bit attribution must observe patterns in order.
+func extractCandidates(ctx context.Context, c *netlist.Circuit, cpt *fsim.CPT, pats []sim.Pattern, log *tester.Datalog, approx bool, workers int, rec *explain.Recorder) ([]fault.StuckAt, error) {
+	var jobs []extractJob
 	for _, p := range log.FailingPatterns() {
 		determinate := true
 		for _, v := range pats[p] {
@@ -532,40 +572,95 @@ func extractCandidates(c *netlist.Circuit, cpt *fsim.CPT, pats []sim.Pattern, lo
 		for _, poIdx := range poIdxs {
 			pos = append(pos, c.POs[poIdx])
 		}
-		var (
-			union []bool
-			per   [][]bool
-			vals  []logic.Value
-			err   error
-		)
-		if approx {
-			union, vals, err = cpt.CriticalApproxForOutputs(pats[p], pos)
-		} else {
-			union, per, vals, err = cpt.CriticalForOutputs(pats[p], pos)
+		jobs = append(jobs, extractJob{p: p, pos: pos, poIdxs: poIdxs})
+	}
+
+	seen := make(map[fault.StuckAt]bool)
+	var out []fault.StuckAt
+	var sources map[fault.StuckAt][]explain.Bit
+	if rec.Enabled() {
+		sources = make(map[fault.StuckAt][]explain.Bit)
+	}
+
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers > 1 && !rec.Enabled() {
+		perJob := make([][]fault.StuckAt, len(jobs))
+		errs := make([]error, len(jobs))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			t := cpt
+			if wk > 0 {
+				t = cpt.Fork()
+			}
+			wg.Add(1)
+			go func(wk int, t *fsim.CPT) {
+				defer wg.Done()
+				prof.DoWorker(ctx, wk, func(ctx context.Context) {
+					for ctx.Err() == nil {
+						ji := int(next.Add(1)) - 1
+						if ji >= len(jobs) {
+							return
+						}
+						perJob[ji], errs[ji] = traceJob(c, t, pats, jobs[ji], approx)
+						if errs[ji] != nil {
+							return
+						}
+					}
+				})
+			}(wk, t)
 		}
-		if err != nil {
-			return nil, err
+		wg.Wait()
+		for ji := range jobs {
+			if errs[ji] != nil {
+				return nil, errs[ji]
+			}
+			for _, f := range perJob[ji] {
+				if !seen[f] {
+					seen[f] = true
+					out = append(out, f)
+				}
+			}
 		}
-		for id, cr := range union {
-			if !cr {
-				continue
+	} else {
+		for _, j := range jobs {
+			var (
+				union []bool
+				per   [][]bool
+				vals  []logic.Value
+				err   error
+			)
+			if approx {
+				union, vals, err = cpt.CriticalApproxForOutputs(pats[j.p], j.pos)
+			} else {
+				union, per, vals, err = cpt.CriticalForOutputs(pats[j.p], j.pos)
 			}
-			n := netlist.NetID(id)
-			if !vals[n].IsKnown() {
-				continue
+			if err != nil {
+				return nil, err
 			}
-			f := fault.StuckAt{Net: n, Value1: vals[n] == logic.Zero}
-			if !seen[f] {
-				seen[f] = true
-				out = append(out, f)
-			}
-			if sources != nil {
-				if per == nil {
-					sources[f] = append(sources[f], explain.Bit{Pattern: p, PO: -1})
-				} else {
-					for i, crit := range per {
-						if crit[n] {
-							sources[f] = append(sources[f], explain.Bit{Pattern: p, PO: poIdxs[i]})
+			for id, cr := range union {
+				if !cr {
+					continue
+				}
+				n := netlist.NetID(id)
+				if !vals[n].IsKnown() {
+					continue
+				}
+				f := fault.StuckAt{Net: n, Value1: vals[n] == logic.Zero}
+				if !seen[f] {
+					seen[f] = true
+					out = append(out, f)
+				}
+				if sources != nil {
+					if per == nil {
+						sources[f] = append(sources[f], explain.Bit{Pattern: j.p, PO: -1})
+					} else {
+						for i, crit := range per {
+							if crit[n] {
+								sources[f] = append(sources[f], explain.Bit{Pattern: j.p, PO: j.poIdxs[i]})
+							}
 						}
 					}
 				}
@@ -586,82 +681,229 @@ func extractCandidates(c *netlist.Circuit, cpt *fsim.CPT, pats []sim.Pattern, lo
 	return out, nil
 }
 
-// scoreCandidates folds each seed's syndrome (precomputed by the
-// fault-parallel batch, indexed like seeds) into its coverage of the
-// evidence universe and its mispredictions. Seeds with identical syndromes
-// under this test set are merged into one equivalence-class candidate
-// (they are indistinguishable by any scoring that follows). Folding in
-// seed order keeps class representatives and candidate order independent
-// of how the batch was scheduled.
-func scoreCandidates(c *netlist.Circuit, syns []*fsim.Syndrome, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config, rec *explain.Recorder) []*Candidate {
-	cands := make([]*Candidate, 0, len(seeds))
-	classes := make(map[string]*Candidate)
-	for si, f := range seeds {
-		syn := syns[si]
-		var sig strings.Builder
-		cd := &Candidate{Fault: f, Covered: bitset.New(numEv)}
-		for p, fails := range syn.Fails {
-			if fails == nil {
-				continue
-			}
-			fmt.Fprintf(&sig, "%d:", p)
-			for _, po := range fails.Members() {
-				fmt.Fprintf(&sig, "%d,", po)
-				if idx, ok := evIndex[EvidenceBit{Pattern: p, PO: po}]; ok {
-					cd.Covered.Add(idx)
-				} else {
-					cd.TPSF++
-				}
-			}
-		}
-		if rep, ok := classes[sig.String()]; ok {
-			rep.Equivalent = append(rep.Equivalent, f)
-			if rec.Enabled() { // guard: argument rendering is not free
-				rec.Merged(f.String(), f.Name(c), rep.Fault.String())
-			}
+// traceJob back-traces one failing pattern on tracer t and returns its
+// hypothesis set (copied out of the tracer's scratch).
+func traceJob(c *netlist.Circuit, t *fsim.CPT, pats []sim.Pattern, j extractJob, approx bool) ([]fault.StuckAt, error) {
+	var (
+		union []bool
+		vals  []logic.Value
+		err   error
+	)
+	if approx {
+		union, vals, err = t.CriticalApproxForOutputs(pats[j.p], j.pos)
+	} else {
+		union, _, vals, err = t.CriticalForOutputs(pats[j.p], j.pos)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []fault.StuckAt
+	for id, cr := range union {
+		if !cr {
 			continue
 		}
-		classes[sig.String()] = cd
-		if cfg.PerPatternCover {
-			// SLAT-style ablation: a pattern's evidence may be kept only if
-			// the candidate explains that pattern exactly.
-			for _, p := range log.FailingPatterns() {
-				obs := log.Fails[p]
-				pred := syn.Fails[p]
-				exact := pred != nil && pred.Equal(obs)
-				if !exact {
-					for _, po := range obs.Members() {
-						if idx, ok := evIndex[EvidenceBit{Pattern: p, PO: po}]; ok {
-							cd.Covered.Remove(idx)
-						}
+		n := netlist.NetID(id)
+		if !vals[n].IsKnown() {
+			continue
+		}
+		out = append(out, fault.StuckAt{Net: n, Value1: vals[n] == logic.Zero})
+	}
+	return out, nil
+}
+
+// evLookup resolves an observed (pattern, PO) pair to its evidence index.
+// For workload shapes where the dense table is affordable it is a flat
+// int32 array — one load on the innermost scoring loop, no map hashing,
+// no composite-key boxing; very large pattern×PO products fall back to
+// the map the caller already built.
+type evLookup struct {
+	flat   []int32 // index [p*numPOs+po], -1 = not evidence
+	numPOs int
+	m      map[EvidenceBit]int
+}
+
+// evLookupFlatMax bounds the dense table (entries, i.e. 4 bytes each).
+const evLookupFlatMax = 1 << 22
+
+func newEvLookup(numPats, numPOs int, evIndex map[EvidenceBit]int) evLookup {
+	if numPats*numPOs > evLookupFlatMax {
+		return evLookup{m: evIndex, numPOs: numPOs}
+	}
+	flat := make([]int32, numPats*numPOs)
+	for i := range flat {
+		flat[i] = -1
+	}
+	for bit, idx := range evIndex {
+		flat[bit.Pattern*numPOs+bit.PO] = int32(idx)
+	}
+	return evLookup{flat: flat, numPOs: numPOs}
+}
+
+func (l *evLookup) get(p, po int) (int, bool) {
+	if l.flat != nil {
+		idx := l.flat[p*l.numPOs+po]
+		return int(idx), idx >= 0
+	}
+	idx, ok := l.m[EvidenceBit{Pattern: p, PO: po}]
+	return idx, ok
+}
+
+// scoreFolder folds syndromes — strictly in seed order — into scored
+// equivalence-class candidates. Seeds with identical syndromes under this
+// test set merge into one candidate (they are indistinguishable by any
+// scoring that follows); folding in seed order keeps class representatives
+// and candidate order independent of how the simulation batch was
+// scheduled, so the chunked parallel engine and the sequential loop yield
+// byte-identical reports.
+//
+// The folder owns all per-seed scratch: the class-signature byte buffer
+// (pattern index + raw failing-set words, looked up with the
+// map[string]-on-[]byte idiom), a member-enumeration slice, and one
+// coverage bitset that is only cloned for seeds that found a new,
+// non-pruned class. With releaseSyns set, every folded syndrome is handed
+// back to the simulator's arena, so a scoring pass keeps O(workers ×
+// chunk) syndromes live instead of O(seeds).
+type scoreFolder struct {
+	c           *netlist.Circuit
+	fs          *fsim.FaultSim
+	seeds       []fault.StuckAt
+	log         *tester.Datalog
+	ev          evLookup
+	numEv       int
+	cfg         Config
+	rec         *explain.Recorder
+	releaseSyns bool
+
+	cands   []*Candidate
+	classes map[string]*Candidate
+	sigBuf  []byte
+	memBuf  []int
+	cov     bitset.Set
+}
+
+func newScoreFolder(c *netlist.Circuit, fs *fsim.FaultSim, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config, rec *explain.Recorder, releaseSyns bool) *scoreFolder {
+	return &scoreFolder{
+		c:           c,
+		fs:          fs,
+		seeds:       seeds,
+		log:         log,
+		ev:          newEvLookup(log.NumPatterns, log.NumPOs, evIndex),
+		numEv:       numEv,
+		cfg:         cfg,
+		rec:         rec,
+		releaseSyns: releaseSyns,
+		cands:       make([]*Candidate, 0, len(seeds)/4+1),
+		classes:     make(map[string]*Candidate),
+		cov:         bitset.New(numEv),
+	}
+}
+
+// fold scores seed si's syndrome. Callers must fold seeds in ascending
+// order; a nil syndrome (canceled simulation) is skipped.
+func (sf *scoreFolder) fold(si int, syn *fsim.Syndrome) {
+	if syn == nil {
+		return
+	}
+	f := sf.seeds[si]
+	sf.sigBuf = sf.sigBuf[:0]
+	for p, fails := range syn.Fails {
+		if fails == nil {
+			continue
+		}
+		sf.sigBuf = binary.LittleEndian.AppendUint32(sf.sigBuf, uint32(p))
+		for _, w := range fails {
+			sf.sigBuf = binary.LittleEndian.AppendUint64(sf.sigBuf, w)
+		}
+	}
+	if rep, ok := sf.classes[string(sf.sigBuf)]; ok {
+		rep.Equivalent = append(rep.Equivalent, f)
+		if sf.rec.Enabled() { // guard: argument rendering is not free
+			sf.rec.Merged(f.String(), f.Name(sf.c), rep.Fault.String())
+		}
+		sf.releaseSyn(syn)
+		return
+	}
+	cd := &Candidate{Fault: f}
+	sf.classes[string(sf.sigBuf)] = cd
+	sf.cov.Clear()
+	for p, fails := range syn.Fails {
+		if fails == nil {
+			continue
+		}
+		sf.memBuf = fails.AppendMembers(sf.memBuf[:0])
+		for _, po := range sf.memBuf {
+			if idx, ok := sf.ev.get(p, po); ok {
+				sf.cov.Add(idx)
+			} else {
+				cd.TPSF++
+			}
+		}
+	}
+	if sf.cfg.PerPatternCover {
+		// SLAT-style ablation: a pattern's evidence may be kept only if
+		// the candidate explains that pattern exactly.
+		for _, p := range sf.log.FailingPatterns() {
+			obs := sf.log.Fails[p]
+			pred := syn.Fails[p]
+			exact := pred != nil && pred.Equal(obs)
+			if !exact {
+				for _, po := range obs.Members() {
+					if idx, ok := sf.ev.get(p, po); ok {
+						sf.cov.Remove(idx)
 					}
 				}
 			}
 		}
-		cd.TFSF = cd.Covered.Count()
-		if cd.TFSF == 0 {
-			if rec.Enabled() {
-				rec.Score(f.String(), f.Name(c), nil, 0, cd.TPSF, nil,
-					explain.VerdictPruned, "predicts no observed failing bit")
-			}
-			continue // explains nothing observable
-		}
-		cd.Models = []Model{{Kind: StuckOrOpen, Mispredictions: cd.TPSF}}
-		cands = append(cands, cd)
 	}
-	if rec.Enabled() {
-		// Survivors are recorded after the loop so the equivalence classes
-		// (appended to as later seeds merge in) are final.
-		for _, cd := range cands {
+	sf.releaseSyn(syn)
+	cd.TFSF = sf.cov.Count()
+	if cd.TFSF == 0 {
+		// Explains nothing observable. The class entry stays (so equivalent
+		// later seeds merge into it and vanish with it), but the candidate
+		// is never emitted and needs no coverage set of its own.
+		if sf.rec.Enabled() {
+			sf.rec.Score(f.String(), f.Name(sf.c), nil, 0, cd.TPSF, nil,
+				explain.VerdictPruned, "predicts no observed failing bit")
+		}
+		return
+	}
+	cd.Covered = sf.cov.Clone()
+	cd.Models = []Model{{Kind: StuckOrOpen, Mispredictions: cd.TPSF}}
+	sf.cands = append(sf.cands, cd)
+}
+
+func (sf *scoreFolder) releaseSyn(syn *fsim.Syndrome) {
+	if sf.releaseSyns {
+		sf.fs.ReleaseSyndrome(syn)
+	}
+}
+
+// finish records the survivors (classes are final only once every seed has
+// folded) and returns the scored candidates in seed order.
+func (sf *scoreFolder) finish() []*Candidate {
+	if sf.rec.Enabled() {
+		for _, cd := range sf.cands {
 			var equiv []string
 			for _, e := range cd.Equivalent {
-				equiv = append(equiv, e.Name(c))
+				equiv = append(equiv, e.Name(sf.c))
 			}
-			rec.Score(cd.Fault.String(), cd.Name(c), cd.Covered.Members(),
+			sf.rec.Score(cd.Fault.String(), cd.Name(sf.c), cd.Covered.Members(),
 				cd.TFSF, cd.TPSF, equiv, explain.VerdictScored, "")
 		}
 	}
-	return cands
+	return sf.cands
+}
+
+// scoreCandidates folds a fully materialized syndrome slice (indexed like
+// seeds) — the batch-diagnosis path, which must keep the shared syndromes
+// alive across devices and so never releases them. The single-device
+// engine folds incrementally through scoreFolder instead.
+func scoreCandidates(c *netlist.Circuit, syns []*fsim.Syndrome, seeds []fault.StuckAt, log *tester.Datalog, evIndex map[EvidenceBit]int, numEv int, cfg Config, rec *explain.Recorder) []*Candidate {
+	sf := newScoreFolder(c, nil, seeds, log, evIndex, numEv, cfg, rec, false)
+	for si, syn := range syns {
+		sf.fold(si, syn)
+	}
+	return sf.finish()
 }
 
 // cover greedily selects candidates to explain the evidence universe.

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"multidiag/internal/bitset"
 	"multidiag/internal/explain"
@@ -30,78 +32,112 @@ func refineModels(c *netlist.Circuit, fs *fsim.FaultSim, multiplet []*Candidate,
 	if len(multiplet) == 0 {
 		return
 	}
-	tested := reg.Counter("core.bridge_aggressors_tested")
-	accepted := reg.Counter("core.bridge_models_accepted")
+	// Members are independent victims writing only their own Models list,
+	// so they shard across goroutines (each with a private re-simulator).
+	// The recorder path stays sequential: refine events must arrive in
+	// multiplet order.
+	workers := fsim.Workers(cfg.Workers)
+	if workers > len(multiplet) {
+		workers = len(multiplet)
+	}
+	if workers > 1 && !rec.Enabled() {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := sim.New(c)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(multiplet) {
+						return
+					}
+					refineMember(c, fs, s, multiplet[i], evIndex, cfg, reg, nil)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
 	s := sim.New(c)
 	for _, cd := range multiplet {
-		victim := cd.Fault.Net
-		aggressors := bridgeAggressors(c, victim, cfg)
-		if len(aggressors) == 0 {
-			if rec.Enabled() {
-				rec.Refine(cd.Fault.String(), cd.Name(c), stuckModelFit(cd), explain.VerdictScored)
-			}
+		refineMember(c, fs, s, cd, evIndex, cfg, reg, rec)
+	}
+}
+
+// refineMember runs the aggressor search for one multiplet member.
+func refineMember(c *netlist.Circuit, fs *fsim.FaultSim, s *sim.Simulator, cd *Candidate, evIndex map[EvidenceBit]int, cfg Config, reg *obs.Registry, rec *explain.Recorder) {
+	tested := reg.Counter("core.bridge_aggressors_tested")
+	accepted := reg.Counter("core.bridge_models_accepted")
+	force := make(map[netlist.NetID]logic.PV64, 1)
+	victim := cd.Fault.Net
+	aggressors := bridgeAggressors(c, victim, cfg)
+	if len(aggressors) == 0 {
+		if rec.Enabled() {
+			rec.Refine(cd.Fault.String(), cd.Name(c), stuckModelFit(cd), explain.VerdictScored)
+		}
+		return
+	}
+	tested.Add(int64(len(aggressors)))
+	type fit struct {
+		aggr    netlist.NetID
+		covered int
+		tpsf    int
+	}
+	var fits []fit
+	for _, a := range aggressors {
+		cov, tpsf := bridgeFit(c, fs, s, victim, a, evIndex, force)
+		if cov == 0 {
 			continue
 		}
-		tested.Add(int64(len(aggressors)))
-		type fit struct {
-			aggr    netlist.NetID
-			covered int
-			tpsf    int
+		// The bridge must reproduce at least the evidence the stuck-at
+		// hypothesis covers (otherwise it is a worse explanation) and
+		// strictly reduce mispredictions to be worth reporting.
+		if cov >= cd.TFSF && tpsf < cd.TPSF {
+			fits = append(fits, fit{aggr: a, covered: cov, tpsf: tpsf})
 		}
-		var fits []fit
-		for _, a := range aggressors {
-			cov, tpsf := bridgeFit(c, fs, s, victim, a, evIndex)
-			if cov == 0 {
-				continue
-			}
-			// The bridge must reproduce at least the evidence the stuck-at
-			// hypothesis covers (otherwise it is a worse explanation) and
-			// strictly reduce mispredictions to be worth reporting.
-			if cov >= cd.TFSF && tpsf < cd.TPSF {
-				fits = append(fits, fit{aggr: a, covered: cov, tpsf: tpsf})
+	}
+	sort.Slice(fits, func(i, j int) bool {
+		if fits[i].tpsf != fits[j].tpsf {
+			return fits[i].tpsf < fits[j].tpsf
+		}
+		if fits[i].covered != fits[j].covered {
+			return fits[i].covered > fits[j].covered
+		}
+		return fits[i].aggr < fits[j].aggr
+	})
+	const maxBridgeModels = 3
+	for i, f := range fits {
+		if i >= maxBridgeModels {
+			break
+		}
+		cd.Models = append(cd.Models, Model{Kind: BridgeModel, Aggressor: f.aggr, Mispredictions: f.tpsf})
+		accepted.Inc()
+	}
+	// Keep the best-fitting model first.
+	sort.SliceStable(cd.Models, func(i, j int) bool {
+		return cd.Models[i].Mispredictions < cd.Models[j].Mispredictions
+	})
+	if rec.Enabled() {
+		// Report the refined model list in ranked order, carrying the
+		// bridgeFit coverage statistic for each accepted aggressor.
+		covByAggr := make(map[netlist.NetID]int, len(fits))
+		for _, f := range fits {
+			covByAggr[f.aggr] = f.covered
+		}
+		mf := make([]explain.ModelFit, 0, len(cd.Models))
+		for _, m := range cd.Models {
+			switch m.Kind {
+			case BridgeModel:
+				mf = append(mf, explain.ModelFit{Kind: m.Kind.String(),
+					Aggressor: c.NameOf(m.Aggressor), Covered: covByAggr[m.Aggressor], Mispred: m.Mispredictions})
+			default:
+				mf = append(mf, explain.ModelFit{Kind: m.Kind.String(),
+					Covered: cd.TFSF, Mispred: m.Mispredictions})
 			}
 		}
-		sort.Slice(fits, func(i, j int) bool {
-			if fits[i].tpsf != fits[j].tpsf {
-				return fits[i].tpsf < fits[j].tpsf
-			}
-			if fits[i].covered != fits[j].covered {
-				return fits[i].covered > fits[j].covered
-			}
-			return fits[i].aggr < fits[j].aggr
-		})
-		const maxBridgeModels = 3
-		for i, f := range fits {
-			if i >= maxBridgeModels {
-				break
-			}
-			cd.Models = append(cd.Models, Model{Kind: BridgeModel, Aggressor: f.aggr, Mispredictions: f.tpsf})
-			accepted.Inc()
-		}
-		// Keep the best-fitting model first.
-		sort.SliceStable(cd.Models, func(i, j int) bool {
-			return cd.Models[i].Mispredictions < cd.Models[j].Mispredictions
-		})
-		if rec.Enabled() {
-			// Report the refined model list in ranked order, carrying the
-			// bridgeFit coverage statistic for each accepted aggressor.
-			covByAggr := make(map[netlist.NetID]int, len(fits))
-			for _, f := range fits {
-				covByAggr[f.aggr] = f.covered
-			}
-			mf := make([]explain.ModelFit, 0, len(cd.Models))
-			for _, m := range cd.Models {
-				switch m.Kind {
-				case BridgeModel:
-					mf = append(mf, explain.ModelFit{Kind: m.Kind.String(),
-						Aggressor: c.NameOf(m.Aggressor), Covered: covByAggr[m.Aggressor], Mispred: m.Mispredictions})
-				default:
-					mf = append(mf, explain.ModelFit{Kind: m.Kind.String(),
-						Covered: cd.TFSF, Mispred: m.Mispredictions})
-				}
-			}
-			rec.Refine(cd.Fault.String(), cd.Name(c), mf, explain.VerdictScored)
-		}
+		rec.Refine(cd.Fault.String(), cd.Name(c), mf, explain.VerdictScored)
 	}
 }
 
@@ -143,22 +179,15 @@ func bridgeAggressors(c *netlist.Circuit, victim netlist.NetID, cfg Config) []ne
 // bridgeFit simulates a dominant bridge (victim ← aggressor) over the test
 // set and returns (covered evidence bits, mispredicted bits). The forced
 // victim value per packed word is the aggressor's fault-free word, which is
-// exactly the dominant-bridge semantics.
-func bridgeFit(c *netlist.Circuit, fs *fsim.FaultSim, s *sim.Simulator, victim, aggressor netlist.NetID, evIndex map[EvidenceBit]int) (covered, tpsf int) {
+// exactly the dominant-bridge semantics. The packed PI vectors come from
+// the fault simulator's construction-time packing (no re-pack per
+// hypothesis); force is caller scratch reused across aggressors.
+func bridgeFit(c *netlist.Circuit, fs *fsim.FaultSim, s *sim.Simulator, victim, aggressor netlist.NetID, evIndex map[EvidenceBit]int, force map[netlist.NetID]logic.PV64) (covered, tpsf int) {
 	pats := fs.Patterns()
 	for base := 0; base < len(pats); base += logic.W {
-		end := base + logic.W
-		if end > len(pats) {
-			end = len(pats)
-		}
-		chunk := pats[base:end]
-		piv, _, err := s.PackPatterns(chunk)
-		if err != nil {
-			return 0, 0
-		}
 		// Aggressor fault-free word comes from the cached good simulation.
-		aggrWord := fs.GoodWord(aggressor, base/logic.W)
-		if err := s.RunWithOverrides(piv, map[netlist.NetID]logic.PV64{victim: aggrWord}); err != nil {
+		force[victim] = fs.GoodWord(aggressor, base/logic.W)
+		if err := s.RunWithOverrides(fs.PIWord(base/logic.W), force); err != nil {
 			return 0, 0
 		}
 		for i, po := range c.POs {

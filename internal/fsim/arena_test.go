@@ -1,0 +1,127 @@
+package fsim
+
+import (
+	"context"
+	"testing"
+
+	"multidiag/internal/fault"
+)
+
+// chunkedRef computes retained reference syndromes on a private simulator
+// so the arena under test never sees them.
+func chunkedRef(t *testing.T, fs *FaultSim, faults []fault.StuckAt) []*Syndrome {
+	t.Helper()
+	ref, err := NewFaultSim(fs.Circuit(), fs.Patterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*Syndrome, len(faults))
+	for i, f := range faults {
+		out[i] = ref.SimulateStuckAt(f)
+	}
+	return out
+}
+
+// TestChunkedFoldMatchesSequentialWithRelease folds chunks with immediate
+// release — the scoring engine's usage — and checks every syndrome against
+// a sequential reference, twice: the second pass runs entirely on recycled
+// arena memory, so any incomplete reset of a pooled syndrome or fail set
+// shows up as a content mismatch.
+func TestChunkedFoldMatchesSequentialWithRelease(t *testing.T) {
+	fs, faults := batchFixture(t)
+	want := chunkedRef(t, fs, faults)
+	for pass := 0; pass < 2; pass++ {
+		folded := 0
+		fs.SimulateStuckAtChunksCtx(context.Background(), faults, 4, func(start int, syns []*Syndrome) {
+			if start != folded {
+				t.Errorf("pass %d: chunk starts at %d, want contiguous %d", pass, start, folded)
+			}
+			for i, syn := range syns {
+				if !syn.Equal(want[start+i]) {
+					t.Errorf("pass %d: fault %s syndrome differs from sequential",
+						pass, faults[start+i].String())
+				}
+				fs.ReleaseSyndrome(syn)
+			}
+			folded += len(syns)
+		})
+		if folded != len(faults) {
+			t.Fatalf("pass %d: folded %d of %d faults", pass, folded, len(faults))
+		}
+	}
+}
+
+// TestChunkedFoldWorkingSetBounded pins the arena working-set contract: a
+// chunked pass that releases every syndrome at fold time must keep the
+// live population O(workers × chunk) — the claim semaphore admits at most
+// 2×workers unfolded chunks — no matter how many faults stream through.
+// Without the claim bound, workers race the folder and the first pass
+// allocates nearly one syndrome per fault.
+func TestChunkedFoldWorkingSetBounded(t *testing.T) {
+	fs, faults := batchFixture(t)
+	const workers = 4
+	fs.SimulateStuckAtChunksCtx(context.Background(), faults, workers, func(start int, syns []*Syndrome) {
+		for _, s := range syns {
+			fs.ReleaseSyndrome(s)
+		}
+	})
+	// Every syndrome ever allocated is back on the free list now, so its
+	// length is exactly the peak working set of the pass.
+	size := batchChunkSize(len(faults), workers)
+	limit := (2*workers + workers) * size // claimed-unfolded + in-build, one chunk each
+	fs.arena.mu.Lock()
+	peak := len(fs.arena.free)
+	fs.arena.mu.Unlock()
+	if peak > limit {
+		t.Fatalf("chunked pass allocated %d syndromes for %d faults; working-set limit is %d",
+			peak, len(faults), limit)
+	}
+}
+
+// TestPooledScratchStressRace drives several release-and-reuse rounds of
+// the full parallel engine — pooled syndromes, pooled fail sets, pooled
+// forks — while verifying syndrome content against a sequential reference.
+// Run under -race this pins the no-aliasing contract: a pooled object
+// handed to two goroutines at once is a data race, and a stale fail bit
+// surviving recycling is a content mismatch.
+func TestPooledScratchStressRace(t *testing.T) {
+	fs, faults := batchFixture(t)
+	want := chunkedRef(t, fs, faults)
+	for round := 0; round < 6; round++ {
+		workers := 2 + round%3
+		fs.SimulateStuckAtChunksCtx(context.Background(), faults, workers, func(start int, syns []*Syndrome) {
+			for i, syn := range syns {
+				if !syn.Equal(want[start+i]) {
+					t.Errorf("round %d workers=%d: fault %s syndrome corrupted by pooling",
+						round, workers, faults[start+i].String())
+				}
+				fs.ReleaseSyndrome(syn)
+			}
+		})
+	}
+}
+
+// TestChunkedFoldCancellation cancels mid-stream and checks the engine
+// still terminates (the claim semaphore must never deadlock a canceled
+// worker) and folds only a contiguous prefix.
+func TestChunkedFoldCancellation(t *testing.T) {
+	fs, faults := batchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	folded := 0
+	fs.SimulateStuckAtChunksCtx(ctx, faults, 4, func(start int, syns []*Syndrome) {
+		if start != folded {
+			t.Errorf("chunk starts at %d, want contiguous %d", start, folded)
+		}
+		folded += len(syns)
+		for _, s := range syns {
+			fs.ReleaseSyndrome(s)
+		}
+		if folded >= len(faults)/4 {
+			cancel()
+		}
+	})
+	cancel()
+	if folded > len(faults) {
+		t.Fatalf("folded %d faults, more than the %d submitted", folded, len(faults))
+	}
+}

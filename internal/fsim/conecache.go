@@ -227,15 +227,14 @@ func (fs *FaultSim) storeWord(f fault.StuckAt, w int, diffs []poWordDiff) {
 
 // replayWord adds a cached word's failing bits to the syndrome.
 func (fs *FaultSim) replayWord(syn *Syndrome, w int, diffs []poWordDiff) {
+	base := w * logic.W
 	for _, d := range diffs {
-		for slot := uint(0); slot < logic.W; slot++ {
-			p := w*logic.W + int(slot)
+		for m := d.diff; m != 0; m &= m - 1 {
+			p := base + tz64(m)
 			if p >= len(fs.pats) {
 				break
 			}
-			if d.diff>>slot&1 == 1 {
-				syn.AddFail(p, int(d.po))
-			}
+			fs.addFail(syn, p, int(d.po))
 		}
 	}
 }

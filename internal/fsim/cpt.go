@@ -34,6 +34,20 @@ type CPT struct {
 
 	refs []int // number of fan-in references per net (stem detection)
 
+	// Multi-output tracing scratch, reused across CriticalForOutputs calls
+	// so the per-failing-pattern extraction loop allocates nothing in its
+	// steady state. All of it is owned by the tracer and valid only until
+	// the next trace call.
+	vals      []logic.Value
+	union     []bool
+	per       [][]bool
+	cones     [][]bool
+	unionCone []bool
+	coneStack []netlist.NetID
+	before    []logic.Value
+	flipArena []bool  // per-stem × per-output flip verdicts, carved in order
+	stemOff   []int32 // per net: offset of its verdicts in flipArena, -1 none
+
 	statTraces    *obs.Counter
 	statStemFlips *obs.Counter
 }
@@ -47,6 +61,20 @@ func NewCPT(c *netlist.Circuit) *CPT {
 		}
 	}
 	return t
+}
+
+// Fork returns a tracer sharing t's circuit, stem reference counts, and
+// observability counters, with a private simulator and private scratch.
+// The fork and its parent may trace concurrently (distinct patterns or
+// the same — tracing is read-only on shared state).
+func (t *CPT) Fork() *CPT {
+	return &CPT{
+		c:             t.c,
+		es:            sim.NewEventSim(t.c),
+		refs:          t.refs,
+		statTraces:    t.statTraces,
+		statStemFlips: t.statStemFlips,
+	}
 }
 
 // Observe wires the tracer's counters into r (nil r detaches): backtraces
@@ -105,24 +133,38 @@ func (t *CPT) Critical(p sim.Pattern, po netlist.NetID) ([]bool, []logic.Value, 
 // multi-output amortization that makes per-failing-output candidate
 // extraction affordable on devices with wide syndromes (a stem flip is
 // propagated once and its effect read at every output simultaneously).
+//
+// The returned slices are scratch owned by the tracer, valid until its
+// next trace call; callers that keep results across patterns must copy.
 func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bool, per [][]bool, vals []logic.Value, err error) {
 	if err := t.es.Baseline(p, nil); err != nil {
 		return nil, nil, nil, err
 	}
 	t.statTraces.Inc()
-	vals = append([]logic.Value(nil), t.es.Values()...)
 	n := t.c.NumGates()
-	union = make([]bool, n)
-	per = make([][]bool, len(pos))
+	t.vals = append(t.vals[:0], t.es.Values()...)
+	vals = t.vals
+	t.union = clearBools(t.union, n)
+	union = t.union
+	if cap(t.per) < len(pos) {
+		t.per = append(t.per[:cap(t.per)], make([][]bool, len(pos)-cap(t.per))...)
+	}
+	t.per = t.per[:len(pos)]
+	per = t.per
 	for i := range per {
-		per[i] = make([]bool, n)
+		per[i] = clearBools(per[i], n)
 	}
 
 	// Per-output fanin cones and the union cone.
-	cones := make([][]bool, len(pos))
-	unionCone := make([]bool, n)
+	if cap(t.cones) < len(pos) {
+		t.cones = append(t.cones[:cap(t.cones)], make([][]bool, len(pos)-cap(t.cones))...)
+	}
+	t.cones = t.cones[:len(pos)]
+	cones := t.cones
+	t.unionCone = clearBools(t.unionCone, n)
+	unionCone := t.unionCone
 	for i, po := range pos {
-		cones[i] = t.c.FaninCone(po)
+		cones[i], t.coneStack = t.c.FaninConeInto(po, cones[i], t.coneStack)
 		for id, in := range cones[i] {
 			if in {
 				unionCone[id] = true
@@ -131,25 +173,32 @@ func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bo
 	}
 
 	// Stem analysis: flip each stem in the union cone once; record which
-	// outputs change.
-	stemCrit := make(map[netlist.NetID][]bool)
+	// outputs change. Verdicts are carved from a flat arena indexed via
+	// stemOff (per-net), replacing a map of per-stem slices.
+	if cap(t.stemOff) < n {
+		t.stemOff = make([]int32, n)
+	}
+	t.stemOff = t.stemOff[:n]
+	for i := range t.stemOff {
+		t.stemOff[i] = -1
+	}
+	t.flipArena = t.flipArena[:0]
+	t.before = t.before[:0]
+	for _, po := range pos {
+		t.before = append(t.before, t.es.Value(po))
+	}
 	for id := 0; id < n; id++ {
 		s := netlist.NetID(id)
 		if !unionCone[id] || t.refs[s] <= 1 {
 			continue
 		}
-		before := make([]logic.Value, len(pos))
-		for i, po := range pos {
-			before[i] = t.es.Value(po)
-		}
 		t.statStemFlips.Inc()
 		_, restore := t.es.PropagateFrom(s, vals[s].Not())
-		flips := make([]bool, len(pos))
+		t.stemOff[id] = int32(len(t.flipArena))
 		for i, po := range pos {
-			flips[i] = t.es.Value(po) != before[i]
+			t.flipArena = append(t.flipArena, t.es.Value(po) != t.before[i])
 		}
 		restore()
-		stemCrit[s] = flips
 	}
 
 	// Per-output backtrace using the shared stem verdicts (no further
@@ -167,8 +216,8 @@ func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bo
 			case nID == po:
 				crit[nID] = true
 			case t.refs[nID] > 1:
-				if f := stemCrit[nID]; f != nil {
-					crit[nID] = f[pi]
+				if off := t.stemOff[nID]; off >= 0 {
+					crit[nID] = t.flipArena[int(off)+pi]
 				}
 			case t.refs[nID] == 1:
 				rd := t.singleReader(nID)
@@ -185,6 +234,19 @@ func (t *CPT) CriticalForOutputs(p sim.Pattern, pos []netlist.NetID) (union []bo
 		}
 	}
 	return union, per, vals, nil
+}
+
+// clearBools returns b resized to n with every element false, reusing its
+// backing array when large enough (the loop compiles to a memclr).
+func clearBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // flipChangesPO flips net n from its baseline value and reports whether po

@@ -11,6 +11,9 @@ package fsim
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
+	"sync"
 
 	"multidiag/internal/bitset"
 	"multidiag/internal/fault"
@@ -28,6 +31,11 @@ type Syndrome struct {
 	NumPOs      int
 	// Fails[p] is nil when pattern p passes; otherwise the failing PO set.
 	Fails []bitset.Set
+	// spare holds zeroed fail sets detached by an arena release, reused by
+	// the next simulation instead of allocating. Keeping them attached to
+	// the syndrome (rather than in a shared pool) means recycled sets never
+	// cross goroutines separately from their syndrome.
+	spare []bitset.Set
 }
 
 // NewSyndrome returns an all-passing syndrome.
@@ -104,11 +112,22 @@ type FaultSim struct {
 	words   [][]logic.PV64 // words[w][net] fault-free values for word w
 	piWords [][]logic.PV64 // packed PI vectors per word
 	nWords  int
-	// scratch for cone-limited propagation
-	cur     []logic.PV64
-	touched []netlist.NetID
-	inCone  []bool
-	poIndex map[netlist.NetID]int
+	// scratch for cone-limited propagation (private per fork)
+	cur      []logic.PV64
+	touched  []netlist.NetID
+	inCone   []bool
+	stack    []netlist.NetID
+	coneKeys []uint64 // level-sort scratch: Level<<32|NetID
+	conePOs  []int32  // PO indices inside the current cone
+	poIndex  map[netlist.NetID]int
+
+	// arena recycles syndromes/fail-sets; rootSim points at the simulator
+	// owning the shared arena and fork free list (nil for a root). Both
+	// are shared by every fork.
+	arena    *synArena
+	rootSim  *FaultSim
+	forkMu   sync.Mutex
+	forkFree []*FaultSim
 
 	// cache, when attached, memoizes per-(fault, word) cone results;
 	// shared by forks (see AttachCache and ConeCache).
@@ -139,6 +158,7 @@ func NewFaultSim(c *netlist.Circuit, pats []sim.Pattern) (*FaultSim, error) {
 		cur:     make([]logic.PV64, c.NumGates()),
 		inCone:  make([]bool, c.NumGates()),
 		poIndex: make(map[netlist.NetID]int, len(c.POs)),
+		arena:   newSynArena(len(pats), len(c.POs)),
 	}
 	for i, po := range c.POs {
 		fs.poIndex[po] = i
@@ -199,6 +219,12 @@ func (fs *FaultSim) GoodWord(id netlist.NetID, w int) logic.PV64 {
 // NumWords returns the number of packed pattern words.
 func (fs *FaultSim) NumWords() int { return fs.nWords }
 
+// PIWord returns the packed primary-input vector for pattern word w
+// (shared storage — callers must not mutate). Re-simulation passes — the
+// bridge refinement sweep, X-propagation — reuse these instead of
+// re-packing the pattern set per hypothesis.
+func (fs *FaultSim) PIWord(w int) []logic.PV64 { return fs.piWords[w] }
+
 // GoodPOSet returns the fault-free PO values of pattern p as a bitset of
 // POs at logic 1 (X POs are omitted; callers in the diagnosis flow only use
 // determinate patterns).
@@ -223,9 +249,11 @@ func forceValue(v1 bool) logic.PV64 {
 
 // SimulateStuckAt computes the syndrome of a single stuck-at fault over the
 // whole test set using cone-limited propagation. With a cache attached,
-// per-word cone results are replayed or filled as a side effect.
+// per-word cone results are replayed or filled as a side effect. The
+// returned syndrome comes from the simulator's arena; callers on the hot
+// path should hand it back with ReleaseSyndrome once folded.
 func (fs *FaultSim) SimulateStuckAt(f fault.StuckAt) *Syndrome {
-	return fs.simulateForced(map[netlist.NetID]logic.PV64{f.Net: forceValue(f.Value1)}, f.Net, &f)
+	return fs.simulateForced(f.Net, forceValue(f.Value1), &f)
 }
 
 // SimulateOpen computes the syndrome of a net-open (modelled as a stuck
@@ -233,7 +261,7 @@ func (fs *FaultSim) SimulateStuckAt(f fault.StuckAt) *Syndrome {
 // stuck-at, so opens share its cache entries.
 func (fs *FaultSim) SimulateOpen(o fault.Open) *Syndrome {
 	eq := fault.StuckAt{Net: o.Net, Value1: o.StuckValue1}
-	return fs.simulateForced(map[netlist.NetID]logic.PV64{o.Net: forceValue(o.StuckValue1)}, o.Net, &eq)
+	return fs.simulateForced(o.Net, forceValue(o.StuckValue1), &eq)
 }
 
 // SimulateXAt computes, for each pattern, the set of POs that *may* be
@@ -275,43 +303,36 @@ func (fs *FaultSim) SimulateXAt(nets []netlist.NetID) []bitset.Set {
 	return out
 }
 
-// simulateForced runs cone-limited packed simulation with the given forced
-// nets, comparing POs in the union fan-out cone of the forced nets against
-// the cached fault-free responses. root identifies the fault site for cone
-// computation; for multi-net forces pass InvalidNet and the cone is the
-// union over all forced nets. cacheF, when non-nil and a cache is
-// attached, keys per-word result memoization (single forced net only).
-func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netlist.NetID, cacheF *fault.StuckAt) *Syndrome {
-	syn := NewSyndrome(len(fs.pats), len(fs.c.POs))
-	if fs.cache == nil || len(force) != 1 {
+// simulateForced runs cone-limited packed simulation with one net forced
+// to a stuck value, comparing POs in the fan-out cone of the forced net
+// against the cached fault-free responses. cacheF, when a cache is
+// attached, keys per-word result memoization. This is the innermost loop
+// of candidate scoring: it evaluates only the fault's output-cone delta —
+// the cone gates in topological order — against the cached good-machine
+// words, touches no map, allocates nothing besides the pooled syndrome
+// (and, when filling a cache, the stored diff slices), and reuses the
+// fork-private marking/ordering scratch across candidates.
+func (fs *FaultSim) simulateForced(forceNet netlist.NetID, forceVal logic.PV64, cacheF *fault.StuckAt) *Syndrome {
+	syn := fs.arena.acquire()
+	if fs.cache == nil {
 		cacheF = nil
 	}
 
-	// Mark the union fanout cone of the forced nets.
-	fs.touched = fs.touched[:0]
-	var mark func(n netlist.NetID)
-	stack := make([]netlist.NetID, 0, 64)
-	mark = func(n netlist.NetID) {
-		if fs.inCone[n] {
-			return
-		}
-		fs.inCone[n] = true
-		fs.touched = append(fs.touched, n)
-		stack = append(stack, n)
-		for len(stack) > 0 {
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, rd := range fs.c.Gates[x].Fanout {
-				if !fs.inCone[rd] {
-					fs.inCone[rd] = true
-					fs.touched = append(fs.touched, rd)
-					stack = append(stack, rd)
-				}
+	// Mark the fanout cone of the forced net (iterative DFS, persistent
+	// stack/touched scratch).
+	fs.touched = append(fs.touched[:0], forceNet)
+	fs.stack = append(fs.stack[:0], forceNet)
+	fs.inCone[forceNet] = true
+	for len(fs.stack) > 0 {
+		x := fs.stack[len(fs.stack)-1]
+		fs.stack = fs.stack[:len(fs.stack)-1]
+		for _, rd := range fs.c.Gates[x].Fanout {
+			if !fs.inCone[rd] {
+				fs.inCone[rd] = true
+				fs.touched = append(fs.touched, rd)
+				fs.stack = append(fs.stack, rd)
 			}
 		}
-	}
-	for n := range force {
-		mark(n)
 	}
 	defer func() {
 		for _, n := range fs.touched {
@@ -323,17 +344,25 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 	fs.statConeSize.Observe(int64(len(fs.touched)))
 
 	// POs inside the cone, by index.
-	var conePOs []int
+	fs.conePOs = fs.conePOs[:0]
 	for i, po := range fs.c.POs {
 		if fs.inCone[po] {
-			conePOs = append(conePOs, i)
+			fs.conePOs = append(fs.conePOs, int32(i))
 		}
 	}
-	if len(conePOs) == 0 {
+	if len(fs.conePOs) == 0 {
 		return syn // fault cannot reach any output
 	}
 
-	ord := fs.c.LevelOrder()
+	// Order the cone topologically: sort the touched nets by (level, id)
+	// once per fault, so each word pass walks only the cone instead of
+	// filtering the full-circuit level order.
+	fs.coneKeys = fs.coneKeys[:0]
+	for _, n := range fs.touched {
+		fs.coneKeys = append(fs.coneKeys, uint64(fs.c.Gates[n].Level)<<32|uint64(uint32(n)))
+	}
+	slices.Sort(fs.coneKeys)
+
 	for w := 0; w < fs.nWords; w++ {
 		if cacheF != nil {
 			if diffs, ok := fs.cachedWord(*cacheF, w); ok {
@@ -345,46 +374,36 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 		good := fs.words[w]
 		// Evaluate only cone gates; values outside the cone are the good
 		// values. fs.cur holds faulty values for cone nets.
-		getVal := func(id netlist.NetID) logic.PV64 {
-			if fs.inCone[id] {
-				return fs.cur[id]
-			}
-			return good[id]
-		}
-		for _, id := range ord {
-			if !fs.inCone[id] {
+		for _, key := range fs.coneKeys {
+			id := netlist.NetID(uint32(key))
+			if id == forceNet {
+				fs.cur[id] = forceVal
 				continue
 			}
 			g := &fs.c.Gates[id]
-			var v logic.PV64
 			if g.Type == netlist.Input {
-				v = good[id]
-			} else {
-				v = evalPackedVia(g.Type, g.Fanin, getVal)
+				fs.cur[id] = good[id]
+				continue
 			}
-			if fv, ok := force[id]; ok {
-				v = fv
-			}
-			fs.cur[id] = v
+			fs.cur[id] = evalPackedCone(g.Type, g.Fanin, fs.cur, good, fs.inCone)
 		}
 		var diffs []poWordDiff
-		for _, pi := range conePOs {
+		for _, pi := range fs.conePOs {
 			po := fs.c.POs[pi]
 			diff := fs.cur[po].DiffKnown(good[po])
 			if diff == 0 {
 				continue
 			}
 			if cacheF != nil {
-				diffs = append(diffs, poWordDiff{po: int32(pi), diff: diff})
+				diffs = append(diffs, poWordDiff{po: pi, diff: diff})
 			}
-			for slot := uint(0); slot < logic.W; slot++ {
-				p := w*logic.W + int(slot)
+			base := w * logic.W
+			for m := diff; m != 0; m &= m - 1 {
+				p := base + tz64(m)
 				if p >= len(fs.pats) {
 					break
 				}
-				if diff>>slot&1 == 1 {
-					syn.AddFail(p, pi)
-				}
+				fs.addFail(syn, p, int(pi))
 			}
 		}
 		if cacheF != nil {
@@ -394,35 +413,42 @@ func (fs *FaultSim) simulateForced(force map[netlist.NetID]logic.PV64, root netl
 	return syn
 }
 
-// evalPackedVia evaluates one gate with an indirection for input values.
-func evalPackedVia(t netlist.GateType, fanin []netlist.NetID, get func(netlist.NetID) logic.PV64) logic.PV64 {
+// evalPackedCone evaluates one gate reading faulty values for fan-in nets
+// inside the cone and cached good-machine values for everything else.
+func evalPackedCone(t netlist.GateType, fanin []netlist.NetID, cur, good []logic.PV64, inCone []bool) logic.PV64 {
+	in := func(f netlist.NetID) logic.PV64 {
+		if inCone[f] {
+			return cur[f]
+		}
+		return good[f]
+	}
 	switch t {
 	case netlist.Buf:
-		return get(fanin[0])
+		return in(fanin[0])
 	case netlist.Not:
-		return get(fanin[0]).Not()
+		return in(fanin[0]).Not()
 	case netlist.And, netlist.Nand:
-		acc := get(fanin[0])
+		acc := in(fanin[0])
 		for _, f := range fanin[1:] {
-			acc = acc.And(get(f))
+			acc = acc.And(in(f))
 		}
 		if t == netlist.Nand {
 			acc = acc.Not()
 		}
 		return acc
 	case netlist.Or, netlist.Nor:
-		acc := get(fanin[0])
+		acc := in(fanin[0])
 		for _, f := range fanin[1:] {
-			acc = acc.Or(get(f))
+			acc = acc.Or(in(f))
 		}
 		if t == netlist.Nor {
 			acc = acc.Not()
 		}
 		return acc
 	case netlist.Xor, netlist.Xnor:
-		acc := get(fanin[0])
+		acc := in(fanin[0])
 		for _, f := range fanin[1:] {
-			acc = acc.Xor(get(f))
+			acc = acc.Xor(in(f))
 		}
 		if t == netlist.Xnor {
 			acc = acc.Not()
@@ -431,6 +457,9 @@ func evalPackedVia(t netlist.GateType, fanin []netlist.NetID, get func(netlist.N
 	}
 	return logic.PVX
 }
+
+// tz64 returns the position of m's lowest set bit.
+func tz64(m uint64) int { return bits.TrailingZeros64(m) }
 
 // Coverage runs the full stuck-at universe and returns (detected, total).
 // The universe is fault-parallel across GOMAXPROCS workers; the count is

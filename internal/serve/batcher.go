@@ -161,6 +161,7 @@ func (s *Server) execute(w *workload, batch []*request) {
 	cfg := core.Config{
 		Workers:   s.cfg.Workers,
 		ConeCache: w.shared.Cache,
+		SharedSim: w.sim,
 		Trace:     s.tr,
 	}
 	start := time.Now()

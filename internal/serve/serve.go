@@ -102,6 +102,13 @@ type workload struct {
 	c      *netlist.Circuit
 	pats   []sim.Pattern
 	shared fsim.Shared
+	// sim is the workload's warm fault simulator, built at registration
+	// and passed to every diagnosis as core.Config.SharedSim: the packed
+	// good-machine words, the syndrome arena, and the fork free list all
+	// persist across requests, so steady-state scoring runs allocation-
+	// free. Safe because each workload has exactly one batcher goroutine,
+	// which serializes every diagnosis that touches the simulator.
+	sim    *fsim.FaultSim
 	queue  chan *request
 	queued atomic.Int64
 }
@@ -184,8 +191,10 @@ func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
 		if _, dup := s.workloads[spec.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate workload %q", spec.Name)
 		}
-		// Validate the pair and warm the shape-bound cone cache now: the
-		// first request should pay scoring cost, not startup cost.
+		// Validate the pair, warm the shape-bound cone cache, and retain
+		// the simulator for every future scoring pass: the first request
+		// should pay scoring cost, not startup cost, and later requests
+		// should not even pay arena warm-up.
 		fs, err := fsim.NewFaultSim(spec.Circuit, spec.Patterns)
 		if err != nil {
 			return nil, fmt.Errorf("serve: workload %q: %w", spec.Name, err)
@@ -199,6 +208,7 @@ func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
 			c:      spec.Circuit,
 			pats:   spec.Patterns,
 			shared: shared,
+			sim:    fs,
 			queue:  make(chan *request, cfg.QueueDepth),
 		}
 		s.workloads[spec.Name] = w

@@ -6,7 +6,7 @@ import (
 )
 
 // EventSim is an event-driven incremental scalar simulator. After a full
-// baseline evaluation, PropagateFrom re-evaluates only the fan-out cone of a
+// baseline evaluation, Perturb re-evaluates only the fan-out cone of a
 // changed net, which is much cheaper than full re-simulation when analyzing
 // many single-net perturbations of the same pattern (brute-force criticality
 // checks, candidate vetting).
@@ -15,6 +15,13 @@ type EventSim struct {
 	vals  []logic.Value
 	dirty []bool
 	queue [][]netlist.NetID // per-level worklists
+
+	// Perturbation scratch, reused across Perturb/Restore cycles so a
+	// stem-analysis sweep (thousands of flips per pattern) allocates
+	// nothing after the first few calls.
+	undoIDs  []netlist.NetID
+	undoVals []logic.Value
+	changed  []netlist.NetID
 }
 
 // NewEventSim creates an event-driven simulator for the finalized circuit.
@@ -47,45 +54,27 @@ func (e *EventSim) Value(id netlist.NetID) logic.Value { return e.vals[id] }
 // Values returns the current value slice (owned by the simulator).
 func (e *EventSim) Values() []logic.Value { return e.vals }
 
-// PropagateFrom forces net id to v and incrementally re-evaluates its
-// fan-out cone. It returns the set of nets whose value changed (including id
-// itself if it changed) and a restore function that undoes the perturbation
-// in O(changed) time. Typical usage:
-//
-//	changed, restore := es.PropagateFrom(n, v)
-//	... inspect es.Value(po) for POs of interest ...
-//	restore()
-func (e *EventSim) PropagateFrom(id netlist.NetID, v logic.Value) (changed []netlist.NetID, restore func()) {
-	old := e.vals[id]
-	if old == v {
-		return nil, func() {}
+// Perturb forces net id to v and incrementally re-evaluates its fan-out
+// cone, recording an undo log. It returns the set of nets whose value
+// changed (including id itself if it changed); the slice is owned by the
+// simulator and valid until the next Perturb. Call Restore to undo the
+// perturbation (in O(changed) time) before the next Perturb or Baseline.
+func (e *EventSim) Perturb(id netlist.NetID, v logic.Value) (changed []netlist.NetID) {
+	e.undoIDs = e.undoIDs[:0]
+	e.undoVals = e.undoVals[:0]
+	e.changed = e.changed[:0]
+	if e.vals[id] == v {
+		return nil
 	}
-	type undo struct {
-		id  netlist.NetID
-		old logic.Value
-	}
-	var undos []undo
-	setVal := func(n netlist.NetID, nv logic.Value) {
-		undos = append(undos, undo{n, e.vals[n]})
-		e.vals[n] = nv
-		changed = append(changed, n)
-	}
-	setVal(id, v)
+	e.setVal(id, v)
 
 	// Level-ordered worklist sweep over the fanout cone.
 	startLvl := e.c.Gates[id].Level
 	for l := range e.queue {
 		e.queue[l] = e.queue[l][:0]
 	}
-	enqueue := func(n netlist.NetID) {
-		if !e.dirty[n] {
-			e.dirty[n] = true
-			lvl := e.c.Gates[n].Level
-			e.queue[lvl] = append(e.queue[lvl], n)
-		}
-	}
 	for _, rd := range e.c.Gates[id].Fanout {
-		enqueue(rd)
+		e.enqueue(rd)
 	}
 	for lvl := startLvl; lvl <= e.c.MaxLevel(); lvl++ {
 		for _, n := range e.queue[lvl] {
@@ -93,18 +82,51 @@ func (e *EventSim) PropagateFrom(id netlist.NetID, v logic.Value) (changed []net
 			g := &e.c.Gates[n]
 			nv := EvalScalarGate(g.Type, g.Fanin, func(f netlist.NetID) logic.Value { return e.vals[f] })
 			if nv != e.vals[n] {
-				setVal(n, nv)
+				e.setVal(n, nv)
 				for _, rd := range g.Fanout {
-					enqueue(rd)
+					e.enqueue(rd)
 				}
 			}
 		}
 		e.queue[lvl] = e.queue[lvl][:0]
 	}
+	return e.changed
+}
 
-	return changed, func() {
-		for i := len(undos) - 1; i >= 0; i-- {
-			e.vals[undos[i].id] = undos[i].old
-		}
+// Restore undoes the most recent Perturb. Calling it with no perturbation
+// outstanding is a no-op.
+func (e *EventSim) Restore() {
+	for i := len(e.undoIDs) - 1; i >= 0; i-- {
+		e.vals[e.undoIDs[i]] = e.undoVals[i]
 	}
+	e.undoIDs = e.undoIDs[:0]
+	e.undoVals = e.undoVals[:0]
+}
+
+func (e *EventSim) setVal(n netlist.NetID, nv logic.Value) {
+	e.undoIDs = append(e.undoIDs, n)
+	e.undoVals = append(e.undoVals, e.vals[n])
+	e.vals[n] = nv
+	e.changed = append(e.changed, n)
+}
+
+func (e *EventSim) enqueue(n netlist.NetID) {
+	if !e.dirty[n] {
+		e.dirty[n] = true
+		lvl := e.c.Gates[n].Level
+		e.queue[lvl] = append(e.queue[lvl], n)
+	}
+}
+
+// PropagateFrom is Perturb with a closure-based undo handle, kept for
+// callers that want the paired form:
+//
+//	changed, restore := es.PropagateFrom(n, v)
+//	... inspect es.Value(po) for POs of interest ...
+//	restore()
+//
+// The returned changed slice is owned by the simulator and valid until the
+// next perturbation.
+func (e *EventSim) PropagateFrom(id netlist.NetID, v logic.Value) (changed []netlist.NetID, restore func()) {
+	return e.Perturb(id, v), e.Restore
 }
