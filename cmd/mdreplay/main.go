@@ -1,0 +1,209 @@
+// mdreplay re-executes captured incident bundles offline. mdserve's
+// incident observatory (-incident-dir) spools one self-contained bundle
+// per anomalous request — payload, trace tree, prof snapshots, explain
+// events, engine config — and because the diagnosis engine is
+// bit-identical at any worker count, mdreplay can re-run the captured
+// request through core.DiagnoseCtx at any -j and prove the replayed
+// report byte-identical to the one the service answered with. The
+// interesting output is therefore not the answer (it cannot change) but
+// the diff of *how*: per-phase engine times and cone-cache locality,
+// replay vs capture.
+//
+// Usage:
+//
+//	mdreplay bundle.json                 replay at the captured -j, diff vs capture
+//	mdreplay -j 8 bundle.json            replay at a chosen worker count
+//	mdreplay -verify bundle.json         replay at -j 1, 4 and 8; exit 1 unless all
+//	                                     reports are byte-identical (and match the
+//	                                     captured report when the bundle has one)
+//	mdreplay -workload x=c.bench:p.txt bundle.json
+//	                                     resolve a non-built-in workload from files
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"multidiag/internal/cio"
+	"multidiag/internal/exp"
+	"multidiag/internal/incident"
+	"multidiag/internal/netlist"
+	"multidiag/internal/replay"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+func main() {
+	var (
+		jobs     = flag.Int("j", 0, "worker count for the replay (0 = the bundle's captured -j)")
+		verify   = flag.Bool("verify", false, "replay at every -jset worker count and require byte-identical reports (exit 1 otherwise)")
+		jset     = flag.String("jset", "1,4,8", "comma-separated worker counts -verify replays at")
+		override = flag.String("workload", "", "resolve the bundle's workload from files: name=circuit.bench:patterns.txt (default: built-in registry)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mdreplay: at least one bundle file is required")
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		if err := replayOne(path, *jobs, *verify, *jset, *override); err != nil {
+			fmt.Fprintln(os.Stderr, "mdreplay:", err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func replayOne(path string, jobs int, verify bool, jset, override string) error {
+	b, err := incident.ReadBundle(path)
+	if err != nil {
+		return err
+	}
+	c, pats, err := resolveWorkload(b.Workload, override)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle: %s\n  trigger=%s status=%d workload=%s j=%d top=%d", path,
+		b.Trigger, b.Status, b.Workload, b.Engine.WorkersConfigured, b.Top)
+	if b.RequestID != "" {
+		fmt.Printf(" request_id=%s", b.RequestID)
+	}
+	fmt.Printf("\n  captured: report=%v trace=%v prof_snapshots=%d explain_events=%d\n",
+		len(b.Report) > 0, b.Trace != nil, len(b.Prof), len(b.Explain))
+
+	ctx := context.Background()
+	if verify {
+		counts, err := parseJSet(jset)
+		if err != nil {
+			return err
+		}
+		v, err := replay.Verify(ctx, c, pats, b, counts)
+		if err != nil {
+			return err
+		}
+		for _, r := range v.Runs {
+			fmt.Printf("  replay -j %d: %.2fms, report %d bytes\n", r.Workers, float64(r.ElapsedNS)/1e6, len(r.ReportJSON))
+		}
+		if !v.OK() {
+			return fmt.Errorf("%s: verify FAILED: %s", path, v.Mismatch)
+		}
+		target := "across worker counts"
+		if v.Captured != nil {
+			target += " and vs the captured report"
+		}
+		fmt.Printf("  verify: PASS — reports byte-identical %s\n", target)
+		diffCapture(b, v.Runs[len(v.Runs)-1])
+		return nil
+	}
+
+	r, err := replay.Run(ctx, c, pats, b, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  replay -j %d: %.2fms\n", r.Workers, float64(r.ElapsedNS)/1e6)
+	captured, err := replay.NormalizeCaptured(b)
+	if err != nil {
+		return err
+	}
+	switch {
+	case captured == nil:
+		fmt.Printf("  report: %d bytes (no captured report to compare — the %s request never produced one)\n", len(r.ReportJSON), b.Trigger)
+	case string(captured) == string(r.ReportJSON):
+		fmt.Printf("  report: byte-identical to captured (%d bytes)\n", len(r.ReportJSON))
+	default:
+		return fmt.Errorf("%s: replayed report DIFFERS from captured (%d vs %d bytes) — determinism contract violated", path, len(r.ReportJSON), len(captured))
+	}
+	diffCapture(b, r)
+	return nil
+}
+
+// diffCapture prints the phase-time and cone-cache deltas between the
+// bundle's captured trace and one replay — the "what changed about how"
+// half of the report.
+func diffCapture(b *incident.Bundle, r *replay.RunResult) {
+	if b.Trace == nil {
+		return
+	}
+	capPhases := replay.PhaseNS(b.Trace)
+	header := false
+	for _, name := range replay.PhaseNames {
+		cp, rp := capPhases[name], r.PhaseNS[name]
+		if cp == 0 && rp == 0 {
+			continue
+		}
+		if !header {
+			fmt.Println("  phase times (captured → replay):")
+			header = true
+		}
+		fmt.Printf("    %-8s %9.3fms → %9.3fms\n", name, float64(cp)/1e6, float64(rp)/1e6)
+	}
+	ch, cm := replay.CacheStats(b.Trace)
+	if ch+cm+r.CacheHits+r.CacheMisses > 0 {
+		fmt.Printf("  cone cache probes (captured → replay): hits %d → %d, misses %d → %d\n",
+			ch, r.CacheHits, cm, r.CacheMisses)
+	}
+}
+
+func parseJSet(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-jset %q: want comma-separated worker counts ≥ 1", s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-jset %q: empty", s)
+	}
+	return out, nil
+}
+
+// resolveWorkload finds the bundle's (circuit, patterns): the -workload
+// name=circuit.bench:patterns.txt override when its name matches (or is
+// the only resolution available), else the built-in registry — the same
+// two paths mdserve registers workloads from.
+func resolveWorkload(name, override string) (*netlist.Circuit, []sim.Pattern, error) {
+	if override != "" {
+		oname, files, ok := strings.Cut(override, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("-workload %q: want name=circuit.bench:patterns.txt", override)
+		}
+		if oname == name {
+			circPath, patPath, ok := strings.Cut(files, ":")
+			if !ok {
+				return nil, nil, fmt.Errorf("-workload %q: want name=circuit.bench:patterns.txt", override)
+			}
+			c, _, err := cio.LoadCircuit(circPath, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			pf, err := os.Open(patPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			pats, err := tester.ReadPatterns(pf)
+			pf.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, pats, nil
+		}
+	}
+	wl, err := exp.NamedWorkload(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %q: %w (use -workload %s=circuit.bench:patterns.txt for file-loaded workloads)", name, err, name)
+	}
+	return wl.Circuit, wl.Patterns, nil
+}

@@ -22,10 +22,13 @@
 //	                         latency, cone-cache and core-engine metrics)
 //	GET  /debug/trace        tail-captured request span trees as NDJSON
 //	                         (mdtrace reads this body or -trace-spans-out)
+//	GET  /debug/incidents    index of spooled incident bundles (404 until
+//	                         -incident-dir arms the observatory)
 //
 // Service knobs: -max-inflight, -queue-depth, -max-batch, -max-wait,
-// -request-timeout, -j, -trace-sample, -trace-capture, -trace-spans-out
-// (see README "Serving"). On SIGTERM/SIGINT the
+// -request-timeout, -j, -trace-sample, -trace-capture, -trace-spans-out,
+// -incident-dir, -incident-max-bundles, -incident-max-bytes,
+// -incident-min-interval (see README "Serving" and "Incidents & replay"). On SIGTERM/SIGINT the
 // server drains gracefully: admission stops (429/503), queued and
 // in-flight requests finish (bounded by -drain-timeout), observability
 // sinks flush, and -service-record-out captures the run's serving
@@ -80,6 +83,10 @@ func main() {
 		traceSample    = flag.Float64("trace-sample", 0.1, "tail-sampler retention probability for routine request traces (shed/504/panic/slow always kept); negative disables request tracing")
 		traceCapacity  = flag.Int("trace-capture", 64, "capacity of EACH /debug/trace retention ring (flagged + sampled)")
 		traceOut       = flag.String("trace-spans-out", "", "append every retained span tree as JSONL to `file` (.gz compresses; mdtrace reads it)")
+		incidentDir    = flag.String("incident-dir", "", "spool anomaly-triggered debug bundles to `dir` (mdreplay re-runs them offline); empty disables")
+		incidentMax    = flag.Int("incident-max-bundles", 32, "max bundles retained in -incident-dir (overwrite-oldest)")
+		incidentBytes  = flag.Int64("incident-max-bytes", 64<<20, "max summed bundle bytes in -incident-dir (overwrite-oldest)")
+		incidentEvery  = flag.Duration("incident-min-interval", time.Second, "min interval between captures per trigger kind (0 = unlimited)")
 		verbose        = flag.Bool("v", false, "log request counters on shutdown")
 	)
 	flag.Var(&workloads, "workload", "workload to register: a built-in name (c17, add16, b0300, …) or name=circuit.bench:patterns.txt; repeatable")
@@ -93,15 +100,19 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(obsFlags, profFlags, workloads, *addr, serve.Config{
-		MaxInflight:      *maxInflight,
-		MaxInflightBytes: *maxBytes,
-		QueueDepth:       *queueDepth,
-		MaxBatch:         *maxBatch,
-		MaxWait:          *maxWait,
-		RequestTimeout:   *requestTimeout,
-		Workers:          *jobs,
-		TraceSample:      *traceSample,
-		TraceCapacity:    *traceCapacity,
+		MaxInflight:         *maxInflight,
+		MaxInflightBytes:    *maxBytes,
+		QueueDepth:          *queueDepth,
+		MaxBatch:            *maxBatch,
+		MaxWait:             *maxWait,
+		RequestTimeout:      *requestTimeout,
+		Workers:             *jobs,
+		TraceSample:         *traceSample,
+		TraceCapacity:       *traceCapacity,
+		IncidentDir:         *incidentDir,
+		IncidentMaxBundles:  *incidentMax,
+		IncidentMaxBytes:    *incidentBytes,
+		IncidentMinInterval: *incidentEvery,
 	}, *traceOut, *drainTimeout, *recordOut, *recordLabel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mdserve:", err)
 		os.Exit(1)

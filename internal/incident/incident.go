@@ -1,0 +1,435 @@
+// Package incident is the anomaly-triggered black-box recorder of the
+// diagnosis service: when a request ends badly — shed under load, killed
+// by its deadline, answered by a panicking engine, slower than the live
+// p95, or diagnostically suspect (X-inconsistent / unexplained evidence)
+// — the serving layer assembles one self-contained debug bundle
+// correlating everything the three observability stacks know about that
+// request: the raw device payload, the full request span tree
+// (internal/trace), the profiling phase windows and pinned snapshots
+// (internal/prof), the flight-recorder events (internal/explain) and the
+// engine configuration the diagnosis ran under.
+//
+// Bundles spool to a bounded on-disk ring (max bundles, max bytes,
+// overwrite-oldest) so an incident survives the process that produced it,
+// and because the engine is bit-identical at any worker count, a bundle
+// is not merely a postmortem artifact: cmd/mdreplay re-runs the captured
+// request offline through core.DiagnoseCtx at any -j and proves the
+// replayed report byte-identical to the captured one — same answer, with
+// phase-time and cone-cache deltas showing what changed about *how*.
+//
+// Like the rest of the observability stack the package is stdlib-only
+// and nil-tolerant: a nil *Recorder accepts every call as a no-op.
+package incident
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"multidiag/internal/explain"
+	"multidiag/internal/obs"
+	"multidiag/internal/prof"
+	"multidiag/internal/trace"
+)
+
+// Schema identifies bundle records; bump on incompatible change.
+const Schema = "mdincident/v1"
+
+// Trigger kinds, in capture-precedence order for a single request (a
+// request gets at most one bundle; the first matching trigger names it).
+const (
+	// TriggerShed marks a request refused admission (429).
+	TriggerShed = "shed"
+	// TriggerDeadline marks a request killed by its deadline (504),
+	// whether it expired queued or mid-engine.
+	TriggerDeadline = "deadline"
+	// TriggerPanic marks a request answered by a recovered engine panic.
+	TriggerPanic = "panic"
+	// TriggerQuality marks a structurally suspect diagnosis: the multiplet
+	// failed the X-consistency check or left evidence bits unexplained.
+	TriggerQuality = "quality"
+	// TriggerSlow marks a successful request slower than the anomaly
+	// threshold (the live service p95 by default).
+	TriggerSlow = "slow"
+)
+
+// EngineConfig records how the captured diagnosis was (or would have
+// been) executed — everything replay needs to reproduce the run exactly,
+// plus the cache state that explains its timing.
+type EngineConfig struct {
+	// WorkersConfigured is the serving config's -j (0 = GOMAXPROCS);
+	// WorkersEffective the pool size it resolved to at capture.
+	WorkersConfigured int `json:"workers_configured"`
+	WorkersEffective  int `json:"workers_effective"`
+	// Seed order is deterministic by construction (extraction sorts by
+	// (net, polarity) and folding is seed-ordered); SeedOrder names the
+	// contract so a bundle is self-describing about why replay can work.
+	SeedOrder string `json:"seed_order"`
+	// ConeCache reports whether a shared cone cache was attached, with the
+	// process-cumulative probe counters at capture time (the replay diff
+	// reports per-request hit deltas from the trace tree instead).
+	ConeCache          bool  `json:"cone_cache"`
+	ConeCacheHits      int64 `json:"cone_cache_hits"`
+	ConeCacheMisses    int64 `json:"cone_cache_misses"`
+	ConeCacheEvictions int64 `json:"cone_cache_evictions"`
+}
+
+// Bundle is one self-contained incident record: everything needed to
+// explain — and deterministically re-run — one anomalous request.
+type Bundle struct {
+	Schema         string `json:"schema"`
+	CapturedUnixNS int64  `json:"captured_unix_ns"`
+	// Trigger is one of the Trigger* kinds; Status the HTTP status the
+	// request was answered with.
+	Trigger string `json:"trigger"`
+	Status  int    `json:"status"`
+	// Workload names the registered (circuit, test set) pair; replay
+	// resolves it through the same registry mdserve uses (or an explicit
+	// override for file-loaded workloads).
+	Workload  string `json:"workload"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+	// Datalog is the device's observed failing behaviour in the tester
+	// text serialization — the raw request payload, replay's input.
+	Datalog string `json:"datalog"`
+	// Top is the requested ranked-candidate bound (report shaping).
+	Top    int          `json:"top"`
+	Engine EngineConfig `json:"engine"`
+	// Report is the wire-form serve report the request was answered with
+	// (absent when the request never produced one: shed, deadline, panic).
+	Report json.RawMessage `json:"report,omitempty"`
+	// Trace is the request's captured span tree (absent with tracing off).
+	Trace *trace.TreeRecord `json:"trace,omitempty"`
+	// Prof carries the profiling view at capture: the pinned snapshot ring
+	// (shed/panic pins) plus one live summary with the cumulative phase
+	// attribution table (absent with profiling off).
+	Prof []prof.Snapshot `json:"prof,omitempty"`
+	// Explain carries the request's flight-recorder events when the
+	// request ran with the recorder attached (explain=1 requests).
+	Explain []explain.Event `json:"explain,omitempty"`
+}
+
+// Entry is one index row of the on-disk ring, served by the handler.
+type Entry struct {
+	Seq            int64  `json:"seq"`
+	File           string `json:"file"`
+	Bytes          int64  `json:"bytes"`
+	Trigger        string `json:"trigger"`
+	Status         int    `json:"status"`
+	Workload       string `json:"workload"`
+	RequestID      string `json:"request_id,omitempty"`
+	TraceID        string `json:"trace_id,omitempty"`
+	CapturedUnixNS int64  `json:"captured_unix_ns"`
+}
+
+// Config tunes a Recorder.
+type Config struct {
+	// Dir is the spool directory (created if missing). Required.
+	Dir string
+	// MaxBundles bounds the ring's bundle count. Default 32.
+	MaxBundles int
+	// MaxBytes bounds the ring's summed bundle bytes. Default 64 MiB.
+	MaxBytes int64
+	// MinInterval rate-limits captures per trigger kind, so a shed storm
+	// spools one representative bundle per interval instead of churning
+	// the ring. 0 disables the limit.
+	MinInterval time.Duration
+	// Registry receives the observatory counters (incident.captured,
+	// incident.dropped_*, incident.evicted, incident.spooled_bytes) and
+	// gauges (incident.bundles, incident.bytes). Nil: no counters.
+	Registry *obs.Registry
+}
+
+func (cfg *Config) fill() {
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 32
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+}
+
+// Recorder spools bundles to the bounded on-disk ring and serves the
+// index. Safe for concurrent use; nil is a valid no-op receiver.
+type Recorder struct {
+	cfg Config
+
+	mu    sync.Mutex
+	index []Entry // oldest first
+	bytes int64
+	seq   int64
+	last  map[string]time.Time // per-trigger rate-limit state
+
+	cCaptured, cEvicted, cSpooled *obs.Counter
+	cDropRate, cDropErr           *obs.Counter
+	gBundles, gBytes              *obs.Gauge
+}
+
+// NewRecorder opens (or creates) the spool directory and rebuilds the
+// index from any bundles already on disk, so the ring's bounds hold
+// across process restarts.
+func NewRecorder(cfg Config) (*Recorder, error) {
+	cfg.fill()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("incident: spool directory is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incident: %w", err)
+	}
+	r := &Recorder{cfg: cfg, last: make(map[string]time.Time)}
+	if reg := cfg.Registry; reg != nil {
+		r.cCaptured = reg.Counter("incident.captured")
+		r.cEvicted = reg.Counter("incident.evicted")
+		r.cSpooled = reg.Counter("incident.spooled_bytes")
+		r.cDropRate = reg.Counter("incident.dropped_ratelimited")
+		r.cDropErr = reg.Counter("incident.dropped_error")
+		r.gBundles = reg.Gauge("incident.bundles")
+		r.gBytes = reg.Gauge("incident.bytes")
+	}
+	if err := r.rebuild(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// rebuild scans the spool directory for existing bundles, restoring the
+// index in sequence order and continuing the sequence past the largest
+// seen. Unreadable files are skipped, not fatal: a half-written bundle
+// from a crashed process must not brick the observatory.
+func (r *Recorder) rebuild() error {
+	names, err := filepath.Glob(filepath.Join(r.cfg.Dir, "incident-*.json"))
+	if err != nil {
+		return fmt.Errorf("incident: %w", err)
+	}
+	for _, name := range names {
+		seq, ok := parseSeq(filepath.Base(name))
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var b Bundle
+		if err := json.Unmarshal(data, &b); err != nil || b.Schema != Schema {
+			continue
+		}
+		r.index = append(r.index, Entry{
+			Seq:            seq,
+			File:           filepath.Base(name),
+			Bytes:          int64(len(data)),
+			Trigger:        b.Trigger,
+			Status:         b.Status,
+			Workload:       b.Workload,
+			RequestID:      b.RequestID,
+			TraceID:        b.TraceID,
+			CapturedUnixNS: b.CapturedUnixNS,
+		})
+		r.bytes += int64(len(data))
+		if seq >= r.seq {
+			r.seq = seq + 1
+		}
+	}
+	sort.Slice(r.index, func(i, j int) bool { return r.index[i].Seq < r.index[j].Seq })
+	r.evictLocked()
+	r.updateGauges()
+	return nil
+}
+
+// parseSeq extracts the sequence number from "incident-<seq>-<trigger>.json".
+func parseSeq(base string) (int64, bool) {
+	rest, ok := strings.CutPrefix(base, "incident-")
+	if !ok {
+		return 0, false
+	}
+	digits, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// stamp names a bundle's spool file: zero-padded sequence + trigger, so a
+// directory listing sorts in capture order and names what each file holds.
+func (b *Bundle) stamp(seq int64) string {
+	return fmt.Sprintf("incident-%06d-%s.json", seq, b.Trigger)
+}
+
+// Capture spools one bundle, evicting the oldest past the ring bounds.
+// It returns the bundle's file path, or "" when the capture was dropped
+// (rate-limited, or a spool write failed — counted, never fatal: the
+// serving path must not care). Safe on a nil recorder.
+func (r *Recorder) Capture(b *Bundle) string {
+	if r == nil || b == nil {
+		return ""
+	}
+	b.Schema = Schema
+	if b.CapturedUnixNS == 0 {
+		b.CapturedUnixNS = time.Now().UnixNano()
+	}
+
+	r.mu.Lock()
+	if r.cfg.MinInterval > 0 {
+		now := time.Now()
+		if now.Sub(r.last[b.Trigger]) < r.cfg.MinInterval {
+			r.mu.Unlock()
+			r.cDropRate.Inc()
+			return ""
+		}
+		r.last[b.Trigger] = now
+	}
+	seq := r.seq
+	r.seq++
+	r.mu.Unlock()
+
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		r.cDropErr.Inc()
+		return ""
+	}
+	data = append(data, '\n')
+	base := b.stamp(seq)
+	path := filepath.Join(r.cfg.Dir, base)
+	// Write-then-rename so a reader (or a restart's rebuild) never sees a
+	// half-written bundle.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		r.cDropErr.Inc()
+		return ""
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		r.cDropErr.Inc()
+		return ""
+	}
+
+	r.mu.Lock()
+	r.index = append(r.index, Entry{
+		Seq:            seq,
+		File:           base,
+		Bytes:          int64(len(data)),
+		Trigger:        b.Trigger,
+		Status:         b.Status,
+		Workload:       b.Workload,
+		RequestID:      b.RequestID,
+		TraceID:        b.TraceID,
+		CapturedUnixNS: b.CapturedUnixNS,
+	})
+	r.bytes += int64(len(data))
+	r.evictLocked()
+	r.updateGauges()
+	r.mu.Unlock()
+
+	r.cCaptured.Inc()
+	r.cSpooled.Add(int64(len(data)))
+	return path
+}
+
+// evictLocked removes oldest bundles until the ring fits its bounds.
+// Caller holds r.mu. At least one bundle is always retained — a single
+// oversized bundle beats an empty observatory.
+func (r *Recorder) evictLocked() {
+	for len(r.index) > 1 && (len(r.index) > r.cfg.MaxBundles || r.bytes > r.cfg.MaxBytes) {
+		victim := r.index[0]
+		r.index = r.index[1:]
+		r.bytes -= victim.Bytes
+		os.Remove(filepath.Join(r.cfg.Dir, victim.File))
+		r.cEvicted.Inc()
+	}
+}
+
+func (r *Recorder) updateGauges() {
+	if r.gBundles != nil {
+		r.gBundles.Set(int64(len(r.index)))
+		r.gBytes.Set(r.bytes)
+	}
+}
+
+// Index returns the retained bundle entries, oldest first. Nil → nil.
+func (r *Recorder) Index() []Entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.index...)
+}
+
+// Dir returns the spool directory ("" on nil).
+func (r *Recorder) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.cfg.Dir
+}
+
+// indexReply is the GET /debug/incidents body.
+type indexReply struct {
+	Dir      string  `json:"dir"`
+	Bundles  []Entry `json:"bundles"`
+	Bytes    int64   `json:"bytes"`
+	Captured int64   `json:"captured"`
+	Evicted  int64   `json:"evicted"`
+	Dropped  int64   `json:"dropped"`
+}
+
+// Handler serves the ring index as JSON at GET /debug/incidents: newest
+// bundle first, plus the lifetime capture/evict/drop counters so silent
+// incident loss is visible at a glance.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(rw, "incident recorder disabled (enable with -incident-dir)", http.StatusNotFound)
+			return
+		}
+		entries := r.Index()
+		for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
+			entries[i], entries[j] = entries[j], entries[i]
+		}
+		r.mu.Lock()
+		bytes := r.bytes
+		r.mu.Unlock()
+		reply := indexReply{
+			Dir:      r.cfg.Dir,
+			Bundles:  entries,
+			Bytes:    bytes,
+			Captured: r.cCaptured.Value(),
+			Evicted:  r.cEvicted.Value(),
+			Dropped:  r.cDropRate.Value() + r.cDropErr.Value(),
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetEscapeHTML(false)
+		enc.Encode(reply)
+	})
+}
+
+// ReadBundle loads and validates one bundle file.
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("incident: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("incident: %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("incident: %s: schema %q, want %q", path, b.Schema, Schema)
+	}
+	if b.Workload == "" || b.Datalog == "" {
+		return nil, fmt.Errorf("incident: %s: bundle missing workload or datalog", path)
+	}
+	return &b, nil
+}

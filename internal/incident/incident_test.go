@@ -1,0 +1,228 @@
+package incident
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"multidiag/internal/obs"
+)
+
+func testBundle(trigger string, n int) *Bundle {
+	return &Bundle{
+		Trigger:   trigger,
+		Status:    200,
+		Workload:  "c17",
+		RequestID: fmt.Sprintf("req-%04d", n),
+		Datalog:   "patterns 32 / pos 2\nfail 3 1\n",
+		Top:       10,
+		Engine:    EngineConfig{WorkersEffective: 4, SeedOrder: "deterministic (net, polarity)"},
+	}
+}
+
+func TestRecorderSpoolEvictionAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New("incident-test").Registry()
+	r, err := NewRecorder(Config{Dir: dir, MaxBundles: 3, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if path := r.Capture(testBundle(TriggerSlow, i)); path == "" {
+			t.Fatalf("capture %d dropped", i)
+		}
+	}
+	entries := r.Index()
+	if len(entries) != 3 {
+		t.Fatalf("index holds %d entries, want 3", len(entries))
+	}
+	// Oldest-first, and the two oldest captures were evicted.
+	for i, e := range entries {
+		if want := int64(i + 2); e.Seq != want {
+			t.Fatalf("entry %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "incident-*.json"))
+	if len(files) != 3 {
+		t.Fatalf("%d bundle files on disk, want 3", len(files))
+	}
+	if got := reg.Counter("incident.captured").Value(); got != 5 {
+		t.Fatalf("incident.captured = %d, want 5", got)
+	}
+	if got := reg.Counter("incident.evicted").Value(); got != 2 {
+		t.Fatalf("incident.evicted = %d, want 2", got)
+	}
+	if reg.Counter("incident.spooled_bytes").Value() <= 0 {
+		t.Fatal("incident.spooled_bytes not counted")
+	}
+	if got := reg.Gauge("incident.bundles").Value(); got != 3 {
+		t.Fatalf("incident.bundles gauge = %d, want 3", got)
+	}
+
+	// The retained files must round-trip through ReadBundle.
+	b, err := ReadBundle(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != Schema || b.Workload != "c17" || b.Trigger != TriggerSlow {
+		t.Fatalf("round-tripped bundle mangled: %+v", b)
+	}
+}
+
+func TestRecorderMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Config{Dir: dir, MaxBundles: 100, MaxBytes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testBundle(TriggerQuality, 0)
+	big.Datalog = strings.Repeat("fail 3 1\n", 100)
+	for i := 0; i < 4; i++ {
+		b := *big
+		b.RequestID = fmt.Sprintf("big-%d", i)
+		r.Capture(&b)
+	}
+	entries := r.Index()
+	if len(entries) == 0 {
+		t.Fatal("byte bound evicted everything; at least one bundle must survive")
+	}
+	if len(entries) == 4 {
+		t.Fatal("byte bound never evicted")
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Bytes
+	}
+	// A single oversized bundle may legitimately exceed the bound; with
+	// more than one retained, the sum must respect it.
+	if len(entries) > 1 && total > 1500 {
+		t.Fatalf("retained %d bytes across %d bundles, bound 1500", total, len(entries))
+	}
+}
+
+func TestRecorderRateLimitPerTrigger(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New("incident-test").Registry()
+	r, err := NewRecorder(Config{Dir: dir, MinInterval: time.Hour, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capture(testBundle(TriggerShed, 0)) == "" {
+		t.Fatal("first shed capture dropped")
+	}
+	if r.Capture(testBundle(TriggerShed, 1)) != "" {
+		t.Fatal("second shed capture inside the interval was not rate-limited")
+	}
+	// A different trigger kind has its own limiter state.
+	if r.Capture(testBundle(TriggerPanic, 2)) == "" {
+		t.Fatal("panic capture was blocked by the shed limiter")
+	}
+	if got := reg.Counter("incident.dropped_ratelimited").Value(); got != 1 {
+		t.Fatalf("incident.dropped_ratelimited = %d, want 1", got)
+	}
+}
+
+func TestRecorderRebuildAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Capture(testBundle(TriggerDeadline, i))
+	}
+	// Drop a junk file in the spool: the rebuild must skip it, not fail.
+	if err := os.WriteFile(filepath.Join(dir, "incident-999999-junk.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := NewRecorder(Config{Dir: dir, MaxBundles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := r2.Index()
+	if len(entries) != 2 {
+		t.Fatalf("rebuilt index holds %d entries, want 2 (bound applied on rescan)", len(entries))
+	}
+	// The sequence continues past what the first process spooled — even
+	// past the junk file's bogus number, which parsed as a valid seq.
+	path := r2.Capture(testBundle(TriggerDeadline, 9))
+	if path == "" {
+		t.Fatal("capture after rebuild dropped")
+	}
+	if base := filepath.Base(path); base <= entries[len(entries)-1].File {
+		t.Fatalf("post-rebuild capture %q does not sort after retained %q", base, entries[len(entries)-1].File)
+	}
+}
+
+func TestIncidentsHandler(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New("incident-test").Registry()
+	r, err := NewRecorder(Config{Dir: dir, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Capture(testBundle(TriggerShed, 0))
+	r.Capture(testBundle(TriggerSlow, 1))
+
+	rw := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/incidents", nil))
+	if rw.Code != 200 {
+		t.Fatalf("handler status %d", rw.Code)
+	}
+	var reply struct {
+		Dir      string  `json:"dir"`
+		Bundles  []Entry `json:"bundles"`
+		Captured int64   `json:"captured"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Dir != dir || reply.Captured != 2 || len(reply.Bundles) != 2 {
+		t.Fatalf("index reply: %+v", reply)
+	}
+	// Newest first.
+	if reply.Bundles[0].Trigger != TriggerSlow || reply.Bundles[1].Trigger != TriggerShed {
+		t.Fatalf("index not newest-first: %+v", reply.Bundles)
+	}
+
+	// A disarmed observatory (nil recorder) answers 404, not an empty index.
+	var nilRec *Recorder
+	rw = httptest.NewRecorder()
+	nilRec.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/incidents", nil))
+	if rw.Code != 404 {
+		t.Fatalf("nil recorder handler status %d, want 404", rw.Code)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Capture(testBundle(TriggerShed, 0)) != "" {
+		t.Fatal("nil recorder captured")
+	}
+	if r.Index() != nil || r.Dir() != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestReadBundleRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"bogus/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"mdincident/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err == nil {
+		t.Fatal("bundle without workload/datalog accepted")
+	}
+}

@@ -89,3 +89,9 @@ func DoWorker(ctx context.Context, worker int, f func(context.Context)) {
 // Pin snapshots the collector state into the always-keep ring (see
 // Collector.Pin) on the installed collector; no-op when disabled.
 func Pin(reason string) { active.Load().Pin(reason) }
+
+// PinWith is Pin with the triggering request's request/trace IDs stamped
+// into the snapshot (see Collector.PinWith); no-op when disabled.
+func PinWith(reason, requestID, traceID string) {
+	active.Load().PinWith(reason, requestID, traceID)
+}

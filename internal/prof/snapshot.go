@@ -39,6 +39,12 @@ type Snapshot struct {
 	Seq    int64  `json:"seq"`
 	TSNS   int64  `json:"ts_ns"`
 	Reason string `json:"reason,omitempty"`
+	// RequestID / TraceID join a pinned snapshot to the request that
+	// triggered it: the same IDs the serve layer stamps on responses and
+	// span trees, so a /debug/prof pin lines up with its /debug/trace tree
+	// without timestamp guessing. Empty on sampler ticks and summaries.
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 	// Instantaneous gauges.
 	HeapBytes  int64 `json:"heap_bytes"`
 	Goroutines int64 `json:"goroutines"`
@@ -137,7 +143,12 @@ func (c *Collector) sink(s Snapshot) {
 // rate-limited to one per Config.MinPinInterval so a shed storm cannot
 // turn the admission path into a metrics.Read storm; within the limit the
 // call is a cheap timestamp check. Safe on a nil collector.
-func (c *Collector) Pin(reason string) {
+func (c *Collector) Pin(reason string) { c.PinWith(reason, "", "") }
+
+// PinWith is Pin with the triggering request's join keys stamped into the
+// snapshot, so the pin can be matched to its captured trace tree and log
+// lines. Empty IDs are fine (they serialize away).
+func (c *Collector) PinWith(reason, requestID, traceID string) {
 	if c == nil {
 		return
 	}
@@ -151,7 +162,35 @@ func (c *Collector) Pin(reason string) {
 		c.lastPin = now
 		c.lastPinMu.Unlock()
 	}
-	c.snapshot(KindPin, reason)
+	s := c.take(KindPin, reason)
+	s.RequestID = requestID
+	s.TraceID = traceID
+	c.ringMu.Lock()
+	c.pinned.push(s)
+	c.ringMu.Unlock()
+	c.sink(s)
+}
+
+// Pinned returns only the always-keep ring, oldest-first — the snapshots
+// worth bundling with an incident (sampler ticks are ambient noise there).
+// Nil collector → nil.
+func (c *Collector) Pinned() []Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	return c.pinned.snapshotInto(nil)
+}
+
+// Summary freezes one live "summary" snapshot — the cumulative phase
+// attribution table at call time — without retaining it in any ring.
+// ok is false on a nil collector.
+func (c *Collector) Summary(reason string) (s Snapshot, ok bool) {
+	if c == nil {
+		return Snapshot{}, false
+	}
+	return c.take(KindSummary, reason), true
 }
 
 // Snapshots returns the retained records: the pinned ring first, then the

@@ -1,0 +1,91 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestPinWithStampsJoinKeys pins the snapshot-join contract: a PinWith
+// carries the triggering request's IDs into the pinned ring and through
+// the JSONL serialization, so /debug/prof pins line up with /debug/trace
+// trees without timestamp guessing — while routine pins and samples stay
+// unstamped (the fields serialize away entirely).
+func TestPinWithStampsJoinKeys(t *testing.T) {
+	c := New(Config{RingSize: 4, MinPinInterval: -1})
+	install(t, c)
+
+	c.PinWith("shed:inflight", "req-abc", "trace-def")
+	c.Pin("panic")
+
+	snaps := c.Pinned()
+	if len(snaps) != 2 {
+		t.Fatalf("pinned ring holds %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].RequestID != "req-abc" || snaps[0].TraceID != "trace-def" {
+		t.Fatalf("PinWith snapshot not stamped: %+v", snaps[0])
+	}
+	if snaps[1].RequestID != "" || snaps[1].TraceID != "" {
+		t.Fatalf("plain Pin snapshot carries IDs: %+v", snaps[1])
+	}
+
+	// Wire form: stamped pins serialize the keys, unstamped records omit
+	// them (no noise in mdprof streams that predate the join).
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if !bytes.Contains(lines[0], []byte(`"request_id":"req-abc"`)) || !bytes.Contains(lines[0], []byte(`"trace_id":"trace-def"`)) {
+		t.Fatalf("stamped pin line missing join keys: %s", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if bytes.Contains(line, []byte("request_id")) || bytes.Contains(line, []byte("trace_id")) {
+			t.Fatalf("unstamped record serialized join keys: %s", line)
+		}
+	}
+	// Round-trip: the stamped record decodes back with its keys.
+	var s Snapshot
+	if err := json.Unmarshal(lines[0], &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.RequestID != "req-abc" || s.TraceID != "trace-def" || s.Kind != KindPin {
+		t.Fatalf("round-tripped pin mangled: %+v", s)
+	}
+}
+
+// TestPinWithRateLimitShared pins that PinWith and Pin share one limiter:
+// a shed storm carrying IDs is still one metrics.Read per interval.
+func TestPinWithRateLimitShared(t *testing.T) {
+	c := New(Config{RingSize: 8, MinPinInterval: time.Hour})
+	install(t, c)
+	c.PinWith("shed:queue", "req-1", "")
+	c.Pin("shed:queue")
+	c.PinWith("shed:queue", "req-2", "")
+	if got := len(c.Pinned()); got != 1 {
+		t.Fatalf("pins retained = %d, want 1 (shared rate limit)", got)
+	}
+}
+
+// TestSummaryAndPinnedNilSafe pins the nil-collector contract of the
+// exported accessors the incident bundler relies on.
+func TestSummaryAndPinnedNilSafe(t *testing.T) {
+	var c *Collector
+	if c.Pinned() != nil {
+		t.Fatal("nil collector returned pins")
+	}
+	if _, ok := c.Summary("x"); ok {
+		t.Fatal("nil collector produced a summary")
+	}
+	c = New(Config{})
+	defer c.Stop()
+	s, ok := c.Summary("incident:slow")
+	if !ok || s.Kind != KindSummary || s.Reason != "incident:slow" {
+		t.Fatalf("summary: ok=%v %+v", ok, s)
+	}
+	// Summary must not be retained in any ring.
+	if got := len(c.Snapshots()); got != 0 {
+		t.Fatalf("summary leaked into rings: %d records", got)
+	}
+}

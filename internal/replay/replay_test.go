@@ -1,0 +1,243 @@
+package replay
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"multidiag/internal/circuits"
+	"multidiag/internal/defect"
+	"multidiag/internal/incident"
+	"multidiag/internal/logic"
+	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
+	"multidiag/internal/serve"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// c17Workload mirrors the serve test fixture: c17 under its exhaustive
+// pattern set. Replay tests need their own copy — serve's helper is an
+// unexported test symbol.
+func c17Workload(t testing.TB) serve.WorkloadSpec {
+	t.Helper()
+	c := circuits.C17()
+	npi := len(c.PIs)
+	pats := make([]sim.Pattern, 1<<npi)
+	for m := range pats {
+		p := make(sim.Pattern, npi)
+		for i := 0; i < npi; i++ {
+			p[i] = logic.FromBool(m>>i&1 == 1)
+		}
+		pats[m] = p
+	}
+	return serve.WorkloadSpec{Name: "c17", Circuit: c, Patterns: pats}
+}
+
+func datalogText(t testing.TB, spec serve.WorkloadSpec, ds []defect.Defect) string {
+	t.Helper()
+	dev, err := defect.Inject(spec.Circuit, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := tester.ApplyTest(spec.Circuit, dev, spec.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tester.WriteDatalog(&b, log); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func stuck(c *netlist.Circuit, net string, v1 bool) defect.Defect {
+	return defect.Defect{Kind: defect.StuckNet, Net: c.NetByName(net), Value1: v1}
+}
+
+// captureBundle drives a live serve instance into spooling exactly one
+// incident bundle and reads it back.
+func captureBundle(t *testing.T, mutate func(*serve.Config), post func(t *testing.T, baseURL, text string)) (*incident.Bundle, serve.WorkloadSpec) {
+	t.Helper()
+	dir := t.TempDir()
+	spec := c17Workload(t)
+	cfg := serve.Config{Trace: obs.New("replay-test"), IncidentDir: dir, TraceSample: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := serve.New(cfg, []serve.WorkloadSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	text := datalogText(t, spec, []defect.Defect{stuck(spec.Circuit, "G10", false), stuck(spec.Circuit, "G22", true)})
+	post(t, hs.URL, text)
+
+	files, err := filepath.Glob(filepath.Join(dir, "incident-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bundle spooled (err=%v)", err)
+	}
+	b, err := incident.ReadBundle(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, spec
+}
+
+// TestVerifySlowBundleByteIdentical is the acceptance path of ISSUE 9: a
+// live serve request trips the slow trigger, the spooled bundle is
+// re-run offline at -j 1, 4 and 8, and every replayed report is
+// byte-identical to the others AND to the report the service answered
+// with. This is the determinism contract, proven end to end through
+// capture and replay rather than asserted inside one process.
+func TestVerifySlowBundleByteIdentical(t *testing.T) {
+	b, spec := captureBundle(t,
+		func(cfg *serve.Config) { cfg.SlowNS = func() int64 { return 1 } },
+		func(t *testing.T, baseURL, text string) {
+			resp, err := http.Post(baseURL+"/v1/diagnose?explain=1", "application/json",
+				strings.NewReader(`{"workload":"c17","datalog":`+jsonString(text)+`}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("diagnose: %d", resp.StatusCode)
+			}
+		})
+	if b.Trigger != incident.TriggerSlow || len(b.Report) == 0 {
+		t.Fatalf("fixture bundle trigger=%s report=%dB, want slow with report", b.Trigger, len(b.Report))
+	}
+
+	v, err := Verify(context.Background(), spec.Circuit, spec.Patterns, b, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() {
+		t.Fatalf("verification failed: %s", v.Mismatch)
+	}
+	if v.Captured == nil {
+		t.Fatal("captured report vanished in normalization")
+	}
+	if len(v.Runs) != 3 {
+		t.Fatalf("%d runs, want 3", len(v.Runs))
+	}
+	for i, want := range []int{1, 4, 8} {
+		r := v.Runs[i]
+		if r.Workers != want {
+			t.Fatalf("run %d ran at -j %d, want %d", i, r.Workers, want)
+		}
+		if string(r.ReportJSON) != string(v.Captured) {
+			t.Fatalf("run at -j %d not byte-identical to captured report", want)
+		}
+		if len(r.Report.Multiplet) == 0 || !r.Report.Consistent {
+			t.Fatalf("run %d rebuilt an empty report: %+v", i, r.Report)
+		}
+		// The replay's own trace must expose the phase taxonomy the diff
+		// reports on.
+		if _, ok := r.PhaseNS["score"]; !ok {
+			t.Fatalf("run %d trace has no score phase: %v", i, r.PhaseNS)
+		}
+		if r.ElapsedNS <= 0 {
+			t.Fatalf("run %d reports no elapsed time", i)
+		}
+	}
+	// The captured service tree diffs with the same extractor as replay
+	// trees: phase sums and cache probes must be readable from it.
+	if b.Trace == nil {
+		t.Fatal("bundle has no captured trace")
+	}
+	capPhases := PhaseNS(b.Trace)
+	if _, ok := capPhases["score"]; !ok {
+		t.Fatalf("captured trace has no score phase: %v", capPhases)
+	}
+	if hits, misses := CacheStats(b.Trace); hits+misses == 0 {
+		t.Fatal("captured trace carries no cone-cache probes")
+	}
+}
+
+// TestVerifyShedBundleCrossWorkerIdentity covers the shed side: the
+// request never ran, so the bundle has no captured report — replay still
+// proves what the answer WOULD have been is worker-count-invariant.
+func TestVerifyShedBundleCrossWorkerIdentity(t *testing.T) {
+	b, spec := captureBundle(t,
+		func(cfg *serve.Config) {
+			cfg.MaxInflight = 1
+			cfg.SlowNS = func() int64 { return 1 << 62 }
+		},
+		func(t *testing.T, baseURL, text string) {
+			body := `{"workload":"c17","devices":[{"datalog":` + jsonString(text) + `},{"datalog":` + jsonString(text) + `}]}`
+			resp, err := http.Post(baseURL+"/v1/diagnose/batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		})
+	if b.Trigger != incident.TriggerShed || len(b.Report) != 0 {
+		t.Fatalf("fixture bundle trigger=%s report=%dB, want shed without report", b.Trigger, len(b.Report))
+	}
+
+	v, err := Verify(context.Background(), spec.Circuit, spec.Patterns, b, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() || v.Captured != nil {
+		t.Fatalf("shed verify: identical=%v capturedMatch=%v captured=%v (%s)",
+			v.Identical, v.CapturedMatch, v.Captured != nil, v.Mismatch)
+	}
+	// The replay produced a real report even though the service never did.
+	if len(v.Runs[0].ReportJSON) == 0 || v.Runs[0].Report.Workload != "c17" {
+		t.Fatal("shed replay produced no report")
+	}
+}
+
+// TestRunDefaultsToCapturedWorkers pins workers ≤ 0 → the bundle's
+// configured -j, so `mdreplay` without -j reproduces the capture setup.
+func TestRunDefaultsToCapturedWorkers(t *testing.T) {
+	spec := c17Workload(t)
+	text := datalogText(t, spec, []defect.Defect{stuck(spec.Circuit, "G10", false)})
+	b := &incident.Bundle{
+		Schema:   incident.Schema,
+		Trigger:  incident.TriggerSlow,
+		Workload: "c17",
+		Datalog:  text,
+		Engine:   incident.EngineConfig{WorkersConfigured: 2, ConeCache: true},
+	}
+	r, err := Run(context.Background(), spec.Circuit, spec.Patterns, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 2 {
+		t.Fatalf("defaulted to -j %d, want the bundle's configured 2", r.Workers)
+	}
+	// ConeCache true must attach a cache: the replay trace sees probes.
+	if r.CacheHits+r.CacheMisses == 0 {
+		t.Fatal("replay with ConeCache ran cacheless")
+	}
+}
+
+// TestVerifyRejectsCorruptDatalog pins the error path: a bundle whose
+// payload does not parse fails loudly instead of verifying vacuously.
+func TestVerifyRejectsCorruptDatalog(t *testing.T) {
+	spec := c17Workload(t)
+	b := &incident.Bundle{Schema: incident.Schema, Workload: "c17", Datalog: "not a datalog"}
+	if _, err := Verify(context.Background(), spec.Circuit, spec.Patterns, b, nil); err == nil {
+		t.Fatal("corrupt datalog verified")
+	}
+}
+
+// jsonString quotes s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

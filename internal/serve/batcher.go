@@ -43,6 +43,10 @@ type response struct {
 	report *Report
 	status int
 	err    error
+	// events are the request's flight-recorder events when it ran with
+	// the recorder attached (explained solo requests) — the handler folds
+	// them into an incident bundle if the request turns out anomalous.
+	events []explain.Event
 }
 
 // batcher is the per-workload service loop: adaptive micro-batching in
@@ -124,7 +128,7 @@ func (s *Server) execute(w *workload, batch []*request) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.reg.Counter("serve.panics").Inc()
-			prof.Pin("panic")
+			prof.PinWith("panic", batch[0].reqID, exemplarID(batch[0]))
 			err := fmt.Errorf("diagnosis panicked: %v\n%s", p, debug.Stack())
 			for _, r := range batch {
 				r.tree.Flag("panic")
@@ -197,19 +201,22 @@ func (s *Server) executeOne(w *workload, r *request, cfg core.Config) {
 	res, err := core.DiagnoseCtx(trace.WithSpan(pctx, esp), w.c, w.pats, r.log, cfg)
 	unlabel()
 	esp.End()
+	var events []explain.Event
+	if rec != nil {
+		events, _ = rec.Events()
+	}
 	if err != nil {
-		r.done <- response{status: engineStatus(err), err: err}
+		r.done <- response{status: engineStatus(err), err: err, events: events}
 		return
 	}
 	rep := s.buildResponse(w, r, res, 1)
 	if rec != nil {
 		var b strings.Builder
-		events, _ := rec.Events()
 		if err := explain.RenderNarrative(&b, events, 10); err == nil {
 			rep.Explain = b.String()
 		}
 	}
-	r.done <- response{report: rep, status: http.StatusOK}
+	r.done <- response{report: rep, status: http.StatusOK, events: events}
 }
 
 // executeBatch coalesces the batch into one core.DiagnoseBatch pass under

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"time"
+
+	"multidiag/internal/explain"
+	"multidiag/internal/fsim"
+	"multidiag/internal/incident"
+	"multidiag/internal/prof"
+	"multidiag/internal/tester"
+)
+
+// pendingIncident defers a batch member's capture until the request's
+// shared span tree has been finished and offered, so the bundle's trace
+// record is complete instead of a mid-flight snapshot.
+type pendingIncident struct {
+	trigger string
+	status  int
+	req     *request
+	rep     *Report
+	events  []explain.Event
+}
+
+// successTrigger classifies a 200 response: quality outliers first — an
+// X-inconsistent or incompletely explained diagnosis is interesting no
+// matter how fast it ran — then the slow-anomaly threshold, measured over
+// the request's full residence (queue wait + service), the latency the
+// caller actually saw.
+func (s *Server) successTrigger(rep *Report, req *request) string {
+	if !rep.Consistent || rep.UnexplainedBits > 0 {
+		return incident.TriggerQuality
+	}
+	if thr := s.slowNS(); thr > 0 && time.Since(req.enqueued).Nanoseconds() >= thr {
+		return incident.TriggerSlow
+	}
+	return ""
+}
+
+// captureIncident assembles and spools one debug bundle for an anomalous
+// request: the raw payload re-serialized as a tester datalog, the engine
+// configuration the diagnosis ran (or would have run) under, the served
+// report when one exists, the request's span tree, the prof pinned ring
+// plus a live summary, and the flight-recorder events when the request
+// carried the recorder. No-op while the observatory is disarmed; a
+// failed capture is counted by the recorder, never surfaced to the
+// serving path.
+func (s *Server) captureIncident(trigger string, status int, w *workload, req *request, rep *Report, events []explain.Event) {
+	if s.incidents == nil {
+		return
+	}
+	var datalog strings.Builder
+	if err := tester.WriteDatalog(&datalog, req.log); err != nil {
+		return
+	}
+	b := &incident.Bundle{
+		Trigger:   trigger,
+		Status:    status,
+		Workload:  w.name,
+		RequestID: req.reqID,
+		TraceID:   exemplarID(req),
+		Datalog:   datalog.String(),
+		Top:       req.top,
+		Engine: incident.EngineConfig{
+			WorkersConfigured: s.cfg.Workers,
+			WorkersEffective:  fsim.Workers(s.cfg.Workers),
+			// The contract that makes replay provable: candidate extraction
+			// sorts by (net, polarity) and every parallel fold is seed-ordered,
+			// so the report is bit-identical at any worker count.
+			SeedOrder:          "deterministic (net, polarity)",
+			ConeCache:          w.shared.Cache != nil,
+			ConeCacheHits:      s.reg.Counter("fsim.cone_cache_hits").Value(),
+			ConeCacheMisses:    s.reg.Counter("fsim.cone_cache_misses").Value(),
+			ConeCacheEvictions: s.reg.Counter("fsim.cone_cache_evictions").Value(),
+		},
+		Explain: events,
+	}
+	if rep != nil {
+		if raw, err := json.Marshal(rep); err == nil {
+			b.Report = raw
+		}
+	}
+	if req.tree != nil {
+		b.Trace = req.tree.Record()
+	}
+	if c := prof.Active(); c != nil {
+		b.Prof = c.Pinned()
+		if sum, ok := c.Summary("incident:" + trigger); ok {
+			b.Prof = append(b.Prof, sum)
+		}
+	}
+	s.incidents.Capture(b)
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/incident"
+)
+
+// spooledBundles loads every bundle in dir, capture order.
+func spooledBundles(t *testing.T, dir string) []*incident.Bundle {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "incident-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*incident.Bundle, 0, len(files))
+	for _, f := range files {
+		b, err := incident.ReadBundle(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestIncidentSlowTriggerCapturesBundle pins the end-to-end slow path: a
+// 200 response slower than the anomaly threshold spools one bundle
+// carrying the request payload, the served report, the span tree and the
+// join IDs — everything mdreplay needs.
+func TestIncidentSlowTriggerCapturesBundle(t *testing.T) {
+	dir := t.TempDir()
+	s, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.IncidentDir = dir
+		cfg.TraceSample = 1
+		// Any finite latency is "slow": every success triggers a capture.
+		cfg.SlowNS = func() int64 { return 1 }
+	})
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G10", false)})
+	resp, body := postJSON(t, hs.URL+"/v1/diagnose?explain=1", &DiagnoseRequest{Workload: "c17", Datalog: text})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose: %d %s", resp.StatusCode, body)
+	}
+
+	bundles := spooledBundles(t, dir)
+	if len(bundles) != 1 {
+		t.Fatalf("%d bundles spooled, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.Trigger != incident.TriggerSlow || b.Status != http.StatusOK {
+		t.Fatalf("bundle trigger=%s status=%d, want slow/200", b.Trigger, b.Status)
+	}
+	if b.Workload != "c17" || b.Datalog != text {
+		t.Fatal("bundle payload does not round-trip the request datalog")
+	}
+	if len(b.Report) == 0 {
+		t.Fatal("slow bundle carries no report")
+	}
+	if b.RequestID != resp.Header.Get("X-Request-ID") {
+		t.Fatalf("bundle request_id %q != response header %q", b.RequestID, resp.Header.Get("X-Request-ID"))
+	}
+	if b.Trace == nil || b.TraceID == "" || b.Trace.TraceID != b.TraceID {
+		t.Fatal("bundle trace tree missing or unjoined")
+	}
+	if len(b.Explain) == 0 {
+		t.Fatal("explained request's bundle carries no flight-recorder events")
+	}
+	if b.Engine.WorkersEffective < 1 || b.Engine.SeedOrder == "" || !b.Engine.ConeCache {
+		t.Fatalf("engine config incomplete: %+v", b.Engine)
+	}
+
+	// The index endpoint serves the capture.
+	resp2, body2 := getURL(t, hs.URL+"/debug/incidents")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/incidents: %d", resp2.StatusCode)
+	}
+	if want := `"trigger":"slow"`; !strings.Contains(body2, want) {
+		t.Fatalf("/debug/incidents body missing %s: %s", want, body2)
+	}
+	if got := s.reg.Counter("incident.captured").Value(); got != 1 {
+		t.Fatalf("incident.captured = %d, want 1", got)
+	}
+}
+
+// TestIncidentShedTriggerCapturesBundle pins the deterministic shed path:
+// with MaxInflight 1, a batch's devices are admitted sequentially before
+// any completes, so every device past the first sheds — and each shed
+// spools a report-less bundle that still carries the payload for replay.
+func TestIncidentShedTriggerCapturesBundle(t *testing.T) {
+	dir := t.TempDir()
+	_, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.IncidentDir = dir
+		cfg.MaxInflight = 1
+		cfg.SlowNS = func() int64 { return 1 << 62 } // never slow
+	})
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G10", false)})
+	br := &BatchRequest{Workload: "c17", Devices: []DeviceRequest{{Datalog: text}, {Datalog: text}, {Datalog: text}}}
+	resp, body := postJSON(t, hs.URL+"/v1/diagnose/batch", br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+
+	bundles := spooledBundles(t, dir)
+	if len(bundles) != 2 {
+		t.Fatalf("%d bundles spooled, want 2 (devices 1 and 2 shed)", len(bundles))
+	}
+	for i, b := range bundles {
+		if b.Trigger != incident.TriggerShed || b.Status != http.StatusTooManyRequests {
+			t.Fatalf("bundle %d trigger=%s status=%d, want shed/429", i, b.Trigger, b.Status)
+		}
+		if len(b.Report) != 0 {
+			t.Fatalf("shed bundle %d carries a report", i)
+		}
+		if b.Datalog != text || b.Workload != "c17" {
+			t.Fatalf("shed bundle %d payload mangled", i)
+		}
+		// Captured after the batch tree finished: the shared root span is
+		// complete in the record.
+		if b.Trace == nil {
+			t.Fatalf("shed bundle %d has no trace", i)
+		}
+		if root := b.Trace.Root(); root == nil || root.Unfinished {
+			t.Fatalf("shed bundle %d captured an unfinished tree", i)
+		}
+	}
+}
+
+// TestIncidentDeadlineTrigger pins the 504 path: a request whose deadline
+// expires spools a deadline bundle.
+func TestIncidentDeadlineTrigger(t *testing.T) {
+	dir := t.TempDir()
+	s, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.IncidentDir = dir
+		cfg.SlowNS = func() int64 { return 1 << 62 }
+	})
+	block := make(chan struct{})
+	s.testHookExecute = func(int) { <-block }
+	defer close(block)
+	_, text := deviceDatalog(t, spec, []defect.Defect{stuck(spec.Circuit, "G10", false)})
+	resp, _ := postJSON(t, hs.URL+"/v1/diagnose", &DiagnoseRequest{Workload: "c17", Datalog: text, TimeoutMS: 30})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	bundles := spooledBundles(t, dir)
+	if len(bundles) != 1 || bundles[0].Trigger != incident.TriggerDeadline {
+		t.Fatalf("want one deadline bundle, got %d: %+v", len(bundles), bundles)
+	}
+}
+
+// TestSuccessTriggerClassification pins the 200-response classifier:
+// quality outliers outrank slow, and a healthy fast response triggers
+// nothing.
+func TestSuccessTriggerClassification(t *testing.T) {
+	never := func() int64 { return 1 << 62 }
+	always := func() int64 { return 1 }
+	req := &request{enqueued: time.Now().Add(-time.Millisecond)}
+	cases := []struct {
+		name   string
+		rep    *Report
+		slowNS func() int64
+		want   string
+	}{
+		{"healthy", &Report{Consistent: true}, never, ""},
+		{"slow", &Report{Consistent: true}, always, incident.TriggerSlow},
+		{"inconsistent", &Report{Consistent: false}, never, incident.TriggerQuality},
+		{"unexplained", &Report{Consistent: true, UnexplainedBits: 3}, never, incident.TriggerQuality},
+		{"quality-beats-slow", &Report{Consistent: false}, always, incident.TriggerQuality},
+		{"no-threshold-yet", &Report{Consistent: true}, func() int64 { return 0 }, ""},
+	}
+	for _, tc := range cases {
+		s := &Server{slowNS: tc.slowNS}
+		if got := s.successTrigger(tc.rep, req); got != tc.want {
+			t.Errorf("%s: trigger %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIncidentsEndpointDisarmed pins that without -incident-dir the
+// endpoint 404s instead of serving an empty index.
+func TestIncidentsEndpointDisarmed(t *testing.T) {
+	_, hs, _ := newTestServer(t, nil)
+	resp, _ := getURL(t, hs.URL+"/debug/incidents")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disarmed /debug/incidents: %d, want 404", resp.StatusCode)
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}

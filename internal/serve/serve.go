@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"multidiag/internal/fsim"
+	"multidiag/internal/incident"
 	"multidiag/internal/netlist"
 	"multidiag/internal/obs"
 	"multidiag/internal/prof"
@@ -57,6 +58,27 @@ type Config struct {
 	// at request end (mdserve wires -trace-spans-out here, transparently
 	// gzipped for .gz paths).
 	TraceSink io.Writer
+
+	// IncidentDir, when set, arms the incident observatory: every
+	// anomalous request — shed, deadline, engine panic, quality outlier,
+	// slower than the anomaly threshold — spools one self-contained debug
+	// bundle (payload + trace + prof + explain + engine config) to this
+	// directory for offline mdreplay. Empty disables (the default).
+	IncidentDir string
+	// IncidentMaxBundles / IncidentMaxBytes bound the bundle ring
+	// (overwrite-oldest). Defaults 32 bundles / 64 MiB.
+	IncidentMaxBundles int
+	IncidentMaxBytes   int64
+	// IncidentMinInterval rate-limits captures per trigger kind, so an
+	// overload sheds thousands of requests but spools one representative
+	// bundle per interval. 0 disables the limit.
+	IncidentMinInterval time.Duration
+	// SlowNS, when set, overrides the slow-anomaly threshold (nanoseconds;
+	// ≤ 0 = no threshold yet) used by BOTH the trace tail sampler's "slow"
+	// flag and the incident observatory's slow trigger. Nil selects the
+	// default: the live service-time p95, held back until 32 observations
+	// exist. Tests pin it to force or forbid slow captures.
+	SlowNS func() int64
 }
 
 func (cfg *Config) fill() {
@@ -129,6 +151,12 @@ type Server struct {
 	tracing bool
 	capture *trace.Capture
 
+	// incidents is the anomaly-triggered bundle recorder (nil when
+	// Config.IncidentDir is empty — captureIncident tolerates that);
+	// slowNS is the shared slow-anomaly threshold.
+	incidents *incident.Recorder
+	slowNS    func() int64
+
 	draining      atomic.Bool
 	admitMu       sync.RWMutex // excludes admission during queue close
 	inflight      atomic.Int64
@@ -163,23 +191,42 @@ func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
 		mux:       http.NewServeMux(),
 		workloads: make(map[string]*workload),
 	}
+	// One slow threshold serves both anomaly consumers (trace "slow" flag,
+	// incident slow trigger): by default the live service-time p95 (µs →
+	// ns), held back until enough observations exist for the quantile to
+	// mean something.
+	s.slowNS = cfg.SlowNS
+	if s.slowNS == nil {
+		svc := s.reg.Histogram("serve.service_us")
+		s.slowNS = func() int64 {
+			if svc.Count() < 32 {
+				return 0
+			}
+			return svc.Quantile(0.95) * 1000
+		}
+	}
 	if cfg.TraceSample >= 0 {
 		s.tracing = true
-		// The slow threshold tracks the live service-time p95 (µs → ns),
-		// held back until enough observations exist for the quantile to
-		// mean something.
-		svc := s.reg.Histogram("serve.service_us")
 		s.capture = trace.NewCapture(trace.CaptureConfig{
 			Capacity:   cfg.TraceCapacity,
 			SampleRate: cfg.TraceSample,
 			Sink:       cfg.TraceSink,
-			SlowNS: func() int64 {
-				if svc.Count() < 32 {
-					return 0
-				}
-				return svc.Quantile(0.95) * 1000
-			},
+			SlowNS:     s.slowNS,
+			Registry:   s.reg,
 		})
+	}
+	if cfg.IncidentDir != "" {
+		rec, err := incident.NewRecorder(incident.Config{
+			Dir:         cfg.IncidentDir,
+			MaxBundles:  cfg.IncidentMaxBundles,
+			MaxBytes:    cfg.IncidentMaxBytes,
+			MinInterval: cfg.IncidentMinInterval,
+			Registry:    s.reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.incidents = rec
 	}
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("serve: no workloads registered")
@@ -232,6 +279,9 @@ func (s *Server) routes() {
 	// Continuous-profiling snapshots (404 while no prof collector is
 	// installed, matching the debug-mux registration in prof.Flags.Setup).
 	s.mux.Handle("GET /debug/prof", prof.Handler())
+	// Incident-bundle index (404 while the observatory is disarmed — the
+	// handler tolerates a nil recorder).
+	s.mux.Handle("GET /debug/incidents", s.incidents.Handler())
 }
 
 // Handler returns the service's HTTP handler: the route mux behind the
@@ -295,13 +345,13 @@ func (s *Server) admit(w *workload, req *request) int {
 	}
 	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
 		s.inflight.Add(-1)
-		s.shed("inflight")
+		s.shed("inflight", req)
 		return http.StatusTooManyRequests
 	}
 	if s.inflightBytes.Add(req.bytes) > s.cfg.MaxInflightBytes {
 		s.inflightBytes.Add(-req.bytes)
 		s.inflight.Add(-1)
-		s.shed("bytes")
+		s.shed("bytes", req)
 		return http.StatusTooManyRequests
 	}
 	select {
@@ -313,7 +363,7 @@ func (s *Server) admit(w *workload, req *request) int {
 	default:
 		s.inflightBytes.Add(-req.bytes)
 		s.inflight.Add(-1)
-		s.shed("queue")
+		s.shed("queue", req)
 		return http.StatusTooManyRequests
 	}
 }
@@ -324,14 +374,15 @@ func (s *Server) release(req *request) {
 	s.reg.Gauge("serve.inflight").Set(s.inflight.Add(-1))
 }
 
-func (s *Server) shed(kind string) {
+func (s *Server) shed(kind string, req *request) {
 	s.reg.Counter("serve.shed").Inc()
 	s.reg.Counter("serve.shed_" + kind).Inc()
 	// A shed is exactly the moment the profile matters: pin a snapshot
 	// into the always-keep ring (rate-limited, no-op when profiling is
 	// off) so /debug/prof still shows what the process looked like under
-	// the overload after the rolling ring has moved on.
-	prof.Pin("shed:" + kind)
+	// the overload after the rolling ring has moved on. The shed request's
+	// IDs ride the pin, joining it to the captured trace and any bundle.
+	prof.PinWith("shed:"+kind, req.reqID, exemplarID(req))
 }
 
 // maxFlaggedIDs bounds the service record's request-ID sample.
@@ -449,6 +500,9 @@ func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
 		tree.Flag("shed")
 		s.noteFlagged("shed", req.reqID)
 		s.finishTrace(tree, root, status)
+		if status == http.StatusTooManyRequests {
+			s.captureIncident(incident.TriggerShed, status, w, req, nil, nil)
+		}
 		shedResponse(rw, status)
 		return
 	}
@@ -458,10 +512,19 @@ func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
 		if resp.err != nil {
 			s.reg.Counter("serve.errors").Inc()
 			s.finishTrace(tree, root, resp.status)
+			switch resp.status {
+			case http.StatusGatewayTimeout:
+				s.captureIncident(incident.TriggerDeadline, resp.status, w, req, nil, resp.events)
+			case http.StatusInternalServerError:
+				s.captureIncident(incident.TriggerPanic, resp.status, w, req, nil, resp.events)
+			}
 			httpError(rw, resp.status, resp.err.Error())
 			return
 		}
 		s.finishTrace(tree, root, http.StatusOK)
+		if trig := s.successTrigger(resp.report, req); trig != "" {
+			s.captureIncident(trig, http.StatusOK, w, req, resp.report, resp.events)
+		}
 		writeJSON(rw, http.StatusOK, resp.report)
 	case <-ctx.Done():
 		// The executor may still send a response; the buffered channel
@@ -470,6 +533,7 @@ func (s *Server) handleDiagnose(rw http.ResponseWriter, r *http.Request) {
 		tree.Flag("timeout")
 		s.noteFlagged("timeout", req.reqID)
 		s.finishTrace(tree, root, http.StatusGatewayTimeout)
+		s.captureIncident(incident.TriggerDeadline, http.StatusGatewayTimeout, w, req, nil, nil)
 		httpError(rw, http.StatusGatewayTimeout, fmt.Sprintf("request deadline exceeded: %v", ctx.Err()))
 	}
 }
@@ -507,6 +571,9 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	// whole batch. Shared body bytes are attributed to the first device.
 	results := make([]DeviceResult, len(br.Devices))
 	reqs := make([]*request, len(br.Devices))
+	// Anomalous devices are captured AFTER the shared tree is finished, so
+	// every bundle from this batch carries the complete trace.
+	var pending []pendingIncident
 	bytes := r.ContentLength
 	if bytes < 0 {
 		bytes = 0
@@ -537,6 +604,9 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 			s.noteFlagged("shed", reqID)
 			req.span.SetInt("status", int64(status))
 			req.span.End()
+			if status == http.StatusTooManyRequests {
+				pending = append(pending, pendingIncident{trigger: incident.TriggerShed, status: status, req: req})
+			}
 			results[i] = DeviceResult{Status: status, Error: http.StatusText(status)}
 			continue
 		}
@@ -551,20 +621,33 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 			if resp.err != nil {
 				s.reg.Counter("serve.errors").Inc()
 				results[i] = DeviceResult{Status: resp.status, Error: resp.err.Error()}
+				switch resp.status {
+				case http.StatusGatewayTimeout:
+					pending = append(pending, pendingIncident{trigger: incident.TriggerDeadline, status: resp.status, req: req, events: resp.events})
+				case http.StatusInternalServerError:
+					pending = append(pending, pendingIncident{trigger: incident.TriggerPanic, status: resp.status, req: req, events: resp.events})
+				}
 			} else {
 				results[i] = DeviceResult{Status: http.StatusOK, Report: resp.report}
+				if trig := s.successTrigger(resp.report, req); trig != "" {
+					pending = append(pending, pendingIncident{trigger: trig, status: http.StatusOK, req: req, rep: resp.report, events: resp.events})
+				}
 			}
 		case <-ctx.Done():
 			s.reg.Counter("serve.timeouts").Inc()
 			tree.Flag("timeout")
 			s.noteFlagged("timeout", reqID)
 			results[i] = DeviceResult{Status: http.StatusGatewayTimeout, Error: ctx.Err().Error()}
+			pending = append(pending, pendingIncident{trigger: incident.TriggerDeadline, status: http.StatusGatewayTimeout, req: req})
 		}
 		req.span.SetInt("status", int64(results[i].Status))
 		req.span.End()
 		s.release(req)
 	}
 	s.finishTrace(tree, root, http.StatusOK)
+	for _, p := range pending {
+		s.captureIncident(p.trigger, p.status, w, p.req, p.rep, p.events)
+	}
 	writeJSON(rw, http.StatusOK, &BatchReply{Results: results})
 }
 

@@ -4,6 +4,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"multidiag/internal/obs"
 )
 
 // FlagSampled marks trees retained by the probabilistic head of the tail
@@ -32,6 +34,11 @@ type CaptureConfig struct {
 	// write-through at Offer time. Writes are serialized; errors are
 	// counted, not fatal.
 	Sink io.Writer
+	// Registry, when set, surfaces the overwrite-oldest evictions as
+	// counters (trace.capture_evicted_flagged / _sampled) — without them a
+	// full flagged ring silently loses the OLDEST incident trace, and
+	// nothing on /metrics says so.
+	Registry *obs.Registry
 }
 
 // Capture is the tail-based retention buffer: the keep/drop decision is
@@ -54,6 +61,13 @@ type Capture struct {
 	kept      atomic.Int64
 	sinkErrs  atomic.Int64
 	sinkTrees atomic.Int64
+
+	// Eviction accounting, split by ring: a flagged eviction means an
+	// incident trace was lost to newer incidents (ring too small for the
+	// anomaly rate), a sampled eviction is routine turnover.
+	evFlagged              atomic.Int64
+	evSampled              atomic.Int64
+	cEvFlagged, cEvSampled *obs.Counter
 }
 
 // ring is a fixed-capacity overwrite-oldest buffer of tree records.
@@ -63,13 +77,17 @@ type ring struct {
 	full bool
 }
 
-func (r *ring) push(rec *TreeRecord) {
+// push stores rec, reporting whether it overwrote a retained record (the
+// ring was already full, so the oldest entry was evicted to make room).
+func (r *ring) push(rec *TreeRecord) (evicted bool) {
+	evicted = r.full
 	r.buf[r.next] = rec
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
 		r.full = true
 	}
+	return evicted
 }
 
 // snapshot appends the ring's records oldest-first.
@@ -95,6 +113,10 @@ func NewCapture(cfg CaptureConfig) *Capture {
 	c := &Capture{cfg: cfg}
 	c.flagged.buf = make([]*TreeRecord, cfg.Capacity)
 	c.sampled.buf = make([]*TreeRecord, cfg.Capacity)
+	if reg := cfg.Registry; reg != nil {
+		c.cEvFlagged = reg.Counter("trace.capture_evicted_flagged")
+		c.cEvSampled = reg.Counter("trace.capture_evicted_sampled")
+	}
 	return c
 }
 
@@ -144,12 +166,22 @@ func (c *Capture) Offer(t *Tree) bool {
 	rec := t.Record()
 	c.kept.Add(1)
 	c.mu.Lock()
+	var evicted bool
 	if flagged {
-		c.flagged.push(rec)
+		evicted = c.flagged.push(rec)
 	} else {
-		c.sampled.push(rec)
+		evicted = c.sampled.push(rec)
 	}
 	c.mu.Unlock()
+	if evicted {
+		if flagged {
+			c.evFlagged.Add(1)
+			c.cEvFlagged.Inc()
+		} else {
+			c.evSampled.Add(1)
+			c.cEvSampled.Inc()
+		}
+	}
 
 	if c.cfg.Sink != nil {
 		c.mu.Lock()
@@ -199,4 +231,14 @@ func (c *Capture) Stats() (offered, kept, sunk, sinkErrs int64) {
 		return 0, 0, 0, 0
 	}
 	return c.offered.Load(), c.kept.Load(), c.sinkTrees.Load(), c.sinkErrs.Load()
+}
+
+// Evictions reports how many retained trees each ring has overwritten:
+// flagged evictions mean incident traces were lost to newer incidents,
+// sampled evictions are routine turnover. Nil capture → 0, 0.
+func (c *Capture) Evictions() (flagged, sampled int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.evFlagged.Load(), c.evSampled.Load()
 }

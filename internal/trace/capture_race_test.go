@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"multidiag/internal/obs"
+)
+
+// burstTree builds a finished one-span tree, flagged when flag != "".
+func burstTree(flag string) *Tree {
+	tr := NewTree(TraceID{})
+	root := tr.Start("serve.request")
+	root.End()
+	if flag != "" {
+		tr.Flag(flag)
+	}
+	return tr
+}
+
+// TestCaptureConcurrentFlagSampleBurst drives concurrent flagged and
+// sampled offers at a small capture and pins the ring-isolation contract
+// under the race detector: a burst of routine sampled traffic can never
+// displace a flagged (incident) trace, because each class owns its own
+// overwrite-oldest ring — and the evictions that do happen are counted
+// per ring, not silently.
+func TestCaptureConcurrentFlagSampleBurst(t *testing.T) {
+	const capacity = 8
+	const perClass = 100
+	reg := obs.New("capture-race").Registry()
+	c := NewCapture(CaptureConfig{Capacity: capacity, SampleRate: 1, Registry: reg})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClass/4; i++ {
+				if !c.Offer(burstTree("shed")) {
+					t.Error("flagged tree dropped")
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClass/4; i++ {
+				if !c.Offer(burstTree("")) {
+					t.Error("sampled tree dropped at rate 1")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := c.Snapshot()
+	if len(snap) != 2*capacity {
+		t.Fatalf("snapshot holds %d records, want %d (both rings full)", len(snap), 2*capacity)
+	}
+	// The flagged ring is emitted first and must hold ONLY flagged trees:
+	// sampled bursts never displace incidents.
+	for i, rec := range snap[:capacity] {
+		if !rec.HasFlag("shed") || rec.HasFlag(FlagSampled) {
+			t.Fatalf("flagged-ring record %d carries flags %v", i, rec.Flags)
+		}
+	}
+	for i, rec := range snap[capacity:] {
+		if !rec.HasFlag(FlagSampled) || rec.HasFlag("shed") {
+			t.Fatalf("sampled-ring record %d carries flags %v", i, rec.Flags)
+		}
+	}
+
+	// Every offer past each ring's capacity evicted exactly one record of
+	// the SAME class.
+	evF, evS := c.Evictions()
+	if evF != perClass-capacity || evS != perClass-capacity {
+		t.Fatalf("evictions flagged=%d sampled=%d, want %d each", evF, evS, perClass-capacity)
+	}
+	if got := reg.Counter("trace.capture_evicted_flagged").Value(); got != evF {
+		t.Fatalf("trace.capture_evicted_flagged = %d, want %d", got, evF)
+	}
+	if got := reg.Counter("trace.capture_evicted_sampled").Value(); got != evS {
+		t.Fatalf("trace.capture_evicted_sampled = %d, want %d", got, evS)
+	}
+}
+
+// TestCaptureEvictionCountersStartZero pins that an unfilled ring evicts
+// nothing — the counters measure displacement, not retention.
+func TestCaptureEvictionCountersStartZero(t *testing.T) {
+	c := NewCapture(CaptureConfig{Capacity: 4, SampleRate: 1})
+	for i := 0; i < 4; i++ {
+		c.Offer(burstTree("shed"))
+		c.Offer(burstTree(""))
+	}
+	if evF, evS := c.Evictions(); evF != 0 || evS != 0 {
+		t.Fatalf("full-but-not-overflowing rings report evictions %d/%d", evF, evS)
+	}
+	var nilCap *Capture
+	if evF, evS := nilCap.Evictions(); evF != 0 || evS != 0 {
+		t.Fatal("nil capture reports evictions")
+	}
+}

@@ -18,7 +18,8 @@ BIN=${BIN:-bin/mdserve}
 WORK=$(mktemp -d)
 LOG="$WORK/mdserve.log"
 REC="$WORK/serve_record.json"
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PID2=""
+trap 'kill "$PID" 2>/dev/null || true; [ -n "$PID2" ] && kill "$PID2" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 # -trace-sample 1 retains every request's span tree so the /debug/trace
 # assertion below is deterministic. -prof enables the continuous
@@ -129,5 +130,54 @@ grep -q "mdserve: drained" "$LOG" || fail "no drain confirmation in log"
 [ -s "$REC" ] || fail "service record not written"
 grep -q '"requests": 11' "$REC" || fail "service record miscounted requests: $(cat "$REC")"
 [ -s "$WORK/traces.jsonl" ] || fail "-trace-spans-out sink not written"
+
+# Incident observatory leg: a second instance armed with -incident-dir
+# and -max-inflight 1 is forced to shed deterministically — a batch's
+# devices are admitted sequentially before any completes, so the second
+# device of a two-device batch always sheds — and the shed must spool a
+# replayable bundle. Separate instance so the main run's request-count
+# assertion above stays exact.
+INCDIR="$WORK/incidents"
+LOG2="$WORK/mdserve2.log"
+"$BIN" -addr 127.0.0.1:0 -workload c17 -max-inflight 1 \
+    -incident-dir "$INCDIR" -incident-min-interval 0 \
+    >"$LOG2" 2>&1 &
+PID2=$!
+ADDR2=""
+for _ in $(seq 1 50); do
+    ADDR2=$(sed -n 's/^mdserve: listening on //p' "$LOG2")
+    [ -n "$ADDR2" ] && break
+    kill -0 "$PID2" 2>/dev/null || { echo "serve_smoke: incident mdserve died at startup:"; cat "$LOG2"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR2" ] || { echo "serve_smoke: incident instance: no listen line after 5s:"; cat "$LOG2"; exit 1; }
+URL2="http://$ADDR2"
+
+code=$(curl -s -o "$WORK/shed_batch" -w '%{http_code}' -X POST -d "$BATCH" "$URL2/v1/diagnose/batch")
+[ "$code" = 200 ] || fail "incident batch returned $code: $(cat "$WORK/shed_batch")"
+grep -q '"error"' "$WORK/shed_batch" || fail "incident batch shed no device at -max-inflight 1"
+
+BUNDLE=$(ls "$INCDIR"/incident-*-shed.json 2>/dev/null | head -1)
+[ -n "$BUNDLE" ] || fail "shed spooled no incident bundle in $INCDIR"
+grep -q '"schema": "mdincident/v1"' "$BUNDLE" || fail "bundle missing mdincident/v1 schema"
+curl -s "$URL2/debug/incidents" >"$WORK/incidents_index"
+grep -q '"trigger":"shed"' "$WORK/incidents_index" || fail "/debug/incidents does not index the shed bundle"
+
+# Replay the bundle offline: byte-identical reports at -j 1, 4 and 8.
+if [ -x bin/mdreplay ]; then
+    bin/mdreplay -verify "$BUNDLE" >"$WORK/replay_report" \
+        || fail "mdreplay -verify failed on $BUNDLE: $(cat "$WORK/replay_report")"
+    grep -q 'PASS' "$WORK/replay_report" || fail "mdreplay -verify did not report PASS"
+fi
+
+kill -TERM "$PID2"
+i=0
+while kill -0 "$PID2" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "incident mdserve did not exit within 10s of SIGTERM"
+    sleep 0.1
+done
+wait "$PID2" || fail "incident mdserve exited non-zero after SIGTERM"
+PID2=""
 
 echo "serve_smoke: OK ($(sed -n 's/.*"service_p95_ms": //p' "$REC" | tr -d ',') ms p95)"
