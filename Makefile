@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchdiff quality quality-baseline prof prof-gate prof-baseline serve-smoke clean
+.PHONY: all build test race vet lint bench benchdiff quality quality-baseline prof prof-gate prof-baseline serve-smoke vol-smoke clean
 
 all: build vet test
 
@@ -15,10 +15,12 @@ test:
 # campaign worker pool, the fault-parallel engine, the sharded cone
 # cache (the fsim stress test is the cache's -race proof), the span-tree
 # tracer (workers and capture snapshots share one tree), the diagnosis
-# service (admission, batcher, concurrent traced clients) and the
-# profiling collector (phase windows, snapshot rings, /debug/prof polls).
+# service (admission, batcher, concurrent traced clients), the
+# profiling collector (phase windows, snapshot rings, /debug/prof polls)
+# and the volume pipeline (sharded fingerprint cache, singleflight
+# dedupe, parallel ingest workers).
 race:
-	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/trace ./internal/serve ./internal/prof
+	$(GO) test -race ./internal/obs ./internal/exp ./internal/fsim ./internal/core ./internal/trace ./internal/serve ./internal/prof ./internal/volume
 
 vet:
 	$(GO) vet ./...
@@ -35,19 +37,23 @@ lint:
 # API), writes the diagnosis results as a machine-readable baseline to
 # BENCH_diag.json (the committed copy is what benchdiff compares
 # against), and writes a schema-valid quick-suite trace to BENCH_obs.json.
-# The -bench pattern is 'Diagnose', not 'BenchmarkDiagnose': the latter
-# would silently skip BenchmarkServeDiagnose.
+# The -bench pattern is 'Diagnose|VolumeIngest', not 'BenchmarkDiagnose':
+# the latter would silently skip BenchmarkServeDiagnose and the volume
+# ingest pair.
 bench: build
-	$(GO) test -run xxx -bench 'Diagnose' -benchmem ./internal/core ./internal/serve | tee /tmp/bench_core.txt
+	$(GO) test -run xxx -bench 'Diagnose|VolumeIngest' -benchmem ./internal/core ./internal/serve ./internal/volume | tee /tmp/bench_core.txt
 	$(GO) test -run xxx -bench 'BenchmarkSpan|BenchmarkCounter|BenchmarkHistogram' -benchmem ./internal/obs
 	bin/benchdiff parse -o BENCH_diag.json < /tmp/bench_core.txt
 	bin/mdexp -quick -seeds 1 -only T1 -trace-out BENCH_obs.json > /dev/null
 
-# benchdiff re-runs the diagnosis benchmarks (core + serving path) and
-# compares against the committed BENCH_diag.json baseline, warning on
-# >20% ns/op regressions.
+# benchdiff re-runs the diagnosis benchmarks (core + serving path +
+# volume ingest) and compares against the committed BENCH_diag.json
+# baseline, warning on >20% ns/op regressions; the speedup gate requires
+# dedupe to beat the no-cache baseline by ≥5× on the 90%-repeat stream.
 benchdiff: build
-	$(GO) test -run xxx -bench 'Diagnose' -benchmem ./internal/core ./internal/serve | bin/benchdiff parse | bin/benchdiff compare BENCH_diag.json -
+	$(GO) test -run xxx -bench 'Diagnose|VolumeIngest' -benchmem ./internal/core ./internal/serve ./internal/volume | bin/benchdiff parse -o /tmp/bench_current.json
+	bin/benchdiff compare BENCH_diag.json /tmp/bench_current.json
+	bin/benchdiff speedup /tmp/bench_current.json -base BenchmarkVolumeIngest -target BenchmarkVolumeIngestDeduped -min 5
 
 # QUALITY_CMD is the exact campaign both quality targets run, so the
 # committed baseline and the comparison candidate are always like-for-like
@@ -98,6 +104,14 @@ prof-baseline: build
 # handler-level tests in internal/serve.
 serve-smoke: build
 	sh scripts/serve_smoke.sh
+
+# vol-smoke runs the volume-diagnosis pipeline end to end: a pinned
+# synthetic stream (mdgen -datalogs) through mdvol at several worker
+# counts and cache states (byte-identical reports and aggregates
+# required), then the same stream through a live mdserve /v1/ingest with
+# the aggregates diffed via mdtrend compare-volume.
+vol-smoke: build
+	sh scripts/vol_smoke.sh
 
 # determinism-check diffs mddiag reports across worker counts and
 # cone-cache states (see scripts/determinism_check.sh): the parallel

@@ -19,10 +19,13 @@
 // a regression beyond -fail-threshold (when set) is an `::error::` and
 // always exits non-zero, which is the CI gate: moderate drift warns,
 // severe drift fails. Benchmarks present on only one side are reported
-// but never fatal, so a baseline refresh and a new benchmark can land in
-// the same change; a baseline entry missing from the current run still
-// prints a `::warning::` so a silently dropped benchmark never passes
-// unnoticed.
+// but by default never fatal, so a baseline refresh and a new benchmark
+// can land in the same change; a baseline entry missing from the current
+// run still prints a `::warning::` so a silently dropped benchmark never
+// passes unnoticed. With -missing-fatal that warning becomes an
+// `::error::` and the exit is non-zero — the nightly gate, where the
+// full suite runs and a vanished benchmark means lost coverage, not a
+// rename in flight.
 //
 // speedup gates a scaling matrix: it reads one parsed result file and
 // fails unless base ns/op ÷ target ns/op meets -min. This is the CI
@@ -172,6 +175,7 @@ func compareMain(args []string) {
 	allocThreshold := fs.Float64("alloc-threshold", 20, "allocs_per_op / bytes_per_op regression percentage that triggers a warning (checked only when both sides recorded -benchmem numbers)")
 	allocFailThreshold := fs.Float64("alloc-fail-threshold", 0, "allocs_per_op / bytes_per_op regression percentage that is an error (0 = disabled); exits non-zero when exceeded")
 	failOnRegress := fs.Bool("fail", false, "exit non-zero when a regression exceeds the warning threshold")
+	missingFatal := fs.Bool("missing-fatal", false, "treat a baseline benchmark missing from the current run as an error (nightly mode)")
 	// Positional args may precede flags (compare a.json b.json -fail).
 	var paths []string
 	rest := args
@@ -193,7 +197,7 @@ func compareMain(args []string) {
 		fatal(err)
 	}
 
-	warnings, failures := compareFiles(os.Stdout, base, cur, *threshold, *failThreshold, *allocThreshold, *allocFailThreshold)
+	warnings, failures := compareFiles(os.Stdout, base, cur, *threshold, *failThreshold, *allocThreshold, *allocFailThreshold, *missingFatal)
 	if failures > 0 || (warnings > 0 && *failOnRegress) {
 		os.Exit(1)
 	}
@@ -207,9 +211,10 @@ func compareMain(args []string) {
 // without -benchmem never trips the alloc gate). A delta beyond a fail
 // threshold counts only as a failure; between the warn and fail
 // thresholds it is a warning. Benchmarks present on only one side are
-// reported but never fatal, so a baseline refresh and a new benchmark can
-// land in the same change.
-func compareFiles(w io.Writer, base, cur *File, warnTh, failTh, allocWarnTh, allocFailTh float64) (warnings, failures int) {
+// reported but by default never fatal, so a baseline refresh and a new
+// benchmark can land in the same change; missingFatal promotes a baseline
+// entry absent from the current run to a failure.
+func compareFiles(w io.Writer, base, cur *File, warnTh, failTh, allocWarnTh, allocFailTh float64, missingFatal bool) (warnings, failures int) {
 	names := map[string]bool{}
 	for n := range base.Benchmarks {
 		names[n] = true
@@ -230,10 +235,16 @@ func compareFiles(w io.Writer, base, cur *File, warnTh, failTh, allocWarnTh, all
 		switch {
 		case !inCur:
 			fmt.Fprintf(w, "%-34s %14.0f %14s %9s\n", n, b.NsPerOp, "—", "gone")
-			// Not fatal (a baseline refresh may land with a rename), but
-			// never silent: a benchmark that stops running would otherwise
-			// pass every gate forever.
-			annotate("warning", fmt.Sprintf("baseline benchmark %s missing from current run", n))
+			// Not fatal by default (a baseline refresh may land with a
+			// rename), but never silent: a benchmark that stops running
+			// would otherwise pass every gate forever. Nightly runs pass
+			// -missing-fatal and fail instead.
+			if missingFatal {
+				failures++
+				annotate("error", fmt.Sprintf("baseline benchmark %s missing from current run", n))
+			} else {
+				annotate("warning", fmt.Sprintf("baseline benchmark %s missing from current run", n))
+			}
 		case !inBase:
 			fmt.Fprintf(w, "%-34s %14s %14.0f %9s\n", n, "—", c.NsPerOp, "new")
 		default:

@@ -73,7 +73,7 @@ func TestCompareFilesThresholds(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 42},
 	}}
 	var out strings.Builder
-	warnings, failures := compareFiles(&out, base, cur, 20, 35, 20, 0)
+	warnings, failures := compareFiles(&out, base, cur, 20, 35, 20, 0, false)
 	if warnings != 1 || failures != 1 {
 		t.Fatalf("warnings=%d failures=%d, want 1/1\n%s", warnings, failures, out.String())
 	}
@@ -88,7 +88,7 @@ func TestCompareFilesFailThresholdDisabled(t *testing.T) {
 	base := &File{Benchmarks: map[string]Bench{"BenchmarkC": {NsPerOp: 100}}}
 	cur := &File{Benchmarks: map[string]Bench{"BenchmarkC": {NsPerOp: 200}}}
 	var out strings.Builder
-	warnings, failures := compareFiles(&out, base, cur, 20, 0, 20, 0)
+	warnings, failures := compareFiles(&out, base, cur, 20, 0, 20, 0, false)
 	if warnings != 1 || failures != 0 {
 		t.Fatalf("warnings=%d failures=%d, want 1/0 with fail-threshold disabled", warnings, failures)
 	}
@@ -106,7 +106,7 @@ func TestCompareFilesAllocGate(t *testing.T) {
 		"BenchmarkC": {NsPerOp: 100, BytesPerOp: 9999, AllocsPerOp: 9999},
 	}}
 	var out strings.Builder
-	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 50)
+	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 50, false)
 	if warnings != 1 || failures != 1 {
 		t.Fatalf("warnings=%d failures=%d, want 1/1 (bytes warn + allocs fail, missing baseline side skipped)\n%s",
 			warnings, failures, out.String())
@@ -117,7 +117,7 @@ func TestCompareFilesAllocFailThresholdDisabled(t *testing.T) {
 	base := &File{Benchmarks: map[string]Bench{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 100}}}
 	cur := &File{Benchmarks: map[string]Bench{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 300}}}
 	var out strings.Builder
-	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 0)
+	warnings, failures := compareFiles(&out, base, cur, 20, 35, 25, 0, false)
 	if warnings != 1 || failures != 0 {
 		t.Fatalf("warnings=%d failures=%d, want 1/0 with alloc-fail-threshold disabled", warnings, failures)
 	}
@@ -185,7 +185,7 @@ func TestCompareFilesGoneWarns(t *testing.T) {
 	}
 	os.Stderr = w
 	var table strings.Builder
-	warnings, failures := compareFiles(&table, base, cur, 20, 35, 20, 35)
+	warnings, failures := compareFiles(&table, base, cur, 20, 35, 20, 35, false)
 	w.Close()
 	os.Stderr = old
 	captured, err := io.ReadAll(r)
@@ -197,5 +197,33 @@ func TestCompareFilesGoneWarns(t *testing.T) {
 	}
 	if !strings.Contains(string(captured), "missing from current run") {
 		t.Fatalf("gone benchmark produced no warning annotation; stderr:\n%s", captured)
+	}
+}
+
+func TestCompareFilesMissingFatal(t *testing.T) {
+	base := &File{Benchmarks: map[string]Bench{
+		"BenchmarkGone": {NsPerOp: 100},
+		"BenchmarkKept": {NsPerOp: 100},
+	}}
+	cur := &File{Benchmarks: map[string]Bench{"BenchmarkKept": {NsPerOp: 100}}}
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	var table strings.Builder
+	warnings, failures := compareFiles(&table, base, cur, 20, 35, 20, 35, true)
+	w.Close()
+	os.Stderr = old
+	captured, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings != 0 || failures != 1 {
+		t.Fatalf("-missing-fatal gone benchmark: warnings=%d failures=%d, want 0/1", warnings, failures)
+	}
+	if !strings.Contains(string(captured), "ERROR") || !strings.Contains(string(captured), "missing from current run") {
+		t.Fatalf("-missing-fatal gone benchmark produced no error annotation; stderr:\n%s", captured)
 	}
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"multidiag/internal/exp"
+	"multidiag/internal/obs"
+	"multidiag/internal/volume"
+)
+
+// runDatalogs is the -datalogs mode: instead of a circuit, mdgen emits a
+// synthetic volume-diagnosis stream — N JSONL records over a seeded
+// population of multi-defect devices with a controllable repeat ratio —
+// so dedupe behaviour is reproducible in tests, benches and vol-smoke.
+func runDatalogs(n int, workloadName string, repeat float64, sites, defects int, seed int64, out string) error {
+	wl, err := exp.NamedWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		sink, err := obs.CreateSink(out)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		w = sink
+	}
+	unique, err := volume.SynthStream(w, volume.SynthConfig{
+		Workload: workloadName,
+		Circuit:  wl.Circuit,
+		Patterns: wl.Patterns,
+		N:        n,
+		Repeat:   repeat,
+		Sites:    sites,
+		Defects:  defects,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mdgen: %d datalog records for %s: %d distinct syndromes (target repeat %.2f, realized %.3f)\n",
+		n, workloadName, unique, repeat, 1-float64(unique)/float64(n))
+	return nil
+}

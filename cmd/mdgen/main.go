@@ -1,11 +1,14 @@
 // mdgen generates benchmark circuits in .bench format: seeded random
-// netlists or structured arithmetic/control circuits.
+// netlists or structured arithmetic/control circuits. With -datalogs it
+// instead emits a synthetic volume-diagnosis stream (JSONL records with
+// a controllable repeat ratio) for mdvol and the /v1/ingest endpoint.
 //
 // Usage:
 //
 //	mdgen -kind rand -gates 1000 -pis 24 -pos 20 -seed 7 -o circuit.bench
 //	mdgen -kind adder -width 16 -o add16.bench
 //	mdgen -kind c17 -o c17.bench
+//	mdgen -datalogs 1000 -workload b0300 -repeat 0.9 -o datalogs.jsonl.gz
 package main
 
 import (
@@ -25,10 +28,24 @@ func main() {
 		pis   = flag.Int("pis", 16, "primary inputs (rand)")
 		pos   = flag.Int("pos", 0, "primary outputs (rand; 0 = auto)")
 		width = flag.Int("width", 8, "datapath width (adder/mul/alu) or tree size (mux/parity/decoder)")
-		seed  = flag.Int64("seed", 1, "generator seed (rand)")
-		out   = flag.String("o", "", "output file (default stdout)")
+		seed  = flag.Int64("seed", 1, "generator seed (rand, datalogs)")
+		out   = flag.String("o", "", "output file (default stdout; .gz compresses datalog streams)")
+
+		datalogs = flag.Int("datalogs", 0, "emit a synthetic datalog stream of this many records instead of a circuit")
+		workload = flag.String("workload", "c17", "datalog-stream workload: a built-in name (c17, add16, b0300, …)")
+		repeat   = flag.Float64("repeat", 0.9, "datalog-stream target fraction of records repeating an earlier syndrome")
+		sites    = flag.Int("sites", 4, "datalog-stream synthetic site count")
+		defects  = flag.Int("defects", 2, "datalog-stream defects per device")
 	)
 	flag.Parse()
+
+	if *datalogs > 0 {
+		if err := runDatalogs(*datalogs, *workload, *repeat, *sites, *defects, *seed, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "mdgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var (
 		c   *netlist.Circuit

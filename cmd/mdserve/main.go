@@ -15,6 +15,9 @@
 //	POST /v1/diagnose        one device response → ranked candidate report
 //	                         (?explain=1 attaches the flight-recorder narrative)
 //	POST /v1/diagnose/batch  several devices of one workload in one call
+//	POST /v1/ingest          stream JSONL datalog records through the
+//	                         syndrome-fingerprint dedupe front (gzip ok)
+//	GET  /v1/volume/summary  deterministic fleet aggregate per workload
 //	GET  /v1/workloads       the registry: names, sizes, queue depths
 //	GET  /healthz            liveness (always 200 while the process runs)
 //	GET  /readyz             readiness (503 once draining)
@@ -87,6 +90,8 @@ func main() {
 		incidentMax    = flag.Int("incident-max-bundles", 32, "max bundles retained in -incident-dir (overwrite-oldest)")
 		incidentBytes  = flag.Int64("incident-max-bytes", 64<<20, "max summed bundle bytes in -incident-dir (overwrite-oldest)")
 		incidentEvery  = flag.Duration("incident-min-interval", time.Second, "min interval between captures per trigger kind (0 = unlimited)")
+		volumeCache    = flag.Int("volume-cache", 0, "fingerprint cache entries per workload for /v1/ingest dedupe (0 = 16k default, -1 disables)")
+		volumeBucket   = flag.Int("volume-trend-bucket", 0, "ingest trend granularity: devices per bucket, or seconds when records carry timestamps (0 = default)")
 		verbose        = flag.Bool("v", false, "log request counters on shutdown")
 	)
 	flag.Var(&workloads, "workload", "workload to register: a built-in name (c17, add16, b0300, …) or name=circuit.bench:patterns.txt; repeatable")
@@ -113,6 +118,8 @@ func main() {
 		IncidentMaxBundles:  *incidentMax,
 		IncidentMaxBytes:    *incidentBytes,
 		IncidentMinInterval: *incidentEvery,
+		VolumeCacheCap:      *volumeCache,
+		VolumeTrendBucket:   *volumeBucket,
 	}, *traceOut, *drainTimeout, *recordOut, *recordLabel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mdserve:", err)
 		os.Exit(1)

@@ -9,6 +9,7 @@
 //	mdtrend compare QUALITY_baseline.json - < current.json
 //	mdtrend compare base.json cur.json -acc-drop 0.02 -res-pct 25 -ms-pct 75 -fail
 //	mdtrend compare-serve SERVE_baseline.json serve-current.json [-shed-inc frac] [-ms-pct pct] [-fail]
+//	mdtrend compare-volume VOL_baseline.json summary.json [-dedupe-drop frac] [-unique-pct pct]
 //
 // compare prints a per-record delta table. A site-accuracy,
 // region-accuracy or success-rate drop beyond -acc-drop is an error — a
@@ -24,6 +25,11 @@
 // (-service-record-out): a shed-rate increase beyond -shed-inc or any
 // handler panic is an error; a p95 service-latency increase beyond
 // -ms-pct warns.
+//
+// compare-volume gates volume fleet summaries (mdvol -summary-out,
+// GET /v1/volume/summary): on the pinned synthetic stream a dedupe-ratio
+// drop, unique-syndrome growth or a defect-class distribution change is
+// an error — the syndrome fingerprint or the classifier changed.
 package main
 
 import (
@@ -44,6 +50,8 @@ func main() {
 		compareMain(os.Args[2:])
 	case "compare-serve":
 		compareServeMain(os.Args[2:])
+	case "compare-volume":
+		compareVolumeMain(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,6 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mdtrend compare <baseline.json> <current.json|-> [-acc-drop frac] [-res-pct pct] [-ms-pct pct] [-fail]")
 	fmt.Fprintln(os.Stderr, "       mdtrend compare-serve <baseline.json> <current.json|-> [-shed-inc frac] [-ms-pct pct] [-fail]")
+	fmt.Fprintln(os.Stderr, "       mdtrend compare-volume <baseline.json> <current.json|-> [-dedupe-drop frac] [-unique-pct pct]")
 	os.Exit(2)
 }
 
@@ -103,6 +112,29 @@ func compareServeMain(args []string) {
 	findings := qrec.CompareService(os.Stdout, base, cur,
 		qrec.ServiceThresholds{ShedInc: *shedInc, LatencyPct: *msPct})
 	report(findings, len(cur.Records), *failOnWarn)
+}
+
+// compareVolumeMain gates volume fleet summaries: dedupe ratio, unique
+// syndromes and the class distribution, all hard (deterministic on the
+// pinned stream).
+func compareVolumeMain(args []string) {
+	th := qrec.DefaultVolumeThresholds()
+	fs := flag.NewFlagSet("mdtrend compare-volume", flag.ExitOnError)
+	dedupeDrop := fs.Float64("dedupe-drop", th.DedupeDrop, "absolute dedupe-ratio drop that is an error (exits non-zero)")
+	uniquePct := fs.Float64("unique-pct", th.UniquePct, "unique-syndrome growth percentage that is an error")
+	paths := parsePaths(fs, args)
+	base, err := qrec.LoadVolumeSummary(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := qrec.LoadVolumeSummary(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := qrec.CompareVolume(os.Stdout, base, cur,
+		qrec.VolumeThresholds{DedupeDrop: *dedupeDrop, UniquePct: *uniquePct})
+	report(findings, 1, false)
 }
 
 // parsePaths implements the shared argument convention: positional args

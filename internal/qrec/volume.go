@@ -1,0 +1,162 @@
+package qrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// volumeSchemaPrefix matches volume.SummarySchema versions ("mdvol/
+// summary/v1"). qrec reads the summary wire format without importing
+// internal/volume — exp depends on qrec, and volume's tests depend on
+// exp, so a qrec→volume edge would cycle.
+const volumeSchemaPrefix = "mdvol/summary/"
+
+// VolumeSummary is the subset of a volume fleet summary (mdvol
+// -summary-out, GET /v1/volume/summary) the trend gate reads; unknown
+// fields (sites, trend series) pass through undecoded.
+type VolumeSummary struct {
+	Schema          string             `json:"schema"`
+	Workload        string             `json:"workload"`
+	Devices         int64              `json:"devices"`
+	Failing         int64              `json:"failing"`
+	UniqueSyndromes int64              `json:"unique_syndromes"`
+	DedupeRatio     float64            `json:"dedupe_ratio"`
+	Classes         []VolumeClassCount `json:"classes"`
+}
+
+// VolumeClassCount is one defect class's device count.
+type VolumeClassCount struct {
+	Class   string `json:"class"`
+	Devices int64  `json:"devices"`
+}
+
+// LoadVolumeSummary reads a volume fleet-summary JSON and validates its
+// schema; "-" reads stdin.
+func LoadVolumeSummary(path string) (*VolumeSummary, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var s VolumeSummary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(s.Schema, volumeSchemaPrefix) {
+		return nil, fmt.Errorf("%s: schema %q is not a volume summary (want %s*)", path, s.Schema, volumeSchemaPrefix)
+	}
+	return &s, nil
+}
+
+// VolumeThresholds controls when a volume-summary delta is a regression.
+// On the pinned synthetic stream (mdgen -datalogs, fixed seed) the whole
+// summary is deterministic, so the gates are tight: the fingerprint and
+// the classifier either changed or they didn't.
+type VolumeThresholds struct {
+	// DedupeDrop is the absolute dedupe-ratio drop that is an error: a
+	// fingerprint that stops matching syndromes it used to match turns
+	// repeats into unique devices and the ratio falls.
+	DedupeDrop float64
+	// UniquePct is the unique-syndrome growth percentage that is an
+	// error (the same failure mode seen from the other side).
+	UniquePct float64
+}
+
+// DefaultVolumeThresholds matches the vol-smoke CI gate.
+func DefaultVolumeThresholds() VolumeThresholds {
+	return VolumeThresholds{DedupeDrop: 0.02, UniquePct: 10}
+}
+
+// CompareVolume prints the summary delta and returns the threshold
+// crossings, errors first. Mismatched schemas, workloads or device
+// counts are errors before anything else: ratios from different streams
+// do not compare.
+func CompareVolume(w io.Writer, base, cur *VolumeSummary, th VolumeThresholds) []Finding {
+	if base.Schema != cur.Schema {
+		return []Finding{{
+			Level:   "error",
+			Key:     "schema",
+			Message: fmt.Sprintf("volume schema mismatch: baseline %q vs current %q — regenerate the baseline", base.Schema, cur.Schema),
+		}}
+	}
+	if base.Workload != cur.Workload {
+		return []Finding{{
+			Level:   "error",
+			Key:     "workload",
+			Message: fmt.Sprintf("volume summaries compare different workloads: %q vs %q", base.Workload, cur.Workload),
+		}}
+	}
+	fmt.Fprintf(w, "%-16s %14s %14s\n", "metric", "base", "cur")
+	fmt.Fprintf(w, "%-16s %14d %14d\n", "devices", base.Devices, cur.Devices)
+	fmt.Fprintf(w, "%-16s %14d %14d\n", "failing", base.Failing, cur.Failing)
+	fmt.Fprintf(w, "%-16s %14d %14d\n", "unique", base.UniqueSyndromes, cur.UniqueSyndromes)
+	fmt.Fprintf(w, "%-16s %14.3f %14.3f\n", "dedupe ratio", base.DedupeRatio, cur.DedupeRatio)
+
+	key := cur.Workload
+	if base.Devices != cur.Devices {
+		return []Finding{{
+			Level: "error",
+			Key:   key,
+			Message: fmt.Sprintf("%s: device count changed %d → %d — different streams, regenerate the baseline",
+				key, base.Devices, cur.Devices),
+		}}
+	}
+	var errs []Finding
+	if drop := base.DedupeRatio - cur.DedupeRatio; drop > th.DedupeDrop {
+		errs = append(errs, Finding{
+			Level: "error",
+			Key:   key,
+			Message: fmt.Sprintf("%s dedupe ratio dropped %.3f → %.3f (-%.3f, threshold %.3f): syndrome fingerprint no longer matches repeats",
+				key, base.DedupeRatio, cur.DedupeRatio, drop, th.DedupeDrop),
+		})
+	}
+	if th.UniquePct > 0 && base.UniqueSyndromes > 0 {
+		if pct := float64(cur.UniqueSyndromes-base.UniqueSyndromes) / float64(base.UniqueSyndromes) * 100; pct > th.UniquePct {
+			errs = append(errs, Finding{
+				Level: "error",
+				Key:   key,
+				Message: fmt.Sprintf("%s unique syndromes grew %.1f%% (%d → %d, threshold %.0f%%): fingerprint unstable",
+					key, pct, base.UniqueSyndromes, cur.UniqueSyndromes, th.UniquePct),
+			})
+		}
+	}
+	if !volumeClassesEqual(base.Classes, cur.Classes) {
+		errs = append(errs, Finding{
+			Level: "error",
+			Key:   key,
+			Message: fmt.Sprintf("%s defect-class distribution changed: %s → %s",
+				key, formatVolumeClasses(base.Classes), formatVolumeClasses(cur.Classes)),
+		})
+	}
+	return errs
+}
+
+func volumeClassesEqual(a, b []VolumeClassCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func formatVolumeClasses(cs []VolumeClassCount) string {
+	if len(cs) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(cs))
+	for _, c := range cs {
+		parts = append(parts, fmt.Sprintf("%s:%d", c.Class, c.Devices))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,86 @@
+package qrec
+
+import (
+	"strings"
+	"testing"
+)
+
+func volSummary() *VolumeSummary {
+	return &VolumeSummary{
+		Schema:          "mdvol/summary/v1",
+		Workload:        "c17",
+		Devices:         200,
+		Failing:         198,
+		UniqueSyndromes: 20,
+		DedupeRatio:     0.9,
+		Classes: []VolumeClassCount{
+			{Class: "sa0", Devices: 150},
+			{Class: "bridge", Devices: 50},
+		},
+	}
+}
+
+func TestCompareVolumeClean(t *testing.T) {
+	var out strings.Builder
+	findings := CompareVolume(&out, volSummary(), volSummary(), DefaultVolumeThresholds())
+	if len(findings) != 0 {
+		t.Fatalf("identical summaries produced findings: %+v", findings)
+	}
+}
+
+func TestCompareVolumeDedupeDrop(t *testing.T) {
+	cur := volSummary()
+	cur.DedupeRatio = 0.8
+	var out strings.Builder
+	findings := CompareVolume(&out, volSummary(), cur, DefaultVolumeThresholds())
+	if len(findings) == 0 || findings[0].Level != "error" || !strings.Contains(findings[0].Message, "dedupe ratio dropped") {
+		t.Fatalf("dedupe drop not gated: %+v", findings)
+	}
+}
+
+func TestCompareVolumeUniqueGrowth(t *testing.T) {
+	cur := volSummary()
+	cur.UniqueSyndromes = 25 // +25% > 10% threshold
+	var out strings.Builder
+	findings := CompareVolume(&out, volSummary(), cur, DefaultVolumeThresholds())
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "unique syndromes grew") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unique-syndrome growth not gated: %+v", findings)
+	}
+}
+
+func TestCompareVolumeClassDistribution(t *testing.T) {
+	cur := volSummary()
+	cur.Classes[1] = VolumeClassCount{Class: "sa1", Devices: 50}
+	var out strings.Builder
+	findings := CompareVolume(&out, volSummary(), cur, DefaultVolumeThresholds())
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "defect-class distribution changed") {
+		t.Fatalf("class change not gated: %+v", findings)
+	}
+}
+
+func TestCompareVolumeDeviceMismatchShortCircuits(t *testing.T) {
+	cur := volSummary()
+	cur.Devices = 100
+	cur.DedupeRatio = 0 // would also trip, but the count error wins alone
+	var out strings.Builder
+	findings := CompareVolume(&out, volSummary(), cur, DefaultVolumeThresholds())
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "device count changed") {
+		t.Fatalf("device mismatch not short-circuited: %+v", findings)
+	}
+}
+
+func TestCompareVolumeSchemaMismatch(t *testing.T) {
+	cur := volSummary()
+	cur.Schema = "mdvol/summary/v2"
+	var out strings.Builder
+	findings := CompareVolume(&out, volSummary(), cur, DefaultVolumeThresholds())
+	if len(findings) != 1 || findings[0].Key != "schema" {
+		t.Fatalf("schema mismatch not gated: %+v", findings)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"multidiag/internal/defect"
 	"multidiag/internal/incident"
+	"multidiag/internal/volume"
 )
 
 // spooledBundles loads every bundle in dir, capture order.
@@ -166,12 +167,12 @@ func TestSuccessTriggerClassification(t *testing.T) {
 		slowNS func() int64
 		want   string
 	}{
-		{"healthy", &Report{Consistent: true}, never, ""},
-		{"slow", &Report{Consistent: true}, always, incident.TriggerSlow},
-		{"inconsistent", &Report{Consistent: false}, never, incident.TriggerQuality},
-		{"unexplained", &Report{Consistent: true, UnexplainedBits: 3}, never, incident.TriggerQuality},
-		{"quality-beats-slow", &Report{Consistent: false}, always, incident.TriggerQuality},
-		{"no-threshold-yet", &Report{Consistent: true}, func() int64 { return 0 }, ""},
+		{"healthy", &Report{Report: volume.Report{Consistent: true}}, never, ""},
+		{"slow", &Report{Report: volume.Report{Consistent: true}}, always, incident.TriggerSlow},
+		{"inconsistent", &Report{Report: volume.Report{Consistent: false}}, never, incident.TriggerQuality},
+		{"unexplained", &Report{Report: volume.Report{Consistent: true, UnexplainedBits: 3}}, never, incident.TriggerQuality},
+		{"quality-beats-slow", &Report{Report: volume.Report{Consistent: false}}, always, incident.TriggerQuality},
+		{"no-threshold-yet", &Report{Report: volume.Report{Consistent: true}}, func() int64 { return 0 }, ""},
 	}
 	for _, tc := range cases {
 		s := &Server{slowNS: tc.slowNS}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/volume"
+)
+
+// ingestStream renders a JSONL stream of n records cycling through the
+// given datalogs (structured-fails form), so record i carries syndrome
+// logs[i%len(logs)].
+func ingestStream(t *testing.T, spec WorkloadSpec, defectSets [][]defect.Defect, n int) []byte {
+	t.Helper()
+	var logs []*volume.Record
+	for _, ds := range defectSets {
+		log, _ := deviceDatalog(t, spec, ds)
+		var fails []volume.PatternFails
+		for _, p := range log.FailingPatterns() {
+			fails = append(fails, volume.PatternFails{Pattern: p, POs: log.Fails[p].Members()})
+		}
+		logs = append(logs, &volume.Record{Fails: fails})
+	}
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		rec := *logs[i%len(logs)]
+		rec.DeviceID = fmt.Sprintf("dev-%03d", i)
+		rec.Site = fmt.Sprintf("site-%d", i%2)
+		line, err := json.Marshal(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(append(line, '\n'))
+	}
+	return buf.Bytes()
+}
+
+func postIngest(t *testing.T, url string, body []byte, gzipped bool) (*http.Response, *IngestReply, string) {
+	t.Helper()
+	payload := body
+	if gzipped {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(body)
+		zw.Close()
+		payload = zbuf.Bytes()
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	var reply IngestReply
+	json.Unmarshal(raw.Bytes(), &reply)
+	return resp, &reply, raw.String()
+}
+
+// TestIngestEndpointDedupes pins the serving-path pipeline: a stream of
+// repeats over two syndromes triggers two engine runs, everything else
+// dedupes, and the summary endpoint reports the fleet view.
+func TestIngestEndpointDedupes(t *testing.T) {
+	s, hs, spec := newTestServer(t, nil)
+	stream := ingestStream(t, spec, [][]defect.Defect{
+		{stuck(spec.Circuit, "G10", false)},
+		{stuck(spec.Circuit, "G16", true)},
+	}, 12)
+
+	resp, reply, body := postIngest(t, hs.URL+"/v1/ingest?workload=c17", stream, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	if reply.Records != 12 || reply.Failed != 0 || reply.Shed != 0 {
+		t.Fatalf("reply %+v, want 12 records, none failed/shed", reply)
+	}
+	if reply.Diagnosed != 2 || reply.Deduped != 10 {
+		t.Fatalf("reply %+v, want 2 diagnosed + 10 deduped", reply)
+	}
+	if got := s.reg.Counter("volume.diagnosed").Value(); got != 2 {
+		t.Fatalf("volume.diagnosed = %d, want 2", got)
+	}
+
+	resp2, sumBody := getURL(t, hs.URL+"/v1/volume/summary?workload=c17")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("summary: %d", resp2.StatusCode)
+	}
+	var sum volume.Summary
+	if err := json.Unmarshal([]byte(sumBody), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Devices != 12 || sum.UniqueSyndromes != 2 {
+		t.Fatalf("summary devices=%d unique=%d, want 12/2", sum.Devices, sum.UniqueSyndromes)
+	}
+	if len(sum.Sites) != 2 {
+		t.Fatalf("%d summary sites, want 2", len(sum.Sites))
+	}
+}
+
+// TestIngestGzipBody pins Content-Encoding: gzip handling — same stream,
+// same outcome.
+func TestIngestGzipBody(t *testing.T) {
+	_, hs, spec := newTestServer(t, nil)
+	stream := ingestStream(t, spec, [][]defect.Defect{{stuck(spec.Circuit, "G10", false)}}, 5)
+	resp, reply, body := postIngest(t, hs.URL+"/v1/ingest?workload=c17", stream, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip ingest: %d %s", resp.StatusCode, body)
+	}
+	if reply.Records != 5 || reply.Diagnosed != 1 || reply.Deduped != 4 {
+		t.Fatalf("gzip reply %+v, want 5 records = 1 diagnosed + 4 deduped", reply)
+	}
+}
+
+// TestIngestFullShedBacksOff pins the overload contract: when admission
+// sheds every record (here via an inflight-bytes cap no record fits
+// under), the stream answers 429 with Retry-After — the client's signal
+// to back off and resend — and nothing lands in the aggregate.
+func TestIngestFullShedBacksOff(t *testing.T) {
+	_, hs, spec := newTestServer(t, func(cfg *Config) {
+		cfg.MaxInflightBytes = 1
+	})
+	stream := ingestStream(t, spec, [][]defect.Defect{{stuck(spec.Circuit, "G10", false)}}, 4)
+	resp, reply, body := postIngest(t, hs.URL+"/v1/ingest?workload=c17", stream, false)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("fully shed ingest: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 ingest reply carries no Retry-After")
+	}
+	if reply.Shed != 4 || reply.Deduped != 0 || reply.Diagnosed != 0 {
+		t.Fatalf("reply %+v, want all 4 shed", reply)
+	}
+
+	_, sumBody := getURL(t, hs.URL+"/v1/volume/summary?workload=c17")
+	var sum volume.Summary
+	if err := json.Unmarshal([]byte(sumBody), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Devices != 0 {
+		t.Fatalf("shed devices leaked into the aggregate: %d", sum.Devices)
+	}
+}
+
+// TestIngestCacheHitsBypassAdmission pins the dedupe payoff on the
+// serving path: once a syndrome is cached (via an interactive diagnose),
+// repeats ingest successfully even when admission would shed every
+// engine-bound request.
+func TestIngestCacheHitsBypassAdmission(t *testing.T) {
+	s, hs, spec := newTestServer(t, nil)
+	// Warm the fingerprint cache through the ingest path itself.
+	warm := ingestStream(t, spec, [][]defect.Defect{{stuck(spec.Circuit, "G10", false)}}, 1)
+	if resp, _, body := postIngest(t, hs.URL+"/v1/ingest?workload=c17", warm, false); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm ingest: %d %s", resp.StatusCode, body)
+	}
+
+	// Now make admission shed everything engine-bound: cache hits never
+	// call admit, so the warmed syndrome's repeats still ingest cleanly.
+	s.cfg.MaxInflightBytes = 0
+	stream := ingestStream(t, spec, [][]defect.Defect{{stuck(spec.Circuit, "G10", false)}}, 8)
+	resp, reply, body := postIngest(t, hs.URL+"/v1/ingest?workload=c17", stream, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat ingest: %d %s", resp.StatusCode, body)
+	}
+	if reply.Deduped != 8 || reply.Diagnosed != 0 {
+		t.Fatalf("reply %+v, want all 8 deduped against the warm cache", reply)
+	}
+}
+
+// TestIngestEmptyStreamRejected pins the 400 on a record-less body.
+func TestIngestEmptyStreamRejected(t *testing.T) {
+	_, hs, _ := newTestServer(t, nil)
+	resp, _, _ := postIngest(t, hs.URL+"/v1/ingest?workload=c17", []byte("\n# just a comment\n"), false)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestUnknownWorkloadFails pins per-record workload resolution:
+// unknown names count as failures without aborting the stream.
+func TestIngestUnknownWorkloadFails(t *testing.T) {
+	_, hs, spec := newTestServer(t, nil)
+	good := ingestStream(t, spec, [][]defect.Defect{{stuck(spec.Circuit, "G10", false)}}, 1)
+	bad := []byte(`{"device_id":"x","workload":"nope"}` + "\n")
+	resp, reply, body := postIngest(t, hs.URL+"/v1/ingest?workload=c17", append(bad, good...), false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed ingest: %d %s", resp.StatusCode, body)
+	}
+	if reply.Records != 2 || reply.Failed != 1 || len(reply.Errors) != 1 {
+		t.Fatalf("reply %+v, want 2 records with 1 failed+sampled", reply)
+	}
+}
+
+// TestVolumeSummaryUnknownWorkload pins the 404.
+func TestVolumeSummaryUnknownWorkload(t *testing.T) {
+	_, hs, _ := newTestServer(t, nil)
+	resp, _ := getURL(t, hs.URL+"/v1/volume/summary?workload=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown-workload summary: %d, want 404", resp.StatusCode)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"multidiag/internal/prof"
 	"multidiag/internal/sim"
 	"multidiag/internal/trace"
+	"multidiag/internal/volume"
 )
 
 // Config tunes the service spine. The zero value selects serving
@@ -79,6 +80,15 @@ type Config struct {
 	// default: the live service-time p95, held back until 32 observations
 	// exist. Tests pin it to force or forbid slow captures.
 	SlowNS func() int64
+
+	// VolumeCacheCap bounds each workload's syndrome-fingerprint cache on
+	// the /v1/ingest path (0 = the volume package default of 16k entries;
+	// < 0 disables dedupe — every ingested record runs the engine).
+	VolumeCacheCap int
+	// VolumeTrendBucket is the ingest aggregate's trend granularity
+	// (devices per bucket for untimestamped records, seconds per bucket
+	// for timestamped ones; 0 = the volume package default).
+	VolumeTrendBucket int
 }
 
 func (cfg *Config) fill() {
@@ -105,6 +115,9 @@ func (cfg *Config) fill() {
 	}
 	if cfg.TraceCapacity <= 0 {
 		cfg.TraceCapacity = 64
+	}
+	if cfg.VolumeTrendBucket <= 0 {
+		cfg.VolumeTrendBucket = volume.DefaultTrendBucket
 	}
 }
 
@@ -133,6 +146,16 @@ type workload struct {
 	sim    *fsim.FaultSim
 	queue  chan *request
 	queued atomic.Int64
+
+	// vol is the workload's syndrome-dedupe front for /v1/ingest: cache
+	// hits answer without admission; misses enqueue into the same queue
+	// as interactive traffic (so ingest coalesces in the micro-batcher
+	// and sheds under the same caps). volAgg folds every ingested device
+	// into the fleet aggregate behind GET /v1/volume/summary; volOrd
+	// assigns fleet-wide ordinals for trend bucketing.
+	vol    *volume.Dedupe
+	volAgg *volume.Aggregator
+	volOrd atomic.Int64
 }
 
 // Server is the diagnosis service. Create with New, mount via Handler,
@@ -257,7 +280,14 @@ func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
 			shared: shared,
 			sim:    fs,
 			queue:  make(chan *request, cfg.QueueDepth),
+			volAgg: volume.NewAggregator(spec.Name, 0),
 		}
+		var volCache *volume.Cache
+		if cfg.VolumeCacheCap >= 0 {
+			volCache = volume.NewCache(cfg.VolumeCacheCap)
+		}
+		w.vol = volume.NewDedupe(spec.Name, volCache, s.volumeDiag(w))
+		w.vol.Observe(s.reg)
 		s.workloads[spec.Name] = w
 		s.batchers.Add(1)
 		go s.batcher(w)
@@ -271,6 +301,8 @@ func New(cfg Config, specs []WorkloadSpec) (*Server, error) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("POST /v1/diagnose/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/volume/summary", s.handleVolumeSummary)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)

@@ -22,6 +22,7 @@ import (
 	"multidiag/internal/core"
 	"multidiag/internal/netlist"
 	"multidiag/internal/tester"
+	"multidiag/internal/volume"
 )
 
 // DiagnoseRequest is the POST /v1/diagnose body: one device's observed
@@ -85,23 +86,19 @@ type DeviceResult struct {
 	Error  string  `json:"error,omitempty"`
 }
 
-// Report is the wire form of a diagnosis result. Everything except the
-// timing fields (ElapsedMS, QueueWaitMS, BatchSize) is a deterministic
-// function of (circuit, patterns, response) — the golden tests zero the
-// timing fields and require the rest to match a direct core.Diagnose.
+// Report is the wire form of a diagnosis result: the deterministic
+// report core (volume.Report — a pure function of (circuit, patterns,
+// response), embedded so its fields lead the JSON unchanged) plus the
+// serving tail. The golden tests zero the timing fields (ElapsedMS,
+// QueueWaitMS, BatchSize) and require the rest to match a direct
+// core.Diagnose; the volume pipeline's fingerprint cache stores only the
+// embedded core, which is why a cache hit is byte-identical to a fresh
+// diagnosis.
 type Report struct {
-	Workload             string            `json:"workload"`
-	FailingPatterns      int               `json:"failing_patterns"`
-	EvidenceBits         int               `json:"evidence_bits"`
-	CandidatesExtracted  int               `json:"candidates_extracted"`
-	UnexplainedBits      int               `json:"unexplained_bits"`
-	Consistent           bool              `json:"consistent"`
-	InconsistentPatterns []int             `json:"inconsistent_patterns,omitempty"`
-	Multiplet            []CandidateReport `json:"multiplet"`
-	Ranked               []CandidateReport `json:"ranked,omitempty"`
-	ElapsedMS            float64           `json:"elapsed_ms"`
-	QueueWaitMS          float64           `json:"queue_wait_ms"`
-	BatchSize            int               `json:"batch_size"`
+	volume.Report
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	BatchSize   int     `json:"batch_size"`
 	// RequestID echoes the response's X-Request-ID; TraceID names the
 	// request's span tree (empty with tracing off). Both are join keys,
 	// not diagnosis content — golden tests zero them with the timings.
@@ -110,70 +107,22 @@ type Report struct {
 	Explain   string `json:"explain,omitempty"`
 }
 
-// CandidateReport is one suspect in wire form.
-type CandidateReport struct {
-	// Name is the representative site, e.g. "G16 sa0".
-	Name string `json:"name"`
-	TFSF int    `json:"tfsf"`
-	TPSF int    `json:"tpsf"`
-	// Covers lists the evidence-bit indices this candidate predicts.
-	Covers     []int         `json:"covers,omitempty"`
-	Equivalent []string      `json:"equivalent,omitempty"`
-	Models     []ModelReport `json:"models,omitempty"`
-}
+// CandidateReport and ModelReport are the shared wire forms (moved to
+// internal/volume with the deterministic report core; aliased so serve
+// callers keep compiling).
+type CandidateReport = volume.CandidateReport
 
 // ModelReport is one fault-model assignment in wire form.
-type ModelReport struct {
-	Kind           string `json:"kind"`
-	Aggressor      string `json:"aggressor,omitempty"`
-	Mispredictions int    `json:"mispredictions"`
-}
+type ModelReport = volume.ModelReport
 
 // BuildReport converts a core result into its wire form. It is exported
 // so the golden tests can build the expected report from a direct
 // core.Diagnose and require byte equality with the served one.
 func BuildReport(workload string, c *netlist.Circuit, log *tester.Datalog, res *core.Result, top int) *Report {
-	rep := &Report{
-		Workload:             workload,
-		FailingPatterns:      len(log.FailingPatterns()),
-		EvidenceBits:         len(res.Evidence),
-		CandidatesExtracted:  res.CandidatesExtracted,
-		UnexplainedBits:      res.UnexplainedBits,
-		Consistent:           res.Consistent,
-		InconsistentPatterns: res.InconsistentPatterns,
-		Multiplet:            make([]CandidateReport, 0, len(res.Multiplet)),
-		ElapsedMS:            float64(res.Elapsed.Microseconds()) / 1000,
+	return &Report{
+		Report:    *volume.BuildReport(workload, c, log, res, top),
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 	}
-	for _, cd := range res.Multiplet {
-		rep.Multiplet = append(rep.Multiplet, buildCandidate(c, cd))
-	}
-	for i, cd := range res.Ranked {
-		if i >= top {
-			break
-		}
-		rep.Ranked = append(rep.Ranked, buildCandidate(c, cd))
-	}
-	return rep
-}
-
-func buildCandidate(c *netlist.Circuit, cd *core.Candidate) CandidateReport {
-	cr := CandidateReport{
-		Name:   cd.Name(c),
-		TFSF:   cd.TFSF,
-		TPSF:   cd.TPSF,
-		Covers: cd.Covered.Members(),
-	}
-	for _, e := range cd.Equivalent {
-		cr.Equivalent = append(cr.Equivalent, e.Name(c))
-	}
-	for _, m := range cd.Models {
-		mr := ModelReport{Kind: m.Kind.String(), Mispredictions: m.Mispredictions}
-		if m.Kind == core.BridgeModel {
-			mr.Aggressor = c.NameOf(m.Aggressor)
-		}
-		cr.Models = append(cr.Models, mr)
-	}
-	return cr
 }
 
 // buildDatalog materializes a request's device behaviour as a tester

@@ -1,0 +1,72 @@
+package volume
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"multidiag/internal/exp"
+	"multidiag/internal/obs"
+)
+
+// benchStream memoizes one 90%-repeat synthetic stream per benchmark
+// binary — the acceptance scenario (a tester floor where 9 of 10 devices
+// repeat an already-seen syndrome). The b0300 workload is big enough
+// that engine time dominates the pipeline overhead, as on a real floor.
+var (
+	benchWl          *exp.Workload
+	benchStreamCache []byte
+)
+
+func benchStream(b *testing.B) (*exp.Workload, []byte) {
+	b.Helper()
+	if benchStreamCache == nil {
+		wl, err := exp.NamedWorkload("b0300")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := SynthStream(&buf, SynthConfig{
+			Workload: "b0300",
+			Circuit:  wl.Circuit,
+			Patterns: wl.Patterns,
+			N:        100,
+			Repeat:   0.9,
+			Seed:     42,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		benchWl, benchStreamCache = wl, buf.Bytes()
+	}
+	return benchWl, benchStreamCache
+}
+
+func benchIngest(b *testing.B, cacheCap int) {
+	wl, stream := benchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ing, err := NewIngester(IngestConfig{
+			Workload: "b0300",
+			Circuit:  wl.Circuit,
+			Patterns: wl.Patterns,
+			Workers:  4,
+			CacheCap: cacheCap,
+			Trace:    obs.New("bench"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ing.Run(context.Background(), NewRecordReader(bytes.NewReader(stream))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVolumeIngest is the no-dedupe baseline: every device runs the
+// engine. Each op ingests the whole 100-device stream.
+func BenchmarkVolumeIngest(b *testing.B) { benchIngest(b, -1) }
+
+// BenchmarkVolumeIngestDeduped is the same stream through the
+// fingerprint cache; the CI speedup gate asserts ≥ 5× over the baseline
+// (90% of devices skip the engine, so the ceiling is ~10×).
+func BenchmarkVolumeIngestDeduped(b *testing.B) { benchIngest(b, 0) }

@@ -1,0 +1,173 @@
+package volume
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"multidiag/internal/obs"
+)
+
+// Entry is one cached diagnosis: the deterministic report plus its
+// canonical JSON encoding, keyed by the syndrome fingerprint. Entries are
+// immutable once published — hits hand out the same pointer.
+type Entry struct {
+	Fingerprint Fingerprint
+	Report      *Report
+	// JSON is Report.Encode(), memoized so cache hits and per-device
+	// report emission never re-marshal.
+	JSON []byte
+	// Class is Report.DefectClass(), memoized for the aggregator.
+	Class string
+}
+
+// NewEntry builds an immutable cache entry from a built report.
+func NewEntry(fp Fingerprint, rep *Report) (*Entry, error) {
+	js, err := rep.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{Fingerprint: fp, Report: rep, JSON: js, Class: rep.DefectClass()}, nil
+}
+
+// cacheShards is the shard count (power of two; shard picked from the
+// fingerprint's leading bytes, which SHA-256 makes uniform).
+const cacheShards = 32
+
+// defaultCacheCap is the default total entry bound. A fleet day rarely
+// carries more than a few thousand distinct syndromes per workload;
+// 16k entries of a few KB each keeps the cache well under typical RSS
+// budgets while making eviction rare.
+const defaultCacheCap = 1 << 14
+
+// cacheShard is one lock domain. Entries are evicted FIFO by insertion
+// order once the shard exceeds its capacity — the same deterministic
+// discipline as fsim's cone cache, and safe here for the same reason:
+// a cached value is a pure function of its key, so eviction can only
+// cost a re-diagnosis, never change an answer.
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[Fingerprint]*Entry
+	order []Fingerprint
+	head  int
+}
+
+// Cache is the bounded, sharded fingerprint→report cache sitting in
+// front of the engine. All methods are safe for concurrent use; a nil
+// *Cache is a valid always-miss receiver (dedupe disabled).
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+
+	statHits      *obs.Counter
+	statMisses    *obs.Counter
+	statEvictions *obs.Counter
+}
+
+// NewCache creates a cache bounded to roughly capacity entries in total
+// (0 selects the default of 16k entries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Fingerprint]*Entry)
+	}
+	return c
+}
+
+// Observe wires the cache's hit/miss/eviction counters into r (nil r
+// detaches). Call once, before sharing the cache with concurrent
+// ingesters.
+func (c *Cache) Observe(r *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.statHits = r.Counter("volume.cache_hits")
+	c.statMisses = r.Counter("volume.cache_misses")
+	c.statEvictions = r.Counter("volume.cache_evictions")
+}
+
+// shardOf picks the fingerprint's shard.
+func (c *Cache) shardOf(fp Fingerprint) *cacheShard {
+	return &c.shards[binary.BigEndian.Uint64(fp[:8])%cacheShards]
+}
+
+// Get returns the cached entry for fp, counting the probe outcome.
+func (c *Cache) Get(fp Fingerprint) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardOf(fp)
+	s.mu.Lock()
+	e, ok := s.m[fp]
+	s.mu.Unlock()
+	if ok {
+		c.statHits.Inc()
+	} else {
+		c.statMisses.Inc()
+	}
+	return e, ok
+}
+
+// peek is Get without the counters — the claim-time double check
+// re-probes a fingerprint whose miss was already counted, and must not
+// count it twice.
+func (c *Cache) peek(fp Fingerprint) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardOf(fp)
+	s.mu.Lock()
+	e, ok := s.m[fp]
+	s.mu.Unlock()
+	return e, ok
+}
+
+// Put publishes an entry, evicting the shard's oldest when full. Storing
+// an existing fingerprint is a no-op (first writer wins; entries for one
+// fingerprint are identical by the determinism contract).
+func (c *Cache) Put(e *Entry) {
+	if c == nil {
+		return
+	}
+	s := c.shardOf(e.Fingerprint)
+	s.mu.Lock()
+	if _, ok := s.m[e.Fingerprint]; ok {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= c.perShard {
+		old := s.order[s.head]
+		delete(s.m, old)
+		s.order[s.head] = e.Fingerprint
+		s.head = (s.head + 1) % len(s.order)
+		s.m[e.Fingerprint] = e
+		s.mu.Unlock()
+		c.statEvictions.Inc()
+		return
+	}
+	s.order = append(s.order, e.Fingerprint)
+	s.m[e.Fingerprint] = e
+	s.mu.Unlock()
+}
+
+// Len returns the current number of cached entries (for tests and the
+// volume.cache_entries gauge).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

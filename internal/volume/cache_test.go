@@ -1,0 +1,99 @@
+package volume
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testEntry fabricates a distinct entry for a synthetic fingerprint.
+func testEntry(tag byte) *Entry {
+	var fp Fingerprint
+	fp[0] = tag
+	fp[31] = tag ^ 0xFF
+	return &Entry{Fingerprint: fp, JSON: []byte{tag}, Class: fmt.Sprintf("class-%d", tag)}
+}
+
+func TestNilCacheAlwaysMisses(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Fingerprint{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(testEntry(1)) // must not panic
+	if c.Len() != 0 {
+		t.Fatal("nil cache has length")
+	}
+}
+
+func TestCacheFirstWriterWins(t *testing.T) {
+	c := NewCache(64)
+	first := testEntry(7)
+	c.Put(first)
+	second := testEntry(7)
+	c.Put(second)
+	got, ok := c.Get(first.Fingerprint)
+	if !ok || got != first {
+		t.Fatal("second Put replaced the first entry; entries must be immutable once published")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Put, want 1", c.Len())
+	}
+}
+
+// sameShardFingerprints returns n distinct fingerprints that all land in
+// one shard (equal leading 8 bytes select the shard; later bytes differ).
+func sameShardFingerprints(n int) []Fingerprint {
+	out := make([]Fingerprint, n)
+	for i := range out {
+		out[i][31] = byte(i + 1)
+	}
+	return out
+}
+
+// TestCacheShardCollisionKeepsDistinctEntries pins collision behaviour:
+// distinct syndromes whose fingerprints share a shard still resolve to
+// their own distinct reports — sharding is a lock-granularity choice,
+// never an identity one.
+func TestCacheShardCollisionKeepsDistinctEntries(t *testing.T) {
+	c := NewCache(0)
+	fps := sameShardFingerprints(8)
+	s := c.shardOf(fps[0])
+	for _, fp := range fps[1:] {
+		if c.shardOf(fp) != s {
+			t.Fatal("test fingerprints are not shard-colliding")
+		}
+	}
+	for i, fp := range fps {
+		c.Put(&Entry{Fingerprint: fp, JSON: []byte{byte(i)}})
+	}
+	for i, fp := range fps {
+		e, ok := c.Get(fp)
+		if !ok {
+			t.Fatalf("colliding entry %d evicted below capacity", i)
+		}
+		if len(e.JSON) != 1 || e.JSON[0] != byte(i) {
+			t.Fatalf("colliding entry %d resolved to another syndrome's report", i)
+		}
+	}
+}
+
+// TestCacheFIFOEviction pins the eviction discipline: a full shard drops
+// its oldest entry, and only eviction ever removes one.
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(cacheShards) // one entry per shard
+	fps := sameShardFingerprints(3)
+	c.Put(&Entry{Fingerprint: fps[0]})
+	c.Put(&Entry{Fingerprint: fps[1]}) // evicts fps[0]
+	if _, ok := c.peek(fps[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := c.peek(fps[1]); !ok {
+		t.Fatal("newest entry missing after eviction")
+	}
+	c.Put(&Entry{Fingerprint: fps[2]}) // evicts fps[1]
+	if _, ok := c.peek(fps[1]); ok {
+		t.Fatal("FIFO order violated: second entry outlived its turn")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after per-shard eviction, want 1", c.Len())
+	}
+}

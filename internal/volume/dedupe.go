@@ -1,0 +1,159 @@
+package volume
+
+import (
+	"context"
+	"sync"
+
+	"multidiag/internal/obs"
+	"multidiag/internal/tester"
+	"multidiag/internal/trace"
+)
+
+// DiagFunc produces the deterministic report for one datalog. The two
+// pipeline mounts supply different engines behind it: cmd/mdvol calls
+// core.Diagnose on its worker pool (sharing one cone cache via
+// fsim.Shared), while internal/serve enqueues into the workload's
+// admission queue so ingest misses coalesce with interactive traffic in
+// the micro-batcher.
+type DiagFunc func(ctx context.Context, log *tester.Datalog) (*Report, error)
+
+// Dedupe is the fingerprint front of the engine: fingerprint → cache
+// probe → singleflight claim → diagnose. Concurrent first arrivals of
+// one syndrome trigger exactly one DiagFunc call; everyone else gets the
+// leader's published entry. Safe for concurrent use.
+type Dedupe struct {
+	workload string
+	cache    *Cache
+	diag     DiagFunc
+
+	mu       sync.Mutex
+	inflight map[Fingerprint]*flight
+
+	statDeduped   *obs.Counter
+	statDiagnosed *obs.Counter
+	statCoalesced *obs.Counter
+	gaugeEntries  *obs.Gauge
+}
+
+// flight is one in-progress diagnosis other arrivals wait on.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// NewDedupe wires a dedupe front for one workload. cache may be nil
+// (every device diagnoses — the no-dedupe baseline the benchmarks
+// compare against); diag must not be.
+func NewDedupe(workload string, cache *Cache, diag DiagFunc) *Dedupe {
+	return &Dedupe{
+		workload: workload,
+		cache:    cache,
+		diag:     diag,
+		inflight: make(map[Fingerprint]*flight),
+	}
+}
+
+// Observe wires the dedupe counters into r: volume.deduped (devices
+// answered without a DiagFunc call), volume.diagnosed (engine runs),
+// volume.coalesced (devices that waited on another arrival's run) and
+// the volume.cache_entries gauge. Call once before concurrent use; also
+// attaches the cache's own counters.
+func (d *Dedupe) Observe(r *obs.Registry) {
+	d.statDeduped = r.Counter("volume.deduped")
+	d.statDiagnosed = r.Counter("volume.diagnosed")
+	d.statCoalesced = r.Counter("volume.coalesced")
+	d.gaugeEntries = r.Gauge("volume.cache_entries")
+	d.cache.Observe(r)
+}
+
+// Workload names the workload this dedupe front is bound to.
+func (d *Dedupe) Workload() string { return d.workload }
+
+// Cache returns the underlying cache (nil when dedupe is disabled).
+func (d *Dedupe) Cache() *Cache { return d.cache }
+
+// Process resolves one datalog to its report entry: a cache hit returns
+// the published entry without touching the engine, a miss claims the
+// fingerprint (or waits on whoever did) and diagnoses once. The returned
+// flag reports whether this device was answered without its own engine
+// run (hit or coalesced) — the per-device dedupe signal for tracing and
+// stats; the entry is identical either way.
+func (d *Dedupe) Process(ctx context.Context, log *tester.Datalog) (*Entry, bool, error) {
+	fp := FingerprintDatalog(d.workload, log)
+	sp := trace.FromContext(ctx).Start("volume.dedupe")
+	sp.SetStr("fingerprint", fp.String()[:16])
+	if e, ok := d.cache.Get(fp); ok {
+		d.statDeduped.Inc()
+		sp.SetInt("cache_hit", 1)
+		sp.End()
+		return e, true, nil
+	}
+	sp.SetInt("cache_hit", 0)
+	defer sp.End()
+
+	// No cache: every device runs the engine (the baseline path).
+	if d.cache == nil {
+		e, err := d.runDiag(ctx, fp, log)
+		return e, false, err
+	}
+
+	for {
+		d.mu.Lock()
+		if fl, ok := d.inflight[fp]; ok {
+			d.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if fl.err != nil {
+				// The leader failed; its flight is already retired, so loop
+				// and re-claim — this arrival's context may still be live
+				// even if the leader's was canceled.
+				if ctx.Err() != nil {
+					return nil, false, fl.err
+				}
+				continue
+			}
+			d.statDeduped.Inc()
+			d.statCoalesced.Inc()
+			sp.SetInt("coalesced", 1)
+			return fl.entry, true, nil
+		}
+		// Double-check under the claim lock: the previous leader may have
+		// published between our Get miss and this claim.
+		if e, ok := d.cache.peek(fp); ok {
+			d.mu.Unlock()
+			d.statDeduped.Inc()
+			return e, true, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		d.inflight[fp] = fl
+		d.mu.Unlock()
+
+		e, err := d.runDiag(ctx, fp, log)
+		fl.entry, fl.err = e, err
+		d.mu.Lock()
+		delete(d.inflight, fp)
+		d.mu.Unlock()
+		close(fl.done)
+		return e, false, err
+	}
+}
+
+// runDiag executes the engine once and publishes the entry.
+func (d *Dedupe) runDiag(ctx context.Context, fp Fingerprint, log *tester.Datalog) (*Entry, error) {
+	rep, err := d.diag(ctx, log)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewEntry(fp, rep)
+	if err != nil {
+		return nil, err
+	}
+	d.statDiagnosed.Inc()
+	d.cache.Put(e)
+	d.gaugeEntries.Set(int64(d.cache.Len()))
+	return e, nil
+}

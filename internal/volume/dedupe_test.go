@@ -1,0 +1,168 @@
+package volume
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"multidiag/internal/bitset"
+	"multidiag/internal/obs"
+	"multidiag/internal/tester"
+)
+
+// syndromeLog builds a tiny distinct syndrome per id.
+func syndromeLog(id int) *tester.Datalog {
+	log := &tester.Datalog{NumPatterns: 64, NumPOs: 8, Fails: map[int]bitset.Set{}}
+	s := bitset.New(8)
+	s.Add(id % 8)
+	log.Fails[id%64] = s
+	return log
+}
+
+func countingDiag(calls *atomic.Int64) DiagFunc {
+	return func(ctx context.Context, log *tester.Datalog) (*Report, error) {
+		calls.Add(1)
+		return &Report{Workload: "w", FailingPatterns: len(log.FailingPatterns()), Consistent: true}, nil
+	}
+}
+
+// TestDedupeSingleflight pins the claim protocol: concurrent first
+// arrivals of one syndrome trigger exactly one engine run, and every
+// waiter receives the leader's published entry.
+func TestDedupeSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	d := NewDedupe("w", NewCache(0), func(ctx context.Context, log *tester.Datalog) (*Report, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		calls.Add(1)
+		return &Report{Workload: "w", Consistent: true}, nil
+	})
+	reg := obs.New("dedupe-test").Registry()
+	d.Observe(reg)
+
+	log := syndromeLog(1)
+	const waiters = 16
+	entries := make([]*Entry, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := d.Process(context.Background(), log)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	<-started // leader is inside the engine; followers must now coalesce
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d engine runs for one syndrome, want 1", got)
+	}
+	for i, e := range entries {
+		if e != entries[0] {
+			t.Fatalf("waiter %d got a different entry pointer", i)
+		}
+	}
+	if ran := reg.Counter("volume.diagnosed").Value(); ran != 1 {
+		t.Fatalf("volume.diagnosed = %d, want 1", ran)
+	}
+	if ded := reg.Counter("volume.deduped").Value(); ded != waiters-1 {
+		t.Fatalf("volume.deduped = %d, want %d", ded, waiters-1)
+	}
+}
+
+// TestDedupeLeaderErrorDoesNotPoison pins error handling: a failed
+// leader retires its flight without publishing, so a later arrival
+// re-claims and succeeds.
+func TestDedupeLeaderErrorDoesNotPoison(t *testing.T) {
+	var calls atomic.Int64
+	d := NewDedupe("w", NewCache(0), func(ctx context.Context, log *tester.Datalog) (*Report, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient engine failure")
+		}
+		return &Report{Workload: "w", Consistent: true}, nil
+	})
+	log := syndromeLog(2)
+	if _, _, err := d.Process(context.Background(), log); err == nil {
+		t.Fatal("first Process should surface the engine error")
+	}
+	e, hit, err := d.Process(context.Background(), log)
+	if err != nil || e == nil {
+		t.Fatalf("retry after leader error: %v", err)
+	}
+	if hit {
+		t.Fatal("retry counted as dedupe though the first run failed")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d engine runs, want 2 (fail then succeed)", calls.Load())
+	}
+}
+
+// TestDedupeNilCacheBaseline pins the no-dedupe baseline: without a
+// cache every device runs the engine.
+func TestDedupeNilCacheBaseline(t *testing.T) {
+	var calls atomic.Int64
+	d := NewDedupe("w", nil, countingDiag(&calls))
+	log := syndromeLog(3)
+	for i := 0; i < 5; i++ {
+		_, hit, err := d.Process(context.Background(), log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatal("nil-cache Process reported a dedupe hit")
+		}
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("%d engine runs without a cache, want 5", calls.Load())
+	}
+}
+
+// TestDedupeConcurrentStress drives many goroutines over a mixed
+// unique/repeat syndrome population against the sharded cache — the
+// -race exercise for the claim protocol and shard locking. The invariant
+// checked: engine runs never exceed the distinct-syndrome count, and
+// every device resolves to its own syndrome's entry.
+func TestDedupeConcurrentStress(t *testing.T) {
+	var calls atomic.Int64
+	d := NewDedupe("w", NewCache(0), countingDiag(&calls))
+	d.Observe(obs.New("stress").Registry())
+	const distinct = 8
+	const devices = 400
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < devices/8; i++ {
+				id := (g*31 + i) % distinct
+				e, _, err := d.Process(context.Background(), syndromeLog(id))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := FingerprintDatalog("w", syndromeLog(id))
+				if e.Fingerprint != want {
+					t.Errorf("device resolved to entry %s, want %s", e.Fingerprint, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != distinct {
+		t.Fatalf("%d engine runs for %d distinct syndromes", got, distinct)
+	}
+}

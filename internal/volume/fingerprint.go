@@ -1,0 +1,84 @@
+package volume
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"multidiag/internal/tester"
+)
+
+// Fingerprint is the canonical syndrome fingerprint: a SHA-256 digest of
+// the normalized failing-pattern/failing-output syndrome, scoped to one
+// workload. Two devices fingerprint identically iff the engine would see
+// identical inputs, so a fingerprint match licenses serving a cached
+// report verbatim.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex (the wire/log form).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// fingerprintDomain versions the canonical encoding. Bump it whenever the
+// byte layout below changes, so caches populated under an old encoding
+// can never serve a report for a new-encoding fingerprint.
+const fingerprintDomain = "mdvol/fp/v1\x00"
+
+// FingerprintDatalog computes the canonical fingerprint of a datalog's
+// syndrome under a workload.
+//
+// Canonical encoding, hashed in order:
+//
+//	domain tag | workload | 0x00 | numPatterns | numPOs |
+//	numFailingPatterns | for each failing pattern ascending:
+//	  pattern | numFailingPOs | failing POs ascending
+//
+// with every integer as 8-byte big-endian. The encoding depends only on
+// the normalized syndrome — which (pattern, PO) observations failed —
+// never on wire format (text datalog vs structured fails), map iteration
+// order, insertion order or worker scheduling, so the same syndrome
+// hashes identically across runs and -j levels. Including the workload
+// name and the test-set/PO dimensions means equal bit patterns under
+// different workloads (or a re-generated pattern set) never collide.
+//
+// Truncated datalogs fold in the truncation point: a tester that stopped
+// logging after N fails observed a *different* syndrome than one that
+// kept going, even if the recorded fails happen to match.
+func FingerprintDatalog(workload string, log *tester.Datalog) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(fingerprintDomain))
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	writeInt(int64(log.NumPatterns))
+	writeInt(int64(log.NumPOs))
+
+	pats := make([]int, 0, len(log.Fails))
+	for p, set := range log.Fails {
+		if !set.Empty() {
+			pats = append(pats, p)
+		}
+	}
+	sort.Ints(pats)
+	writeInt(int64(len(pats)))
+	var pos []int
+	for _, p := range pats {
+		writeInt(int64(p))
+		pos = log.Fails[p].AppendMembers(pos[:0])
+		writeInt(int64(len(pos)))
+		for _, po := range pos {
+			writeInt(int64(po))
+		}
+	}
+	if log.Truncated {
+		h.Write([]byte{1})
+		writeInt(int64(log.TruncatedAfter))
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -1,0 +1,323 @@
+package volume
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"multidiag/internal/core"
+	"multidiag/internal/fsim"
+	"multidiag/internal/netlist"
+	"multidiag/internal/obs"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// DefaultTrendBucket is the trend-series granularity: devices per bucket
+// in ordinal mode, seconds per bucket in timestamp mode.
+const DefaultTrendBucket = 100
+
+// IngestConfig tunes a streaming ingester (the cmd/mdvol engine mount).
+type IngestConfig struct {
+	// Workload names the (circuit, test set); records naming a different
+	// workload are rejected.
+	Workload string
+	Circuit  *netlist.Circuit
+	Patterns []sim.Pattern
+	// Workers is the total worker budget (the -j flag): that many devices
+	// diagnose concurrently, sharing one cone cache. 0 = GOMAXPROCS.
+	Workers int
+	// CacheCap bounds the fingerprint cache (0 = the 16k default; < 0
+	// disables dedupe entirely — the benchmark baseline).
+	CacheCap int
+	// Top bounds each report's ranked-candidate tail (default 10).
+	Top int
+	// TrendBucket is the trend granularity (default DefaultTrendBucket):
+	// devices per bucket when records carry no timestamps, seconds per
+	// bucket when they all do.
+	TrendBucket int
+	// ParetoTop bounds each site's Pareto table (default 10).
+	ParetoTop int
+	// Trace supplies the metrics registry (nil: obs.Global()).
+	Trace *obs.Trace
+	// Reports, when set, receives one JSON line per ingested device — in
+	// input order, each embedding the canonical report — so downstream
+	// tooling sees exactly what per-device diagnosis would have produced.
+	Reports io.Writer
+}
+
+// DeviceReport is one per-device output line. It deliberately excludes
+// cache-outcome fields: whether a given device hit the cache depends on
+// arrival interleaving, while this line must be byte-identical across
+// runs and worker counts.
+type DeviceReport struct {
+	DeviceID    string          `json:"device_id"`
+	Site        string          `json:"site,omitempty"`
+	Fingerprint string          `json:"fingerprint"`
+	Report      json.RawMessage `json:"report"`
+}
+
+// Ingester drives the bounded-memory streaming pipeline: one reader
+// (the Run caller) assigns ordinals and applies backpressure by blocking
+// on the task channel, a worker pool resolves syndromes through the
+// dedupe front, and one sink re-orders completed devices back to input
+// order for the report stream. Memory in flight is bounded by the
+// channel capacities regardless of stream length.
+type Ingester struct {
+	cfg    IngestConfig
+	ded    *Dedupe
+	agg    *Aggregator
+	shared fsim.Shared
+	sims   chan *fsim.FaultSim
+	tr     *obs.Trace
+
+	statRecords *obs.Counter
+	statBytes   *obs.Counter
+}
+
+// NewIngester validates the workload pair and wires the pipeline.
+func NewIngester(cfg IngestConfig) (*Ingester, error) {
+	if cfg.Workload == "" || cfg.Circuit == nil || len(cfg.Patterns) == 0 {
+		return nil, fmt.Errorf("volume: workload name, circuit and patterns are required")
+	}
+	if cfg.Top <= 0 {
+		cfg.Top = 10
+	}
+	if cfg.TrendBucket <= 0 {
+		cfg.TrendBucket = DefaultTrendBucket
+	}
+	cfg.Workers = fsim.Workers(cfg.Workers)
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.Global()
+	}
+	reg := tr.Registry()
+	// The whole budget goes to device-level concurrency: with dedupe doing
+	// its job most devices never reach the engine, so keeping every worker
+	// eligible to claim a device beats reserving fault-parallel shares for
+	// engine runs that mostly never happen. Engine runs still share one
+	// warm cone cache, so repeated *similar* (not identical) syndromes
+	// reuse cone results.
+	shared := fsim.NewShared(reg, cfg.Workers, cfg.Workers)
+	var cache *Cache
+	if cfg.CacheCap >= 0 {
+		cache = NewCache(cfg.CacheCap)
+	}
+	in := &Ingester{
+		cfg:    cfg,
+		agg:    NewAggregator(cfg.Workload, cfg.ParetoTop),
+		shared: shared,
+		sims:   make(chan *fsim.FaultSim, cfg.Workers),
+		tr:     tr,
+	}
+	in.ded = NewDedupe(cfg.Workload, cache, in.diagnose)
+	in.ded.Observe(reg)
+	in.statRecords = reg.Counter("volume.records")
+	in.statBytes = reg.Counter("volume.record_bytes")
+	return in, nil
+}
+
+// Dedupe exposes the dedupe front (for tests and stats).
+func (in *Ingester) Dedupe() *Dedupe { return in.ded }
+
+// Aggregator exposes the fleet aggregate.
+func (in *Ingester) Aggregator() *Aggregator { return in.agg }
+
+// diagnose is the ingester's DiagFunc: it checks a warm per-worker
+// simulator out of the free list (building one on first use — at most
+// Workers exist, the concurrency bound) and runs the engine with the
+// workload's shared cone cache.
+func (in *Ingester) diagnose(ctx context.Context, log *tester.Datalog) (*Report, error) {
+	var fs *fsim.FaultSim
+	select {
+	case fs = <-in.sims:
+	default:
+		var err error
+		fs, err = fsim.NewFaultSim(in.cfg.Circuit, in.cfg.Patterns)
+		if err != nil {
+			return nil, err
+		}
+		fs.AttachCache(in.shared.Cache)
+	}
+	defer func() { in.sims <- fs }()
+	res, err := core.DiagnoseCtx(ctx, in.cfg.Circuit, in.cfg.Patterns, log, core.Config{
+		Workers:   in.shared.Workers,
+		ConeCache: in.shared.Cache,
+		SharedSim: fs,
+		Trace:     in.tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return BuildReport(in.cfg.Workload, in.cfg.Circuit, log, res, in.cfg.Top), nil
+}
+
+// task is one device handed from the reader to the worker pool.
+type task struct {
+	ord    int64
+	rec    *Record
+	log    *tester.Datalog
+	bucket int64
+}
+
+// outcome is one finished device heading to the ordered sink.
+type outcome struct {
+	ord  int64
+	line []byte
+	err  error
+}
+
+// Run ingests the stream to exhaustion (or first error): every record is
+// fingerprinted, deduped, diagnosed if novel, folded into the aggregate
+// and — when IngestConfig.Reports is set — emitted as a per-device
+// report line in input order. It returns the deterministic summary.
+func (in *Ingester) Run(ctx context.Context, rr *RecordReader) (*Summary, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := in.cfg.Workers
+	tasks := make(chan task, 2*workers)
+	outcomes := make(chan outcome, 2*workers)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				line, err := in.process(ctx, t)
+				select {
+				case outcomes <- outcome{ord: t.ord, line: line, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// The sink re-orders completed devices back to input order. Its
+	// pending map is bounded: at most cap(tasks)+cap(outcomes)+workers
+	// devices are past the reader at any instant.
+	sinkErr := make(chan error, 1)
+	go func() {
+		var firstErr error
+		pending := make(map[int64][]byte)
+		next := int64(0)
+		for o := range outcomes {
+			if o.err != nil {
+				if firstErr == nil {
+					firstErr = o.err
+					cancel()
+				}
+				continue
+			}
+			if firstErr != nil {
+				continue
+			}
+			pending[o.ord] = o.line
+			for {
+				line, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if in.cfg.Reports != nil {
+					if _, werr := in.cfg.Reports.Write(line); werr != nil && firstErr == nil {
+						firstErr = werr
+						cancel()
+					}
+				}
+			}
+		}
+		sinkErr <- firstErr
+	}()
+
+	// Reader loop: ordinals and trend buckets are assigned here, single-
+	// threaded, so they depend only on stream position — never on worker
+	// scheduling. Sends block when the pool is saturated; that blocking IS
+	// the CLI's backpressure (the file is read no faster than it drains).
+	var readErr error
+	tsMode := 0 // 0 undecided, 1 ordinal, 2 timestamp
+	var ord int64
+read:
+	for {
+		rec, n, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		if rec.Workload != "" && rec.Workload != in.cfg.Workload {
+			readErr = fmt.Errorf("volume: line %d: record workload %q, ingesting %q", rr.Line(), rec.Workload, in.cfg.Workload)
+			break
+		}
+		mode := 1
+		if rec.TS != 0 {
+			mode = 2
+		}
+		if tsMode == 0 {
+			tsMode = mode
+		} else if tsMode != mode {
+			readErr = fmt.Errorf("volume: line %d: stream mixes timestamped and untimestamped records", rr.Line())
+			break
+		}
+		log, err := rec.BuildDatalog(in.cfg.Circuit, len(in.cfg.Patterns))
+		if err != nil {
+			readErr = fmt.Errorf("volume: line %d: %v", rr.Line(), err)
+			break
+		}
+		bucket := ord / int64(in.cfg.TrendBucket)
+		if tsMode == 2 {
+			bucket = rec.TS / int64(in.cfg.TrendBucket)
+		}
+		in.statRecords.Inc()
+		in.statBytes.Add(int64(n))
+		select {
+		case tasks <- task{ord: ord, rec: rec, log: log, bucket: bucket}:
+		case <-ctx.Done():
+			break read
+		}
+		ord++
+	}
+	close(tasks)
+	wg.Wait()
+	close(outcomes)
+	err := <-sinkErr
+	if readErr != nil {
+		err = readErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	return in.agg.Summary(), nil
+}
+
+// process resolves one device through the dedupe front and folds it
+// into the aggregate.
+func (in *Ingester) process(ctx context.Context, t task) ([]byte, error) {
+	entry, _, err := in.ded.Process(ctx, t.log)
+	if err != nil {
+		return nil, fmt.Errorf("device %q: %w", t.rec.DeviceID, err)
+	}
+	in.agg.Add(t.rec.Site, t.bucket, entry)
+	if in.cfg.Reports == nil {
+		return nil, nil
+	}
+	line, err := json.Marshal(DeviceReport{
+		DeviceID:    t.rec.DeviceID,
+		Site:        t.rec.Site,
+		Fingerprint: entry.Fingerprint.String(),
+		Report:      json.RawMessage(entry.JSON),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}

@@ -1,0 +1,244 @@
+package volume
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"multidiag/internal/core"
+	"multidiag/internal/exp"
+	"multidiag/internal/obs"
+)
+
+// synthBytes renders a deterministic synthetic stream for tests.
+func synthBytes(t testing.TB, wl *exp.Workload, n int, repeat float64, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := SynthStream(&buf, SynthConfig{
+		Workload: "c17",
+		Circuit:  wl.Circuit,
+		Patterns: wl.Patterns,
+		N:        n,
+		Repeat:   repeat,
+		Seed:     seed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func c17Workload(t testing.TB) *exp.Workload {
+	t.Helper()
+	wl, err := exp.NamedWorkload("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// runIngest runs one full ingest of stream and returns the per-device
+// report lines and the summary JSON.
+func runIngest(t testing.TB, wl *exp.Workload, stream []byte, workers, cacheCap int) ([]string, []byte) {
+	t.Helper()
+	var reports bytes.Buffer
+	ing, err := NewIngester(IngestConfig{
+		Workload: "c17",
+		Circuit:  wl.Circuit,
+		Patterns: wl.Patterns,
+		Workers:  workers,
+		CacheCap: cacheCap,
+		Trace:    obs.New("ingest-test"),
+		Reports:  &reports,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := ing.Run(context.Background(), NewRecordReader(bytes.NewReader(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := WriteSummary(&sb, summary); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(reports.String(), "\n"), "\n")
+	return lines, sb.Bytes()
+}
+
+// TestIngestDedupeInvariant is the subsystem's central claim: for any
+// input stream, the per-device reports are byte-identical to running the
+// engine on each datalog individually — cache hit or miss, at any worker
+// count — and the aggregate summary is byte-identical across all of it.
+func TestIngestDedupeInvariant(t *testing.T) {
+	wl := c17Workload(t)
+	stream := synthBytes(t, wl, 60, 0.8, 11)
+
+	// Ground truth: one direct engine run per record, no dedupe anywhere.
+	var want []string
+	rr := NewRecordReader(bytes.NewReader(stream))
+	for {
+		rec, _, err := rr.Next()
+		if err != nil {
+			break
+		}
+		log, err := rec.BuildDatalog(wl.Circuit, len(wl.Patterns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Diagnose(wl.Circuit, wl.Patterns, log, core.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := BuildReport("c17", wl.Circuit, log, res, 10).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, string(js))
+	}
+
+	var refSummary []byte
+	for _, tc := range []struct {
+		workers, cacheCap int
+	}{
+		{1, 0}, {4, 0}, {8, 0}, // deduped at -j 1/4/8
+		{4, -1},          // dedupe disabled entirely
+		{4, cacheShards}, // pathologically tiny cache: constant eviction
+	} {
+		name := fmt.Sprintf("j%d/cache%d", tc.workers, tc.cacheCap)
+		lines, summary := runIngest(t, wl, stream, tc.workers, tc.cacheCap)
+		if len(lines) != len(want) {
+			t.Fatalf("%s: %d report lines, want %d", name, len(lines), len(want))
+		}
+		for i, line := range lines {
+			var dr DeviceReport
+			if err := json.Unmarshal([]byte(line), &dr); err != nil {
+				t.Fatalf("%s line %d: %v", name, i, err)
+			}
+			if wantID := fmt.Sprintf("dev-%06d", i); dr.DeviceID != wantID {
+				t.Fatalf("%s line %d: device %s, want %s — input order lost", name, i, dr.DeviceID, wantID)
+			}
+			if string(dr.Report) != want[i] {
+				t.Fatalf("%s device %s: cached/parallel report differs from direct diagnosis\n got: %s\nwant: %s",
+					name, dr.DeviceID, dr.Report, want[i])
+			}
+		}
+		if refSummary == nil {
+			refSummary = summary
+		} else if !bytes.Equal(summary, refSummary) {
+			t.Fatalf("%s: summary differs from reference configuration\n got: %s\nwant: %s", name, summary, refSummary)
+		}
+	}
+}
+
+// TestIngestSummaryShape sanity-checks the aggregate on a known stream.
+func TestIngestSummaryShape(t *testing.T) {
+	wl := c17Workload(t)
+	stream := synthBytes(t, wl, 50, 0.8, 5)
+	_, summaryJSON := runIngest(t, wl, stream, 4, 0)
+	var s Summary
+	if err := json.Unmarshal(summaryJSON, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != SummarySchema || s.Workload != "c17" {
+		t.Fatalf("summary header %q/%q", s.Schema, s.Workload)
+	}
+	if s.Devices != 50 {
+		t.Fatalf("devices = %d, want 50", s.Devices)
+	}
+	if s.UniqueSyndromes < 1 || s.UniqueSyndromes > 10 {
+		t.Fatalf("unique syndromes = %d for an 80%%-repeat stream of 50", s.UniqueSyndromes)
+	}
+	wantRatio := round3(float64(s.Devices-s.UniqueSyndromes) / float64(s.Devices))
+	if s.DedupeRatio != wantRatio {
+		t.Fatalf("dedupe ratio %v, want %v", s.DedupeRatio, wantRatio)
+	}
+	var siteDevices int64
+	for _, site := range s.Sites {
+		siteDevices += site.Devices
+	}
+	if siteDevices != s.Devices {
+		t.Fatalf("site device counts sum to %d, want %d", siteDevices, s.Devices)
+	}
+	var trendDevices int64
+	for _, b := range s.Trend {
+		for _, cc := range b.Classes {
+			trendDevices += cc.Devices
+		}
+	}
+	if trendDevices != s.Devices {
+		t.Fatalf("trend bucket counts sum to %d, want %d", trendDevices, s.Devices)
+	}
+}
+
+// TestSynthStreamDeterministic pins that the generator is seed-pure:
+// same config, same bytes.
+func TestSynthStreamDeterministic(t *testing.T) {
+	wl := c17Workload(t)
+	a := synthBytes(t, wl, 40, 0.75, 9)
+	b := synthBytes(t, wl, 40, 0.75, 9)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := synthBytes(t, wl, 40, 0.75, 10)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestIngestTimestampBuckets pins time-based trend bucketing and the
+// mixed-mode rejection.
+func TestIngestTimestampBuckets(t *testing.T) {
+	wl := c17Workload(t)
+	var stream bytes.Buffer
+	for i, ts := range []int64{100, 150, 250} {
+		rec := Record{DeviceID: fmt.Sprintf("d%d", i), TS: ts}
+		line, _ := json.Marshal(&rec)
+		stream.Write(append(line, '\n'))
+	}
+	ing, err := NewIngester(IngestConfig{
+		Workload: "c17", Circuit: wl.Circuit, Patterns: wl.Patterns,
+		Workers: 2, TrendBucket: 100, Trace: obs.New("ts-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ing.Run(context.Background(), NewRecordReader(bytes.NewReader(stream.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Trend) != 2 || s.Trend[0].Bucket != 1 || s.Trend[1].Bucket != 2 {
+		t.Fatalf("trend buckets %+v, want ts/100 buckets 1 and 2", s.Trend)
+	}
+
+	stream.WriteString(`{"device_id":"d3"}` + "\n") // no ts: mixes modes
+	ing2, err := NewIngester(IngestConfig{
+		Workload: "c17", Circuit: wl.Circuit, Patterns: wl.Patterns,
+		Workers: 2, Trace: obs.New("ts-test-2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing2.Run(context.Background(), NewRecordReader(bytes.NewReader(stream.Bytes()))); err == nil {
+		t.Fatal("mixed timestamped/untimestamped stream must be rejected")
+	}
+}
+
+// TestIngestRejectsForeignWorkload pins that a record naming another
+// workload fails the stream instead of polluting the aggregate.
+func TestIngestRejectsForeignWorkload(t *testing.T) {
+	wl := c17Workload(t)
+	ing, err := NewIngester(IngestConfig{
+		Workload: "c17", Circuit: wl.Circuit, Patterns: wl.Patterns,
+		Workers: 1, Trace: obs.New("wl-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := `{"device_id":"d0","workload":"b0300"}` + "\n"
+	if _, err := ing.Run(context.Background(), NewRecordReader(strings.NewReader(stream))); err == nil {
+		t.Fatal("foreign-workload record must fail the stream")
+	}
+}

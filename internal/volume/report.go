@@ -1,0 +1,133 @@
+package volume
+
+import (
+	"encoding/json"
+	"strings"
+
+	"multidiag/internal/core"
+	"multidiag/internal/netlist"
+	"multidiag/internal/tester"
+)
+
+// Report is the deterministic core of a diagnosis report: every field is
+// a pure function of (workload, circuit, patterns, syndrome), with no
+// timing, queueing or request-join content. That purity is what makes
+// fingerprint dedupe sound — a cached Report serves verbatim for every
+// later device with the same syndrome — and it is what serve.Report
+// embeds, so the served wire JSON leads with exactly these fields and a
+// cache hit is byte-identical to a fresh diagnosis.
+type Report struct {
+	Workload             string            `json:"workload"`
+	FailingPatterns      int               `json:"failing_patterns"`
+	EvidenceBits         int               `json:"evidence_bits"`
+	CandidatesExtracted  int               `json:"candidates_extracted"`
+	UnexplainedBits      int               `json:"unexplained_bits"`
+	Consistent           bool              `json:"consistent"`
+	InconsistentPatterns []int             `json:"inconsistent_patterns,omitempty"`
+	Multiplet            []CandidateReport `json:"multiplet"`
+	Ranked               []CandidateReport `json:"ranked,omitempty"`
+}
+
+// CandidateReport is one suspect in wire form.
+type CandidateReport struct {
+	// Name is the representative site, e.g. "G16 sa0".
+	Name string `json:"name"`
+	TFSF int    `json:"tfsf"`
+	TPSF int    `json:"tpsf"`
+	// Covers lists the evidence-bit indices this candidate predicts.
+	Covers     []int         `json:"covers,omitempty"`
+	Equivalent []string      `json:"equivalent,omitempty"`
+	Models     []ModelReport `json:"models,omitempty"`
+}
+
+// ModelReport is one fault-model assignment in wire form.
+type ModelReport struct {
+	Kind           string `json:"kind"`
+	Aggressor      string `json:"aggressor,omitempty"`
+	Mispredictions int    `json:"mispredictions"`
+}
+
+// BuildReport converts a core result into the deterministic wire form.
+// top bounds the ranked-candidate tail.
+func BuildReport(workload string, c *netlist.Circuit, log *tester.Datalog, res *core.Result, top int) *Report {
+	rep := &Report{
+		Workload:             workload,
+		FailingPatterns:      len(log.FailingPatterns()),
+		EvidenceBits:         len(res.Evidence),
+		CandidatesExtracted:  res.CandidatesExtracted,
+		UnexplainedBits:      res.UnexplainedBits,
+		Consistent:           res.Consistent,
+		InconsistentPatterns: res.InconsistentPatterns,
+		Multiplet:            make([]CandidateReport, 0, len(res.Multiplet)),
+	}
+	for _, cd := range res.Multiplet {
+		rep.Multiplet = append(rep.Multiplet, BuildCandidate(c, cd))
+	}
+	for i, cd := range res.Ranked {
+		if i >= top {
+			break
+		}
+		rep.Ranked = append(rep.Ranked, BuildCandidate(c, cd))
+	}
+	return rep
+}
+
+// BuildCandidate converts one core candidate into wire form.
+func BuildCandidate(c *netlist.Circuit, cd *core.Candidate) CandidateReport {
+	cr := CandidateReport{
+		Name:   cd.Name(c),
+		TFSF:   cd.TFSF,
+		TPSF:   cd.TPSF,
+		Covers: cd.Covered.Members(),
+	}
+	for _, e := range cd.Equivalent {
+		cr.Equivalent = append(cr.Equivalent, e.Name(c))
+	}
+	for _, m := range cd.Models {
+		mr := ModelReport{Kind: m.Kind.String(), Mispredictions: m.Mispredictions}
+		if m.Kind == core.BridgeModel {
+			mr.Aggressor = c.NameOf(m.Aggressor)
+		}
+		cr.Models = append(cr.Models, mr)
+	}
+	return cr
+}
+
+// Encode renders the report as its canonical single-line JSON — the byte
+// string the dedupe invariant is stated over. encoding/json emits struct
+// fields in declaration order with no map content anywhere in Report, so
+// the encoding is deterministic.
+func (r *Report) Encode() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DefectClass buckets the report for trend aggregation by the top
+// multiplet member: "sa0"/"sa1" for a stuck-at/open site (polarity from
+// the representative name), "bridge" for a discovered aggressor pair,
+// "none" for a clean device, "unexplained" when diagnosis found no
+// candidates for a failing one. Candidate model lists are
+// mispredictions-sorted by the engine, so the first model is the best
+// fit and the class is deterministic.
+func (r *Report) DefectClass() string {
+	if r.FailingPatterns == 0 {
+		return "none"
+	}
+	if len(r.Multiplet) == 0 {
+		return "unexplained"
+	}
+	top := r.Multiplet[0]
+	if len(top.Models) == 0 {
+		return "unmodeled"
+	}
+	kind := top.Models[0].Kind
+	if kind == "bridge" {
+		return kind
+	}
+	// "G16 sa0" → "sa0"; unparseable names fall back to the model kind.
+	if i := strings.LastIndexByte(top.Name, ' '); i >= 0 {
+		if pol := top.Name[i+1:]; pol == "sa0" || pol == "sa1" {
+			return pol
+		}
+	}
+	return kind
+}

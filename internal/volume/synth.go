@@ -1,0 +1,134 @@
+package volume
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"multidiag/internal/defect"
+	"multidiag/internal/netlist"
+	"multidiag/internal/sim"
+	"multidiag/internal/tester"
+)
+
+// SynthConfig parameterizes a synthetic datalog stream: N records over a
+// controllable population of distinct defective devices, so dedupe
+// behaviour is reproducible in tests, benches and the smoke script.
+type SynthConfig struct {
+	Workload string
+	Circuit  *netlist.Circuit
+	Patterns []sim.Pattern
+	// N is the total record count.
+	N int
+	// Repeat is the target fraction of records repeating an earlier
+	// device's syndrome (0.9 → ~10% distinct devices). The distinct
+	// *syndrome* count can land slightly below the device count when two
+	// sampled defect sets happen to produce one behaviour; Emit reports
+	// the realized value.
+	Repeat float64
+	// Sites is the number of synthetic site names (default 4).
+	Sites int
+	// Defects per device (default 2 — the multi-defect regime).
+	Defects int
+	// Seed drives every sampling decision; same seed → same stream bytes.
+	Seed int64
+}
+
+// SynthStream writes a deterministic JSONL datalog stream and returns
+// the realized number of distinct syndromes (by fingerprint, the same
+// notion the dedupe front uses). Every distinct device appears at least
+// once; repeats are drawn uniformly over the device population and the
+// whole stream order is a seeded shuffle, so repeats interleave with
+// first arrivals the way a tester floor's would.
+func SynthStream(w io.Writer, cfg SynthConfig) (int, error) {
+	if cfg.N <= 0 {
+		return 0, fmt.Errorf("volume: synth stream needs N > 0")
+	}
+	if cfg.Repeat < 0 || cfg.Repeat >= 1 {
+		if cfg.Repeat != 0 {
+			return 0, fmt.Errorf("volume: repeat ratio %v outside [0,1)", cfg.Repeat)
+		}
+	}
+	if cfg.Sites <= 0 {
+		cfg.Sites = 4
+	}
+	if cfg.Defects <= 0 {
+		cfg.Defects = 2
+	}
+	uniques := cfg.N - int(math.Round(float64(cfg.N)*cfg.Repeat))
+	if uniques < 1 {
+		uniques = 1
+	}
+	if uniques > cfg.N {
+		uniques = cfg.N
+	}
+
+	// Build the device population: each device is the reference circuit
+	// with a sampled multi-defect set injected, tested against the
+	// workload's patterns. A defect set no pattern detects yields a
+	// passing device — kept, as real streams contain those too.
+	logs := make([]*tester.Datalog, uniques)
+	for u := 0; u < uniques; u++ {
+		defs, err := defect.Sample(cfg.Circuit, defect.CampaignConfig{
+			Seed:       cfg.Seed + int64(u)*7919,
+			NumDefects: cfg.Defects,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("volume: synth device %d: %w", u, err)
+		}
+		dev, err := defect.Inject(cfg.Circuit, defs)
+		if err != nil {
+			return 0, fmt.Errorf("volume: synth device %d: %w", u, err)
+		}
+		logs[u], err = tester.ApplyTest(cfg.Circuit, dev, cfg.Patterns)
+		if err != nil {
+			return 0, fmt.Errorf("volume: synth device %d: %w", u, err)
+		}
+	}
+	distinct := make(map[Fingerprint]struct{}, uniques)
+	for _, log := range logs {
+		distinct[FingerprintDatalog(cfg.Workload, log)] = struct{}{}
+	}
+
+	// Stream order: every device once, then repeats drawn uniformly, the
+	// whole sequence shuffled under the seed.
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	order := make([]int, cfg.N)
+	for i := range order {
+		if i < uniques {
+			order[i] = i
+		} else {
+			order[i] = r.Intn(uniques)
+		}
+	}
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	for i, u := range order {
+		rec := Record{
+			DeviceID: fmt.Sprintf("dev-%06d", i),
+			Site:     fmt.Sprintf("site-%d", r.Intn(cfg.Sites)),
+			Workload: cfg.Workload,
+			Fails:    recordFails(logs[u]),
+		}
+		line, err := json.Marshal(&rec)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return 0, err
+		}
+	}
+	return len(distinct), nil
+}
+
+// recordFails converts a datalog's fail map into the sorted structured
+// wire form.
+func recordFails(log *tester.Datalog) []PatternFails {
+	var out []PatternFails
+	for _, p := range log.FailingPatterns() {
+		out = append(out, PatternFails{Pattern: p, POs: log.Fails[p].Members()})
+	}
+	return out
+}
